@@ -1,0 +1,135 @@
+//! Analytical Micron Automata Processor model (paper Section VI-C,
+//! Table VI).
+//!
+//! The AP evaluates non-deterministic finite automata against a streamed
+//! symbol sequence. For kNN (per the paper's earlier AP study, Lee et al.
+//! IPDPS'17), each dataset vector becomes one Hamming-distance NFA; the
+//! query streams through all resident NFAs in parallel. Large datasets do
+//! not fit in one board configuration, so the board must be *reconfigured*
+//! per partition — "the AP is bottlenecked by the high reconfiguration
+//! overheads compared to SSAM" — and high-dimensional vectors consume so
+//! many state-transition elements that "each automata processor
+//! configuration can only fit a handful of vectors at a time".
+
+use serde::{Deserialize, Serialize};
+
+use crate::ScanWorkload;
+
+/// AP hardware generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ApGeneration {
+    /// First-generation board.
+    Gen1,
+    /// Hypothetical second generation with the 100× faster
+    /// reconfiguration proposed in the paper's citation \[53\].
+    Gen2,
+}
+
+/// The Automata Processor comparison platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutomataPlatform {
+    /// Symbol rate, symbols/s (133 MHz input stream).
+    pub symbol_rate: f64,
+    /// State-transition elements per board rank.
+    pub board_stes: f64,
+    /// STEs consumed per binary code bit (match + counter structure).
+    pub stes_per_bit: f64,
+    /// Full-board reconfiguration time, seconds.
+    pub reconfig_s: f64,
+    /// Dynamic power, W.
+    pub dynamic_power_w: f64,
+}
+
+impl AutomataPlatform {
+    /// A platform of the given generation.
+    pub fn new(generation: ApGeneration) -> Self {
+        let base_reconfig = 0.050; // 50 ms full-board load, gen 1
+        Self {
+            symbol_rate: 133.0e6,
+            board_stes: 1.57e6, // 48 K STEs/chip × 32 chips
+            stes_per_bit: 2.0,
+            reconfig_s: match generation {
+                ApGeneration::Gen1 => base_reconfig,
+                ApGeneration::Gen2 => base_reconfig / 100.0,
+            },
+            dynamic_power_w: 4.0,
+        }
+    }
+
+    /// Vectors of `bits`-bit codes resident per board configuration.
+    pub fn vectors_per_config(&self, bits: usize) -> usize {
+        ((self.board_stes / (self.stes_per_bit * bits as f64)) as usize).max(1)
+    }
+
+    /// Board configurations needed to cover the dataset.
+    pub fn passes(&self, w: &ScanWorkload) -> usize {
+        w.vectors.div_ceil(self.vectors_per_config(w.dims))
+    }
+
+    /// Seconds per query for linear Hamming kNN, amortizing each
+    /// reconfiguration over a query batch of `batch` (queries resident
+    /// during one configuration are streamed back to back).
+    pub fn hamming_seconds_per_query(&self, w: &ScanWorkload, batch: usize) -> f64 {
+        let passes = self.passes(w) as f64;
+        // Per pass: one (amortized) reconfiguration + the query's symbol
+        // stream (one 8-bit symbol per code bit).
+        let stream = w.dims as f64 / self.symbol_rate;
+        passes * (self.reconfig_s / batch.max(1) as f64 + stream)
+    }
+
+    /// Queries/second for linear Hamming kNN at the given batch size.
+    pub fn hamming_throughput(&self, w: &ScanWorkload, batch: usize) -> f64 {
+        1.0 / self.hamming_seconds_per_query(w, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn glove() -> ScanWorkload {
+        ScanWorkload::binary(1_200_000, 128)
+    }
+    fn alexnet() -> ScanWorkload {
+        ScanWorkload::binary(1_000_000, 4096)
+    }
+
+    #[test]
+    fn gen2_is_faster_than_gen1() {
+        let g1 = AutomataPlatform::new(ApGeneration::Gen1);
+        let g2 = AutomataPlatform::new(ApGeneration::Gen2);
+        let w = glove();
+        assert!(g2.hamming_throughput(&w, 100) > g1.hamming_throughput(&w, 100));
+    }
+
+    #[test]
+    fn high_dimensions_collapse_capacity() {
+        // Table VI's key shape: AlexNet-sized codes fit only a handful of
+        // vectors per configuration.
+        let ap = AutomataPlatform::new(ApGeneration::Gen1);
+        assert!(ap.vectors_per_config(4096) < 200);
+        assert!(ap.vectors_per_config(128) > 5000);
+    }
+
+    #[test]
+    fn throughput_decreases_with_dimensionality() {
+        let ap = AutomataPlatform::new(ApGeneration::Gen1);
+        assert!(ap.hamming_throughput(&glove(), 100) > 20.0 * ap.hamming_throughput(&alexnet(), 100));
+    }
+
+    #[test]
+    fn reconfiguration_dominates_gen1() {
+        let ap = AutomataPlatform::new(ApGeneration::Gen1);
+        let w = glove();
+        let t_batched = ap.hamming_seconds_per_query(&w, 1000);
+        let t_single = ap.hamming_seconds_per_query(&w, 1);
+        assert!(t_single > 10.0 * t_batched);
+    }
+
+    #[test]
+    fn passes_cover_dataset() {
+        let ap = AutomataPlatform::new(ApGeneration::Gen1);
+        let w = glove();
+        assert!(ap.passes(&w) * ap.vectors_per_config(w.dims) >= w.vectors);
+    }
+}

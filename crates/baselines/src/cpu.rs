@@ -1,0 +1,139 @@
+//! Analytical Xeon E5-2620 platform model.
+//!
+//! Constants follow the paper's sources: a six-core Sandy Bridge-EP part
+//! (2.0 GHz, 95 W TDP, ~435 mm² at 32 nm per the cited AnandTech die
+//! estimate) fed by DDR at the paper's optimistic 25 GB/s. Linear kNN on
+//! this machine is memory-bound: the roofline is
+//! `max(bytes / bandwidth, ops / peak_ops)` per query.
+
+use serde::{Deserialize, Serialize};
+
+use crate::normalize::scale_area_to_28nm;
+use crate::ScanWorkload;
+
+/// The CPU comparison platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuPlatform {
+    /// Core count.
+    pub cores: usize,
+    /// Clock in Hz.
+    pub freq_hz: f64,
+    /// 32-bit ops per core per cycle (AVX: 8-lane add + 8-lane mul).
+    pub ops_per_cycle: f64,
+    /// Sustained memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Die area in mm² at its native node.
+    pub die_area_mm2: f64,
+    /// Native process node in nm.
+    pub node_nm: f64,
+    /// Dynamic compute power in W ("difference between load and idle").
+    pub dynamic_power_w: f64,
+}
+
+impl CpuPlatform {
+    /// The paper's Xeon E5-2620 configuration.
+    pub fn xeon_e5_2620() -> Self {
+        Self {
+            cores: 6,
+            freq_hz: 2.0e9,
+            ops_per_cycle: 16.0,
+            mem_bandwidth: 25.0e9,
+            die_area_mm2: 435.0,
+            node_nm: 32.0,
+            dynamic_power_w: 60.0,
+        }
+    }
+
+    /// Peak arithmetic rate, ops/s.
+    pub fn peak_ops(&self) -> f64 {
+        self.cores as f64 * self.freq_hz * self.ops_per_cycle
+    }
+
+    /// Die area normalized to 28 nm.
+    pub fn area_mm2_28nm(&self) -> f64 {
+        scale_area_to_28nm(self.die_area_mm2, self.node_nm)
+    }
+
+    /// Roofline seconds per exact-linear query.
+    pub fn linear_seconds_per_query(&self, w: &ScanWorkload) -> f64 {
+        let mem = w.bytes_per_query() / self.mem_bandwidth;
+        let cmp = w.ops_per_query() / self.peak_ops();
+        mem.max(cmp)
+    }
+
+    /// Roofline queries/second for exact linear search.
+    pub fn linear_throughput(&self, w: &ScanWorkload) -> f64 {
+        1.0 / self.linear_seconds_per_query(w)
+    }
+
+    /// Queries per joule of dynamic compute energy.
+    pub fn linear_queries_per_joule(&self, w: &ScanWorkload) -> f64 {
+        self.linear_throughput(w) / self.dynamic_power_w
+    }
+
+    /// Seconds per query for an *approximate* index search that evaluates
+    /// `candidates` distance calculations and `interior` traversal steps:
+    /// the bucket scans are bandwidth-bound, the traversal is latency-
+    /// bound at roughly one step per ~20 ns (pointer chase + compare).
+    pub fn approx_seconds_per_query(
+        &self,
+        candidates: f64,
+        interior: f64,
+        dims: usize,
+    ) -> f64 {
+        let scan = ScanWorkload::dense(candidates.ceil() as usize, dims);
+        self.linear_seconds_per_query(&scan) + interior * 20e-9
+    }
+}
+
+impl Default for CpuPlatform {
+    fn default() -> Self {
+        Self::xeon_e5_2620()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_scan_is_memory_bound() {
+        let p = CpuPlatform::xeon_e5_2620();
+        let w = ScanWorkload::dense(1_000_000, 960);
+        let mem = w.bytes_per_query() / p.mem_bandwidth;
+        assert!((p.linear_seconds_per_query(&w) - mem).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gist_full_scale_is_single_digit_qps() {
+        // 1M × 960-d floats at 25 GB/s ≈ 6.5 qps — the regime that
+        // motivates the accelerator.
+        let p = CpuPlatform::xeon_e5_2620();
+        let w = ScanWorkload::dense(1_000_000, 960);
+        let qps = p.linear_throughput(&w);
+        assert!((5.0..8.0).contains(&qps), "qps = {qps}");
+    }
+
+    #[test]
+    fn area_normalization_shrinks_die() {
+        let p = CpuPlatform::xeon_e5_2620();
+        assert!(p.area_mm2_28nm() < p.die_area_mm2);
+        assert!((p.area_mm2_28nm() - 435.0 * (28.0f64 / 32.0).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_scan_is_32x_faster() {
+        let p = CpuPlatform::xeon_e5_2620();
+        let dense = p.linear_throughput(&ScanWorkload::dense(100_000, 128));
+        let bin = p.linear_throughput(&ScanWorkload::binary(100_000, 128));
+        assert!(bin / dense > 20.0);
+    }
+
+    #[test]
+    fn approx_search_beats_linear_at_small_budgets() {
+        let p = CpuPlatform::xeon_e5_2620();
+        let full = p.linear_seconds_per_query(&ScanWorkload::dense(1_000_000, 100));
+        let approx = p.approx_seconds_per_query(10_000.0, 50.0, 100);
+        assert!(approx < full / 10.0);
+    }
+}

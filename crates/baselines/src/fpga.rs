@@ -1,0 +1,124 @@
+//! Analytical Kintex-7 platform model.
+//!
+//! The paper maps the SSAM acceleration logic onto a Xilinx Kintex-7 as a
+//! *soft vector core* ("the FPGA in some cases underperforms the GPU since
+//! it effectively implements a soft vector core instead of a fixed-
+//! function unit"). The model therefore reuses the SSAM kernel's
+//! cycles-per-vector cost, run at FPGA fabric frequency with a modest
+//! number of replicated soft PUs, behind the board's DDR3 bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::normalize::scale_area_to_28nm;
+use crate::ScanWorkload;
+
+/// The FPGA comparison platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaPlatform {
+    /// Fabric clock after place-and-route, Hz.
+    pub freq_hz: f64,
+    /// Soft processing units instantiated.
+    pub soft_pus: usize,
+    /// Board memory bandwidth, bytes/s (DDR3 SODIMM).
+    pub mem_bandwidth: f64,
+    /// Die area in mm² at the native node (Kintex-7 is 28 nm).
+    pub die_area_mm2: f64,
+    /// Native node, nm.
+    pub node_nm: f64,
+    /// Dynamic power in W (Vivado Power Analyzer).
+    pub dynamic_power_w: f64,
+    /// Soft-PU vector length.
+    pub vector_length: usize,
+}
+
+impl FpgaPlatform {
+    /// The paper's Kintex-7 configuration at a given soft vector length.
+    pub fn kintex7(vector_length: usize) -> Self {
+        Self {
+            freq_hz: 200.0e6,
+            soft_pus: 8,
+            mem_bandwidth: 12.8e9,
+            die_area_mm2: 132.0,
+            node_nm: 28.0,
+            dynamic_power_w: 8.0,
+            vector_length,
+        }
+    }
+
+    /// Die area at 28 nm.
+    pub fn area_mm2_28nm(&self) -> f64 {
+        scale_area_to_28nm(self.die_area_mm2, self.node_nm)
+    }
+
+    /// Cycles one soft PU spends per database vector for a dense scan
+    /// (the SSAM linear-kernel inner loop: 5 chained vector ops + 4 scalar
+    /// bookkeeping ops per chunk, plus per-vector reduction/insert
+    /// overhead of ~2 ops per lane + ~6).
+    pub fn cycles_per_vector(&self, dims: usize) -> f64 {
+        let vl = self.vector_length;
+        let chunks = dims.div_ceil(vl) as f64;
+        9.0 * chunks + 2.0 * vl as f64 + 6.0
+    }
+
+    /// Roofline seconds per query for exact linear search.
+    pub fn linear_seconds_per_query(&self, w: &ScanWorkload) -> f64 {
+        let mem = w.bytes_per_query() / self.mem_bandwidth;
+        let cycles = w.vectors as f64 * self.cycles_per_vector(w.dims);
+        let cmp = cycles / (self.freq_hz * self.soft_pus as f64);
+        mem.max(cmp)
+    }
+
+    /// Queries/second for exact linear search.
+    pub fn linear_throughput(&self, w: &ScanWorkload) -> f64 {
+        1.0 / self.linear_seconds_per_query(w)
+    }
+
+    /// Queries per joule of dynamic energy.
+    pub fn linear_queries_per_joule(&self, w: &ScanWorkload) -> f64 {
+        self.linear_throughput(w) / self.dynamic_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuPlatform;
+    use crate::gpu::GpuPlatform;
+
+    #[test]
+    fn fpga_beats_cpu_but_not_gpu_raw() {
+        // Section V-B: "GPUs and the FPGA implementation … exhibit
+        // comparable throughput"; the FPGA sometimes underperforms.
+        let w = ScanWorkload::dense(1_000_000, 960);
+        let f = FpgaPlatform::kintex7(8);
+        let c = CpuPlatform::xeon_e5_2620();
+        let g = GpuPlatform::titan_x();
+        assert!(f.linear_throughput(&w) < g.linear_throughput(&w));
+        assert!(f.linear_throughput(&w) < 2.0 * c.linear_throughput(&w));
+    }
+
+    #[test]
+    fn wider_soft_vectors_reduce_cycles() {
+        let f2 = FpgaPlatform::kintex7(2);
+        let f16 = FpgaPlatform::kintex7(16);
+        assert!(f16.cycles_per_vector(960) < f2.cycles_per_vector(960) / 4.0);
+    }
+
+    #[test]
+    fn high_dim_scans_are_memory_bound() {
+        let f = FpgaPlatform::kintex7(16);
+        let w = ScanWorkload::dense(100_000, 4096);
+        let mem = w.bytes_per_query() / f.mem_bandwidth;
+        assert!((f.linear_seconds_per_query(&w) - mem).abs() / mem < 0.5);
+    }
+
+    #[test]
+    fn energy_efficiency_beats_cpu() {
+        // The FPGA's low dynamic power makes it far more efficient than
+        // the CPU even at similar throughput.
+        let w = ScanWorkload::dense(1_000_000, 100);
+        let f = FpgaPlatform::kintex7(8);
+        let c = CpuPlatform::xeon_e5_2620();
+        assert!(f.linear_queries_per_joule(&w) > c.linear_queries_per_joule(&w));
+    }
+}

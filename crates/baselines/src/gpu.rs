@@ -1,0 +1,110 @@
+//! Analytical Titan X platform model.
+//!
+//! The paper benchmarks Garcia et al.'s brute-force GPU kNN on a GeForce
+//! Titan X (Maxwell GM200: 601 mm² at 28 nm per the cited TechPowerUp
+//! entry, 336 GB/s GDDR5, ~6.1 TFLOPS FP32, 250 W board / ~165 W dynamic).
+//! Brute-force kNN streams the whole database per (batch of) queries, so
+//! the roofline is again `max(memory, compute)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ScanWorkload;
+
+/// The GPU comparison platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuPlatform {
+    /// Device memory bandwidth, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Peak FP32 rate, ops/s.
+    pub peak_ops: f64,
+    /// Die area in mm² (already 28 nm for GM200).
+    pub die_area_mm2: f64,
+    /// Dynamic power in W.
+    pub dynamic_power_w: f64,
+    /// Queries sharing one database stream (device-side batching — Garcia
+    /// et al. tile queries, amortizing each database load; kept modest
+    /// because "time-sensitive applications have stringent latency
+    /// budgets", Section I).
+    pub batch: usize,
+}
+
+impl GpuPlatform {
+    /// The paper's Titan X configuration.
+    pub fn titan_x() -> Self {
+        Self {
+            mem_bandwidth: 336.0e9,
+            peak_ops: 6.1e12,
+            die_area_mm2: 601.0,
+            dynamic_power_w: 165.0,
+            batch: 8,
+        }
+    }
+
+    /// Die area at 28 nm (GM200 is native 28 nm).
+    pub fn area_mm2_28nm(&self) -> f64 {
+        self.die_area_mm2
+    }
+
+    /// Roofline seconds per query for exact linear search.
+    pub fn linear_seconds_per_query(&self, w: &ScanWorkload) -> f64 {
+        // One database stream serves `batch` queries; compute scales with
+        // every query.
+        let mem = w.bytes_per_query() / self.mem_bandwidth / self.batch as f64;
+        let cmp = w.ops_per_query() / self.peak_ops;
+        mem.max(cmp)
+    }
+
+    /// Queries/second for exact linear search.
+    pub fn linear_throughput(&self, w: &ScanWorkload) -> f64 {
+        1.0 / self.linear_seconds_per_query(w)
+    }
+
+    /// Queries per joule of dynamic energy.
+    pub fn linear_queries_per_joule(&self, w: &ScanWorkload) -> f64 {
+        self.linear_throughput(w) / self.dynamic_power_w
+    }
+}
+
+impl Default for GpuPlatform {
+    fn default() -> Self {
+        Self::titan_x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuPlatform;
+
+    #[test]
+    fn gpu_outruns_cpu_in_raw_throughput() {
+        let g = GpuPlatform::titan_x();
+        let c = CpuPlatform::xeon_e5_2620();
+        let w = ScanWorkload::dense(1_000_000, 960);
+        assert!(g.linear_throughput(&w) > 10.0 * c.linear_throughput(&w));
+    }
+
+    #[test]
+    fn batching_amortizes_memory() {
+        let mut g = GpuPlatform::titan_x();
+        let w = ScanWorkload::dense(1_000_000, 100);
+        let t1 = {
+            g.batch = 1;
+            g.linear_throughput(&w)
+        };
+        let t8 = {
+            g.batch = 8;
+            g.linear_throughput(&w)
+        };
+        assert!(t8 > 2.0 * t1);
+    }
+
+    #[test]
+    fn compute_caps_large_batches() {
+        let mut g = GpuPlatform::titan_x();
+        g.batch = 1_000_000; // absurd batch: compute bound now
+        let w = ScanWorkload::dense(1_000_000, 100);
+        let cmp = w.ops_per_query() / g.peak_ops;
+        assert!((g.linear_seconds_per_query(&w) - cmp).abs() < 1e-15);
+    }
+}

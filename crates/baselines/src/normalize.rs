@@ -1,0 +1,63 @@
+//! Area normalization and energy-efficiency helpers.
+//!
+//! "To provide fair energy efficiency and performance measurements, we
+//! normalize each platform to a 28 nm technology process." (Section IV.)
+//! Throughput comparisons divide by normalized die area (queries/s/mm²);
+//! energy efficiency is queries per joule of dynamic energy.
+
+/// Scales a die area from `node_nm` to 28 nm (area goes with the square
+/// of feature size under the paper's linear scaling factors).
+pub fn scale_area_to_28nm(area_mm2: f64, node_nm: f64) -> f64 {
+    area_mm2 * (28.0 / node_nm).powi(2)
+}
+
+/// Scales a clock frequency from `node_nm` to 28 nm (frequency improves
+/// linearly with feature-size shrink under classic scaling).
+pub fn scale_freq_to_28nm(freq_hz: f64, node_nm: f64) -> f64 {
+    freq_hz * (node_nm / 28.0)
+}
+
+/// Area-normalized throughput in queries/s/mm².
+pub fn area_normalized_throughput(queries_per_second: f64, area_mm2: f64) -> f64 {
+    assert!(area_mm2 > 0.0, "area must be positive");
+    queries_per_second / area_mm2
+}
+
+/// Energy efficiency in queries per joule.
+pub fn energy_efficiency(queries_per_second: f64, dynamic_power_w: f64) -> f64 {
+    assert!(dynamic_power_w > 0.0, "power must be positive");
+    queries_per_second / dynamic_power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scaling_is_quadratic() {
+        assert!((scale_area_to_28nm(100.0, 56.0) - 25.0).abs() < 1e-12);
+        // Same node is identity.
+        assert_eq!(scale_area_to_28nm(601.0, 28.0), 601.0);
+    }
+
+    #[test]
+    fn freq_scaling_is_linear() {
+        assert!((scale_freq_to_28nm(1.0e9, 56.0) - 2.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn normalized_throughput_divides_by_area() {
+        assert_eq!(area_normalized_throughput(100.0, 50.0), 2.0);
+    }
+
+    #[test]
+    fn energy_efficiency_divides_by_power() {
+        assert_eq!(energy_efficiency(100.0, 25.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be positive")]
+    fn zero_area_rejected() {
+        let _ = area_normalized_throughput(1.0, 0.0);
+    }
+}

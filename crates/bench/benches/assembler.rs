@@ -1,0 +1,36 @@
+//! Criterion microbenches for the assembler and instruction codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssam_core::asm::assemble;
+use ssam_core::isa::encoding::{decode, encode};
+use ssam_core::kernels::linear;
+
+fn bench_assembler(c: &mut Criterion) {
+    let kernel = linear::cosine(960, 8);
+    let src = kernel.source.clone();
+    c.bench_function("assemble_cosine_kernel", |b| {
+        b.iter(|| assemble(black_box(&src)).expect("assembles"))
+    });
+
+    let words: Vec<u64> = kernel.program.iter().map(encode).collect();
+    c.bench_function("encode_program", |b| {
+        b.iter(|| {
+            kernel
+                .program
+                .iter()
+                .map(|i| encode(black_box(i)))
+                .collect::<Vec<u64>>()
+        })
+    });
+    c.bench_function("decode_program", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .map(|&w| decode(black_box(w)).expect("decodes"))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_assembler);
+criterion_main!(benches);

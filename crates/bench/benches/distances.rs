@@ -1,0 +1,48 @@
+//! Criterion microbenches for the distance kernels of Section II-D.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use ssam_knn::binary::hamming;
+use ssam_knn::distance::{cosine_distance, manhattan, squared_euclidean};
+use ssam_knn::fixed::{squared_euclidean_fixed, Fix32};
+
+fn rand_vec(dims: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect()
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("distance");
+    for dims in [100usize, 960, 4096] {
+        let a = rand_vec(dims, &mut rng);
+        let b = rand_vec(dims, &mut rng);
+        group.bench_with_input(BenchmarkId::new("euclidean", dims), &dims, |bench, _| {
+            bench.iter(|| squared_euclidean(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("manhattan", dims), &dims, |bench, _| {
+            bench.iter(|| manhattan(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dims), &dims, |bench, _| {
+            bench.iter(|| cosine_distance(black_box(&a), black_box(&b)))
+        });
+
+        let fa: Vec<i32> = a.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        let fb: Vec<i32> = b.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        group.bench_with_input(BenchmarkId::new("euclidean_fixed", dims), &dims, |bench, _| {
+            bench.iter(|| squared_euclidean_fixed(black_box(&fa), black_box(&fb)))
+        });
+
+        let words = dims.div_ceil(32);
+        let ba: Vec<u32> = (0..words).map(|_| rng.random()).collect();
+        let bb: Vec<u32> = (0..words).map(|_| rng.random()).collect();
+        group.bench_with_input(BenchmarkId::new("hamming", dims), &dims, |bench, _| {
+            bench.iter(|| hamming(black_box(&ba), black_box(&bb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion microbenches for the HMC model: address mapping, vault
+//! transactions, packet codec.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ssam_hmc::address::AddressMap;
+use ssam_hmc::packet::{Command, Packet};
+use ssam_hmc::{HmcConfig, HmcModule};
+
+fn bench_hmc(c: &mut Criterion) {
+    let cfg = HmcConfig::hmc2();
+    let interleaved = AddressMap::interleaved(&cfg);
+
+    c.bench_function("address_split_range_1MiB", |b| {
+        b.iter(|| interleaved.split_range(black_box(12345), black_box(1 << 20)))
+    });
+
+    c.bench_function("module_read_stream", |b| {
+        b.iter(|| {
+            let mut m = HmcModule::new_interleaved(cfg);
+            let mut t = 0.0;
+            for i in 0..256u64 {
+                t = m.read(t, i * 4096, 4096);
+            }
+            t
+        })
+    });
+
+    let pkt = Packet::request(Command::Write, 0xABCD, &[7u8; 96]);
+    let frame = pkt.encode();
+    c.bench_function("packet_encode", |b| b.iter(|| black_box(&pkt).encode()));
+    c.bench_function("packet_decode", |b| {
+        b.iter(|| Packet::decode(Bytes::clone(black_box(&frame))).expect("decodes"))
+    });
+}
+
+criterion_group!(benches, bench_hmc);
+criterion_main!(benches);

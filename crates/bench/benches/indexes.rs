@@ -1,0 +1,85 @@
+//! Criterion microbenches for index build + query across the three
+//! approximate-index families.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use ssam_knn::index::{SearchBudget, SearchIndex};
+use ssam_knn::kdtree::{KdForest, KdTreeParams};
+use ssam_knn::kmeans_tree::{KMeansTree, KMeansTreeParams};
+use ssam_knn::linear::LinearSearch;
+use ssam_knn::mplsh::{MplshParams, MultiProbeLsh};
+use ssam_knn::{Metric, VectorStore};
+
+fn dataset(n: usize, dims: usize) -> VectorStore {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut s = VectorStore::with_capacity(dims, n);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+        s.push(&v);
+    }
+    s
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let store = dataset(20_000, 64);
+    let query: Vec<f32> = (0..64).map(|i| 0.01 * i as f32).collect();
+    let budget = SearchBudget::checks(32);
+    let k = 10;
+
+    let kd = KdForest::build(&store, Metric::Euclidean, KdTreeParams::default());
+    let km = KMeansTree::build(&store, Metric::Euclidean, KMeansTreeParams::default());
+    let lsh = MultiProbeLsh::build(
+        &store,
+        Metric::Euclidean,
+        MplshParams { tables: 4, hash_bits: 12, seed: 1 },
+    );
+    let lin = LinearSearch::new(Metric::Euclidean);
+
+    let mut group = c.benchmark_group("query");
+    group.bench_function("linear", |b| {
+        b.iter(|| lin.search(&store, black_box(&query), k, SearchBudget::unlimited()))
+    });
+    group.bench_function("kdtree", |b| {
+        b.iter(|| kd.search(&store, black_box(&query), k, budget))
+    });
+    group.bench_function("kmeans_tree", |b| {
+        b.iter(|| km.search(&store, black_box(&query), k, budget))
+    });
+    group.bench_function("mplsh", |b| {
+        b.iter(|| lsh.search(&store, black_box(&query), k, budget))
+    });
+    group.finish();
+
+    let small = dataset(4000, 32);
+    let mut build = c.benchmark_group("build");
+    build.sample_size(10);
+    for trees in [1usize, 4] {
+        build.bench_with_input(BenchmarkId::new("kdtree", trees), &trees, |b, &t| {
+            b.iter(|| {
+                KdForest::build(
+                    &small,
+                    Metric::Euclidean,
+                    KdTreeParams { trees: t, leaf_size: 16, seed: 1 },
+                )
+            })
+        });
+    }
+    build.bench_function("kmeans_tree", |b| {
+        b.iter(|| KMeansTree::build(&small, Metric::Euclidean, KMeansTreeParams::default()))
+    });
+    build.bench_function("mplsh", |b| {
+        b.iter(|| {
+            MultiProbeLsh::build(
+                &small,
+                Metric::Euclidean,
+                MplshParams { tables: 4, hash_bits: 10, seed: 1 },
+            )
+        })
+    });
+    build.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

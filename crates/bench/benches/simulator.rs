@@ -1,0 +1,54 @@
+//! Criterion microbenches for the PU simulator: whole-kernel scan
+//! throughput per vector length and metric.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ssam_core::isa::DRAM_BASE;
+use ssam_core::kernels::linear;
+use ssam_core::sim::pu::ProcessingUnit;
+
+fn bench_simulator(c: &mut Criterion) {
+    let dims = 128usize;
+    let n = 256usize;
+
+    let mut group = c.benchmark_group("pu_scan");
+    for vl in [2usize, 4, 8, 16] {
+        let kernel = linear::euclidean(dims, vl);
+        let vw = kernel.layout.vec_words;
+        let words: Arc<Vec<i32>> = Arc::new((0..n * vw).map(|i| (i % 251) as i32).collect());
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("euclidean", vl), &vl, |b, _| {
+            b.iter(|| {
+                let mut pu = ProcessingUnit::new(vl, Arc::clone(&words));
+                pu.load_program(kernel.program.clone());
+                pu.scratchpad_mut().write_block(0, &vec![1 << 16; vw]).expect("query");
+                pu.set_sreg(1, DRAM_BASE as i32);
+                pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
+                pu.run(100_000_000).expect("runs")
+            })
+        });
+    }
+    for vl in [4usize, 16] {
+        let words_per_code = 8usize;
+        let kernel = linear::hamming(words_per_code, vl);
+        let vw = kernel.layout.vec_words;
+        let words: Arc<Vec<i32>> =
+            Arc::new((0..n * vw).map(|i| (i as u32).wrapping_mul(2654435761) as i32).collect());
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("hamming", vl), &vl, |b, _| {
+            b.iter(|| {
+                let mut pu = ProcessingUnit::new(vl, Arc::clone(&words));
+                pu.load_program(kernel.program.clone());
+                pu.scratchpad_mut().write_block(0, &vec![0x5A5A; vw]).expect("query");
+                pu.set_sreg(1, DRAM_BASE as i32);
+                pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
+                pu.run(100_000_000).expect("runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenches for top-k structures: the software bounded heap
+//! versus the hardware shift-register queue model.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use ssam_core::sim::pqueue::HardwarePriorityQueue;
+use ssam_knn::topk::TopK;
+
+fn candidates(n: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(2);
+    (0..n).map(|_| rng.random_range(0.0..1000.0)).collect()
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let cands = candidates(100_000);
+    let mut group = c.benchmark_group("topk");
+    for k in [10usize, 16, 100] {
+        group.bench_with_input(BenchmarkId::new("software_heap", k), &k, |bench, &k| {
+            bench.iter(|| {
+                let mut t = TopK::new(k);
+                for (i, &d) in cands.iter().enumerate() {
+                    t.offer(i as u32, black_box(d));
+                }
+                t.into_sorted()
+            })
+        });
+    }
+    group.bench_function("hw_queue_model_16", |bench| {
+        bench.iter(|| {
+            let mut q = HardwarePriorityQueue::new();
+            for (i, &d) in cands.iter().enumerate() {
+                q.insert(i as i32, black_box(d as i32));
+            }
+            q.len()
+        })
+    });
+    group.bench_function("full_sort_reference", |bench| {
+        bench.iter(|| {
+            let mut v: Vec<(u32, u32)> = cands
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (d.to_bits(), i as u32))
+                .collect();
+            v.sort_unstable();
+            v.truncate(16);
+            v
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! **§V-B ablation** — how much of the SSAM win is memory bandwidth?
+//!
+//! "In terms of the enhanced bandwidth, we attribute roughly one order of
+//! magnitude run time improvement to the higher internal bandwidth of HMC
+//! 2.0. Optimistically, standard DRAM modules provide up to 25 GB/s of
+//! memory bandwidth whereas HMC 2.0 provides 320 GB/s."
+//!
+//! Runs the identical simulated kernel under the HMC vault model and
+//! under a standard-DDR bandwidth model, holding compute constant.
+
+use ssam_bench::{fmt, print_table, ssam_scan_cost, ExpConfig};
+use ssam_core::isa::VECTOR_LENGTHS;
+use ssam_datasets::PaperDataset;
+use ssam_hmc::{DdrConfig, HmcConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_args(0.01);
+    let hmc = HmcConfig::hmc2();
+    let ddr = DdrConfig::ddr4_quad_channel();
+    let freq = 1.0e9;
+    let mut rows = Vec::new();
+
+    for dataset in PaperDataset::ALL {
+        let spec = {
+            let mut s = dataset.spec();
+            s = s.scaled(cfg.scale);
+            s
+        };
+        for &vl in &VECTOR_LENGTHS {
+            let cost = ssam_scan_cost(spec.dims, vl);
+            let n = spec.train as f64;
+            let bytes = n * cost.bytes_per_vector;
+            let cycles = n * cost.cycles_per_vector;
+
+            // HMC: shards stream in parallel across 32 vaults; PUs
+            // provisioned to saturate each vault controller.
+            let pu_demand = cost.bytes_per_vector / (cost.cycles_per_vector / freq);
+            let pus = ((hmc.vault_bandwidth / pu_demand).ceil() as usize).clamp(1, 8);
+            let hmc_mem = bytes / hmc.internal_bandwidth();
+            let hmc_cmp = cycles / (hmc.vaults as f64 * pus as f64 * freq);
+            let hmc_t = hmc_mem.max(hmc_cmp);
+
+            // DDR: the same accelerator logic behind one 25 GB/s channel
+            // set (compute identical, bandwidth starved).
+            let ddr_mem = bytes / ddr.bandwidth;
+            let ddr_cmp = cycles / (hmc.vaults as f64 * pus as f64 * freq);
+            let ddr_t = ddr_mem.max(ddr_cmp);
+
+            rows.push(vec![
+                spec.name.clone(),
+                format!("SSAM-{vl}"),
+                fmt(1.0 / hmc_t),
+                fmt(1.0 / ddr_t),
+                format!("{:.1}x", ddr_t / hmc_t),
+            ]);
+        }
+    }
+
+    println!("\n§V-B ablation — HMC (320 GB/s) vs standard DRAM (25 GB/s), scale {}", cfg.scale);
+    print_table(
+        cfg.csv,
+        &["dataset", "design", "HMC queries/s", "DDR queries/s", "HMC speedup"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: the bandwidth gap alone is worth roughly one order of\n\
+         magnitude (12.8x at full saturation); narrow-vector designs recover\n\
+         less of it because they are compute-bound."
+    );
+}

@@ -1,0 +1,67 @@
+//! **§III-C ablation** — vector chaining.
+//!
+//! "We use forwarding paths between pipeline stages to implement chaining
+//! of vector operations." (Section III-C.)
+//!
+//! Runs the identical Euclidean kernel under the default (chained)
+//! latency model — where a dependent vector multiply issues back to back —
+//! and under an unchained model where every vector multiply exposes its
+//! full latency, quantifying what the forwarding paths buy.
+
+use std::sync::Arc;
+
+use ssam_bench::{fmt, print_table, ExpConfig};
+use ssam_core::isa::{DRAM_BASE, VECTOR_LENGTHS};
+use ssam_core::kernels::linear;
+use ssam_core::sim::pu::ProcessingUnit;
+use ssam_core::sim::LatencyModel;
+use ssam_datasets::PaperDataset;
+
+fn main() {
+    let cfg = ExpConfig::from_args(1.0);
+    let mut rows = Vec::new();
+    for dataset in PaperDataset::ALL {
+        let spec = dataset.spec();
+        let dims = spec.dims;
+        for &vl in &VECTOR_LENGTHS {
+            let kernel = linear::euclidean(dims, vl);
+            let vw = kernel.layout.vec_words;
+            let n = 64usize;
+            let words: Arc<Vec<i32>> =
+                Arc::new((0..n * vw).map(|i| (i % 89) as i32).collect());
+
+            let run = |lat: LatencyModel| -> u64 {
+                let mut pu = ProcessingUnit::new(vl, Arc::clone(&words));
+                pu.set_latency_model(lat);
+                pu.load_program(kernel.program.clone());
+                pu.scratchpad_mut().write_block(0, &vec![0; vw]).expect("query");
+                pu.set_sreg(1, DRAM_BASE as i32);
+                pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
+                pu.run(100_000_000).expect("runs").cycles
+            };
+
+            let chained = run(LatencyModel::default());
+            let unchained = run(LatencyModel { vmult: 3, ..LatencyModel::default() });
+            rows.push(vec![
+                spec.name.clone(),
+                format!("SSAM-{vl}"),
+                fmt(chained as f64 / n as f64),
+                fmt(unchained as f64 / n as f64),
+                format!("{:.1}%", 100.0 * (unchained as f64 / chained as f64 - 1.0)),
+            ]);
+        }
+    }
+
+    println!("\n§III-C ablation — vector chaining (Euclidean scan, cycles per vector)");
+    print_table(
+        cfg.csv,
+        &["dataset", "design", "chained cyc/vec", "unchained cyc/vec", "chaining saves"],
+        &rows,
+    );
+    println!(
+        "\nChaining removes the multiply's exposed latency from every chunk of\n\
+         the distance loop — a constant-fraction cycle saving that grows in\n\
+         importance exactly where the PU is compute-bound (narrow vectors,\n\
+         high dimensionality)."
+    );
+}

@@ -1,0 +1,164 @@
+//! **§III-B demonstration** — two different indexing kernels coexisting
+//! on SSAM processing units.
+//!
+//! "Unlike GPU cores, processing units are not restricted to operating in
+//! lockstep and multiple different indexing kernels can coexist on each
+//! SSAM module."
+//!
+//! Runs the kd-tree and hierarchical k-means traversal kernels — both
+//! real Table II programs using the hardware stack for backtracking — on
+//! one PU over the same shard, sweeping the leaf budget, and reports
+//! recall versus simulated cycles and DRAM traffic.
+
+use std::sync::Arc;
+
+use ssam_bench::{fmt, print_table, ExpConfig};
+use ssam_core::isa::DRAM_BASE;
+use ssam_core::kernels::kmeans_traversal::{build_kmeans_tree_image, kmeans_euclidean};
+use ssam_core::kernels::lsh_traversal::{build_lsh_image, lsh_euclidean};
+use ssam_core::kernels::traversal::{build_tree_image, image_id_order, kdtree_euclidean, TREE_ADDR};
+use ssam_core::sim::pu::ProcessingUnit;
+use ssam_datasets::PaperDataset;
+use ssam_knn::fixed::Fix32;
+use ssam_knn::recall::recall_ids;
+
+const VL: usize = 4;
+const LEAF: usize = 64;
+
+fn main() {
+    // The scratchpad-resident trees bound the shard size; emulate one
+    // vault's worth of a GloVe-like dataset.
+    let cfg = ExpConfig::from_args(0.0005);
+    let bench = cfg.benchmark(PaperDataset::GloVe);
+    let store = &bench.train;
+    let k = bench.k();
+    eprintln!(
+        "[on-device-index] {} vectors x {} dims on one PU (VL={VL})",
+        store.len(),
+        store.dims()
+    );
+
+    // Stage both indexes.
+    let kd_img = build_tree_image(store, LEAF, VL);
+    let kd_order = image_id_order(store, LEAF);
+    let kd_kernel = kdtree_euclidean(store.dims(), VL, LEAF);
+    let km_img = build_kmeans_tree_image(store, 4, LEAF, VL, 7);
+    let km_kernel = kmeans_euclidean(store.dims(), VL, LEAF);
+    let bits = 5; // ~2^5 buckets over this shard
+    let lsh_img = build_lsh_image(store, bits, VL, 7);
+    let lsh_kernel = lsh_euclidean(store.dims(), VL, bits, lsh_img.max_bucket);
+
+    // For tree kernels, `extra` is the root address (s21); for the LSH
+    // kernel it is the bucket-table entry count (s15).
+    let run = |dram: &Arc<Vec<i32>>,
+               spad_image: &[i32],
+               kernel: &ssam_core::kernels::Kernel,
+               order: &[u32],
+               query: &[f32],
+               budget: i32,
+               root: Option<u32>,
+               buckets: Option<usize>|
+     -> (Vec<u32>, u64, u64) {
+        let mut pu = ProcessingUnit::new(VL, Arc::clone(dram));
+        pu.chain_pqueue(k.div_ceil(16));
+        pu.load_program(kernel.program.clone());
+        let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        q.resize(kernel.layout.vec_words, 0);
+        pu.scratchpad_mut().write_block(0, &q).expect("query");
+        pu.scratchpad_mut().write_block(TREE_ADDR, spad_image).expect("image");
+        pu.set_sreg(20, budget);
+        if let Some(root) = root {
+            pu.set_sreg(21, root as i32);
+        }
+        if let Some(b) = buckets {
+            pu.set_sreg(15, b as i32);
+        }
+        pu.set_sreg(1, DRAM_BASE as i32);
+        let stats = pu.run(100_000_000).expect("halts");
+        let ids = pu
+            .pqueue()
+            .entries()
+            .iter()
+            .take(k)
+            .map(|e| order[e.id as usize])
+            .collect();
+        (ids, stats.cycles, stats.dram.bytes_read)
+    };
+
+    let kd_dram = Arc::new(kd_img.dram_words.clone());
+    let km_dram = Arc::new(km_img.dram_words.clone());
+    let lsh_dram = Arc::new(lsh_img.dram_words.clone());
+    let nq = bench.queries.len().min(20);
+    let mut rows = Vec::new();
+    for budget in [1i32, 2, 4, 8, 16, 1_000_000] {
+        let mut agg = [(0.0f64, 0u64, 0u64); 3];
+        for (qi, q, gt) in bench.iter_queries().take(nq) {
+            let _ = qi;
+            let (ids, cyc, bytes) = run(
+                &kd_dram,
+                &kd_img.spad_words,
+                &kd_kernel,
+                &kd_order,
+                q,
+                budget,
+                Some(kd_img.root_addr),
+                None,
+            );
+            agg[0].0 += recall_ids(gt, &ids);
+            agg[0].1 += cyc;
+            agg[0].2 += bytes;
+            let (ids, cyc, bytes) = run(
+                &km_dram,
+                &km_img.spad_words,
+                &km_kernel,
+                &km_img.id_order,
+                q,
+                budget,
+                Some(km_img.root_addr),
+                None,
+            );
+            agg[1].0 += recall_ids(gt, &ids);
+            agg[1].1 += cyc;
+            agg[1].2 += bytes;
+            let (ids, cyc, bytes) = run(
+                &lsh_dram,
+                &lsh_img.spad_words,
+                &lsh_kernel,
+                &lsh_img.id_order,
+                q,
+                budget,
+                None,
+                Some(lsh_img.buckets),
+            );
+            agg[2].0 += recall_ids(gt, &ids);
+            agg[2].1 += cyc;
+            agg[2].2 += bytes;
+        }
+        for (i, name) in ["kd-tree", "k-means", "LSH"].iter().enumerate() {
+            rows.push(vec![
+                if budget >= 1_000_000 { "all".into() } else { budget.to_string() },
+                (*name).into(),
+                format!("{:.3}", agg[i].0 / nq as f64),
+                fmt(agg[i].1 as f64 / nq as f64),
+                fmt(agg[i].2 as f64 / nq as f64),
+            ]);
+        }
+    }
+
+    println!("\n§III-B — on-accelerator index traversal kernels (one PU, k = {k})");
+    print_table(
+        cfg.csv,
+        &["leaf budget", "index kernel", "recall", "cycles/query", "DRAM bytes/query"],
+        &rows,
+    );
+    println!(
+        "\nAll three kernels are real Table II programs: the trees descend on\n\
+         the scalar datapath with hardware-stack backtracking (PUSH/POP), LSH\n\
+         hashes on the vector datapath and probes single-bit perturbations in\n\
+         margin order; every bucket scan uses the vector pipeline and the\n\
+         hardware priority queue. Recall climbs with the budget while cycles\n\
+         and DRAM traffic grow — the Fig. 2 trade-off executing natively near\n\
+         memory. (LSH recall saturates at its probe ceiling; tree budgets\n\
+         reach exactness.)"
+    );
+}

@@ -1,0 +1,62 @@
+//! **§V-B ablation** — hardware versus software priority queue.
+//!
+//! "To quantify the impact of the priority queue, we simulate the
+//! performance of SSAM using a software priority queue instead of
+//! leveraging the hardware queue. At a high level, the hardware queue
+//! improves performance by up to 9.2% for wider vector processing units."
+//!
+//! Wider vectors finish each candidate's distance in fewer cycles, so the
+//! fixed scalar cost of a software queue insert is a larger share of the
+//! loop — exactly why the paper provisions a hardware unit.
+
+use ssam_bench::{print_table, ExpConfig};
+use ssam_core::device::{DeviceQuery, SsamConfig, SsamDevice};
+use ssam_core::isa::VECTOR_LENGTHS;
+use ssam_datasets::PaperDataset;
+
+fn main() {
+    let cfg = ExpConfig::from_args(0.002);
+    let bench = cfg.benchmark(PaperDataset::GloVe);
+    let k = bench.k();
+    let queries: Vec<Vec<f32>> = (0..2u32).map(|i| bench.queries.get(i).to_vec()).collect();
+    let mut rows = Vec::new();
+
+    for &vl in &VECTOR_LENGTHS {
+        let run = |hw: bool| -> (u64, f64) {
+            let mut dev = SsamDevice::new(SsamConfig {
+                vector_length: vl,
+                use_hw_queue: hw,
+                ..SsamConfig::default()
+            });
+            dev.load_vectors(&bench.train);
+            let mut cycles = 0u64;
+            let mut secs = 0.0;
+            for q in &queries {
+                let r = dev.query(&DeviceQuery::Euclidean(q), k).expect("device runs");
+                cycles += r.timing.total_cycles;
+                secs += r.timing.seconds;
+            }
+            (cycles, secs)
+        };
+        let (hw_cycles, hw_secs) = run(true);
+        let (sw_cycles, sw_secs) = run(false);
+        rows.push(vec![
+            format!("SSAM-{vl}"),
+            hw_cycles.to_string(),
+            sw_cycles.to_string(),
+            format!("{:.1}%", 100.0 * (sw_cycles as f64 / hw_cycles as f64 - 1.0)),
+            format!("{:.1}%", 100.0 * (sw_secs / hw_secs - 1.0)),
+        ]);
+    }
+
+    println!("\n§V-B ablation — hardware vs software priority queue (GloVe, k={k})");
+    print_table(
+        cfg.csv,
+        &["design", "HW-queue cycles", "SW-queue cycles", "cycle overhead", "time overhead"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: the software queue costs single-digit-percent performance,\n\
+         growing with vector width (paper: up to 9.2% at wide vectors)."
+    );
+}

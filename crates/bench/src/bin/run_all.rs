@@ -1,0 +1,57 @@
+//! Runs every experiment binary in sequence (paper order), forwarding
+//! `--scale` / `--queries` / `--csv`. One command to regenerate the whole
+//! evaluation:
+//!
+//! ```text
+//! cargo run -p ssam-bench --release --bin run_all [-- --scale 0.01]
+//! ```
+
+use std::process::Command;
+
+/// Paper order: characterization, accelerator tables, comparisons,
+//  ablations, cost model.
+const EXPERIMENTS: [&str; 16] = [
+    "fig2_accuracy_tradeoff",
+    "table1_instruction_mix",
+    "table3_power",
+    "table4_area",
+    "fig6_linear_comparison",
+    "fig7_approx_comparison",
+    "table5_distance_metrics",
+    "table6_automata",
+    "ablation_priority_queue",
+    "ablation_bandwidth",
+    "ablation_fixed_point",
+    "ablation_batching",
+    "ablation_on_device_index",
+    "ablation_module_scaling",
+    "ablation_chaining",
+    "table_tco",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin directory");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n========================= {name} =========================");
+        let path = bin_dir.join(name);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+
+    println!("\n=========================================================");
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,90 @@
+//! **Table V** — relative SSAM throughput of alternative distance metrics
+//! versus Euclidean, per dataset.
+//!
+//! Paper reference (SSAM-4):
+//!
+//! | metric     | GloVe | GIST  | AlexNet |
+//! |------------|-------|-------|---------|
+//! | Euclidean  | 1×    | 1×    | 1×      |
+//! | Hamming    | 4.38× | 7.98× | 9.38×   |
+//! | Cosine     | 0.46× | 0.47× | 0.47×   |
+//! | Manhattan  | 0.94× | 0.99× | 0.99×   |
+
+use ssam_bench::{print_table, ExpConfig};
+use ssam_core::device::{DeviceQuery, SsamConfig, SsamDevice};
+use ssam_datasets::PaperDataset;
+use ssam_knn::binary::HyperplaneBinarizer;
+
+const VL: usize = 4;
+const SAMPLES: usize = 2;
+
+fn main() {
+    let cfg = ExpConfig::from_args(0.002);
+    let mut rows = Vec::new();
+    let paper: [(&str, [f64; 3]); 4] = [
+        ("euclidean", [1.0, 1.0, 1.0]),
+        ("hamming", [4.38, 7.98, 9.38]),
+        ("cosine", [0.46, 0.47, 0.47]),
+        ("manhattan", [0.94, 0.99, 0.99]),
+    ];
+
+    let mut measured: Vec<[f64; 3]> = vec![[0.0; 3]; 4];
+    for (d, dataset) in PaperDataset::ALL.into_iter().enumerate() {
+        let bench = cfg.benchmark(dataset);
+        let k = bench.k();
+        eprintln!("[table5] {}", dataset.name());
+
+        // Dense metrics share one device load.
+        let mut dev =
+            SsamDevice::new(SsamConfig { vector_length: VL, ..SsamConfig::default() });
+        dev.load_vectors(&bench.train);
+        let queries: Vec<Vec<f32>> =
+            (0..SAMPLES.min(bench.queries.len()) as u32).map(|i| bench.queries.get(i).to_vec()).collect();
+
+        let qps = |dev: &mut SsamDevice, make: &dyn Fn(&Vec<f32>) -> DeviceQuery<'_>| -> f64 {
+            let dq: Vec<DeviceQuery<'_>> = queries.iter().map(make).collect();
+            dev.estimate_throughput(&dq, k).expect("device runs").queries_per_second
+        };
+        let eu = qps(&mut dev, &|q| DeviceQuery::Euclidean(q));
+        let ma = qps(&mut dev, &|q| DeviceQuery::Manhattan(q));
+        let co = qps(&mut dev, &|q| DeviceQuery::Cosine(q));
+
+        // Hamming: binarize to the padded dimensionality (32-bit words).
+        let bits = bench.train.dims().div_ceil(32) * 32;
+        let binarizer = HyperplaneBinarizer::new(bench.train.dims(), bits, 9);
+        let codes = binarizer.encode_store(&bench.train);
+        let mut bdev =
+            SsamDevice::new(SsamConfig { vector_length: VL, ..SsamConfig::default() });
+        bdev.load_binary(&codes);
+        let bqueries: Vec<Vec<u32>> = queries.iter().map(|q| binarizer.encode(q)).collect();
+        let dq: Vec<DeviceQuery<'_>> = bqueries.iter().map(|q| DeviceQuery::Hamming(q)).collect();
+        let ha = bdev.estimate_throughput(&dq, k).expect("device runs").queries_per_second;
+
+        measured[0][d] = 1.0;
+        measured[1][d] = ha / eu;
+        measured[2][d] = co / eu;
+        measured[3][d] = ma / eu;
+    }
+
+    for (m, (name, p)) in paper.iter().enumerate() {
+        rows.push(vec![
+            (*name).into(),
+            format!("{:.2}x", measured[m][0]),
+            format!("{:.2}x", measured[m][1]),
+            format!("{:.2}x", measured[m][2]),
+            format!("{:.2}/{:.2}/{:.2}", p[0], p[1], p[2]),
+        ]);
+    }
+
+    println!("\nTable V — relative SSAM-{VL} throughput vs Euclidean (scale {})", cfg.scale);
+    print_table(
+        cfg.csv,
+        &["metric", "GloVe", "GIST", "AlexNet", "paper (G/Gi/A)"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: Hamming gains grow with dimensionality (binarized data\n\
+         is 32x smaller and FXP fuses the per-word work); cosine costs ~2x\n\
+         Euclidean (software division); Manhattan ~parity."
+    );
+}

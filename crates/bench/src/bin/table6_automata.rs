@@ -1,0 +1,76 @@
+//! **Table VI** — SSAM-4 versus the Micron Automata Processor (gen 1 and
+//! gen 2) for exact linear Hamming kNN.
+//!
+//! Paper reference (queries/s at full scale):
+//!
+//! |                      | GloVe  | GIST | AlexNet |
+//! |----------------------|--------|------|---------|
+//! | SSAM-4               | 2059.3 | 480.5| 134.10  |
+//! | First-generation AP  | 288    | 2.64 | 0.553   |
+//! | Second-generation AP | 1117.09| 10.55| 0.951   |
+
+use ssam_baselines::automata::{ApGeneration, AutomataPlatform};
+use ssam_baselines::ScanWorkload;
+use ssam_bench::{fmt, print_table, ExpConfig};
+use ssam_core::device::{DeviceQuery, SsamConfig, SsamDevice};
+use ssam_datasets::PaperDataset;
+use ssam_knn::binary::HyperplaneBinarizer;
+
+const VL: usize = 4;
+const AP_BATCH: usize = 1000;
+
+fn main() {
+    let cfg = ExpConfig::from_args(0.002);
+    let g1 = AutomataPlatform::new(ApGeneration::Gen1);
+    let g2 = AutomataPlatform::new(ApGeneration::Gen2);
+    let mut rows = Vec::new();
+
+    for dataset in PaperDataset::ALL {
+        let bench = cfg.benchmark(dataset);
+        let bits = bench.train.dims().div_ceil(32) * 32;
+        eprintln!("[table6] {} ({} bits)", dataset.name(), bits);
+
+        // SSAM: simulate the Hamming kernel over the binarized dataset.
+        let binarizer = HyperplaneBinarizer::new(bench.train.dims(), bits, 9);
+        let codes = binarizer.encode_store(&bench.train);
+        let mut dev = SsamDevice::new(SsamConfig { vector_length: VL, ..SsamConfig::default() });
+        dev.load_binary(&codes);
+        let queries: Vec<Vec<u32>> =
+            (0..2u32).map(|i| binarizer.encode(bench.queries.get(i))).collect();
+        let dq: Vec<DeviceQuery<'_>> = queries.iter().map(|q| DeviceQuery::Hamming(q)).collect();
+        let ssam_qps = dev
+            .estimate_throughput(&dq, bench.k())
+            .expect("device runs")
+            .queries_per_second;
+
+        // AP: analytical model over the same (scaled) workload.
+        let w = ScanWorkload::binary(bench.train.len(), bits);
+        let g1_qps = g1.hamming_throughput(&w, AP_BATCH);
+        let g2_qps = g2.hamming_throughput(&w, AP_BATCH);
+
+        rows.push(vec![
+            dataset.name().into(),
+            fmt(ssam_qps),
+            fmt(g1_qps),
+            fmt(g2_qps),
+            format!("{:.0}", ssam_qps / g1_qps),
+            format!("{:.0}", ssam_qps / g2_qps),
+        ]);
+    }
+
+    println!(
+        "\nTable VI — linear Hamming kNN, SSAM-{VL} vs Automata Processor (scale {})",
+        cfg.scale
+    );
+    print_table(
+        cfg.csv,
+        &["dataset", "SSAM-4 q/s", "AP gen1 q/s", "AP gen2 q/s", "SSAM/gen1", "SSAM/gen2"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: SSAM leads both AP generations everywhere; the gap\n\
+         explodes with dimensionality because high-dimensional codes fit only\n\
+         a handful of NFAs per AP configuration, forcing reconfiguration\n\
+         passes. Gen-2's faster reconfiguration narrows but does not close it."
+    );
+}

@@ -1,0 +1,54 @@
+//! **§VI-A** — the cost-of-specialization analysis.
+//!
+//! Prints the paper's fleet-sizing and three-year energy-cost comparison
+//! with every assumption explicit, plus a sensitivity sweep over the
+//! SSAM speedup and electricity price.
+
+use ssam_bench::{fmt, print_table, ExpConfig};
+use ssam_cost::{evaluate, TcoParams};
+
+fn main() {
+    let cfg = ExpConfig::from_args(1.0);
+    let p = TcoParams::paper_defaults();
+    let r = evaluate(&p);
+
+    println!("\n§VI-A — datacenter TCO model (paper defaults)");
+    let rows = vec![
+        vec!["front-end query rate".into(), format!("{} q/s", p.total_qps)],
+        vec!["unique (cache-miss) fraction".into(), format!("{:.0}%", 100.0 * p.unique_fraction)],
+        vec!["unique query rate".into(), format!("{} q/s", r.unique_qps)],
+        vec!["CPU servers needed".into(), r.cpu_servers.to_string()],
+        vec!["SSAM servers needed".into(), r.ssam_servers.to_string()],
+        vec!["CPU fleet dynamic power".into(), format!("{:.1} kW", r.cpu_power_kw)],
+        vec!["SSAM fleet dynamic power".into(), format!("{:.1} kW", r.ssam_power_kw)],
+        vec![format!("CPU energy cost / {} yr", p.years), format!("${}", fmt(r.cpu_energy_cost))],
+        vec![format!("SSAM energy cost / {} yr", p.years), format!("${}", fmt(r.ssam_energy_cost))],
+        vec!["energy savings".into(), format!("${}", fmt(r.savings))],
+        vec!["ASIC NRE (28 nm)".into(), format!("${}", fmt(p.asic_nre_dollars))],
+        vec!["NRE recovered by energy alone".into(), r.nre_recovered.to_string()],
+    ];
+    print_table(cfg.csv, &["quantity", "value"], &rows);
+
+    println!("\nSensitivity: effective $/kWh folding in full server TCO (Barroso-style)");
+    let mut rows = Vec::new();
+    for rate in [0.069, 1.0, 5.0, 15.0, 30.0] {
+        let mut q = p;
+        q.dollars_per_kwh = rate;
+        let rr = evaluate(&q);
+        rows.push(vec![
+            format!("${rate}/kWh"),
+            format!("${}", fmt(rr.cpu_energy_cost)),
+            format!("${}", fmt(rr.savings)),
+            rr.nre_recovered.to_string(),
+        ]);
+    }
+    print_table(cfg.csv, &["effective rate", "CPU 3-yr cost", "savings", "NRE recovered"], &rows);
+
+    println!(
+        "\nNote (recorded in EXPERIMENTS.md): the paper reports $772M vs $4.69M\n\
+         over three years; raw energy at $0.069/kWh for a ~118 kW fleet is\n\
+         ~$214k, so the paper's figure necessarily folds in whole-server TCO.\n\
+         The model preserves the paper's conclusions: ~100x fleet-energy\n\
+         reduction, and specialization pays off under full-TCO accounting."
+    );
+}

@@ -1,0 +1,239 @@
+//! # ssam-bench — experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see DESIGN.md §4
+//! for the full index) plus Criterion microbenches over the hot
+//! primitives. Every binary accepts:
+//!
+//! ```text
+//! --scale <f64>    dataset scale factor in (0,1]; default varies per
+//!                  experiment (cycle-accurate ones default smaller)
+//! --full           shorthand for --scale 1.0 (paper cardinalities)
+//! --queries <n>    cap the query batch
+//! --csv            machine-readable CSV instead of aligned tables
+//! ```
+//!
+//! Trends (who wins, crossovers, relative factors) are stable across
+//! scales because every platform sees the same dataset; EXPERIMENTS.md
+//! records the scale used for each recorded run.
+
+#![forbid(unsafe_code)]
+
+pub mod svg;
+
+use std::sync::Arc;
+
+use ssam_core::device::{DeviceQuery, SsamConfig, SsamDevice};
+use ssam_core::isa::DRAM_BASE;
+use ssam_core::kernels::linear as kern;
+use ssam_core::sim::pu::ProcessingUnit;
+use ssam_datasets::{Benchmark, PaperDataset};
+use ssam_knn::VectorStore;
+
+/// Parsed command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Dataset scale in (0, 1].
+    pub scale: f64,
+    /// Optional query-batch cap.
+    pub queries: Option<usize>,
+    /// Emit CSV.
+    pub csv: bool,
+}
+
+impl ExpConfig {
+    /// Parses `std::env::args`, using `default_scale` when `--scale` is
+    /// absent.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args(default_scale: f64) -> Self {
+        let mut cfg = Self { scale: default_scale, queries: None, csv: false };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    cfg.scale = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a float in (0,1]"));
+                }
+                "--full" => cfg.scale = 1.0,
+                "--queries" => {
+                    i += 1;
+                    cfg.queries = Some(
+                        args.get(i)
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or_else(|| panic!("--queries needs an integer")),
+                    );
+                }
+                "--csv" => cfg.csv = true,
+                other => panic!("unknown argument `{other}` (expected --scale/--full/--queries/--csv)"),
+            }
+            i += 1;
+        }
+        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must be in (0,1]");
+        cfg
+    }
+
+    /// Loads one paper dataset at the configured scale, applying the
+    /// query cap.
+    pub fn benchmark(&self, dataset: PaperDataset) -> Benchmark {
+        let mut b = Benchmark::paper(dataset, self.scale);
+        if let Some(cap) = self.queries {
+            if cap < b.queries.len() {
+                let dims = b.queries.dims();
+                let mut q = VectorStore::with_capacity(dims, cap);
+                for i in 0..cap as u32 {
+                    q.push(b.queries.get(i));
+                }
+                b.queries = q;
+                b.ground_truth.ids.truncate(cap);
+            }
+        }
+        b
+    }
+}
+
+/// Prints a row-aligned table (or CSV when `csv` is set).
+pub fn print_table(csv: bool, headers: &[&str], rows: &[Vec<String>]) {
+    if csv {
+        println!("{}", headers.join(","));
+        for r in rows {
+            println!("{}", r.join(","));
+        }
+        return;
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for r in rows {
+        println!("{}", fmt_row(r));
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+/// Per-candidate SSAM scan costs, measured by simulating the actual
+/// kernel over a small synthetic shard. Used to extrapolate device-model
+/// timing for approximate-index queries (Fig. 7) without simulating every
+/// bucket scan cycle-by-cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanCost {
+    /// PU cycles per database vector.
+    pub cycles_per_vector: f64,
+    /// DRAM bytes per database vector.
+    pub bytes_per_vector: f64,
+}
+
+/// Measures [`ScanCost`] for the Euclidean kernel at `(dims, vl)`.
+pub fn ssam_scan_cost(dims: usize, vl: usize) -> ScanCost {
+    let kernel = kern::euclidean(dims, vl);
+    let vec_words = kernel.layout.vec_words;
+    let n = 64usize;
+    let words: Vec<i32> = (0..n * vec_words).map(|i| (i % 97) as i32).collect();
+    let mut pu = ProcessingUnit::new(vl, Arc::new(words));
+    pu.load_program(kernel.program.clone());
+    pu.scratchpad_mut()
+        .write_block(0, &vec![0i32; vec_words])
+        .expect("query fits");
+    pu.set_sreg(1, DRAM_BASE as i32);
+    pu.set_sreg(2, DRAM_BASE as i32 + (n * vec_words * 4) as i32);
+    let stats = pu.run(50_000_000).expect("kernel runs");
+    ScanCost {
+        cycles_per_vector: stats.cycles as f64 / n as f64,
+        bytes_per_vector: stats.dram.bytes_read as f64 / n as f64,
+    }
+}
+
+/// Builds a SSAM device of the given vector length preloaded with a float
+/// dataset.
+pub fn ssam_with(store: &VectorStore, vl: usize) -> SsamDevice {
+    let mut dev = SsamDevice::new(SsamConfig { vector_length: vl, ..SsamConfig::default() });
+    dev.load_vectors(store);
+    dev
+}
+
+/// Runs `n` sample queries from a benchmark through a device and returns
+/// `(queries/s, energy mJ/query)`.
+pub fn ssam_linear_estimate(dev: &mut SsamDevice, bench: &Benchmark, n: usize) -> (f64, f64) {
+    let n = n.min(bench.queries.len()).max(1);
+    let queries: Vec<Vec<f32>> = (0..n as u32).map(|i| bench.queries.get(i).to_vec()).collect();
+    let dq: Vec<DeviceQuery<'_>> = queries.iter().map(|q| DeviceQuery::Euclidean(q)).collect();
+    let est = dev.estimate_throughput(&dq, bench.k()).expect("device runs");
+    (est.queries_per_second, est.energy_mj_per_query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_cost_scales_with_dims() {
+        let small = ssam_scan_cost(32, 4);
+        let big = ssam_scan_cost(320, 4);
+        assert!(big.cycles_per_vector > 8.0 * small.cycles_per_vector);
+        assert_eq!(big.bytes_per_vector, 320.0 * 4.0);
+    }
+
+    #[test]
+    fn wider_vectors_cost_fewer_cycles() {
+        let narrow = ssam_scan_cost(128, 2);
+        let wide = ssam_scan_cost(128, 16);
+        assert!(wide.cycles_per_vector < narrow.cycles_per_vector / 4.0);
+    }
+
+    #[test]
+    fn fmt_is_compact() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.25), "42.2");
+        assert_eq!(fmt(1.5), "1.500");
+    }
+
+    #[test]
+    fn device_estimate_runs_on_tiny_benchmark() {
+        let cfg = ExpConfig { scale: 0.0005, queries: Some(2), csv: false };
+        let b = cfg.benchmark(PaperDataset::GloVe);
+        let mut dev = ssam_with(&b.train, 4);
+        let (qps, mj) = ssam_linear_estimate(&mut dev, &b, 2);
+        assert!(qps > 0.0);
+        assert!(mj > 0.0);
+    }
+
+    #[test]
+    fn query_cap_truncates_benchmark() {
+        let cfg = ExpConfig { scale: 0.0005, queries: Some(3), csv: false };
+        let b = cfg.benchmark(PaperDataset::GloVe);
+        assert_eq!(b.queries.len(), 3);
+        assert_eq!(b.ground_truth.ids.len(), 3);
+    }
+}

@@ -1,0 +1,444 @@
+//! Minimal dependency-free SVG charts for regenerating the paper's
+//! figures as image files (`make_figures` binary).
+//!
+//! Two chart forms cover the paper's evaluation graphics: log-scale line
+//! charts for the throughput-versus-accuracy curves (Figs. 2 and 7), and
+//! grouped log-scale bar charts for the platform comparisons (Fig. 6).
+//! The implementation is intentionally small: nice-number linear ticks,
+//! decade log ticks, a categorical palette, and a legend.
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in data space.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct PlotSpec {
+    /// Title above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic x axis.
+    pub log_x: bool,
+    /// Logarithmic y axis.
+    pub log_y: bool,
+    /// Canvas width in px.
+    pub width: u32,
+    /// Canvas height in px.
+    pub height: u32,
+}
+
+impl Default for PlotSpec {
+    fn default() -> Self {
+        Self {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+            log_y: true,
+            width: 720,
+            height: 480,
+        }
+    }
+}
+
+/// Paul Tol's "bright" categorical palette (colorblind-safe).
+const PALETTE: [&str; 8] = [
+    "#4477AA", "#EE6677", "#228833", "#CCBB44", "#66CCEE", "#AA3377", "#BBBBBB", "#222222",
+];
+
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// Nice-number tick positions for a linear axis (round steps of
+/// 1/2/5 × 10^k covering `[lo, hi]`).
+pub fn linear_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi <= lo || !lo.is_finite() || !hi.is_finite() {
+        return vec![lo];
+    }
+    let span = hi - lo;
+    let raw = span / target.max(2) as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let mut t = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    while t <= hi + step * 1e-9 {
+        out.push(t);
+        t += step;
+    }
+    out
+}
+
+/// Decade tick positions for a log axis over `[lo, hi]` (both > 0).
+pub fn log_ticks(lo: f64, hi: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut d = 10f64.powf(lo.log10().floor());
+    while d <= hi * (1.0 + 1e-9) {
+        if d >= lo / (1.0 + 1e-9) {
+            out.push(d);
+        }
+        d *= 10.0;
+    }
+    if out.is_empty() {
+        out.push(lo);
+    }
+    out
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-2..1e5).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+struct Scale {
+    lo: f64,
+    hi: f64,
+    log: bool,
+    px_lo: f64,
+    px_hi: f64,
+}
+
+impl Scale {
+    fn map(&self, v: f64) -> f64 {
+        let (lo, hi, v) = if self.log {
+            (self.lo.log10(), self.hi.log10(), v.max(self.lo * 1e-3).log10())
+        } else {
+            (self.lo, self.hi, v)
+        };
+        let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+        self.px_lo + t.clamp(0.0, 1.0) * (self.px_hi - self.px_lo)
+    }
+}
+
+fn data_bounds(series: &[Series], log: bool, axis_y: bool) -> (f64, f64) {
+    let vals = series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .map(|&(x, y)| if axis_y { y } else { x })
+        .filter(|v| v.is_finite() && (!log || *v > 0.0));
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() {
+        return (if log { 0.1 } else { 0.0 }, 1.0);
+    }
+    if lo == hi {
+        if log {
+            return (lo / 10.0, hi * 10.0);
+        }
+        return (lo - 0.5, hi + 0.5);
+    }
+    if !log {
+        let pad = (hi - lo) * 0.05;
+        return ((lo - pad).min(0.0).max(if lo >= 0.0 { 0.0 } else { lo - pad }), hi + pad);
+    }
+    (lo, hi)
+}
+
+/// Renders a line chart with per-series markers and a legend.
+pub fn line_chart(spec: &PlotSpec, series: &[Series]) -> String {
+    let w = spec.width as f64;
+    let h = spec.height as f64;
+    let (x_lo, x_hi) = data_bounds(series, spec.log_x, false);
+    let (y_lo, y_hi) = data_bounds(series, spec.log_y, true);
+    let sx = Scale { lo: x_lo, hi: x_hi, log: spec.log_x, px_lo: MARGIN_L, px_hi: w - MARGIN_R };
+    let sy = Scale { lo: y_lo, hi: y_hi, log: spec.log_y, px_lo: h - MARGIN_B, px_hi: MARGIN_T };
+
+    let mut svg = header(spec, w, h);
+    svg.push_str(&frame_and_axes(spec, &sx, &sy, w, h));
+
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .filter(|(x, y)| {
+                x.is_finite() && y.is_finite() && (!spec.log_x || *x > 0.0) && (!spec.log_y || *y > 0.0)
+            })
+            .map(|&(x, y)| (sx.map(x), sy.map(y)))
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if pts.len() > 1 {
+            let path: String = pts
+                .iter()
+                .map(|(x, y)| format!("{x:.1},{y:.1}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            svg.push_str(&format!(
+                "<polyline points=\"{path}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n"
+            ));
+        }
+        for (x, y) in &pts {
+            svg.push_str(&format!(
+                "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"3\" fill=\"{color}\"/>\n"
+            ));
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 18.0 * i as f64 + 8.0;
+        let lx = w - MARGIN_R + 12.0;
+        svg.push_str(&format!(
+            "<rect x=\"{lx}\" y=\"{}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\n\
+             <text x=\"{}\" y=\"{}\" font-size=\"12\">{}</text>\n",
+            ly - 10.0,
+            lx + 17.0,
+            ly,
+            esc(&s.label)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders a grouped bar chart: one cluster per `group`, one bar per
+/// series, log-scale y.
+pub fn grouped_bar_chart(
+    spec: &PlotSpec,
+    groups: &[String],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    let w = spec.width as f64;
+    let h = spec.height as f64;
+    let vals: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = vals.iter().copied().fold(0.0f64, f64::max);
+    let (y_lo, y_hi) = if lo.is_finite() && hi > 0.0 { (lo / 2.0, hi * 1.5) } else { (0.1, 1.0) };
+    let sy = Scale { lo: y_lo, hi: y_hi, log: true, px_lo: h - MARGIN_B, px_hi: MARGIN_T };
+
+    let mut svg = header(spec, w, h);
+    // Y axis (log decades) + frame.
+    let sx_dummy = Scale { lo: 0.0, hi: 1.0, log: false, px_lo: MARGIN_L, px_hi: w - MARGIN_R };
+    svg.push_str(&frame_and_axes(
+        &PlotSpec { log_y: true, ..spec.clone() },
+        &sx_dummy,
+        &sy,
+        w,
+        h,
+    ));
+
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let group_w = plot_w / groups.len().max(1) as f64;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+    for (gi, group) in groups.iter().enumerate() {
+        let gx = MARGIN_L + gi as f64 * group_w;
+        for (si, (label, vals)) in series.iter().enumerate() {
+            let v = vals.get(gi).copied().unwrap_or(f64::NAN);
+            if !v.is_finite() || v <= 0.0 {
+                continue;
+            }
+            let color = PALETTE[si % PALETTE.len()];
+            let x = gx + group_w * 0.1 + si as f64 * bar_w;
+            let y = sy.map(v);
+            let base = h - MARGIN_B;
+            svg.push_str(&format!(
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{color}\"><title>{}: {v:.3}</title></rect>\n",
+                bar_w * 0.9,
+                (base - y).max(0.0),
+                esc(label),
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\">{}</text>\n",
+            gx + group_w / 2.0,
+            h - MARGIN_B + 18.0,
+            esc(group)
+        ));
+    }
+    // Legend.
+    for (si, (label, _)) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let ly = MARGIN_T + 18.0 * si as f64 + 8.0;
+        let lx = w - MARGIN_R + 12.0;
+        svg.push_str(&format!(
+            "<rect x=\"{lx}\" y=\"{}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\n\
+             <text x=\"{}\" y=\"{}\" font-size=\"12\">{}</text>\n",
+            ly - 10.0,
+            lx + 17.0,
+            ly,
+            esc(label)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn header(spec: &PlotSpec, w: f64, h: f64) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\">\n\
+         <rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n\
+         <text x=\"{:.1}\" y=\"22\" font-size=\"15\" text-anchor=\"middle\" font-weight=\"bold\">{}</text>\n",
+        w / 2.0,
+        esc(&spec.title)
+    )
+}
+
+fn frame_and_axes(spec: &PlotSpec, sx: &Scale, sy: &Scale, w: f64, h: f64) -> String {
+    let mut out = String::new();
+    let (left, right, top, bottom) = (MARGIN_L, w - MARGIN_R, MARGIN_T, h - MARGIN_B);
+    out.push_str(&format!(
+        "<rect x=\"{left}\" y=\"{top}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"none\" stroke=\"#888\"/>\n",
+        right - left,
+        bottom - top
+    ));
+    // Y ticks + gridlines.
+    let yticks = if spec.log_y { log_ticks(sy.lo, sy.hi) } else { linear_ticks(sy.lo, sy.hi, 6) };
+    for t in yticks {
+        let y = sy.map(t);
+        out.push_str(&format!(
+            "<line x1=\"{left}\" y1=\"{y:.1}\" x2=\"{right}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"end\">{}</text>\n",
+            left - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        ));
+    }
+    // X ticks (line charts only — bar charts label groups themselves).
+    if sx.hi > sx.lo {
+        let xticks = if spec.log_x { log_ticks(sx.lo, sx.hi) } else { linear_ticks(sx.lo, sx.hi, 6) };
+        for t in xticks {
+            let x = sx.map(t);
+            out.push_str(&format!(
+                "<line x1=\"{x:.1}\" y1=\"{top}\" x2=\"{x:.1}\" y2=\"{bottom}\" stroke=\"#eee\"/>\n\
+                 <text x=\"{x:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"middle\">{}</text>\n",
+                bottom + 16.0,
+                fmt_tick(t)
+            ));
+        }
+    }
+    // Axis labels.
+    out.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\">{}</text>\n",
+        (left + right) / 2.0,
+        h - 14.0,
+        esc(&spec.x_label)
+    ));
+    out.push_str(&format!(
+        "<text x=\"16\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 16 {:.1})\">{}</text>\n",
+        (top + bottom) / 2.0,
+        (top + bottom) / 2.0,
+        esc(&spec.y_label)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PlotSpec {
+        PlotSpec {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            ..PlotSpec::default()
+        }
+    }
+
+    #[test]
+    fn linear_ticks_are_round_and_cover() {
+        let t = linear_ticks(0.0, 1.0, 5);
+        assert!(t.contains(&0.0) && t.contains(&1.0));
+        assert!(t.len() >= 4 && t.len() <= 8);
+        let t = linear_ticks(3.0, 97.0, 5);
+        assert!(t.iter().all(|v| (v / 20.0).fract().abs() < 1e-9));
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        assert_eq!(log_ticks(0.5, 2000.0), vec![1.0, 10.0, 100.0, 1000.0]);
+        assert_eq!(log_ticks(10.0, 10.0), vec![10.0]);
+    }
+
+    #[test]
+    fn line_chart_renders_series_and_legend() {
+        let s = vec![
+            Series { label: "a".into(), points: vec![(0.1, 10.0), (0.5, 100.0), (0.9, 1000.0)] },
+            Series { label: "b<x>".into(), points: vec![(0.1, 5.0), (0.9, 50.0)] },
+        ];
+        let svg = line_chart(&spec(), &s);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("b&lt;x&gt;"), "labels must be escaped");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_do_not_panic() {
+        let svg = line_chart(&spec(), &[]);
+        assert!(svg.contains("</svg>"));
+        let one = vec![Series { label: "p".into(), points: vec![(1.0, 1.0)] }];
+        let svg = line_chart(&spec(), &one);
+        assert_eq!(svg.matches("<circle").count(), 1);
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let s = vec![Series { label: "a".into(), points: vec![(0.5, 0.0), (0.5, -3.0), (0.5, 7.0)] }];
+        let svg = line_chart(&spec(), &s);
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn bar_chart_renders_groups_and_bars() {
+        let groups = vec!["GloVe".to_string(), "GIST".to_string()];
+        let series = vec![
+            ("CPU".to_string(), vec![1.0, 2.0]),
+            ("SSAM".to_string(), vec![100.0, 200.0]),
+        ];
+        let svg = grouped_bar_chart(&spec(), &groups, &series);
+        // 4 bars + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 4 + 2 + 2); // + frame + background
+        assert!(svg.contains("GloVe"));
+        assert!(svg.contains("SSAM"));
+    }
+
+    #[test]
+    fn bar_chart_skips_missing_values() {
+        let groups = vec!["a".to_string(), "b".to_string()];
+        let series = vec![("s".to_string(), vec![5.0])]; // second group missing
+        let svg = grouped_bar_chart(&spec(), &groups, &series);
+        assert_eq!(svg.matches("<title>").count(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Accelerator area model, calibrated to the paper's Table IV.
+//!
+//! Post-place-and-route area per module of the SSAM acceleration logic,
+//! normalized to 28 nm, for each vector-length design point. "A large
+//! portion of the accelerator design is devoted to the SRAMs composing the
+//! scratchpad memory. However, relative to the CPU or GPU, the SSAM
+//! acceleration logic is still significantly smaller." (Section V-A.)
+
+use serde::{Deserialize, Serialize};
+
+/// Per-module area in mm² at 28 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModuleArea {
+    /// Priority-queue unit.
+    pub pqueue: f64,
+    /// Stack unit.
+    pub stack: f64,
+    /// Scalar + vector ALUs.
+    pub alus: f64,
+    /// Scratchpad SRAM.
+    pub scratchpad: f64,
+    /// Register files.
+    pub regfiles: f64,
+    /// Instruction memory.
+    pub ins_memory: f64,
+    /// Pipeline registers and control.
+    pub pipeline: f64,
+}
+
+impl ModuleArea {
+    /// Total accelerator-logic area.
+    pub fn total(&self) -> f64 {
+        self.pqueue
+            + self.stack
+            + self.alus
+            + self.scratchpad
+            + self.regfiles
+            + self.ins_memory
+            + self.pipeline
+    }
+}
+
+/// Calibrated module areas per vector length (paper Table IV).
+pub fn module_area(vl: usize) -> ModuleArea {
+    match vl {
+        2 => ModuleArea {
+            pqueue: 1.07,
+            stack: 0.52,
+            alus: 1.20,
+            scratchpad: 20.70,
+            regfiles: 1.35,
+            ins_memory: 4.76,
+            pipeline: 0.92,
+        },
+        4 => ModuleArea {
+            pqueue: 1.06,
+            stack: 0.52,
+            alus: 1.65,
+            scratchpad: 27.28,
+            regfiles: 1.78,
+            ins_memory: 4.76,
+            pipeline: 1.29,
+        },
+        8 => ModuleArea {
+            pqueue: 1.04,
+            stack: 0.51,
+            alus: 3.55,
+            scratchpad: 43.53,
+            regfiles: 2.64,
+            ins_memory: 4.76,
+            pipeline: 2.18,
+        },
+        16 => ModuleArea {
+            pqueue: 1.04,
+            stack: 0.51,
+            alus: 6.79,
+            scratchpad: 76.26,
+            regfiles: 4.33,
+            ins_memory: 4.76,
+            pipeline: 3.79,
+        },
+        other => panic!("no Table IV calibration for vector length {other}"),
+    }
+}
+
+/// Scales an area from `from_nm` to `to_nm` with the linear-per-dimension
+/// factor the paper uses ("normalized to 28 nm technology using linear
+/// scaling factors"): area scales with the square of feature size.
+pub fn scale_area(area_mm2: f64, from_nm: f64, to_nm: f64) -> f64 {
+    area_mm2 * (to_nm / from_nm).powi(2)
+}
+
+/// HMC 1.0 logic-die area quoted by the paper: 729 mm² at 90 nm, ≈ 70.6
+/// mm² normalized to 28 nm — "roughly the same or larger than our SSAM
+/// accelerator design".
+pub fn hmc_die_area_28nm() -> f64 {
+    scale_area(729.0, 90.0, 28.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_table_iv() {
+        assert_eq!(module_area(2).scratchpad, 20.70);
+        assert_eq!(module_area(16).alus, 6.79);
+        // Row sums match the paper's printed totals.
+        assert!((module_area(2).total() - 30.52).abs() < 1e-9);
+        assert!((module_area(4).total() - 38.34).abs() < 1e-9);
+        assert!((module_area(8).total() - 58.21).abs() < 1e-9);
+        assert!((module_area(16).total() - 97.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratchpad_dominates_area() {
+        for vl in [2, 4, 8, 16] {
+            let a = module_area(vl);
+            assert!(a.scratchpad > 0.5 * a.total(), "VL={vl}");
+        }
+    }
+
+    #[test]
+    fn area_grows_with_vector_length() {
+        let t: Vec<f64> = [2, 4, 8, 16].iter().map(|&v| module_area(v).total()).collect();
+        for w in t.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn technology_scaling_is_quadratic() {
+        assert!((scale_area(100.0, 65.0, 28.0) - 100.0 * (28.0f64 / 65.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmc_die_normalization_matches_paper() {
+        // Paper: "normalized to a 28 nm process, the die size would be
+        // ≈ 70.6 mm²".
+        assert!((hmc_die_area_28nm() - 70.56).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Table IV calibration")]
+    fn uncalibrated_vl_panics() {
+        let _ = module_area(5);
+    }
+}

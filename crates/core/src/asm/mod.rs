@@ -1,0 +1,30 @@
+//! Two-pass assembler for SSAM PU assembly.
+//!
+//! The paper's methodology (Section IV): "We also built an assembler and
+//! simulator to generate program binaries, benchmark assembly programs,
+//! and validate the correctness of our design. … Each benchmark is
+//! handwritten using our instruction set defined in Table II."
+//!
+//! ## Syntax
+//!
+//! ```text
+//! ; comment until end of line
+//! loop:                       ; labels end with ':'
+//!     addi  s1, s1, 1         ; scalar immediate ALU
+//!     vload v0, s2, 0         ; vector load VL words at [s2 + 0]
+//!     vsub  v0, v0, v1
+//!     vmult v0, v0, v0        ; Q16.16 multiply
+//!     bne   s1, s3, loop      ; branch to label
+//!     pqueue_insert s4, s5
+//!     halt
+//! ```
+//!
+//! Registers are `s0`–`s31` and `v0`–`v7`; immediates are decimal or
+//! `0x` hex; branch/jump targets are labels or absolute instruction
+//! indices; `pqueue_load`'s third operand is `id`, `value`, or `size`.
+//! Shift instructions (`sl`/`sr`/`sra`) accept a register or an immediate
+//! shift amount.
+
+pub mod parser;
+
+pub use parser::{assemble, disassemble, AsmError};

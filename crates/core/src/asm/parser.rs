@@ -1,0 +1,701 @@
+//! Assembly parsing and program assembly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::inst::{AluOp, BranchCond, Instruction, PqField, UnaryOp};
+use crate::isa::reg::{SReg, VReg, NUM_SCALAR_REGS, NUM_VECTOR_REGS};
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// One operand token.
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    SReg(SReg),
+    VReg(VReg),
+    Imm(i64),
+    Symbol(String),
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    let t = tok.trim();
+    if t.is_empty() {
+        return Err(err(line, "empty operand"));
+    }
+    // Register?
+    if let Some(rest) = t.strip_prefix('s') {
+        if let Ok(n) = rest.parse::<u8>() {
+            if (n as usize) < NUM_SCALAR_REGS {
+                return Ok(Operand::SReg(SReg(n)));
+            }
+            return Err(err(line, format!("scalar register {t} out of range")));
+        }
+    }
+    if let Some(rest) = t.strip_prefix('v') {
+        if let Ok(n) = rest.parse::<u8>() {
+            if (n as usize) < NUM_VECTOR_REGS {
+                return Ok(Operand::VReg(VReg(n)));
+            }
+            return Err(err(line, format!("vector register {t} out of range")));
+        }
+    }
+    // Immediate?
+    let (neg, digits) = match t.strip_prefix('-') {
+        Some(d) => (true, d),
+        None => (false, t),
+    };
+    let parsed = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+    {
+        i64::from_str_radix(hex, 16).ok()
+    } else if digits.chars().all(|c| c.is_ascii_digit()) && !digits.is_empty() {
+        digits.parse::<i64>().ok()
+    } else {
+        None
+    };
+    if let Some(v) = parsed {
+        return Ok(Operand::Imm(if neg { -v } else { v }));
+    }
+    // Otherwise a symbol (label or pqueue field name).
+    if t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+        Ok(Operand::Symbol(t.to_string()))
+    } else {
+        Err(err(line, format!("malformed operand `{t}`")))
+    }
+}
+
+struct SourceLine {
+    line: usize,
+    mnemonic: String,
+    operands: Vec<Operand>,
+}
+
+/// Strips comment, splits off labels, tokenizes one line. Returns
+/// `(labels, Option<SourceLine>)`.
+fn scan_line(raw: &str, line: usize) -> Result<(Vec<String>, Option<SourceLine>), AsmError> {
+    let code = raw.split(';').next().unwrap_or("");
+    let mut rest = code.trim();
+    let mut labels = Vec::new();
+    // Leading labels: `name:`.
+    while let Some(colon) = rest.find(':') {
+        let (head, tail) = rest.split_at(colon);
+        let name = head.trim();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        {
+            return Err(err(line, format!("malformed label `{name}`")));
+        }
+        labels.push(name.to_string());
+        rest = tail[1..].trim();
+    }
+    if rest.is_empty() {
+        return Ok((labels, None));
+    }
+    let mut parts = rest.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().expect("non-empty").to_ascii_lowercase();
+    let operands = match parts.next() {
+        Some(ops) if !ops.trim().is_empty() => ops
+            .split(',')
+            .map(|t| parse_operand(t, line))
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => Vec::new(),
+    };
+    Ok((labels, Some(SourceLine { line, mnemonic, operands })))
+}
+
+/// Assembles source text into a program (a vector of instructions).
+///
+/// Supports a `.equ` directive binding a named constant usable wherever
+/// an immediate is expected:
+///
+/// ```text
+/// .equ DIMS, 100
+///     addi s6, s0, DIMS
+/// ```
+///
+/// Errors carry the offending 1-based line number.
+pub fn assemble(source: &str) -> Result<Vec<Instruction>, AsmError> {
+    // Pass 1: scan lines, record label → instruction-index bindings and
+    // `.equ` constants.
+    let mut lines = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut equs: HashMap<String, i64> = HashMap::new();
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let (lbls, code) = scan_line(raw, lineno)?;
+        for l in lbls {
+            if labels.insert(l.clone(), lines.len() as u32).is_some() {
+                return Err(err(lineno, format!("duplicate label `{l}`")));
+            }
+        }
+        let Some(sl) = code else { continue };
+        if sl.mnemonic == ".equ" {
+            let [name, value] = sl.operands.as_slice() else {
+                return Err(err(lineno, "`.equ` expects a name and a value"));
+            };
+            let Operand::Symbol(name) = name else {
+                return Err(err(lineno, "`.equ` name must be an identifier"));
+            };
+            let Operand::Imm(v) = value else {
+                return Err(err(lineno, "`.equ` value must be an immediate"));
+            };
+            if equs.insert(name.clone(), *v).is_some() {
+                return Err(err(lineno, format!("duplicate constant `{name}`")));
+            }
+            continue;
+        }
+        lines.push(sl);
+    }
+
+    // Pass 2: encode.
+    let mut program = Vec::with_capacity(lines.len());
+    for sl in &lines {
+        program.push(encode_line(sl, &labels, &equs)?);
+    }
+    Ok(program)
+}
+
+/// Renders a program back to assembly text (one instruction per line,
+/// numeric branch targets).
+pub fn disassemble(program: &[Instruction]) -> String {
+    let mut out = String::new();
+    for (i, inst) in program.iter().enumerate() {
+        out.push_str(&format!("{i:>5}:  {inst}\n"));
+    }
+    out
+}
+
+fn want(n: usize, sl: &SourceLine) -> Result<(), AsmError> {
+    if sl.operands.len() != n {
+        Err(err(
+            sl.line,
+            format!("`{}` expects {n} operand(s), got {}", sl.mnemonic, sl.operands.len()),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn as_sreg(op: &Operand, sl: &SourceLine) -> Result<SReg, AsmError> {
+    match op {
+        Operand::SReg(r) => Ok(*r),
+        other => Err(err(sl.line, format!("expected scalar register, got {other:?}"))),
+    }
+}
+
+fn as_vreg(op: &Operand, sl: &SourceLine) -> Result<VReg, AsmError> {
+    match op {
+        Operand::VReg(r) => Ok(*r),
+        other => Err(err(sl.line, format!("expected vector register, got {other:?}"))),
+    }
+}
+
+fn as_imm(op: &Operand, equs: &HashMap<String, i64>, sl: &SourceLine) -> Result<i32, AsmError> {
+    let v = match op {
+        Operand::Imm(v) => *v,
+        Operand::Symbol(name) => *equs
+            .get(name)
+            .ok_or_else(|| err(sl.line, format!("undefined constant `{name}`")))?,
+        other => return Err(err(sl.line, format!("expected immediate, got {other:?}"))),
+    };
+    i32::try_from(v).map_err(|_| err(sl.line, format!("immediate {v} out of 32-bit range")))
+}
+
+fn as_target(op: &Operand, labels: &HashMap<String, u32>, sl: &SourceLine) -> Result<u32, AsmError> {
+    match op {
+        Operand::Imm(v) if *v >= 0 => Ok(*v as u32),
+        Operand::Imm(v) => Err(err(sl.line, format!("negative branch target {v}"))),
+        Operand::Symbol(name) => labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(sl.line, format!("undefined label `{name}`"))),
+        other => Err(err(sl.line, format!("expected label or address, got {other:?}"))),
+    }
+}
+
+fn encode_line(
+    sl: &SourceLine,
+    labels: &HashMap<String, u32>,
+    equs: &HashMap<String, i64>,
+) -> Result<Instruction, AsmError> {
+    use Instruction as I;
+    let m = sl.mnemonic.as_str();
+
+    // Scalar ALU reg-reg / reg-imm pairs.
+    let salu = |op: AluOp| -> Result<Instruction, AsmError> {
+        want(3, sl)?;
+        let rd = as_sreg(&sl.operands[0], sl)?;
+        let rs1 = as_sreg(&sl.operands[1], sl)?;
+        match &sl.operands[2] {
+            Operand::SReg(rs2) => Ok(I::SAlu { op, rd, rs1, rs2: *rs2 }),
+            Operand::Imm(_) | Operand::Symbol(_) => {
+                Ok(I::SAluImm { op, rd, rs1, imm: as_imm(&sl.operands[2], equs, sl)? })
+            }
+            other => Err(err(sl.line, format!("expected register or immediate, got {other:?}"))),
+        }
+    };
+    let salu_imm = |op: AluOp| -> Result<Instruction, AsmError> {
+        want(3, sl)?;
+        Ok(I::SAluImm {
+            op,
+            rd: as_sreg(&sl.operands[0], sl)?,
+            rs1: as_sreg(&sl.operands[1], sl)?,
+            imm: as_imm(&sl.operands[2], equs, sl)?,
+        })
+    };
+    let valu = |op: AluOp| -> Result<Instruction, AsmError> {
+        want(3, sl)?;
+        let vd = as_vreg(&sl.operands[0], sl)?;
+        let vs1 = as_vreg(&sl.operands[1], sl)?;
+        match &sl.operands[2] {
+            Operand::VReg(vs2) => Ok(I::VAlu { op, vd, vs1, vs2: *vs2 }),
+            Operand::Imm(_) | Operand::Symbol(_) => {
+                Ok(I::VAluImm { op, vd, vs1, imm: as_imm(&sl.operands[2], equs, sl)? })
+            }
+            other => Err(err(sl.line, format!("expected register or immediate, got {other:?}"))),
+        }
+    };
+    let valu_imm = |op: AluOp| -> Result<Instruction, AsmError> {
+        want(3, sl)?;
+        Ok(I::VAluImm {
+            op,
+            vd: as_vreg(&sl.operands[0], sl)?,
+            vs1: as_vreg(&sl.operands[1], sl)?,
+            imm: as_imm(&sl.operands[2], equs, sl)?,
+        })
+    };
+    let branch = |cond: BranchCond| -> Result<Instruction, AsmError> {
+        want(3, sl)?;
+        Ok(I::Branch {
+            cond,
+            rs1: as_sreg(&sl.operands[0], sl)?,
+            rs2: as_sreg(&sl.operands[1], sl)?,
+            target: as_target(&sl.operands[2], labels, sl)?,
+        })
+    };
+
+    match m {
+        "add" => salu(AluOp::Add),
+        "sub" => salu(AluOp::Sub),
+        "mult" => salu(AluOp::Mult),
+        "or" => salu(AluOp::Or),
+        "and" => salu(AluOp::And),
+        "xor" => salu(AluOp::Xor),
+        "sl" => salu(AluOp::Sl),
+        "sr" => salu(AluOp::Sr),
+        "sra" => salu(AluOp::Sra),
+        "addi" => salu_imm(AluOp::Add),
+        "subi" => salu_imm(AluOp::Sub),
+        "multi" => salu_imm(AluOp::Mult),
+        "andi" => salu_imm(AluOp::And),
+        "ori" => salu_imm(AluOp::Or),
+        "xori" => salu_imm(AluOp::Xor),
+        "not" => {
+            want(2, sl)?;
+            Ok(I::SUnary {
+                op: UnaryOp::Not,
+                rd: as_sreg(&sl.operands[0], sl)?,
+                rs1: as_sreg(&sl.operands[1], sl)?,
+            })
+        }
+        "popcount" => {
+            want(2, sl)?;
+            Ok(I::SUnary {
+                op: UnaryOp::Popcount,
+                rd: as_sreg(&sl.operands[0], sl)?,
+                rs1: as_sreg(&sl.operands[1], sl)?,
+            })
+        }
+        "bne" => branch(BranchCond::Ne),
+        "bgt" => branch(BranchCond::Gt),
+        "blt" => branch(BranchCond::Lt),
+        "be" => branch(BranchCond::Eq),
+        "j" => {
+            want(1, sl)?;
+            Ok(I::Jump { target: as_target(&sl.operands[0], labels, sl)? })
+        }
+        "halt" => {
+            want(0, sl)?;
+            Ok(I::Halt)
+        }
+        "push" => {
+            want(1, sl)?;
+            Ok(I::Push { rs1: as_sreg(&sl.operands[0], sl)? })
+        }
+        "pop" => {
+            want(1, sl)?;
+            Ok(I::Pop { rd: as_sreg(&sl.operands[0], sl)? })
+        }
+        "pqueue_insert" => {
+            want(2, sl)?;
+            Ok(I::PqueueInsert {
+                rs_id: as_sreg(&sl.operands[0], sl)?,
+                rs_val: as_sreg(&sl.operands[1], sl)?,
+            })
+        }
+        "pqueue_load" => {
+            want(3, sl)?;
+            let field = match &sl.operands[2] {
+                Operand::Symbol(s) if s == "id" => PqField::Id,
+                Operand::Symbol(s) if s == "value" => PqField::Value,
+                Operand::Symbol(s) if s == "size" => PqField::Size,
+                other => {
+                    return Err(err(
+                        sl.line,
+                        format!("pqueue_load field must be id/value/size, got {other:?}"),
+                    ))
+                }
+            };
+            Ok(I::PqueueLoad {
+                rd: as_sreg(&sl.operands[0], sl)?,
+                rs_idx: as_sreg(&sl.operands[1], sl)?,
+                field,
+            })
+        }
+        "pqueue_reset" => {
+            want(0, sl)?;
+            Ok(I::PqueueReset)
+        }
+        "sfxp" => {
+            want(3, sl)?;
+            Ok(I::Sfxp {
+                rd: as_sreg(&sl.operands[0], sl)?,
+                rs1: as_sreg(&sl.operands[1], sl)?,
+                rs2: as_sreg(&sl.operands[2], sl)?,
+            })
+        }
+        "vfxp" => {
+            want(3, sl)?;
+            Ok(I::Vfxp {
+                vd: as_vreg(&sl.operands[0], sl)?,
+                vs1: as_vreg(&sl.operands[1], sl)?,
+                vs2: as_vreg(&sl.operands[2], sl)?,
+            })
+        }
+        "load" => {
+            want(3, sl)?;
+            Ok(I::Load {
+                rd: as_sreg(&sl.operands[0], sl)?,
+                rs_base: as_sreg(&sl.operands[1], sl)?,
+                offset: as_imm(&sl.operands[2], equs, sl)?,
+            })
+        }
+        "store" => {
+            want(3, sl)?;
+            Ok(I::Store {
+                rs_val: as_sreg(&sl.operands[0], sl)?,
+                rs_base: as_sreg(&sl.operands[1], sl)?,
+                offset: as_imm(&sl.operands[2], equs, sl)?,
+            })
+        }
+        "mem_fetch" => {
+            want(2, sl)?;
+            Ok(I::MemFetch {
+                rs_base: as_sreg(&sl.operands[0], sl)?,
+                len: as_imm(&sl.operands[1], equs, sl)?,
+            })
+        }
+        "svmove" => {
+            want(3, sl)?;
+            let lane = as_imm(&sl.operands[2], equs, sl)?;
+            if !(-1..=127).contains(&lane) {
+                return Err(err(sl.line, format!("svmove lane {lane} out of range")));
+            }
+            Ok(I::SvMove {
+                vd: as_vreg(&sl.operands[0], sl)?,
+                rs1: as_sreg(&sl.operands[1], sl)?,
+                lane: lane as i8,
+            })
+        }
+        "vsmove" => {
+            want(3, sl)?;
+            let lane = as_imm(&sl.operands[2], equs, sl)?;
+            if !(0..=255).contains(&lane) {
+                return Err(err(sl.line, format!("vsmove lane {lane} out of range")));
+            }
+            Ok(I::VsMove {
+                rd: as_sreg(&sl.operands[0], sl)?,
+                vs1: as_vreg(&sl.operands[1], sl)?,
+                lane: lane as u8,
+            })
+        }
+        "vadd" => valu(AluOp::Add),
+        "vsub" => valu(AluOp::Sub),
+        "vmult" => valu(AluOp::Mult),
+        "vor" => valu(AluOp::Or),
+        "vand" => valu(AluOp::And),
+        "vxor" => valu(AluOp::Xor),
+        "vsl" => valu(AluOp::Sl),
+        "vsr" => valu(AluOp::Sr),
+        "vsra" => valu(AluOp::Sra),
+        "vaddi" => valu_imm(AluOp::Add),
+        "vsubi" => valu_imm(AluOp::Sub),
+        "vmulti" => valu_imm(AluOp::Mult),
+        "vandi" => valu_imm(AluOp::And),
+        "vori" => valu_imm(AluOp::Or),
+        "vxori" => valu_imm(AluOp::Xor),
+        "vnot" => {
+            want(2, sl)?;
+            Ok(I::VUnary {
+                op: UnaryOp::Not,
+                vd: as_vreg(&sl.operands[0], sl)?,
+                vs1: as_vreg(&sl.operands[1], sl)?,
+            })
+        }
+        "vpopcount" => {
+            want(2, sl)?;
+            Ok(I::VUnary {
+                op: UnaryOp::Popcount,
+                vd: as_vreg(&sl.operands[0], sl)?,
+                vs1: as_vreg(&sl.operands[1], sl)?,
+            })
+        }
+        "vload" => {
+            want(3, sl)?;
+            Ok(I::VLoad {
+                vd: as_vreg(&sl.operands[0], sl)?,
+                rs_base: as_sreg(&sl.operands[1], sl)?,
+                offset: as_imm(&sl.operands[2], equs, sl)?,
+            })
+        }
+        "vstore" => {
+            want(3, sl)?;
+            Ok(I::VStore {
+                vs: as_vreg(&sl.operands[0], sl)?,
+                rs_base: as_sreg(&sl.operands[1], sl)?,
+                offset: as_imm(&sl.operands[2], equs, sl)?,
+            })
+        }
+        unknown => Err(err(sl.line, format!("unknown mnemonic `{unknown}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::inst::Instruction as I;
+
+    #[test]
+    fn assembles_basic_program() {
+        let src = "
+            ; simple counting loop
+            addi s1, s0, 0
+            addi s2, s0, 10
+        loop:
+            addi s1, s1, 1
+            bne  s1, s2, loop
+            halt
+        ";
+        let p = assemble(src).expect("assembles");
+        assert_eq!(p.len(), 5);
+        assert!(matches!(p[3], I::Branch { target: 2, .. }));
+        assert!(matches!(p[4], I::Halt));
+    }
+
+    #[test]
+    fn labels_can_be_forward_references() {
+        let src = "
+            j end
+            addi s1, s0, 1
+        end: halt
+        ";
+        let p = assemble(src).expect("assembles");
+        assert!(matches!(p[0], I::Jump { target: 2 }));
+    }
+
+    #[test]
+    fn shift_accepts_register_or_immediate() {
+        let p = assemble("sl s1, s2, 4\nsl s1, s2, s3\nhalt").expect("assembles");
+        assert!(matches!(p[0], I::SAluImm { .. }));
+        assert!(matches!(p[1], I::SAlu { .. }));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("addi s1, s0, 0x10\naddi s2, s0, -5\nhalt").expect("assembles");
+        assert!(matches!(p[0], I::SAluImm { imm: 16, .. }));
+        assert!(matches!(p[1], I::SAluImm { imm: -5, .. }));
+    }
+
+    #[test]
+    fn pqueue_fields_parse() {
+        let p = assemble(
+            "pqueue_load s1, s2, id\npqueue_load s1, s2, value\npqueue_load s1, s2, size\nhalt",
+        )
+        .expect("assembles");
+        assert!(matches!(p[0], I::PqueueLoad { field: PqField::Id, .. }));
+        assert!(matches!(p[1], I::PqueueLoad { field: PqField::Value, .. }));
+        assert!(matches!(p[2], I::PqueueLoad { field: PqField::Size, .. }));
+    }
+
+    #[test]
+    fn vector_mnemonics_parse() {
+        let p = assemble("vload v0, s1, 0\nvsub v0, v0, v1\nvmult v0, v0, v0\nvfxp v2, v0, v1\nhalt")
+            .expect("assembles");
+        assert!(matches!(p[0], I::VLoad { .. }));
+        assert!(matches!(p[1], I::VAlu { op: AluOp::Sub, .. }));
+        assert!(matches!(p[3], I::Vfxp { .. }));
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let e = assemble("j nowhere").expect_err("should fail");
+        assert!(e.message.contains("undefined label"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let e = assemble("a: halt\na: halt").expect_err("should fail");
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("halt\nfrobnicate s1").expect_err("should fail");
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_an_error() {
+        let e = assemble("add s1, s2").expect_err("should fail");
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn wrong_register_class_is_an_error() {
+        let e = assemble("vadd s1, v1, v2").expect_err("should fail");
+        assert!(e.message.contains("expected vector register"));
+    }
+
+    #[test]
+    fn register_out_of_range_is_an_error() {
+        let e = assemble("add s32, s0, s0").expect_err("should fail");
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn disassemble_then_reassemble_is_identity() {
+        let src = "
+        start:
+            addi s1, s0, 0
+            addi s3, s0, 0x100
+        loop:
+            vload v0, s3, 0
+            vsub  v0, v0, v1
+            vmult v0, v0, v0
+            vadd  v2, v2, v0
+            addi  s1, s1, 1
+            blt   s1, s2, loop
+            vsmove s4, v2, 0
+            pqueue_insert s1, s4
+            halt
+        ";
+        let p1 = assemble(src).expect("assembles");
+        let text = disassemble(&p1);
+        // Strip the index column before reassembling.
+        let stripped: String = text
+            .lines()
+            .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let p2 = assemble(&stripped).expect("reassembles");
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn equ_constants_resolve_as_immediates() {
+        let p = assemble(
+            "
+            .equ DIMS, 100
+            .equ STEP, 0x10
+            addi s1, s0, DIMS
+            sl   s2, s1, STEP
+            halt
+        ",
+        )
+        .expect("assembles");
+        assert!(matches!(p[0], I::SAluImm { imm: 100, .. }));
+        assert!(matches!(p[1], I::SAluImm { imm: 16, .. }));
+    }
+
+    #[test]
+    fn equ_can_be_defined_after_use() {
+        let p = assemble("addi s1, s0, LATER
+.equ LATER, 7
+halt").expect("assembles");
+        assert!(matches!(p[0], I::SAluImm { imm: 7, .. }));
+    }
+
+    #[test]
+    fn undefined_constant_is_an_error() {
+        let e = assemble("addi s1, s0, MYSTERY
+halt").expect_err("should fail");
+        assert!(e.message.contains("undefined constant"));
+    }
+
+    #[test]
+    fn duplicate_constant_is_an_error() {
+        let e = assemble(".equ A, 1
+.equ A, 2
+halt").expect_err("should fail");
+        assert!(e.message.contains("duplicate constant"));
+    }
+
+    #[test]
+    fn malformed_equ_is_an_error() {
+        assert!(assemble(".equ onlyname").is_err());
+        assert!(assemble(".equ 5, 5").is_err());
+        assert!(assemble(".equ NAME, s3").is_err());
+    }
+
+    #[test]
+    fn equ_does_not_shift_labels() {
+        let p = assemble(
+            "
+            .equ X, 1
+        top:
+            addi s1, s1, X
+            .equ Y, 2
+            bne s1, s2, top
+            halt
+        ",
+        )
+        .expect("assembles");
+        assert!(matches!(p[1], I::Branch { target: 0, .. }));
+    }
+
+    #[test]
+    fn multiple_labels_on_one_line() {
+        let p = assemble("a: b: halt\nj a\nj b").expect("assembles");
+        assert!(matches!(p[1], I::Jump { target: 0 }));
+        assert!(matches!(p[2], I::Jump { target: 0 }));
+    }
+
+    #[test]
+    fn comment_only_lines_are_skipped() {
+        let p = assemble("; nothing\n   ; also nothing\nhalt").expect("assembles");
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Multi-module SSAM scaling (paper Section III-A / Fig. 3).
+//!
+//! "Since HMC modules can be composed together, these additional links
+//! and SSAM modules allows us to scale up the capacity of the system. …
+//! These external data links allow one or more HMC modules to be composed
+//! to effectively form a larger network of SSAMs if data exceeds the
+//! capacity of a single SSAM module. … If a kNN query must touch multiple
+//! vaults, the host processor broadcasts the search across SSAM
+//! processing units and performs the final set of global top-k reductions
+//! on the host processor."
+//!
+//! The cluster splits the dataset across modules by capacity, broadcasts
+//! each query over the link fabric (a daisy chain, as in Fig. 3), runs
+//! every module concurrently, and reduces the per-module top-k on the
+//! host. Query latency is therefore
+//! `broadcast + max(module time) + collection`, where the link terms grow
+//! with chain depth and the result volume is `modules × k` tuples — "a
+//! fraction of the original dataset size".
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use ssam_knn::topk::{Neighbor, TopK};
+use ssam_knn::VectorStore;
+
+use crate::sim::pu::SimError;
+
+use super::{DeviceQuery, QueryTiming, SsamConfig, SsamDevice};
+
+/// A daisy chain of SSAM modules behind one host.
+#[derive(Debug, Clone)]
+pub struct SsamCluster {
+    modules: Vec<SsamDevice>,
+    /// First global id held by each module.
+    first_ids: Vec<u32>,
+    vectors: usize,
+    config: SsamConfig,
+}
+
+/// Timing for one cluster query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTiming {
+    /// End-to-end seconds (broadcast + slowest module + collection).
+    pub seconds: f64,
+    /// Seconds spent broadcasting the query down the chain.
+    pub broadcast_seconds: f64,
+    /// Slowest module's query time.
+    pub module_seconds: f64,
+    /// Seconds collecting per-module results back up the chain.
+    pub collect_seconds: f64,
+    /// Total energy across modules, millijoules.
+    pub energy_mj: f64,
+}
+
+impl SsamCluster {
+    /// Builds a cluster of `modules` identical devices and shards `store`
+    /// evenly across them.
+    ///
+    /// # Panics
+    /// Panics if `modules == 0` or the store is empty.
+    pub fn build(config: SsamConfig, modules: usize, store: &VectorStore) -> Self {
+        assert!(modules > 0, "need at least one module");
+        assert!(!store.is_empty(), "cannot load an empty dataset");
+        let modules = modules.min(store.len());
+        let per = store.len().div_ceil(modules);
+        let mut devs = Vec::with_capacity(modules);
+        let mut first_ids = Vec::with_capacity(modules);
+        let mut next = 0usize;
+        while next < store.len() {
+            let count = per.min(store.len() - next);
+            let ids: Vec<u32> = (next as u32..(next + count) as u32).collect();
+            let sub = store.subset(&ids);
+            let mut dev = SsamDevice::new(config);
+            dev.load_vectors(&sub);
+            devs.push(dev);
+            first_ids.push(next as u32);
+            next += count;
+        }
+        Self { modules: devs, first_ids, vectors: store.len(), config }
+    }
+
+    /// Number of modules in the chain.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Total vectors held.
+    pub fn len(&self) -> usize {
+        self.vectors
+    }
+
+    /// Whether the cluster holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.vectors == 0
+    }
+
+    /// Executes one Euclidean query across the whole cluster.
+    pub fn query(
+        &mut self,
+        query: &[f32],
+        k: usize,
+    ) -> Result<(Vec<Neighbor>, ClusterTiming), SimError> {
+        assert!(k > 0, "k must be positive");
+        let first_ids = self.first_ids.clone();
+        let results: Result<Vec<(Vec<Neighbor>, QueryTiming)>, SimError> = self
+            .modules
+            .par_iter_mut()
+            .map(|dev| {
+                let r = dev.query(&DeviceQuery::Euclidean(query), k)?;
+                Ok((r.neighbors, r.timing))
+            })
+            .collect();
+        let results = results?;
+
+        let mut top = TopK::new(k);
+        let mut module_seconds = 0.0f64;
+        let mut energy_mj = 0.0;
+        for ((neighbors, timing), &base) in results.iter().zip(&first_ids) {
+            for n in neighbors {
+                top.offer(base + n.id, n.dist);
+            }
+            module_seconds = module_seconds.max(timing.seconds);
+            energy_mj += timing.energy_mj;
+        }
+
+        // Link fabric: the query travels down the chain (depth hops), the
+        // per-module k-tuple results travel back up.
+        let depth = self.modules.len() as u64;
+        let query_bytes = (query.len() * 4) as u64;
+        let link_bw = self.config.hmc.external_bandwidth;
+        let broadcast_seconds =
+            depth as f64 * ssam_hmc::packet::bulk_wire_bytes(query_bytes) as f64 / link_bw;
+        let result_bytes = (self.modules.len() * k * 8) as u64;
+        let collect_seconds =
+            depth as f64 * ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / link_bw
+                + (self.modules.len() * k) as f64 * 1e-9;
+
+        let timing = ClusterTiming {
+            seconds: broadcast_seconds + module_seconds + collect_seconds,
+            broadcast_seconds,
+            module_seconds,
+            collect_seconds,
+            energy_mj,
+        };
+        Ok((top.into_sorted(), timing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssam_knn::linear::knn_exact;
+    use ssam_knn::Metric;
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    fn random_store(n: usize, dims: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dims, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn cluster_matches_exact_search() {
+        let store = random_store(600, 8, 1);
+        let mut cluster = SsamCluster::build(SsamConfig::default(), 4, &store);
+        let q: Vec<f32> = store.get(222).to_vec();
+        let (ns, _) = cluster.query(&q, 7).expect("runs");
+        let expect: Vec<u32> = knn_exact(&store, &q, 7, Metric::Euclidean)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let got: Vec<u32> = ns.iter().map(|n| n.id).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cluster_matches_single_module() {
+        let store = random_store(300, 6, 2);
+        let q = [0.1f32; 6];
+        let mut one = SsamCluster::build(SsamConfig::default(), 1, &store);
+        let mut four = SsamCluster::build(SsamConfig::default(), 4, &store);
+        let (n1, _) = one.query(&q, 5).expect("runs");
+        let (n4, _) = four.query(&q, 5).expect("runs");
+        assert_eq!(
+            n1.iter().map(|n| n.id).collect::<Vec<_>>(),
+            n4.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn modules_split_capacity() {
+        let store = random_store(500, 4, 3);
+        let cluster = SsamCluster::build(SsamConfig::default(), 4, &store);
+        assert_eq!(cluster.num_modules(), 4);
+        assert_eq!(cluster.len(), 500);
+        let held: usize = cluster.modules.iter().map(|m| m.len()).sum();
+        assert_eq!(held, 500);
+    }
+
+    #[test]
+    fn more_modules_cut_per_module_time() {
+        let store = random_store(1000, 16, 4);
+        let q = [0.0f32; 16];
+        let mut one = SsamCluster::build(SsamConfig::default(), 1, &store);
+        let mut four = SsamCluster::build(SsamConfig::default(), 4, &store);
+        let (_, t1) = one.query(&q, 5).expect("runs");
+        let (_, t4) = four.query(&q, 5).expect("runs");
+        assert!(
+            t4.module_seconds < t1.module_seconds,
+            "sharding across modules must shrink per-module scan time"
+        );
+    }
+
+    #[test]
+    fn link_terms_grow_with_chain_depth() {
+        let store = random_store(400, 8, 5);
+        let q = [0.0f32; 8];
+        let mut two = SsamCluster::build(SsamConfig::default(), 2, &store);
+        let mut eight = SsamCluster::build(SsamConfig::default(), 8, &store);
+        let (_, t2) = two.query(&q, 5).expect("runs");
+        let (_, t8) = eight.query(&q, 5).expect("runs");
+        assert!(t8.broadcast_seconds > t2.broadcast_seconds);
+        assert!(t8.collect_seconds > t2.collect_seconds);
+    }
+
+    #[test]
+    fn result_traffic_is_tiny_relative_to_data() {
+        // The paper's claim that external links never bottleneck: result
+        // volume is modules × k tuples vs the full dataset streamed
+        // internally.
+        let store = random_store(800, 32, 6);
+        let q = [0.0f32; 32];
+        let mut cluster = SsamCluster::build(SsamConfig::default(), 4, &store);
+        let (_, t) = cluster.query(&q, 10).expect("runs");
+        assert!(t.broadcast_seconds + t.collect_seconds < 0.15 * t.seconds);
+    }
+
+    #[test]
+    fn more_modules_than_vectors_is_clamped() {
+        let store = random_store(3, 4, 7);
+        let mut cluster = SsamCluster::build(SsamConfig::default(), 8, &store);
+        assert!(cluster.num_modules() <= 3);
+        let (ns, _) = cluster.query(&[0.0; 4], 2).expect("runs");
+        assert_eq!(ns.len(), 2);
+    }
+}

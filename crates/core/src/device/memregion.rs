@@ -1,0 +1,366 @@
+//! The SSAM-enabled memory-region API of the paper's Fig. 4.
+//!
+//! "We assume a driver stack exposes a minimal memory allocation API which
+//! manages user interaction with SSAM-enabled memory regions. … Allocated
+//! SSAM memory regions come with a set of special operations that allow
+//! the user to set the indexing mode, in addition to handling standard
+//! memory manipulation operations like memcpy."
+//!
+//! The example program of Fig. 4 maps onto this module as:
+//!
+//! ```text
+//! int *nbuf = nmalloc(length * dims);   →  SsamRegion::nmalloc(...)
+//! nmode(nbuf, LINEAR);                  →  region.nmode(IndexMode::Linear)
+//! nmemcpy(nbuf, dataset, ...);          →  region.nmemcpy(&store)
+//! nbuild_index(nbuf, params = NULL);    →  region.nbuild_index(None)
+//! nwrite_query(nbuf, query);            →  region.nwrite_query(&query)
+//! nexec(nbuf);                          →  region.nexec(k)
+//! int *result = nread_result(nbuf);     →  region.nread_result()
+//! nfree(nbuf);                          →  drop(region)
+//! ```
+
+use ssam_knn::topk::Neighbor;
+use ssam_knn::VectorStore;
+
+use super::indexed::IndexedSsamDevice;
+use super::{DeviceQuery, QueryTiming, SsamConfig, SsamDevice};
+use crate::sim::pu::SimError;
+
+/// Indexing mode of a region (the `nmode` setting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMode {
+    /// Exact linear scan (the paper's example).
+    #[default]
+    Linear,
+    /// On-accelerator kd-tree traversal: `nbuild_index` lays a per-vault
+    /// tree into each scratchpad; `nexec_budget` bounds buckets scanned.
+    KdTree {
+        /// Maximum bucket size at the leaves.
+        leaf_size: usize,
+    },
+}
+
+/// Errors surfaced by the region API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionError {
+    /// Operation requires data but `nmemcpy` has not been called.
+    NoData,
+    /// Operation requires a query but `nwrite_query` has not been called.
+    NoQuery,
+    /// `nread_result` before `nexec`.
+    NoResult,
+    /// kd-tree mode `nexec` before `nbuild_index`.
+    NoIndex,
+    /// Copied data exceeds the allocation.
+    AllocationExceeded {
+        /// Words requested at `nmalloc`.
+        allocated: usize,
+        /// Words the copy needed.
+        needed: usize,
+    },
+    /// The underlying simulation faulted.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for RegionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegionError::NoData => write!(f, "no dataset copied into the region (call nmemcpy)"),
+            RegionError::NoQuery => write!(f, "no query written (call nwrite_query)"),
+            RegionError::NoResult => write!(f, "no result available (call nexec)"),
+            RegionError::NoIndex => write!(f, "index not built (call nbuild_index)"),
+            RegionError::AllocationExceeded { allocated, needed } => {
+                write!(f, "region of {allocated} words cannot hold {needed} words")
+            }
+            RegionError::Sim(e) => write!(f, "device fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegionError {}
+
+impl From<SimError> for RegionError {
+    fn from(e: SimError) -> Self {
+        RegionError::Sim(e)
+    }
+}
+
+/// A SSAM-enabled memory region ("a special part of the memory space
+/// which is physically backed by a SSAM instead of a standard DRAM
+/// module"). Pages backing a region are pinned, so data is staged once.
+#[derive(Debug, Clone)]
+pub struct SsamRegion {
+    device: SsamDevice,
+    indexed: Option<IndexedSsamDevice>,
+    /// Retained dataset for deferred index construction.
+    dataset: Option<VectorStore>,
+    allocated_words: usize,
+    mode: IndexMode,
+    data_loaded: bool,
+    query: Option<Vec<f32>>,
+    result: Option<(Vec<Neighbor>, QueryTiming)>,
+}
+
+impl SsamRegion {
+    /// Allocates a region able to hold `words` 32-bit elements
+    /// (`nmalloc(length * dims)`), backed by a default-configured SSAM.
+    pub fn nmalloc(words: usize) -> Self {
+        Self::nmalloc_with(words, SsamConfig::default())
+    }
+
+    /// Allocates with an explicit device configuration.
+    pub fn nmalloc_with(words: usize, config: SsamConfig) -> Self {
+        Self {
+            device: SsamDevice::new(config),
+            indexed: None,
+            dataset: None,
+            allocated_words: words,
+            mode: IndexMode::default(),
+            data_loaded: false,
+            query: None,
+            result: None,
+        }
+    }
+
+    /// Sets the indexing mode (`nmode`). Any previously built index is
+    /// discarded.
+    pub fn nmode(&mut self, mode: IndexMode) {
+        self.mode = mode;
+        self.indexed = None;
+    }
+
+    /// Copies a dataset into the region (`nmemcpy`): quantizes, pads, and
+    /// shards it across the module's vaults.
+    pub fn nmemcpy(&mut self, dataset: &VectorStore) -> Result<(), RegionError> {
+        let needed = dataset.len() * dataset.dims();
+        if needed > self.allocated_words {
+            return Err(RegionError::AllocationExceeded {
+                allocated: self.allocated_words,
+                needed,
+            });
+        }
+        self.device.load_vectors(dataset);
+        self.dataset = Some(dataset.clone());
+        self.indexed = None;
+        self.data_loaded = true;
+        self.result = None;
+        Ok(())
+    }
+
+    /// Builds the region's index (`nbuild_index`). Linear mode needs no
+    /// index; kd-tree mode builds per-vault scratchpad trees.
+    pub fn nbuild_index(&mut self, _params: Option<()>) -> Result<(), RegionError> {
+        if !self.data_loaded {
+            return Err(RegionError::NoData);
+        }
+        match self.mode {
+            IndexMode::Linear => Ok(()),
+            IndexMode::KdTree { leaf_size } => {
+                let dataset = self.dataset.as_ref().ok_or(RegionError::NoData)?;
+                self.indexed = Some(IndexedSsamDevice::build(
+                    *self.device.config(),
+                    dataset,
+                    leaf_size,
+                ));
+                Ok(())
+            }
+        }
+    }
+
+    /// Writes the query vector into the device scratchpads
+    /// (`nwrite_query`). "A small portion of the scratchpad is also
+    /// allocated for holding the query vector; this region is continuously
+    /// rewritten as a SSAM services queries."
+    pub fn nwrite_query(&mut self, query: &[f32]) -> Result<(), RegionError> {
+        if !self.data_loaded {
+            return Err(RegionError::NoData);
+        }
+        self.query = Some(query.to_vec());
+        self.result = None;
+        Ok(())
+    }
+
+    /// Launches the kNN search (`nexec`) for `k` neighbors. In kd-tree
+    /// mode this traverses with an effectively unlimited leaf budget; use
+    /// [`Self::nexec_budget`] for the accuracy/throughput trade-off.
+    pub fn nexec(&mut self, k: usize) -> Result<(), RegionError> {
+        self.nexec_budget(k, usize::MAX)
+    }
+
+    /// Launches the kNN search with a per-vault leaf budget (kd-tree
+    /// mode; the budget is ignored for linear scans).
+    pub fn nexec_budget(&mut self, k: usize, leaf_budget: usize) -> Result<(), RegionError> {
+        if !self.data_loaded {
+            return Err(RegionError::NoData);
+        }
+        let query = self.query.clone().ok_or(RegionError::NoQuery)?;
+        match self.mode {
+            IndexMode::Linear => {
+                let r = self.device.query(&DeviceQuery::Euclidean(&query), k)?;
+                self.result = Some((r.neighbors, r.timing));
+            }
+            IndexMode::KdTree { .. } => {
+                let idx = self.indexed.as_ref().ok_or(RegionError::NoIndex)?;
+                let (neighbors, timing, _) = idx.query(&query, k, leaf_budget)?;
+                self.result = Some((neighbors, timing));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads back the result identifiers (`nread_result`).
+    pub fn nread_result(&self) -> Result<&[Neighbor], RegionError> {
+        self.result
+            .as_ref()
+            .map(|(n, _)| n.as_slice())
+            .ok_or(RegionError::NoResult)
+    }
+
+    /// Timing of the last `nexec` (driver-visible performance counters).
+    pub fn last_timing(&self) -> Option<&QueryTiming> {
+        self.result.as_ref().map(|(_, t)| t)
+    }
+
+    /// Frees the region (`nfree`). Provided for source fidelity with
+    /// Fig. 4; dropping the value is equivalent.
+    pub fn nfree(self) {}
+}
+
+/// The Fig. 4 example program, end to end: allocate, set mode, copy,
+/// build, query, execute, read, free.
+pub fn knn(query: &[f32], dataset: &VectorStore, k: usize) -> Result<Vec<u32>, RegionError> {
+    let mut nbuf = SsamRegion::nmalloc(dataset.len() * dataset.dims());
+    nbuf.nmode(IndexMode::Linear);
+    nbuf.nmemcpy(dataset)?;
+    nbuf.nbuild_index(None)?;
+    nbuf.nwrite_query(query)?;
+    nbuf.nexec(k)?;
+    let result = nbuf.nread_result()?.iter().map(|n| n.id).collect();
+    nbuf.nfree();
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssam_knn::linear::knn_exact;
+    use ssam_knn::Metric;
+
+    fn store() -> VectorStore {
+        let mut s = VectorStore::new(3);
+        for i in 0..60 {
+            let x = i as f32 * 0.1;
+            s.push(&[x, -x, x * 0.5]);
+        }
+        s
+    }
+
+    #[test]
+    fn fig4_program_returns_exact_neighbors() {
+        let s = store();
+        let q = [1.0f32, -1.0, 0.5];
+        let got = knn(&q, &s, 4).expect("pipeline runs");
+        let expect: Vec<u32> = knn_exact(&s, &q, 4, Metric::Euclidean)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn operations_enforce_ordering() {
+        let mut r = SsamRegion::nmalloc(1000);
+        assert_eq!(r.nbuild_index(None), Err(RegionError::NoData));
+        assert_eq!(r.nwrite_query(&[1.0]), Err(RegionError::NoData));
+        assert_eq!(r.nexec(1), Err(RegionError::NoData));
+        assert!(matches!(r.nread_result(), Err(RegionError::NoResult)));
+        r.nmemcpy(&store()).expect("copy");
+        assert_eq!(r.nexec(1), Err(RegionError::NoQuery));
+    }
+
+    #[test]
+    fn allocation_size_is_enforced() {
+        let mut r = SsamRegion::nmalloc(10);
+        let e = r.nmemcpy(&store()).expect_err("too big");
+        assert!(matches!(e, RegionError::AllocationExceeded { allocated: 10, needed: 180 }));
+    }
+
+    #[test]
+    fn rewriting_query_invalidates_result() {
+        let mut r = SsamRegion::nmalloc(1000);
+        r.nmemcpy(&store()).expect("copy");
+        r.nwrite_query(&[0.0, 0.0, 0.0]).expect("query");
+        r.nexec(2).expect("exec");
+        assert!(r.nread_result().is_ok());
+        r.nwrite_query(&[1.0, 1.0, 1.0]).expect("query");
+        assert!(matches!(r.nread_result(), Err(RegionError::NoResult)));
+    }
+
+    #[test]
+    fn kdtree_mode_requires_build_before_exec() {
+        let mut r = SsamRegion::nmalloc(1000);
+        r.nmode(IndexMode::KdTree { leaf_size: 8 });
+        r.nmemcpy(&store()).expect("copy");
+        r.nwrite_query(&[0.0, 0.0, 0.0]).expect("query");
+        assert_eq!(r.nexec(2), Err(RegionError::NoIndex));
+        r.nbuild_index(None).expect("build");
+        r.nexec(2).expect("exec");
+        assert_eq!(r.nread_result().expect("results").len(), 2);
+    }
+
+    #[test]
+    fn kdtree_mode_full_budget_matches_linear_mode() {
+        let s = store();
+        let q = [2.0f32, -2.0, 1.0];
+        let mut lin = SsamRegion::nmalloc(1000);
+        lin.nmemcpy(&s).expect("copy");
+        lin.nwrite_query(&q).expect("query");
+        lin.nexec(5).expect("exec");
+        let lin_ids: Vec<u32> = lin.nread_result().expect("results").iter().map(|n| n.id).collect();
+
+        let mut kd = SsamRegion::nmalloc(1000);
+        kd.nmode(IndexMode::KdTree { leaf_size: 8 });
+        kd.nmemcpy(&s).expect("copy");
+        kd.nbuild_index(None).expect("build");
+        kd.nwrite_query(&q).expect("query");
+        kd.nexec(5).expect("exec");
+        let kd_ids: Vec<u32> = kd.nread_result().expect("results").iter().map(|n| n.id).collect();
+        assert_eq!(kd_ids, lin_ids);
+    }
+
+    #[test]
+    fn kdtree_budget_reduces_work() {
+        let mut r = SsamRegion::nmalloc(1000);
+        r.nmode(IndexMode::KdTree { leaf_size: 4 });
+        r.nmemcpy(&store()).expect("copy");
+        r.nbuild_index(None).expect("build");
+        r.nwrite_query(&[0.0, 0.0, 0.0]).expect("query");
+        r.nexec_budget(2, 1).expect("exec");
+        let capped = r.last_timing().expect("timing").total_bytes;
+        r.nwrite_query(&[0.0, 0.0, 0.0]).expect("query");
+        r.nexec(2).expect("exec");
+        let full = r.last_timing().expect("timing").total_bytes;
+        assert!(capped <= full);
+    }
+
+    #[test]
+    fn switching_mode_discards_index() {
+        let mut r = SsamRegion::nmalloc(1000);
+        r.nmode(IndexMode::KdTree { leaf_size: 8 });
+        r.nmemcpy(&store()).expect("copy");
+        r.nbuild_index(None).expect("build");
+        r.nmode(IndexMode::KdTree { leaf_size: 16 });
+        r.nwrite_query(&[0.0, 0.0, 0.0]).expect("query");
+        assert_eq!(r.nexec(1), Err(RegionError::NoIndex));
+    }
+
+    #[test]
+    fn timing_is_available_after_exec() {
+        let mut r = SsamRegion::nmalloc(1000);
+        r.nmemcpy(&store()).expect("copy");
+        r.nwrite_query(&[0.0, 0.0, 0.0]).expect("query");
+        assert!(r.last_timing().is_none());
+        r.nexec(2).expect("exec");
+        assert!(r.last_timing().expect("timing").seconds > 0.0);
+    }
+}

@@ -1,0 +1,725 @@
+//! Module-level SSAM device: sharding, replication, query execution.
+//!
+//! Assembles the full Section III system: the dataset is sharded
+//! contiguously across HMC vaults; each vault's SSAM accelerator runs
+//! replicated processing units over its shard ("we replicate processing
+//! units to fully use the memory bandwidth by measuring the peak bandwidth
+//! needs of each processing unit"); per-vault top-k results are reduced on
+//! the host ("the host processor broadcasts the search across SSAM
+//! processing units and performs the final set of global top-k reductions
+//! on the host processor").
+//!
+//! Execution is *functionally* exact — every vault's kernel is simulated
+//! instruction-by-instruction over its real shard, and the merged neighbor
+//! set is validated against the `ssam-knn` reference in tests — while
+//! *timing* combines the simulated cycle counts with the vault-bandwidth
+//! roofline of `ssam-hmc`.
+
+pub mod cluster;
+pub mod indexed;
+pub mod memregion;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use ssam_hmc::HmcConfig;
+use ssam_knn::binary::BinaryStore;
+use ssam_knn::distance::norm_sq;
+use ssam_knn::fixed::Fix32;
+use ssam_knn::topk::{Neighbor, TopK};
+use ssam_knn::VectorStore;
+
+use crate::energy::{effective_power, Activity};
+use crate::isa::{DRAM_BASE, PQUEUE_DEPTH};
+use crate::kernels::{linear, Kernel};
+use crate::sim::pu::{ProcessingUnit, RunStats, SimError};
+
+/// Device configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsamConfig {
+    /// The memory module geometry.
+    pub hmc: HmcConfig,
+    /// Processing-unit vector length (2/4/8/16).
+    pub vector_length: usize,
+    /// Logic-layer clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Cap on processing units per vault accelerator.
+    pub max_pus_per_vault: usize,
+    /// Use the hardware priority queue (false = Section V-B software-queue
+    /// ablation).
+    pub use_hw_queue: bool,
+}
+
+impl Default for SsamConfig {
+    fn default() -> Self {
+        Self {
+            hmc: HmcConfig::hmc2(),
+            vector_length: 4,
+            freq_hz: 1.0e9,
+            max_pus_per_vault: 8,
+            use_hw_queue: true,
+        }
+    }
+}
+
+/// Which kernel family a query runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceMetric {
+    /// Squared Euclidean (canonical).
+    Euclidean,
+    /// Manhattan (L1).
+    Manhattan,
+    /// Cosine distance with software division.
+    Cosine,
+    /// Hamming over binarized codes via `VFXP`.
+    Hamming,
+}
+
+/// A query in the representation its kernel consumes.
+#[derive(Debug, Clone)]
+pub enum DeviceQuery<'a> {
+    /// Float query for the Euclidean kernel.
+    Euclidean(&'a [f32]),
+    /// Float query for the Manhattan kernel.
+    Manhattan(&'a [f32]),
+    /// Float query for the cosine kernel.
+    Cosine(&'a [f32]),
+    /// Packed binary query for the Hamming kernel.
+    Hamming(&'a [u32]),
+}
+
+impl DeviceQuery<'_> {
+    /// The metric this query selects.
+    pub fn metric(&self) -> DeviceMetric {
+        match self {
+            DeviceQuery::Euclidean(_) => DeviceMetric::Euclidean,
+            DeviceQuery::Manhattan(_) => DeviceMetric::Manhattan,
+            DeviceQuery::Cosine(_) => DeviceMetric::Cosine,
+            DeviceQuery::Hamming(_) => DeviceMetric::Hamming,
+        }
+    }
+}
+
+/// One vault's slice of the dataset.
+#[derive(Debug, Clone)]
+struct Shard {
+    words: Arc<Vec<i32>>,
+    first_id: u32,
+    vectors: usize,
+}
+
+/// What kind of payload is loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Payload {
+    /// Q16.16 feature vectors of the given dimensionality.
+    Fixed {
+        /// Original dimensionality.
+        dims: usize,
+    },
+    /// Packed binary codes of the given word count.
+    Binary {
+        /// Packed words per code.
+        words: usize,
+    },
+}
+
+/// Timing/energy account for one device query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTiming {
+    /// Wall-clock seconds for the query (slowest vault + host reduce +
+    /// link transfer).
+    pub seconds: f64,
+    /// Processing units instantiated per vault for this kernel.
+    pub pus_per_vault: usize,
+    /// True when compute cycles (not vault bandwidth) set the pace.
+    pub compute_bound: bool,
+    /// Aggregate simulated cycles across all PUs.
+    pub total_cycles: u64,
+    /// Aggregate DRAM bytes streamed.
+    pub total_bytes: u64,
+    /// Device energy for the query in millijoules (all accelerators).
+    pub energy_mj: f64,
+}
+
+/// Result of one device query.
+#[derive(Debug, Clone)]
+pub struct DeviceResult {
+    /// Global top-k, best first.
+    pub neighbors: Vec<Neighbor>,
+    /// Timing/energy account.
+    pub timing: QueryTiming,
+    /// Per-vault simulation statistics (vault 0 first).
+    pub vault_stats: Vec<RunStats>,
+}
+
+/// The SSAM device.
+#[derive(Debug, Clone)]
+pub struct SsamDevice {
+    config: SsamConfig,
+    shards: Vec<Shard>,
+    payload: Option<Payload>,
+    vec_words: usize,
+    vectors: usize,
+    kernel_cache: HashMap<(DeviceMetric, usize), Arc<Kernel>>,
+}
+
+impl SsamDevice {
+    /// Creates an empty device.
+    ///
+    /// # Panics
+    /// Panics if the vector length is not a supported design point.
+    pub fn new(config: SsamConfig) -> Self {
+        assert!(
+            crate::isa::VECTOR_LENGTHS.contains(&config.vector_length),
+            "vector length {} not supported",
+            config.vector_length
+        );
+        Self {
+            config,
+            shards: Vec::new(),
+            payload: None,
+            vec_words: 0,
+            vectors: 0,
+            kernel_cache: HashMap::new(),
+        }
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &SsamConfig {
+        &self.config
+    }
+
+    /// Number of vectors loaded.
+    pub fn len(&self) -> usize {
+        self.vectors
+    }
+
+    /// Whether no dataset is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.vectors == 0
+    }
+
+    /// Words per (padded) stored vector.
+    pub fn vec_words(&self) -> usize {
+        self.vec_words
+    }
+
+    /// Loads a float dataset: quantizes to Q16.16 (`nmemcpy` semantics),
+    /// pads each vector to a vector-length multiple, and shards evenly
+    /// across vaults.
+    pub fn load_vectors(&mut self, store: &VectorStore) {
+        assert!(!store.is_empty(), "cannot load an empty dataset");
+        let vl = self.config.vector_length;
+        let dims = store.dims();
+        let vw = dims.div_ceil(vl) * vl;
+        self.stage(store.len(), vw, Payload::Fixed { dims }, |id, out| {
+            let v = store.get(id);
+            for &x in v {
+                out.push(Fix32::from_f32(x).0);
+            }
+            out.resize(out.len() + (vw - v.len()), 0);
+        });
+    }
+
+    /// Loads a binarized dataset for Hamming kernels.
+    pub fn load_binary(&mut self, store: &BinaryStore) {
+        assert!(!store.is_empty(), "cannot load an empty dataset");
+        let vl = self.config.vector_length;
+        let words = store.words_per_vec();
+        let vw = words.div_ceil(vl) * vl;
+        self.stage(store.len(), vw, Payload::Binary { words }, |id, out| {
+            for &w in store.get(id) {
+                out.push(w as i32);
+            }
+            out.resize(out.len() + (vw - words), 0);
+        });
+    }
+
+    fn stage(
+        &mut self,
+        n: usize,
+        vec_words: usize,
+        payload: Payload,
+        mut emit: impl FnMut(u32, &mut Vec<i32>),
+    ) {
+        let vaults = self.config.hmc.vaults.min(n);
+        let per = n.div_ceil(vaults);
+        let mut shards = Vec::with_capacity(vaults);
+        let mut next = 0usize;
+        while next < n {
+            let count = per.min(n - next);
+            let mut words = Vec::with_capacity(count * vec_words);
+            for id in next..next + count {
+                emit(id as u32, &mut words);
+            }
+            shards.push(Shard { words: Arc::new(words), first_id: next as u32, vectors: count });
+            next += count;
+        }
+        // Shard byte span must stay within the PU's positive address space.
+        let max_bytes = shards.iter().map(|s| s.words.len() * 4).max().unwrap_or(0);
+        assert!(
+            (DRAM_BASE as usize + max_bytes) < i32::MAX as usize,
+            "shard too large for the PU address space; use more vaults"
+        );
+        self.shards = shards;
+        self.payload = Some(payload);
+        self.vec_words = vec_words;
+        self.vectors = n;
+        self.kernel_cache.clear();
+    }
+
+    /// Builds (or reuses) the kernel for a metric at the loaded layout.
+    fn kernel_for(&mut self, metric: DeviceMetric, k: usize) -> Arc<Kernel> {
+        let payload = self.payload.expect("dataset loaded");
+        let vl = self.config.vector_length;
+        let cache_k = if self.config.use_hw_queue { 0 } else { k };
+        if let Some(kn) = self.kernel_cache.get(&(metric, cache_k)) {
+            return Arc::clone(kn);
+        }
+        let kernel = match (metric, payload) {
+            (DeviceMetric::Euclidean, Payload::Fixed { dims }) => {
+                if self.config.use_hw_queue {
+                    linear::euclidean(dims, vl)
+                } else {
+                    linear::euclidean_swqueue(dims, vl, k)
+                }
+            }
+            (DeviceMetric::Manhattan, Payload::Fixed { dims }) => linear::manhattan(dims, vl),
+            (DeviceMetric::Cosine, Payload::Fixed { dims }) => linear::cosine(dims, vl),
+            (DeviceMetric::Hamming, Payload::Binary { words }) => linear::hamming(words, vl),
+            (m, p) => panic!("metric {m:?} incompatible with loaded payload {p:?}"),
+        };
+        debug_assert_eq!(kernel.layout.vec_words, self.vec_words);
+        let kernel = Arc::new(kernel);
+        self.kernel_cache.insert((metric, cache_k), Arc::clone(&kernel));
+        kernel
+    }
+
+    /// Quantizes a float query to the scratchpad image (padded).
+    fn quantize_query(&self, q: &[f32]) -> Vec<i32> {
+        let mut out: Vec<i32> = q.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        out.resize(self.vec_words, 0);
+        out
+    }
+
+    /// Executes one query across all vaults and merges the result
+    /// (`nexec` + `nread_result` semantics).
+    ///
+    /// # Panics
+    /// Panics if no dataset is loaded or the query shape mismatches it.
+    pub fn query(&mut self, query: &DeviceQuery<'_>, k: usize) -> Result<DeviceResult, SimError> {
+        assert!(!self.is_empty(), "no dataset loaded");
+        assert!(k > 0, "k must be positive");
+        let payload = self.payload.expect("dataset loaded");
+
+        // Stage the query image + any extra register state.
+        let (spad_query, extra_norm): (Vec<i32>, Option<i32>) = match (query, payload) {
+            (DeviceQuery::Euclidean(q) | DeviceQuery::Manhattan(q), Payload::Fixed { dims }) => {
+                assert_eq!(q.len(), dims, "query dimensionality mismatch");
+                (self.quantize_query(q), None)
+            }
+            (DeviceQuery::Cosine(q), Payload::Fixed { dims }) => {
+                assert_eq!(q.len(), dims, "query dimensionality mismatch");
+                let norm = Fix32::from_f32(norm_sq(q)).0;
+                (self.quantize_query(q), Some(norm))
+            }
+            (DeviceQuery::Hamming(q), Payload::Binary { words }) => {
+                assert_eq!(q.len(), words, "query code-length mismatch");
+                let mut out: Vec<i32> = q.iter().map(|&w| w as i32).collect();
+                out.resize(self.vec_words, 0);
+                (out, None)
+            }
+            _ => panic!("query representation incompatible with loaded payload"),
+        };
+
+        let kernel = self.kernel_for(query.metric(), k);
+        let vl = self.config.vector_length;
+        let use_hw = self.config.use_hw_queue;
+        let pq_chain = k.div_ceil(PQUEUE_DEPTH);
+        let vec_words = self.vec_words;
+
+        // Simulate every vault (in parallel threads; each vault is an
+        // independent accelerator).
+        let results: Result<Vec<(Vec<Neighbor>, RunStats)>, SimError> = self
+            .shards
+            .par_iter()
+            .map(|shard| {
+                let mut pu = ProcessingUnit::new(vl, Arc::clone(&shard.words));
+                if use_hw {
+                    pu.chain_pqueue(pq_chain);
+                }
+                pu.load_program(kernel.program.clone());
+                pu.scratchpad_mut()
+                    .write_block(kernel.layout.query_addr, &spad_query)
+                    .expect("query fits scratchpad");
+                if !use_hw {
+                    // Initialize the software queue region: k (MAX, -1) pairs.
+                    let init: Vec<i32> = (0..k).flat_map(|_| [i32::MAX, -1]).collect();
+                    pu.scratchpad_mut()
+                        .write_block(kernel.layout.swqueue_addr, &init)
+                        .expect("queue fits scratchpad");
+                }
+                pu.set_sreg(1, DRAM_BASE as i32);
+                pu.set_sreg(2, DRAM_BASE as i32 + (shard.words.len() * 4) as i32);
+                pu.set_sreg(3, 0); // local ids; remapped below
+                if let Some(norm) = extra_norm {
+                    pu.set_sreg(10, norm);
+                }
+                // Generous runaway guard: the rolled chunk loop executes
+                // ~9 instructions per vector-length chunk plus per-vector
+                // reduction/queue overhead (worst case: the software-queue
+                // shifting loop).
+                let per_vec = 16 * vec_words as u64 + 64 * k as u64 + 2048;
+                let budget = 10_000u64 + shard.vectors as u64 * per_vec;
+                let stats = pu.run(budget)?;
+
+                let neighbors: Vec<Neighbor> = if use_hw {
+                    pu.pqueue()
+                        .entries()
+                        .iter()
+                        .take(k)
+                        .map(|e| Neighbor::new(shard.first_id + e.id as u32, e.value as f32))
+                        .collect()
+                } else {
+                    let words = pu
+                        .scratchpad()
+                        .read_block(kernel.layout.swqueue_addr, 2 * k)
+                        .expect("queue readable");
+                    words
+                        .chunks_exact(2)
+                        .filter(|pair| pair[1] >= 0)
+                        .map(|pair| Neighbor::new(shard.first_id + pair[1] as u32, pair[0] as f32))
+                        .collect()
+                };
+                Ok((neighbors, stats))
+            })
+            .collect();
+        let results = results?;
+
+        // Host-side global top-k reduction.
+        let mut top = TopK::new(k);
+        for (neighbors, _) in &results {
+            for n in neighbors {
+                top.offer(n.id, n.dist);
+            }
+        }
+        let neighbors = top.into_sorted();
+
+        let vault_stats: Vec<RunStats> = results.iter().map(|(_, s)| *s).collect();
+        let timing = self.derive_timing(&vault_stats, k);
+        Ok(DeviceResult { neighbors, timing, vault_stats })
+    }
+
+    /// Derives query time and energy from per-vault simulation statistics.
+    ///
+    /// Per vault: the shard can be split across up to `max_pus_per_vault`
+    /// PUs; replication is provisioned so PU compute no longer trails the
+    /// vault's 10 GB/s ("replicate processing units to fully use the
+    /// memory bandwidth"). Vault time is the roofline
+    /// `max(bytes / vault_bw, cycles / (n_pu · freq))`; the query ends
+    /// when the slowest vault does, plus the external-link transfer of
+    /// the k-tuple results and a host merge allowance.
+    fn derive_timing(&self, vault_stats: &[RunStats], k: usize) -> QueryTiming {
+        let cfg = &self.config;
+        let freq = cfg.freq_hz;
+        let vault_bw = cfg.hmc.vault_bandwidth;
+
+        // Provision PUs from the densest vault's demand.
+        let mut pus = 1usize;
+        for s in vault_stats {
+            let bytes = s.dram.bytes_read.max(1) as f64;
+            let secs = s.cycles.max(1) as f64 / freq;
+            let demand = bytes / secs; // one PU's streaming demand
+            let need = (vault_bw / demand).ceil() as usize;
+            pus = pus.max(need.clamp(1, cfg.max_pus_per_vault));
+        }
+
+        let mut worst = 0.0f64;
+        let mut compute_bound = false;
+        let mut total_cycles = 0u64;
+        let mut total_bytes = 0u64;
+        for s in vault_stats {
+            let mem_t = s.dram.bytes_read as f64 / vault_bw;
+            let comp_t = s.cycles as f64 / (pus as f64 * freq);
+            if comp_t >= worst && comp_t > mem_t {
+                compute_bound = true;
+            } else if mem_t >= worst && mem_t >= comp_t {
+                compute_bound = false;
+            }
+            worst = worst.max(mem_t.max(comp_t));
+            total_cycles += s.cycles;
+            total_bytes += s.dram.bytes_read;
+        }
+
+        // Result collection: each vault returns k (id, value) tuples.
+        let result_bytes = (vault_stats.len() * k * 8) as u64;
+        let link_t = ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64
+            / cfg.hmc.external_bandwidth;
+        // Host merge: ~log-depth reduction over vaults·k tuples at ~1 ns each.
+        let merge_t = (vault_stats.len() * k) as f64 * 1e-9;
+
+        let seconds = worst + link_t + merge_t;
+
+        // Energy: per-vault accelerator power at observed activity, over
+        // the query duration, for every active PU.
+        let mut energy_mj = 0.0;
+        for s in vault_stats {
+            let act = Activity::from_stats(s);
+            let power_mw = effective_power(cfg.vector_length, &act);
+            energy_mj += power_mw * seconds * pus as f64;
+        }
+
+        QueryTiming {
+            seconds,
+            pus_per_vault: pus,
+            compute_bound,
+            total_cycles,
+            total_bytes,
+            energy_mj,
+        }
+    }
+
+    /// Throughput estimate for a batch: mean per-query seconds over the
+    /// sample, inverted.
+    pub fn estimate_throughput(
+        &mut self,
+        queries: &[DeviceQuery<'_>],
+        k: usize,
+    ) -> Result<BatchEstimate, SimError> {
+        assert!(!queries.is_empty(), "need at least one sample query");
+        let mut total_s = 0.0;
+        let mut total_e = 0.0;
+        let mut pus = 0usize;
+        for q in queries {
+            let r = self.query(q, k)?;
+            total_s += r.timing.seconds;
+            total_e += r.timing.energy_mj;
+            pus = pus.max(r.timing.pus_per_vault);
+        }
+        let n = queries.len() as f64;
+        Ok(BatchEstimate {
+            seconds_per_query: total_s / n,
+            queries_per_second: n / total_s,
+            energy_mj_per_query: total_e / n,
+            pus_per_vault: pus,
+        })
+    }
+}
+
+/// Batch throughput/energy estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchEstimate {
+    /// Mean seconds per query.
+    pub seconds_per_query: f64,
+    /// Queries per second.
+    pub queries_per_second: f64,
+    /// Mean energy per query (mJ).
+    pub energy_mj_per_query: f64,
+    /// PUs provisioned per vault.
+    pub pus_per_vault: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssam_knn::binary::{knn_hamming, BinaryStore};
+    use ssam_knn::linear::knn_exact;
+    use ssam_knn::Metric;
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    fn random_store(n: usize, dims: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dims, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    fn device(vl: usize) -> SsamDevice {
+        SsamDevice::new(SsamConfig { vector_length: vl, ..SsamConfig::default() })
+    }
+
+    #[test]
+    fn euclidean_device_matches_reference_exactly() {
+        let store = random_store(300, 10, 1);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q: Vec<f32> = store.get(7).to_vec();
+        let result = dev.query(&DeviceQuery::Euclidean(&q), 5).expect("runs");
+        let expect: Vec<u32> = knn_exact(&store, &q, 5, Metric::Euclidean)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let got: Vec<u32> = result.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, expect);
+        assert_eq!(result.neighbors[0].id, 7);
+        assert_eq!(result.neighbors[0].dist, 0.0);
+    }
+
+    #[test]
+    fn all_vector_lengths_agree() {
+        let store = random_store(120, 7, 2);
+        let q: Vec<f32> = (0..7).map(|i| 0.05 * i as f32).collect();
+        let mut ids_by_vl = Vec::new();
+        for vl in [2, 4, 8, 16] {
+            let mut dev = device(vl);
+            dev.load_vectors(&store);
+            let r = dev.query(&DeviceQuery::Euclidean(&q), 8).expect("runs");
+            ids_by_vl.push(r.neighbors.iter().map(|n| n.id).collect::<Vec<_>>());
+        }
+        for w in ids_by_vl.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn manhattan_device_matches_reference() {
+        let store = random_store(200, 6, 3);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q: Vec<f32> = (0..6).map(|i| -0.1 * i as f32).collect();
+        let r = dev.query(&DeviceQuery::Manhattan(&q), 6).expect("runs");
+        let expect: Vec<u32> = knn_exact(&store, &q, 6, Metric::Manhattan)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cosine_device_ranks_by_cosine_distance() {
+        let store = random_store(150, 8, 4);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).sin()).collect();
+        let r = dev.query(&DeviceQuery::Cosine(&q), 5).expect("runs");
+        let expect: Vec<u32> = knn_exact(&store, &q, 5, Metric::Cosine)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+        // cos² ranking may permute near-ties; demand ≥4/5 overlap and an
+        // exact best match.
+        let overlap = got.iter().filter(|id| expect.contains(id)).count();
+        assert!(overlap >= 4, "got {got:?} expect {expect:?}");
+        assert_eq!(got[0], expect[0]);
+    }
+
+    #[test]
+    fn hamming_device_matches_reference() {
+        let mut codes = BinaryStore::new(64);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            codes.push(&[rng.random::<u32>(), rng.random::<u32>()]);
+        }
+        let mut dev = device(4);
+        dev.load_binary(&codes);
+        let q = [0xDEAD_BEEFu32, 0x1234_5678];
+        let r = dev.query(&DeviceQuery::Hamming(&q), 7).expect("runs");
+        let expect: Vec<u32> = knn_hamming(&codes, &q, 7).iter().map(|n| n.id).collect();
+        let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn software_queue_matches_hardware_queue() {
+        let store = random_store(250, 5, 6);
+        let q: Vec<f32> = (0..5).map(|i| 0.2 * i as f32).collect();
+        let mut hw = device(4);
+        hw.load_vectors(&store);
+        let mut sw = SsamDevice::new(SsamConfig { use_hw_queue: false, ..SsamConfig::default() });
+        sw.load_vectors(&store);
+        let rh = hw.query(&DeviceQuery::Euclidean(&q), 8).expect("hw runs");
+        let rs = sw.query(&DeviceQuery::Euclidean(&q), 8).expect("sw runs");
+        let ih: Vec<u32> = rh.neighbors.iter().map(|n| n.id).collect();
+        let is: Vec<u32> = rs.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(ih, is);
+        // The ablation claim: software queue costs cycles.
+        assert!(rs.timing.total_cycles > rh.timing.total_cycles);
+    }
+
+    #[test]
+    fn large_k_chains_priority_queues() {
+        let store = random_store(300, 4, 7);
+        let mut dev = device(2);
+        dev.load_vectors(&store);
+        let q = [0.0f32; 4];
+        let r = dev.query(&DeviceQuery::Euclidean(&q), 40).expect("runs");
+        assert_eq!(r.neighbors.len(), 40);
+        let expect: Vec<u32> = knn_exact(&store, &q, 40, Metric::Euclidean)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sharding_spreads_across_vaults() {
+        let store = random_store(320, 4, 8);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        assert_eq!(dev.shards.len(), 32);
+        let covered: usize = dev.shards.iter().map(|s| s.vectors).sum();
+        assert_eq!(covered, 320);
+    }
+
+    #[test]
+    fn tiny_dataset_uses_fewer_vaults() {
+        let store = random_store(5, 4, 9);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        assert!(dev.shards.len() <= 5);
+        let q = [0.0f32; 4];
+        let r = dev.query(&DeviceQuery::Euclidean(&q), 3).expect("runs");
+        assert_eq!(r.neighbors.len(), 3);
+    }
+
+    #[test]
+    fn timing_is_positive_and_consistent() {
+        let store = random_store(200, 16, 10);
+        let mut dev = device(8);
+        dev.load_vectors(&store);
+        let q = [0.1f32; 16];
+        let r = dev.query(&DeviceQuery::Euclidean(&q), 5).expect("runs");
+        assert!(r.timing.seconds > 0.0);
+        assert!(r.timing.energy_mj > 0.0);
+        assert!(r.timing.pus_per_vault >= 1);
+        assert!(r.timing.total_bytes >= (200 * 16 * 4) as u64);
+    }
+
+    #[test]
+    fn estimate_throughput_averages_queries() {
+        let store = random_store(100, 8, 11);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q1 = [0.0f32; 8];
+        let q2 = [0.5f32; 8];
+        let est = dev
+            .estimate_throughput(
+                &[DeviceQuery::Euclidean(&q1), DeviceQuery::Euclidean(&q2)],
+                4,
+            )
+            .expect("runs");
+        assert!(est.queries_per_second > 0.0);
+        assert!((est.seconds_per_query * est.queries_per_second - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimensionality mismatch")]
+    fn dimension_mismatch_panics() {
+        let store = random_store(10, 4, 12);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q = [0.0f32; 5];
+        let _ = dev.query(&DeviceQuery::Euclidean(&q), 1);
+    }
+}

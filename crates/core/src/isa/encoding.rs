@@ -1,0 +1,335 @@
+//! Binary instruction encoding.
+//!
+//! Instructions encode to a fixed 64-bit word:
+//!
+//! ```text
+//!  63      56 55      48 47      40 39      32 31               0
+//! +----------+----------+----------+----------+------------------+
+//! |  opcode  |  sub/fa  |    a     |    b     |   imm (i32)      |
+//! +----------+----------+----------+----------+------------------+
+//! ```
+//!
+//! `opcode` is the instruction shape ([`Opcode`]), `sub` carries the ALU
+//! op / branch condition / queue field, `a`/`b` are register numbers (or
+//! the third register packed into `sub` for three-register shapes), and
+//! `imm` holds immediates, offsets, branch targets, and lane indices.
+//! Instruction memories on each PU hold these words ("execution binaries
+//! are written to instruction memories on each processing unit",
+//! Section III-D).
+
+use super::inst::{AluOp, BranchCond, Instruction, Opcode, PqField, UnaryOp};
+use super::reg::{SReg, VReg};
+
+/// Error from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown sub-operation byte for the given opcode.
+    BadSubOp(u8),
+    /// Register field out of range.
+    BadRegister(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#x}"),
+            DecodeError::BadSubOp(b) => write!(f, "unknown sub-op byte {b:#x}"),
+            DecodeError::BadRegister(b) => write!(f, "register field {b} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::Mult => 2,
+        AluOp::Or => 3,
+        AluOp::And => 4,
+        AluOp::Xor => 5,
+        AluOp::Sl => 6,
+        AluOp::Sr => 7,
+        AluOp::Sra => 8,
+    }
+}
+
+fn alu_from(code: u8) -> Result<AluOp, DecodeError> {
+    Ok(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::Mult,
+        3 => AluOp::Or,
+        4 => AluOp::And,
+        5 => AluOp::Xor,
+        6 => AluOp::Sl,
+        7 => AluOp::Sr,
+        8 => AluOp::Sra,
+        b => return Err(DecodeError::BadSubOp(b)),
+    })
+}
+
+fn unary_code(op: UnaryOp) -> u8 {
+    match op {
+        UnaryOp::Not => 0,
+        UnaryOp::Popcount => 1,
+    }
+}
+
+fn unary_from(code: u8) -> Result<UnaryOp, DecodeError> {
+    Ok(match code {
+        0 => UnaryOp::Not,
+        1 => UnaryOp::Popcount,
+        b => return Err(DecodeError::BadSubOp(b)),
+    })
+}
+
+fn cond_code(c: BranchCond) -> u8 {
+    match c {
+        BranchCond::Ne => 0,
+        BranchCond::Gt => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Eq => 3,
+    }
+}
+
+fn cond_from(code: u8) -> Result<BranchCond, DecodeError> {
+    Ok(match code {
+        0 => BranchCond::Ne,
+        1 => BranchCond::Gt,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Eq,
+        b => return Err(DecodeError::BadSubOp(b)),
+    })
+}
+
+fn field_code(f: PqField) -> u8 {
+    match f {
+        PqField::Id => 0,
+        PqField::Value => 1,
+        PqField::Size => 2,
+    }
+}
+
+fn field_from(code: u8) -> Result<PqField, DecodeError> {
+    Ok(match code {
+        0 => PqField::Id,
+        1 => PqField::Value,
+        2 => PqField::Size,
+        b => return Err(DecodeError::BadSubOp(b)),
+    })
+}
+
+#[inline]
+fn pack(op: Opcode, sub: u8, a: u8, b: u8, imm: i32) -> u64 {
+    ((op as u64) << 56)
+        | ((sub as u64) << 48)
+        | ((a as u64) << 40)
+        | ((b as u64) << 32)
+        | (imm as u32 as u64)
+}
+
+fn sreg(b: u8) -> Result<SReg, DecodeError> {
+    if (b as usize) < super::reg::NUM_SCALAR_REGS {
+        Ok(SReg(b))
+    } else {
+        Err(DecodeError::BadRegister(b))
+    }
+}
+
+fn vreg(b: u8) -> Result<VReg, DecodeError> {
+    if (b as usize) < super::reg::NUM_VECTOR_REGS {
+        Ok(VReg(b))
+    } else {
+        Err(DecodeError::BadRegister(b))
+    }
+}
+
+/// Encodes an instruction to its 64-bit word.
+pub fn encode(inst: &Instruction) -> u64 {
+    use Instruction::*;
+    match *inst {
+        SAlu { op, rd, rs1, rs2 } => pack(Opcode::SAlu, alu_code(op), rd.0, rs1.0, rs2.0 as i32),
+        SAluImm { op, rd, rs1, imm } => pack(Opcode::SAluImm, alu_code(op), rd.0, rs1.0, imm),
+        SUnary { op, rd, rs1 } => pack(Opcode::SUnary, unary_code(op), rd.0, rs1.0, 0),
+        Branch { cond, rs1, rs2, target } => {
+            pack(Opcode::Branch, cond_code(cond), rs1.0, rs2.0, target as i32)
+        }
+        Jump { target } => pack(Opcode::Jump, 0, 0, 0, target as i32),
+        Push { rs1 } => pack(Opcode::Push, 0, rs1.0, 0, 0),
+        Pop { rd } => pack(Opcode::Pop, 0, rd.0, 0, 0),
+        PqueueInsert { rs_id, rs_val } => pack(Opcode::PqueueInsert, 0, rs_id.0, rs_val.0, 0),
+        PqueueLoad { rd, rs_idx, field } => {
+            pack(Opcode::PqueueLoad, field_code(field), rd.0, rs_idx.0, 0)
+        }
+        PqueueReset => pack(Opcode::PqueueReset, 0, 0, 0, 0),
+        Sfxp { rd, rs1, rs2 } => pack(Opcode::Sfxp, 0, rd.0, rs1.0, rs2.0 as i32),
+        Load { rd, rs_base, offset } => pack(Opcode::Load, 0, rd.0, rs_base.0, offset),
+        Store { rs_val, rs_base, offset } => pack(Opcode::Store, 0, rs_val.0, rs_base.0, offset),
+        MemFetch { rs_base, len } => pack(Opcode::MemFetch, 0, rs_base.0, 0, len),
+        SvMove { vd, rs1, lane } => pack(Opcode::SvMove, 0, vd.0, rs1.0, lane as i32),
+        VsMove { rd, vs1, lane } => pack(Opcode::VsMove, 0, rd.0, vs1.0, lane as i32),
+        Halt => pack(Opcode::Halt, 0, 0, 0, 0),
+        VAlu { op, vd, vs1, vs2 } => pack(Opcode::VAlu, alu_code(op), vd.0, vs1.0, vs2.0 as i32),
+        VAluImm { op, vd, vs1, imm } => pack(Opcode::VAluImm, alu_code(op), vd.0, vs1.0, imm),
+        VUnary { op, vd, vs1 } => pack(Opcode::VUnary, unary_code(op), vd.0, vs1.0, 0),
+        Vfxp { vd, vs1, vs2 } => pack(Opcode::Vfxp, 0, vd.0, vs1.0, vs2.0 as i32),
+        VLoad { vd, rs_base, offset } => pack(Opcode::VLoad, 0, vd.0, rs_base.0, offset),
+        VStore { vs, rs_base, offset } => pack(Opcode::VStore, 0, vs.0, rs_base.0, offset),
+    }
+}
+
+/// Decodes a 64-bit word back to an instruction.
+pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
+    let opbyte = (word >> 56) as u8;
+    let sub = (word >> 48) as u8;
+    let a = (word >> 40) as u8;
+    let b = (word >> 32) as u8;
+    let imm = word as u32 as i32;
+    use Instruction as I;
+    Ok(match opbyte {
+        x if x == Opcode::SAlu as u8 => I::SAlu {
+            op: alu_from(sub)?,
+            rd: sreg(a)?,
+            rs1: sreg(b)?,
+            rs2: sreg(imm as u8)?,
+        },
+        x if x == Opcode::SAluImm as u8 => {
+            I::SAluImm { op: alu_from(sub)?, rd: sreg(a)?, rs1: sreg(b)?, imm }
+        }
+        x if x == Opcode::SUnary as u8 => {
+            I::SUnary { op: unary_from(sub)?, rd: sreg(a)?, rs1: sreg(b)? }
+        }
+        x if x == Opcode::Branch as u8 => I::Branch {
+            cond: cond_from(sub)?,
+            rs1: sreg(a)?,
+            rs2: sreg(b)?,
+            target: imm as u32,
+        },
+        x if x == Opcode::Jump as u8 => I::Jump { target: imm as u32 },
+        x if x == Opcode::Push as u8 => I::Push { rs1: sreg(a)? },
+        x if x == Opcode::Pop as u8 => I::Pop { rd: sreg(a)? },
+        x if x == Opcode::PqueueInsert as u8 => {
+            I::PqueueInsert { rs_id: sreg(a)?, rs_val: sreg(b)? }
+        }
+        x if x == Opcode::PqueueLoad as u8 => {
+            I::PqueueLoad { rd: sreg(a)?, rs_idx: sreg(b)?, field: field_from(sub)? }
+        }
+        x if x == Opcode::PqueueReset as u8 => I::PqueueReset,
+        x if x == Opcode::Sfxp as u8 => {
+            I::Sfxp { rd: sreg(a)?, rs1: sreg(b)?, rs2: sreg(imm as u8)? }
+        }
+        x if x == Opcode::Load as u8 => I::Load { rd: sreg(a)?, rs_base: sreg(b)?, offset: imm },
+        x if x == Opcode::Store as u8 => {
+            I::Store { rs_val: sreg(a)?, rs_base: sreg(b)?, offset: imm }
+        }
+        x if x == Opcode::MemFetch as u8 => I::MemFetch { rs_base: sreg(a)?, len: imm },
+        x if x == Opcode::SvMove as u8 => {
+            I::SvMove { vd: vreg(a)?, rs1: sreg(b)?, lane: imm as i8 }
+        }
+        x if x == Opcode::VsMove as u8 => {
+            I::VsMove { rd: sreg(a)?, vs1: vreg(b)?, lane: imm as u8 }
+        }
+        x if x == Opcode::Halt as u8 => I::Halt,
+        x if x == Opcode::VAlu as u8 => I::VAlu {
+            op: alu_from(sub)?,
+            vd: vreg(a)?,
+            vs1: vreg(b)?,
+            vs2: vreg(imm as u8)?,
+        },
+        x if x == Opcode::VAluImm as u8 => {
+            I::VAluImm { op: alu_from(sub)?, vd: vreg(a)?, vs1: vreg(b)?, imm }
+        }
+        x if x == Opcode::VUnary as u8 => {
+            I::VUnary { op: unary_from(sub)?, vd: vreg(a)?, vs1: vreg(b)? }
+        }
+        x if x == Opcode::Vfxp as u8 => {
+            I::Vfxp { vd: vreg(a)?, vs1: vreg(b)?, vs2: vreg(imm as u8)? }
+        }
+        x if x == Opcode::VLoad as u8 => I::VLoad { vd: vreg(a)?, rs_base: sreg(b)?, offset: imm },
+        x if x == Opcode::VStore as u8 => {
+            I::VStore { vs: vreg(a)?, rs_base: sreg(b)?, offset: imm }
+        }
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::inst::{AluOp, BranchCond, PqField, UnaryOp};
+
+    fn all_shapes() -> Vec<Instruction> {
+        use Instruction::*;
+        vec![
+            SAlu { op: AluOp::Mult, rd: SReg(1), rs1: SReg(2), rs2: SReg(3) },
+            SAluImm { op: AluOp::Sra, rd: SReg(31), rs1: SReg(0), imm: -12345 },
+            SUnary { op: UnaryOp::Popcount, rd: SReg(4), rs1: SReg(5) },
+            Branch { cond: BranchCond::Gt, rs1: SReg(6), rs2: SReg(7), target: 99 },
+            Jump { target: 1234 },
+            Push { rs1: SReg(8) },
+            Pop { rd: SReg(9) },
+            PqueueInsert { rs_id: SReg(10), rs_val: SReg(11) },
+            PqueueLoad { rd: SReg(12), rs_idx: SReg(13), field: PqField::Value },
+            PqueueReset,
+            Sfxp { rd: SReg(14), rs1: SReg(15), rs2: SReg(16) },
+            Load { rd: SReg(17), rs_base: SReg(18), offset: -64 },
+            Store { rs_val: SReg(19), rs_base: SReg(20), offset: 4096 },
+            MemFetch { rs_base: SReg(21), len: 1 << 20 },
+            SvMove { vd: VReg(1), rs1: SReg(22), lane: -1 },
+            VsMove { rd: SReg(23), vs1: VReg(2), lane: 15 },
+            Halt,
+            VAlu { op: AluOp::Xor, vd: VReg(3), vs1: VReg(4), vs2: VReg(5) },
+            VAluImm { op: AluOp::Sl, vd: VReg(6), vs1: VReg(7), imm: 16 },
+            VUnary { op: UnaryOp::Not, vd: VReg(0), vs1: VReg(1) },
+            Vfxp { vd: VReg(2), vs1: VReg(3), vs2: VReg(4) },
+            VLoad { vd: VReg(5), rs_base: SReg(24), offset: 128 },
+            VStore { vs: VReg(6), rs_base: SReg(25), offset: -4 },
+        ]
+    }
+
+    #[test]
+    fn every_shape_round_trips() {
+        for inst in all_shapes() {
+            let word = encode(&inst);
+            let back = decode(word).expect("decodes");
+            assert_eq!(back, inst, "round-trip failed for {inst}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(matches!(decode(0xFF << 56), Err(DecodeError::BadOpcode(0xFF))));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        // SAlu with rd = 40 (out of range).
+        let word = pack(Opcode::SAlu, 0, 40, 0, 0);
+        assert!(matches!(decode(word), Err(DecodeError::BadRegister(40))));
+    }
+
+    #[test]
+    fn bad_subop_rejected() {
+        let word = pack(Opcode::SAlu, 99, 0, 0, 0);
+        assert!(matches!(decode(word), Err(DecodeError::BadSubOp(99))));
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let i = Instruction::SAluImm { op: AluOp::Add, rd: SReg(1), rs1: SReg(1), imm: i32::MIN };
+        assert_eq!(decode(encode(&i)).expect("decodes"), i);
+    }
+
+    #[test]
+    fn encodings_are_distinct() {
+        let words: Vec<u64> = all_shapes().iter().map(encode).collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), words.len());
+    }
+}

@@ -1,0 +1,534 @@
+//! Instruction definitions (paper Table II).
+//!
+//! Instruction classes map one-to-one onto the paper's table:
+//!
+//! | Table II row                     | Here |
+//! |----------------------------------|------|
+//! | Arithmetic (S/V) `ADD SUB MULT POPCOUNT ADDI SUBI MULTI` | [`AluOp::Add`]/[`AluOp::Sub`]/[`AluOp::Mult`] reg/imm forms, [`UnaryOp::Popcount`] |
+//! | Bitwise/Shift (S/V) `OR AND NOT XOR ANDI ORI XORI SR SL SRA` | [`AluOp`] bitwise/shift ops, [`UnaryOp::Not`] |
+//! | Control (S) `BNE BGT BLT BE J`   | [`Instruction::Branch`], [`Instruction::Jump`] |
+//! | Stack unit (S) `POP PUSH`        | [`Instruction::Pop`], [`Instruction::Push`] |
+//! | Moves/Memory (S/V) `SVMOVE VSMOVE MEM_FETCH LOAD STORE` | [`Instruction::SvMove`], [`Instruction::VsMove`], [`Instruction::MemFetch`], scalar/vector load/store |
+//! | New SSAM `PQUEUE_*`, `FXP`       | [`Instruction::PqueueInsert`]/[`Instruction::PqueueLoad`]/[`Instruction::PqueueReset`], [`Instruction::Sfxp`]/[`Instruction::Vfxp`] |
+//!
+//! `MULT` implements the PU's native Q16.16 fixed-point multiply
+//! (`(a·b) >> 16` with a 64-bit intermediate); address arithmetic in
+//! kernels uses shifts and adds, so no integer multiply is needed.
+//! `HALT` terminates a kernel (the hardware raises "done" to the vault
+//! controller); it is an assembler-level addition not listed in Table II.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use super::reg::{SReg, VReg};
+
+/// Two-operand ALU operations, shared by scalar and vector datapaths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping 32-bit add.
+    Add,
+    /// Wrapping 32-bit subtract.
+    Sub,
+    /// Q16.16 fixed-point multiply: `(a as i64 * b as i64) >> 16`.
+    Mult,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (by rs2/imm & 31).
+    Sl,
+    /// Logical shift right.
+    Sr,
+    /// Arithmetic shift right.
+    Sra,
+}
+
+impl AluOp {
+    /// Applies the operation to 32-bit operands.
+    #[inline]
+    pub fn eval(self, a: i32, b: i32) -> i32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mult => (((a as i64) * (b as i64)) >> 16) as i32,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sl => ((a as u32) << (b as u32 & 31)) as i32,
+            AluOp::Sr => ((a as u32) >> (b as u32 & 31)) as i32,
+            AluOp::Sra => a >> (b as u32 & 31),
+        }
+    }
+
+    /// Assembly mnemonic stem (scalar form).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mult => "mult",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Xor => "xor",
+            AluOp::Sl => "sl",
+            AluOp::Sr => "sr",
+            AluOp::Sra => "sra",
+        }
+    }
+}
+
+/// One-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Bitwise NOT.
+    Not,
+    /// Population count.
+    Popcount,
+}
+
+impl UnaryOp {
+    /// Applies the operation.
+    #[inline]
+    pub fn eval(self, a: i32) -> i32 {
+        match self {
+            UnaryOp::Not => !a,
+            UnaryOp::Popcount => a.count_ones() as i32,
+        }
+    }
+
+    /// Assembly mnemonic stem.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnaryOp::Not => "not",
+            UnaryOp::Popcount => "popcount",
+        }
+    }
+}
+
+/// Branch conditions (`BNE`, `BGT`, `BLT`, `BE`). Comparisons are signed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// Branch if not equal.
+    Ne,
+    /// Branch if `rs1 > rs2`.
+    Gt,
+    /// Branch if `rs1 < rs2`.
+    Lt,
+    /// Branch if equal.
+    Eq,
+}
+
+impl BranchCond {
+    /// Evaluates the condition.
+    #[inline]
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            BranchCond::Ne => a != b,
+            BranchCond::Gt => a > b,
+            BranchCond::Lt => a < b,
+            BranchCond::Eq => a == b,
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Ne => "bne",
+            BranchCond::Gt => "bgt",
+            BranchCond::Lt => "blt",
+            BranchCond::Eq => "be",
+        }
+    }
+}
+
+/// Field selector for `PQUEUE_LOAD` ("reads either the id or the value of
+/// a tuple in the priority queue at a designated queue position").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PqField {
+    /// The stored identifier.
+    Id,
+    /// The stored distance value.
+    Value,
+    /// Current occupancy (implementation extension used by kernels to read
+    /// back partial results).
+    Size,
+}
+
+/// One SSAM PU instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instruction {
+    // ---- scalar datapath ----
+    /// Scalar reg-reg ALU: `rd = op(rs1, rs2)`.
+    SAlu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: SReg,
+        /// First source.
+        rs1: SReg,
+        /// Second source.
+        rs2: SReg,
+    },
+    /// Scalar reg-imm ALU: `rd = op(rs1, imm)`.
+    SAluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: SReg,
+        /// Source.
+        rs1: SReg,
+        /// Immediate operand.
+        imm: i32,
+    },
+    /// Scalar unary ALU: `rd = op(rs1)`.
+    SUnary {
+        /// Operation.
+        op: UnaryOp,
+        /// Destination.
+        rd: SReg,
+        /// Source.
+        rs1: SReg,
+    },
+    /// Conditional branch to an absolute instruction index.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// Left comparand.
+        rs1: SReg,
+        /// Right comparand.
+        rs2: SReg,
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Unconditional jump to an absolute instruction index.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// Push `rs1` onto the hardware stack.
+    Push {
+        /// Source register.
+        rs1: SReg,
+    },
+    /// Pop the hardware stack into `rd`.
+    Pop {
+        /// Destination register.
+        rd: SReg,
+    },
+    /// Insert the `(id, value)` pair `(rs_id, rs_val)` into the hardware
+    /// priority queue.
+    PqueueInsert {
+        /// Register holding the candidate id.
+        rs_id: SReg,
+        /// Register holding the candidate distance.
+        rs_val: SReg,
+    },
+    /// Read `field` of the queue entry at position `rs_idx` into `rd`.
+    PqueueLoad {
+        /// Destination register.
+        rd: SReg,
+        /// Register holding the queue position.
+        rs_idx: SReg,
+        /// Which field to read.
+        field: PqField,
+    },
+    /// Clear the hardware priority queue.
+    PqueueReset,
+    /// Scalar fused xor-popcount: `rd = rd + popcount(rs1 ^ rs2)`.
+    Sfxp {
+        /// Accumulator (read-modify-write).
+        rd: SReg,
+        /// First source.
+        rs1: SReg,
+        /// Second source.
+        rs2: SReg,
+    },
+    /// Scalar load: `rd = mem[rs_base + offset]` (word-addressed bytes).
+    Load {
+        /// Destination register.
+        rd: SReg,
+        /// Base address register.
+        rs_base: SReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Scalar store: `mem[rs_base + offset] = rs_val`.
+    Store {
+        /// Value register.
+        rs_val: SReg,
+        /// Base address register.
+        rs_base: SReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Prefetch `len` bytes starting at `rs_base` into the stream buffer.
+    MemFetch {
+        /// Base address register.
+        rs_base: SReg,
+        /// Bytes to prefetch.
+        len: i32,
+    },
+    /// Scalar→vector move: broadcast `rs1` to all lanes of `vd` when
+    /// `lane < 0`, else write lane `lane`.
+    SvMove {
+        /// Destination vector register.
+        vd: VReg,
+        /// Source scalar register.
+        rs1: SReg,
+        /// Lane index, or -1 for broadcast.
+        lane: i8,
+    },
+    /// Vector→scalar move: `rd = vs1[lane]`.
+    VsMove {
+        /// Destination scalar register.
+        rd: SReg,
+        /// Source vector register.
+        vs1: VReg,
+        /// Lane index.
+        lane: u8,
+    },
+    /// Stop execution (kernel complete).
+    Halt,
+
+    // ---- vector datapath ----
+    /// Vector reg-reg ALU, per lane: `vd[l] = op(vs1[l], vs2[l])`.
+    VAlu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        vd: VReg,
+        /// First source.
+        vs1: VReg,
+        /// Second source.
+        vs2: VReg,
+    },
+    /// Vector reg-imm ALU, per lane: `vd[l] = op(vs1[l], imm)`.
+    VAluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vs1: VReg,
+        /// Immediate operand.
+        imm: i32,
+    },
+    /// Vector unary ALU, per lane.
+    VUnary {
+        /// Operation.
+        op: UnaryOp,
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vs1: VReg,
+    },
+    /// Vector fused xor-popcount, per lane:
+    /// `vd[l] = vd[l] + popcount(vs1[l] ^ vs2[l])` — 32 binary dimensions
+    /// per lane per cycle (Section III-C).
+    Vfxp {
+        /// Accumulator vector register (read-modify-write).
+        vd: VReg,
+        /// First source.
+        vs1: VReg,
+        /// Second source.
+        vs2: VReg,
+    },
+    /// Vector load: `vd[l] = mem[rs_base + offset + 4·l]`.
+    VLoad {
+        /// Destination vector register.
+        vd: VReg,
+        /// Base address register.
+        rs_base: SReg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Vector store: `mem[rs_base + offset + 4·l] = vs[l]`.
+    VStore {
+        /// Source vector register.
+        vs: VReg,
+        /// Base address register.
+        rs_base: SReg,
+        /// Byte offset.
+        offset: i32,
+    },
+}
+
+impl Instruction {
+    /// True for instructions executed on the vector datapath.
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Instruction::VAlu { .. }
+                | Instruction::VAluImm { .. }
+                | Instruction::VUnary { .. }
+                | Instruction::Vfxp { .. }
+                | Instruction::VLoad { .. }
+                | Instruction::VStore { .. }
+                | Instruction::SvMove { .. }
+                | Instruction::VsMove { .. }
+        )
+    }
+
+    /// True for loads/stores/prefetches (either datapath).
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Load { .. }
+                | Instruction::Store { .. }
+                | Instruction::VLoad { .. }
+                | Instruction::VStore { .. }
+                | Instruction::MemFetch { .. }
+        )
+    }
+
+    /// True for control-flow instructions.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instruction::Branch { .. } | Instruction::Jump { .. } | Instruction::Halt
+        )
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            SAlu { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+            SAluImm { op, rd, rs1, imm } => write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic()),
+            SUnary { op, rd, rs1 } => write!(f, "{} {rd}, {rs1}", op.mnemonic()),
+            Branch { cond, rs1, rs2, target } => {
+                write!(f, "{} {rs1}, {rs2}, {target}", cond.mnemonic())
+            }
+            Jump { target } => write!(f, "j {target}"),
+            Push { rs1 } => write!(f, "push {rs1}"),
+            Pop { rd } => write!(f, "pop {rd}"),
+            PqueueInsert { rs_id, rs_val } => write!(f, "pqueue_insert {rs_id}, {rs_val}"),
+            PqueueLoad { rd, rs_idx, field } => {
+                let fieldname = match field {
+                    PqField::Id => "id",
+                    PqField::Value => "value",
+                    PqField::Size => "size",
+                };
+                write!(f, "pqueue_load {rd}, {rs_idx}, {fieldname}")
+            }
+            PqueueReset => write!(f, "pqueue_reset"),
+            Sfxp { rd, rs1, rs2 } => write!(f, "sfxp {rd}, {rs1}, {rs2}"),
+            Load { rd, rs_base, offset } => write!(f, "load {rd}, {rs_base}, {offset}"),
+            Store { rs_val, rs_base, offset } => write!(f, "store {rs_val}, {rs_base}, {offset}"),
+            MemFetch { rs_base, len } => write!(f, "mem_fetch {rs_base}, {len}"),
+            SvMove { vd, rs1, lane } => write!(f, "svmove {vd}, {rs1}, {lane}"),
+            VsMove { rd, vs1, lane } => write!(f, "vsmove {rd}, {vs1}, {lane}"),
+            Halt => write!(f, "halt"),
+            VAlu { op, vd, vs1, vs2 } => write!(f, "v{} {vd}, {vs1}, {vs2}", op.mnemonic()),
+            VAluImm { op, vd, vs1, imm } => write!(f, "v{}i {vd}, {vs1}, {imm}", op.mnemonic()),
+            VUnary { op, vd, vs1 } => write!(f, "v{} {vd}, {vs1}", op.mnemonic()),
+            Vfxp { vd, vs1, vs2 } => write!(f, "vfxp {vd}, {vs1}, {vs2}"),
+            VLoad { vd, rs_base, offset } => write!(f, "vload {vd}, {rs_base}, {offset}"),
+            VStore { vs, rs_base, offset } => write!(f, "vstore {vs}, {rs_base}, {offset}"),
+        }
+    }
+}
+
+/// Numeric opcode identifiers used by the binary encoding (one per
+/// instruction *shape*; ALU/branch subops are encoded in a field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    SAlu = 0,
+    SAluImm = 1,
+    SUnary = 2,
+    Branch = 3,
+    Jump = 4,
+    Push = 5,
+    Pop = 6,
+    PqueueInsert = 7,
+    PqueueLoad = 8,
+    PqueueReset = 9,
+    Sfxp = 10,
+    Load = 11,
+    Store = 12,
+    MemFetch = 13,
+    SvMove = 14,
+    VsMove = 15,
+    Halt = 16,
+    VAlu = 17,
+    VAluImm = 18,
+    VUnary = 19,
+    Vfxp = 20,
+    VLoad = 21,
+    VStore = 22,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(3, 4), 7);
+        assert_eq!(AluOp::Sub.eval(3, 4), -1);
+        assert_eq!(AluOp::Add.eval(i32::MAX, 1), i32::MIN); // wrapping
+        assert_eq!(AluOp::Or.eval(0b1010, 0b0101), 0b1111);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sl.eval(1, 4), 16);
+        assert_eq!(AluOp::Sr.eval(-1, 28), 0xF);
+        assert_eq!(AluOp::Sra.eval(-16, 2), -4);
+    }
+
+    #[test]
+    fn mult_is_q16_16() {
+        let one_half = 1 << 15; // 0.5 in Q16.16
+        let two = 2 << 16;
+        assert_eq!(AluOp::Mult.eval(one_half, two), 1 << 16); // 0.5*2 = 1.0
+        // Large squares use the 64-bit intermediate.
+        let d = 3 << 16; // 3.0
+        assert_eq!(AluOp::Mult.eval(d, d), 9 << 16);
+    }
+
+    #[test]
+    fn shift_amount_masks_to_five_bits() {
+        assert_eq!(AluOp::Sl.eval(1, 33), 2);
+    }
+
+    #[test]
+    fn unary_semantics() {
+        assert_eq!(UnaryOp::Not.eval(0), -1);
+        assert_eq!(UnaryOp::Popcount.eval(0b1011), 3);
+        assert_eq!(UnaryOp::Popcount.eval(-1), 32);
+    }
+
+    #[test]
+    fn branch_semantics_are_signed() {
+        assert!(BranchCond::Lt.eval(-5, 3));
+        assert!(!BranchCond::Gt.eval(-5, 3));
+        assert!(BranchCond::Ne.eval(1, 2));
+        assert!(BranchCond::Eq.eval(7, 7));
+    }
+
+    #[test]
+    fn classification() {
+        let v = Instruction::VAlu {
+            op: AluOp::Add,
+            vd: VReg::new(0),
+            vs1: VReg::new(1),
+            vs2: VReg::new(2),
+        };
+        assert!(v.is_vector());
+        assert!(!v.is_memory());
+        let l = Instruction::VLoad { vd: VReg::new(0), rs_base: SReg::new(1), offset: 0 };
+        assert!(l.is_vector() && l.is_memory());
+        assert!(Instruction::Halt.is_control());
+    }
+
+    #[test]
+    fn display_round_trips_mnemonics() {
+        let i = Instruction::SAluImm { op: AluOp::Add, rd: SReg::new(1), rs1: SReg::new(2), imm: -3 };
+        assert_eq!(i.to_string(), "addi s1, s2, -3");
+        let f = Instruction::Vfxp { vd: VReg::new(1), vs1: VReg::new(2), vs2: VReg::new(3) };
+        assert_eq!(f.to_string(), "vfxp v1, v2, v3");
+    }
+}

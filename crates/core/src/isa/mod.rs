@@ -1,0 +1,37 @@
+//! The SSAM processing-unit instruction set (paper Table II).
+//!
+//! The PU is a fully integrated scalar + vector machine in the spirit of
+//! the CRAY-1 (the paper cites Russell '78): one instruction stream drives
+//! a scalar datapath (index traversal, control) and a vector datapath
+//! (distance calculations), because "at any given time a processing unit
+//! will only be performing either distance calculations or index
+//! traversals".
+//!
+//! Architectural parameters (Section III-C):
+//! * 32 scalar registers (`s0`–`s31`, `s0` hardwired to zero),
+//! * 8 vector registers (`v0`–`v7`) of 2/4/8/16 32-bit lanes,
+//! * a 16-entry hardware priority queue (chainable for larger k),
+//! * a hardware stack for backtracking traversals,
+//! * a 32 KB scratchpad,
+//! * Q16.16 fixed-point arithmetic (Section II-D: 32-bit fixed point shows
+//!   negligible accuracy loss versus float).
+
+pub mod encoding;
+pub mod inst;
+pub mod reg;
+
+pub use inst::{Instruction, Opcode};
+pub use reg::{SReg, VReg, NUM_SCALAR_REGS, NUM_VECTOR_REGS};
+
+/// Supported vector lengths (the paper's design sweep).
+pub const VECTOR_LENGTHS: [usize; 4] = [2, 4, 8, 16];
+
+/// Scratchpad capacity in bytes (Section III-C: 32 KB).
+pub const SCRATCHPAD_BYTES: usize = 32 * 1024;
+
+/// Hardware priority-queue depth (Section III-C: 16 entries).
+pub const PQUEUE_DEPTH: usize = 16;
+
+/// Base byte address of the DRAM (vault) space in a PU's address map;
+/// addresses below this fall in the scratchpad.
+pub const DRAM_BASE: u32 = 0x1000_0000;

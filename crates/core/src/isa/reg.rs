@@ -1,0 +1,92 @@
+//! Register identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of scalar registers ("32 scalar registers … are sufficient").
+pub const NUM_SCALAR_REGS: usize = 32;
+/// Number of vector registers ("8 vector registers").
+pub const NUM_VECTOR_REGS: usize = 8;
+
+/// A scalar register `s0`–`s31`; `s0` reads as zero and ignores writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SReg(pub u8);
+
+/// A vector register `v0`–`v7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VReg(pub u8);
+
+impl SReg {
+    /// The hardwired-zero register.
+    pub const ZERO: SReg = SReg(0);
+
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics if `i >= 32`.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < NUM_SCALAR_REGS, "scalar register s{i} out of range");
+        SReg(i)
+    }
+
+    /// Index into the register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VReg {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    /// Panics if `i >= 8`.
+    pub fn new(i: u8) -> Self {
+        assert!((i as usize) < NUM_VECTOR_REGS, "vector register v{i} out of range");
+        VReg(i)
+    }
+
+    /// Index into the register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SReg::new(7).to_string(), "s7");
+        assert_eq!(VReg::new(3).to_string(), "v3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scalar_register_bounds() {
+        let _ = SReg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vector_register_bounds() {
+        let _ = VReg::new(8);
+    }
+
+    #[test]
+    fn zero_register_is_s0() {
+        assert_eq!(SReg::ZERO, SReg::new(0));
+    }
+}

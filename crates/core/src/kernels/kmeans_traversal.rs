@@ -1,0 +1,448 @@
+//! On-accelerator hierarchical k-means traversal.
+//!
+//! Section III-B: "unlike GPU cores, processing units are not restricted
+//! to operating in lockstep and multiple different indexing kernels can
+//! coexist on each SSAM module." This is the second index family running
+//! natively on the PU: interior nodes hold their children's centroids in
+//! the scratchpad; the kernel computes the query's distance to every
+//! child centroid on the vector datapath, descends into the nearest, and
+//! pushes the far siblings onto the hardware stack for backtracking —
+//! exactly the Section II-C hierarchical k-means search, in Table II
+//! instructions.
+//!
+//! ## Scratchpad layout (addresses are spad-absolute)
+//!
+//! ```text
+//! interior header (4 words): [ nchildren | centroid base | child-array base | 0 ]
+//! centroid block:            nchildren × vec_words Q16.16 words
+//! child array:               nchildren node addresses
+//! leaf (4 words):            [ -1 | count | bucket DRAM addr | first id ]
+//! ```
+
+use ssam_knn::fixed::Fix32;
+use ssam_knn::kmeans::{kmeans, KMeansParams};
+use ssam_knn::VectorStore;
+
+use super::traversal::TREE_ADDR;
+use super::{Kernel, KernelLayout};
+
+/// A k-means tree staged for the traversal kernel.
+#[derive(Debug, Clone)]
+pub struct KmTreeImage {
+    /// Scratchpad words, to be written at [`TREE_ADDR`].
+    pub spad_words: Vec<i32>,
+    /// Scratchpad byte address of the root node.
+    pub root_addr: u32,
+    /// Bucket-contiguous Q16.16 dataset image for DRAM.
+    pub dram_words: Vec<i32>,
+    /// Image position → original row id.
+    pub id_order: Vec<u32>,
+    /// Leaves emitted.
+    pub leaves: usize,
+    /// Words per padded vector.
+    pub vec_words: usize,
+}
+
+struct Builder<'a> {
+    store: &'a VectorStore,
+    branching: usize,
+    leaf_size: usize,
+    vec_words: usize,
+    seed: u64,
+    spad: Vec<i32>,
+    dram: Vec<i32>,
+    id_order: Vec<u32>,
+    leaves: usize,
+}
+
+impl Builder<'_> {
+    fn spad_addr(&self) -> u32 {
+        TREE_ADDR + 4 * self.spad.len() as u32
+    }
+
+    fn push_vec_quantized(buf: &mut Vec<i32>, v: &[f32], vec_words: usize) {
+        for &x in v {
+            buf.push(Fix32::from_f32(x).0);
+        }
+        buf.resize(buf.len() + (vec_words - v.len()), 0);
+    }
+
+    fn emit(&mut self, ids: Vec<u32>, level: usize) -> u32 {
+        if ids.len() <= self.leaf_size {
+            let dram_addr = crate::isa::DRAM_BASE as i64 + self.dram.len() as i64 * 4;
+            let first_local = (self.dram.len() / self.vec_words) as i32;
+            for &id in &ids {
+                Self::push_vec_quantized(&mut self.dram, self.store.get(id), self.vec_words);
+                self.id_order.push(id);
+            }
+            self.leaves += 1;
+            let addr = self.spad_addr();
+            self.spad
+                .extend_from_slice(&[-1, ids.len() as i32, dram_addr as i32, first_local]);
+            return addr;
+        }
+
+        let km = kmeans(
+            self.store,
+            Some(&ids),
+            KMeansParams {
+                k: self.branching,
+                max_iters: 8,
+                seed: self
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(level as u64)
+                    .wrapping_add(ids[0] as u64),
+            },
+        );
+        let kk = km.centroids.len();
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); kk];
+        for (slot, &id) in ids.iter().enumerate() {
+            groups[km.assignments[slot] as usize].push(id);
+        }
+        // Degenerate split (duplicates): emit a leaf regardless of size so
+        // the recursion terminates.
+        if groups.iter().filter(|g| !g.is_empty()).count() <= 1 {
+            let dram_addr = crate::isa::DRAM_BASE as i64 + self.dram.len() as i64 * 4;
+            let first_local = (self.dram.len() / self.vec_words) as i32;
+            for &id in &ids {
+                Self::push_vec_quantized(&mut self.dram, self.store.get(id), self.vec_words);
+                self.id_order.push(id);
+            }
+            self.leaves += 1;
+            let addr = self.spad_addr();
+            self.spad
+                .extend_from_slice(&[-1, ids.len() as i32, dram_addr as i32, first_local]);
+            return addr;
+        }
+
+        // Children first (their addresses are needed by the arrays).
+        let mut children = Vec::new();
+        let mut centroids = Vec::new();
+        for (c, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let child = self.emit(group, level + 1);
+            children.push(child as i32);
+            centroids.push(km.centroids.get(c as u32).to_vec());
+        }
+
+        // Centroid block.
+        let centroid_addr = self.spad_addr();
+        for c in &centroids {
+            Self::push_vec_quantized(&mut self.spad, c, self.vec_words);
+        }
+        // Child array.
+        let children_addr = self.spad_addr();
+        self.spad.extend_from_slice(&children);
+        // Header.
+        let addr = self.spad_addr();
+        self.spad.extend_from_slice(&[
+            children.len() as i32,
+            centroid_addr as i32,
+            children_addr as i32,
+            0,
+        ]);
+        addr
+    }
+}
+
+/// Builds a hierarchical k-means tree over `store` and lays it out for
+/// the kernel.
+///
+/// # Panics
+/// Panics if the store is empty, `branching < 2`, or the image (nodes +
+/// per-node centroid blocks) exceeds the scratchpad region — keep
+/// `dims × branching × nodes` modest, or raise `leaf_size`.
+pub fn build_kmeans_tree_image(
+    store: &VectorStore,
+    branching: usize,
+    leaf_size: usize,
+    vl: usize,
+    seed: u64,
+) -> KmTreeImage {
+    assert!(!store.is_empty(), "cannot index an empty store");
+    assert!(branching >= 2, "branching factor must be at least 2");
+    let vec_words = store.dims().div_ceil(vl) * vl;
+    assert!(
+        vec_words * 4 <= TREE_ADDR as usize,
+        "query of {vec_words} words would overlap the tree region at {TREE_ADDR:#x}"
+    );
+    let mut b = Builder {
+        store,
+        branching,
+        leaf_size: leaf_size.max(1),
+        vec_words,
+        seed,
+        spad: Vec::new(),
+        dram: Vec::new(),
+        id_order: Vec::new(),
+        leaves: 0,
+    };
+    let root_addr = b.emit((0..store.len() as u32).collect(), 0);
+    assert!(
+        TREE_ADDR as usize + b.spad.len() * 4 <= crate::isa::SCRATCHPAD_BYTES,
+        "k-means tree image ({} words) exceeds the scratchpad region",
+        b.spad.len()
+    );
+    KmTreeImage {
+        spad_words: b.spad,
+        root_addr,
+        dram_words: b.dram,
+        id_order: b.id_order,
+        leaves: b.leaves,
+        vec_words,
+    }
+}
+
+/// Generates the hierarchical k-means traversal kernel.
+///
+/// Driver contract: query at spad 0, tree at [`TREE_ADDR`], `s20` = leaf
+/// budget, `s21` = root node address.
+pub fn kmeans_euclidean(dims: usize, vl: usize, max_bucket: usize) -> Kernel {
+    let dp = dims.div_ceil(vl) * vl;
+    let chunks = dp / vl;
+    let vlb = vl * 4;
+    let vec_bytes = dp * 4;
+    let max_bucket_bytes = max_bucket.max(1) * vec_bytes;
+
+    // The centroid-distance loop and the bucket-scan loop share the
+    // chunked Euclidean body; they differ only in the data pointer
+    // register (s9 = scratchpad centroid cursor, s1 = DRAM bucket cursor).
+    let mut src = format!(
+        "; hierarchical k-means traversal with hardware-stack backtracking\n\
+         ; driver contract: s20 = leaf budget, s21 = root node addr,\n\
+         ;                  query at spad 0, tree at spad {TREE_ADDR}\n\
+         start:\n\
+         \x20   addi s6, s0, {chunks}\n\
+         \x20   push s0                 ; sentinel\n\
+         \x20   push s21                ; root\n\
+         walk:\n\
+         \x20   pop  s22\n\
+         \x20   be   s22, s0, done\n\
+         \x20   load s23, s22, 0        ; tag / child count\n\
+         \x20   addi s29, s0, -1\n\
+         \x20   be   s23, s29, leaf\n\
+         \x20   load s24, s22, 4        ; centroid base\n\
+         \x20   load s25, s22, 8        ; child-array base\n\
+         \x20   addi s26, s0, 0         ; child index\n\
+         \x20   addi s27, s0, 0         ; best child\n\
+         \x20   addi s28, s0, 0x7FFFFFFF ; best distance\n\
+         \x20   add  s9, s24, s0        ; centroid cursor\n\
+         selloop:\n\
+         \x20   be   s26, s23, seldone\n\
+         \x20   svmove v2, s0, -1\n\
+         \x20   addi s4, s0, 0\n\
+         \x20   addi s5, s0, 0\n\
+         cinner:\n\
+         \x20   vload v0, s9, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vsub  v0, v0, v1\n\
+         \x20   vmult v0, v0, v0\n\
+         \x20   vadd  v2, v2, v0\n\
+         \x20   addi  s9, s9, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, cinner\n"
+    );
+    src.push_str(&super::linear::reduce_lanes("v2", vl));
+    src.push_str(
+        "    blt  s7, s28, newbest\n\
+         \x20   j    selnext\n\
+         newbest:\n\
+         \x20   add  s28, s7, s0\n\
+         \x20   add  s27, s26, s0\n\
+         selnext:\n\
+         \x20   addi s26, s26, 1\n\
+         \x20   j    selloop\n\
+         seldone:\n\
+         \x20   addi s26, s0, 0         ; push far children first\n\
+         pushloop:\n\
+         \x20   be   s26, s23, pushbest\n\
+         \x20   be   s26, s27, skippush\n\
+         \x20   sl   s29, s26, 2\n\
+         \x20   add  s29, s29, s25\n\
+         \x20   load s30, s29, 0\n\
+         \x20   push s30\n\
+         skippush:\n\
+         \x20   addi s26, s26, 1\n\
+         \x20   j    pushloop\n\
+         pushbest:\n\
+         \x20   sl   s29, s27, 2\n\
+         \x20   add  s29, s29, s25\n\
+         \x20   load s30, s29, 0\n\
+         \x20   push s30                ; nearest child popped first\n\
+         \x20   j    walk\n",
+    );
+    src.push_str(&format!(
+        "leaf:\n\
+         \x20   be   s20, s0, done\n\
+         \x20   subi s20, s20, 1\n\
+         \x20   load s29, s22, 4        ; bucket count\n\
+         \x20   load s1,  s22, 8        ; bucket DRAM address\n\
+         \x20   load s3,  s22, 12       ; first id\n\
+         \x20   sl   s29, s29, 16\n\
+         \x20   addi s30, s0, {vec_bytes}\n\
+         \x20   mult s29, s29, s30\n\
+         \x20   add  s2, s1, s29\n\
+         \x20   mem_fetch s1, {max_bucket_bytes}\n\
+         scan:\n\
+         \x20   be   s1, s2, walk\n\
+         \x20   svmove v2, s0, -1\n\
+         \x20   addi s4, s0, 0\n\
+         \x20   addi s5, s0, 0\n\
+         inner:\n\
+         \x20   vload v0, s1, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vsub  v0, v0, v1\n\
+         \x20   vmult v0, v0, v0\n\
+         \x20   vadd  v2, v2, v0\n\
+         \x20   addi  s1, s1, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, inner\n"
+    ));
+    src.push_str(&super::linear::reduce_lanes("v2", vl));
+    src.push_str(
+        "    pqueue_insert s3, s7\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   j    scan\n\
+         done:\n\
+         \x20   halt\n",
+    );
+    Kernel::build(
+        format!("kmeans_euclidean_vl{vl}"),
+        src,
+        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+    use crate::isa::DRAM_BASE;
+    use crate::sim::pu::ProcessingUnit;
+    use ssam_knn::linear::knn_exact;
+    use ssam_knn::Metric;
+    use std::sync::Arc;
+
+    fn random_store(n: usize, dims: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dims, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    fn run(
+        store: &VectorStore,
+        query: &[f32],
+        k: usize,
+        branching: usize,
+        leaf_size: usize,
+        vl: usize,
+        budget: i32,
+    ) -> (Vec<u32>, crate::sim::pu::RunStats) {
+        let img = build_kmeans_tree_image(store, branching, leaf_size, vl, 7);
+        let kernel = kmeans_euclidean(store.dims(), vl, leaf_size);
+        let mut pu = ProcessingUnit::new(vl, Arc::new(img.dram_words.clone()));
+        pu.chain_pqueue(k.div_ceil(16));
+        pu.load_program(kernel.program.clone());
+        let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        q.resize(img.vec_words, 0);
+        pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+        pu.scratchpad_mut()
+            .write_block(TREE_ADDR, &img.spad_words)
+            .expect("tree staged");
+        pu.set_sreg(20, budget);
+        pu.set_sreg(21, img.root_addr as i32);
+        pu.set_sreg(1, DRAM_BASE as i32);
+        let stats = pu.run(20_000_000).expect("traversal halts");
+        let ids: Vec<u32> = pu
+            .pqueue()
+            .entries()
+            .iter()
+            .take(k)
+            .map(|e| img.id_order[e.id as usize])
+            .collect();
+        (ids, stats)
+    }
+
+    #[test]
+    fn image_partitions_every_row_once() {
+        let s = random_store(200, 6, 1);
+        let img = build_kmeans_tree_image(&s, 4, 16, 4, 1);
+        let mut order = img.id_order.clone();
+        order.sort_unstable();
+        order.dedup();
+        assert_eq!(order.len(), 200);
+        assert_eq!(img.dram_words.len(), 200 * img.vec_words);
+        assert!(img.leaves >= 200 / 16);
+    }
+
+    #[test]
+    fn full_budget_matches_exact_search() {
+        let s = random_store(150, 5, 2);
+        let q: Vec<f32> = vec![0.1, -0.2, 0.3, 0.0, 0.2];
+        let (ids, stats) = run(&s, &q, 5, 3, 8, 4, 1_000);
+        let expect: Vec<u32> = knn_exact(&s, &q, 5, Metric::Euclidean)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(ids, expect);
+        assert!(stats.stack_ops > 0);
+    }
+
+    #[test]
+    fn near_first_descent_finds_home_bucket_with_one_leaf() {
+        let s = random_store(300, 4, 3);
+        let q: Vec<f32> = s.get(77).to_vec();
+        let (ids, _) = run(&s, &q, 1, 4, 16, 4, 1);
+        assert_eq!(ids[0], 77);
+    }
+
+    #[test]
+    fn budget_bounds_bucket_scans() {
+        let s = random_store(400, 4, 4);
+        let (_, full) = run(&s, &[0.0; 4], 3, 4, 8, 4, 1_000);
+        let (_, capped) = run(&s, &[0.0; 4], 3, 4, 8, 4, 2);
+        assert!(capped.dram.bytes_read < full.dram.bytes_read / 4);
+    }
+
+    #[test]
+    fn works_across_vector_lengths() {
+        let s = random_store(120, 6, 5);
+        let q = [0.2f32, -0.1, 0.0, 0.3, -0.2, 0.1];
+        let expect: Vec<u32> = knn_exact(&s, &q, 4, Metric::Euclidean)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        for vl in [2usize, 4, 8, 16] {
+            let (ids, _) = run(&s, &q, 4, 3, 8, vl, 1_000);
+            assert_eq!(ids, expect, "VL={vl}");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_terminate() {
+        let mut s = VectorStore::new(3);
+        for _ in 0..100 {
+            s.push(&[2.0, 2.0, 2.0]);
+        }
+        let img = build_kmeans_tree_image(&s, 4, 8, 4, 6);
+        assert_eq!(img.id_order.len(), 100);
+    }
+
+    #[test]
+    fn kernel_assembles_for_high_dims() {
+        let k = kmeans_euclidean(960, 8, 32);
+        assert!(!k.program.is_empty());
+        assert!(k.source.contains("selloop"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Linear-scan kNN kernels, one generator per distance metric.
+
+use super::{Kernel, KernelLayout};
+
+/// Scratchpad byte address of the software-queue region (the query lives
+/// at address 0; 16 KB leaves ample room for padded 4096-d queries).
+pub const SWQUEUE_ADDR: u32 = 16 * 1024;
+
+fn pad_to(dims: usize, vl: usize) -> usize {
+    dims.div_ceil(vl) * vl
+}
+
+/// Emits the per-lane reduction of vector register `vreg` into scalar
+/// `s7` (via the `VSMOVE` lane-extract path — the PU has no cross-lane
+/// reduction network).
+pub(crate) fn reduce_lanes(vreg: &str, vl: usize) -> String {
+    let mut s = String::from("    addi s7, s0, 0\n");
+    for l in 0..vl {
+        s.push_str(&format!("    vsmove s8, {vreg}, {l}\n    add s7, s7, s8\n"));
+    }
+    s
+}
+
+/// Shared scan prologue: `s6` = chunks per vector; loop head streams one
+/// candidate per iteration with a `MEM_FETCH` window over the whole
+/// vector.
+fn scan_prologue(chunks: usize, vec_bytes: usize, extra: &str) -> String {
+    format!(
+        "; driver contract: s1 = shard base, s2 = shard end, s3 = first id\n\
+         start:\n\
+         \x20   addi s6, s0, {chunks}\n\
+         {extra}\
+         outer:\n\
+         \x20   be   s1, s2, done\n\
+         \x20   mem_fetch s1, {vec_bytes}\n\
+         \x20   addi s4, s0, 0          ; query pointer (scratchpad)\n\
+         \x20   addi s5, s0, 0          ; chunk counter\n"
+    )
+}
+
+/// Shared scan epilogue: advance the id and loop.
+const SCAN_EPILOGUE: &str = "    addi s3, s3, 1\n    j outer\ndone:\n    halt\n";
+
+/// Exact linear scan under squared Euclidean distance (Q16.16).
+///
+/// The canonical SSAM kernel: per chunk it is load/load/sub/mult/add with
+/// full vector chaining, then a lane reduction and a single-cycle
+/// hardware-queue insert per candidate.
+pub fn euclidean(dims: usize, vl: usize) -> Kernel {
+    let dp = pad_to(dims, vl);
+    let chunks = dp / vl;
+    let vlb = vl * 4;
+    let mut src = scan_prologue(chunks, dp * 4, "");
+    src.push_str("    svmove v2, s0, -1       ; acc = 0\n");
+    src.push_str(&format!(
+        "inner:\n\
+         \x20   vload v0, s1, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vsub  v0, v0, v1\n\
+         \x20   vmult v0, v0, v0\n\
+         \x20   vadd  v2, v2, v0\n\
+         \x20   addi  s1, s1, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, inner\n"
+    ));
+    src.push_str(&reduce_lanes("v2", vl));
+    src.push_str("    pqueue_insert s3, s7\n");
+    src.push_str(SCAN_EPILOGUE);
+    Kernel::build(
+        format!("linear_euclidean_vl{vl}"),
+        src,
+        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+    )
+}
+
+/// Exact linear scan under Manhattan (L1) distance.
+///
+/// `|d|` is computed branch-free as `(d ^ (d >> 31)) - (d >> 31)` on the
+/// vector datapath.
+pub fn manhattan(dims: usize, vl: usize) -> Kernel {
+    let dp = pad_to(dims, vl);
+    let chunks = dp / vl;
+    let vlb = vl * 4;
+    let mut src = scan_prologue(chunks, dp * 4, "");
+    src.push_str("    svmove v2, s0, -1\n");
+    src.push_str(&format!(
+        "inner:\n\
+         \x20   vload v0, s1, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vsub  v0, v0, v1\n\
+         \x20   vsra  v3, v0, 31\n\
+         \x20   vxor  v0, v0, v3\n\
+         \x20   vsub  v0, v0, v3\n\
+         \x20   vadd  v2, v2, v0\n\
+         \x20   addi  s1, s1, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, inner\n"
+    ));
+    src.push_str(&reduce_lanes("v2", vl));
+    src.push_str("    pqueue_insert s3, s7\n");
+    src.push_str(SCAN_EPILOGUE);
+    Kernel::build(
+        format!("linear_manhattan_vl{vl}"),
+        src,
+        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+    )
+}
+
+/// Exact linear scan in Hamming space over binarized codes, using the
+/// fused xor-popcount `VFXP` (32 binary dimensions per lane per
+/// instruction — the Table V speedup).
+///
+/// `words` is the packed code length in 32-bit words (bits / 32).
+pub fn hamming(words: usize, vl: usize) -> Kernel {
+    let wp = pad_to(words, vl);
+    let chunks = wp / vl;
+    let vlb = vl * 4;
+    let mut src = scan_prologue(chunks, wp * 4, "");
+    src.push_str("    svmove v2, s0, -1       ; per-lane popcount acc\n");
+    src.push_str(&format!(
+        "inner:\n\
+         \x20   vload v0, s1, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vfxp  v2, v0, v1\n\
+         \x20   addi  s1, s1, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, inner\n"
+    ));
+    src.push_str(&reduce_lanes("v2", vl));
+    src.push_str("    pqueue_insert s3, s7\n");
+    src.push_str(SCAN_EPILOGUE);
+    Kernel::build(
+        format!("linear_hamming_vl{vl}"),
+        src,
+        KernelLayout { vec_words: wp, query_addr: 0, swqueue_addr: 0 },
+    )
+}
+
+/// Exact linear scan under cosine distance.
+///
+/// Per candidate the kernel accumulates both `Σ a·b` and `Σ b·b` in one
+/// pass, then evaluates `cos² = dot² / (‖a‖²·‖b‖²)` with a 17-step
+/// restoring software division ("fixed-point division for cosine
+/// similarity is performed in software using shifts and subtracts",
+/// Section V-D) and inserts the sign-corrected distance
+/// `1 ∓ cos²` (Q16.16) — a rank-preserving transform of `1 − cos`.
+///
+/// Driver contract addition: `s10` = query squared norm (Q16.16).
+pub fn cosine(dims: usize, vl: usize) -> Kernel {
+    let dp = pad_to(dims, vl);
+    let chunks = dp / vl;
+    let vlb = vl * 4;
+    let mut src = scan_prologue(chunks, dp * 4, "    addi s17, s0, 17        ; division steps\n");
+    src.push_str("    svmove v2, s0, -1       ; dot acc\n    svmove v3, s0, -1       ; norm acc\n");
+    src.push_str(&format!(
+        "inner:\n\
+         \x20   vload v0, s1, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vmult v4, v0, v1\n\
+         \x20   vadd  v2, v2, v4\n\
+         \x20   vmult v4, v0, v0\n\
+         \x20   vadd  v3, v3, v4\n\
+         \x20   addi  s1, s1, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, inner\n"
+    ));
+    // Reduce dot into s7, then norm into s9 (reduce_lanes targets s7).
+    src.push_str(&reduce_lanes("v2", vl));
+    src.push_str("    add  s20, s7, s0        ; s20 = dot\n");
+    src.push_str(&reduce_lanes("v3", vl));
+    src.push_str("    add  s9, s7, s0         ; s9 = candidate norm\n");
+    src.push_str(
+        "    mult s12, s20, s20      ; dot^2 (Q16.16)\n\
+         \x20   mult s13, s9, s10       ; denom = |a|^2 * |b|^2\n\
+         \x20   addi s14, s0, 0         ; quotient\n\
+         \x20   be   s13, s0, divdone   ; zero norm: cos = 0\n\
+         \x20   add  s15, s12, s0       ; remainder = numerator\n\
+         \x20   addi s16, s0, 0         ; step\n\
+         divloop:\n\
+         \x20   sl   s14, s14, 1\n\
+         \x20   blt  s15, s13, divskip\n\
+         \x20   sub  s15, s15, s13\n\
+         \x20   ori  s14, s14, 1\n\
+         divskip:\n\
+         \x20   sl   s15, s15, 1\n\
+         \x20   addi s16, s16, 1\n\
+         \x20   blt  s16, s17, divloop\n\
+         divdone:\n\
+         \x20   addi s18, s0, 65536     ; 1.0 in Q16.16\n\
+         \x20   blt  s20, s0, negdot\n\
+         \x20   sub  s18, s18, s14      ; dist = 1 - cos^2\n\
+         \x20   j    insert\n\
+         negdot:\n\
+         \x20   add  s18, s18, s14      ; dist = 1 + cos^2\n\
+         insert:\n\
+         \x20   pqueue_insert s3, s18\n",
+    );
+    src.push_str(SCAN_EPILOGUE);
+    Kernel::build(
+        format!("linear_cosine_vl{vl}"),
+        src,
+        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+    )
+}
+
+/// Section V-B ablation: Euclidean scan with a scratchpad-resident
+/// *software* priority queue instead of the hardware unit.
+///
+/// The queue region holds `k` `(value, id)` pairs sorted ascending at
+/// [`SWQUEUE_ADDR`]; the driver initializes all values to `i32::MAX`.
+/// Each candidate first compares against the cached worst entry; a
+/// retained candidate pays a position scan plus an entry-shifting loop —
+/// "the overhead of a priority queue insert becomes non-trivial for
+/// shorter vectors" (Section III-C).
+pub fn euclidean_swqueue(dims: usize, vl: usize, k: usize) -> Kernel {
+    assert!(k > 0, "k must be positive");
+    let dp = pad_to(dims, vl);
+    let chunks = dp / vl;
+    let vlb = vl * 4;
+    let qbase = SWQUEUE_ADDR;
+    let worst_off = 8 * (k - 1);
+    let mut src = scan_prologue(
+        chunks,
+        dp * 4,
+        &format!("    addi s19, s0, {qbase}     ; software queue base\n"),
+    );
+    src.push_str("    svmove v2, s0, -1\n");
+    src.push_str(&format!(
+        "inner:\n\
+         \x20   vload v0, s1, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vsub  v0, v0, v1\n\
+         \x20   vmult v0, v0, v0\n\
+         \x20   vadd  v2, v2, v0\n\
+         \x20   addi  s1, s1, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, inner\n"
+    ));
+    src.push_str(&reduce_lanes("v2", vl));
+    src.push_str(&format!(
+        "    ; software priority-queue insert: s7 = dist, s3 = id\n\
+         \x20   load s12, s19, {worst_off}\n\
+         \x20   blt  s7, s12, swins\n\
+         \x20   j    next\n\
+         swins:\n\
+         \x20   addi s13, s0, 0         ; scan position\n\
+         findpos:\n\
+         \x20   sl   s14, s13, 3\n\
+         \x20   add  s14, s14, s19\n\
+         \x20   load s15, s14, 0\n\
+         \x20   blt  s7, s15, found\n\
+         \x20   addi s13, s13, 1\n\
+         \x20   j    findpos\n\
+         found:\n\
+         \x20   addi s16, s0, {last}    ; shift tail down from the back\n\
+         shift:\n\
+         \x20   be   s16, s13, place\n\
+         \x20   subi s17, s16, 1\n\
+         \x20   sl   s18, s17, 3\n\
+         \x20   add  s18, s18, s19\n\
+         \x20   load s15, s18, 0\n\
+         \x20   load s14, s18, 4\n\
+         \x20   sl   s12, s16, 3\n\
+         \x20   add  s12, s12, s19\n\
+         \x20   store s15, s12, 0\n\
+         \x20   store s14, s12, 4\n\
+         \x20   subi s16, s16, 1\n\
+         \x20   j    shift\n\
+         place:\n\
+         \x20   sl   s12, s13, 3\n\
+         \x20   add  s12, s12, s19\n\
+         \x20   store s7, s12, 0\n\
+         \x20   store s3, s12, 4\n\
+         next:\n",
+        last = k - 1,
+    ));
+    src.push_str(SCAN_EPILOGUE);
+    Kernel::build(
+        format!("linear_euclidean_swqueue_vl{vl}_k{k}"),
+        src,
+        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: qbase },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::VECTOR_LENGTHS;
+
+    #[test]
+    fn all_generators_assemble_across_the_design_sweep() {
+        for &vl in &VECTOR_LENGTHS {
+            for dims in [vl, 100, 960] {
+                assert!(!euclidean(dims, vl).program.is_empty());
+                assert!(!manhattan(dims, vl).program.is_empty());
+                assert!(!cosine(dims, vl).program.is_empty());
+            }
+            assert!(!hamming(32, vl).program.is_empty());
+            assert!(!euclidean_swqueue(64, vl, 10).program.is_empty());
+        }
+    }
+
+    #[test]
+    fn padding_rounds_up_to_vector_length() {
+        let k = euclidean(100, 8);
+        assert_eq!(k.layout.vec_words, 104);
+        let k = euclidean(96, 8);
+        assert_eq!(k.layout.vec_words, 96);
+    }
+
+    #[test]
+    fn hamming_kernel_uses_vfxp() {
+        let k = hamming(30, 4);
+        assert!(k.source.contains("vfxp"));
+        assert!(!k.source.contains("vmult"));
+    }
+
+    #[test]
+    fn cosine_kernel_contains_software_division() {
+        let k = cosine(100, 4);
+        assert!(k.source.contains("divloop"));
+        assert!(k.source.contains("mult s13, s9, s10"));
+    }
+
+    #[test]
+    fn swqueue_kernel_avoids_hardware_queue() {
+        let k = euclidean_swqueue(100, 4, 10);
+        assert!(!k.source.contains("pqueue_insert"));
+        assert_eq!(k.layout.swqueue_addr, SWQUEUE_ADDR);
+    }
+
+    #[test]
+    fn hw_queue_kernels_are_shorter_than_sw_queue() {
+        let hw = euclidean(100, 4).program.len();
+        let sw = euclidean_swqueue(100, 4, 10).program.len();
+        assert!(sw > hw);
+    }
+
+    #[test]
+    fn kernel_names_encode_parameters() {
+        assert_eq!(euclidean(10, 8).name, "linear_euclidean_vl8");
+        assert_eq!(euclidean_swqueue(10, 2, 6).name, "linear_euclidean_swqueue_vl2_k6");
+    }
+}

@@ -1,0 +1,539 @@
+//! On-accelerator hyperplane LSH.
+//!
+//! The third index family running natively on the PU (Section III-B's
+//! "multiple different indexing kernels can coexist"): the kernel hashes
+//! the query against scratchpad-resident hyperplanes on the vector
+//! datapath ("the performance of HP-MPLSH is dominated mostly by hashing
+//! rate", Section V-C), sorts the bit margins on the scalar datapath,
+//! and probes buckets in increasing single-bit-perturbation cost — the
+//! first `1 + hash_bits` entries of the Lv et al. multi-probe sequence,
+//! which is the regime the paper's probe sweeps start from.
+//!
+//! ## Scratchpad layout (addresses from [`lsh_layout`])
+//!
+//! ```text
+//! 0..            query (vec_words Q16.16 words)
+//! hp..           hash_bits × vec_words hyperplane words
+//! abs..          hash_bits |activation| words (written by the kernel)
+//! idx..          hash_bits bit indices, sorted by |activation| (kernel)
+//! tbl..          n_buckets × 4 words: [code | count | dram addr | first id]
+//! ```
+//!
+//! ## Driver contract
+//!
+//! | reg   | meaning |
+//! |-------|---------|
+//! | `s15` | number of bucket-table entries |
+//! | `s20` | probe budget (1 = exact-code bucket only) |
+
+use ssam_knn::fixed::Fix32;
+use ssam_knn::VectorStore;
+
+use crate::isa::inst::AluOp;
+
+use super::traversal::TREE_ADDR;
+use super::{Kernel, KernelLayout};
+
+/// Scratchpad addresses for the LSH image at `(dims, vl, hash_bits)`.
+///
+/// Returns `(hyperplanes, abs_buf, idx_buf, table)` byte addresses.
+pub fn lsh_layout(dims: usize, vl: usize, hash_bits: usize) -> (u32, u32, u32, u32) {
+    let vec_words = dims.div_ceil(vl) * vl;
+    let hp = TREE_ADDR;
+    let abs = hp + (hash_bits * vec_words * 4) as u32;
+    let idx = abs + (hash_bits * 4) as u32;
+    let tbl = idx + (hash_bits * 4) as u32;
+    (hp, abs, idx, tbl)
+}
+
+/// An LSH table staged for the kernel.
+#[derive(Debug, Clone)]
+pub struct LshImage {
+    /// Scratchpad words, to be written at [`TREE_ADDR`] (hyperplanes,
+    /// zeroed work buffers, bucket table).
+    pub spad_words: Vec<i32>,
+    /// Bucket-table entry count (driver sets `s15` to this).
+    pub buckets: usize,
+    /// Bucket-contiguous Q16.16 dataset image for DRAM.
+    pub dram_words: Vec<i32>,
+    /// Image position → original row id.
+    pub id_order: Vec<u32>,
+    /// Words per padded vector.
+    pub vec_words: usize,
+    /// Largest bucket, in vectors (sizes the kernel's prefetch window).
+    pub max_bucket: usize,
+}
+
+/// Q16.16 dot product with the PU's truncating multiply — the exact
+/// arithmetic the kernel's hash loop performs (used by the host builder
+/// so bucket codes match the kernel's query codes).
+pub fn fixed_dot(a: &[i32], b: &[i32]) -> i32 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| AluOp::Mult.eval(x, y))
+        .fold(0i32, |acc, v| acc.wrapping_add(v))
+}
+
+/// Builds the hyperplanes + bucket table over `store` and lays them out.
+///
+/// Hyperplanes are Gaussian (seeded); every vector is hashed with the
+/// same fixed-point arithmetic the kernel uses, then buckets are emitted
+/// contiguously into the DRAM image.
+///
+/// # Panics
+/// Panics if the store is empty, `hash_bits` is outside `1..=20`, or the
+/// image exceeds the scratchpad.
+pub fn build_lsh_image(store: &VectorStore, hash_bits: usize, vl: usize, seed: u64) -> LshImage {
+    assert!(!store.is_empty(), "cannot index an empty store");
+    assert!((1..=20).contains(&hash_bits), "hash_bits must be in 1..=20");
+    let dims = store.dims();
+    let vec_words = dims.div_ceil(vl) * vl;
+    assert!(
+        vec_words * 4 <= TREE_ADDR as usize,
+        "query of {vec_words} words would overlap the LSH region"
+    );
+
+    // Gaussian hyperplanes, quantized.
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gaussian = |rng: &mut StdRng| -> f32 {
+        let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    };
+    let mut planes: Vec<Vec<i32>> = Vec::with_capacity(hash_bits);
+    for _ in 0..hash_bits {
+        let mut p: Vec<i32> = (0..dims).map(|_| Fix32::from_f32(gaussian(&mut rng)).0).collect();
+        p.resize(vec_words, 0);
+        planes.push(p);
+    }
+
+    // Hash every vector with the kernel's arithmetic.
+    let quantize = |v: &[f32]| -> Vec<i32> {
+        let mut q: Vec<i32> = v.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        q.resize(vec_words, 0);
+        q
+    };
+    let code_of = |q: &[i32]| -> i32 {
+        let mut code = 0i32;
+        for (i, p) in planes.iter().enumerate() {
+            if fixed_dot(q, p) >= 0 {
+                code |= 1 << i;
+            }
+        }
+        code
+    };
+    let mut buckets: std::collections::BTreeMap<i32, Vec<u32>> = std::collections::BTreeMap::new();
+    for (id, v) in store.iter() {
+        buckets.entry(code_of(&quantize(v))).or_default().push(id);
+    }
+
+    // Emit buckets contiguously; build the table.
+    let mut dram_words = Vec::new();
+    let mut id_order = Vec::new();
+    let mut table = Vec::new();
+    let mut max_bucket = 1usize;
+    for (code, members) in &buckets {
+        let dram_addr = crate::isa::DRAM_BASE as i64 + dram_words.len() as i64 * 4;
+        let first_local = (dram_words.len() / vec_words) as i32;
+        for &id in members {
+            dram_words.extend_from_slice(&quantize(store.get(id)));
+            id_order.push(id);
+        }
+        max_bucket = max_bucket.max(members.len());
+        table.extend_from_slice(&[*code, members.len() as i32, dram_addr as i32, first_local]);
+    }
+
+    // Assemble the scratchpad image: planes | abs | idx | table.
+    let mut spad_words = Vec::new();
+    for p in &planes {
+        spad_words.extend_from_slice(p);
+    }
+    spad_words.resize(spad_words.len() + 2 * hash_bits, 0); // abs + idx work buffers
+    spad_words.extend_from_slice(&table);
+    assert!(
+        TREE_ADDR as usize + spad_words.len() * 4 <= crate::isa::SCRATCHPAD_BYTES,
+        "LSH image ({} words) exceeds the scratchpad region",
+        spad_words.len()
+    );
+    LshImage {
+        spad_words,
+        buckets: buckets.len(),
+        dram_words,
+        id_order,
+        vec_words,
+        max_bucket,
+    }
+}
+
+/// Generates the LSH probe kernel.
+pub fn lsh_euclidean(dims: usize, vl: usize, hash_bits: usize, max_bucket: usize) -> Kernel {
+    let dp = dims.div_ceil(vl) * vl;
+    let chunks = dp / vl;
+    let vlb = vl * 4;
+    let vec_bytes = dp * 4;
+    let max_bucket_bytes = max_bucket.max(1) * vec_bytes;
+    let (hp, abs_buf, idx_buf, tbl) = lsh_layout(dims, vl, hash_bits);
+
+    let mut src = format!(
+        "; hyperplane LSH with single-bit multi-probe\n\
+         ; driver contract: s15 = bucket-table entries, s20 = probe budget,\n\
+         ;                  query at spad 0, image at spad {hp}\n\
+         .equ BITS, {hash_bits}\n\
+         .equ HP, {hp}\n\
+         .equ ABSBUF, {abs_buf}\n\
+         .equ IDXBUF, {idx_buf}\n\
+         .equ TBL, {tbl}\n\
+         start:\n\
+         \x20   addi s6, s0, {chunks}\n\
+         \x20   addi s11, s0, BITS\n\
+         ; ---- phase 1: hash the query, recording |activation| per bit ----\n\
+         \x20   addi s10, s0, 0         ; bit index\n\
+         \x20   addi s12, s0, 0         ; code\n\
+         \x20   addi s9, s0, HP         ; hyperplane cursor\n\
+         \x20   addi s13, s0, ABSBUF\n\
+         hashloop:\n\
+         \x20   be   s10, s11, hashdone\n\
+         \x20   svmove v2, s0, -1\n\
+         \x20   addi s4, s0, 0\n\
+         \x20   addi s5, s0, 0\n\
+         hinner:\n\
+         \x20   vload v0, s9, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vmult v4, v0, v1\n\
+         \x20   vadd  v2, v2, v4\n\
+         \x20   addi  s9, s9, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, hinner\n"
+    );
+    src.push_str(&super::linear::reduce_lanes("v2", vl));
+    src.push_str(
+        "    ; |z| via sign mask; bit set when z >= 0\n\
+         \x20   sra  s14, s7, 31\n\
+         \x20   xor  s16, s7, s14\n\
+         \x20   sub  s16, s16, s14\n\
+         \x20   store s16, s13, 0       ; abs[i]\n\
+         \x20   addi s13, s13, 4\n\
+         \x20   blt  s7, s0, hnobit\n\
+         \x20   addi s14, s0, 1\n\
+         \x20   sl   s14, s14, s10\n\
+         \x20   or   s12, s12, s14\n\
+         hnobit:\n\
+         \x20   addi s10, s10, 1\n\
+         \x20   j    hashloop\n\
+         hashdone:\n\
+         ; ---- phase 2: selection-sort bit indices by |activation| ----\n\
+         \x20   addi s10, s0, 0\n\
+         \x20   addi s13, s0, IDXBUF\n\
+         initidx:\n\
+         \x20   be   s10, s11, initdone\n\
+         \x20   store s10, s13, 0\n\
+         \x20   addi s13, s13, 4\n\
+         \x20   addi s10, s10, 1\n\
+         \x20   j    initidx\n\
+         initdone:\n\
+         \x20   addi s10, s0, 0         ; i\n\
+         sorti:\n\
+         \x20   be   s10, s11, sortdone\n\
+         \x20   add  s16, s10, s0       ; min position\n\
+         \x20   addi s14, s10, 1        ; j\n\
+         sortj:\n\
+         \x20   be   s14, s11, sortswap\n\
+         \x20   sl   s17, s14, 2\n\
+         \x20   addi s18, s17, ABSBUF\n\
+         \x20   load s17, s18, 0        ; abs[j]\n\
+         \x20   sl   s18, s16, 2\n\
+         \x20   addi s18, s18, ABSBUF\n\
+         \x20   load s18, s18, 0        ; abs[min]\n\
+         \x20   blt  s17, s18, newmin\n\
+         \x20   j    nextj\n\
+         newmin:\n\
+         \x20   add  s16, s14, s0\n\
+         nextj:\n\
+         \x20   addi s14, s14, 1\n\
+         \x20   j    sortj\n\
+         sortswap:\n\
+         \x20   ; swap abs[i]<->abs[min], idx[i]<->idx[min]\n\
+         \x20   sl   s17, s10, 2\n\
+         \x20   sl   s18, s16, 2\n\
+         \x20   addi s19, s17, ABSBUF\n\
+         \x20   addi s21, s18, ABSBUF\n\
+         \x20   load s22, s19, 0\n\
+         \x20   load s23, s21, 0\n\
+         \x20   store s23, s19, 0\n\
+         \x20   store s22, s21, 0\n\
+         \x20   addi s19, s17, IDXBUF\n\
+         \x20   addi s21, s18, IDXBUF\n\
+         \x20   load s22, s19, 0\n\
+         \x20   load s23, s21, 0\n\
+         \x20   store s23, s19, 0\n\
+         \x20   store s22, s21, 0\n\
+         \x20   addi s10, s10, 1\n\
+         \x20   j    sorti\n\
+         sortdone:\n\
+         ; ---- phase 3: probe buckets ----\n\
+         \x20   addi s10, s0, 0         ; probe counter\n\
+         probeloop:\n\
+         \x20   be   s10, s20, done\n\
+         \x20   be   s10, s0, basecode\n\
+         \x20   subi s17, s10, 1\n\
+         \x20   blt  s17, s11, flipok\n\
+         \x20   j    done               ; out of single-bit perturbations\n\
+         flipok:\n\
+         \x20   sl   s18, s17, 2\n\
+         \x20   addi s18, s18, IDXBUF\n\
+         \x20   load s17, s18, 0        ; bit to flip\n\
+         \x20   addi s14, s0, 1\n\
+         \x20   sl   s14, s14, s17\n\
+         \x20   xor  s14, s12, s14\n\
+         \x20   j    lookup\n\
+         basecode:\n\
+         \x20   add  s14, s12, s0\n\
+         lookup:\n\
+         \x20   addi s16, s0, 0         ; table index\n\
+         \x20   addi s18, s0, TBL\n\
+         tblloop:\n\
+         \x20   be   s16, s15, probenext\n\
+         \x20   load s17, s18, 0\n\
+         \x20   be   s17, s14, found\n\
+         \x20   addi s16, s16, 1\n\
+         \x20   addi s18, s18, 16\n\
+         \x20   j    tblloop\n\
+         found:\n",
+    );
+    src.push_str(&format!(
+        "    load s29, s18, 4        ; bucket count\n\
+         \x20   load s1,  s18, 8        ; bucket DRAM address\n\
+         \x20   load s3,  s18, 12       ; first id\n\
+         \x20   sl   s29, s29, 16\n\
+         \x20   addi s30, s0, {vec_bytes}\n\
+         \x20   mult s29, s29, s30\n\
+         \x20   add  s2, s1, s29\n\
+         \x20   mem_fetch s1, {max_bucket_bytes}\n\
+         scan:\n\
+         \x20   be   s1, s2, probenext\n\
+         \x20   svmove v2, s0, -1\n\
+         \x20   addi s4, s0, 0\n\
+         \x20   addi s5, s0, 0\n\
+         inner:\n\
+         \x20   vload v0, s1, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vsub  v0, v0, v1\n\
+         \x20   vmult v0, v0, v0\n\
+         \x20   vadd  v2, v2, v0\n\
+         \x20   addi  s1, s1, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, inner\n"
+    ));
+    src.push_str(&super::linear::reduce_lanes("v2", vl));
+    src.push_str(
+        "    pqueue_insert s3, s7\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   j    scan\n\
+         probenext:\n\
+         \x20   addi s10, s10, 1\n\
+         \x20   j    probeloop\n\
+         done:\n\
+         \x20   halt\n",
+    );
+    Kernel::build(
+        format!("lsh_euclidean_vl{vl}_b{hash_bits}"),
+        src,
+        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::pu::ProcessingUnit;
+    use std::sync::Arc;
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    fn random_store(n: usize, dims: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dims, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    fn run(
+        store: &VectorStore,
+        img: &LshImage,
+        kernel: &Kernel,
+        query: &[f32],
+        k: usize,
+        probes: i32,
+    ) -> (Vec<u32>, crate::sim::pu::RunStats) {
+        let mut pu = ProcessingUnit::new(4, Arc::new(img.dram_words.clone()));
+        pu.chain_pqueue(k.div_ceil(16));
+        pu.load_program(kernel.program.clone());
+        let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        q.resize(img.vec_words, 0);
+        pu.scratchpad_mut().write_block(0, &q).expect("query");
+        pu.scratchpad_mut()
+            .write_block(TREE_ADDR, &img.spad_words)
+            .expect("image fits");
+        pu.set_sreg(15, img.buckets as i32);
+        pu.set_sreg(20, probes);
+        let stats = pu.run(50_000_000).expect("halts");
+        let ids = pu
+            .pqueue()
+            .entries()
+            .iter()
+            .take(k)
+            .map(|e| img.id_order[e.id as usize])
+            .collect();
+        let _ = store;
+        (ids, stats)
+    }
+
+    #[test]
+    fn image_partitions_every_row_once() {
+        let s = random_store(200, 8, 1);
+        let img = build_lsh_image(&s, 6, 4, 3);
+        let mut order = img.id_order.clone();
+        order.sort_unstable();
+        order.dedup();
+        assert_eq!(order.len(), 200);
+        assert_eq!(img.dram_words.len(), 200 * img.vec_words);
+        assert!(img.buckets >= 2);
+    }
+
+    #[test]
+    fn self_query_is_found_with_one_probe() {
+        let s = random_store(150, 6, 2);
+        let img = build_lsh_image(&s, 6, 4, 3);
+        let kernel = lsh_euclidean(6, 4, 6, img.max_bucket);
+        for id in [0u32, 70, 149] {
+            let q: Vec<f32> = s.get(id).to_vec();
+            let (ids, _) = run(&s, &img, &kernel, &q, 1, 1);
+            assert_eq!(ids[0], id, "own bucket must contain the query");
+        }
+    }
+
+    #[test]
+    fn more_probes_scan_more_data() {
+        let s = random_store(400, 6, 4);
+        let img = build_lsh_image(&s, 8, 4, 5);
+        let kernel = lsh_euclidean(6, 4, 8, img.max_bucket);
+        let q: Vec<f32> = (0..6).map(|i| 0.1 * i as f32).collect();
+        let (_, one) = run(&s, &img, &kernel, &q, 3, 1);
+        let (_, many) = run(&s, &img, &kernel, &q, 3, 6);
+        assert!(many.dram.bytes_read >= one.dram.bytes_read);
+        assert!(many.cycles > one.cycles);
+    }
+
+    #[test]
+    fn probe_budget_beyond_bits_halts_cleanly() {
+        let s = random_store(60, 4, 6);
+        let img = build_lsh_image(&s, 4, 4, 7);
+        let kernel = lsh_euclidean(4, 4, 4, img.max_bucket);
+        // budget 100 ≫ 1 + 4 single-bit probes: must halt, not loop.
+        let (ids, _) = run(&s, &img, &kernel, &[0.1, 0.2, 0.3, 0.4], 3, 100);
+        assert!(ids.len() <= 3);
+    }
+
+    #[test]
+    fn kernel_probe_set_matches_host_model() {
+        // Independent host model of the kernel's policy: hash with
+        // fixed_dot, probe base + single-bit flips by ascending |z|,
+        // collect all bucket members, take top-k by kernel arithmetic.
+        let s = random_store(300, 5, 8);
+        let bits = 6;
+        let img = build_lsh_image(&s, bits, 4, 9);
+        let kernel = lsh_euclidean(5, 4, bits, img.max_bucket);
+        let mut rng = StdRng::seed_from_u64(10);
+        let query: Vec<f32> = (0..5).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let probes = 4i32;
+        let (got, _) = run(&s, &img, &kernel, &query, 5, probes);
+
+        // Rebuild the host-side view.
+        let vl = 4;
+        let vec_words = img.vec_words;
+        let quantize = |v: &[f32]| -> Vec<i32> {
+            let mut q: Vec<i32> = v.iter().map(|&x| Fix32::from_f32(x).0).collect();
+            q.resize(vec_words, 0);
+            q
+        };
+        let qq = quantize(&query);
+        let (hp, _, _, _) = lsh_layout(5, vl, bits);
+        let plane = |i: usize| -> &[i32] {
+            let off = ((hp - TREE_ADDR) / 4) as usize + i * vec_words;
+            &img.spad_words[off..off + vec_words]
+        };
+        let mut code = 0i32;
+        let mut margins: Vec<(i32, usize)> = Vec::new();
+        for i in 0..bits {
+            let z = fixed_dot(&qq, plane(i));
+            if z >= 0 {
+                code |= 1 << i;
+            }
+            margins.push((z.wrapping_abs(), i));
+        }
+        margins.sort_unstable();
+        let mut probe_codes = vec![code];
+        for &(_, bit) in margins.iter().take(probes as usize - 1) {
+            probe_codes.push(code ^ (1 << bit));
+        }
+        // Collect candidates from the table.
+        let tbl_off = ((lsh_layout(5, vl, bits).3 - TREE_ADDR) / 4) as usize;
+        let mut cands: Vec<(i32, i32)> = Vec::new();
+        for e in 0..img.buckets {
+            let rec = &img.spad_words[tbl_off + 4 * e..tbl_off + 4 * e + 4];
+            if probe_codes.contains(&rec[0]) {
+                let count = rec[1] as usize;
+                let first = rec[3] as usize;
+                for p in first..first + count {
+                    let cand = &img.dram_words[p * vec_words..(p + 1) * vec_words];
+                    let d = qq
+                        .iter()
+                        .zip(cand)
+                        .map(|(&a, &b)| {
+                            let diff = b.wrapping_sub(a);
+                            AluOp::Mult.eval(diff, diff)
+                        })
+                        .fold(0i32, |acc, x| acc.wrapping_add(x));
+                    cands.push((d, p as i32));
+                }
+            }
+        }
+        cands.sort_unstable();
+        cands.truncate(5);
+        let expect: Vec<u32> = cands.iter().map(|&(_, p)| img.id_order[p as usize]).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn works_across_vector_lengths() {
+        let s = random_store(100, 6, 11);
+        for vl in [2usize, 4, 8, 16] {
+            let img = build_lsh_image(&s, 5, vl, 12);
+            let kernel = lsh_euclidean(6, vl, 5, img.max_bucket);
+            let q: Vec<f32> = s.get(42).to_vec();
+            let mut pu = ProcessingUnit::new(vl, Arc::new(img.dram_words.clone()));
+            pu.load_program(kernel.program.clone());
+            let mut qq: Vec<i32> = q.iter().map(|&x| Fix32::from_f32(x).0).collect();
+            qq.resize(img.vec_words, 0);
+            pu.scratchpad_mut().write_block(0, &qq).expect("query");
+            pu.scratchpad_mut()
+                .write_block(TREE_ADDR, &img.spad_words)
+                .expect("image");
+            pu.set_sreg(15, img.buckets as i32);
+            pu.set_sreg(20, 1);
+            pu.run(50_000_000).expect("halts");
+            let best = pu.pqueue().entries()[0];
+            assert_eq!(img.id_order[best.id as usize], 42, "VL={vl}");
+        }
+    }
+}

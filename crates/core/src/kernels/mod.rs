@@ -1,0 +1,83 @@
+//! Hand-written kNN kernels in SSAM assembly.
+//!
+//! The paper's methodology (Section IV): "Each benchmark is handwritten
+//! using our instruction set defined in Table II." This module generates
+//! those programs, parameterized by feature dimensionality and vector
+//! length, for each distance metric of Section II-D/V-D:
+//!
+//! * [`linear::euclidean`] — squared-L2 scan (the canonical kernel),
+//! * [`linear::manhattan`] — L1 scan,
+//! * [`linear::cosine`] — cosine-distance scan with software fixed-point
+//!   division ("performed in software using shifts and subtracts"),
+//! * [`linear::hamming`] — binarized scan using the fused xor-popcount
+//!   `VFXP` instruction,
+//! * [`linear::euclidean_swqueue`] — the Section V-B ablation that keeps
+//!   the top-k in a scratchpad-resident software priority queue instead
+//!   of the hardware unit.
+//!
+//! ## Driver contract
+//!
+//! Every linear kernel shares one register/scratchpad convention, set up
+//! by the device model before `nexec`:
+//!
+//! | where            | meaning |
+//! |------------------|---------|
+//! | scratchpad `0..` | query vector, padded to a vector-length multiple |
+//! | `s1`             | shard base address (`DRAM_BASE`) |
+//! | `s2`             | shard end address |
+//! | `s3`             | id of the first vector in the shard |
+//! | `s10`            | (cosine only) query squared norm, Q16.16 |
+//!
+//! On `HALT` the k best `(id, distance)` pairs are in the hardware
+//! priority queue (or the scratchpad queue region for the software
+//! variant).
+
+pub mod kmeans_traversal;
+pub mod linear;
+pub mod lsh_traversal;
+pub mod traversal;
+
+use crate::asm::{assemble, AsmError};
+use crate::isa::inst::Instruction;
+
+/// A generated kernel: source text plus its assembled program and layout.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Human-readable kernel name (e.g. `linear_euclidean_vl4`).
+    pub name: String,
+    /// Assembly source.
+    pub source: String,
+    /// Assembled program.
+    pub program: Vec<Instruction>,
+    /// Memory-layout contract between driver and kernel.
+    pub layout: KernelLayout,
+}
+
+/// Layout constants the device model must honor when staging data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelLayout {
+    /// Words per database vector after padding to a VL multiple.
+    pub vec_words: usize,
+    /// Scratchpad byte address of the query vector.
+    pub query_addr: u32,
+    /// Scratchpad byte address of the software queue region (software-
+    /// queue variant only; 0 otherwise).
+    pub swqueue_addr: u32,
+}
+
+impl Kernel {
+    /// Builds a kernel from generated source.
+    ///
+    /// # Panics
+    /// Panics if the generated source fails to assemble — generator bugs
+    /// are programming errors, not runtime conditions.
+    pub(crate) fn build(name: String, source: String, layout: KernelLayout) -> Self {
+        let program = match assemble(&source) {
+            Ok(p) => p,
+            Err(AsmError { line, message }) => panic!(
+                "kernel generator `{name}` produced invalid assembly at line {line}: {message}\n{source}"
+            ),
+        };
+        Self { name, source, program, layout }
+    }
+}

@@ -1,0 +1,340 @@
+//! On-accelerator kd-tree traversal using the hardware stack unit.
+//!
+//! Section III-C motivates the stack unit with hierarchical index
+//! traversals: "The stack unit is a natural choice to facilitate
+//! backtracking when traversing hierarchical index structures." This
+//! module provides the full path: a host-side builder that lays a
+//! median-split kd-tree into the scratchpad (the paper's "top half of the
+//! hierarchy resides in scratchpad") with bucket-contiguous vectors in
+//! DRAM, and a kernel that walks the tree depth-first with `PUSH`/`POP`
+//! backtracking, descending the near side first and scanning up to a
+//! leaf-budget's worth of buckets — the same budget knob the software
+//! indexes expose.
+//!
+//! ## Scratchpad node layout (4 words each)
+//!
+//! ```text
+//! interior: [ dim | split (Q16.16) | left addr | right addr ]
+//! leaf:     [ -1  | count          | dram addr | first id   ]
+//! ```
+//!
+//! ## Driver contract (in addition to the linear-kernel contract)
+//!
+//! | where  | meaning |
+//! |--------|---------|
+//! | `s20`  | leaf budget (buckets to scan before halting) |
+//! | `s21`  | scratchpad byte address of the root node |
+//! | spad `TREE_ADDR..` | node records |
+
+use ssam_knn::fixed::Fix32;
+use ssam_knn::VectorStore;
+
+use super::{Kernel, KernelLayout};
+
+/// Scratchpad byte address where the tree image begins. The query region
+/// occupies `0..TREE_ADDR` (2048 words — traversal kernels target the
+/// low-to-mid dimensionalities whose trees fit on-scratchpad), leaving
+/// 24 KB for node records and centroid blocks.
+pub const TREE_ADDR: u32 = 8 * 1024;
+
+/// A kd-tree staged for the traversal kernel.
+#[derive(Debug, Clone)]
+pub struct TreeImage {
+    /// Node records, to be written at [`TREE_ADDR`].
+    pub spad_words: Vec<i32>,
+    /// Scratchpad byte address of the root node.
+    pub root_addr: u32,
+    /// Bucket-contiguous Q16.16 dataset image for DRAM (vectors padded to
+    /// a VL multiple).
+    pub dram_words: Vec<i32>,
+    /// Number of leaves.
+    pub leaves: usize,
+    /// Words per padded vector.
+    pub vec_words: usize,
+}
+
+/// Builds a median-split kd-tree over `store` and lays it out for the
+/// kernel: interior nodes split the widest-spread dimension at the
+/// median; leaves hold at most `leaf_size` vectors stored contiguously in
+/// DRAM so each bucket scan is one stream.
+///
+/// # Panics
+/// Panics if the store is empty or the tree image exceeds the scratchpad
+/// region (use small datasets / larger leaves; this kernel demonstrates
+/// the in-scratchpad top of the hierarchy).
+pub fn build_tree_image(store: &VectorStore, leaf_size: usize, vl: usize) -> TreeImage {
+    assert!(!store.is_empty(), "cannot build a tree over an empty store");
+    let leaf_size = leaf_size.max(1);
+    let vec_words = store.dims().div_ceil(vl) * vl;
+    assert!(
+        vec_words * 4 <= TREE_ADDR as usize,
+        "query of {vec_words} words would overlap the tree region at {TREE_ADDR:#x}"
+    );
+
+    struct Builder<'a> {
+        store: &'a VectorStore,
+        leaf_size: usize,
+        vec_words: usize,
+        nodes: Vec<[i32; 4]>,
+        dram_words: Vec<i32>,
+        leaves: usize,
+    }
+
+    impl Builder<'_> {
+        fn build(&mut self, mut ids: Vec<u32>) -> usize {
+            if ids.len() <= self.leaf_size {
+                // Emit bucket data contiguously; record its DRAM address.
+                let dram_addr =
+                    crate::isa::DRAM_BASE as i64 + (self.dram_words.len() as i64) * 4;
+                let first_local = (self.dram_words.len() / self.vec_words) as i32;
+                for &id in &ids {
+                    let v = self.store.get(id);
+                    for &x in v {
+                        self.dram_words.push(Fix32::from_f32(x).0);
+                    }
+                    for _ in v.len()..self.vec_words {
+                        self.dram_words.push(0);
+                    }
+                }
+                self.leaves += 1;
+                self.nodes.push([-1, ids.len() as i32, dram_addr as i32, first_local]);
+                return self.nodes.len() - 1;
+            }
+            // Widest-spread dimension, split at median.
+            let dims = self.store.dims();
+            let (mut best_dim, mut best_spread) = (0usize, -1.0f32);
+            for d in 0..dims {
+                let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+                for &id in &ids {
+                    let x = self.store.get(id)[d];
+                    lo = lo.min(x);
+                    hi = hi.max(x);
+                }
+                if hi - lo > best_spread {
+                    best_spread = hi - lo;
+                    best_dim = d;
+                }
+            }
+            let mid = ids.len() / 2;
+            ids.sort_unstable_by(|&a, &b| {
+                self.store.get(a)[best_dim].total_cmp(&self.store.get(b)[best_dim])
+            });
+            let split = self.store.get(ids[mid])[best_dim];
+            let right_ids = ids.split_off(mid);
+            let left = self.build(ids);
+            let right = self.build(right_ids);
+            self.nodes.push([
+                best_dim as i32,
+                Fix32::from_f32(split).0,
+                TREE_ADDR as i32 + 16 * left as i32,
+                TREE_ADDR as i32 + 16 * right as i32,
+            ]);
+            self.nodes.len() - 1
+        }
+    }
+
+    let mut b = Builder { store, leaf_size, vec_words, nodes: Vec::new(), dram_words: Vec::new(), leaves: 0 };
+    let root = b.build((0..store.len() as u32).collect());
+
+    let spad_words: Vec<i32> = b.nodes.iter().flatten().copied().collect();
+    assert!(
+        TREE_ADDR as usize + spad_words.len() * 4 <= crate::isa::SCRATCHPAD_BYTES,
+        "tree image ({} nodes) exceeds the scratchpad region",
+        b.nodes.len()
+    );
+    // Leaf records hold local first-vector indices; convert to global ids
+    // (ids are bucket-local positions in the reordered DRAM image).
+    TreeImage {
+        spad_words,
+        root_addr: TREE_ADDR + 16 * root as u32,
+        dram_words: b.dram_words,
+        leaves: b.leaves,
+        vec_words,
+    }
+}
+
+/// Mapping from the kernel's DRAM-position ids back to original store ids.
+///
+/// The tree image reorders vectors bucket-by-bucket; position `p` in the
+/// image corresponds to original id `order[p]`.
+pub fn image_id_order(store: &VectorStore, leaf_size: usize) -> Vec<u32> {
+    // Re-run the same deterministic partition to recover the order.
+    fn go(store: &VectorStore, leaf_size: usize, mut ids: Vec<u32>, out: &mut Vec<u32>) {
+        if ids.len() <= leaf_size {
+            out.extend_from_slice(&ids);
+            return;
+        }
+        let dims = store.dims();
+        let (mut best_dim, mut best_spread) = (0usize, -1.0f32);
+        for d in 0..dims {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &id in &ids {
+                let x = store.get(id)[d];
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_dim = d;
+            }
+        }
+        let mid = ids.len() / 2;
+        ids.sort_unstable_by(|&a, &b| store.get(a)[best_dim].total_cmp(&store.get(b)[best_dim]));
+        let right = ids.split_off(mid);
+        go(store, leaf_size, ids, out);
+        go(store, leaf_size, right, out);
+    }
+    let mut out = Vec::with_capacity(store.len());
+    go(store, leaf_size.max(1), (0..store.len() as u32).collect(), &mut out);
+    out
+}
+
+/// Generates the kd-tree traversal kernel (Euclidean buckets).
+///
+/// The traversal pushes the far child, then the near child, so `POP`
+/// yields near-first depth-first order; a leaf budget in `s20` bounds the
+/// buckets scanned; a sentinel under the root makes stack exhaustion
+/// observable.
+pub fn kdtree_euclidean(dims: usize, vl: usize, max_bucket: usize) -> Kernel {
+    let dp = dims.div_ceil(vl) * vl;
+    let chunks = dp / vl;
+    let vlb = vl * 4;
+    let max_bucket_bytes = max_bucket.max(1) * dp * 4;
+
+    let mut src = format!(
+        "; kd-tree traversal with hardware-stack backtracking\n\
+         ; driver contract: s20 = leaf budget, s21 = root node addr,\n\
+         ;                  query at spad 0, tree at spad {TREE_ADDR}\n\
+         start:\n\
+         \x20   addi s6, s0, {chunks}\n\
+         \x20   push s0                 ; sentinel (addr 0 terminates)\n\
+         \x20   push s21                ; root\n\
+         walk:\n\
+         \x20   pop  s22\n\
+         \x20   be   s22, s0, done      ; stack exhausted\n\
+         \x20   load s23, s22, 0        ; tag / split dimension\n\
+         \x20   addi s24, s0, -1\n\
+         \x20   be   s23, s24, leaf\n\
+         \x20   sl   s25, s23, 2\n\
+         \x20   load s25, s25, 0        ; q[dim] (query at spad 0)\n\
+         \x20   load s26, s22, 4        ; split value\n\
+         \x20   load s27, s22, 8        ; left child\n\
+         \x20   load s28, s22, 12       ; right child\n\
+         \x20   blt  s25, s26, goleft\n\
+         \x20   push s27                ; far = left\n\
+         \x20   push s28                ; near = right (popped first)\n\
+         \x20   j    walk\n\
+         goleft:\n\
+         \x20   push s28                ; far = right\n\
+         \x20   push s27                ; near = left\n\
+         \x20   j    walk\n\
+         leaf:\n\
+         \x20   be   s20, s0, done      ; leaf budget exhausted\n\
+         \x20   subi s20, s20, 1\n\
+         \x20   load s29, s22, 4        ; bucket count\n\
+         \x20   load s1,  s22, 8        ; bucket DRAM address\n\
+         \x20   load s3,  s22, 12       ; first id\n\
+         \x20   sl   s29, s29, 16       ; count → Q16.16 integer\n\
+         \x20   addi s30, s0, {vec_bytes}\n\
+         \x20   mult s29, s29, s30      ; count * vec_bytes\n\
+         \x20   add  s2, s1, s29\n\
+         \x20   mem_fetch s1, {max_bucket_bytes}\n\
+         scan:\n\
+         \x20   be   s1, s2, walk       ; bucket done, backtrack\n\
+         \x20   svmove v2, s0, -1\n\
+         \x20   addi s4, s0, 0\n\
+         \x20   addi s5, s0, 0\n\
+         inner:\n\
+         \x20   vload v0, s1, 0\n\
+         \x20   vload v1, s4, 0\n\
+         \x20   vsub  v0, v0, v1\n\
+         \x20   vmult v0, v0, v0\n\
+         \x20   vadd  v2, v2, v0\n\
+         \x20   addi  s1, s1, {vlb}\n\
+         \x20   addi  s4, s4, {vlb}\n\
+         \x20   addi  s5, s5, 1\n\
+         \x20   blt   s5, s6, inner\n",
+        vec_bytes = dp * 4,
+    );
+    src.push_str(&super::linear::reduce_lanes("v2", vl));
+    src.push_str(
+        "    pqueue_insert s3, s7\n\
+         \x20   addi s3, s3, 1\n\
+         \x20   j    scan\n\
+         done:\n\
+         \x20   halt\n",
+    );
+    Kernel::build(
+        format!("kdtree_euclidean_vl{vl}"),
+        src,
+        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    fn random_store(n: usize, dims: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dims, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn tree_image_covers_every_vector_once() {
+        let s = random_store(100, 4, 1);
+        let img = build_tree_image(&s, 8, 4);
+        assert_eq!(img.dram_words.len(), 100 * img.vec_words);
+        let order = image_id_order(&s, 8);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn image_order_matches_dram_contents() {
+        let s = random_store(40, 3, 2);
+        let img = build_tree_image(&s, 4, 4);
+        let order = image_id_order(&s, 4);
+        for (pos, &orig) in order.iter().enumerate() {
+            let words = &img.dram_words[pos * img.vec_words..pos * img.vec_words + 3];
+            let expect: Vec<i32> = s.get(orig).iter().map(|&x| Fix32::from_f32(x).0).collect();
+            assert_eq!(words, expect.as_slice(), "position {pos}");
+        }
+    }
+
+    #[test]
+    fn kernel_assembles() {
+        for vl in [2, 4, 8, 16] {
+            let k = kdtree_euclidean(10, vl, 16);
+            assert!(!k.program.is_empty());
+            assert!(k.source.contains("push"));
+            assert!(k.source.contains("pop"));
+        }
+    }
+
+    #[test]
+    fn leaf_count_matches_partition() {
+        let s = random_store(64, 2, 3);
+        let img = build_tree_image(&s, 8, 2);
+        // 64 points, median split, leaves of ≤8: exactly 8 leaves.
+        assert_eq!(img.leaves, 8);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let s = random_store(5, 2, 4);
+        let img = build_tree_image(&s, 8, 2);
+        assert_eq!(img.leaves, 1);
+        assert_eq!(img.root_addr, TREE_ADDR);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ssam-core — the SSAM accelerator
+//!
+//! The paper's primary contribution (Lee et al., IPDPS 2018, Section III):
+//! a near-data similarity-search accelerator instantiated on the logic
+//! layer of a Hybrid Memory Cube. This crate implements the full stack:
+//!
+//! * [`isa`] — the processing-unit instruction set of Table II: a fully
+//!   integrated scalar/vector ISA extended with priority-queue
+//!   instructions (`PQUEUE_INSERT` / `PQUEUE_LOAD` / `PQUEUE_RESET`),
+//!   the fused xor-popcount `FXP` / `VFXP` for Hamming distance, stack
+//!   instructions for index backtracking, and the `MEM_FETCH` prefetch.
+//! * [`asm`] — a two-pass assembler from textual assembly (labels,
+//!   comments, immediates) to instruction words, plus a disassembler.
+//! * [`sim`] — the processing-unit microarchitecture simulator of
+//!   Fig. 5d: in-order scalar+vector pipeline with chaining, the 16-entry
+//!   shift-register hardware priority queue, the hardware stack unit, the
+//!   32 KB scratchpad, and a streaming DRAM interface with bandwidth
+//!   accounting (roofline-style stall model).
+//! * [`kernels`] — hand-written kNN kernels in SSAM assembly, one per
+//!   distance metric and vector length, including the software-priority-
+//!   queue ablation variant of Section V-B.
+//! * [`device`] — the module-level engine: dataset sharding across HMC
+//!   vaults, processing-unit replication to saturate vault bandwidth,
+//!   batch query execution with host-side global top-k reduction, and the
+//!   Fig. 4 SSAM-enabled memory-region API (`nmalloc` / `nwrite_query` /
+//!   `nexec` / `nread_result`).
+//! * [`energy`] / [`area`] — the per-module power and area models
+//!   calibrated to the paper's post-place-and-route Tables III and IV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod asm;
+pub mod device;
+pub mod energy;
+pub mod isa;
+pub mod kernels;
+pub mod sim;
+
+pub use device::{SsamConfig, SsamDevice};
+pub use isa::inst::Instruction;
+pub use sim::pu::ProcessingUnit;

@@ -1,0 +1,254 @@
+//! The PU's DRAM-side memory interface.
+//!
+//! Each processing unit streams its vault's shard of the dataset through
+//! a stream buffer. `MEM_FETCH` (Table II) opens a prefetch window —
+//! "linear scans through buckets of vectors exhibit predictable contiguous
+//! memory access patterns" — and loads falling inside an open window hit
+//! the buffer at near-register latency; loads outside any window pay the
+//! full DRAM round trip. Byte traffic is counted so the device model can
+//! apply the vault-bandwidth roofline.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::DRAM_BASE;
+
+/// Error from a DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramError {
+    /// Address below `DRAM_BASE` or beyond the shard.
+    OutOfBounds {
+        /// Offending byte address.
+        addr: u32,
+    },
+    /// Address not 4-byte aligned.
+    Unaligned {
+        /// Offending byte address.
+        addr: u32,
+    },
+}
+
+impl std::fmt::Display for DramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DramError::OutOfBounds { addr } => write!(f, "DRAM address {addr:#x} out of bounds"),
+            DramError::Unaligned { addr } => write!(f, "DRAM address {addr:#x} unaligned"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+/// Traffic/locality counters for one kernel run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Bytes read from DRAM.
+    pub bytes_read: u64,
+    /// Loads that hit an open prefetch window.
+    pub hits: u64,
+    /// Loads with no prefetch coverage.
+    pub misses: u64,
+    /// `MEM_FETCH` instructions executed.
+    pub prefetches: u64,
+}
+
+/// Read-only shard of the dataset plus the stream-buffer state.
+#[derive(Debug, Clone)]
+pub struct DramInterface {
+    /// Shard contents, word-addressed from `DRAM_BASE`. Shared so many PUs
+    /// can view one vault image without copying.
+    words: Arc<Vec<i32>>,
+    /// Open prefetch windows as half-open byte ranges (absolute addresses),
+    /// merged and sorted.
+    windows: Vec<(u32, u32)>,
+    stats: DramStats,
+}
+
+impl DramInterface {
+    /// Wraps a shard (word array starting at `DRAM_BASE`).
+    pub fn new(words: Arc<Vec<i32>>) -> Self {
+        Self { words, windows: Vec::new(), stats: DramStats::default() }
+    }
+
+    /// Shard length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.words.len() as u64 * 4
+    }
+
+    fn index(&self, addr: u32) -> Result<usize, DramError> {
+        if !addr.is_multiple_of(4) {
+            return Err(DramError::Unaligned { addr });
+        }
+        if addr < DRAM_BASE {
+            return Err(DramError::OutOfBounds { addr });
+        }
+        let i = ((addr - DRAM_BASE) / 4) as usize;
+        if i >= self.words.len() {
+            return Err(DramError::OutOfBounds { addr });
+        }
+        Ok(i)
+    }
+
+    /// Opens a prefetch window of `len` bytes at `addr` (`MEM_FETCH`).
+    pub fn prefetch(&mut self, addr: u32, len: u32) {
+        self.stats.prefetches += 1;
+        if len == 0 {
+            return;
+        }
+        let end = addr.saturating_add(len);
+        self.windows.push((addr, end));
+        // Keep windows merged so hit tests stay cheap and bounded; a real
+        // stream buffer holds a handful of windows.
+        self.windows.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.windows.len());
+        for &(s, e) in &self.windows {
+            match merged.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        // Bound the buffer: keep the most recent 8 windows.
+        if merged.len() > 8 {
+            let cut = merged.len() - 8;
+            merged.drain(..cut);
+        }
+        self.windows = merged;
+    }
+
+    fn covered(&self, addr: u32, len: u32) -> bool {
+        let end = addr + len;
+        self.windows.iter().any(|&(s, e)| s <= addr && end <= e)
+    }
+
+    /// Reads one word; returns `(value, hit)` where `hit` reports prefetch
+    /// coverage.
+    pub fn load(&mut self, addr: u32) -> Result<(i32, bool), DramError> {
+        let i = self.index(addr)?;
+        let hit = self.covered(addr, 4);
+        self.stats.bytes_read += 4;
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        Ok((self.words[i], hit))
+    }
+
+    /// Reads `n` consecutive words (a vector load); returns the values and
+    /// whether the whole transfer was covered.
+    pub fn load_block(&mut self, addr: u32, n: usize, out: &mut [i32]) -> Result<bool, DramError> {
+        debug_assert_eq!(out.len(), n);
+        let i = self.index(addr)?;
+        if i + n > self.words.len() {
+            return Err(DramError::OutOfBounds { addr: addr + 4 * n as u32 });
+        }
+        let hit = self.covered(addr, 4 * n as u32);
+        self.stats.bytes_read += 4 * n as u64;
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        out.copy_from_slice(&self.words[i..i + n]);
+        Ok(hit)
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface(n: usize) -> DramInterface {
+        DramInterface::new(Arc::new((0..n as i32).collect()))
+    }
+
+    #[test]
+    fn load_reads_shard_words() {
+        let mut d = iface(16);
+        assert_eq!(d.load(DRAM_BASE).expect("load").0, 0);
+        assert_eq!(d.load(DRAM_BASE + 4 * 7).expect("load").0, 7);
+    }
+
+    #[test]
+    fn unprefetched_load_misses() {
+        let mut d = iface(4);
+        let (_, hit) = d.load(DRAM_BASE).expect("load");
+        assert!(!hit);
+        assert_eq!(d.stats().misses, 1);
+    }
+
+    #[test]
+    fn prefetched_load_hits() {
+        let mut d = iface(64);
+        d.prefetch(DRAM_BASE, 256);
+        let (_, hit) = d.load(DRAM_BASE + 100).expect("load");
+        assert!(hit);
+        assert_eq!(d.stats().hits, 1);
+        assert_eq!(d.stats().prefetches, 1);
+    }
+
+    #[test]
+    fn partial_coverage_is_a_miss() {
+        let mut d = iface(64);
+        d.prefetch(DRAM_BASE, 8);
+        let mut out = [0i32; 4];
+        let hit = d.load_block(DRAM_BASE, 4, &mut out).expect("load");
+        assert!(!hit, "16-byte block only half covered");
+    }
+
+    #[test]
+    fn windows_merge() {
+        let mut d = iface(1024);
+        d.prefetch(DRAM_BASE, 64);
+        d.prefetch(DRAM_BASE + 64, 64);
+        let (_, hit) = d.load(DRAM_BASE + 96).expect("load");
+        assert!(hit);
+    }
+
+    #[test]
+    fn window_buffer_is_bounded() {
+        let mut d = iface(100_000);
+        for i in 0..20 {
+            d.prefetch(DRAM_BASE + i * 10_000, 4); // disjoint windows
+        }
+        // Earliest windows have been evicted.
+        let (_, hit) = d.load(DRAM_BASE).expect("load");
+        assert!(!hit);
+        // Latest window still open.
+        let (_, hit) = d.load(DRAM_BASE + 19 * 10_000).expect("load");
+        assert!(hit);
+    }
+
+    #[test]
+    fn block_load_returns_values() {
+        let mut d = iface(16);
+        let mut out = [0i32; 4];
+        d.load_block(DRAM_BASE + 8, 4, &mut out).expect("load");
+        assert_eq!(out, [2, 3, 4, 5]);
+        assert_eq!(d.stats().bytes_read, 16);
+    }
+
+    #[test]
+    fn bounds_checks() {
+        let mut d = iface(4);
+        assert!(d.load(DRAM_BASE - 4).is_err());
+        assert!(d.load(DRAM_BASE + 16).is_err());
+        assert!(d.load(DRAM_BASE + 2).is_err());
+        let mut out = [0i32; 2];
+        assert!(d.load_block(DRAM_BASE + 12, 2, &mut out).is_err());
+    }
+
+    #[test]
+    fn zero_length_prefetch_is_noop() {
+        let mut d = iface(4);
+        d.prefetch(DRAM_BASE, 0);
+        let (_, hit) = d.load(DRAM_BASE).expect("load");
+        assert!(!hit);
+    }
+}

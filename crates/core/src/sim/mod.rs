@@ -1,0 +1,57 @@
+//! Processing-unit microarchitecture simulation (paper Fig. 5d).
+//!
+//! The simulator executes assembled SSAM programs instruction-by-
+//! instruction over real data, producing both the architectural result
+//! (what the kernel computed — validated against the `ssam-knn` reference
+//! implementations) and a cycle/activity account (what the kernel cost —
+//! feeding the throughput and energy models).
+//!
+//! Timing model: single-issue, in-order. Each instruction has a fixed
+//! issue-to-complete latency ([`LatencyModel`]); vector instructions
+//! occupy one issue slot regardless of vector length because the PU has
+//! one ALU per lane and "forwarding paths between pipeline stages …
+//! implement chaining of vector operations" (Section III-C). DRAM loads
+//! hit the stream buffer (cheap) when covered by a preceding `MEM_FETCH`,
+//! and pay the full DRAM round-trip otherwise — this is what makes the
+//! paper's prefetch instruction matter. Sustained memory bandwidth is
+//! enforced at the device level as a roofline over the simulated byte
+//! traffic (see `crate::device`).
+
+pub mod memif;
+pub mod pqueue;
+pub mod pu;
+pub mod scratchpad;
+pub mod stack;
+pub mod trace;
+
+pub use pqueue::HardwarePriorityQueue;
+pub use pu::{ProcessingUnit, RunStats, SimError};
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-instruction latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Simple scalar/vector ALU, moves, queue and stack operations.
+    pub alu: u64,
+    /// Scalar Q16.16 multiply (no chaining on the scalar datapath).
+    pub mult: u64,
+    /// Vector Q16.16 multiply issue cost — 1 under chaining ("forwarding
+    /// paths between pipeline stages … implement chaining of vector
+    /// operations", Section III-C).
+    pub vmult: u64,
+    /// Scratchpad load/store.
+    pub scratchpad: u64,
+    /// DRAM load covered by an outstanding `MEM_FETCH` (stream-buffer hit).
+    pub dram_hit: u64,
+    /// DRAM load with no prefetch coverage (full round trip).
+    pub dram_miss: u64,
+    /// Taken branch (one bubble); untaken branches cost [`Self::alu`].
+    pub branch_taken: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self { alu: 1, mult: 3, vmult: 1, scratchpad: 2, dram_hit: 2, dram_miss: 40, branch_taken: 2 }
+    }
+}

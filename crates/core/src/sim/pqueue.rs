@@ -1,0 +1,204 @@
+//! The hardware priority-queue unit.
+//!
+//! Section III-C: "we introduce a priority queue unit, implemented using
+//! the shift register architecture proposed in [Moon/Shin/Rexford], and
+//! use it to perform the sort and global top-k calculations. For our SSAM
+//! design, priority queues are 16 entries deep. … Because of its modular
+//! design, the priority queues can be chained to support larger k values."
+//!
+//! The shift-register queue keeps entries sorted at all times: an insert
+//! compares against every stage in parallel and shifts the tail in a
+//! single cycle; the worst entry falls off the end when full. Values are
+//! the PU's native signed 32-bit (Q16.16 distances or integer Hamming
+//! counts) and ordering is ascending (smallest distance = best).
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::PQUEUE_DEPTH;
+
+/// One `(id, value)` entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PqEntry {
+    /// Candidate identifier.
+    pub id: i32,
+    /// Candidate distance/score (ascending order).
+    pub value: i32,
+}
+
+/// A chainable shift-register priority queue.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HardwarePriorityQueue {
+    capacity: usize,
+    /// Sorted ascending by (value, id).
+    entries: Vec<PqEntry>,
+    inserts: u64,
+}
+
+impl HardwarePriorityQueue {
+    /// A single 16-entry queue.
+    pub fn new() -> Self {
+        Self::chained(1)
+    }
+
+    /// `chain` queues chained back-to-back (capacity `16 · chain`).
+    ///
+    /// # Panics
+    /// Panics if `chain == 0`.
+    pub fn chained(chain: usize) -> Self {
+        assert!(chain > 0, "need at least one queue in the chain");
+        Self { capacity: PQUEUE_DEPTH * chain, entries: Vec::new(), inserts: 0 }
+    }
+
+    /// Queue capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total inserts performed since the last reset (activity factor for
+    /// the energy model).
+    pub fn insert_count(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Inserts an entry, keeping the queue sorted; when full, the worst
+    /// entry is discarded (which may be the new entry itself).
+    pub fn insert(&mut self, id: i32, value: i32) {
+        self.inserts += 1;
+        let e = PqEntry { id, value };
+        let pos = self
+            .entries
+            .partition_point(|x| (x.value, x.id) <= (e.value, e.id));
+        if pos >= self.capacity {
+            return; // worse than everything retained
+        }
+        self.entries.insert(pos, e);
+        if self.entries.len() > self.capacity {
+            self.entries.pop();
+        }
+    }
+
+    /// Reads the entry at `position` (0 = best), if occupied.
+    pub fn load(&self, position: usize) -> Option<PqEntry> {
+        self.entries.get(position).copied()
+    }
+
+    /// Clears the queue (`PQUEUE_RESET`). Activity counters survive so the
+    /// energy model sees whole-kernel totals.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Borrow the sorted contents (best first).
+    pub fn entries(&self) -> &[PqEntry] {
+        &self.entries
+    }
+}
+
+impl Default for HardwarePriorityQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_entries_sorted() {
+        let mut q = HardwarePriorityQueue::new();
+        for (id, v) in [(1, 50), (2, 10), (3, 30), (4, 20)] {
+            q.insert(id, v);
+        }
+        let vals: Vec<i32> = q.entries().iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![10, 20, 30, 50]);
+    }
+
+    #[test]
+    fn drops_worst_when_full() {
+        let mut q = HardwarePriorityQueue::new();
+        for i in 0..20 {
+            q.insert(i, i);
+        }
+        assert_eq!(q.len(), 16);
+        assert_eq!(q.load(15).expect("full").value, 15);
+        // A better late arrival displaces the current worst.
+        q.insert(99, -1);
+        assert_eq!(q.load(0).expect("head").id, 99);
+        assert_eq!(q.load(15).expect("tail").value, 14);
+    }
+
+    #[test]
+    fn worse_than_tail_is_discarded_when_full() {
+        let mut q = HardwarePriorityQueue::new();
+        for i in 0..16 {
+            q.insert(i, i);
+        }
+        q.insert(100, 100);
+        assert_eq!(q.len(), 16);
+        assert!(q.entries().iter().all(|e| e.id != 100));
+    }
+
+    #[test]
+    fn chaining_grows_capacity() {
+        let q = HardwarePriorityQueue::chained(3);
+        assert_eq!(q.capacity(), 48);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut q = HardwarePriorityQueue::new();
+        q.insert(7, 5);
+        q.insert(3, 5);
+        assert_eq!(q.load(0).expect("entry").id, 3);
+        assert_eq!(q.load(1).expect("entry").id, 7);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_activity() {
+        let mut q = HardwarePriorityQueue::new();
+        q.insert(1, 1);
+        q.insert(2, 2);
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.insert_count(), 2);
+        assert!(q.load(0).is_none());
+    }
+
+    #[test]
+    fn negative_values_sort_correctly() {
+        let mut q = HardwarePriorityQueue::new();
+        q.insert(1, 5);
+        q.insert(2, -5);
+        assert_eq!(q.load(0).expect("entry").id, 2);
+    }
+
+    #[test]
+    fn matches_sorted_truncation_reference() {
+        // Property sanity on a fixed pseudo-random sequence.
+        let mut q = HardwarePriorityQueue::new();
+        let mut all: Vec<(i32, i32)> = Vec::new();
+        let mut x = 123456789u64;
+        for id in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) as i32 % 1000;
+            q.insert(id, v);
+            all.push((v, id));
+        }
+        all.sort_unstable();
+        all.truncate(16);
+        let expect: Vec<i32> = all.iter().map(|&(_, id)| id).collect();
+        let got: Vec<i32> = q.entries().iter().map(|e| e.id).collect();
+        assert_eq!(got, expect);
+    }
+}

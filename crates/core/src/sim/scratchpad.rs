@@ -1,0 +1,182 @@
+//! The 32 KB scratchpad memory.
+//!
+//! Section III-C: "we integrate a 32 KB scratchpad to hold frequently
+//! accessed data structures, such as the query vector and indexing
+//! structures. … the only heavily reused data are the query vectors and
+//! indices (data vectors are scanned and immediately discarded)."
+//!
+//! Word-addressed (4-byte aligned) 32-bit accesses, matching the PU's
+//! native width.
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::SCRATCHPAD_BYTES;
+
+/// Error from a scratchpad access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpadError {
+    /// Address beyond the scratchpad.
+    OutOfBounds {
+        /// Offending byte address.
+        addr: u32,
+    },
+    /// Address not 4-byte aligned.
+    Unaligned {
+        /// Offending byte address.
+        addr: u32,
+    },
+}
+
+impl std::fmt::Display for SpadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpadError::OutOfBounds { addr } => write!(f, "scratchpad address {addr:#x} out of bounds"),
+            SpadError::Unaligned { addr } => write!(f, "scratchpad address {addr:#x} unaligned"),
+        }
+    }
+}
+
+impl std::error::Error for SpadError {}
+
+/// The scratchpad array with access accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scratchpad {
+    words: Vec<i32>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Scratchpad {
+    /// A zeroed 32 KB scratchpad.
+    pub fn new() -> Self {
+        Self { words: vec![0; SCRATCHPAD_BYTES / 4], reads: 0, writes: 0 }
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    fn index(&self, addr: u32) -> Result<usize, SpadError> {
+        if !addr.is_multiple_of(4) {
+            return Err(SpadError::Unaligned { addr });
+        }
+        let i = (addr / 4) as usize;
+        if i >= self.words.len() {
+            return Err(SpadError::OutOfBounds { addr });
+        }
+        Ok(i)
+    }
+
+    /// Reads the word at byte address `addr`.
+    pub fn load(&mut self, addr: u32) -> Result<i32, SpadError> {
+        let i = self.index(addr)?;
+        self.reads += 1;
+        Ok(self.words[i])
+    }
+
+    /// Writes the word at byte address `addr`.
+    pub fn store(&mut self, addr: u32, value: i32) -> Result<(), SpadError> {
+        let i = self.index(addr)?;
+        self.writes += 1;
+        self.words[i] = value;
+        Ok(())
+    }
+
+    /// Bulk host-side write (driver filling the query region / index;
+    /// not charged to kernel activity counters).
+    pub fn write_block(&mut self, addr: u32, data: &[i32]) -> Result<(), SpadError> {
+        let start = self.index(addr)?;
+        if start + data.len() > self.words.len() {
+            return Err(SpadError::OutOfBounds { addr: addr + 4 * data.len() as u32 });
+        }
+        self.words[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Bulk host-side read (driver reading back results).
+    pub fn read_block(&self, addr: u32, len: usize) -> Result<&[i32], SpadError> {
+        if !addr.is_multiple_of(4) {
+            return Err(SpadError::Unaligned { addr });
+        }
+        let start = (addr / 4) as usize;
+        if start + len > self.words.len() {
+            return Err(SpadError::OutOfBounds { addr: addr + 4 * len as u32 });
+        }
+        Ok(&self.words[start..start + len])
+    }
+
+    /// Kernel read count (energy activity factor).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Kernel write count.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl Default for Scratchpad {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut s = Scratchpad::new();
+        s.store(0, 42).expect("store");
+        s.store(32 * 1024 - 4, -7).expect("store at top");
+        assert_eq!(s.load(0).expect("load"), 42);
+        assert_eq!(s.load(32 * 1024 - 4).expect("load"), -7);
+    }
+
+    #[test]
+    fn capacity_is_32_kib() {
+        assert_eq!(Scratchpad::new().bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut s = Scratchpad::new();
+        assert_eq!(s.load(32 * 1024), Err(SpadError::OutOfBounds { addr: 32 * 1024 }));
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let mut s = Scratchpad::new();
+        assert_eq!(s.load(2), Err(SpadError::Unaligned { addr: 2 }));
+    }
+
+    #[test]
+    fn block_ops_round_trip_without_charging_activity() {
+        let mut s = Scratchpad::new();
+        s.write_block(16, &[1, 2, 3]).expect("write");
+        assert_eq!(s.read_block(16, 3).expect("read"), &[1, 2, 3]);
+        assert_eq!(s.read_count(), 0);
+        assert_eq!(s.write_count(), 0);
+    }
+
+    #[test]
+    fn block_overflow_rejected() {
+        let mut s = Scratchpad::new();
+        let too_long = vec![0i32; 32 * 1024 / 4 + 1];
+        assert!(s.write_block(0, &too_long).is_err());
+        assert!(s.read_block(32 * 1024 - 4, 2).is_err());
+    }
+
+    #[test]
+    fn activity_counters_track_kernel_ops() {
+        let mut s = Scratchpad::new();
+        s.store(0, 1).expect("store");
+        let _ = s.load(0);
+        let _ = s.load(0);
+        assert_eq!(s.write_count(), 1);
+        assert_eq!(s.read_count(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! The hardware stack unit.
+//!
+//! Section III-C: "we introduce a small hardware stack unit instantiated
+//! on the scalar datapath to aid kNN index traversals. The stack unit is a
+//! natural choice to facilitate backtracking when traversing hierarchical
+//! index structures."
+
+use serde::{Deserialize, Serialize};
+
+/// Default stack depth in 32-bit entries ("small hardware stack").
+pub const STACK_DEPTH: usize = 64;
+
+/// Error from a stack operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackError {
+    /// Push onto a full stack.
+    Overflow,
+    /// Pop from an empty stack.
+    Underflow,
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackError::Overflow => write!(f, "hardware stack overflow"),
+            StackError::Underflow => write!(f, "hardware stack underflow"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// Fixed-depth LIFO of 32-bit words.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HardwareStack {
+    depth: usize,
+    data: Vec<i32>,
+    ops: u64,
+}
+
+impl HardwareStack {
+    /// A stack of the default depth.
+    pub fn new() -> Self {
+        Self::with_depth(STACK_DEPTH)
+    }
+
+    /// A stack holding up to `depth` entries.
+    ///
+    /// # Panics
+    /// Panics if `depth == 0`.
+    pub fn with_depth(depth: usize) -> Self {
+        assert!(depth > 0, "stack depth must be positive");
+        Self { depth, data: Vec::with_capacity(depth), ops: 0 }
+    }
+
+    /// Pushes a word.
+    pub fn push(&mut self, value: i32) -> Result<(), StackError> {
+        self.ops += 1;
+        if self.data.len() >= self.depth {
+            return Err(StackError::Overflow);
+        }
+        self.data.push(value);
+        Ok(())
+    }
+
+    /// Pops the most recent word.
+    pub fn pop(&mut self) -> Result<i32, StackError> {
+        self.ops += 1;
+        self.data.pop().ok_or(StackError::Underflow)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Push+pop operation count (energy-model activity factor).
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl Default for HardwareStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = HardwareStack::new();
+        s.push(1).expect("push");
+        s.push(2).expect("push");
+        s.push(3).expect("push");
+        assert_eq!(s.pop().expect("pop"), 3);
+        assert_eq!(s.pop().expect("pop"), 2);
+        assert_eq!(s.pop().expect("pop"), 1);
+    }
+
+    #[test]
+    fn underflow_detected() {
+        let mut s = HardwareStack::new();
+        assert_eq!(s.pop(), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut s = HardwareStack::with_depth(2);
+        s.push(1).expect("push");
+        s.push(2).expect("push");
+        assert_eq!(s.push(3), Err(StackError::Overflow));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn op_count_tracks_all_attempts() {
+        let mut s = HardwareStack::with_depth(1);
+        s.push(1).expect("push");
+        let _ = s.push(2);
+        let _ = s.pop();
+        assert_eq!(s.op_count(), 3);
+    }
+
+    #[test]
+    fn is_empty_transitions() {
+        let mut s = HardwareStack::new();
+        assert!(s.is_empty());
+        s.push(42).expect("push");
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Execution tracing — the simulator-side analogue of the paper's
+//! "generate traces from real datasets to measure realistic activity
+//! factors" (Section IV).
+//!
+//! A [`TraceBuffer`] is a bounded ring of retired-instruction records the
+//! PU can be asked to fill; the pretty-printer renders the tail of a run
+//! for kernel debugging, and [`TraceSummary`] aggregates per-opcode cycle
+//! histograms — the data a power methodology consumes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::inst::Instruction;
+
+/// One retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// The instruction itself.
+    pub inst: Instruction,
+    /// Cycles charged to it.
+    pub cycles: u64,
+    /// Cumulative cycle count after retirement.
+    pub total_cycles: u64,
+}
+
+/// Bounded ring buffer of [`TraceRecord`]s (keeps the most recent `cap`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceBuffer {
+    cap: usize,
+    records: Vec<TraceRecord>,
+    /// Index of the logically-oldest record once the ring has wrapped.
+    head: usize,
+    /// Total records ever pushed (may exceed `cap`).
+    pushed: u64,
+}
+
+impl TraceBuffer {
+    /// A ring holding the most recent `cap` records.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "trace capacity must be positive");
+        Self { cap, records: Vec::with_capacity(cap), head: 0, pushed: 0 }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, record: TraceRecord) {
+        if self.records.len() < self.cap {
+            self.records.push(record);
+        } else {
+            self.records[self.head] = record;
+            self.head = (self.head + 1) % self.cap;
+        }
+        self.pushed += 1;
+    }
+
+    /// Records in retirement order (oldest retained first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records[self.head..].iter().chain(self.records[..self.head].iter())
+    }
+
+    /// Retained record count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total records ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Renders the retained tail as readable text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.pushed > self.len() as u64 {
+            out.push_str(&format!(
+                "… {} earlier instruction(s) evicted …\n",
+                self.pushed - self.len() as u64
+            ));
+        }
+        for r in self.iter() {
+            out.push_str(&format!(
+                "[cyc {:>8}] pc {:>5}  (+{})  {}\n",
+                r.total_cycles, r.pc, r.cycles, r.inst
+            ));
+        }
+        out
+    }
+
+    /// Aggregates the retained records.
+    pub fn summarize(&self) -> TraceSummary {
+        let mut per_mnemonic: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for r in self.iter() {
+            let mnemonic = r
+                .inst
+                .to_string()
+                .split_whitespace()
+                .next()
+                .unwrap_or("?")
+                .to_string();
+            let e = per_mnemonic.entry(mnemonic).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.cycles;
+        }
+        TraceSummary { per_mnemonic }
+    }
+}
+
+/// Per-mnemonic `(count, cycles)` aggregation over a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Mnemonic → (instructions retired, cycles charged).
+    pub per_mnemonic: BTreeMap<String, (u64, u64)>,
+}
+
+impl TraceSummary {
+    /// Total cycles across mnemonics.
+    pub fn total_cycles(&self) -> u64 {
+        self.per_mnemonic.values().map(|&(_, c)| c).sum()
+    }
+
+    /// The mnemonic burning the most cycles, if any.
+    pub fn hottest(&self) -> Option<(&str, u64)> {
+        self.per_mnemonic
+            .iter()
+            .max_by_key(|(_, &(_, c))| c)
+            .map(|(m, &(_, c))| (m.as_str(), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::inst::{AluOp, Instruction};
+    use crate::isa::reg::SReg;
+
+    fn rec(pc: u32, cycles: u64) -> TraceRecord {
+        TraceRecord {
+            pc,
+            inst: Instruction::SAluImm { op: AluOp::Add, rd: SReg(1), rs1: SReg(1), imm: 1 },
+            cycles,
+            total_cycles: cycles,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut t = TraceBuffer::new(3);
+        for pc in 0..5 {
+            t.push(rec(pc, 1));
+        }
+        let pcs: Vec<u32> = t.iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![2, 3, 4]);
+        assert_eq!(t.total_pushed(), 5);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn render_notes_evictions() {
+        let mut t = TraceBuffer::new(2);
+        for pc in 0..4 {
+            t.push(rec(pc, 2));
+        }
+        let text = t.render();
+        assert!(text.contains("2 earlier instruction(s) evicted"));
+        assert!(text.contains("addi s1, s1, 1"));
+    }
+
+    #[test]
+    fn summary_aggregates_by_mnemonic() {
+        let mut t = TraceBuffer::new(16);
+        t.push(rec(0, 1));
+        t.push(rec(1, 1));
+        t.push(TraceRecord {
+            pc: 2,
+            inst: Instruction::Halt,
+            cycles: 1,
+            total_cycles: 3,
+        });
+        let s = t.summarize();
+        assert_eq!(s.per_mnemonic["addi"], (2, 2));
+        assert_eq!(s.per_mnemonic["halt"], (1, 1));
+        assert_eq!(s.total_cycles(), 3);
+        assert_eq!(s.hottest().expect("non-empty").0, "addi");
+    }
+
+    #[test]
+    fn empty_buffer_behaves() {
+        let t = TraceBuffer::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "");
+        assert!(t.summarize().hottest().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::new(0);
+    }
+}

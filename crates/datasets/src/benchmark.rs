@@ -1,0 +1,83 @@
+//! Benchmark bundles: dataset + queries + ground truth, ready for any
+//! platform.
+
+use ssam_knn::{Metric, VectorStore};
+
+use crate::generator::{generate, GeneratedData};
+use crate::ground_truth::GroundTruth;
+use crate::spec::{DatasetSpec, PaperDataset};
+
+/// Everything an experiment needs for one dataset: the database, the query
+/// batch, the paper's `k`, and exact ground truth under the paper's
+/// canonical (Euclidean) metric.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// The spec this benchmark was generated from.
+    pub spec: DatasetSpec,
+    /// Database vectors.
+    pub train: VectorStore,
+    /// Query vectors.
+    pub queries: VectorStore,
+    /// Exact Euclidean ground truth at `spec.k`.
+    pub ground_truth: GroundTruth,
+}
+
+impl Benchmark {
+    /// Generates a benchmark from a spec (data + ground truth).
+    pub fn from_spec(spec: DatasetSpec) -> Self {
+        let GeneratedData { train, queries, .. } = generate(&spec);
+        let ground_truth = GroundTruth::compute(&train, &queries, spec.k, Metric::Euclidean);
+        Self { spec, train, queries, ground_truth }
+    }
+
+    /// Generates one of the paper's datasets at reduced `scale`
+    /// (see [`DatasetSpec::scaled`]).
+    pub fn paper(dataset: PaperDataset, scale: f64) -> Self {
+        Self::from_spec(dataset.scaled_spec(scale))
+    }
+
+    /// The paper's per-dataset neighbor count.
+    pub fn k(&self) -> usize {
+        self.spec.k
+    }
+
+    /// Iterate `(query_index, query_vector, exact_ids)` triples.
+    pub fn iter_queries(&self) -> impl Iterator<Item = (usize, &[f32], &[u32])> {
+        self.queries
+            .iter()
+            .map(move |(q, v)| (q as usize, v, self.ground_truth.ids[q as usize].as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssam_knn::linear::knn_exact;
+
+    #[test]
+    fn paper_benchmark_at_tiny_scale_is_consistent() {
+        let b = Benchmark::paper(PaperDataset::GloVe, 0.001);
+        assert_eq!(b.train.dims(), 100);
+        assert_eq!(b.k(), 6);
+        assert_eq!(b.ground_truth.ids.len(), b.queries.len());
+        assert!(b.ground_truth.ids.iter().all(|s| s.len() == 6));
+    }
+
+    #[test]
+    fn ground_truth_matches_fresh_exact_search() {
+        let b = Benchmark::paper(PaperDataset::GloVe, 0.001);
+        let (qi, qv, gt) = b.iter_queries().next().expect("has queries");
+        assert_eq!(qi, 0);
+        let fresh: Vec<u32> = knn_exact(&b.train, qv, b.k(), Metric::Euclidean)
+            .into_iter()
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(gt, fresh.as_slice());
+    }
+
+    #[test]
+    fn iter_queries_covers_all() {
+        let b = Benchmark::paper(PaperDataset::GloVe, 0.001);
+        assert_eq!(b.iter_queries().count(), b.queries.len());
+    }
+}

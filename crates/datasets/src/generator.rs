@@ -1,0 +1,209 @@
+//! Clustered Gaussian-mixture generation.
+//!
+//! Cluster centers are drawn uniformly on the unit sphere; member vectors
+//! add isotropic Gaussian noise of standard deviation
+//! `cluster_spread / sqrt(dims)` so the *norm* of the within-cluster offset
+//! is ≈ `cluster_spread` regardless of dimensionality (keeping the
+//! clusteredness — and therefore index effectiveness — comparable across
+//! the 100-d GloVe and 4096-d AlexNet stand-ins). Cluster sizes follow a
+//! Zipf-like skew to mimic the imbalanced topic/content distribution of
+//! real corpora. Queries are drawn from the same mixture, i.e. they look
+//! like held-out corpus entries, as in the paper's train/test split.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use ssam_knn::VectorStore;
+
+use crate::spec::DatasetSpec;
+
+/// A generated dataset: the database and its held-out queries.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// Database ("train") vectors.
+    pub train: VectorStore,
+    /// Query ("test") vectors.
+    pub queries: VectorStore,
+    /// Cluster assignment of each train row (for diagnostics/tests).
+    pub train_clusters: Vec<u32>,
+}
+
+/// Generates a dataset per `spec`. Deterministic given `spec.seed`.
+pub fn generate(spec: &DatasetSpec) -> GeneratedData {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let dims = spec.dims;
+    let clusters = spec.clusters.max(1);
+
+    // Cluster centers on the unit sphere.
+    let mut centers = VectorStore::with_capacity(dims, clusters);
+    for _ in 0..clusters {
+        centers.push(&random_unit_vector(dims, &mut rng));
+    }
+
+    // Zipf-like cluster weights: w_c ∝ 1 / (c+1)^imbalance.
+    let weights: Vec<f64> = (0..clusters)
+        .map(|c| 1.0 / ((c + 1) as f64).powf(spec.imbalance))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let cumulative: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total_w;
+            Some(*acc)
+        })
+        .collect();
+
+    let sigma = spec.cluster_spread / (dims as f32).sqrt();
+    let sample = |rng: &mut StdRng| -> (Vec<f32>, u32) {
+        let u: f64 = rng.random_range(0.0..1.0);
+        let c = cumulative.partition_point(|&x| x < u).min(clusters - 1);
+        let center = centers.get(c as u32);
+        let v: Vec<f32> = center.iter().map(|&x| x + sigma * gaussian(rng)).collect();
+        (v, c as u32)
+    };
+
+    let mut train = VectorStore::with_capacity(dims, spec.train);
+    let mut train_clusters = Vec::with_capacity(spec.train);
+    for _ in 0..spec.train {
+        let (v, c) = sample(&mut rng);
+        train.push(&v);
+        train_clusters.push(c);
+    }
+
+    let mut queries = VectorStore::with_capacity(dims, spec.queries);
+    for _ in 0..spec.queries {
+        let (v, _) = sample(&mut rng);
+        queries.push(&v);
+    }
+
+    GeneratedData { train, queries, train_clusters }
+}
+
+/// Uniform direction on the unit sphere (normalized Gaussian vector).
+fn random_unit_vector(dims: usize, rng: &mut StdRng) -> Vec<f32> {
+    loop {
+        let v: Vec<f32> = (0..dims).map(|_| gaussian(rng)).collect();
+        let norm = v.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-6 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssam_knn::distance::{euclidean, norm_sq};
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "tiny".to_string(),
+            train: 500,
+            queries: 50,
+            dims: 16,
+            k: 5,
+            clusters: 10,
+            cluster_spread: 0.2,
+            imbalance: 1.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        let d = generate(&tiny_spec());
+        assert_eq!(d.train.len(), 500);
+        assert_eq!(d.queries.len(), 50);
+        assert_eq!(d.train.dims(), 16);
+        assert_eq!(d.train_clusters.len(), 500);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&tiny_spec());
+        let b = generate(&tiny_spec());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s2 = tiny_spec();
+        s2.seed = 43;
+        assert_ne!(generate(&tiny_spec()).train, generate(&s2).train);
+    }
+
+    #[test]
+    fn vectors_have_unit_scale() {
+        let d = generate(&tiny_spec());
+        // Centers are unit norm and spread is small, so norms cluster near 1.
+        let mean_norm: f32 = d
+            .train
+            .iter()
+            .map(|(_, v)| norm_sq(v).sqrt())
+            .sum::<f32>()
+            / d.train.len() as f32;
+        assert!((0.8..1.3).contains(&mean_norm), "mean norm {mean_norm}");
+    }
+
+    #[test]
+    fn same_cluster_rows_are_closer_than_random_pairs() {
+        let d = generate(&tiny_spec());
+        // Mean intra-cluster vs inter-cluster distance over a sample.
+        let (mut intra, mut inter) = (Vec::new(), Vec::new());
+        for i in 0..100u32 {
+            for j in (i + 1)..100u32 {
+                let dist = euclidean(d.train.get(i), d.train.get(j));
+                if d.train_clusters[i as usize] == d.train_clusters[j as usize] {
+                    intra.push(dist);
+                } else {
+                    inter.push(dist);
+                }
+            }
+        }
+        assert!(!intra.is_empty() && !inter.is_empty());
+        let m = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            m(&intra) < 0.5 * m(&inter),
+            "intra {} not well below inter {}",
+            m(&intra),
+            m(&inter)
+        );
+    }
+
+    #[test]
+    fn imbalance_skews_cluster_sizes() {
+        let mut spec = tiny_spec();
+        spec.imbalance = 1.5;
+        spec.train = 2000;
+        let d = generate(&spec);
+        let mut counts = vec![0usize; spec.clusters];
+        for &c in &d.train_clusters {
+            counts[c as usize] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        assert!(max > 4 * min.max(1), "max {max} min {min}");
+    }
+
+    #[test]
+    fn zero_imbalance_is_roughly_uniform() {
+        let mut spec = tiny_spec();
+        spec.imbalance = 0.0;
+        spec.train = 5000;
+        let d = generate(&spec);
+        let mut counts = vec![0usize; spec.clusters];
+        for &c in &d.train_clusters {
+            counts[c as usize] += 1;
+        }
+        let expected = spec.train / spec.clusters;
+        assert!(counts.iter().all(|&c| c > expected / 3 && c < expected * 3));
+    }
+}

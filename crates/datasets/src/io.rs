@@ -1,0 +1,99 @@
+//! Dataset (de)serialization.
+//!
+//! Benchmarks regenerate deterministically from their spec, but large
+//! scales take minutes to produce ground truth for, so experiments can
+//! cache generated bundles on disk as JSON. (JSON is slow but dependency-
+//! free; caching is optional and off the hot path.)
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use ssam_knn::VectorStore;
+
+use crate::benchmark::Benchmark;
+use crate::ground_truth::GroundTruth;
+use crate::spec::DatasetSpec;
+
+/// Serializable image of a [`Benchmark`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkFile {
+    /// Generating spec.
+    pub spec: DatasetSpec,
+    /// Database vectors.
+    pub train: VectorStore,
+    /// Query vectors.
+    pub queries: VectorStore,
+    /// Exact ground truth.
+    pub ground_truth: GroundTruth,
+}
+
+impl From<Benchmark> for BenchmarkFile {
+    fn from(b: Benchmark) -> Self {
+        Self { spec: b.spec, train: b.train, queries: b.queries, ground_truth: b.ground_truth }
+    }
+}
+
+impl From<BenchmarkFile> for Benchmark {
+    fn from(f: BenchmarkFile) -> Self {
+        Benchmark {
+            spec: f.spec,
+            train: f.train,
+            queries: f.queries,
+            ground_truth: f.ground_truth,
+        }
+    }
+}
+
+/// Writes a benchmark to `path` as JSON.
+pub fn save_benchmark(b: &Benchmark, path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let image = BenchmarkFile {
+        spec: b.spec.clone(),
+        train: b.train.clone(),
+        queries: b.queries.clone(),
+        ground_truth: b.ground_truth.clone(),
+    };
+    let json = serde_json::to_string(&image)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    w.write_all(json.as_bytes())
+}
+
+/// Reads a benchmark previously written by [`save_benchmark`].
+pub fn load_benchmark(path: &Path) -> std::io::Result<Benchmark> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)?;
+    let image: BenchmarkFile = serde_json::from_str(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok(image.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PaperDataset;
+
+    #[test]
+    fn save_load_round_trip() {
+        let b = Benchmark::paper(PaperDataset::GloVe, 0.0005);
+        let dir = std::env::temp_dir().join("ssam_datasets_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("glove_tiny.json");
+        save_benchmark(&b, &path).expect("save");
+        let loaded = load_benchmark(&path).expect("load");
+        assert_eq!(loaded.train, b.train);
+        assert_eq!(loaded.queries, b.queries);
+        assert_eq!(loaded.ground_truth, b.ground_truth);
+        assert_eq!(loaded.spec, b.spec);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_benchmark(Path::new("/nonexistent/nope.json")).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Dataset specifications matching the paper's workload parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The three evaluation datasets of Section II-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperDataset {
+    /// GloVe: 1.2 M Twitter word embeddings, 100-d, k = 6.
+    GloVe,
+    /// GIST: 1 M image descriptors, 960-d, k = 10.
+    Gist,
+    /// AlexNet: 1 M Flickr fc7 features, 4096-d, k = 16.
+    AlexNet,
+}
+
+impl PaperDataset {
+    /// All three datasets in paper order.
+    pub const ALL: [PaperDataset; 3] = [PaperDataset::GloVe, PaperDataset::Gist, PaperDataset::AlexNet];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperDataset::GloVe => "GloVe",
+            PaperDataset::Gist => "GIST",
+            PaperDataset::AlexNet => "AlexNet",
+        }
+    }
+
+    /// Full specification at paper scale.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            PaperDataset::GloVe => DatasetSpec {
+                name: "GloVe".to_string(),
+                train: 1_200_000,
+                queries: 1000,
+                dims: 100,
+                k: 6,
+                clusters: 2000,
+                cluster_spread: 0.35,
+                imbalance: 1.1,
+                seed: 0x0006_C07E,
+            },
+            PaperDataset::Gist => DatasetSpec {
+                name: "GIST".to_string(),
+                train: 1_000_000,
+                queries: 1000,
+                dims: 960,
+                k: 10,
+                clusters: 1500,
+                cluster_spread: 0.30,
+                imbalance: 1.0,
+                seed: 0x6157,
+            },
+            PaperDataset::AlexNet => DatasetSpec {
+                name: "AlexNet".to_string(),
+                train: 1_000_000,
+                queries: 1000,
+                dims: 4096,
+                k: 16,
+                clusters: 1000,
+                cluster_spread: 0.25,
+                imbalance: 0.9,
+                seed: 0xA1E7,
+            },
+        }
+    }
+
+    /// Specification scaled down for tractable experiments: train size and
+    /// cluster count shrink by `scale`; dims and k stay at paper values
+    /// (they define the workload's arithmetic intensity). The query count
+    /// shrinks with the square root of scale so small runs still average
+    /// over a meaningful batch.
+    pub fn scaled_spec(self, scale: f64) -> DatasetSpec {
+        self.spec().scaled(scale)
+    }
+}
+
+/// Full parameterization of one synthetic dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Display name.
+    pub name: String,
+    /// Database (train) cardinality.
+    pub train: usize,
+    /// Held-out query count.
+    pub queries: usize,
+    /// Feature dimensionality.
+    pub dims: usize,
+    /// Neighbors per query (the paper's per-dataset k).
+    pub k: usize,
+    /// Gaussian mixture component count.
+    pub clusters: usize,
+    /// Within-cluster standard deviation (cluster centers live on the unit
+    /// sphere scaled to norm ≈ 1, so spread controls cluster overlap).
+    pub cluster_spread: f32,
+    /// Zipf-like cluster-size skew exponent (0 = uniform sizes).
+    pub imbalance: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Scales train size, query count, and cluster count; clamps to sane
+    /// minima so tiny scales stay well-formed.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        self.train = ((self.train as f64 * scale) as usize).max(256);
+        self.queries = ((self.queries as f64 * scale.sqrt()) as usize).max(20);
+        self.clusters = ((self.clusters as f64 * scale) as usize).max(8);
+        self
+    }
+
+    /// Database payload in bytes (f32 elements).
+    pub fn train_bytes(&self) -> u64 {
+        (self.train * self.dims * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_parameters_match_table() {
+        let g = PaperDataset::GloVe.spec();
+        assert_eq!((g.train, g.dims, g.k), (1_200_000, 100, 6));
+        let gist = PaperDataset::Gist.spec();
+        assert_eq!((gist.train, gist.dims, gist.k), (1_000_000, 960, 10));
+        let a = PaperDataset::AlexNet.spec();
+        assert_eq!((a.train, a.dims, a.k), (1_000_000, 4096, 16));
+        assert_eq!(g.queries, 1000);
+    }
+
+    #[test]
+    fn scaling_shrinks_cardinality_not_dims() {
+        let s = PaperDataset::Gist.scaled_spec(0.01);
+        assert_eq!(s.dims, 960);
+        assert_eq!(s.k, 10);
+        assert_eq!(s.train, 10_000);
+        assert!(s.queries >= 20);
+        assert!(s.clusters >= 8);
+    }
+
+    #[test]
+    fn scaling_clamps_minima() {
+        let s = PaperDataset::GloVe.scaled_spec(1e-6);
+        assert!(s.train >= 256);
+        assert!(s.queries >= 20);
+        assert!(s.clusters >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn scale_above_one_rejected() {
+        let _ = PaperDataset::GloVe.scaled_spec(2.0);
+    }
+
+    #[test]
+    fn train_bytes_counts_f32_payload() {
+        let s = PaperDataset::GloVe.spec();
+        assert_eq!(s.train_bytes(), 1_200_000 * 100 * 4);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = PaperDataset::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["GloVe", "GIST", "AlexNet"]);
+    }
+}

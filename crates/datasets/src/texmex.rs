@@ -1,0 +1,270 @@
+//! TEXMEX `.fvecs` / `.bvecs` / `.ivecs` readers and writers.
+//!
+//! The paper's real datasets ship in the INRIA TEXMEX corpus formats
+//! (GIST1M is distributed as `.fvecs`; ANN_SIFT1B as `.bvecs`): each
+//! vector is stored as a little-endian `i32` dimensionality header
+//! followed by `dim` components (`f32`, `u8`, or `i32` respectively).
+//! These loaders let users with the actual corpora run every experiment
+//! on the real data instead of the synthetic stand-ins.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use ssam_knn::VectorStore;
+
+/// Errors from TEXMEX parsing.
+#[derive(Debug)]
+pub enum TexmexError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Header or payload malformed.
+    Format(String),
+}
+
+impl std::fmt::Display for TexmexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TexmexError::Io(e) => write!(f, "i/o error: {e}"),
+            TexmexError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TexmexError {}
+
+impl From<io::Error> for TexmexError {
+    fn from(e: io::Error) -> Self {
+        TexmexError::Io(e)
+    }
+}
+
+fn read_dim(r: &mut impl Read) -> Result<Option<usize>, TexmexError> {
+    let mut head = [0u8; 4];
+    match r.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let dim = i32::from_le_bytes(head);
+    if dim <= 0 || dim > 1_000_000 {
+        return Err(TexmexError::Format(format!("implausible dimensionality {dim}")));
+    }
+    Ok(Some(dim as usize))
+}
+
+/// Reads an `.fvecs` file into a [`VectorStore`], optionally capped at
+/// `limit` vectors.
+pub fn read_fvecs(path: &Path, limit: Option<usize>) -> Result<VectorStore, TexmexError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_fvecs_from(&mut r, limit)
+}
+
+/// Reads `.fvecs` records from any reader.
+pub fn read_fvecs_from(
+    r: &mut impl Read,
+    limit: Option<usize>,
+) -> Result<VectorStore, TexmexError> {
+    let mut store: Option<VectorStore> = None;
+    let mut buf = Vec::new();
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut count = 0usize;
+    while count < cap {
+        let Some(dim) = read_dim(r)? else { break };
+        if let Some(s) = &store {
+            if s.dims() != dim {
+                return Err(TexmexError::Format(format!(
+                    "inconsistent dimensionality: {} then {dim}",
+                    s.dims()
+                )));
+            }
+        }
+        buf.resize(dim * 4, 0u8);
+        r.read_exact(&mut buf)?;
+        let v: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        store.get_or_insert_with(|| VectorStore::new(dim)).push(&v);
+        count += 1;
+    }
+    store.ok_or_else(|| TexmexError::Format("empty file".into()))
+}
+
+/// Reads a `.bvecs` file (unsigned byte components, e.g. SIFT1B) into a
+/// float [`VectorStore`].
+pub fn read_bvecs(path: &Path, limit: Option<usize>) -> Result<VectorStore, TexmexError> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_bvecs_from(&mut r, limit)
+}
+
+/// Reads `.bvecs` records from any reader.
+pub fn read_bvecs_from(
+    r: &mut impl Read,
+    limit: Option<usize>,
+) -> Result<VectorStore, TexmexError> {
+    let mut store: Option<VectorStore> = None;
+    let mut buf = Vec::new();
+    let cap = limit.unwrap_or(usize::MAX);
+    let mut count = 0usize;
+    while count < cap {
+        let Some(dim) = read_dim(r)? else { break };
+        if let Some(s) = &store {
+            if s.dims() != dim {
+                return Err(TexmexError::Format(format!(
+                    "inconsistent dimensionality: {} then {dim}",
+                    s.dims()
+                )));
+            }
+        }
+        buf.resize(dim, 0u8);
+        r.read_exact(&mut buf)?;
+        let v: Vec<f32> = buf.iter().map(|&b| b as f32).collect();
+        store.get_or_insert_with(|| VectorStore::new(dim)).push(&v);
+        count += 1;
+    }
+    store.ok_or_else(|| TexmexError::Format("empty file".into()))
+}
+
+/// Reads an `.ivecs` file (integer components — TEXMEX ground-truth
+/// neighbor ids) as one `Vec<i32>` row per record.
+pub fn read_ivecs_from(
+    r: &mut impl Read,
+    limit: Option<usize>,
+) -> Result<Vec<Vec<i32>>, TexmexError> {
+    let mut rows = Vec::new();
+    let mut buf = Vec::new();
+    let cap = limit.unwrap_or(usize::MAX);
+    while rows.len() < cap {
+        let Some(dim) = read_dim(r)? else { break };
+        buf.resize(dim * 4, 0u8);
+        r.read_exact(&mut buf)?;
+        rows.push(
+            buf.chunks_exact(4)
+                .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        );
+    }
+    if rows.is_empty() {
+        return Err(TexmexError::Format("empty file".into()));
+    }
+    Ok(rows)
+}
+
+/// Writes a [`VectorStore`] as `.fvecs`.
+pub fn write_fvecs(store: &VectorStore, path: &Path) -> Result<(), TexmexError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_fvecs_to(store, &mut w)
+}
+
+/// Writes `.fvecs` records to any writer.
+pub fn write_fvecs_to(store: &VectorStore, w: &mut impl Write) -> Result<(), TexmexError> {
+    for (_, v) in store.iter() {
+        w.write_all(&(store.dims() as i32).to_le_bytes())?;
+        for &x in v {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_store() -> VectorStore {
+        let mut s = VectorStore::new(3);
+        s.push(&[1.0, -2.5, 3.25]);
+        s.push(&[0.0, 0.5, -0.125]);
+        s
+    }
+
+    #[test]
+    fn fvecs_round_trip() {
+        let s = sample_store();
+        let mut bytes = Vec::new();
+        write_fvecs_to(&s, &mut bytes).expect("writes");
+        // 2 records × (4 + 3·4) bytes
+        assert_eq!(bytes.len(), 2 * 16);
+        let back = read_fvecs_from(&mut Cursor::new(bytes), None).expect("reads");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn limit_caps_records() {
+        let s = sample_store();
+        let mut bytes = Vec::new();
+        write_fvecs_to(&s, &mut bytes).expect("writes");
+        let back = read_fvecs_from(&mut Cursor::new(bytes), Some(1)).expect("reads");
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn bvecs_reads_bytes_as_floats() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&4i32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8, 127, 200, 255]);
+        let s = read_bvecs_from(&mut Cursor::new(bytes), None).expect("reads");
+        assert_eq!(s.get(0), &[0.0, 127.0, 200.0, 255.0]);
+    }
+
+    #[test]
+    fn ivecs_reads_ground_truth_rows() {
+        let mut bytes = Vec::new();
+        for row in [[1i32, 5, 9], [2, 6, 10]] {
+            bytes.extend_from_slice(&3i32.to_le_bytes());
+            for x in row {
+                bytes.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        let rows = read_ivecs_from(&mut Cursor::new(bytes), None).expect("reads");
+        assert_eq!(rows, vec![vec![1, 5, 9], vec![2, 6, 10]]);
+    }
+
+    #[test]
+    fn inconsistent_dims_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2i32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        bytes.extend_from_slice(&2.0f32.to_le_bytes());
+        bytes.extend_from_slice(&3i32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        let e = read_fvecs_from(&mut Cursor::new(bytes), None).expect_err("must fail");
+        assert!(matches!(e, TexmexError::Format(_)));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&4i32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 7]); // needs 16
+        assert!(read_fvecs_from(&mut Cursor::new(bytes), None).is_err());
+    }
+
+    #[test]
+    fn implausible_header_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(-5i32).to_le_bytes());
+        let e = read_fvecs_from(&mut Cursor::new(bytes), None).expect_err("must fail");
+        assert!(matches!(e, TexmexError::Format(_)));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(read_fvecs_from(&mut Cursor::new(Vec::new()), None).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let s = sample_store();
+        let dir = std::env::temp_dir().join("ssam_texmex_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("sample.fvecs");
+        write_fvecs(&s, &path).expect("writes");
+        let back = read_fvecs(&path, None).expect("reads");
+        assert_eq!(back, s);
+        std::fs::remove_file(&path).ok();
+    }
+}

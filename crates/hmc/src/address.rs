@@ -1,0 +1,178 @@
+//! Physical-address to vault interleaving.
+//!
+//! HMC interleaves consecutive address blocks across vaults so sequential
+//! streams engage every vault controller. SSAM instead *shards* the dataset:
+//! each vault holds a contiguous slice of the database so its processing
+//! units can scan locally without crossing the switch (Section III-B: "most
+//! data accesses to memory are large contiguously allocated blocks").
+//! Both mappings are provided; the device model uses sharding, the
+//! standard-memory path uses interleaving.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::HmcConfig;
+
+/// Maps physical addresses to (vault, offset) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressMap {
+    /// Consecutive `block_bytes` blocks rotate across vaults (standard HMC).
+    BlockInterleave {
+        /// Interleaving granularity in bytes.
+        block_bytes: u64,
+        /// Number of vaults.
+        vaults: u32,
+    },
+    /// Address space is divided into one contiguous extent per vault
+    /// (SSAM's dataset sharding).
+    Sharded {
+        /// Bytes per vault extent.
+        vault_capacity: u64,
+        /// Number of vaults.
+        vaults: u32,
+    },
+}
+
+impl AddressMap {
+    /// Standard interleaving for a module configuration.
+    pub fn interleaved(cfg: &HmcConfig) -> Self {
+        AddressMap::BlockInterleave { block_bytes: cfg.block_bytes, vaults: cfg.vaults as u32 }
+    }
+
+    /// SSAM sharding for a module configuration.
+    pub fn sharded(cfg: &HmcConfig) -> Self {
+        AddressMap::Sharded { vault_capacity: cfg.vault_capacity(), vaults: cfg.vaults as u32 }
+    }
+
+    /// Vault owning byte address `addr`.
+    pub fn vault_of(&self, addr: u64) -> u32 {
+        match *self {
+            AddressMap::BlockInterleave { block_bytes, vaults } => {
+                ((addr / block_bytes) % vaults as u64) as u32
+            }
+            AddressMap::Sharded { vault_capacity, vaults } => {
+                ((addr / vault_capacity).min(vaults as u64 - 1)) as u32
+            }
+        }
+    }
+
+    /// Offset of `addr` within its vault's local address space.
+    pub fn offset_in_vault(&self, addr: u64) -> u64 {
+        match *self {
+            AddressMap::BlockInterleave { block_bytes, vaults } => {
+                let block = addr / block_bytes;
+                (block / vaults as u64) * block_bytes + addr % block_bytes
+            }
+            AddressMap::Sharded { vault_capacity, .. } => addr % vault_capacity,
+        }
+    }
+
+    /// Splits the byte range `[addr, addr+len)` into per-vault extents,
+    /// returned as `(vault, bytes)` pairs in access order.
+    pub fn split_range(&self, addr: u64, len: u64) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = Vec::new();
+        let mut cur = addr;
+        let end = addr + len;
+        while cur < end {
+            let vault = self.vault_of(cur);
+            // Bytes until this vault's extent ends at the current address.
+            let contiguous = match *self {
+                AddressMap::BlockInterleave { block_bytes, .. } => {
+                    block_bytes - (cur % block_bytes)
+                }
+                AddressMap::Sharded { vault_capacity, .. } => {
+                    vault_capacity - (cur % vault_capacity)
+                }
+            };
+            let take = contiguous.min(end - cur);
+            match out.last_mut() {
+                Some((v, bytes)) if *v == vault => *bytes += take,
+                _ => out.push((vault, take)),
+            }
+            cur += take;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HmcConfig {
+        HmcConfig::hmc2()
+    }
+
+    #[test]
+    fn interleave_rotates_blocks_across_vaults() {
+        let m = AddressMap::interleaved(&cfg());
+        assert_eq!(m.vault_of(0), 0);
+        assert_eq!(m.vault_of(256), 1);
+        assert_eq!(m.vault_of(256 * 31), 31);
+        assert_eq!(m.vault_of(256 * 32), 0);
+    }
+
+    #[test]
+    fn interleave_offsets_are_compact_per_vault() {
+        let m = AddressMap::interleaved(&cfg());
+        // Second block owned by vault 0 starts at local offset 256.
+        assert_eq!(m.offset_in_vault(256 * 32), 256);
+        assert_eq!(m.offset_in_vault(10), 10);
+    }
+
+    #[test]
+    fn sharded_assigns_contiguous_extents() {
+        let m = AddressMap::sharded(&cfg());
+        let vc = cfg().vault_capacity();
+        assert_eq!(m.vault_of(0), 0);
+        assert_eq!(m.vault_of(vc - 1), 0);
+        assert_eq!(m.vault_of(vc), 1);
+        assert_eq!(m.offset_in_vault(vc + 5), 5);
+    }
+
+    #[test]
+    fn sharded_clamps_overflow_to_last_vault() {
+        let m = AddressMap::sharded(&cfg());
+        assert_eq!(m.vault_of(u64::MAX / 2), 31);
+    }
+
+    #[test]
+    fn split_range_covers_exactly_len_bytes() {
+        let m = AddressMap::interleaved(&cfg());
+        let parts = m.split_range(100, 10_000);
+        let total: u64 = parts.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn split_range_interleaved_spreads_across_vaults() {
+        let m = AddressMap::interleaved(&cfg());
+        let parts = m.split_range(0, 256 * 64); // 64 blocks over 32 vaults
+        let mut per_vault = [0u64; 32];
+        for (v, b) in parts {
+            per_vault[v as usize] += b;
+        }
+        assert!(per_vault.iter().all(|&b| b == 512));
+    }
+
+    #[test]
+    fn split_range_sharded_stays_in_one_vault() {
+        let m = AddressMap::sharded(&cfg());
+        let parts = m.split_range(0, 1 << 20);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], (0, 1 << 20));
+    }
+
+    #[test]
+    fn split_range_merges_adjacent_same_vault_extents() {
+        let m = AddressMap::sharded(&cfg());
+        let vc = cfg().vault_capacity();
+        let parts = m.split_range(vc - 100, 200);
+        assert_eq!(parts, vec![(0, 100), (1, 100)]);
+    }
+
+    #[test]
+    fn empty_range_is_empty() {
+        let m = AddressMap::interleaved(&cfg());
+        assert!(m.split_range(123, 0).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Memory-technology configurations.
+//!
+//! Constants follow the HMC 2.0 specification values quoted in the paper:
+//! 32 vaults, 10 GB/s per vault controller (320 GB/s aggregate internal
+//! bandwidth), four external links totalling 240 GB/s. The DDR
+//! configuration captures the paper's CPU-side comparison point
+//! ("optimistically, standard DRAM modules provide up to 25 GB/s").
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and bandwidth of one HMC module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HmcConfig {
+    /// Number of vaults (HMC 2.0: up to 32).
+    pub vaults: usize,
+    /// Sustained bandwidth per vault controller, bytes/second.
+    pub vault_bandwidth: f64,
+    /// Number of external data links.
+    pub external_links: usize,
+    /// Aggregate external link bandwidth, bytes/second (HMC 2.0: 240 GB/s).
+    pub external_bandwidth: f64,
+    /// Module capacity in bytes (HMC 2.0: 8 GiB).
+    pub capacity: u64,
+    /// DRAM access latency for a closed-page random access, seconds.
+    pub access_latency: f64,
+    /// Interleaving block size in bytes (consecutive blocks map to
+    /// consecutive vaults).
+    pub block_bytes: u64,
+}
+
+impl HmcConfig {
+    /// HMC 2.0 as described in the paper: 32 vaults × 10 GB/s = 320 GB/s
+    /// internal, 240 GB/s external, 8 GiB.
+    pub fn hmc2() -> Self {
+        Self {
+            vaults: 32,
+            vault_bandwidth: 10.0e9,
+            external_links: 4,
+            external_bandwidth: 240.0e9,
+            capacity: 8 << 30,
+            access_latency: 50e-9,
+            block_bytes: 256,
+        }
+    }
+
+    /// HMC 1.0 (16 vaults), used for sensitivity studies.
+    pub fn hmc1() -> Self {
+        Self {
+            vaults: 16,
+            vault_bandwidth: 10.0e9,
+            external_links: 4,
+            external_bandwidth: 160.0e9,
+            capacity: 4 << 30,
+            access_latency: 50e-9,
+            block_bytes: 256,
+        }
+    }
+
+    /// Aggregate internal bandwidth (all vaults), bytes/second.
+    pub fn internal_bandwidth(&self) -> f64 {
+        self.vaults as f64 * self.vault_bandwidth
+    }
+
+    /// Capacity per vault in bytes.
+    pub fn vault_capacity(&self) -> u64 {
+        self.capacity / self.vaults as u64
+    }
+}
+
+impl Default for HmcConfig {
+    fn default() -> Self {
+        Self::hmc2()
+    }
+}
+
+/// A conventional DDR memory channel set, the CPU-side comparison point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdrConfig {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Access latency in seconds.
+    pub access_latency: f64,
+    /// Capacity in bytes.
+    pub capacity: u64,
+}
+
+impl DdrConfig {
+    /// The paper's optimistic standard-DRAM figure: 25 GB/s.
+    pub fn ddr4_quad_channel() -> Self {
+        Self { bandwidth: 25.0e9, access_latency: 70e-9, capacity: 64 << 30 }
+    }
+}
+
+impl Default for DdrConfig {
+    fn default() -> Self {
+        Self::ddr4_quad_channel()
+    }
+}
+
+/// Either memory technology, unified for the bandwidth ablation
+/// (`ablation_bandwidth` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemoryTechnology {
+    /// Die-stacked HMC.
+    Hmc(HmcConfig),
+    /// Conventional DDR.
+    Ddr(DdrConfig),
+}
+
+impl MemoryTechnology {
+    /// Peak bandwidth the compute substrate can draw, bytes/second.
+    pub fn compute_visible_bandwidth(&self) -> f64 {
+        match self {
+            // Near-data PUs see the aggregate internal vault bandwidth.
+            MemoryTechnology::Hmc(h) => h.internal_bandwidth(),
+            MemoryTechnology::Ddr(d) => d.bandwidth,
+        }
+    }
+
+    /// Random-access latency, seconds.
+    pub fn access_latency(&self) -> f64 {
+        match self {
+            MemoryTechnology::Hmc(h) => h.access_latency,
+            MemoryTechnology::Ddr(d) => d.access_latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmc2_matches_paper_numbers() {
+        let c = HmcConfig::hmc2();
+        assert_eq!(c.vaults, 32);
+        assert_eq!(c.internal_bandwidth(), 320.0e9);
+        assert_eq!(c.external_bandwidth, 240.0e9);
+    }
+
+    #[test]
+    fn vault_capacity_divides_module() {
+        let c = HmcConfig::hmc2();
+        assert_eq!(c.vault_capacity() * c.vaults as u64, c.capacity);
+    }
+
+    #[test]
+    fn ddr_is_slower_than_hmc_internal() {
+        let hmc = MemoryTechnology::Hmc(HmcConfig::hmc2());
+        let ddr = MemoryTechnology::Ddr(DdrConfig::ddr4_quad_channel());
+        // The paper attributes ~an order of magnitude to this ratio.
+        let ratio = hmc.compute_visible_bandwidth() / ddr.compute_visible_bandwidth();
+        assert!((12.0..13.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn hmc1_is_half_of_hmc2() {
+        assert_eq!(
+            HmcConfig::hmc1().internal_bandwidth() * 2.0,
+            HmcConfig::hmc2().internal_bandwidth()
+        );
+    }
+}

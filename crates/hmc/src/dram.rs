@@ -1,0 +1,171 @@
+//! DRAM bank timing refinement.
+//!
+//! The vault controller model in [`crate::vault`] charges a flat access
+//! latency plus line-rate transfer — accurate for SSAM's long sequential
+//! scans. This module provides the next level of detail for studies that
+//! need it: a row-buffer (open-page) model with classic JEDEC-style
+//! timing parameters, exposing the efficiency gap between sequential,
+//! strided, and random access patterns. It quantifies *why* the paper's
+//! contiguous-bucket layout matters: scans at stride ≤ row size keep the
+//! row buffer open, while random gathers pay precharge+activate on nearly
+//! every access.
+
+use serde::{Deserialize, Serialize};
+
+/// Bank timing parameters (seconds) and geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramTimings {
+    /// Row activate → column access (tRCD).
+    pub t_rcd: f64,
+    /// Column access latency (tCAS/CL).
+    pub t_cas: f64,
+    /// Precharge time (tRP).
+    pub t_rp: f64,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: u64,
+    /// Burst transfer time per column access (seconds per `burst_bytes`).
+    pub t_burst: f64,
+    /// Bytes delivered per burst.
+    pub burst_bytes: u64,
+    /// Banks available for pipelined row activation (sequential streams
+    /// overlap the next row's activate with the current row's bursts).
+    pub banks: u64,
+}
+
+impl DramTimings {
+    /// Representative die-stacked DRAM layer timings (HMC-class TSV DRAM:
+    /// small pages, fast core).
+    pub fn hmc_layer() -> Self {
+        Self {
+            t_rcd: 13.0e-9,
+            t_cas: 13.0e-9,
+            t_rp: 13.0e-9,
+            row_bytes: 256,
+            t_burst: 3.2e-9,
+            burst_bytes: 32,
+            banks: 8,
+        }
+    }
+
+    /// Representative DDR4 timings (larger pages, slower bursts relative
+    /// to internal HMC banks).
+    pub fn ddr4() -> Self {
+        Self {
+            t_rcd: 14.0e-9,
+            t_cas: 14.0e-9,
+            t_rp: 14.0e-9,
+            row_bytes: 8192,
+            t_burst: 5.0e-9,
+            burst_bytes: 64,
+            banks: 16,
+        }
+    }
+
+    /// Seconds to read `bytes` sequentially starting at a row boundary:
+    /// the first access pays the full activate; thereafter row activations
+    /// pipeline across banks underneath the data bursts.
+    pub fn sequential_read_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        let rows = bytes.div_ceil(self.row_bytes);
+        let bursts = bytes.div_ceil(self.burst_bytes);
+        let overhead = self.t_rp + self.t_rcd + self.t_cas;
+        let burst_time = bursts as f64 * self.t_burst;
+        let activation_time = rows as f64 * overhead / self.banks as f64;
+        overhead + burst_time.max(activation_time)
+    }
+
+    /// Seconds to read `count` elements of `elem_bytes` at a fixed byte
+    /// `stride`: rows are re-opened whenever the stride crosses a row.
+    /// Gather streams issued by one in-order PU have dependent address
+    /// generation, so row activations do **not** pipeline across banks
+    /// (unlike the hardware-prefetched sequential path).
+    pub fn strided_read_time(&self, count: u64, elem_bytes: u64, stride: u64) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        let elems_per_row = if stride == 0 {
+            count
+        } else {
+            (self.row_bytes / stride.max(1)).max(1)
+        };
+        let rows = count.div_ceil(elems_per_row);
+        let bursts = count * elem_bytes.div_ceil(self.burst_bytes).max(1);
+        rows as f64 * (self.t_rp + self.t_rcd + self.t_cas) + bursts as f64 * self.t_burst
+    }
+
+    /// Seconds for `count` independent random reads of `elem_bytes` each:
+    /// every access pays the full precharge/activate/CAS sequence.
+    pub fn random_read_time(&self, count: u64, elem_bytes: u64) -> f64 {
+        let per = self.t_rp + self.t_rcd + self.t_cas
+            + elem_bytes.div_ceil(self.burst_bytes).max(1) as f64 * self.t_burst;
+        count as f64 * per
+    }
+
+    /// Sustained sequential bandwidth in bytes/second.
+    pub fn sequential_bandwidth(&self) -> f64 {
+        let probe = 64 * self.row_bytes;
+        probe as f64 / self.sequential_read_time(probe)
+    }
+
+    /// Efficiency of random element reads relative to sequential
+    /// streaming (the fraction of peak bandwidth a gather achieves).
+    pub fn random_access_efficiency(&self, elem_bytes: u64) -> f64 {
+        let random_bw = elem_bytes as f64 / self.random_read_time(1, elem_bytes);
+        random_bw / self.sequential_bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads_amortize_row_activations() {
+        let t = DramTimings::hmc_layer();
+        // Twice the bytes should take well under twice the per-row
+        // overhead-dominated time of tiny reads.
+        let one = t.sequential_read_time(t.row_bytes);
+        let many = t.sequential_read_time(64 * t.row_bytes);
+        assert!(many < 64.0 * one, "row overhead must amortize: {one} vs {many}");
+    }
+
+    #[test]
+    fn random_reads_are_much_slower_than_sequential() {
+        let t = DramTimings::hmc_layer();
+        let eff = t.random_access_efficiency(4);
+        assert!(eff < 0.2, "random 4-byte gathers should be <20% efficient, got {eff}");
+    }
+
+    #[test]
+    fn stride_within_row_beats_stride_across_rows() {
+        let t = DramTimings::ddr4();
+        let dense = t.strided_read_time(1000, 4, 64); // many elems per row
+        let sparse = t.strided_read_time(1000, 4, 16384); // new row each elem
+        assert!(sparse > 5.0 * dense);
+    }
+
+    #[test]
+    fn zero_length_reads_are_free() {
+        let t = DramTimings::hmc_layer();
+        assert_eq!(t.sequential_read_time(0), 0.0);
+        assert_eq!(t.strided_read_time(0, 4, 64), 0.0);
+    }
+
+    #[test]
+    fn sequential_bandwidth_is_plausible() {
+        // One HMC vault layer sustains on the order of 10 GB/s.
+        let bw = DramTimings::hmc_layer().sequential_bandwidth();
+        assert!((5.0e9..20.0e9).contains(&bw), "bw = {bw:.3e}");
+    }
+
+    #[test]
+    fn ddr4_rows_are_bigger_but_streaming_is_comparable() {
+        let hmc = DramTimings::hmc_layer();
+        let ddr = DramTimings::ddr4();
+        assert!(ddr.row_bytes > hmc.row_bytes);
+        let ratio = hmc.sequential_bandwidth() / ddr.sequential_bandwidth();
+        assert!((0.2..5.0).contains(&ratio));
+    }
+}

@@ -1,0 +1,34 @@
+//! # ssam-hmc — Hybrid Memory Cube 2.0 memory model
+//!
+//! The SSAM accelerator (Lee et al., IPDPS 2018, Section III-B) is built on
+//! the logic layer of a Micron Hybrid Memory Cube: a die-stacked module
+//! whose DRAM layers are vertically partitioned into **vaults**, each
+//! accessed through a **vault controller** on the logic layer. In HMC 2.0
+//! the module has up to 32 vaults at 10 GB/s each (320 GB/s aggregate
+//! internal bandwidth) and four external data links totalling 240 GB/s.
+//!
+//! This crate models the parts of the HMC that determine SSAM performance:
+//!
+//! * [`config`] — module geometry and bandwidth/latency constants for HMC
+//!   2.0 and, for the bandwidth ablation, a standard DDR module
+//!   (the paper's "optimistically 25 GB/s").
+//! * [`address`] — physical address → vault interleaving.
+//! * [`packet`] — the FLIT-based link packet format used to size
+//!   host↔module traffic.
+//! * [`vault`] — transaction-level vault controller with busy-time
+//!   bandwidth accounting.
+//! * [`module`] — the assembled module: switch, vaults, external links,
+//!   and streaming-time estimation used by the SSAM device model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod config;
+pub mod dram;
+pub mod module;
+pub mod packet;
+pub mod vault;
+
+pub use config::{DdrConfig, HmcConfig, MemoryTechnology};
+pub use module::HmcModule;

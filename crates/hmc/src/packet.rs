@@ -1,0 +1,205 @@
+//! HMC link packet model.
+//!
+//! HMC links move *FLITs* of 16 bytes; every request and response packet
+//! carries one header FLIT and one tail FLIT of overhead around its data
+//! payload. This model sizes host↔module traffic so the device model can
+//! confirm the paper's claim that external links are never the bottleneck
+//! ("we only expect the communication network … to consist of kNN results
+//! which are a fraction of the original dataset size").
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per FLIT on an HMC link.
+pub const FLIT_BYTES: usize = 16;
+/// Header + tail overhead per packet, in FLITs.
+pub const OVERHEAD_FLITS: usize = 2;
+/// Maximum data payload per packet (HMC spec: 128 bytes).
+pub const MAX_PAYLOAD_BYTES: usize = 128;
+
+/// Request commands a host can issue to a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Read `len` bytes at `addr`.
+    Read,
+    /// Write payload at `addr`.
+    Write,
+    /// SSAM extension: write a query vector into a PU scratchpad region.
+    WriteQuery,
+    /// SSAM extension: launch kernel execution (the `nexec` call of Fig. 4).
+    Exec,
+    /// SSAM extension: read back a result buffer of (id, distance) tuples.
+    ReadResult,
+}
+
+/// One link packet (request or response).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Command.
+    pub command: Command,
+    /// Target byte address within the module.
+    pub addr: u64,
+    /// Data payload (may be empty for pure requests).
+    #[serde(with = "serde_bytes_compat")]
+    pub payload: Bytes,
+}
+
+mod serde_bytes_compat {
+    //! `Bytes` doesn't implement serde traits directly; round-trip via Vec.
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        b.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
+    }
+}
+
+impl Packet {
+    /// Builds a request packet.
+    pub fn request(command: Command, addr: u64, payload: &[u8]) -> Self {
+        Self { command, addr, payload: Bytes::copy_from_slice(payload) }
+    }
+
+    /// Total FLITs on the wire for this packet, including overhead.
+    pub fn flits(&self) -> usize {
+        OVERHEAD_FLITS + self.payload.len().div_ceil(FLIT_BYTES)
+    }
+
+    /// Total wire bytes for this packet.
+    pub fn wire_bytes(&self) -> usize {
+        self.flits() * FLIT_BYTES
+    }
+
+    /// Serializes to a raw frame (debug/trace tooling).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(13 + self.payload.len());
+        buf.put_u8(match self.command {
+            Command::Read => 0,
+            Command::Write => 1,
+            Command::WriteQuery => 2,
+            Command::Exec => 3,
+            Command::ReadResult => 4,
+        });
+        buf.put_u64(self.addr);
+        buf.put_u32(self.payload.len() as u32);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes a frame produced by [`Packet::encode`].
+    ///
+    /// Returns `None` on truncated or malformed input.
+    pub fn decode(mut frame: Bytes) -> Option<Self> {
+        use bytes::Buf;
+        if frame.len() < 13 {
+            return None;
+        }
+        let command = match frame.get_u8() {
+            0 => Command::Read,
+            1 => Command::Write,
+            2 => Command::WriteQuery,
+            3 => Command::Exec,
+            4 => Command::ReadResult,
+            _ => return None,
+        };
+        let addr = frame.get_u64();
+        let len = frame.get_u32() as usize;
+        if frame.len() != len {
+            return None;
+        }
+        Some(Self { command, addr, payload: frame })
+    }
+}
+
+/// Wire bytes needed to move `payload_bytes` of bulk data, accounting for
+/// per-packet overhead at the maximum payload size.
+pub fn bulk_wire_bytes(payload_bytes: u64) -> u64 {
+    let full = payload_bytes / MAX_PAYLOAD_BYTES as u64;
+    let rem = payload_bytes % MAX_PAYLOAD_BYTES as u64;
+    let full_packet_wire = ((OVERHEAD_FLITS + MAX_PAYLOAD_BYTES / FLIT_BYTES) * FLIT_BYTES) as u64;
+    let mut wire = full * full_packet_wire;
+    if rem > 0 {
+        wire += (OVERHEAD_FLITS as u64 + rem.div_ceil(FLIT_BYTES as u64)) * FLIT_BYTES as u64;
+    }
+    wire
+}
+
+/// Link efficiency for bulk transfers: payload / wire bytes.
+pub fn bulk_efficiency() -> f64 {
+    MAX_PAYLOAD_BYTES as f64
+        / ((OVERHEAD_FLITS + MAX_PAYLOAD_BYTES / FLIT_BYTES) * FLIT_BYTES) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_packet_is_pure_overhead() {
+        let p = Packet::request(Command::Read, 0, &[]);
+        assert_eq!(p.flits(), OVERHEAD_FLITS);
+        assert_eq!(p.wire_bytes(), 32);
+    }
+
+    #[test]
+    fn payload_rounds_up_to_flits() {
+        let p = Packet::request(Command::Write, 0, &[0u8; 17]);
+        assert_eq!(p.flits(), OVERHEAD_FLITS + 2);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = Packet::request(Command::Exec, 0xDEAD_BEEF, &[1, 2, 3, 4, 5]);
+        let decoded = Packet::decode(p.encode()).expect("decodes");
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let p = Packet::request(Command::Write, 7, &[9; 40]);
+        let mut enc = p.encode().to_vec();
+        enc.truncate(20);
+        assert!(Packet::decode(Bytes::from(enc)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_bad_command() {
+        let mut enc = Packet::request(Command::Read, 0, &[]).encode().to_vec();
+        enc[0] = 99;
+        assert!(Packet::decode(Bytes::from(enc)).is_none());
+    }
+
+    #[test]
+    fn bulk_wire_bytes_accounts_overhead() {
+        // One full packet: 128B payload → 8 data + 2 overhead FLITs = 160B.
+        assert_eq!(bulk_wire_bytes(128), 160);
+        // Two packets.
+        assert_eq!(bulk_wire_bytes(256), 320);
+        // Partial trailing packet: 1 byte → 1 data + 2 overhead FLITs.
+        assert_eq!(bulk_wire_bytes(129), 160 + 48);
+        assert_eq!(bulk_wire_bytes(0), 0);
+    }
+
+    #[test]
+    fn bulk_efficiency_is_eighty_percent() {
+        assert!((bulk_efficiency() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_commands_round_trip() {
+        for c in [
+            Command::Read,
+            Command::Write,
+            Command::WriteQuery,
+            Command::Exec,
+            Command::ReadResult,
+        ] {
+            let p = Packet::request(c, 42, &[7]);
+            assert_eq!(Packet::decode(p.encode()).expect("decodes").command, c);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Hamming-space representations (paper Section II-D).
+//!
+//! "Recent work has shown that Hamming codes can be an effective
+//! alternative for Euclidean space representations. Binarization techniques
+//! trade accuracy for higher throughput … Binarization also enables Hamming
+//! distance calculations which are cheaper to implement in hardware."
+//!
+//! We binarize with random hyperplane codes (sign of projections onto
+//! Gaussian directions), the same family the paper's MPLSH hashing uses.
+//! Hamming distance is XOR + popcount — exactly what the SSAM `FXP`
+//! (fused xor-popcount) instruction computes 32 dimensions at a time.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::distance::dot;
+use crate::topk::{Neighbor, TopK};
+use crate::vecstore::VectorStore;
+
+/// A set of binary codes, one per vector, packed into 32-bit words to match
+/// the SSAM `FXP` instruction ("each 32-bit word is 32 dimensions of a
+/// binary vector").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryStore {
+    bits: usize,
+    words_per_vec: usize,
+    data: Vec<u32>,
+}
+
+impl BinaryStore {
+    /// Creates an empty store for `bits`-dimensional codes.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0`.
+    pub fn new(bits: usize) -> Self {
+        assert!(bits > 0, "code length must be positive");
+        Self { bits, words_per_vec: bits.div_ceil(32), data: Vec::new() }
+    }
+
+    /// Appends a packed code; returns its id.
+    ///
+    /// # Panics
+    /// Panics if `words.len()` differs from `words_per_vec()`.
+    pub fn push(&mut self, words: &[u32]) -> u32 {
+        assert_eq!(words.len(), self.words_per_vec, "code word-count mismatch");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(words);
+        id
+    }
+
+    /// Number of codes stored.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.words_per_vec).unwrap_or(0)
+    }
+
+    /// Whether the store holds no codes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Code length in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// 32-bit words per code.
+    pub fn words_per_vec(&self) -> usize {
+        self.words_per_vec
+    }
+
+    /// Borrow code `id`.
+    pub fn get(&self, id: u32) -> &[u32] {
+        let i = id as usize;
+        &self.data[i * self.words_per_vec..(i + 1) * self.words_per_vec]
+    }
+
+    /// Payload size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Hamming distance between two packed codes: `Σ popcount(a_i XOR b_i)`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn hamming(a: &[u32], b: &[u32]) -> u32 {
+    assert_eq!(a.len(), b.len(), "codes must have equal length");
+    a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones()).sum()
+}
+
+/// Random-hyperplane binarizer: bit `i` of the code is the sign of the
+/// projection onto Gaussian direction `i`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HyperplaneBinarizer {
+    planes: VectorStore,
+    bits: usize,
+}
+
+impl HyperplaneBinarizer {
+    /// Samples `bits` Gaussian hyperplanes for `dims`-dimensional input.
+    ///
+    /// # Panics
+    /// Panics if `bits == 0` or `dims == 0`.
+    pub fn new(dims: usize, bits: usize, seed: u64) -> Self {
+        assert!(bits > 0, "code length must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut planes = VectorStore::with_capacity(dims, bits);
+        for _ in 0..bits {
+            let v: Vec<f32> = (0..dims).map(|_| gaussian(&mut rng)).collect();
+            planes.push(&v);
+        }
+        Self { planes, bits }
+    }
+
+    /// Code length in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Encodes one float vector into a packed code.
+    pub fn encode(&self, v: &[f32]) -> Vec<u32> {
+        let mut words = vec![0u32; self.bits.div_ceil(32)];
+        for (i, p) in self.planes.iter() {
+            if dot(v, p) >= 0.0 {
+                words[(i / 32) as usize] |= 1 << (i % 32);
+            }
+        }
+        words
+    }
+
+    /// Encodes an entire float store.
+    pub fn encode_store(&self, store: &VectorStore) -> BinaryStore {
+        let mut out = BinaryStore::new(self.bits);
+        for (_, v) in store.iter() {
+            out.push(&self.encode(v));
+        }
+        out
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Exact linear kNN in Hamming space, best-first.
+pub fn knn_hamming(store: &BinaryStore, query: &[u32], k: usize) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for id in 0..store.len() as u32 {
+        top.offer(id, hamming(query, store.get(id)) as f32);
+    }
+    top.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::cosine_similarity;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hamming_of_identical_codes_is_zero() {
+        assert_eq!(hamming(&[0xDEAD_BEEF, 0x1234], &[0xDEAD_BEEF, 0x1234]), 0);
+    }
+
+    #[test]
+    fn hamming_counts_differing_bits() {
+        assert_eq!(hamming(&[0b1010], &[0b0110]), 2);
+        assert_eq!(hamming(&[0u32], &[u32::MAX]), 32);
+    }
+
+    #[test]
+    fn hamming_is_symmetric_and_triangle() {
+        let a = [0x0F0Fu32];
+        let b = [0x00FFu32];
+        let c = [0xFFFFu32];
+        assert_eq!(hamming(&a, &b), hamming(&b, &a));
+        assert!(hamming(&a, &c) <= hamming(&a, &b) + hamming(&b, &c));
+    }
+
+    #[test]
+    fn encoder_is_deterministic() {
+        let b1 = HyperplaneBinarizer::new(8, 64, 5);
+        let b2 = HyperplaneBinarizer::new(8, 64, 5);
+        let v: Vec<f32> = (0..8).map(|i| i as f32 - 3.5).collect();
+        assert_eq!(b1.encode(&v), b2.encode(&v));
+    }
+
+    #[test]
+    fn encode_pads_to_word_boundary() {
+        let b = HyperplaneBinarizer::new(4, 40, 1);
+        let code = b.encode(&[1.0, -1.0, 0.5, 2.0]);
+        assert_eq!(code.len(), 2);
+        // Bits 40..64 must stay zero.
+        assert_eq!(code[1] >> 8, 0);
+    }
+
+    #[test]
+    fn opposite_vectors_get_complementary_codes() {
+        let b = HyperplaneBinarizer::new(6, 32, 2);
+        let v: Vec<f32> = vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.25];
+        let neg: Vec<f32> = v.iter().map(|x| -x).collect();
+        let cv = b.encode(&v);
+        let cn = b.encode(&neg);
+        // Hyperplanes through the origin flip every strictly-nonzero bit;
+        // allow a few boundary ties.
+        assert!(hamming(&cv, &cn) >= 30);
+    }
+
+    /// Random-hyperplane LSH property: E[hamming/bits] = angle/π, so codes
+    /// of similar vectors are closer than codes of dissimilar ones.
+    #[test]
+    fn hamming_distance_tracks_angular_similarity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dims = 16;
+        let b = HyperplaneBinarizer::new(dims, 256, 4);
+        let base: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+        // near: small perturbation; far: independent vector
+        let near: Vec<f32> = base.iter().map(|x| x + rng.random_range(-0.05..0.05)).collect();
+        let far: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+        assert!(cosine_similarity(&base, &near) > cosine_similarity(&base, &far));
+        let cb = b.encode(&base);
+        assert!(hamming(&cb, &b.encode(&near)) < hamming(&cb, &b.encode(&far)));
+    }
+
+    #[test]
+    fn knn_hamming_returns_sorted_unique() {
+        let mut s = BinaryStore::new(32);
+        for i in 0..50u32 {
+            s.push(&[i * 0x0101]);
+        }
+        let out = knn_hamming(&s, &[0], 10);
+        assert_eq!(out.len(), 10);
+        for w in out.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn store_accessors() {
+        let mut s = BinaryStore::new(64);
+        s.push(&[1, 2]);
+        s.push(&[3, 4]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.bits(), 64);
+        assert_eq!(s.words_per_vec(), 2);
+        assert_eq!(s.get(1), &[3, 4]);
+        assert_eq!(s.bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-count mismatch")]
+    fn push_rejects_wrong_width() {
+        let mut s = BinaryStore::new(64);
+        s.push(&[1]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Distance metrics (paper Section II-D).
+//!
+//! The canonical metric is Euclidean distance; the paper additionally
+//! evaluates Manhattan distance, cosine similarity (as a distance:
+//! `1 - cos(a, b)`), and Hamming distance over binarized codes (see
+//! [`crate::binary`]). Chi-squared and Jaccard appear in the paper's list of
+//! alternative metrics and are provided for completeness.
+//!
+//! For kNN ranking purposes squared Euclidean distance is order-equivalent
+//! to Euclidean distance and saves a square root per candidate, which is
+//! what both our CPU baseline and the SSAM kernels compute — mirroring the
+//! paper's accelerator, whose distance pipeline has no sqrt unit.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a distance metric; used to select kernels on every platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Euclidean (L2) distance. Ranked via the squared form.
+    Euclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+    /// Cosine distance `1 - cos(a,b)`.
+    Cosine,
+    /// Chi-squared histogram distance (assumes non-negative components).
+    ChiSquared,
+    /// Jaccard distance over non-negative weighted sets.
+    Jaccard,
+}
+
+impl Metric {
+    /// All metrics the float pipeline supports.
+    pub const ALL: [Metric; 5] = [
+        Metric::Euclidean,
+        Metric::Manhattan,
+        Metric::Cosine,
+        Metric::ChiSquared,
+        Metric::Jaccard,
+    ];
+
+    /// Evaluates the metric on two equal-length vectors.
+    ///
+    /// For `Euclidean` this returns the *squared* distance (rank-preserving;
+    /// see module docs).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::Euclidean => squared_euclidean(a, b),
+            Metric::Manhattan => manhattan(a, b),
+            Metric::Cosine => cosine_distance(a, b),
+            Metric::ChiSquared => chi_squared(a, b),
+            Metric::Jaccard => jaccard_distance(a, b),
+        }
+    }
+
+    /// Short lowercase name used in experiment CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Euclidean => "euclidean",
+            Metric::Manhattan => "manhattan",
+            Metric::Cosine => "cosine",
+            Metric::ChiSquared => "chi2",
+            Metric::Jaccard => "jaccard",
+        }
+    }
+}
+
+#[inline]
+fn check_len(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "distance operands must have equal length");
+}
+
+/// Squared Euclidean distance `Σ (a_i - b_i)^2`.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    check_len(a, b);
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance `sqrt(Σ (a_i - b_i)^2)`.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance `Σ |a_i - b_i|`.
+#[inline]
+pub fn manhattan(a: &[f32], b: &[f32]) -> f32 {
+    check_len(a, b);
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+}
+
+/// Dot product `Σ a_i b_i`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    check_len(a, b);
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Squared L2 norm.
+#[inline]
+pub fn norm_sq(a: &[f32]) -> f32 {
+    a.iter().map(|&x| x * x).sum()
+}
+
+/// Cosine similarity `(Σ a_i b_i) / sqrt(Σ a_i² · Σ b_i²)`.
+///
+/// Returns 0 when either vector is all-zero (no direction defined).
+#[inline]
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    check_len(a, b);
+    let denom = norm_sq(a) * norm_sq(b);
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / denom.sqrt()
+}
+
+/// Cosine distance `1 - cosine_similarity`.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// Chi-squared distance `Σ (a_i - b_i)² / (a_i + b_i)` over non-negative
+/// histograms; terms with a zero denominator contribute zero.
+#[inline]
+pub fn chi_squared(a: &[f32], b: &[f32]) -> f32 {
+    check_len(a, b);
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let s = x + y;
+            if s > 0.0 {
+                let d = x - y;
+                d * d / s
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Weighted Jaccard distance `1 - Σ min(a_i,b_i) / Σ max(a_i,b_i)` over
+/// non-negative vectors; two all-zero vectors have distance 0.
+#[inline]
+pub fn jaccard_distance(a: &[f32], b: &[f32]) -> f32 {
+    check_len(a, b);
+    let (mut num, mut den) = (0.0f32, 0.0f32);
+    for (&x, &y) in a.iter().zip(b) {
+        num += x.min(y);
+        den += x.max(y);
+    }
+    if den <= 0.0 {
+        0.0
+    } else {
+        1.0 - num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f32 = 1e-5;
+
+    #[test]
+    fn squared_euclidean_matches_hand_computation() {
+        assert!((squared_euclidean(&[1.0, 2.0], &[4.0, 6.0]) - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn euclidean_is_sqrt_of_squared() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0, 2.0];
+        assert!((euclidean(&a, &b) - squared_euclidean(&a, &b).sqrt()).abs() < EPS);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        let a: [f32; 3] = [3.0, -1.0, 0.25];
+        for m in Metric::ALL {
+            // Jaccard/Chi² assume non-negative inputs; use abs values there.
+            let v: Vec<f32> = a.iter().map(|x| x.abs()).collect();
+            assert!(m.eval(&v, &v).abs() < EPS, "{m:?} self-distance nonzero");
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [0.5, 1.5, 2.5, 0.0];
+        let b = [1.0, 0.0, 3.0, 2.0];
+        for m in Metric::ALL {
+            assert!(
+                (m.eval(&a, &b) - m.eval(&b, &a)).abs() < EPS,
+                "{m:?} not symmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        assert!((manhattan(&[1.0, -2.0], &[-1.0, 1.0]) - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cosine_similarity_of_parallel_vectors_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < EPS);
+        assert!(cosine_distance(&a, &b).abs() < EPS);
+    }
+
+    #[test]
+    fn cosine_similarity_of_orthogonal_vectors_is_zero() {
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 5.0]).abs() < EPS);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_defined() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn chi_squared_ignores_zero_denominator_terms() {
+        // dims where both are zero contribute nothing
+        assert!((chi_squared(&[0.0, 1.0], &[0.0, 3.0]) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn jaccard_distance_of_disjoint_supports_is_one() {
+        assert!((jaccard_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn jaccard_of_zero_vectors_is_zero() {
+        assert_eq!(jaccard_distance(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = squared_euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn metric_names_are_unique() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Metric::ALL.len());
+    }
+}

@@ -1,0 +1,241 @@
+//! 32-bit fixed-point representation (paper Section II-D).
+//!
+//! "Fixed-point arithmetic is much cheaper to implement in hardware than
+//! floating point units. … Overall, we find there is negligible accuracy
+//! loss between 32-bit floating-point and 32-bit fixed-point data
+//! representations."
+//!
+//! We use the Q16.16 format: a signed 32-bit integer whose low 16 bits are
+//! the fraction. This is the native number format of the SSAM processing
+//! unit's ALUs — every SSAM kernel computes distances on these values, so
+//! conversion and arithmetic here define accelerator semantics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vecstore::VectorStore;
+
+/// Fraction bits in the Q16.16 format.
+pub const FRAC_BITS: u32 = 16;
+/// Scale factor `2^16`.
+pub const SCALE: f64 = (1u32 << FRAC_BITS) as f64;
+
+/// A Q16.16 fixed-point value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fix32(pub i32);
+
+impl Fix32 {
+    /// Largest representable value (≈ 32767.99998).
+    pub const MAX: Fix32 = Fix32(i32::MAX);
+    /// Smallest representable value (≈ −32768).
+    pub const MIN: Fix32 = Fix32(i32::MIN);
+    /// Zero.
+    pub const ZERO: Fix32 = Fix32(0);
+
+    /// Converts from `f32`, saturating at the representable range and
+    /// rounding to nearest.
+    pub fn from_f32(x: f32) -> Self {
+        let scaled = (x as f64 * SCALE).round();
+        Fix32(scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+    }
+
+    /// Converts back to `f32`.
+    pub fn to_f32(self) -> f32 {
+        (self.0 as f64 / SCALE) as f32
+    }
+
+    /// Saturating addition.
+    pub fn sat_add(self, rhs: Fix32) -> Fix32 {
+        Fix32(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn sat_sub(self, rhs: Fix32) -> Fix32 {
+        Fix32(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Fixed-point multiply: `(a*b) >> 16` with 64-bit intermediate, the
+    /// exact operation the PU's MULT performs. (Named `fx_mul` to avoid
+    /// colliding with `std::ops::Mul`, which this deliberately is not —
+    /// the semantics are Q16.16, not integer.)
+    pub fn fx_mul(self, rhs: Fix32) -> Fix32 {
+        let wide = (self.0 as i64) * (rhs.0 as i64);
+        Fix32((wide >> FRAC_BITS) as i32)
+    }
+}
+
+/// A dataset converted to Q16.16 for fixed-point pipelines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedStore {
+    dims: usize,
+    data: Vec<i32>,
+}
+
+impl FixedStore {
+    /// Quantizes every row of a float store.
+    pub fn from_store(store: &VectorStore) -> Self {
+        let data = store
+            .as_flat()
+            .iter()
+            .map(|&x| Fix32::from_f32(x).0)
+            .collect();
+        Self { dims: store.dims(), data }
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Borrow row `id` as raw Q16.16 words.
+    pub fn get(&self, id: u32) -> &[i32] {
+        let i = id as usize;
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// The flat Q16.16 buffer (what SSAM streams from DRAM).
+    pub fn as_flat(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Quantizes a single query vector.
+    pub fn quantize_query(&self, q: &[f32]) -> Vec<i32> {
+        assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
+        q.iter().map(|&x| Fix32::from_f32(x).0).collect()
+    }
+}
+
+/// Squared Euclidean distance between Q16.16 vectors, accumulated in 64-bit
+/// *raw* units of `2^-32` (i.e. the sum of `((a-b) in raw)²`). Rank-
+/// equivalent to the float distance up to quantization error.
+pub fn squared_euclidean_fixed(a: &[i32], b: &[i32]) -> u64 {
+    assert_eq!(a.len(), b.len(), "distance operands must have equal length");
+    let mut acc: u64 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = (x as i64) - (y as i64);
+        acc = acc.wrapping_add((d * d) as u64);
+    }
+    acc
+}
+
+/// Manhattan distance between Q16.16 vectors in raw `2^-16` units.
+pub fn manhattan_fixed(a: &[i32], b: &[i32]) -> u64 {
+    assert_eq!(a.len(), b.len(), "distance operands must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x as i64) - (y as i64)).unsigned_abs())
+        .sum()
+}
+
+/// Exact linear kNN in fixed point: returns ids of the `k` nearest rows
+/// under squared Euclidean distance.
+pub fn knn_exact_fixed(store: &FixedStore, query: &[i32], k: usize) -> Vec<u32> {
+    let mut cands: Vec<(u64, u32)> = (0..store.len() as u32)
+        .map(|id| (squared_euclidean_fixed(query, store.get(id)), id))
+        .collect();
+    cands.sort_unstable();
+    cands.truncate(k);
+    cands.into_iter().map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::squared_euclidean;
+    use crate::linear::knn_exact;
+    use crate::recall::recall_ids;
+    use crate::Metric;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_error_is_within_half_ulp() {
+        for x in [-1.5f32, 0.0, 0.25, 3.14159, -100.0, 1e-5] {
+            let err = (Fix32::from_f32(x).to_f32() - x).abs();
+            assert!(err <= (1.0 / SCALE as f32), "err {err} for {x}");
+        }
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        assert_eq!(Fix32::from_f32(1e9), Fix32::MAX);
+        assert_eq!(Fix32::from_f32(-1e9), Fix32::MIN);
+    }
+
+    #[test]
+    fn mul_matches_float_product() {
+        let a = Fix32::from_f32(1.5);
+        let b = Fix32::from_f32(-2.25);
+        assert!((a.fx_mul(b).to_f32() - (-3.375)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sat_add_does_not_wrap() {
+        assert_eq!(Fix32::MAX.sat_add(Fix32::from_f32(1.0)), Fix32::MAX);
+        assert_eq!(Fix32::MIN.sat_sub(Fix32::from_f32(1.0)), Fix32::MIN);
+    }
+
+    #[test]
+    fn fixed_distance_tracks_float_distance() {
+        let a = [0.5f32, -0.25, 1.0];
+        let b = [0.0f32, 0.75, -1.0];
+        let fa: Vec<i32> = a.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        let fb: Vec<i32> = b.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        let fixed = squared_euclidean_fixed(&fa, &fb) as f64 / (SCALE * SCALE);
+        let float = squared_euclidean(&a, &b) as f64;
+        assert!((fixed - float).abs() < 1e-3);
+    }
+
+    #[test]
+    fn manhattan_fixed_tracks_float() {
+        let a = [1.0f32, -2.0];
+        let b = [-1.0f32, 1.0];
+        let fa: Vec<i32> = a.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        let fb: Vec<i32> = b.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        assert!((manhattan_fixed(&fa, &fb) as f64 / SCALE - 5.0).abs() < 1e-3);
+    }
+
+    /// The paper's Section II-D claim: negligible accuracy loss going from
+    /// 32-bit float to 32-bit fixed point.
+    #[test]
+    fn fixed_point_knn_matches_float_knn() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dims = 16;
+        let mut s = VectorStore::with_capacity(dims, 300);
+        for _ in 0..300 {
+            let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        let fs = FixedStore::from_store(&s);
+        let mut total = 0.0;
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let exact: Vec<u32> = knn_exact(&s, &q, 10, Metric::Euclidean)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let fixed = knn_exact_fixed(&fs, &fs.quantize_query(&q), 10);
+            total += recall_ids(&exact, &fixed);
+        }
+        assert!(total / 20.0 > 0.99, "fixed-point recall degraded: {}", total / 20.0);
+    }
+
+    #[test]
+    fn fixed_store_shape_matches_source() {
+        let s = VectorStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let fs = FixedStore::from_store(&s);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs.dims(), 2);
+        assert_eq!(fs.get(1)[0], Fix32::from_f32(3.0).0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Common interface for the approximate kNN indexes of Section II-C.
+//!
+//! Every index exposes a *search budget* — the number of leaves visited
+//! during backtracking (kd-tree, k-means tree) or the number of probes per
+//! table (MPLSH). Increasing the budget increases the fraction of the
+//! dataset examined per query, trading throughput for accuracy; this is
+//! the single knob swept to produce the paper's Fig. 2 and Fig. 7 curves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topk::Neighbor;
+use crate::vecstore::VectorStore;
+
+/// Per-query work cap for an approximate index traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchBudget {
+    /// Maximum leaves (buckets) to visit, including the initial descent
+    /// (tree indexes), or probes per hash table (MPLSH).
+    pub checks: usize,
+}
+
+impl SearchBudget {
+    /// Budget of `checks` leaves/probes.
+    pub fn checks(checks: usize) -> Self {
+        Self { checks: checks.max(1) }
+    }
+
+    /// Effectively unlimited budget — degrades the index to linear-scan
+    /// accuracy, the behaviour the paper notes "past 95–99% accuracy".
+    pub fn unlimited() -> Self {
+        Self { checks: usize::MAX }
+    }
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self::checks(32)
+    }
+}
+
+/// Work accounting reported by a single query, used to derive throughput
+/// proxies and to feed the SSAM device model with candidate-scan volumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Database vectors whose distance to the query was evaluated.
+    pub distance_evals: usize,
+    /// Leaves/buckets (or hash probes) visited.
+    pub leaves_visited: usize,
+    /// Interior tree nodes (or hash computations) traversed.
+    pub interior_steps: usize,
+}
+
+impl SearchStats {
+    /// Accumulates another query's stats (for batch averaging).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.distance_evals += other.distance_evals;
+        self.leaves_visited += other.leaves_visited;
+        self.interior_steps += other.interior_steps;
+    }
+}
+
+/// An approximate (or exact) kNN index over a [`VectorStore`].
+///
+/// The store is passed back in at query time: indexes hold only ids and
+/// routing structure, the vectors stay in their contiguous home — matching
+/// the paper's memory layout where buckets are scanned in place.
+pub trait SearchIndex {
+    /// Returns the `k` (approximate) nearest neighbors of `query`,
+    /// best-first, along with per-query work statistics.
+    fn search_with_stats(
+        &self,
+        store: &VectorStore,
+        query: &[f32],
+        k: usize,
+        budget: SearchBudget,
+    ) -> (Vec<Neighbor>, SearchStats);
+
+    /// Returns the `k` (approximate) nearest neighbors of `query`, best-first.
+    fn search(
+        &self,
+        store: &VectorStore,
+        query: &[f32],
+        k: usize,
+        budget: SearchBudget,
+    ) -> Vec<Neighbor> {
+        self.search_with_stats(store, query, k, budget).0
+    }
+
+    /// Human-readable index-family name (for experiment output).
+    fn family(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_clamps_to_one() {
+        assert_eq!(SearchBudget::checks(0).checks, 1);
+    }
+
+    #[test]
+    fn unlimited_budget_is_max() {
+        assert_eq!(SearchBudget::unlimited().checks, usize::MAX);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = SearchStats { distance_evals: 1, leaves_visited: 2, interior_steps: 3 };
+        let b = SearchStats { distance_evals: 10, leaves_visited: 20, interior_steps: 30 };
+        a.merge(&b);
+        assert_eq!(a.distance_evals, 11);
+        assert_eq!(a.leaves_visited, 22);
+        assert_eq!(a.interior_steps, 33);
+    }
+}

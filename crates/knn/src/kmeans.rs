@@ -1,0 +1,274 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Used two ways, matching the paper: as the recursive partitioner inside
+//! the hierarchical k-means index (Section II-C), and as the index-
+//! construction workload offloaded to SSAM in Section VI-B ("treating
+//! cluster centroids as the dataset and streaming the dataset in as kNN
+//! queries to determine the closest centroid").
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use crate::distance::squared_euclidean;
+use crate::vecstore::VectorStore;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, row-major (`k` rows of `dims`).
+    pub centroids: VectorStore,
+    /// Cluster assignment per input row (indices into `centroids`).
+    pub assignments: Vec<u32>,
+    /// Iterations executed before convergence or cap.
+    pub iterations: usize,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// k-means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap for Lloyd's loop.
+    pub max_iters: usize,
+    /// RNG seed (runs are deterministic given a seed).
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        Self { k: 8, max_iters: 25, seed: 0x55A4D }
+    }
+}
+
+/// Runs k-means over the rows of `store` listed in `ids` (all rows if
+/// `ids` is `None`).
+///
+/// Degenerate inputs are handled gracefully: if there are fewer distinct
+/// points than `k`, the result simply has some empty clusters re-seeded to
+/// existing points.
+///
+/// # Panics
+/// Panics if `params.k == 0` or the selection is empty.
+pub fn kmeans(store: &VectorStore, ids: Option<&[u32]>, params: KMeansParams) -> KMeansResult {
+    assert!(params.k > 0, "k must be positive");
+    let owned_ids: Vec<u32>;
+    let ids: &[u32] = match ids {
+        Some(s) => s,
+        None => {
+            owned_ids = (0..store.len() as u32).collect();
+            &owned_ids
+        }
+    };
+    assert!(!ids.is_empty(), "cannot cluster an empty selection");
+
+    let dims = store.dims();
+    let k = params.k.min(ids.len());
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut centroids = seed_plus_plus(store, ids, k, &mut rng);
+    let mut assignments = vec![0u32; ids.len()];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for it in 0..params.max_iters {
+        iterations = it + 1;
+        // Assignment step.
+        let mut new_inertia = 0.0f64;
+        for (slot, &id) in ids.iter().enumerate() {
+            let v = store.get(id);
+            let (best, d) = nearest_centroid(&centroids, v);
+            assignments[slot] = best;
+            new_inertia += d as f64;
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * dims];
+        let mut counts = vec![0usize; k];
+        for (slot, &id) in ids.iter().enumerate() {
+            let c = assignments[slot] as usize;
+            counts[c] += 1;
+            for (acc, &x) in sums[c * dims..(c + 1) * dims].iter_mut().zip(store.get(id)) {
+                *acc += x as f64;
+            }
+        }
+        let mut next = VectorStore::with_capacity(dims, k);
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster to a random member point.
+                let id = ids[rng.random_range(0..ids.len())];
+                next.push(store.get(id));
+            } else {
+                let row: Vec<f32> = sums[c * dims..(c + 1) * dims]
+                    .iter()
+                    .map(|&s| (s / counts[c] as f64) as f32)
+                    .collect();
+                next.push(&row);
+            }
+        }
+        centroids = next;
+
+        // Converged when inertia stops improving meaningfully.
+        if (inertia - new_inertia).abs() <= 1e-9 * inertia.max(1.0) {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+
+    KMeansResult { centroids, assignments, iterations, inertia }
+}
+
+/// Index and squared distance of the centroid closest to `v`.
+pub fn nearest_centroid(centroids: &VectorStore, v: &[f32]) -> (u32, f32) {
+    let mut best = 0u32;
+    let mut best_d = f32::INFINITY;
+    for (c, cv) in centroids.iter() {
+        let d = squared_euclidean(v, cv);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent centroids sampled
+/// proportionally to squared distance from the nearest chosen centroid.
+fn seed_plus_plus(store: &VectorStore, ids: &[u32], k: usize, rng: &mut StdRng) -> VectorStore {
+    let dims = store.dims();
+    let mut centroids = VectorStore::with_capacity(dims, k);
+    let first = ids[rng.random_range(0..ids.len())];
+    centroids.push(store.get(first));
+
+    let mut d2: Vec<f32> = ids
+        .iter()
+        .map(|&id| squared_euclidean(store.get(id), centroids.get(0)))
+        .collect();
+
+    while centroids.len() < k {
+        let total: f64 = d2.iter().map(|&d| d as f64).sum();
+        let chosen_slot = if total <= 0.0 {
+            // All remaining points coincide with chosen centroids.
+            rng.random_range(0..ids.len())
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut slot = 0;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    slot = i;
+                    break;
+                }
+            }
+            slot
+        };
+        let cid = centroids.push(store.get(ids[chosen_slot]));
+        for (i, &id) in ids.iter().enumerate() {
+            let d = squared_euclidean(store.get(id), centroids.get(cid));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs in 2-D.
+    fn blobs() -> VectorStore {
+        let mut s = VectorStore::new(2);
+        for i in 0..20 {
+            let jitter = (i % 5) as f32 * 0.01;
+            s.push(&[0.0 + jitter, 0.0 + jitter]);
+            s.push(&[10.0 + jitter, 10.0 + jitter]);
+        }
+        s
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let s = blobs();
+        let r = kmeans(&s, None, KMeansParams { k: 2, max_iters: 50, seed: 1 });
+        // All even rows (blob A) share a cluster, all odd rows (blob B) the other.
+        let a = r.assignments[0];
+        let b = r.assignments[1];
+        assert_ne!(a, b);
+        for (i, &c) in r.assignments.iter().enumerate() {
+            assert_eq!(c, if i % 2 == 0 { a } else { b });
+        }
+    }
+
+    #[test]
+    fn centroids_land_near_blob_means() {
+        let s = blobs();
+        let r = kmeans(&s, None, KMeansParams { k: 2, max_iters: 50, seed: 7 });
+        let mut near_origin = 0;
+        let mut near_ten = 0;
+        for (_, c) in r.centroids.iter() {
+            if c[0] < 1.0 {
+                near_origin += 1;
+            }
+            if c[0] > 9.0 {
+                near_ten += 1;
+            }
+        }
+        assert_eq!(near_origin, 1);
+        assert_eq!(near_ten, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = blobs();
+        let p = KMeansParams { k: 3, max_iters: 10, seed: 42 };
+        let r1 = kmeans(&s, None, p);
+        let r2 = kmeans(&s, None, p);
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.centroids, r2.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_population() {
+        let s = VectorStore::from_flat(1, vec![1.0, 2.0]);
+        let r = kmeans(&s, None, KMeansParams { k: 10, max_iters: 5, seed: 0 });
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn subset_clustering_ignores_other_rows() {
+        let s = blobs();
+        // Cluster only blob A rows; centroid must be near the origin.
+        let ids: Vec<u32> = (0..s.len() as u32).filter(|i| i % 2 == 0).collect();
+        let r = kmeans(&s, Some(&ids), KMeansParams { k: 1, max_iters: 10, seed: 0 });
+        assert!(r.centroids.get(0)[0] < 1.0);
+        assert_eq!(r.assignments.len(), ids.len());
+    }
+
+    #[test]
+    fn inertia_is_finite_and_nonnegative() {
+        let s = blobs();
+        let r = kmeans(&s, None, KMeansParams::default());
+        assert!(r.inertia.is_finite());
+        assert!(r.inertia >= 0.0);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let s = VectorStore::from_flat(2, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let r = kmeans(&s, None, KMeansParams { k: 3, max_iters: 5, seed: 0 });
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn nearest_centroid_picks_minimum() {
+        let mut c = VectorStore::new(1);
+        c.push(&[0.0]);
+        c.push(&[5.0]);
+        c.push(&[9.0]);
+        assert_eq!(nearest_centroid(&c, &[6.0]).0, 1);
+    }
+}

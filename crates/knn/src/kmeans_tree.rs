@@ -1,0 +1,335 @@
+//! Hierarchical k-means tree with backtracking (paper Section II-C).
+//!
+//! "The dataset is partitioned recursively based on k-means cluster
+//! assignments to form a tree data structure. Like kd-tree indices, the
+//! height of the tree is restricted, and each leaf holds a bucket of
+//! similar vectors which are searched when a query reaches that bucket.
+//! Backtracking is also used to expand the search space and search
+//! 'close by' buckets."
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::{squared_euclidean, Metric};
+use crate::index::{SearchBudget, SearchIndex, SearchStats};
+use crate::kmeans::{kmeans, KMeansParams};
+use crate::topk::{Neighbor, TopK};
+use crate::vecstore::VectorStore;
+
+/// Construction parameters for a [`KMeansTree`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KMeansTreeParams {
+    /// Branching factor at every interior node.
+    pub branching: usize,
+    /// Maximum bucket size at the leaves.
+    pub leaf_size: usize,
+    /// Maximum tree height (root = level 0); deeper levels become leaves.
+    pub max_height: usize,
+    /// Lloyd iteration cap per split.
+    pub kmeans_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMeansTreeParams {
+    fn default() -> Self {
+        Self { branching: 8, leaf_size: 32, max_height: 12, kmeans_iters: 8, seed: 0x6B6D }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Interior {
+        /// Centroid per child, row-major in `centroids` (branching rows).
+        centroids: VectorStore,
+        children: Vec<u32>,
+    },
+    Leaf {
+        ids: Vec<u32>,
+    },
+}
+
+/// Hierarchical k-means index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeansTree {
+    nodes: Vec<Node>,
+    root: u32,
+    params: KMeansTreeParams,
+    metric: Metric,
+    dims: usize,
+}
+
+impl KMeansTree {
+    /// Builds the tree over every row of `store`.
+    ///
+    /// # Panics
+    /// Panics if the store is empty or `params.branching < 2`.
+    pub fn build(store: &VectorStore, metric: Metric, params: KMeansTreeParams) -> Self {
+        assert!(!store.is_empty(), "cannot index an empty store");
+        assert!(params.branching >= 2, "branching factor must be at least 2");
+        let mut nodes = Vec::new();
+        let ids: Vec<u32> = (0..store.len() as u32).collect();
+        let root = build_node(store, ids, &params, 0, &mut nodes);
+        Self { nodes, root, params, metric, dims: store.dims() }
+    }
+
+    /// Number of leaves (buckets).
+    pub fn num_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Construction parameters.
+    pub fn params(&self) -> KMeansTreeParams {
+        self.params
+    }
+}
+
+fn build_node(
+    store: &VectorStore,
+    ids: Vec<u32>,
+    params: &KMeansTreeParams,
+    level: usize,
+    nodes: &mut Vec<Node>,
+) -> u32 {
+    if ids.len() <= params.leaf_size || level >= params.max_height {
+        nodes.push(Node::Leaf { ids });
+        return (nodes.len() - 1) as u32;
+    }
+
+    let km = kmeans(
+        store,
+        Some(&ids),
+        KMeansParams {
+            k: params.branching,
+            max_iters: params.kmeans_iters,
+            // Derive a distinct stream per node from (seed, level, first id).
+            seed: params
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(level as u64)
+                .wrapping_add(ids[0] as u64),
+        },
+    );
+
+    // Group member ids by assigned cluster.
+    let kk = km.centroids.len();
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); kk];
+    for (slot, &id) in ids.iter().enumerate() {
+        groups[km.assignments[slot] as usize].push(id);
+    }
+
+    // If clustering failed to split (all points in one cluster — duplicates
+    // or pathological data), fall back to a leaf to guarantee termination.
+    if groups.iter().filter(|g| !g.is_empty()).count() <= 1 {
+        nodes.push(Node::Leaf { ids });
+        return (nodes.len() - 1) as u32;
+    }
+
+    let mut centroids = VectorStore::with_capacity(store.dims(), kk);
+    let mut children = Vec::with_capacity(kk);
+    for (c, group) in groups.into_iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        centroids.push(km.centroids.get(c as u32));
+        let child = build_node(store, group, params, level + 1, nodes);
+        children.push(child);
+    }
+    nodes.push(Node::Interior { centroids, children });
+    (nodes.len() - 1) as u32
+}
+
+/// Pending branch ordered by distance to its centroid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Branch {
+    key: f32,
+    node: u32,
+}
+impl Eq for Branch {}
+impl Ord for Branch {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.total_cmp(&other.key).then_with(|| self.node.cmp(&other.node))
+    }
+}
+impl PartialOrd for Branch {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl SearchIndex for KMeansTree {
+    fn search_with_stats(
+        &self,
+        store: &VectorStore,
+        query: &[f32],
+        k: usize,
+        budget: SearchBudget,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        assert_eq!(query.len(), self.dims, "query dimensionality mismatch");
+        let mut top = TopK::new(k);
+        let mut stats = SearchStats::default();
+        let mut frontier: BinaryHeap<Reverse<Branch>> = BinaryHeap::new();
+        frontier.push(Reverse(Branch { key: 0.0, node: self.root }));
+
+        let mut leaves = 0usize;
+        while let Some(Reverse(br)) = frontier.pop() {
+            if leaves >= budget.checks {
+                break;
+            }
+            let mut node = br.node;
+            // Descend: follow the closest centroid, defer siblings.
+            loop {
+                match &self.nodes[node as usize] {
+                    Node::Interior { centroids, children } => {
+                        stats.interior_steps += 1;
+                        let mut best_child = 0usize;
+                        let mut best_d = f32::INFINITY;
+                        let mut dists = Vec::with_capacity(children.len());
+                        for (c, cv) in centroids.iter() {
+                            // Centroid proximity always uses L2: the tree was
+                            // built by k-means in Euclidean space.
+                            let d = squared_euclidean(query, cv);
+                            dists.push(d);
+                            if d < best_d {
+                                best_d = d;
+                                best_child = c as usize;
+                            }
+                        }
+                        for (c, &child) in children.iter().enumerate() {
+                            if c != best_child {
+                                frontier.push(Reverse(Branch { key: dists[c], node: child }));
+                            }
+                        }
+                        node = children[best_child];
+                    }
+                    Node::Leaf { ids } => {
+                        leaves += 1;
+                        stats.leaves_visited += 1;
+                        stats.distance_evals += ids.len();
+                        for &id in ids {
+                            top.offer(id, self.metric.eval(query, store.get(id)));
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        (top.into_sorted(), stats)
+    }
+
+    fn family(&self) -> &'static str {
+        "kmeans"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::knn_exact;
+    use crate::recall::recall;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use rand::SeedableRng;
+
+    fn random_store(n: usize, dims: usize, seed: u64) -> VectorStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = VectorStore::with_capacity(dims, n);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    fn params() -> KMeansTreeParams {
+        KMeansTreeParams { branching: 4, leaf_size: 16, max_height: 10, kmeans_iters: 5, seed: 11 }
+    }
+
+    #[test]
+    fn unlimited_budget_reaches_full_recall() {
+        let s = random_store(300, 6, 1);
+        let t = KMeansTree::build(&s, Metric::Euclidean, params());
+        let q = vec![0.0f32; 6];
+        let exact = knn_exact(&s, &q, 8, Metric::Euclidean);
+        let approx = t.search(&s, &q, 8, SearchBudget::unlimited());
+        assert_eq!(recall(&exact, &approx), 1.0);
+    }
+
+    #[test]
+    fn every_id_lands_in_exactly_one_leaf() {
+        let s = random_store(333, 4, 2);
+        let t = KMeansTree::build(&s, Metric::Euclidean, params());
+        let mut seen = vec![0usize; s.len()];
+        for node in &t.nodes {
+            if let Node::Leaf { ids } = node {
+                for &id in ids {
+                    seen[id as usize] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn budget_caps_leaves() {
+        let s = random_store(500, 4, 3);
+        let t = KMeansTree::build(&s, Metric::Euclidean, params());
+        let (_, stats) = t.search_with_stats(&s, &[0.0; 4], 3, SearchBudget::checks(2));
+        assert!(stats.leaves_visited <= 2);
+    }
+
+    #[test]
+    fn recall_grows_with_budget() {
+        let s = random_store(800, 8, 4);
+        let t = KMeansTree::build(&s, Metric::Euclidean, params());
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut low, mut high) = (0.0, 0.0);
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..8).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let exact = knn_exact(&s, &q, 5, Metric::Euclidean);
+            low += recall(&exact, &t.search(&s, &q, 5, SearchBudget::checks(1)));
+            high += recall(&exact, &t.search(&s, &q, 5, SearchBudget::checks(64)));
+        }
+        assert!(high >= low);
+    }
+
+    #[test]
+    fn duplicate_heavy_data_terminates_and_searches() {
+        let mut s = VectorStore::new(2);
+        for _ in 0..200 {
+            s.push(&[3.0, 3.0]);
+        }
+        for _ in 0..10 {
+            s.push(&[9.0, 9.0]);
+        }
+        let t = KMeansTree::build(&s, Metric::Euclidean, params());
+        let out = t.search(&s, &[9.0, 9.0], 3, SearchBudget::unlimited());
+        assert!(out.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn single_point_store() {
+        let s = VectorStore::from_flat(3, vec![1.0, 2.0, 3.0]);
+        let t = KMeansTree::build(&s, Metric::Euclidean, params());
+        let out = t.search(&s, &[0.0, 0.0, 0.0], 1, SearchBudget::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = random_store(200, 5, 6);
+        let t1 = KMeansTree::build(&s, Metric::Euclidean, params());
+        let t2 = KMeansTree::build(&s, Metric::Euclidean, params());
+        let q = [0.3f32; 5];
+        assert_eq!(
+            t1.search(&s, &q, 4, SearchBudget::checks(4)),
+            t2.search(&s, &q, 4, SearchBudget::checks(4))
+        );
+    }
+}

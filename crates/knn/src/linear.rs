@@ -1,0 +1,146 @@
+//! Exact linear (brute-force) k-nearest-neighbor search.
+//!
+//! Linear search is the paper's reference point everywhere: it defines
+//! ground truth for the recall metric, it is the behaviour approximate
+//! indexes degrade to at high accuracy targets, and it is the workload of
+//! the headline Fig. 6 comparison ("exact linear search, which is agnostic
+//! to dataset composition and index traversal overheads").
+
+use crate::distance::Metric;
+use crate::index::{SearchBudget, SearchIndex, SearchStats};
+use crate::topk::{Neighbor, TopK};
+use crate::vecstore::VectorStore;
+
+/// Brute-force scan of the entire store under a configurable metric.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearSearch {
+    metric: Metric,
+}
+
+impl LinearSearch {
+    /// Linear search under `metric`.
+    pub fn new(metric: Metric) -> Self {
+        Self { metric }
+    }
+
+    /// The active metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+impl Default for LinearSearch {
+    fn default() -> Self {
+        Self::new(Metric::Euclidean)
+    }
+}
+
+impl SearchIndex for LinearSearch {
+    fn search_with_stats(
+        &self,
+        store: &VectorStore,
+        query: &[f32],
+        k: usize,
+        _budget: SearchBudget,
+    ) -> (Vec<Neighbor>, SearchStats) {
+        let mut top = TopK::new(k);
+        for (id, v) in store.iter() {
+            top.offer(id, self.metric.eval(query, v));
+        }
+        let stats = SearchStats {
+            distance_evals: store.len(),
+            leaves_visited: 1,
+            interior_steps: 0,
+        };
+        (top.into_sorted(), stats)
+    }
+
+    fn family(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// Convenience free function: exact k nearest neighbors of `query` under
+/// `metric`, best-first.
+pub fn knn_exact(store: &VectorStore, query: &[f32], k: usize, metric: Metric) -> Vec<Neighbor> {
+    LinearSearch::new(metric).search(store, query, k, SearchBudget::unlimited())
+}
+
+/// Scans only the listed candidate rows — the "bucket scan" primitive that
+/// approximate indexes perform at the end of their traversals.
+pub fn scan_candidates(
+    store: &VectorStore,
+    candidates: &[u32],
+    query: &[f32],
+    top: &mut TopK,
+    metric: Metric,
+) {
+    for &id in candidates {
+        top.offer(id, metric.eval(query, store.get(id)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_store() -> VectorStore {
+        // Points on a line: ids 0..5 at x = 0,1,2,3,4.
+        VectorStore::from_flat(1, vec![0.0, 1.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn finds_nearest_in_order() {
+        let s = toy_store();
+        let out = knn_exact(&s, &[2.2], 3, Metric::Euclidean);
+        let ids: Vec<u32> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_store_returns_all() {
+        let s = toy_store();
+        let out = knn_exact(&s, &[0.0], 10, Metric::Euclidean);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn stats_count_full_scan() {
+        let s = toy_store();
+        let (_, stats) = LinearSearch::default().search_with_stats(
+            &s,
+            &[1.0],
+            2,
+            SearchBudget::default(),
+        );
+        assert_eq!(stats.distance_evals, 5);
+    }
+
+    #[test]
+    fn manhattan_and_euclidean_agree_in_one_dimension() {
+        let s = toy_store();
+        let e = knn_exact(&s, &[3.4], 5, Metric::Euclidean);
+        let m = knn_exact(&s, &[3.4], 5, Metric::Manhattan);
+        let ids = |v: &[Neighbor]| v.iter().map(|n| n.id).collect::<Vec<_>>();
+        assert_eq!(ids(&e), ids(&m));
+    }
+
+    #[test]
+    fn scan_candidates_respects_subset() {
+        let s = toy_store();
+        let mut top = TopK::new(2);
+        scan_candidates(&s, &[4, 0], &[0.1], &mut top, Metric::Euclidean);
+        let out = top.into_sorted();
+        assert_eq!(out[0].id, 0);
+        assert_eq!(out[1].id, 4);
+    }
+
+    #[test]
+    fn exact_results_sorted_by_distance() {
+        let s = VectorStore::from_flat(2, vec![1.0, 1.0, -3.0, 0.5, 0.0, 0.0, 2.0, 2.0]);
+        let out = knn_exact(&s, &[0.2, 0.1], 4, Metric::Euclidean);
+        for w in out.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Search accuracy metric (paper Section II-C).
+//!
+//! Accuracy is defined as `|S_E ∩ S_A| / |S_E|` where `S_E` is the exact
+//! neighbor set returned by floating-point linear search and `S_A` the set
+//! returned by the approximate algorithm under test.
+
+use crate::topk::Neighbor;
+
+/// Recall of one query: fraction of exact neighbors recovered.
+///
+/// Returns 1.0 when the exact set is empty (vacuous truth, keeps batch
+/// averages well-defined on degenerate inputs).
+pub fn recall(exact: &[Neighbor], approx: &[Neighbor]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hits = exact
+        .iter()
+        .filter(|e| approx.iter().any(|a| a.id == e.id))
+        .count();
+    hits as f64 / exact.len() as f64
+}
+
+/// Recall over id sets directly (ground-truth files store bare ids).
+pub fn recall_ids(exact: &[u32], approx: &[u32]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hits = exact.iter().filter(|e| approx.contains(e)).count();
+    hits as f64 / exact.len() as f64
+}
+
+/// Mean recall across a batch of queries.
+///
+/// # Panics
+/// Panics if the two batches differ in length.
+pub fn mean_recall(exact: &[Vec<u32>], approx: &[Vec<u32>]) -> f64 {
+    assert_eq!(exact.len(), approx.len(), "batch size mismatch");
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = exact
+        .iter()
+        .zip(approx)
+        .map(|(e, a)| recall_ids(e, a))
+        .sum();
+    sum / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32) -> Neighbor {
+        Neighbor::new(id, 0.0)
+    }
+
+    #[test]
+    fn perfect_recall() {
+        let e = [n(1), n(2), n(3)];
+        let a = [n(3), n(1), n(2)];
+        assert_eq!(recall(&e, &a), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let e = [n(1), n(2), n(3), n(4)];
+        let a = [n(1), n(9), n(3), n(8)];
+        assert_eq!(recall(&e, &a), 0.5);
+    }
+
+    #[test]
+    fn zero_recall() {
+        let e = [n(1)];
+        let a = [n(2)];
+        assert_eq!(recall(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_exact_set_is_vacuously_recalled() {
+        assert_eq!(recall(&[], &[n(1)]), 1.0);
+    }
+
+    #[test]
+    fn recall_ignores_distances() {
+        let e = [Neighbor::new(5, 1.0)];
+        let a = [Neighbor::new(5, 99.0)];
+        assert_eq!(recall(&e, &a), 1.0);
+    }
+
+    #[test]
+    fn mean_recall_averages() {
+        let e = vec![vec![1, 2], vec![3, 4]];
+        let a = vec![vec![1, 2], vec![3, 9]];
+        assert!((mean_recall(&e, &a) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn mean_recall_rejects_mismatched_batches() {
+        let _ = mean_recall(&[vec![1]], &[]);
+    }
+
+    #[test]
+    fn recall_is_bounded() {
+        let e = [n(0), n(1)];
+        let a = [n(0), n(0), n(1), n(1)];
+        let r = recall(&e, &a);
+        assert!((0.0..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,188 @@
+//! Dense row-major vector storage.
+//!
+//! Feature vectors (Fig. 1's intermediary representation) are stored as one
+//! contiguous `Vec<f32>` so linear scans stream through memory exactly the
+//! way the paper's bandwidth analysis assumes: large contiguous blocks, each
+//! vector touched once per query and then discarded.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major collection of equal-length `f32` feature vectors.
+///
+/// Vector `i` occupies `data[i*dims .. (i+1)*dims]`. IDs are implicit row
+/// indices (`u32`), matching the paper's observation that a kNN query's
+/// result set is "only a small set of identifiers".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorStore {
+    dims: usize,
+    data: Vec<f32>,
+}
+
+impl VectorStore {
+    /// Creates an empty store for vectors of dimensionality `dims`.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "vector dimensionality must be positive");
+        Self { dims, data: Vec::new() }
+    }
+
+    /// Creates a store from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or `data.len()` is not a multiple of `dims`.
+    pub fn from_flat(dims: usize, data: Vec<f32>) -> Self {
+        assert!(dims > 0, "vector dimensionality must be positive");
+        assert!(
+            data.len().is_multiple_of(dims),
+            "flat buffer length {} is not a multiple of dims {}",
+            data.len(),
+            dims
+        );
+        Self { dims, data }
+    }
+
+    /// Creates a store with capacity preallocated for `n` vectors.
+    pub fn with_capacity(dims: usize, n: usize) -> Self {
+        assert!(dims > 0, "vector dimensionality must be positive");
+        Self { dims, data: Vec::with_capacity(dims * n) }
+    }
+
+    /// Appends one vector; returns its id.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dims()`.
+    pub fn push(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dims, "vector length mismatch");
+        let id = self.len() as u32;
+        self.data.extend_from_slice(v);
+        id
+    }
+
+    /// Number of vectors stored.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Whether the store holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of every vector in the store.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Borrow vector `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: u32) -> &[f32] {
+        let i = id as usize;
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// The full flat row-major buffer (what the SSAM device model streams).
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterate `(id, vector)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[f32])> {
+        self.data
+            .chunks_exact(self.dims)
+            .enumerate()
+            .map(|(i, v)| (i as u32, v))
+    }
+
+    /// Total payload size in bytes (the quantity a linear scan must move).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Builds a sub-store containing the listed rows, in order.
+    ///
+    /// Used to shard a dataset across HMC vaults in the device model.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn subset(&self, ids: &[u32]) -> VectorStore {
+        let mut out = VectorStore::with_capacity(self.dims, ids.len());
+        for &id in ids {
+            out.push(self.get(id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut s = VectorStore::new(3);
+        let a = s.push(&[1.0, 2.0, 3.0]);
+        let b = s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(s.get(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(s.get(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_flat_partitions_rows() {
+        let s = VectorStore::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        let _ = VectorStore::from_flat(3, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn push_rejects_wrong_dims() {
+        let mut s = VectorStore::new(3);
+        s.push(&[1.0]);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let s = VectorStore::from_flat(1, vec![9.0, 8.0, 7.0]);
+        let ids: Vec<u32> = s.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let vals: Vec<f32> = s.iter().map(|(_, v)| v[0]).collect();
+        assert_eq!(vals, vec![9.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn bytes_counts_payload() {
+        let s = VectorStore::from_flat(4, vec![0.0; 16]);
+        assert_eq!(s.bytes(), 64);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let s = VectorStore::from_flat(1, vec![10.0, 11.0, 12.0, 13.0]);
+        let sub = s.subset(&[3, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.get(0), &[13.0]);
+        assert_eq!(sub.get(1), &[11.0]);
+    }
+
+    #[test]
+    fn empty_store_reports_empty() {
+        let s = VectorStore::new(5);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.bytes(), 0);
+    }
+}

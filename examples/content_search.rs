@@ -1,0 +1,108 @@
+//! Content-based search: the full software pipeline of the paper's Fig. 1.
+//!
+//! (a) feature extraction  — synthetic "image corpus" → descriptor vectors
+//! (b) feature indexing    — hierarchical k-means tree (offline)
+//! (c) query generation    — a query image runs the same extractor
+//! (d) index traversal +
+//! (e) k-nearest neighbors — budget-bounded approximate search
+//! (f) reverse lookup      — ids map back to corpus entries
+//!
+//! ```text
+//! cargo run --release --example content_search
+//! ```
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use ssam::knn::index::{SearchBudget, SearchIndex};
+use ssam::knn::kmeans_tree::{KMeansTree, KMeansTreeParams};
+use ssam::knn::linear::knn_exact;
+use ssam::knn::recall::recall;
+use ssam::knn::{Metric, VectorStore};
+
+/// A corpus entry: a synthetic "image" (its generating theme and a tag).
+struct CorpusEntry {
+    title: String,
+    theme: usize,
+}
+
+/// Stand-in feature extractor: theme center + per-image detail noise.
+/// (The paper treats extraction as an offline solved problem — AlexNet,
+/// GIST; what matters here is that query and corpus share the extractor.)
+fn extract_features(theme: usize, detail: u64, dims: usize) -> Vec<f32> {
+    let mut center_rng = StdRng::seed_from_u64(theme as u64 * 7919);
+    let mut detail_rng = StdRng::seed_from_u64(detail);
+    (0..dims)
+        .map(|_| {
+            let c: f32 = center_rng.random_range(-1.0..1.0);
+            let d: f32 = detail_rng.random_range(-0.15..0.15);
+            c + d
+        })
+        .collect()
+}
+
+fn main() {
+    let dims = 64;
+    let themes = 12;
+    let per_theme = 250;
+
+    // (a) Feature extraction over the corpus (offline).
+    println!("(a) extracting features for {} images…", themes * per_theme);
+    let mut corpus = Vec::new();
+    let mut features = VectorStore::new(dims);
+    for theme in 0..themes {
+        for i in 0..per_theme {
+            corpus.push(CorpusEntry {
+                title: format!("img-{theme:02}-{i:04}"),
+                theme,
+            });
+            features.push(&extract_features(theme, (theme * per_theme + i) as u64, dims));
+        }
+    }
+
+    // (b) Index construction (offline).
+    println!("(b) building hierarchical k-means index…");
+    let index = KMeansTree::build(
+        &features,
+        Metric::Euclidean,
+        KMeansTreeParams { branching: 8, leaf_size: 32, max_height: 8, kmeans_iters: 8, seed: 42 },
+    );
+    println!("    {} leaves", index.num_leaves());
+
+    // (c) Query generation: a new image of theme 7.
+    println!("(c) generating query (an unseen theme-7 image)…");
+    let query = extract_features(7, 999_999, dims);
+
+    // (d)+(e) Index traversal and kNN under a leaf budget.
+    let k = 8;
+    for budget in [1usize, 4, 16] {
+        let (approx, stats) =
+            index.search_with_stats(&features, &query, k, SearchBudget::checks(budget));
+        let exact = knn_exact(&features, &query, k, Metric::Euclidean);
+        let r = recall(&exact, &approx);
+        println!(
+            "(d/e) budget {budget:>2}: scanned {:>5} of {} vectors, recall {:.2}",
+            stats.distance_evals,
+            features.len(),
+            r
+        );
+
+        // (f) Reverse lookup at the largest budget.
+        if budget == 16 {
+            println!("(f) results map back to corpus entries:");
+            let mut theme_hits = 0;
+            for n in &approx {
+                let entry = &corpus[n.id as usize];
+                if entry.theme == 7 {
+                    theme_hits += 1;
+                }
+                println!("      {}  (theme {:>2}, dist {:.3})", entry.title, entry.theme, n.dist);
+            }
+            assert!(
+                theme_hits >= k / 2,
+                "most neighbors should share the query's theme"
+            );
+            println!("    {theme_hits}/{k} neighbors share the query's theme");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Throughput-versus-accuracy trade-offs across the three approximate
+//! indexes (a miniature of the paper's Fig. 2 characterization).
+//!
+//! ```text
+//! cargo run --release --example index_tradeoffs
+//! ```
+
+use std::time::Instant;
+
+use ssam::datasets::{Benchmark, PaperDataset};
+use ssam::knn::index::{SearchBudget, SearchIndex};
+use ssam::knn::kdtree::{KdForest, KdTreeParams};
+use ssam::knn::kmeans_tree::{KMeansTree, KMeansTreeParams};
+use ssam::knn::mplsh::{MplshParams, MultiProbeLsh};
+use ssam::knn::recall::recall_ids;
+use ssam::knn::Metric;
+
+fn main() {
+    // A reduced GloVe stand-in (100-d word-embedding-like vectors).
+    let bench = Benchmark::paper(PaperDataset::GloVe, 0.005);
+    let k = bench.k();
+    println!(
+        "dataset: {} vectors x {} dims, {} queries, k = {k}\n",
+        bench.train.len(),
+        bench.train.dims(),
+        bench.queries.len()
+    );
+
+    let kd = KdForest::build(
+        &bench.train,
+        Metric::Euclidean,
+        KdTreeParams { trees: 4, leaf_size: 32, seed: 1 },
+    );
+    let km = KMeansTree::build(
+        &bench.train,
+        Metric::Euclidean,
+        KMeansTreeParams { branching: 8, leaf_size: 32, max_height: 10, kmeans_iters: 6, seed: 1 },
+    );
+    let bits = ((bench.train.len() as f64 / 8.0).log2().ceil() as usize).clamp(8, 20);
+    let lsh = MultiProbeLsh::build(
+        &bench.train,
+        Metric::Euclidean,
+        MplshParams { tables: 8, hash_bits: bits, seed: 1 },
+    );
+
+    let indexes: [(&str, &dyn SearchIndex); 3] = [("kd-tree", &kd), ("k-means", &km), ("MPLSH", &lsh)];
+    println!("{:<10} {:>7} {:>12} {:>8} {:>10}", "index", "budget", "queries/s", "recall", "% scanned");
+    for (name, index) in indexes {
+        for budget in [1usize, 4, 16, 64] {
+            let start = Instant::now();
+            let mut hits = 0.0;
+            let mut scanned = 0usize;
+            for (qi, q, gt) in bench.iter_queries() {
+                let (res, stats) =
+                    index.search_with_stats(&bench.train, q, k, SearchBudget::checks(budget));
+                let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+                hits += recall_ids(gt, &ids);
+                scanned += stats.distance_evals;
+                let _ = qi;
+            }
+            let secs = start.elapsed().as_secs_f64();
+            let n = bench.queries.len() as f64;
+            println!(
+                "{:<10} {:>7} {:>12.0} {:>8.3} {:>9.1}%",
+                name,
+                budget,
+                n / secs,
+                hits / n,
+                100.0 * scanned as f64 / (n * bench.train.len() as f64),
+            );
+        }
+    }
+    println!(
+        "\nThe paper's Fig. 2 shape: recall climbs with budget while throughput\n\
+         falls toward the linear-scan floor; past ~95-99% recall indexing\n\
+         effectively degrades to linear search."
+    );
+}

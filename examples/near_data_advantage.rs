@@ -1,0 +1,70 @@
+//! Why near-data processing wins: the same scan costed on the host CPU
+//! model, the GPU model, and the simulated SSAM device, with the
+//! bandwidth ablation that explains the gap.
+//!
+//! ```text
+//! cargo run --release --example near_data_advantage
+//! ```
+
+use ssam::baselines::normalize::area_normalized_throughput;
+use ssam::baselines::{CpuPlatform, GpuPlatform, ScanWorkload};
+use ssam::core::area::module_area;
+use ssam::core::device::{DeviceQuery, SsamConfig, SsamDevice};
+use ssam::datasets::{Benchmark, PaperDataset};
+use ssam::hmc::{DdrConfig, HmcConfig};
+
+fn main() {
+    let bench = Benchmark::paper(PaperDataset::Gist, 0.002);
+    let w = ScanWorkload::dense(bench.train.len(), bench.train.dims());
+    println!(
+        "workload: exact linear search over {} x {}-d vectors ({:.1} MB/query)\n",
+        w.vectors,
+        w.dims,
+        w.bytes_per_query() / 1e6
+    );
+
+    let cpu = CpuPlatform::xeon_e5_2620();
+    let gpu = GpuPlatform::titan_x();
+
+    let vl = 4;
+    let mut dev = SsamDevice::new(SsamConfig { vector_length: vl, ..SsamConfig::default() });
+    dev.load_vectors(&bench.train);
+    let q: Vec<f32> = bench.queries.get(0).to_vec();
+    let r = dev.query(&DeviceQuery::Euclidean(&q), bench.k()).expect("device runs");
+    let ssam_qps = 1.0 / r.timing.seconds;
+
+    println!("{:<18} {:>12} {:>12} {:>14}", "platform", "queries/s", "mm^2@28nm", "q/s/mm^2");
+    let row = |name: &str, qps: f64, area: f64| {
+        println!(
+            "{:<18} {:>12.1} {:>12.1} {:>14.3}",
+            name,
+            qps,
+            area,
+            area_normalized_throughput(qps, area)
+        );
+    };
+    row("Xeon E5-2620", cpu.linear_throughput(&w), cpu.area_mm2_28nm());
+    row("Titan X", gpu.linear_throughput(&w), gpu.area_mm2_28nm());
+    row(&format!("SSAM-{vl} (sim)"), ssam_qps, module_area(vl).total());
+
+    // Where does the SSAM advantage come from? Bandwidth, mostly.
+    let hmc = HmcConfig::hmc2();
+    let ddr = DdrConfig::ddr4_quad_channel();
+    println!(
+        "\nbandwidth ablation: the identical accelerator behind DDR would stream\n\
+         {:.1} MB at {:.0} GB/s -> {:.2} ms/query, vs {:.2} ms behind HMC's vaults\n\
+         ({:.0} GB/s internal) — a {:.1}x gap from memory technology alone.",
+        w.bytes_per_query() / 1e6,
+        ddr.bandwidth / 1e9,
+        1e3 * w.bytes_per_query() / ddr.bandwidth,
+        1e3 * w.bytes_per_query() / hmc.internal_bandwidth(),
+        hmc.internal_bandwidth() / 1e9,
+        hmc.internal_bandwidth() / ddr.bandwidth,
+    );
+    println!(
+        "\ndevice detail: {} PU(s)/vault, {}-bound, {:.3} mJ/query",
+        r.timing.pus_per_vault,
+        if r.timing.compute_bound { "compute" } else { "bandwidth" },
+        r.timing.energy_mj
+    );
+}

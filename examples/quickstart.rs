@@ -1,0 +1,59 @@
+//! Quickstart: exact k-nearest-neighbor search on the CPU reference path
+//! and on the simulated SSAM device, via the paper's Fig. 4 memory-region
+//! API.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ssam::core::device::memregion::{IndexMode, SsamRegion};
+use ssam::knn::linear::knn_exact;
+use ssam::knn::{Metric, VectorStore};
+
+fn main() {
+    // A tiny database of 4-d feature vectors.
+    let mut db = VectorStore::new(4);
+    for i in 0..256 {
+        let t = i as f32 * 0.1;
+        db.push(&[t.sin(), t.cos(), (2.0 * t).sin(), (0.5 * t).cos()]);
+    }
+    let query = [0.6f32, 0.8, 0.95, 0.98];
+    let k = 5;
+
+    // Reference: exact linear search on the host.
+    let exact = knn_exact(&db, &query, k, Metric::Euclidean);
+    println!("host exact search:");
+    for n in &exact {
+        println!("  id {:>3}  squared-distance {:.4}", n.id, n.dist);
+    }
+
+    // The same query through a SSAM-enabled memory region (paper Fig. 4):
+    // allocate, set mode, copy, build, write query, execute, read back.
+    let mut nbuf = SsamRegion::nmalloc(db.len() * db.dims());
+    nbuf.nmode(IndexMode::Linear);
+    nbuf.nmemcpy(&db).expect("dataset fits the region");
+    nbuf.nbuild_index(None).expect("index built");
+    nbuf.nwrite_query(&query).expect("query staged");
+    nbuf.nexec(k).expect("kNN kernel executed");
+    let result = nbuf.nread_result().expect("results ready");
+
+    println!("\nSSAM device (simulated kernels over HMC vaults):");
+    for n in result {
+        println!("  id {:>3}  fixed-point distance {:.1}", n.id, n.dist);
+    }
+    let timing = nbuf.last_timing().expect("timing recorded");
+    println!(
+        "\ndevice query time {:.2} us  ({} PU(s)/vault, {}-bound, {:.3} uJ)",
+        timing.seconds * 1e6,
+        timing.pus_per_vault,
+        if timing.compute_bound { "compute" } else { "bandwidth" },
+        timing.energy_mj * 1e3,
+    );
+
+    // The two platforms must agree on the neighbor set.
+    let host_ids: Vec<u32> = exact.iter().map(|n| n.id).collect();
+    let ssam_ids: Vec<u32> = result.iter().map(|n| n.id).collect();
+    assert_eq!(host_ids, ssam_ids, "SSAM must reproduce exact search");
+    println!("\nhost and SSAM neighbor sets match.");
+    nbuf.nfree();
+}

@@ -1,0 +1,204 @@
+//! Property tests over the generated kernels: for random datasets,
+//! queries, shapes, and vector lengths, the simulated Euclidean kernel
+//! must reproduce — bit-exactly — an independent model of the PU's
+//! fixed-point arithmetic, and the Hamming kernel must match the host
+//! Hamming reference.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ssam::core::isa::inst::AluOp;
+use ssam::core::isa::DRAM_BASE;
+use ssam::core::kernels::linear;
+use ssam::core::sim::pu::ProcessingUnit;
+use ssam::knn::fixed::Fix32;
+
+/// The PU's per-candidate Q16.16 squared-Euclidean arithmetic, written
+/// independently of the kernel: per dimension `Mult(d, d)` (truncating)
+/// accumulated with wrapping adds — exactly what `vsub/vmult/vadd` and
+/// the lane reduction compute.
+fn reference_distance(query: &[i32], cand: &[i32]) -> i32 {
+    query
+        .iter()
+        .zip(cand)
+        .map(|(&q, &c)| {
+            let d = c.wrapping_sub(q);
+            AluOp::Mult.eval(d, d)
+        })
+        .fold(0i32, |acc, x| acc.wrapping_add(x))
+}
+
+/// (queue contents, quantized query, quantized candidates).
+type KernelRun = (Vec<(i32, i32)>, Vec<i32>, Vec<Vec<i32>>);
+
+fn run_euclidean_kernel(vectors: &[Vec<f32>], query: &[f32], vl: usize) -> KernelRun {
+    let dims = query.len();
+    let kernel = linear::euclidean(dims, vl);
+    let vw = kernel.layout.vec_words;
+    let mut words = Vec::with_capacity(vectors.len() * vw);
+    let mut quantized = Vec::with_capacity(vectors.len());
+    for v in vectors {
+        let mut q: Vec<i32> = v.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        q.resize(vw, 0);
+        words.extend_from_slice(&q);
+        quantized.push(q);
+    }
+    let mut qq: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
+    qq.resize(vw, 0);
+
+    let mut pu = ProcessingUnit::new(vl, Arc::new(words));
+    pu.load_program(kernel.program.clone());
+    pu.scratchpad_mut().write_block(0, &qq).expect("query fits");
+    pu.set_sreg(1, DRAM_BASE as i32);
+    pu.set_sreg(2, DRAM_BASE as i32 + (vectors.len() * vw * 4) as i32);
+    pu.run(10_000_000).expect("kernel halts");
+    let queue: Vec<(i32, i32)> = pu.pqueue().entries().iter().map(|e| (e.value, e.id)).collect();
+    (queue, qq, quantized)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn euclidean_kernel_matches_fixed_point_reference(
+        dims in 1usize..24,
+        n in 1usize..40,
+        vl_pick in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+        use rand::SeedableRng;
+        let vl = [2usize, 4, 8, 16][vl_pick];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vectors: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dims).map(|_| rng.random_range(-2.0f32..2.0)).collect())
+            .collect();
+        let query: Vec<f32> = (0..dims).map(|_| rng.random_range(-2.0f32..2.0)).collect();
+
+        let (queue, qq, quantized) = run_euclidean_kernel(&vectors, &query, vl);
+
+        // Independent model: reference distance per candidate, sorted by
+        // (value, id), truncated to the queue depth.
+        let mut expect: Vec<(i32, i32)> = quantized
+            .iter()
+            .enumerate()
+            .map(|(i, cand)| (reference_distance(&qq, cand), i as i32))
+            .collect();
+        expect.sort_unstable();
+        expect.truncate(16);
+        prop_assert_eq!(queue, expect);
+    }
+
+    #[test]
+    fn hamming_kernel_matches_host_reference(
+        words in 1usize..10,
+        n in 1usize..40,
+        vl_pick in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+        use rand::SeedableRng;
+        use ssam::knn::binary::{knn_hamming, BinaryStore};
+        let vl = [2usize, 4, 8, 16][vl_pick];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut codes = BinaryStore::new(words * 32);
+        for _ in 0..n {
+            let w: Vec<u32> = (0..words).map(|_| rng.random()).collect();
+            codes.push(&w);
+        }
+        let query: Vec<u32> = (0..words).map(|_| rng.random()).collect();
+
+        let kernel = linear::hamming(words, vl);
+        let vw = kernel.layout.vec_words;
+        let mut dram = Vec::with_capacity(n * vw);
+        for id in 0..n as u32 {
+            let mut row: Vec<i32> = codes.get(id).iter().map(|&w| w as i32).collect();
+            row.resize(vw, 0);
+            dram.extend_from_slice(&row);
+        }
+        let mut q: Vec<i32> = query.iter().map(|&w| w as i32).collect();
+        q.resize(vw, 0);
+
+        let mut pu = ProcessingUnit::new(vl, Arc::new(dram));
+        pu.load_program(kernel.program.clone());
+        pu.scratchpad_mut().write_block(0, &q).expect("query fits");
+        pu.set_sreg(1, DRAM_BASE as i32);
+        pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
+        pu.run(10_000_000).expect("kernel halts");
+
+        let got: Vec<(i32, i32)> =
+            pu.pqueue().entries().iter().map(|e| (e.value, e.id)).collect();
+        let mut expect: Vec<(i32, i32)> = knn_hamming(&codes, &query, n)
+            .iter()
+            .map(|nb| (nb.dist as i32, nb.id as i32))
+            .collect();
+        expect.truncate(16);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn prefetch_never_changes_results(
+        dims in 1usize..12,
+        n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        // Drop every MEM_FETCH from the program: results must be
+        // identical (prefetch is timing-only), cycles must not improve.
+        use rand::rngs::StdRng;
+        use rand::RngExt;
+        use rand::SeedableRng;
+        use ssam::core::isa::inst::Instruction;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vectors: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dims).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+            .collect();
+        let query: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+
+        let kernel = linear::euclidean(dims, 4);
+        let vw = kernel.layout.vec_words;
+        let mut words = Vec::new();
+        for v in &vectors {
+            let mut q: Vec<i32> = v.iter().map(|&x| Fix32::from_f32(x).0).collect();
+            q.resize(vw, 0);
+            words.extend_from_slice(&q);
+        }
+        let words = Arc::new(words);
+        let mut qq: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
+        qq.resize(vw, 0);
+
+        let run = |program: Vec<Instruction>| {
+            let mut pu = ProcessingUnit::new(4, Arc::clone(&words));
+            pu.load_program(program);
+            pu.scratchpad_mut().write_block(0, &qq).expect("query fits");
+            pu.set_sreg(1, DRAM_BASE as i32);
+            pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
+            let stats = pu.run(10_000_000).expect("halts");
+            let ids: Vec<(i32, i32)> =
+                pu.pqueue().entries().iter().map(|e| (e.value, e.id)).collect();
+            (ids, stats.cycles)
+        };
+
+        let (with_pf, cycles_pf) = run(kernel.program.clone());
+        let stripped: Vec<Instruction> = kernel
+            .program
+            .iter()
+            .map(|&i| match i {
+                // Keep pc layout identical: replace the prefetch with a nop
+                // (an add of s0 into s0).
+                Instruction::MemFetch { .. } => Instruction::SAlu {
+                    op: AluOp::Add,
+                    rd: ssam::core::isa::reg::SReg(0),
+                    rs1: ssam::core::isa::reg::SReg(0),
+                    rs2: ssam::core::isa::reg::SReg(0),
+                },
+                other => other,
+            })
+            .collect();
+        let (without_pf, cycles_nopf) = run(stripped);
+        prop_assert_eq!(with_pf, without_pf);
+        prop_assert!(cycles_pf <= cycles_nopf);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests (proptest) over the core invariants that every
+//! experiment depends on.
+
+use proptest::prelude::*;
+
+use ssam::core::isa::encoding::{decode, encode};
+use ssam::core::isa::inst::{AluOp, BranchCond, Instruction, PqField, UnaryOp};
+use ssam::core::isa::reg::{SReg, VReg};
+use ssam::core::sim::pqueue::HardwarePriorityQueue;
+use ssam::hmc::address::AddressMap;
+use ssam::hmc::HmcConfig;
+use ssam::knn::binary::hamming;
+use ssam::knn::distance::{euclidean, manhattan, squared_euclidean};
+use ssam::knn::fixed::{Fix32, SCALE};
+use ssam::knn::recall::recall_ids;
+use ssam::knn::topk::{topk_by_sort, Neighbor, TopK};
+
+// ---- instruction encoding ----
+
+fn arb_sreg() -> impl Strategy<Value = SReg> {
+    (0u8..32).prop_map(SReg)
+}
+fn arb_vreg() -> impl Strategy<Value = VReg> {
+    (0u8..8).prop_map(VReg)
+}
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mult),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Xor),
+        Just(AluOp::Sl),
+        Just(AluOp::Sr),
+        Just(AluOp::Sra),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_alu(), arb_sreg(), arb_sreg(), arb_sreg())
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::SAlu { op, rd, rs1, rs2 }),
+        (arb_alu(), arb_sreg(), arb_sreg(), any::<i32>())
+            .prop_map(|(op, rd, rs1, imm)| Instruction::SAluImm { op, rd, rs1, imm }),
+        (arb_sreg(), arb_sreg()).prop_map(|(rd, rs1)| Instruction::SUnary {
+            op: UnaryOp::Popcount,
+            rd,
+            rs1
+        }),
+        (arb_sreg(), arb_sreg(), any::<u32>()).prop_map(|(rs1, rs2, target)| {
+            Instruction::Branch { cond: BranchCond::Lt, rs1, rs2, target }
+        }),
+        any::<u32>().prop_map(|target| Instruction::Jump { target }),
+        arb_sreg().prop_map(|rs1| Instruction::Push { rs1 }),
+        arb_sreg().prop_map(|rd| Instruction::Pop { rd }),
+        (arb_sreg(), arb_sreg())
+            .prop_map(|(rs_id, rs_val)| Instruction::PqueueInsert { rs_id, rs_val }),
+        (arb_sreg(), arb_sreg())
+            .prop_map(|(rd, rs_idx)| Instruction::PqueueLoad { rd, rs_idx, field: PqField::Value }),
+        Just(Instruction::PqueueReset),
+        Just(Instruction::Halt),
+        (arb_vreg(), arb_sreg(), any::<i32>())
+            .prop_map(|(vd, rs_base, offset)| Instruction::VLoad { vd, rs_base, offset }),
+        (arb_alu(), arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(|(op, vd, vs1, vs2)| Instruction::VAlu { op, vd, vs1, vs2 }),
+        (arb_vreg(), arb_vreg(), arb_vreg())
+            .prop_map(|(vd, vs1, vs2)| Instruction::Vfxp { vd, vs1, vs2 }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn instruction_encoding_round_trips(inst in arb_instruction()) {
+        let word = encode(&inst);
+        prop_assert_eq!(decode(word).expect("decodes"), inst);
+    }
+
+    // ---- hardware priority queue == sorted truncation ----
+
+    #[test]
+    fn pqueue_equals_sorted_truncation(vals in prop::collection::vec(-1000i32..1000, 0..100)) {
+        let mut q = HardwarePriorityQueue::new();
+        for (i, &v) in vals.iter().enumerate() {
+            q.insert(i as i32, v);
+        }
+        let mut expect: Vec<(i32, i32)> =
+            vals.iter().enumerate().map(|(i, &v)| (v, i as i32)).collect();
+        expect.sort_unstable();
+        expect.truncate(16);
+        let got: Vec<(i32, i32)> = q.entries().iter().map(|e| (e.value, e.id)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    // ---- software top-k == sorted truncation ----
+
+    #[test]
+    fn topk_equals_sorted_truncation(
+        vals in prop::collection::vec(0.0f32..1e6, 1..200),
+        k in 1usize..20,
+    ) {
+        let mut t = TopK::new(k);
+        let cands: Vec<Neighbor> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Neighbor::new(i as u32, d))
+            .collect();
+        for c in &cands {
+            t.offer(c.id, c.dist);
+        }
+        prop_assert_eq!(t.into_sorted(), topk_by_sort(cands, k));
+    }
+
+    // ---- distance identities ----
+
+    #[test]
+    fn euclidean_is_a_metric_sample(
+        a in prop::collection::vec(-100.0f32..100.0, 4),
+        b in prop::collection::vec(-100.0f32..100.0, 4),
+        c in prop::collection::vec(-100.0f32..100.0, 4),
+    ) {
+        let ab = euclidean(&a, &b);
+        let ba = euclidean(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-3 * ab.abs().max(1.0));
+        // Triangle inequality with float slack.
+        prop_assert!(euclidean(&a, &c) <= ab + euclidean(&b, &c) + 1e-3);
+        // Non-negativity and identity.
+        prop_assert!(ab >= 0.0);
+        prop_assert!(euclidean(&a, &a) < 1e-3);
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean(
+        a in prop::collection::vec(-50.0f32..50.0, 8),
+        b in prop::collection::vec(-50.0f32..50.0, 8),
+    ) {
+        // ‖x‖₂ ≤ ‖x‖₁ for any vector.
+        prop_assert!(euclidean(&a, &b) <= manhattan(&a, &b) + 1e-3);
+    }
+
+    #[test]
+    fn hamming_bounds(a in any::<[u32; 4]>(), b in any::<[u32; 4]>()) {
+        let d = hamming(&a, &b);
+        prop_assert!(d <= 128);
+        prop_assert_eq!(hamming(&a, &a), 0);
+        prop_assert_eq!(d, hamming(&b, &a));
+    }
+
+    // ---- fixed point ----
+
+    #[test]
+    fn fixed_point_round_trip_error_is_bounded(x in -30000.0f32..30000.0) {
+        let err = (Fix32::from_f32(x).to_f32() - x).abs();
+        // Half an LSB of Q16.16, plus float slop proportional to |x|.
+        prop_assert!(err <= 1.0 / SCALE as f32 + x.abs() * 1e-6);
+    }
+
+    #[test]
+    fn fixed_distance_preserves_order(
+        a in prop::collection::vec(-1.0f32..1.0, 8),
+        b in prop::collection::vec(-1.0f32..1.0, 8),
+        c in prop::collection::vec(-1.0f32..1.0, 8),
+    ) {
+        let f = |v: &[f32]| -> Vec<i32> { v.iter().map(|&x| Fix32::from_f32(x).0).collect() };
+        let (fa, fb, fc) = (f(&a), f(&b), f(&c));
+        let float_cmp = squared_euclidean(&a, &b).partial_cmp(&squared_euclidean(&a, &c));
+        let fd_b = ssam::knn::fixed::squared_euclidean_fixed(&fa, &fb);
+        let fd_c = ssam::knn::fixed::squared_euclidean_fixed(&fa, &fc);
+        // Orders must agree unless the float distances are nearly tied.
+        let float_gap =
+            (squared_euclidean(&a, &b) - squared_euclidean(&a, &c)).abs();
+        if float_gap > 1e-3 {
+            match float_cmp {
+                Some(std::cmp::Ordering::Less) => prop_assert!(fd_b <= fd_c),
+                Some(std::cmp::Ordering::Greater) => prop_assert!(fd_b >= fd_c),
+                _ => {}
+            }
+        }
+    }
+
+    // ---- recall ----
+
+    #[test]
+    fn recall_is_bounded_and_monotone(
+        exact in prop::collection::vec(0u32..50, 1..10),
+        approx in prop::collection::vec(0u32..50, 0..10),
+        extra in 0u32..50,
+    ) {
+        let r = recall_ids(&exact, &approx);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Adding a result can only help.
+        let mut more = approx.clone();
+        more.push(extra);
+        prop_assert!(recall_ids(&exact, &more) >= r);
+    }
+
+    // ---- HMC address map ----
+
+    #[test]
+    fn interleaved_split_conserves_bytes(addr in 0u64..1_000_000, len in 0u64..100_000) {
+        let m = AddressMap::interleaved(&HmcConfig::hmc2());
+        let total: u64 = m.split_range(addr, len).iter().map(|(_, b)| b).sum();
+        prop_assert_eq!(total, len);
+    }
+
+    #[test]
+    fn vault_assignment_is_stable_and_in_range(addr in 0u64..u64::MAX / 4) {
+        let m = AddressMap::interleaved(&HmcConfig::hmc2());
+        let v = m.vault_of(addr);
+        prop_assert!(v < 32);
+        prop_assert_eq!(v, m.vault_of(addr));
+    }
+}

@@ -1,0 +1,208 @@
+//! Simulator-vs-reference equivalence: the assembled kernels, executed by
+//! the cycle-level PU simulator over real data, must reproduce the
+//! `ssam-knn` reference algorithms — the correctness methodology of the
+//! paper's Section IV ("validate the correctness of our design").
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+
+use ssam::core::isa::DRAM_BASE;
+use ssam::core::kernels::linear;
+use ssam::core::sim::pu::ProcessingUnit;
+use ssam::knn::fixed::Fix32;
+use ssam::knn::linear::knn_exact;
+use ssam::knn::{Metric, VectorStore};
+
+fn random_store(n: usize, dims: usize, seed: u64) -> VectorStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = VectorStore::with_capacity(dims, n);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+        s.push(&v);
+    }
+    s
+}
+
+/// Stages a store on one PU and runs a dense-metric kernel.
+fn run_kernel(
+    store: &VectorStore,
+    query: &[f32],
+    kernel: &ssam::core::kernels::Kernel,
+    vl: usize,
+    extra_setup: impl FnOnce(&mut ProcessingUnit),
+) -> Vec<u32> {
+    let vw = kernel.layout.vec_words;
+    let mut words = Vec::with_capacity(store.len() * vw);
+    for (_, v) in store.iter() {
+        for &x in v {
+            words.push(Fix32::from_f32(x).0);
+        }
+        words.resize(words.len() + (vw - v.len()), 0);
+    }
+    let shard_bytes = words.len() * 4;
+
+    let mut pu = ProcessingUnit::new(vl, Arc::new(words));
+    pu.load_program(kernel.program.clone());
+    let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
+    q.resize(vw, 0);
+    pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+    pu.set_sreg(1, DRAM_BASE as i32);
+    pu.set_sreg(2, DRAM_BASE as i32 + shard_bytes as i32);
+    extra_setup(&mut pu);
+    pu.run(100_000_000).expect("kernel halts");
+    pu.pqueue().entries().iter().map(|e| e.id as u32).collect()
+}
+
+#[test]
+fn euclidean_kernel_matches_reference_across_shapes() {
+    for (n, dims, vl, seed) in [(64, 7, 2, 1u64), (100, 16, 4, 2), (80, 33, 8, 3), (50, 100, 16, 4)] {
+        let store = random_store(n, dims, seed);
+        let mut rng = StdRng::seed_from_u64(seed + 100);
+        let query: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let kernel = linear::euclidean(dims, vl);
+        let got = run_kernel(&store, &query, &kernel, vl, |_| {});
+        let expect: Vec<u32> = knn_exact(&store, &query, 16.min(n), Metric::Euclidean)
+            .iter()
+            .map(|x| x.id)
+            .collect();
+        assert_eq!(&got[..expect.len().min(got.len())], &expect[..], "n={n} dims={dims} vl={vl}");
+    }
+}
+
+#[test]
+fn manhattan_kernel_matches_reference() {
+    let dims = 12;
+    let store = random_store(90, dims, 5);
+    let query: Vec<f32> = (0..dims).map(|i| (i as f32 * 0.37).sin()).collect();
+    let kernel = linear::manhattan(dims, 4);
+    let got = run_kernel(&store, &query, &kernel, 4, |_| {});
+    let expect: Vec<u32> = knn_exact(&store, &query, 16, Metric::Manhattan)
+        .iter()
+        .map(|x| x.id)
+        .collect();
+    assert_eq!(&got[..], &expect[..]);
+}
+
+#[test]
+fn cosine_kernel_top1_matches_reference() {
+    let dims = 20;
+    let store = random_store(120, dims, 6);
+    let query: Vec<f32> = (0..dims).map(|i| (i as f32 * 0.17).cos()).collect();
+    let kernel = linear::cosine(dims, 4);
+    let norm = Fix32::from_f32(ssam::knn::distance::norm_sq(&query)).0;
+    let got = run_kernel(&store, &query, &kernel, 4, |pu| pu.set_sreg(10, norm));
+    let expect: Vec<u32> = knn_exact(&store, &query, 16, Metric::Cosine)
+        .iter()
+        .map(|x| x.id)
+        .collect();
+    assert_eq!(got[0], expect[0], "nearest cosine neighbor must agree");
+    // cos² ranking may permute near-ties; demand strong overlap on top-8.
+    let overlap = got[..8].iter().filter(|id| expect[..8].contains(id)).count();
+    assert!(overlap >= 6, "got {got:?}\nexpect {expect:?}");
+}
+
+#[test]
+fn swqueue_kernel_matches_hw_queue_kernel() {
+    let dims = 10;
+    let k = 9;
+    let store = random_store(150, dims, 7);
+    let query: Vec<f32> = (0..dims).map(|i| 0.05 * i as f32).collect();
+
+    let hw = linear::euclidean(dims, 4);
+    let hw_ids = run_kernel(&store, &query, &hw, 4, |_| {});
+
+    let sw = linear::euclidean_swqueue(dims, 4, k);
+    let vw = sw.layout.vec_words;
+    let mut words = Vec::with_capacity(store.len() * vw);
+    for (_, v) in store.iter() {
+        for &x in v {
+            words.push(Fix32::from_f32(x).0);
+        }
+        words.resize(words.len() + (vw - v.len()), 0);
+    }
+    let shard_bytes = words.len() * 4;
+    let mut pu = ProcessingUnit::new(4, Arc::new(words));
+    pu.load_program(sw.program.clone());
+    let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
+    q.resize(vw, 0);
+    pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+    let init: Vec<i32> = (0..k).flat_map(|_| [i32::MAX, -1]).collect();
+    pu.scratchpad_mut()
+        .write_block(sw.layout.swqueue_addr, &init)
+        .expect("queue initialized");
+    pu.set_sreg(1, DRAM_BASE as i32);
+    pu.set_sreg(2, DRAM_BASE as i32 + shard_bytes as i32);
+    pu.run(100_000_000).expect("kernel halts");
+    let region = pu
+        .scratchpad()
+        .read_block(sw.layout.swqueue_addr, 2 * k)
+        .expect("queue readable");
+    let sw_ids: Vec<u32> = region.chunks_exact(2).map(|p| p[1] as u32).collect();
+
+    assert_eq!(&sw_ids[..], &hw_ids[..k]);
+}
+
+#[test]
+fn hamming_kernel_matches_reference() {
+    use ssam::knn::binary::{knn_hamming, BinaryStore};
+    let mut rng = StdRng::seed_from_u64(8);
+    let words_per_code = 6;
+    let mut codes = BinaryStore::new(words_per_code * 32);
+    for _ in 0..130 {
+        let w: Vec<u32> = (0..words_per_code).map(|_| rng.random()).collect();
+        codes.push(&w);
+    }
+    let query: Vec<u32> = (0..words_per_code).map(|_| rng.random()).collect();
+
+    let kernel = linear::hamming(words_per_code, 4);
+    let vw = kernel.layout.vec_words;
+    let mut words = Vec::with_capacity(codes.len() * vw);
+    for id in 0..codes.len() as u32 {
+        for &w in codes.get(id) {
+            words.push(w as i32);
+        }
+        words.resize(words.len() + (vw - words_per_code), 0);
+    }
+    let shard_bytes = words.len() * 4;
+    let mut pu = ProcessingUnit::new(4, Arc::new(words));
+    pu.load_program(kernel.program.clone());
+    let mut q: Vec<i32> = query.iter().map(|&w| w as i32).collect();
+    q.resize(vw, 0);
+    pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+    pu.set_sreg(1, DRAM_BASE as i32);
+    pu.set_sreg(2, DRAM_BASE as i32 + shard_bytes as i32);
+    pu.run(10_000_000).expect("kernel halts");
+
+    let got: Vec<u32> = pu.pqueue().entries().iter().map(|e| e.id as u32).collect();
+    let expect: Vec<u32> = knn_hamming(&codes, &query, 16).iter().map(|n| n.id).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn prefetch_hits_dominate_in_generated_kernels() {
+    // The kernels issue MEM_FETCH per vector; the stream buffer should
+    // cover (nearly) every vector load.
+    let dims = 24;
+    let store = random_store(60, dims, 9);
+    let kernel = linear::euclidean(dims, 8);
+    let vw = kernel.layout.vec_words;
+    let mut words = Vec::new();
+    for (_, v) in store.iter() {
+        for &x in v {
+            words.push(Fix32::from_f32(x).0);
+        }
+        words.resize(words.len() + (vw - v.len()), 0);
+    }
+    let shard_bytes = words.len() * 4;
+    let mut pu = ProcessingUnit::new(8, Arc::new(words));
+    pu.load_program(kernel.program.clone());
+    pu.scratchpad_mut().write_block(0, &vec![0; vw]).expect("query");
+    pu.set_sreg(1, DRAM_BASE as i32);
+    pu.set_sreg(2, DRAM_BASE as i32 + shard_bytes as i32);
+    let stats = pu.run(10_000_000).expect("runs");
+    let hit_rate = stats.dram.hits as f64 / (stats.dram.hits + stats.dram.misses) as f64;
+    assert!(hit_rate > 0.95, "hit rate {hit_rate}");
+}
