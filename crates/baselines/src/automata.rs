@@ -11,12 +11,10 @@
 //! many state-transition elements that "each automata processor
 //! configuration can only fit a handful of vectors at a time".
 
-use serde::{Deserialize, Serialize};
-
 use crate::ScanWorkload;
 
 /// AP hardware generation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ApGeneration {
     /// First-generation board.
     Gen1,
@@ -26,7 +24,7 @@ pub enum ApGeneration {
 }
 
 /// The Automata Processor comparison platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AutomataPlatform {
     /// Symbol rate, symbols/s (133 MHz input stream).
     pub symbol_rate: f64,
@@ -114,7 +112,9 @@ mod tests {
     #[test]
     fn throughput_decreases_with_dimensionality() {
         let ap = AutomataPlatform::new(ApGeneration::Gen1);
-        assert!(ap.hamming_throughput(&glove(), 100) > 20.0 * ap.hamming_throughput(&alexnet(), 100));
+        assert!(
+            ap.hamming_throughput(&glove(), 100) > 20.0 * ap.hamming_throughput(&alexnet(), 100)
+        );
     }
 
     #[test]

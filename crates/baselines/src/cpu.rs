@@ -6,13 +6,11 @@
 //! this machine is memory-bound: the roofline is
 //! `max(bytes / bandwidth, ops / peak_ops)` per query.
 
-use serde::{Deserialize, Serialize};
-
 use crate::normalize::scale_area_to_28nm;
 use crate::ScanWorkload;
 
 /// The CPU comparison platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuPlatform {
     /// Core count.
     pub cores: usize,
@@ -75,12 +73,7 @@ impl CpuPlatform {
     /// `candidates` distance calculations and `interior` traversal steps:
     /// the bucket scans are bandwidth-bound, the traversal is latency-
     /// bound at roughly one step per ~20 ns (pointer chase + compare).
-    pub fn approx_seconds_per_query(
-        &self,
-        candidates: f64,
-        interior: f64,
-        dims: usize,
-    ) -> f64 {
+    pub fn approx_seconds_per_query(&self, candidates: f64, interior: f64, dims: usize) -> f64 {
         let scan = ScanWorkload::dense(candidates.ceil() as usize, dims);
         self.linear_seconds_per_query(&scan) + interior * 20e-9
     }

@@ -7,13 +7,11 @@
 //! cycles-per-vector cost, run at FPGA fabric frequency with a modest
 //! number of replicated soft PUs, behind the board's DDR3 bandwidth.
 
-use serde::{Deserialize, Serialize};
-
 use crate::normalize::scale_area_to_28nm;
 use crate::ScanWorkload;
 
 /// The FPGA comparison platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaPlatform {
     /// Fabric clock after place-and-route, Hz.
     pub freq_hz: f64,

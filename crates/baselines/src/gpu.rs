@@ -6,12 +6,10 @@
 //! Brute-force kNN streams the whole database per (batch of) queries, so
 //! the roofline is again `max(memory, compute)`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ScanWorkload;
 
 /// The GPU comparison platform.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuPlatform {
     /// Device memory bandwidth, bytes/s.
     pub mem_bandwidth: f64,

@@ -50,12 +50,20 @@ pub struct ScanWorkload {
 impl ScanWorkload {
     /// A float/fixed-point workload.
     pub fn dense(vectors: usize, dims: usize) -> Self {
-        Self { vectors, dims, elem_bytes: 4.0 }
+        Self {
+            vectors,
+            dims,
+            elem_bytes: 4.0,
+        }
     }
 
     /// A binarized Hamming workload (`dims` = code bits).
     pub fn binary(vectors: usize, bits: usize) -> Self {
-        Self { vectors, dims: bits, elem_bytes: 1.0 / 8.0 }
+        Self {
+            vectors,
+            dims: bits,
+            elem_bytes: 1.0 / 8.0,
+        }
     }
 
     /// Bytes streamed per query (the whole database, once).

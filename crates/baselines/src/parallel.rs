@@ -67,12 +67,21 @@ fn finish(per_query: Vec<(Vec<Neighbor>, SearchStats)>, seconds: f64) -> BatchOu
         results.push(r);
     }
     let qps = results.len() as f64 / seconds;
-    BatchOutcome { results, seconds, qps, stats }
+    BatchOutcome {
+        results,
+        seconds,
+        qps,
+        stats,
+    }
 }
 
 /// Mean recall of a batch outcome against exact ground-truth id sets.
 pub fn batch_recall(outcome: &BatchOutcome, ground_truth: &[Vec<u32>]) -> f64 {
-    assert_eq!(outcome.results.len(), ground_truth.len(), "batch size mismatch");
+    assert_eq!(
+        outcome.results.len(),
+        ground_truth.len(),
+        "batch size mismatch"
+    );
     if ground_truth.is_empty() {
         return 1.0;
     }

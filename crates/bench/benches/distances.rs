@@ -30,9 +30,11 @@ fn bench_distances(c: &mut Criterion) {
 
         let fa: Vec<i32> = a.iter().map(|&x| Fix32::from_f32(x).0).collect();
         let fb: Vec<i32> = b.iter().map(|&x| Fix32::from_f32(x).0).collect();
-        group.bench_with_input(BenchmarkId::new("euclidean_fixed", dims), &dims, |bench, _| {
-            bench.iter(|| squared_euclidean_fixed(black_box(&fa), black_box(&fb)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("euclidean_fixed", dims),
+            &dims,
+            |bench, _| bench.iter(|| squared_euclidean_fixed(black_box(&fa), black_box(&fb))),
+        );
 
         let words = dims.div_ceil(32);
         let ba: Vec<u32> = (0..words).map(|_| rng.random()).collect();

@@ -33,7 +33,11 @@ fn bench_indexes(c: &mut Criterion) {
     let lsh = MultiProbeLsh::build(
         &store,
         Metric::Euclidean,
-        MplshParams { tables: 4, hash_bits: 12, seed: 1 },
+        MplshParams {
+            tables: 4,
+            hash_bits: 12,
+            seed: 1,
+        },
     );
     let lin = LinearSearch::new(Metric::Euclidean);
 
@@ -61,7 +65,11 @@ fn bench_indexes(c: &mut Criterion) {
                 KdForest::build(
                     &small,
                     Metric::Euclidean,
-                    KdTreeParams { trees: t, leaf_size: 16, seed: 1 },
+                    KdTreeParams {
+                        trees: t,
+                        leaf_size: 16,
+                        seed: 1,
+                    },
                 )
             })
         });
@@ -74,7 +82,11 @@ fn bench_indexes(c: &mut Criterion) {
             MultiProbeLsh::build(
                 &small,
                 Metric::Euclidean,
-                MplshParams { tables: 4, hash_bits: 10, seed: 1 },
+                MplshParams {
+                    tables: 4,
+                    hash_bits: 10,
+                    seed: 1,
+                },
             )
         })
     });

@@ -22,7 +22,9 @@ fn bench_simulator(c: &mut Criterion) {
             b.iter(|| {
                 let mut pu = ProcessingUnit::new(vl, Arc::clone(&words));
                 pu.load_program(kernel.program.clone());
-                pu.scratchpad_mut().write_block(0, &vec![1 << 16; vw]).expect("query");
+                pu.scratchpad_mut()
+                    .write_block(0, &vec![1 << 16; vw])
+                    .expect("query");
                 pu.set_sreg(1, DRAM_BASE as i32);
                 pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
                 pu.run(100_000_000).expect("runs")
@@ -33,14 +35,19 @@ fn bench_simulator(c: &mut Criterion) {
         let words_per_code = 8usize;
         let kernel = linear::hamming(words_per_code, vl);
         let vw = kernel.layout.vec_words;
-        let words: Arc<Vec<i32>> =
-            Arc::new((0..n * vw).map(|i| (i as u32).wrapping_mul(2654435761) as i32).collect());
+        let words: Arc<Vec<i32>> = Arc::new(
+            (0..n * vw)
+                .map(|i| (i as u32).wrapping_mul(2654435761) as i32)
+                .collect(),
+        );
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("hamming", vl), &vl, |b, _| {
             b.iter(|| {
                 let mut pu = ProcessingUnit::new(vl, Arc::clone(&words));
                 pu.load_program(kernel.program.clone());
-                pu.scratchpad_mut().write_block(0, &vec![0x5A5A; vw]).expect("query");
+                pu.scratchpad_mut()
+                    .write_block(0, &vec![0x5A5A; vw])
+                    .expect("query");
                 pu.set_sreg(1, DRAM_BASE as i32);
                 pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
                 pu.run(100_000_000).expect("runs")

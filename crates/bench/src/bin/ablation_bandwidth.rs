@@ -56,10 +56,19 @@ fn main() {
         }
     }
 
-    println!("\n§V-B ablation — HMC (320 GB/s) vs standard DRAM (25 GB/s), scale {}", cfg.scale);
+    println!(
+        "\n§V-B ablation — HMC (320 GB/s) vs standard DRAM (25 GB/s), scale {}",
+        cfg.scale
+    );
     print_table(
         cfg.csv,
-        &["dataset", "design", "HMC queries/s", "DDR queries/s", "HMC speedup"],
+        &[
+            "dataset",
+            "design",
+            "HMC queries/s",
+            "DDR queries/s",
+            "HMC speedup",
+        ],
         &rows,
     );
     println!(

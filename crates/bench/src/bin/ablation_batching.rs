@@ -44,8 +44,7 @@ fn main() {
         // SSAM: vault-local streams; compute replicated per vault.
         let n = spec.train as f64;
         let ssam_mem = n * cost.bytes_per_vector / hmc.internal_bandwidth();
-        let ssam_cmp =
-            batch as f64 * n * cost.cycles_per_vector / (hmc.vaults as f64 * pus * freq);
+        let ssam_cmp = batch as f64 * n * cost.cycles_per_vector / (hmc.vaults as f64 * pus * freq);
         let ssam_time = ssam_mem.max(ssam_cmp);
         let ssam_tput = batch as f64 / ssam_time;
 
@@ -69,7 +68,14 @@ fn main() {
     );
     print_table(
         cfg.csv,
-        &["batch", "CPU q/s", "CPU latency ms", "SSAM q/s", "SSAM latency ms", "SSAM/CPU (per mm^2)"],
+        &[
+            "batch",
+            "CPU q/s",
+            "CPU latency ms",
+            "SSAM q/s",
+            "SSAM latency ms",
+            "SSAM/CPU (per mm^2)",
+        ],
         &rows,
     );
     println!(

@@ -27,21 +27,25 @@ fn main() {
             let kernel = linear::euclidean(dims, vl);
             let vw = kernel.layout.vec_words;
             let n = 64usize;
-            let words: Arc<Vec<i32>> =
-                Arc::new((0..n * vw).map(|i| (i % 89) as i32).collect());
+            let words: Arc<Vec<i32>> = Arc::new((0..n * vw).map(|i| (i % 89) as i32).collect());
 
             let run = |lat: LatencyModel| -> u64 {
                 let mut pu = ProcessingUnit::new(vl, Arc::clone(&words));
                 pu.set_latency_model(lat);
                 pu.load_program(kernel.program.clone());
-                pu.scratchpad_mut().write_block(0, &vec![0; vw]).expect("query");
+                pu.scratchpad_mut()
+                    .write_block(0, &vec![0; vw])
+                    .expect("query");
                 pu.set_sreg(1, DRAM_BASE as i32);
                 pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
                 pu.run(100_000_000).expect("runs").cycles
             };
 
             let chained = run(LatencyModel::default());
-            let unchained = run(LatencyModel { vmult: 3, ..LatencyModel::default() });
+            let unchained = run(LatencyModel {
+                vmult: 3,
+                ..LatencyModel::default()
+            });
             rows.push(vec![
                 spec.name.clone(),
                 format!("SSAM-{vl}"),
@@ -55,7 +59,13 @@ fn main() {
     println!("\n§III-C ablation — vector chaining (Euclidean scan, cycles per vector)");
     print_table(
         cfg.csv,
-        &["dataset", "design", "chained cyc/vec", "unchained cyc/vec", "chaining saves"],
+        &[
+            "dataset",
+            "design",
+            "chained cyc/vec",
+            "unchained cyc/vec",
+            "chaining saves",
+        ],
         &rows,
     );
     println!(

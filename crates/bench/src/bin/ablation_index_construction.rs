@@ -39,7 +39,11 @@ fn main() {
         let km = kmeans(
             &bench.train,
             Some(&sample),
-            KMeansParams { k: CENTROIDS, max_iters: 2, seed: 3 },
+            KMeansParams {
+                k: CENTROIDS,
+                max_iters: 2,
+                seed: 3,
+            },
         );
 
         // CPU assignment pass, measured.
@@ -72,7 +76,11 @@ fn main() {
                 fmt(cpu_s * 1e3),
                 fmt(ssam_s * 1e3),
                 format!("{:.1}x", cpu_s / ssam_s),
-                if cmp_t > mem_t { "compute".into() } else { "bandwidth".into() },
+                if cmp_t > mem_t {
+                    "compute".into()
+                } else {
+                    "bandwidth".into()
+                },
             ]);
         }
     }
@@ -83,7 +91,14 @@ fn main() {
     );
     print_table(
         cfg.csv,
-        &["dataset", "design", "CPU ms/pass", "SSAM ms/pass", "speedup", "bound by"],
+        &[
+            "dataset",
+            "design",
+            "CPU ms/pass",
+            "SSAM ms/pass",
+            "speedup",
+            "bound by",
+        ],
         &rows,
     );
     println!(

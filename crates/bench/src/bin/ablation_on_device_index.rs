@@ -16,7 +16,9 @@ use ssam_bench::{fmt, print_table, ExpConfig};
 use ssam_core::isa::DRAM_BASE;
 use ssam_core::kernels::kmeans_traversal::{build_kmeans_tree_image, kmeans_euclidean};
 use ssam_core::kernels::lsh_traversal::{build_lsh_image, lsh_euclidean};
-use ssam_core::kernels::traversal::{build_tree_image, image_id_order, kdtree_euclidean, TREE_ADDR};
+use ssam_core::kernels::traversal::{
+    build_tree_image, image_id_order, kdtree_euclidean, TREE_ADDR,
+};
 use ssam_core::sim::pu::ProcessingUnit;
 use ssam_datasets::PaperDataset;
 use ssam_knn::fixed::Fix32;
@@ -65,7 +67,9 @@ fn main() {
         let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
         q.resize(kernel.layout.vec_words, 0);
         pu.scratchpad_mut().write_block(0, &q).expect("query");
-        pu.scratchpad_mut().write_block(TREE_ADDR, spad_image).expect("image");
+        pu.scratchpad_mut()
+            .write_block(TREE_ADDR, spad_image)
+            .expect("image");
         pu.set_sreg(20, budget);
         if let Some(root) = root {
             pu.set_sreg(21, root as i32);
@@ -136,7 +140,11 @@ fn main() {
         }
         for (i, name) in ["kd-tree", "k-means", "LSH"].iter().enumerate() {
             rows.push(vec![
-                if budget >= 1_000_000 { "all".into() } else { budget.to_string() },
+                if budget >= 1_000_000 {
+                    "all".into()
+                } else {
+                    budget.to_string()
+                },
                 (*name).into(),
                 format!("{:.3}", agg[i].0 / nq as f64),
                 fmt(agg[i].1 as f64 / nq as f64),
@@ -148,7 +156,13 @@ fn main() {
     println!("\n§III-B — on-accelerator index traversal kernels (one PU, k = {k})");
     print_table(
         cfg.csv,
-        &["leaf budget", "index kernel", "recall", "cycles/query", "DRAM bytes/query"],
+        &[
+            "leaf budget",
+            "index kernel",
+            "recall",
+            "cycles/query",
+            "DRAM bytes/query",
+        ],
         &rows,
     );
     println!(

@@ -32,7 +32,9 @@ fn main() {
             let mut cycles = 0u64;
             let mut secs = 0.0;
             for q in &queries {
-                let r = dev.query(&DeviceQuery::Euclidean(q), k).expect("device runs");
+                let r = dev
+                    .query(&DeviceQuery::Euclidean(q), k)
+                    .expect("device runs");
                 cycles += r.timing.total_cycles;
                 secs += r.timing.seconds;
             }
@@ -44,7 +46,10 @@ fn main() {
             format!("SSAM-{vl}"),
             hw_cycles.to_string(),
             sw_cycles.to_string(),
-            format!("{:.1}%", 100.0 * (sw_cycles as f64 / hw_cycles as f64 - 1.0)),
+            format!(
+                "{:.1}%",
+                100.0 * (sw_cycles as f64 / hw_cycles as f64 - 1.0)
+            ),
             format!("{:.1}%", 100.0 * (sw_secs / hw_secs - 1.0)),
         ]);
     }
@@ -52,7 +57,13 @@ fn main() {
     println!("\n§V-B ablation — hardware vs software priority queue (GloVe, k={k})");
     print_table(
         cfg.csv,
-        &["design", "HW-queue cycles", "SW-queue cycles", "cycle overhead", "time overhead"],
+        &[
+            "design",
+            "HW-queue cycles",
+            "SW-queue cycles",
+            "cycle overhead",
+            "time overhead",
+        ],
         &rows,
     );
     println!(

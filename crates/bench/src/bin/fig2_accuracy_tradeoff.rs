@@ -72,18 +72,32 @@ fn main() {
         let kd = KdForest::build(
             &bench.train,
             Metric::Euclidean,
-            KdTreeParams { trees: 4, leaf_size: 32, seed: 7 },
+            KdTreeParams {
+                trees: 4,
+                leaf_size: 32,
+                seed: 7,
+            },
         );
         let km = KMeansTree::build(
             &bench.train,
             Metric::Euclidean,
-            KMeansTreeParams { branching: 16, leaf_size: 64, max_height: 10, kmeans_iters: 6, seed: 7 },
+            KMeansTreeParams {
+                branching: 16,
+                leaf_size: 64,
+                max_height: 10,
+                kmeans_iters: 6,
+                seed: 7,
+            },
         );
         let bits = ((bench.train.len() as f64 / 8.0).log2().ceil() as usize).clamp(8, 20);
         let lsh = MultiProbeLsh::build(
             &bench.train,
             Metric::Euclidean,
-            MplshParams { tables: 8, hash_bits: bits, seed: 7 },
+            MplshParams {
+                tables: 8,
+                hash_bits: bits,
+                seed: 7,
+            },
         );
 
         let indexes: [(&str, &dyn SearchIndex); 3] =
@@ -113,7 +127,14 @@ fn main() {
     println!("\nFig. 2 — throughput vs accuracy (single-threaded CPU)");
     print_table(
         cfg.csv,
-        &["dataset", "algorithm", "budget", "queries/s", "recall", "speedup_vs_linear"],
+        &[
+            "dataset",
+            "algorithm",
+            "budget",
+            "queries/s",
+            "recall",
+            "speedup_vs_linear",
+        ],
         &rows,
     );
     println!(

@@ -50,11 +50,26 @@ fn main() {
             ]);
         };
 
-        push("CPU (Xeon E5-2620)".into(), cpu_qps, cpu.area_mm2_28nm(), cpu.dynamic_power_w);
-        push("GPU (Titan X)".into(), gpu.linear_throughput(&w), gpu.area_mm2_28nm(), gpu.dynamic_power_w);
+        push(
+            "CPU (Xeon E5-2620)".into(),
+            cpu_qps,
+            cpu.area_mm2_28nm(),
+            cpu.dynamic_power_w,
+        );
+        push(
+            "GPU (Titan X)".into(),
+            gpu.linear_throughput(&w),
+            gpu.area_mm2_28nm(),
+            gpu.dynamic_power_w,
+        );
         for &vl in &VECTOR_LENGTHS {
             let f = FpgaPlatform::kintex7(vl);
-            push(format!("FPGA-{vl}"), f.linear_throughput(&w), f.area_mm2_28nm(), f.dynamic_power_w);
+            push(
+                format!("FPGA-{vl}"),
+                f.linear_throughput(&w),
+                f.area_mm2_28nm(),
+                f.dynamic_power_w,
+            );
         }
         for &vl in &VECTOR_LENGTHS {
             let mut dev = ssam_with(&bench.train, vl);
@@ -75,7 +90,10 @@ fn main() {
         }
     }
 
-    println!("\nFig. 6a/6b — exact linear Euclidean search (scale {})", cfg.scale);
+    println!(
+        "\nFig. 6a/6b — exact linear Euclidean search (scale {})",
+        cfg.scale
+    );
     print_table(
         cfg.csv,
         &[

@@ -51,23 +51,41 @@ fn main() {
         let dims = bench.train.dims();
         let k = bench.k();
         let cost = ssam_scan_cost(dims, VL);
-        eprintln!("[fig7] {}: scan cost {:.1} cyc/vec", dataset.name(), cost.cycles_per_vector);
+        eprintln!(
+            "[fig7] {}: scan cost {:.1} cyc/vec",
+            dataset.name(),
+            cost.cycles_per_vector
+        );
 
         let kd = KdForest::build(
             &bench.train,
             Metric::Euclidean,
-            KdTreeParams { trees: 4, leaf_size: 32, seed: 7 },
+            KdTreeParams {
+                trees: 4,
+                leaf_size: 32,
+                seed: 7,
+            },
         );
         let km = KMeansTree::build(
             &bench.train,
             Metric::Euclidean,
-            KMeansTreeParams { branching: 16, leaf_size: 64, max_height: 10, kmeans_iters: 6, seed: 7 },
+            KMeansTreeParams {
+                branching: 16,
+                leaf_size: 64,
+                max_height: 10,
+                kmeans_iters: 6,
+                seed: 7,
+            },
         );
         let bits = ((bench.train.len() as f64 / 8.0).log2().ceil() as usize).clamp(8, 20);
         let lsh = MultiProbeLsh::build(
             &bench.train,
             Metric::Euclidean,
-            MplshParams { tables: 8, hash_bits: bits, seed: 7 },
+            MplshParams {
+                tables: 8,
+                hash_bits: bits,
+                seed: 7,
+            },
         );
         let indexes: [(&str, &dyn SearchIndex); 3] =
             [("kdtree", &kd), ("kmeans", &km), ("mplsh", &lsh)];
@@ -118,7 +136,15 @@ fn main() {
     println!("\nFig. 7 — area-normalized throughput vs accuracy, SSAM-{VL} vs CPU");
     print_table(
         cfg.csv,
-        &["dataset", "algorithm", "budget", "recall", "CPU q/s/mm^2", "SSAM q/s/mm^2", "SSAM/CPU"],
+        &[
+            "dataset",
+            "algorithm",
+            "budget",
+            "recall",
+            "CPU q/s/mm^2",
+            "SSAM q/s/mm^2",
+            "SSAM/CPU",
+        ],
         &rows,
     );
     println!(

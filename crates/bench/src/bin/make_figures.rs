@@ -34,7 +34,11 @@ fn indexes(bench: &Benchmark) -> Vec<(&'static str, Box<dyn SearchIndex>)> {
             Box::new(KdForest::build(
                 &bench.train,
                 Metric::Euclidean,
-                KdTreeParams { trees: 4, leaf_size: 32, seed: 7 },
+                KdTreeParams {
+                    trees: 4,
+                    leaf_size: 32,
+                    seed: 7,
+                },
             )) as Box<dyn SearchIndex>,
         ),
         (
@@ -56,7 +60,11 @@ fn indexes(bench: &Benchmark) -> Vec<(&'static str, Box<dyn SearchIndex>)> {
             Box::new(MultiProbeLsh::build(
                 &bench.train,
                 Metric::Euclidean,
-                MplshParams { tables: 8, hash_bits: bits, seed: 7 },
+                MplshParams {
+                    tables: 8,
+                    hash_bits: bits,
+                    seed: 7,
+                },
             )),
         ),
     ]
@@ -87,7 +95,10 @@ fn main() {
                 );
                 points.push((batch_recall(&out, &bench.ground_truth.ids), out.qps));
             }
-            series.push(Series { label: name.into(), points });
+            series.push(Series {
+                label: name.into(),
+                points,
+            });
         }
         let lin = batch_search_single_thread(
             &ssam_knn::linear::LinearSearch::new(Metric::Euclidean),
@@ -109,11 +120,18 @@ fn main() {
             },
             &series,
         );
-        written.push(write(&out_dir, &format!("fig2_{}.svg", dataset.name().to_lowercase()), &svg));
+        written.push(write(
+            &out_dir,
+            &format!("fig2_{}.svg", dataset.name().to_lowercase()),
+            &svg,
+        ));
     }
 
     // ---- Fig. 6a/6b: platform comparison bars ----
-    let groups: Vec<String> = PaperDataset::ALL.iter().map(|d| d.name().to_string()).collect();
+    let groups: Vec<String> = PaperDataset::ALL
+        .iter()
+        .map(|d| d.name().to_string())
+        .collect();
     let mut tput: Vec<(String, Vec<f64>)> = Vec::new();
     let mut eff: Vec<(String, Vec<f64>)> = Vec::new();
     let cpu = CpuPlatform::xeon_e5_2620();
@@ -226,15 +244,27 @@ fn main() {
                 let interior = out.stats.interior_steps as f64 / nq;
                 let leaves = out.stats.leaves_visited as f64 / nq;
                 let cpu_t = cpu.approx_seconds_per_query(cand, interior, dims);
-                cpu_pts.push((recall, area_normalized_throughput(1.0 / cpu_t, cpu.area_mm2_28nm())));
+                cpu_pts.push((
+                    recall,
+                    area_normalized_throughput(1.0 / cpu_t, cpu.area_mm2_28nm()),
+                ));
                 let engaged = leaves.min(hmc.vaults as f64).max(1.0);
                 let mem_t = cand * cost.bytes_per_vector / (engaged * hmc.vault_bandwidth);
                 let comp_t = cand * cost.cycles_per_vector / (engaged * 4.0 * 1.0e9);
                 let t = mem_t.max(comp_t) + interior * 6.0 / 1.0e9 + 2e-7;
-                ssam_pts.push((recall, area_normalized_throughput(1.0 / t, module_area(4).total())));
+                ssam_pts.push((
+                    recall,
+                    area_normalized_throughput(1.0 / t, module_area(4).total()),
+                ));
             }
-            series.push(Series { label: format!("{name} (CPU)"), points: cpu_pts });
-            series.push(Series { label: format!("{name} (SSAM)"), points: ssam_pts });
+            series.push(Series {
+                label: format!("{name} (CPU)"),
+                points: cpu_pts,
+            });
+            series.push(Series {
+                label: format!("{name} (SSAM)"),
+                points: ssam_pts,
+            });
         }
         let svg = line_chart(
             &PlotSpec {
@@ -246,7 +276,11 @@ fn main() {
             },
             &series,
         );
-        written.push(write(&out_dir, &format!("fig7_{}.svg", dataset.name().to_lowercase()), &svg));
+        written.push(write(
+            &out_dir,
+            &format!("fig7_{}.svg", dataset.name().to_lowercase()),
+            &svg,
+        ));
     }
 
     println!("wrote {} figures:", written.len());

@@ -1,0 +1,132 @@
+//! **ssam-lint** — static verification of every shipped SSAM kernel.
+//!
+//! Runs [`ssam_core::analysis::verify`] over the full kernel matrix
+//! (metric × vector length × representative dimensionalities) and prints
+//! each diagnostic as
+//!
+//! ```text
+//! <kernel> dims=<d> @ pc <n>: <severity>[<CODE>]: <message>
+//! ```
+//!
+//! Exit status is non-zero iff any kernel produces an **error**-severity
+//! diagnostic; warnings (data-dependent stack growth in the tree
+//! traversals) are reported but do not fail the lint. CI runs
+//! `ssam-lint --all` after the experiment smoke tests.
+//!
+//! Usage:
+//!
+//! ```text
+//! ssam-lint [--all] [FILTER]   # FILTER = substring of the kernel label
+//! ssam-lint -q                 # errors only
+//! ```
+
+use ssam_core::analysis::{self, Severity};
+use ssam_core::isa::VECTOR_LENGTHS;
+use ssam_core::kernels::{kmeans_traversal, linear, lsh_traversal, traversal, Kernel};
+
+/// Representative feature dimensionalities: the paper's datasets span
+/// GloVe-100, GIST-960, and AlexNet-4096-style widths; 16 exercises the
+/// dims < VL padding edge case.
+const DIMS: [usize; 3] = [16, 100, 960];
+
+/// Representative binary code widths (32-bit words) for Hamming kernels.
+const HAMMING_WORDS: [usize; 2] = [4, 16];
+
+/// Every kernel in the matrix, labeled with its dimensionality — kernel
+/// names encode the metric and VL but not the feature width, so without
+/// the label the three `DIMS` instantiations are indistinguishable in
+/// the report (and in `FILTER` matches).
+fn all_kernels() -> Vec<(String, Kernel)> {
+    let mut kernels: Vec<(String, Kernel)> = Vec::new();
+    for &vl in &VECTOR_LENGTHS {
+        for &dims in &DIMS {
+            for kernel in [
+                linear::euclidean(dims, vl),
+                linear::manhattan(dims, vl),
+                linear::cosine(dims, vl),
+                linear::euclidean_swqueue(dims, vl, 10),
+                traversal::kdtree_euclidean(dims, vl, 64),
+                kmeans_traversal::kmeans_euclidean(dims, vl, 64),
+                lsh_traversal::lsh_euclidean(dims, vl, 8, 64),
+            ] {
+                kernels.push((format!("{} dims={dims}", kernel.name), kernel));
+            }
+        }
+        for &words in &HAMMING_WORDS {
+            let kernel = linear::hamming(words, vl);
+            kernels.push((format!("{} words={words}", kernel.name), kernel));
+        }
+    }
+    kernels
+}
+
+/// Write one report line, exiting with the current verdict if the
+/// downstream consumer (e.g. `ssam-lint | head`) has closed the pipe.
+fn emit(out: &mut impl std::io::Write, errors: usize, line: std::fmt::Arguments) {
+    if writeln!(out, "{line}").is_err() {
+        std::process::exit(i32::from(errors > 0));
+    }
+}
+
+fn main() {
+    let mut filter: Option<String> = None;
+    let mut quiet = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--all" => {} // the default; accepted for CI readability
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                println!("usage: ssam-lint [--all] [-q|--quiet] [FILTER]");
+                println!("Statically verifies every generated kernel; exits 1 on errors.");
+                return;
+            }
+            other => filter = Some(other.to_string()),
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut checked = 0usize;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (label, kernel) in all_kernels() {
+        if let Some(f) = &filter {
+            if !label.contains(f.as_str()) {
+                continue;
+            }
+        }
+        checked += 1;
+        for d in analysis::verify(&kernel) {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+            if quiet && d.severity != Severity::Error {
+                continue;
+            }
+            let place = match d.pc {
+                Some(pc) => format!(" @ pc {pc}"),
+                None => String::new(),
+            };
+            emit(
+                &mut out,
+                errors,
+                format_args!(
+                    "{label}{place}: {}[{}]: {}",
+                    d.severity,
+                    d.code.as_str(),
+                    d.message
+                ),
+            );
+        }
+    }
+
+    emit(
+        &mut out,
+        errors,
+        format_args!("ssam-lint: {checked} kernels checked, {errors} errors, {warnings} warnings"),
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

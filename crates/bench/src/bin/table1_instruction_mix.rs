@@ -38,27 +38,65 @@ fn main() {
     let kd = KdForest::build(
         &bench.train,
         Metric::Euclidean,
-        KdTreeParams { trees: 4, leaf_size: 32, seed: 7 },
+        KdTreeParams {
+            trees: 4,
+            leaf_size: 32,
+            seed: 7,
+        },
     );
     let km = KMeansTree::build(
         &bench.train,
         Metric::Euclidean,
-        KMeansTreeParams { branching: 16, leaf_size: 64, max_height: 10, kmeans_iters: 6, seed: 7 },
+        KMeansTreeParams {
+            branching: 16,
+            leaf_size: 64,
+            max_height: 10,
+            kmeans_iters: 6,
+            seed: 7,
+        },
     );
     let bits = ((bench.train.len() as f64 / 8.0).log2().ceil() as usize).clamp(8, 20);
     let lsh = MultiProbeLsh::build(
         &bench.train,
         Metric::Euclidean,
-        MplshParams { tables: 8, hash_bits: bits, seed: 7 },
+        MplshParams {
+            tables: 8,
+            hash_bits: bits,
+            seed: 7,
+        },
     );
 
     let mixes = [
-        (Family::Linear, profile(Family::Linear, &linear, &bench.train, &bench.queries, k, SearchBudget::unlimited())),
-        (Family::KdTree, profile(Family::KdTree, &kd, &bench.train, &bench.queries, k, budget)),
-        (Family::KMeans, profile(Family::KMeans, &km, &bench.train, &bench.queries, k, budget)),
-        (Family::Mplsh, profile(Family::Mplsh, &lsh, &bench.train, &bench.queries, k, budget)),
+        (
+            Family::Linear,
+            profile(
+                Family::Linear,
+                &linear,
+                &bench.train,
+                &bench.queries,
+                k,
+                SearchBudget::unlimited(),
+            ),
+        ),
+        (
+            Family::KdTree,
+            profile(Family::KdTree, &kd, &bench.train, &bench.queries, k, budget),
+        ),
+        (
+            Family::KMeans,
+            profile(Family::KMeans, &km, &bench.train, &bench.queries, k, budget),
+        ),
+        (
+            Family::Mplsh,
+            profile(Family::Mplsh, &lsh, &bench.train, &bench.queries, k, budget),
+        ),
     ];
-    let paper = [(54.75, 45.23, 0.44), (28.75, 31.60, 10.21), (51.63, 44.96, 1.12), (18.69, 31.53, 14.16)];
+    let paper = [
+        (54.75, 45.23, 0.44),
+        (28.75, 31.60, 10.21),
+        (51.63, 44.96, 1.12),
+        (18.69, 31.53, 14.16),
+    ];
 
     let rows: Vec<Vec<String>> = mixes
         .iter()
@@ -77,7 +115,13 @@ fn main() {
     println!("\nTable I — instruction mix, GloVe (measured work counts x AVX cost model)");
     print_table(
         cfg.csv,
-        &["algorithm", "vector %", "mem reads %", "mem writes %", "paper (v/r/w)"],
+        &[
+            "algorithm",
+            "vector %",
+            "mem reads %",
+            "mem writes %",
+            "paper (v/r/w)",
+        ],
         &rows,
     );
     println!(

@@ -22,7 +22,9 @@ fn main() {
         // Activity factors from a simulated kernel run.
         let mut dev = ssam_with(&bench.train, vl);
         let q: Vec<f32> = bench.queries.get(0).to_vec();
-        let r = dev.query(&DeviceQuery::Euclidean(&q), bench.k()).expect("device runs");
+        let r = dev
+            .query(&DeviceQuery::Euclidean(&q), bench.k())
+            .expect("device runs");
         let act = Activity::from_stats(&r.vault_stats[0]);
         let eff = effective_power(vl, &act);
         rows.push(vec![
@@ -43,8 +45,16 @@ fn main() {
     print_table(
         cfg.csv,
         &[
-            "design", "pqueue", "stack", "ALUs", "scratchpad", "reg files", "ins mem",
-            "pipe/ctrl", "peak total", "effective (sim activity)",
+            "design",
+            "pqueue",
+            "stack",
+            "ALUs",
+            "scratchpad",
+            "reg files",
+            "ins mem",
+            "pipe/ctrl",
+            "peak total",
+            "effective (sim activity)",
         ],
         &rows,
     );

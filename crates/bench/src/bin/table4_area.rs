@@ -27,7 +27,17 @@ fn main() {
     println!("\nTable IV — SSAM accelerator area by module (mm^2 at 28 nm)");
     print_table(
         cfg.csv,
-        &["design", "pqueue", "stack", "ALUs", "scratchpad", "reg files", "ins mem", "pipe/ctrl", "total"],
+        &[
+            "design",
+            "pqueue",
+            "stack",
+            "ALUs",
+            "scratchpad",
+            "reg files",
+            "ins mem",
+            "pipe/ctrl",
+            "total",
+        ],
         &rows,
     );
 
@@ -36,8 +46,19 @@ fn main() {
     let s2 = module_area(2).total();
     let s16 = module_area(16).total();
     println!("\nSection V-A comparisons (28 nm-normalized):");
-    println!("  Xeon E5-2620 die ~{cpu:.0} mm^2  -> SSAM is {:.2}-{:.2}x smaller", cpu / s16, cpu / s2);
-    println!("  Titan X die      ~{gpu:.0} mm^2  -> SSAM is {:.2}-{:.2}x smaller", gpu / s16, gpu / s2);
-    println!("  HMC logic die    ~{:.1} mm^2 (729 mm^2 at 90 nm, scaled) — about the", hmc_die_area_28nm());
+    println!(
+        "  Xeon E5-2620 die ~{cpu:.0} mm^2  -> SSAM is {:.2}-{:.2}x smaller",
+        cpu / s16,
+        cpu / s2
+    );
+    println!(
+        "  Titan X die      ~{gpu:.0} mm^2  -> SSAM is {:.2}-{:.2}x smaller",
+        gpu / s16,
+        gpu / s2
+    );
+    println!(
+        "  HMC logic die    ~{:.1} mm^2 (729 mm^2 at 90 nm, scaled) — about the",
+        hmc_die_area_28nm()
+    );
     println!("  same or larger than the SSAM accelerator design, as the paper notes.");
 }

@@ -35,15 +35,20 @@ fn main() {
         eprintln!("[table5] {}", dataset.name());
 
         // Dense metrics share one device load.
-        let mut dev =
-            SsamDevice::new(SsamConfig { vector_length: VL, ..SsamConfig::default() });
+        let mut dev = SsamDevice::new(SsamConfig {
+            vector_length: VL,
+            ..SsamConfig::default()
+        });
         dev.load_vectors(&bench.train);
-        let queries: Vec<Vec<f32>> =
-            (0..SAMPLES.min(bench.queries.len()) as u32).map(|i| bench.queries.get(i).to_vec()).collect();
+        let queries: Vec<Vec<f32>> = (0..SAMPLES.min(bench.queries.len()) as u32)
+            .map(|i| bench.queries.get(i).to_vec())
+            .collect();
 
         let qps = |dev: &mut SsamDevice, make: &dyn Fn(&Vec<f32>) -> DeviceQuery<'_>| -> f64 {
             let dq: Vec<DeviceQuery<'_>> = queries.iter().map(make).collect();
-            dev.estimate_throughput(&dq, k).expect("device runs").queries_per_second
+            dev.estimate_throughput(&dq, k)
+                .expect("device runs")
+                .queries_per_second
         };
         let eu = qps(&mut dev, &|q| DeviceQuery::Euclidean(q));
         let ma = qps(&mut dev, &|q| DeviceQuery::Manhattan(q));
@@ -53,12 +58,17 @@ fn main() {
         let bits = bench.train.dims().div_ceil(32) * 32;
         let binarizer = HyperplaneBinarizer::new(bench.train.dims(), bits, 9);
         let codes = binarizer.encode_store(&bench.train);
-        let mut bdev =
-            SsamDevice::new(SsamConfig { vector_length: VL, ..SsamConfig::default() });
+        let mut bdev = SsamDevice::new(SsamConfig {
+            vector_length: VL,
+            ..SsamConfig::default()
+        });
         bdev.load_binary(&codes);
         let bqueries: Vec<Vec<u32>> = queries.iter().map(|q| binarizer.encode(q)).collect();
         let dq: Vec<DeviceQuery<'_>> = bqueries.iter().map(|q| DeviceQuery::Hamming(q)).collect();
-        let ha = bdev.estimate_throughput(&dq, k).expect("device runs").queries_per_second;
+        let ha = bdev
+            .estimate_throughput(&dq, k)
+            .expect("device runs")
+            .queries_per_second;
 
         measured[0][d] = 1.0;
         measured[1][d] = ha / eu;
@@ -76,7 +86,10 @@ fn main() {
         ]);
     }
 
-    println!("\nTable V — relative SSAM-{VL} throughput vs Euclidean (scale {})", cfg.scale);
+    println!(
+        "\nTable V — relative SSAM-{VL} throughput vs Euclidean (scale {})",
+        cfg.scale
+    );
     print_table(
         cfg.csv,
         &["metric", "GloVe", "GIST", "AlexNet", "paper (G/Gi/A)"],

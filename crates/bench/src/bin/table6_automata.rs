@@ -33,10 +33,14 @@ fn main() {
         // SSAM: simulate the Hamming kernel over the binarized dataset.
         let binarizer = HyperplaneBinarizer::new(bench.train.dims(), bits, 9);
         let codes = binarizer.encode_store(&bench.train);
-        let mut dev = SsamDevice::new(SsamConfig { vector_length: VL, ..SsamConfig::default() });
+        let mut dev = SsamDevice::new(SsamConfig {
+            vector_length: VL,
+            ..SsamConfig::default()
+        });
         dev.load_binary(&codes);
-        let queries: Vec<Vec<u32>> =
-            (0..2u32).map(|i| binarizer.encode(bench.queries.get(i))).collect();
+        let queries: Vec<Vec<u32>> = (0..2u32)
+            .map(|i| binarizer.encode(bench.queries.get(i)))
+            .collect();
         let dq: Vec<DeviceQuery<'_>> = queries.iter().map(|q| DeviceQuery::Hamming(q)).collect();
         let ssam_qps = dev
             .estimate_throughput(&dq, bench.k())
@@ -64,7 +68,14 @@ fn main() {
     );
     print_table(
         cfg.csv,
-        &["dataset", "SSAM-4 q/s", "AP gen1 q/s", "AP gen2 q/s", "SSAM/gen1", "SSAM/gen2"],
+        &[
+            "dataset",
+            "SSAM-4 q/s",
+            "AP gen1 q/s",
+            "AP gen2 q/s",
+            "SSAM/gen1",
+            "SSAM/gen2",
+        ],
         &rows,
     );
     println!(

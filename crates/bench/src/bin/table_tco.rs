@@ -14,18 +14,42 @@ fn main() {
 
     println!("\n§VI-A — datacenter TCO model (paper defaults)");
     let rows = vec![
-        vec!["front-end query rate".into(), format!("{} q/s", p.total_qps)],
-        vec!["unique (cache-miss) fraction".into(), format!("{:.0}%", 100.0 * p.unique_fraction)],
+        vec![
+            "front-end query rate".into(),
+            format!("{} q/s", p.total_qps),
+        ],
+        vec![
+            "unique (cache-miss) fraction".into(),
+            format!("{:.0}%", 100.0 * p.unique_fraction),
+        ],
         vec!["unique query rate".into(), format!("{} q/s", r.unique_qps)],
         vec!["CPU servers needed".into(), r.cpu_servers.to_string()],
         vec!["SSAM servers needed".into(), r.ssam_servers.to_string()],
-        vec!["CPU fleet dynamic power".into(), format!("{:.1} kW", r.cpu_power_kw)],
-        vec!["SSAM fleet dynamic power".into(), format!("{:.1} kW", r.ssam_power_kw)],
-        vec![format!("CPU energy cost / {} yr", p.years), format!("${}", fmt(r.cpu_energy_cost))],
-        vec![format!("SSAM energy cost / {} yr", p.years), format!("${}", fmt(r.ssam_energy_cost))],
+        vec![
+            "CPU fleet dynamic power".into(),
+            format!("{:.1} kW", r.cpu_power_kw),
+        ],
+        vec![
+            "SSAM fleet dynamic power".into(),
+            format!("{:.1} kW", r.ssam_power_kw),
+        ],
+        vec![
+            format!("CPU energy cost / {} yr", p.years),
+            format!("${}", fmt(r.cpu_energy_cost)),
+        ],
+        vec![
+            format!("SSAM energy cost / {} yr", p.years),
+            format!("${}", fmt(r.ssam_energy_cost)),
+        ],
         vec!["energy savings".into(), format!("${}", fmt(r.savings))],
-        vec!["ASIC NRE (28 nm)".into(), format!("${}", fmt(p.asic_nre_dollars))],
-        vec!["NRE recovered by energy alone".into(), r.nre_recovered.to_string()],
+        vec![
+            "ASIC NRE (28 nm)".into(),
+            format!("${}", fmt(p.asic_nre_dollars)),
+        ],
+        vec![
+            "NRE recovered by energy alone".into(),
+            r.nre_recovered.to_string(),
+        ],
     ];
     print_table(cfg.csv, &["quantity", "value"], &rows);
 
@@ -42,7 +66,16 @@ fn main() {
             rr.nre_recovered.to_string(),
         ]);
     }
-    print_table(cfg.csv, &["effective rate", "CPU 3-yr cost", "savings", "NRE recovered"], &rows);
+    print_table(
+        cfg.csv,
+        &[
+            "effective rate",
+            "CPU 3-yr cost",
+            "savings",
+            "NRE recovered",
+        ],
+        &rows,
+    );
 
     println!(
         "\nNote (recorded in EXPERIMENTS.md): the paper reports $772M vs $4.69M\n\

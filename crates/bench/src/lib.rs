@@ -47,7 +47,11 @@ impl ExpConfig {
     /// # Panics
     /// Panics with a usage message on malformed arguments.
     pub fn from_args(default_scale: f64) -> Self {
-        let mut cfg = Self { scale: default_scale, queries: None, csv: false };
+        let mut cfg = Self {
+            scale: default_scale,
+            queries: None,
+            csv: false,
+        };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -69,11 +73,16 @@ impl ExpConfig {
                     );
                 }
                 "--csv" => cfg.csv = true,
-                other => panic!("unknown argument `{other}` (expected --scale/--full/--queries/--csv)"),
+                other => {
+                    panic!("unknown argument `{other}` (expected --scale/--full/--queries/--csv)")
+                }
             }
             i += 1;
         }
-        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must be in (0,1]");
+        assert!(
+            cfg.scale > 0.0 && cfg.scale <= 1.0,
+            "scale must be in (0,1]"
+        );
         cfg
     }
 
@@ -121,7 +130,10 @@ pub fn print_table(csv: bool, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for r in rows {
         println!("{}", fmt_row(r));
     }
@@ -177,7 +189,10 @@ pub fn ssam_scan_cost(dims: usize, vl: usize) -> ScanCost {
 /// Builds a SSAM device of the given vector length preloaded with a float
 /// dataset.
 pub fn ssam_with(store: &VectorStore, vl: usize) -> SsamDevice {
-    let mut dev = SsamDevice::new(SsamConfig { vector_length: vl, ..SsamConfig::default() });
+    let mut dev = SsamDevice::new(SsamConfig {
+        vector_length: vl,
+        ..SsamConfig::default()
+    });
     dev.load_vectors(store);
     dev
 }
@@ -186,9 +201,13 @@ pub fn ssam_with(store: &VectorStore, vl: usize) -> SsamDevice {
 /// `(queries/s, energy mJ/query)`.
 pub fn ssam_linear_estimate(dev: &mut SsamDevice, bench: &Benchmark, n: usize) -> (f64, f64) {
     let n = n.min(bench.queries.len()).max(1);
-    let queries: Vec<Vec<f32>> = (0..n as u32).map(|i| bench.queries.get(i).to_vec()).collect();
+    let queries: Vec<Vec<f32>> = (0..n as u32)
+        .map(|i| bench.queries.get(i).to_vec())
+        .collect();
     let dq: Vec<DeviceQuery<'_>> = queries.iter().map(|q| DeviceQuery::Euclidean(q)).collect();
-    let est = dev.estimate_throughput(&dq, bench.k()).expect("device runs");
+    let est = dev
+        .estimate_throughput(&dq, bench.k())
+        .expect("device runs");
     (est.queries_per_second, est.energy_mj_per_query)
 }
 
@@ -221,7 +240,11 @@ mod tests {
 
     #[test]
     fn device_estimate_runs_on_tiny_benchmark() {
-        let cfg = ExpConfig { scale: 0.0005, queries: Some(2), csv: false };
+        let cfg = ExpConfig {
+            scale: 0.0005,
+            queries: Some(2),
+            csv: false,
+        };
         let b = cfg.benchmark(PaperDataset::GloVe);
         let mut dev = ssam_with(&b.train, 4);
         let (qps, mj) = ssam_linear_estimate(&mut dev, &b, 2);
@@ -231,7 +254,11 @@ mod tests {
 
     #[test]
     fn query_cap_truncates_benchmark() {
-        let cfg = ExpConfig { scale: 0.0005, queries: Some(3), csv: false };
+        let cfg = ExpConfig {
+            scale: 0.0005,
+            queries: Some(3),
+            csv: false,
+        };
         let b = cfg.benchmark(PaperDataset::GloVe);
         assert_eq!(b.queries.len(), 3);
         assert_eq!(b.ground_truth.ids.len(), 3);

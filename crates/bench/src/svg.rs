@@ -120,7 +120,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 struct Scale {
@@ -134,7 +136,11 @@ struct Scale {
 impl Scale {
     fn map(&self, v: f64) -> f64 {
         let (lo, hi, v) = if self.log {
-            (self.lo.log10(), self.hi.log10(), v.max(self.lo * 1e-3).log10())
+            (
+                self.lo.log10(),
+                self.hi.log10(),
+                v.max(self.lo * 1e-3).log10(),
+            )
         } else {
             (self.lo, self.hi, v)
         };
@@ -165,7 +171,12 @@ fn data_bounds(series: &[Series], log: bool, axis_y: bool) -> (f64, f64) {
     }
     if !log {
         let pad = (hi - lo) * 0.05;
-        return ((lo - pad).min(0.0).max(if lo >= 0.0 { 0.0 } else { lo - pad }), hi + pad);
+        return (
+            (lo - pad)
+                .min(0.0)
+                .max(if lo >= 0.0 { 0.0 } else { lo - pad }),
+            hi + pad,
+        );
     }
     (lo, hi)
 }
@@ -176,8 +187,20 @@ pub fn line_chart(spec: &PlotSpec, series: &[Series]) -> String {
     let h = spec.height as f64;
     let (x_lo, x_hi) = data_bounds(series, spec.log_x, false);
     let (y_lo, y_hi) = data_bounds(series, spec.log_y, true);
-    let sx = Scale { lo: x_lo, hi: x_hi, log: spec.log_x, px_lo: MARGIN_L, px_hi: w - MARGIN_R };
-    let sy = Scale { lo: y_lo, hi: y_hi, log: spec.log_y, px_lo: h - MARGIN_B, px_hi: MARGIN_T };
+    let sx = Scale {
+        lo: x_lo,
+        hi: x_hi,
+        log: spec.log_x,
+        px_lo: MARGIN_L,
+        px_hi: w - MARGIN_R,
+    };
+    let sy = Scale {
+        lo: y_lo,
+        hi: y_hi,
+        log: spec.log_y,
+        px_lo: h - MARGIN_B,
+        px_hi: MARGIN_T,
+    };
 
     let mut svg = header(spec, w, h);
     svg.push_str(&frame_and_axes(spec, &sx, &sy, w, h));
@@ -188,7 +211,10 @@ pub fn line_chart(spec: &PlotSpec, series: &[Series]) -> String {
             .points
             .iter()
             .filter(|(x, y)| {
-                x.is_finite() && y.is_finite() && (!spec.log_x || *x > 0.0) && (!spec.log_y || *y > 0.0)
+                x.is_finite()
+                    && y.is_finite()
+                    && (!spec.log_x || *x > 0.0)
+                    && (!spec.log_y || *y > 0.0)
             })
             .map(|&(x, y)| (sx.map(x), sy.map(y)))
             .collect();
@@ -240,14 +266,33 @@ pub fn grouped_bar_chart(
         .collect();
     let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = vals.iter().copied().fold(0.0f64, f64::max);
-    let (y_lo, y_hi) = if lo.is_finite() && hi > 0.0 { (lo / 2.0, hi * 1.5) } else { (0.1, 1.0) };
-    let sy = Scale { lo: y_lo, hi: y_hi, log: true, px_lo: h - MARGIN_B, px_hi: MARGIN_T };
+    let (y_lo, y_hi) = if lo.is_finite() && hi > 0.0 {
+        (lo / 2.0, hi * 1.5)
+    } else {
+        (0.1, 1.0)
+    };
+    let sy = Scale {
+        lo: y_lo,
+        hi: y_hi,
+        log: true,
+        px_lo: h - MARGIN_B,
+        px_hi: MARGIN_T,
+    };
 
     let mut svg = header(spec, w, h);
     // Y axis (log decades) + frame.
-    let sx_dummy = Scale { lo: 0.0, hi: 1.0, log: false, px_lo: MARGIN_L, px_hi: w - MARGIN_R };
+    let sx_dummy = Scale {
+        lo: 0.0,
+        hi: 1.0,
+        log: false,
+        px_lo: MARGIN_L,
+        px_hi: w - MARGIN_R,
+    };
     svg.push_str(&frame_and_axes(
-        &PlotSpec { log_y: true, ..spec.clone() },
+        &PlotSpec {
+            log_y: true,
+            ..spec.clone()
+        },
         &sx_dummy,
         &sy,
         w,
@@ -320,7 +365,11 @@ fn frame_and_axes(spec: &PlotSpec, sx: &Scale, sy: &Scale, w: f64, h: f64) -> St
         bottom - top
     ));
     // Y ticks + gridlines.
-    let yticks = if spec.log_y { log_ticks(sy.lo, sy.hi) } else { linear_ticks(sy.lo, sy.hi, 6) };
+    let yticks = if spec.log_y {
+        log_ticks(sy.lo, sy.hi)
+    } else {
+        linear_ticks(sy.lo, sy.hi, 6)
+    };
     for t in yticks {
         let y = sy.map(t);
         out.push_str(&format!(
@@ -333,7 +382,11 @@ fn frame_and_axes(spec: &PlotSpec, sx: &Scale, sy: &Scale, w: f64, h: f64) -> St
     }
     // X ticks (line charts only — bar charts label groups themselves).
     if sx.hi > sx.lo {
-        let xticks = if spec.log_x { log_ticks(sx.lo, sx.hi) } else { linear_ticks(sx.lo, sx.hi, 6) };
+        let xticks = if spec.log_x {
+            log_ticks(sx.lo, sx.hi)
+        } else {
+            linear_ticks(sx.lo, sx.hi, 6)
+        };
         for t in xticks {
             let x = sx.map(t);
             out.push_str(&format!(
@@ -392,8 +445,14 @@ mod tests {
     #[test]
     fn line_chart_renders_series_and_legend() {
         let s = vec![
-            Series { label: "a".into(), points: vec![(0.1, 10.0), (0.5, 100.0), (0.9, 1000.0)] },
-            Series { label: "b<x>".into(), points: vec![(0.1, 5.0), (0.9, 50.0)] },
+            Series {
+                label: "a".into(),
+                points: vec![(0.1, 10.0), (0.5, 100.0), (0.9, 1000.0)],
+            },
+            Series {
+                label: "b<x>".into(),
+                points: vec![(0.1, 5.0), (0.9, 50.0)],
+            },
         ];
         let svg = line_chart(&spec(), &s);
         assert!(svg.starts_with("<svg"));
@@ -407,7 +466,10 @@ mod tests {
     fn empty_and_degenerate_inputs_do_not_panic() {
         let svg = line_chart(&spec(), &[]);
         assert!(svg.contains("</svg>"));
-        let one = vec![Series { label: "p".into(), points: vec![(1.0, 1.0)] }];
+        let one = vec![Series {
+            label: "p".into(),
+            points: vec![(1.0, 1.0)],
+        }];
         let svg = line_chart(&spec(), &one);
         assert_eq!(svg.matches("<circle").count(), 1);
         assert_eq!(svg.matches("<polyline").count(), 0);
@@ -415,7 +477,10 @@ mod tests {
 
     #[test]
     fn log_axes_drop_nonpositive_points() {
-        let s = vec![Series { label: "a".into(), points: vec![(0.5, 0.0), (0.5, -3.0), (0.5, 7.0)] }];
+        let s = vec![Series {
+            label: "a".into(),
+            points: vec![(0.5, 0.0), (0.5, -3.0), (0.5, 7.0)],
+        }];
         let svg = line_chart(&spec(), &s);
         assert_eq!(svg.matches("<circle").count(), 1);
     }

@@ -1,0 +1,229 @@
+//! Control-flow graph construction and structural checks.
+//!
+//! SSAM programs branch to absolute instruction indices (the assembler
+//! resolves labels), so the CFG is immediate: every instruction is a
+//! node; a branch has two successors (target and fallthrough), a jump
+//! one, `HALT` none. Building the graph surfaces three whole-program
+//! defects: branch targets outside the program ([`DiagCode::BranchTargetOutOfRange`]),
+//! instructions no path can reach ([`DiagCode::UnreachableCode`]), and
+//! reachable paths that run off the end of instruction memory without a
+//! `HALT` ([`DiagCode::MissingHalt`] — the static form of the simulator's
+//! `PcOutOfRange` fault).
+
+use crate::isa::inst::Instruction;
+
+use super::{DiagCode, Diagnostic};
+
+/// A program's control-flow graph plus reachability.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Valid successors of each instruction (out-of-range targets are
+    /// diagnosed and dropped).
+    pub succs: Vec<Vec<u32>>,
+    /// Whether each instruction is reachable from entry (pc 0).
+    pub reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `program`, appending structural diagnostics.
+    pub fn build(program: &[Instruction], diags: &mut Vec<Diagnostic>) -> Self {
+        let len = program.len();
+        let mut succs: Vec<Vec<u32>> = Vec::with_capacity(len);
+        let mut off_end = Vec::new();
+        for (pc, inst) in program.iter().enumerate() {
+            let pc = pc as u32;
+            let mut s = Vec::with_capacity(2);
+            let mut fallthrough = true;
+            let mut targets = Vec::new();
+            match *inst {
+                Instruction::Branch { target, .. } => targets.push(target),
+                Instruction::Jump { target } => {
+                    targets.push(target);
+                    fallthrough = false;
+                }
+                Instruction::Halt => fallthrough = false,
+                _ => {}
+            }
+            for t in targets {
+                if (t as usize) < len {
+                    s.push(t);
+                } else {
+                    diags.push(Diagnostic::at(
+                        DiagCode::BranchTargetOutOfRange,
+                        pc,
+                        format!("branch target {t} is outside the {len}-instruction program"),
+                    ));
+                }
+            }
+            if fallthrough {
+                if (pc as usize + 1) < len {
+                    s.push(pc + 1);
+                } else {
+                    off_end.push(pc);
+                }
+            }
+            succs.push(s);
+        }
+
+        // Reachability from entry.
+        let mut reachable = vec![false; len];
+        if len > 0 {
+            let mut stack = vec![0u32];
+            reachable[0] = true;
+            while let Some(pc) = stack.pop() {
+                for &s in &succs[pc as usize] {
+                    if !reachable[s as usize] {
+                        reachable[s as usize] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+        } else {
+            diags.push(Diagnostic::whole_program(
+                DiagCode::MissingHalt,
+                "empty program: execution faults immediately".to_string(),
+            ));
+        }
+
+        for pc in off_end {
+            if reachable[pc as usize] {
+                diags.push(Diagnostic::at(
+                    DiagCode::MissingHalt,
+                    pc,
+                    "execution can fall off the end of the program without HALT".to_string(),
+                ));
+            }
+        }
+
+        // Report unreachable code once per contiguous block.
+        let mut pc = 0usize;
+        while pc < len {
+            if reachable[pc] {
+                pc += 1;
+                continue;
+            }
+            let start = pc;
+            while pc < len && !reachable[pc] {
+                pc += 1;
+            }
+            diags.push(Diagnostic::at(
+                DiagCode::UnreachableCode,
+                start as u32,
+                format!("instructions {start}..{} are unreachable", pc - 1),
+            ));
+        }
+
+        Self { succs, reachable }
+    }
+}
+
+/// Generic forward dataflow fixpoint over a [`Cfg`].
+///
+/// Returns the *in-state* of every instruction (`None` for unreachable
+/// ones). `join` must be a monotone least-upper-bound over a finite
+/// lattice and `transfer` monotone, or the worklist will not terminate.
+pub(crate) fn forward_fixpoint<S: Clone + PartialEq>(
+    program: &[Instruction],
+    cfg: &Cfg,
+    entry: S,
+    join: impl Fn(&S, &S) -> S,
+    transfer: impl Fn(u32, &Instruction, &S) -> S,
+) -> Vec<Option<S>> {
+    let len = program.len();
+    let mut in_states: Vec<Option<S>> = vec![None; len];
+    if len == 0 {
+        return in_states;
+    }
+    in_states[0] = Some(entry);
+    let mut worklist = std::collections::VecDeque::from([0u32]);
+    let mut queued = vec![false; len];
+    queued[0] = true;
+    while let Some(pc) = worklist.pop_front() {
+        queued[pc as usize] = false;
+        let state = in_states[pc as usize]
+            .clone()
+            .expect("queued nodes have in-states");
+        let out = transfer(pc, &program[pc as usize], &state);
+        for &succ in &cfg.succs[pc as usize] {
+            let merged = match &in_states[succ as usize] {
+                None => out.clone(),
+                Some(cur) => join(cur, &out),
+            };
+            if in_states[succ as usize].as_ref() != Some(&merged) {
+                in_states[succ as usize] = Some(merged);
+                if !queued[succ as usize] {
+                    queued[succ as usize] = true;
+                    worklist.push_back(succ);
+                }
+            }
+        }
+    }
+    in_states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn diags_for(src: &str) -> Vec<Diagnostic> {
+        let program = assemble(src).expect("assembles");
+        let mut d = Vec::new();
+        Cfg::build(&program, &mut d);
+        d
+    }
+
+    #[test]
+    fn straight_line_with_halt_is_clean() {
+        assert!(diags_for("addi s1, s0, 1\nhalt\n").is_empty());
+    }
+
+    #[test]
+    fn missing_halt_is_flagged() {
+        let d = diags_for("addi s1, s0, 1\naddi s2, s0, 2\n");
+        assert!(d.iter().any(|x| x.code == DiagCode::MissingHalt));
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged_once() {
+        let d = diags_for("j skip\naddi s1, s0, 1\naddi s2, s0, 2\nskip:\nhalt\n");
+        let unreachable: Vec<_> = d
+            .iter()
+            .filter(|x| x.code == DiagCode::UnreachableCode)
+            .collect();
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(unreachable[0].pc, Some(1));
+    }
+
+    #[test]
+    fn out_of_range_target_is_flagged() {
+        // Hand-built program: labels cannot produce bad targets.
+        let program = vec![Instruction::Jump { target: 99 }, Instruction::Halt];
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        assert!(d.iter().any(|x| x.code == DiagCode::BranchTargetOutOfRange));
+        // The bad edge is dropped, so the halt is unreachable too.
+        assert!(!cfg.reachable[1]);
+    }
+
+    #[test]
+    fn fixpoint_reaches_loop_stability() {
+        // Count max register writes along paths: lattice = u32 saturating.
+        let program = assemble("addi s1, s0, 0\nloop:\naddi s1, s1, 1\nblt s1, s2, loop\nhalt\n")
+            .expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        let states = forward_fixpoint(
+            &program,
+            &cfg,
+            0u32,
+            |a, b| (*a).max(*b),
+            |_, inst, s| match inst {
+                Instruction::SAluImm { .. } => (s + 1).min(10),
+                _ => *s,
+            },
+        );
+        // The loop head joins the entry (1 write) and back-edge (saturated).
+        assert_eq!(states[1], Some(10));
+    }
+}

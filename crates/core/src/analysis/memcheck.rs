@@ -1,0 +1,350 @@
+//! Constant propagation and memory/lane immediate checks.
+//!
+//! A forward constant-propagation over the scalar file (lattice
+//! `Const(i32)` ⊑ `Top` per register, `s0` pinned to 0) resolves the
+//! address of every `LOAD`/`STORE`/`VLOAD`/`VSTORE` whose base register
+//! is constant at that point — which covers the generated kernels'
+//! scratchpad traffic, since their buffer addresses are `.equ` constants
+//! materialized with `ADDI`. Resolved addresses are checked against the
+//! simulator's memory map (scratchpad below
+//! [`crate::isa::DRAM_BASE`], [`crate::isa::SCRATCHPAD_BYTES`] capacity,
+//! 4-byte alignment, stores never reach DRAM) and against the declared
+//! query region. Loop-carried cursors join to `Top` and are left to the
+//! runtime — no false positives, no claim of full coverage.
+//!
+//! The same pass checks immediates that need no propagation at all:
+//! `SVMOVE`/`VSMOVE` lane indices against the configured VL and
+//! `MEM_FETCH` prefetch lengths.
+
+use crate::isa::inst::Instruction;
+use crate::isa::reg::NUM_SCALAR_REGS;
+use crate::isa::{DRAM_BASE, PQUEUE_DEPTH, SCRATCHPAD_BYTES};
+
+use super::cfg::{forward_fixpoint, Cfg};
+use super::{DiagCode, Diagnostic, VerifyConfig};
+
+/// Abstract value of one scalar register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    /// Known constant on every path.
+    Const(i32),
+    /// Unknown or path-dependent.
+    Top,
+}
+
+/// Abstract scalar register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Consts([Val; NUM_SCALAR_REGS]);
+
+impl Consts {
+    fn get(&self, r: u8) -> Val {
+        self.0[r as usize]
+    }
+
+    fn set(&mut self, r: u8, v: Val) {
+        if r != 0 {
+            self.0[r as usize] = v; // s0 stays hardwired zero
+        }
+    }
+}
+
+fn join(a: &Consts, b: &Consts) -> Consts {
+    let mut out = *a;
+    for (o, bv) in out.0.iter_mut().zip(b.0.iter()) {
+        if *o != *bv {
+            *o = Val::Top;
+        }
+    }
+    out
+}
+
+fn transfer(inst: &Instruction, s: &Consts) -> Consts {
+    use Instruction::*;
+    let mut out = *s;
+    match *inst {
+        SAlu { op, rd, rs1, rs2 } => {
+            let v = match (s.get(rs1.0), s.get(rs2.0)) {
+                (Val::Const(a), Val::Const(b)) => Val::Const(op.eval(a, b)),
+                _ => Val::Top,
+            };
+            out.set(rd.0, v);
+        }
+        SAluImm { op, rd, rs1, imm } => {
+            let v = match s.get(rs1.0) {
+                Val::Const(a) => Val::Const(op.eval(a, imm)),
+                Val::Top => Val::Top,
+            };
+            out.set(rd.0, v);
+        }
+        SUnary { op, rd, rs1 } => {
+            let v = match s.get(rs1.0) {
+                Val::Const(a) => Val::Const(op.eval(a)),
+                Val::Top => Val::Top,
+            };
+            out.set(rd.0, v);
+        }
+        // Anything loaded from memory, the stack, the queue, or the
+        // vector file is data: Top.
+        Load { rd, .. }
+        | Pop { rd }
+        | PqueueLoad { rd, .. }
+        | VsMove { rd, .. }
+        | Sfxp { rd, .. } => out.set(rd.0, Val::Top),
+        _ => {}
+    }
+    out
+}
+
+/// Checks one resolved constant access of `size` bytes at `addr`.
+fn check_access(
+    pc: u32,
+    addr: u32,
+    size: u32,
+    is_store: bool,
+    config: &VerifyConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !addr.is_multiple_of(4) {
+        diags.push(Diagnostic::at(
+            DiagCode::SpadMisaligned,
+            pc,
+            format!("constant address {addr:#x} is not 4-byte aligned"),
+        ));
+        return;
+    }
+    if addr >= DRAM_BASE {
+        if is_store {
+            // The simulator routes all stores to the scratchpad; a DRAM
+            // address faults its bounds check. The dataset is read-only.
+            diags.push(Diagnostic::at(
+                DiagCode::StoreToDram,
+                pc,
+                format!("store to constant DRAM address {addr:#x}: the dataset is read-only"),
+            ));
+        }
+        return; // constant DRAM loads: extent is data-dependent, leave to runtime
+    }
+    let end = addr as u64 + size as u64;
+    if end > SCRATCHPAD_BYTES as u64 {
+        diags.push(Diagnostic::at(
+            DiagCode::SpadOutOfBounds,
+            pc,
+            format!(
+                "access of {size} bytes at constant address {addr:#x} exceeds the \
+                 {SCRATCHPAD_BYTES}-byte scratchpad"
+            ),
+        ));
+        return;
+    }
+    if is_store {
+        if let Some((qstart, qend)) = config.query_region {
+            if addr < qend && end as u32 > qstart {
+                diags.push(Diagnostic::at(
+                    DiagCode::StoreClobbersQuery,
+                    pc,
+                    format!(
+                        "store at constant address {addr:#x} overwrites the staged \
+                         query region {qstart:#x}..{qend:#x}"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Runs the pass, appending diagnostics.
+pub fn check(
+    program: &[Instruction],
+    cfg: &Cfg,
+    config: &VerifyConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut entry = Consts([Val::Top; NUM_SCALAR_REGS]);
+    entry.0[0] = Val::Const(0);
+    let states = forward_fixpoint(program, cfg, entry, join, |_, inst, s| transfer(inst, s));
+
+    let vbytes = (config.vl * 4) as u32;
+    for (pc, inst) in program.iter().enumerate() {
+        let Some(state) = &states[pc] else { continue };
+        let pc = pc as u32;
+        use Instruction::*;
+        match *inst {
+            Load {
+                rs_base, offset, ..
+            }
+            | Store {
+                rs_base, offset, ..
+            } => {
+                if let Val::Const(base) = state.get(rs_base.0) {
+                    let addr = base.wrapping_add(offset) as u32;
+                    let is_store = matches!(inst, Store { .. });
+                    check_access(pc, addr, 4, is_store, config, diags);
+                }
+            }
+            VLoad {
+                rs_base, offset, ..
+            }
+            | VStore {
+                rs_base, offset, ..
+            } => {
+                if let Val::Const(base) = state.get(rs_base.0) {
+                    let addr = base.wrapping_add(offset) as u32;
+                    let is_store = matches!(inst, VStore { .. });
+                    check_access(pc, addr, vbytes, is_store, config, diags);
+                }
+            }
+            SvMove { lane, .. } if lane >= 0 && lane as usize >= config.vl => {
+                diags.push(Diagnostic::at(
+                    DiagCode::LaneOutOfRange,
+                    pc,
+                    format!("lane {lane} is out of range for VL={}", config.vl),
+                ));
+            }
+            VsMove { lane, .. } if lane as usize >= config.vl => {
+                diags.push(Diagnostic::at(
+                    DiagCode::LaneOutOfRange,
+                    pc,
+                    format!("lane {lane} is out of range for VL={}", config.vl),
+                ));
+            }
+            MemFetch { len, .. } if len <= 0 => {
+                diags.push(Diagnostic::at(
+                    DiagCode::FetchLenNonPositive,
+                    pc,
+                    format!("MEM_FETCH with non-positive length {len} prefetches nothing"),
+                ));
+            }
+            PqueueLoad { rs_idx, .. } => {
+                if let Val::Const(idx) = state.get(rs_idx.0) {
+                    if idx < 0 || idx as usize >= PQUEUE_DEPTH {
+                        diags.push(Diagnostic::at(
+                            DiagCode::PqueueLoadOutOfRange,
+                            pc,
+                            format!(
+                                "PQUEUE_LOAD index {idx} is outside the \
+                                 {PQUEUE_DEPTH}-entry hardware queue"
+                            ),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn diags_for(src: &str) -> Vec<Diagnostic> {
+        let program = assemble(src).expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        check(&program, &cfg, &VerifyConfig::permissive(4), &mut d);
+        d
+    }
+
+    #[test]
+    fn in_bounds_constant_store_is_clean() {
+        assert!(diags_for("addi s1, s0, 1024\nstore s2, s1, 8\nhalt\n").is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_constant_access_is_an_error() {
+        let d = diags_for("addi s1, s0, 32768\nload s2, s1, 0\nhalt\n");
+        assert!(
+            d.iter()
+                .any(|x| x.code == DiagCode::SpadOutOfBounds && x.pc == Some(1)),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn vector_access_checks_the_whole_span() {
+        // VL=4 ⇒ 16 bytes; base 32760 + 16 crosses the 32768 boundary.
+        let d = diags_for("addi s1, s0, 32760\nvload v0, s1, 0\nhalt\n");
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::SpadOutOfBounds),
+            "{d:?}"
+        );
+        // ...while the same base as a scalar load is fine.
+        assert!(diags_for("addi s1, s0, 32760\nload s2, s1, 0\nhalt\n").is_empty());
+    }
+
+    #[test]
+    fn misaligned_constant_address_is_an_error() {
+        let d = diags_for("addi s1, s0, 6\nload s2, s1, 0\nhalt\n");
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::SpadMisaligned),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn store_to_dram_is_an_error_but_load_is_not() {
+        let base = crate::isa::DRAM_BASE;
+        let d = diags_for(&format!("addi s1, s0, {base}\nstore s2, s1, 0\nhalt\n"));
+        assert!(d.iter().any(|x| x.code == DiagCode::StoreToDram), "{d:?}");
+        assert!(diags_for(&format!("addi s1, s0, {base}\nload s2, s1, 0\nhalt\n")).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_cursor_joins_to_top_and_is_not_flagged() {
+        // s1 walks forward by 4 each iteration: constant at entry, Top at
+        // the join — the analysis stays silent rather than guessing.
+        let src = "addi s1, s0, 0\nloop:\nload s2, s1, 0\naddi s1, s1, 4\nbne s1, s3, loop\nhalt\n";
+        assert!(diags_for(src).is_empty());
+    }
+
+    #[test]
+    fn store_into_query_region_is_a_warning() {
+        let program = assemble("addi s1, s0, 8\nstore s2, s1, 0\nhalt\n").expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        let config = VerifyConfig {
+            query_region: Some((0, 64)),
+            ..VerifyConfig::permissive(4)
+        };
+        check(&program, &cfg, &config, &mut d);
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::StoreClobbersQuery),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn lane_immediates_are_checked_against_vl() {
+        let d = diags_for("svmove v0, s1, 5\nhalt\n"); // VL=4
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::LaneOutOfRange),
+            "{d:?}"
+        );
+        assert!(diags_for("svmove v0, s1, 3\nhalt\n").is_empty());
+        let d = diags_for("svmove v0, s1, -1\nvsmove s2, v0, 4\nhalt\n");
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::LaneOutOfRange),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn pqueue_load_constant_index_is_range_checked() {
+        let d = diags_for("addi s1, s0, 16\npqueue_load s2, s1, id\nhalt\n");
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::PqueueLoadOutOfRange),
+            "{d:?}"
+        );
+        assert!(diags_for("addi s1, s0, 15\npqueue_load s2, s1, id\nhalt\n").is_empty());
+    }
+
+    #[test]
+    fn mem_fetch_zero_length_is_a_warning() {
+        let d = diags_for("mem_fetch s1, 0\nhalt\n");
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::FetchLenNonPositive),
+            "{d:?}"
+        );
+    }
+}

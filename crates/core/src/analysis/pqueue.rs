@@ -1,0 +1,139 @@
+//! Priority-queue protocol checking.
+//!
+//! The hardware priority queue keeps state across kernel launches; a
+//! kernel that issues `PQUEUE_INSERT` without first issuing
+//! `PQUEUE_RESET` merges the previous query's candidates into the new
+//! result set — a silent-wrong-answer bug the simulator cannot trap
+//! (the insert is architecturally legal). A forward dataflow tracks, per
+//! program point, whether a reset has happened on **all** paths (`must`)
+//! and on **some** path (`may`): an insert with `may = false` can never
+//! see a reset ([`DiagCode::InsertWithoutReset`]); one with
+//! `must = false` is reset on only some paths
+//! ([`DiagCode::MaybeInsertWithoutReset`]).
+//!
+//! Harnesses that guarantee a fresh queue externally (the differential
+//! tester constructs a new PU per program) disable the protocol via
+//! [`VerifyConfig::require_pqueue_reset`].
+
+use crate::isa::inst::Instruction;
+
+use super::cfg::{forward_fixpoint, Cfg};
+use super::{DiagCode, Diagnostic, VerifyConfig};
+
+/// Reset status at a program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ResetState {
+    /// A `PQUEUE_RESET` dominates this point.
+    must: bool,
+    /// A `PQUEUE_RESET` occurs on at least one path to this point.
+    may: bool,
+}
+
+/// Runs the pass, appending diagnostics.
+pub fn check(
+    program: &[Instruction],
+    cfg: &Cfg,
+    config: &VerifyConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !config.require_pqueue_reset {
+        return;
+    }
+    let states = forward_fixpoint(
+        program,
+        cfg,
+        ResetState {
+            must: false,
+            may: false,
+        },
+        |a, b| ResetState {
+            must: a.must && b.must,
+            may: a.may || b.may,
+        },
+        |_, inst, s| match inst {
+            Instruction::PqueueReset => ResetState {
+                must: true,
+                may: true,
+            },
+            _ => *s,
+        },
+    );
+
+    for (pc, inst) in program.iter().enumerate() {
+        if !matches!(inst, Instruction::PqueueInsert { .. }) {
+            continue;
+        }
+        let Some(state) = &states[pc] else { continue };
+        if !state.may {
+            diags.push(Diagnostic::at(
+                DiagCode::InsertWithoutReset,
+                pc as u32,
+                "PQUEUE_INSERT is never preceded by PQUEUE_RESET: stale \
+                 candidates from the previous launch survive"
+                    .to_string(),
+            ));
+        } else if !state.must {
+            diags.push(Diagnostic::at(
+                DiagCode::MaybeInsertWithoutReset,
+                pc as u32,
+                "PQUEUE_INSERT is not dominated by PQUEUE_RESET (reset happens \
+                 on only some paths)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn diags_for(src: &str, require: bool) -> Vec<Diagnostic> {
+        let program = assemble(src).expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        let config = VerifyConfig {
+            require_pqueue_reset: require,
+            ..VerifyConfig::permissive(4)
+        };
+        check(&program, &cfg, &config, &mut d);
+        d
+    }
+
+    #[test]
+    fn reset_before_insert_is_clean() {
+        assert!(diags_for("pqueue_reset\npqueue_insert s1, s2\nhalt\n", true).is_empty());
+    }
+
+    #[test]
+    fn insert_without_reset_is_an_error() {
+        let d = diags_for("pqueue_insert s1, s2\nhalt\n", true);
+        assert!(d
+            .iter()
+            .any(|x| x.code == DiagCode::InsertWithoutReset && x.pc == Some(0)));
+    }
+
+    #[test]
+    fn reset_on_one_arm_only_is_a_warning() {
+        let src = "be s1, s0, ins\npqueue_reset\nins:\npqueue_insert s2, s3\nhalt\n";
+        let d = diags_for(src, true);
+        assert!(
+            d.iter()
+                .any(|x| x.code == DiagCode::MaybeInsertWithoutReset),
+            "{d:?}"
+        );
+        assert!(!d.iter().any(|x| x.code == DiagCode::InsertWithoutReset));
+    }
+
+    #[test]
+    fn permissive_harnesses_can_waive_the_protocol() {
+        assert!(diags_for("pqueue_insert s1, s2\nhalt\n", false).is_empty());
+    }
+
+    #[test]
+    fn reset_inside_the_scan_loop_still_dominates() {
+        let src = "pqueue_reset\nouter:\npqueue_insert s1, s2\nbne s3, s0, outer\nhalt\n";
+        assert!(diags_for(src, true).is_empty());
+    }
+}

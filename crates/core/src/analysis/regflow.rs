@@ -1,0 +1,178 @@
+//! Register def-use dataflow: reads of never-written registers.
+//!
+//! A forward fixpoint tracks, per program point, which scalar and vector
+//! registers are initialized on **all** paths (`must`) and on **at least
+//! one** path (`may`). A read whose register is not even may-initialized
+//! is a must-fault ([`DiagCode::UninitScalarRead`] /
+//! [`DiagCode::UninitVectorRead`]); a read that is may- but not
+//! must-initialized depends on the path taken and is a warning.
+//!
+//! The entry state comes from [`VerifyConfig::driver_sregs`] /
+//! [`VerifyConfig::driver_vregs`] — the launch contract between driver
+//! and kernel. `s0` is hardwired zero and always initialized.
+
+use crate::isa::inst::Instruction;
+
+use super::cfg::{forward_fixpoint, Cfg};
+use super::uses;
+use super::{DiagCode, Diagnostic, VerifyConfig};
+
+/// Initialization bitmasks at a program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RegState {
+    /// Scalar registers initialized on every path.
+    s_must: u32,
+    /// Scalar registers initialized on some path.
+    s_may: u32,
+    /// Vector registers initialized on every path.
+    v_must: u8,
+    /// Vector registers initialized on some path.
+    v_may: u8,
+}
+
+fn transfer(inst: &Instruction, s: &RegState) -> RegState {
+    let mut out = *s;
+    if let Some(rd) = uses::sreg_write(inst) {
+        out.s_must |= 1 << rd.0;
+        out.s_may |= 1 << rd.0;
+    }
+    if let Some(vd) = uses::vreg_write(inst) {
+        out.v_must |= 1 << vd.0;
+        out.v_may |= 1 << vd.0;
+    }
+    out
+}
+
+/// Runs the pass, appending diagnostics.
+pub fn check(
+    program: &[Instruction],
+    cfg: &Cfg,
+    config: &VerifyConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let entry_s = config.driver_sregs | 1; // s0 is hardwired zero
+    let entry = RegState {
+        s_must: entry_s,
+        s_may: entry_s,
+        v_must: config.driver_vregs,
+        v_may: config.driver_vregs,
+    };
+    let states = forward_fixpoint(
+        program,
+        cfg,
+        entry,
+        |a, b| RegState {
+            s_must: a.s_must & b.s_must,
+            s_may: a.s_may | b.s_may,
+            v_must: a.v_must & b.v_must,
+            v_may: a.v_may | b.v_may,
+        },
+        |_, inst, s| transfer(inst, s),
+    );
+
+    for (pc, inst) in program.iter().enumerate() {
+        let Some(state) = &states[pc] else { continue };
+        uses::for_each_sreg_read(inst, |r| {
+            if state.s_may & (1 << r.0) == 0 {
+                diags.push(Diagnostic::at(
+                    DiagCode::UninitScalarRead,
+                    pc as u32,
+                    format!("s{} is read but never written on any path to here", r.0),
+                ));
+            } else if state.s_must & (1 << r.0) == 0 {
+                diags.push(Diagnostic::at(
+                    DiagCode::MaybeUninitScalarRead,
+                    pc as u32,
+                    format!("s{} may be uninitialized on some path to here", r.0),
+                ));
+            }
+        });
+        uses::for_each_vreg_read(inst, |r| {
+            if state.v_may & (1 << r.0) == 0 {
+                diags.push(Diagnostic::at(
+                    DiagCode::UninitVectorRead,
+                    pc as u32,
+                    format!("v{} is read but never written on any path to here", r.0),
+                ));
+            } else if state.v_must & (1 << r.0) == 0 {
+                diags.push(Diagnostic::at(
+                    DiagCode::MaybeUninitVectorRead,
+                    pc as u32,
+                    format!("v{} may be uninitialized on some path to here", r.0),
+                ));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn diags_for(src: &str, config: &VerifyConfig) -> Vec<Diagnostic> {
+        let program = assemble(src).expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        check(&program, &cfg, config, &mut d);
+        d
+    }
+
+    fn bare(vl: usize) -> VerifyConfig {
+        VerifyConfig {
+            driver_sregs: 0,
+            driver_vregs: 0,
+            ..VerifyConfig::permissive(vl)
+        }
+    }
+
+    #[test]
+    fn read_of_never_written_register_is_an_error() {
+        let d = diags_for("add s1, s2, s0\nhalt\n", &bare(4));
+        assert!(d
+            .iter()
+            .any(|x| x.code == DiagCode::UninitScalarRead && x.pc == Some(0)));
+    }
+
+    #[test]
+    fn driver_initialized_registers_are_clean() {
+        let mut cfg = bare(4);
+        cfg.driver_sregs = 1 << 2;
+        let d = diags_for("add s1, s2, s0\nhalt\n", &cfg);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn one_armed_initialization_is_a_warning() {
+        // s5 is written only on the taken arm; the join makes the read
+        // may-but-not-must initialized.
+        let src = "be s0, s0, init\nj use\ninit:\naddi s5, s0, 1\nuse:\nadd s6, s5, s0\nhalt\n";
+        let d = diags_for(src, &bare(4));
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::MaybeUninitScalarRead),
+            "{d:?}"
+        );
+        assert!(!d.iter().any(|x| x.code == DiagCode::UninitScalarRead));
+    }
+
+    #[test]
+    fn vector_reads_need_vector_writes() {
+        let d = diags_for("vadd v1, v2, v3\nhalt\n", &bare(4));
+        let uninit = d
+            .iter()
+            .filter(|x| x.code == DiagCode::UninitVectorRead)
+            .count();
+        assert_eq!(uninit, 2, "{d:?}");
+        let clean = diags_for(
+            "svmove v2, s0, -1\nsvmove v3, s0, -1\nvadd v1, v2, v3\nhalt\n",
+            &bare(4),
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn write_dominating_read_in_loop_is_clean() {
+        let src = "addi s1, s0, 4\nloop:\nsubi s1, s1, 1\nbne s1, s0, loop\nhalt\n";
+        assert!(diags_for(src, &bare(4)).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Hardware-stack depth analysis.
+//!
+//! The stack unit has a fixed capacity ([`crate::sim::stack::STACK_DEPTH`]
+//! entries); a `POP` on an empty stack or a `PUSH` on a full one is a
+//! hardware fault. A forward interval analysis tracks the possible stack
+//! depth `[min, max]` at every program point: a `POP` whose interval is
+//! exactly `[0, 0]`-topped (max = 0) underflows on *every* path
+//! ([`DiagCode::StackUnderflow`]); one with min = 0 < max underflows on
+//! *some* abstract path ([`DiagCode::MaybeStackUnderflow`]). Push-side
+//! checks are symmetric against the capacity. To keep the lattice finite
+//! the maximum saturates at capacity + 1, so an unbounded push loop (tree
+//! traversals push data-dependent numbers of children) reports
+//! [`DiagCode::MaybeStackOverflow`] — the honest answer: the bound is a
+//! runtime property (the traversal budget), not a static one.
+
+use crate::isa::inst::Instruction;
+
+use super::cfg::{forward_fixpoint, Cfg};
+use super::{DiagCode, Diagnostic, VerifyConfig};
+
+/// Possible stack depths at a program point (inclusive interval).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Depth {
+    min: u32,
+    max: u32,
+}
+
+/// Runs the pass, appending diagnostics.
+pub fn check(
+    program: &[Instruction],
+    cfg: &Cfg,
+    config: &VerifyConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let cap = config.stack_depth as u32;
+    let saturate = cap + 1; // finite lattice: depths beyond capacity are equal
+    let states = forward_fixpoint(
+        program,
+        cfg,
+        Depth { min: 0, max: 0 },
+        |a, b| Depth {
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+        },
+        |_, inst, s| match inst {
+            Instruction::Push { .. } => Depth {
+                min: (s.min + 1).min(saturate),
+                max: (s.max + 1).min(saturate),
+            },
+            Instruction::Pop { .. } => Depth {
+                min: s.min.saturating_sub(1),
+                max: s.max.saturating_sub(1),
+            },
+            _ => *s,
+        },
+    );
+
+    for (pc, inst) in program.iter().enumerate() {
+        let Some(depth) = &states[pc] else { continue };
+        match inst {
+            Instruction::Pop { .. } => {
+                if depth.max == 0 {
+                    diags.push(Diagnostic::at(
+                        DiagCode::StackUnderflow,
+                        pc as u32,
+                        "POP with a provably empty stack".to_string(),
+                    ));
+                } else if depth.min == 0 {
+                    diags.push(Diagnostic::at(
+                        DiagCode::MaybeStackUnderflow,
+                        pc as u32,
+                        format!(
+                            "POP may underflow: stack depth here is {}..={}",
+                            depth.min, depth.max
+                        ),
+                    ));
+                }
+            }
+            Instruction::Push { .. } => {
+                if depth.min >= cap {
+                    diags.push(Diagnostic::at(
+                        DiagCode::StackOverflow,
+                        pc as u32,
+                        format!("PUSH with a provably full {cap}-entry stack"),
+                    ));
+                } else if depth.max >= cap {
+                    diags.push(Diagnostic::at(
+                        DiagCode::MaybeStackOverflow,
+                        pc as u32,
+                        format!(
+                            "stack depth not statically bounded by the {cap}-entry \
+                             capacity (data-dependent push loop); bound it at runtime",
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn diags_for(src: &str) -> Vec<Diagnostic> {
+        let program = assemble(src).expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        check(&program, &cfg, &VerifyConfig::permissive(4), &mut d);
+        d
+    }
+
+    #[test]
+    fn balanced_push_pop_is_clean() {
+        assert!(diags_for("push s1\npush s2\npop s3\npop s4\nhalt\n").is_empty());
+    }
+
+    #[test]
+    fn pop_on_empty_stack_is_a_must_underflow() {
+        let d = diags_for("pop s1\nhalt\n");
+        assert!(d
+            .iter()
+            .any(|x| x.code == DiagCode::StackUnderflow && x.pc == Some(0)));
+    }
+
+    #[test]
+    fn path_dependent_pop_is_a_warning() {
+        let src = "be s1, s0, skip\npush s2\nskip:\npop s3\nhalt\n";
+        let d = diags_for(src);
+        assert!(
+            d.iter().any(|x| x.code == DiagCode::MaybeStackUnderflow),
+            "{d:?}"
+        );
+        assert!(!d.iter().any(|x| x.code == DiagCode::StackUnderflow));
+    }
+
+    #[test]
+    fn unbounded_push_loop_warns_but_only_in_the_loop() {
+        let src = "push s1\nloop:\npush s2\nbne s3, s0, loop\npop s4\npop s5\nhalt\n";
+        let d = diags_for(src);
+        let warns: Vec<_> = d
+            .iter()
+            .filter(|x| x.code == DiagCode::MaybeStackOverflow)
+            .collect();
+        assert_eq!(warns.len(), 1, "{d:?}");
+        assert_eq!(warns[0].pc, Some(1)); // the loop push, not the entry push
+    }
+
+    #[test]
+    fn popping_a_loop_balanced_stack_is_clean() {
+        // Classic traversal shape: push sentinel + root, loop pops one and
+        // pushes at most two — min depth at the pop stays positive until
+        // the sentinel is consumed, but never goes negative.
+        let src =
+            "push s0\npush s1\nwalk:\npop s2\nbe s2, s0, done\nbne s3, s0, walk\ndone:\nhalt\n";
+        let d = diags_for(src);
+        assert!(
+            !d.iter().any(|x| x.code == DiagCode::StackUnderflow),
+            "{d:?}"
+        );
+    }
+}

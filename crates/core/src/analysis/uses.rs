@@ -1,0 +1,192 @@
+//! Per-instruction register read/write sets.
+//!
+//! One place encodes which architectural registers each Table II
+//! instruction reads and writes; both the static def-use analysis
+//! ([`super::regflow`]) and the simulator's optional uninitialized-read
+//! trap consume it, so the two can never disagree about an instruction's
+//! operands.
+
+use crate::isa::inst::Instruction;
+use crate::isa::reg::{SReg, VReg};
+
+/// Calls `f` for every scalar register the instruction *reads*.
+///
+/// Read-modify-write operands count as reads (`SFXP` reads its
+/// accumulator `rd`). Branch comparands, store values, and address bases
+/// are all reads.
+pub fn for_each_sreg_read(inst: &Instruction, mut f: impl FnMut(SReg)) {
+    use Instruction::*;
+    match *inst {
+        SAlu { rs1, rs2, .. } => {
+            f(rs1);
+            f(rs2);
+        }
+        SAluImm { rs1, .. } | SUnary { rs1, .. } => f(rs1),
+        Branch { rs1, rs2, .. } => {
+            f(rs1);
+            f(rs2);
+        }
+        Push { rs1 } => f(rs1),
+        PqueueInsert { rs_id, rs_val } => {
+            f(rs_id);
+            f(rs_val);
+        }
+        PqueueLoad { rs_idx, .. } => f(rs_idx),
+        Sfxp { rd, rs1, rs2 } => {
+            f(rd);
+            f(rs1);
+            f(rs2);
+        }
+        Load { rs_base, .. } | MemFetch { rs_base, .. } => f(rs_base),
+        Store {
+            rs_val, rs_base, ..
+        } => {
+            f(rs_val);
+            f(rs_base);
+        }
+        SvMove { rs1, .. } => f(rs1),
+        VLoad { rs_base, .. } | VStore { rs_base, .. } => f(rs_base),
+        Jump { .. }
+        | Pop { .. }
+        | PqueueReset
+        | VsMove { .. }
+        | Halt
+        | VAlu { .. }
+        | VAluImm { .. }
+        | VUnary { .. }
+        | Vfxp { .. } => {}
+    }
+}
+
+/// Calls `f` for every vector register the instruction *reads*.
+///
+/// A single-lane `SVMOVE` (lane ≥ 0) counts as a read of its destination:
+/// it merges one lane into the existing register, so the other lanes'
+/// prior contents become observable. `VFXP` likewise reads its
+/// accumulator.
+pub fn for_each_vreg_read(inst: &Instruction, mut f: impl FnMut(VReg)) {
+    use Instruction::*;
+    match *inst {
+        SvMove { vd, lane, .. } if lane >= 0 => f(vd),
+        VsMove { vs1, .. } => f(vs1),
+        VAlu { vs1, vs2, .. } => {
+            f(vs1);
+            f(vs2);
+        }
+        VAluImm { vs1, .. } | VUnary { vs1, .. } => f(vs1),
+        Vfxp { vd, vs1, vs2 } => {
+            f(vd);
+            f(vs1);
+            f(vs2);
+        }
+        VStore { vs, .. } => f(vs),
+        _ => {}
+    }
+}
+
+/// The scalar register the instruction writes, if any.
+pub fn sreg_write(inst: &Instruction) -> Option<SReg> {
+    use Instruction::*;
+    match *inst {
+        SAlu { rd, .. }
+        | SAluImm { rd, .. }
+        | SUnary { rd, .. }
+        | Pop { rd }
+        | PqueueLoad { rd, .. }
+        | Sfxp { rd, .. }
+        | Load { rd, .. }
+        | VsMove { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+/// The vector register the instruction writes, if any.
+pub fn vreg_write(inst: &Instruction) -> Option<VReg> {
+    use Instruction::*;
+    match *inst {
+        SvMove { vd, .. }
+        | VAlu { vd, .. }
+        | VAluImm { vd, .. }
+        | VUnary { vd, .. }
+        | Vfxp { vd, .. }
+        | VLoad { vd, .. } => Some(vd),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::inst::AluOp;
+
+    fn sreads(inst: &Instruction) -> Vec<u8> {
+        let mut v = Vec::new();
+        for_each_sreg_read(inst, |r| v.push(r.0));
+        v
+    }
+
+    fn vreads(inst: &Instruction) -> Vec<u8> {
+        let mut v = Vec::new();
+        for_each_vreg_read(inst, |r| v.push(r.0));
+        v
+    }
+
+    #[test]
+    fn sfxp_reads_its_accumulator() {
+        let i = Instruction::Sfxp {
+            rd: SReg(3),
+            rs1: SReg(4),
+            rs2: SReg(5),
+        };
+        assert_eq!(sreads(&i), vec![3, 4, 5]);
+        assert_eq!(sreg_write(&i), Some(SReg(3)));
+    }
+
+    #[test]
+    fn lane_svmove_reads_the_destination_broadcast_does_not() {
+        let lane = Instruction::SvMove {
+            vd: VReg(2),
+            rs1: SReg(1),
+            lane: 1,
+        };
+        let bcast = Instruction::SvMove {
+            vd: VReg(2),
+            rs1: SReg(1),
+            lane: -1,
+        };
+        assert_eq!(vreads(&lane), vec![2]);
+        assert!(vreads(&bcast).is_empty());
+        assert_eq!(vreg_write(&bcast), Some(VReg(2)));
+    }
+
+    #[test]
+    fn store_reads_value_and_base_writes_nothing() {
+        let i = Instruction::Store {
+            rs_val: SReg(7),
+            rs_base: SReg(9),
+            offset: 4,
+        };
+        assert_eq!(sreads(&i), vec![7, 9]);
+        assert_eq!(sreg_write(&i), None);
+    }
+
+    #[test]
+    fn alu_shapes() {
+        let i = Instruction::SAlu {
+            op: AluOp::Add,
+            rd: SReg(1),
+            rs1: SReg(2),
+            rs2: SReg(3),
+        };
+        assert_eq!(sreads(&i), vec![2, 3]);
+        assert_eq!(sreg_write(&i), Some(SReg(1)));
+        let v = Instruction::VAlu {
+            op: AluOp::Add,
+            vd: VReg(1),
+            vs1: VReg(2),
+            vs2: VReg(3),
+        };
+        assert_eq!(vreads(&v), vec![2, 3]);
+        assert_eq!(vreg_write(&v), Some(VReg(1)));
+    }
+}

@@ -6,10 +6,8 @@
 //! scratchpad memory. However, relative to the CPU or GPU, the SSAM
 //! acceleration logic is still significantly smaller." (Section V-A.)
 
-use serde::{Deserialize, Serialize};
-
 /// Per-module area in mm² at 28 nm.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModuleArea {
     /// Priority-queue unit.
     pub pqueue: f64,
@@ -122,7 +120,10 @@ mod tests {
 
     #[test]
     fn area_grows_with_vector_length() {
-        let t: Vec<f64> = [2, 4, 8, 16].iter().map(|&v| module_area(v).total()).collect();
+        let t: Vec<f64> = [2, 4, 8, 16]
+            .iter()
+            .map(|&v| module_area(v).total())
+            .collect();
         for w in t.windows(2) {
             assert!(w[1] > w[0]);
         }

@@ -24,7 +24,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// One operand token.
@@ -63,7 +66,9 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
         Some(d) => (true, d),
         None => (false, t),
     };
-    let parsed = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+    let parsed = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
     {
         i64::from_str_radix(hex, 16).ok()
     } else if digits.chars().all(|c| c.is_ascii_digit()) && !digits.is_empty() {
@@ -75,7 +80,9 @@ fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
         return Ok(Operand::Imm(if neg { -v } else { v }));
     }
     // Otherwise a symbol (label or pqueue field name).
-    if t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') {
+    if t.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
         Ok(Operand::Symbol(t.to_string()))
     } else {
         Err(err(line, format!("malformed operand `{t}`")))
@@ -120,7 +127,14 @@ fn scan_line(raw: &str, line: usize) -> Result<(Vec<String>, Option<SourceLine>)
             .collect::<Result<Vec<_>, _>>()?,
         _ => Vec::new(),
     };
-    Ok((labels, Some(SourceLine { line, mnemonic, operands })))
+    Ok((
+        labels,
+        Some(SourceLine {
+            line,
+            mnemonic,
+            operands,
+        }),
+    ))
 }
 
 /// Assembles source text into a program (a vector of instructions).
@@ -189,7 +203,11 @@ fn want(n: usize, sl: &SourceLine) -> Result<(), AsmError> {
     if sl.operands.len() != n {
         Err(err(
             sl.line,
-            format!("`{}` expects {n} operand(s), got {}", sl.mnemonic, sl.operands.len()),
+            format!(
+                "`{}` expects {n} operand(s), got {}",
+                sl.mnemonic,
+                sl.operands.len()
+            ),
         ))
     } else {
         Ok(())
@@ -199,14 +217,20 @@ fn want(n: usize, sl: &SourceLine) -> Result<(), AsmError> {
 fn as_sreg(op: &Operand, sl: &SourceLine) -> Result<SReg, AsmError> {
     match op {
         Operand::SReg(r) => Ok(*r),
-        other => Err(err(sl.line, format!("expected scalar register, got {other:?}"))),
+        other => Err(err(
+            sl.line,
+            format!("expected scalar register, got {other:?}"),
+        )),
     }
 }
 
 fn as_vreg(op: &Operand, sl: &SourceLine) -> Result<VReg, AsmError> {
     match op {
         Operand::VReg(r) => Ok(*r),
-        other => Err(err(sl.line, format!("expected vector register, got {other:?}"))),
+        other => Err(err(
+            sl.line,
+            format!("expected vector register, got {other:?}"),
+        )),
     }
 }
 
@@ -221,7 +245,11 @@ fn as_imm(op: &Operand, equs: &HashMap<String, i64>, sl: &SourceLine) -> Result<
     i32::try_from(v).map_err(|_| err(sl.line, format!("immediate {v} out of 32-bit range")))
 }
 
-fn as_target(op: &Operand, labels: &HashMap<String, u32>, sl: &SourceLine) -> Result<u32, AsmError> {
+fn as_target(
+    op: &Operand,
+    labels: &HashMap<String, u32>,
+    sl: &SourceLine,
+) -> Result<u32, AsmError> {
     match op {
         Operand::Imm(v) if *v >= 0 => Ok(*v as u32),
         Operand::Imm(v) => Err(err(sl.line, format!("negative branch target {v}"))),
@@ -229,7 +257,10 @@ fn as_target(op: &Operand, labels: &HashMap<String, u32>, sl: &SourceLine) -> Re
             .get(name)
             .copied()
             .ok_or_else(|| err(sl.line, format!("undefined label `{name}`"))),
-        other => Err(err(sl.line, format!("expected label or address, got {other:?}"))),
+        other => Err(err(
+            sl.line,
+            format!("expected label or address, got {other:?}"),
+        )),
     }
 }
 
@@ -247,11 +278,22 @@ fn encode_line(
         let rd = as_sreg(&sl.operands[0], sl)?;
         let rs1 = as_sreg(&sl.operands[1], sl)?;
         match &sl.operands[2] {
-            Operand::SReg(rs2) => Ok(I::SAlu { op, rd, rs1, rs2: *rs2 }),
-            Operand::Imm(_) | Operand::Symbol(_) => {
-                Ok(I::SAluImm { op, rd, rs1, imm: as_imm(&sl.operands[2], equs, sl)? })
-            }
-            other => Err(err(sl.line, format!("expected register or immediate, got {other:?}"))),
+            Operand::SReg(rs2) => Ok(I::SAlu {
+                op,
+                rd,
+                rs1,
+                rs2: *rs2,
+            }),
+            Operand::Imm(_) | Operand::Symbol(_) => Ok(I::SAluImm {
+                op,
+                rd,
+                rs1,
+                imm: as_imm(&sl.operands[2], equs, sl)?,
+            }),
+            other => Err(err(
+                sl.line,
+                format!("expected register or immediate, got {other:?}"),
+            )),
         }
     };
     let salu_imm = |op: AluOp| -> Result<Instruction, AsmError> {
@@ -268,11 +310,22 @@ fn encode_line(
         let vd = as_vreg(&sl.operands[0], sl)?;
         let vs1 = as_vreg(&sl.operands[1], sl)?;
         match &sl.operands[2] {
-            Operand::VReg(vs2) => Ok(I::VAlu { op, vd, vs1, vs2: *vs2 }),
-            Operand::Imm(_) | Operand::Symbol(_) => {
-                Ok(I::VAluImm { op, vd, vs1, imm: as_imm(&sl.operands[2], equs, sl)? })
-            }
-            other => Err(err(sl.line, format!("expected register or immediate, got {other:?}"))),
+            Operand::VReg(vs2) => Ok(I::VAlu {
+                op,
+                vd,
+                vs1,
+                vs2: *vs2,
+            }),
+            Operand::Imm(_) | Operand::Symbol(_) => Ok(I::VAluImm {
+                op,
+                vd,
+                vs1,
+                imm: as_imm(&sl.operands[2], equs, sl)?,
+            }),
+            other => Err(err(
+                sl.line,
+                format!("expected register or immediate, got {other:?}"),
+            )),
         }
     };
     let valu_imm = |op: AluOp| -> Result<Instruction, AsmError> {
@@ -332,7 +385,9 @@ fn encode_line(
         "be" => branch(BranchCond::Eq),
         "j" => {
             want(1, sl)?;
-            Ok(I::Jump { target: as_target(&sl.operands[0], labels, sl)? })
+            Ok(I::Jump {
+                target: as_target(&sl.operands[0], labels, sl)?,
+            })
         }
         "halt" => {
             want(0, sl)?;
@@ -340,11 +395,15 @@ fn encode_line(
         }
         "push" => {
             want(1, sl)?;
-            Ok(I::Push { rs1: as_sreg(&sl.operands[0], sl)? })
+            Ok(I::Push {
+                rs1: as_sreg(&sl.operands[0], sl)?,
+            })
         }
         "pop" => {
             want(1, sl)?;
-            Ok(I::Pop { rd: as_sreg(&sl.operands[0], sl)? })
+            Ok(I::Pop {
+                rd: as_sreg(&sl.operands[0], sl)?,
+            })
         }
         "pqueue_insert" => {
             want(2, sl)?;
@@ -543,15 +602,34 @@ mod tests {
             "pqueue_load s1, s2, id\npqueue_load s1, s2, value\npqueue_load s1, s2, size\nhalt",
         )
         .expect("assembles");
-        assert!(matches!(p[0], I::PqueueLoad { field: PqField::Id, .. }));
-        assert!(matches!(p[1], I::PqueueLoad { field: PqField::Value, .. }));
-        assert!(matches!(p[2], I::PqueueLoad { field: PqField::Size, .. }));
+        assert!(matches!(
+            p[0],
+            I::PqueueLoad {
+                field: PqField::Id,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p[1],
+            I::PqueueLoad {
+                field: PqField::Value,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p[2],
+            I::PqueueLoad {
+                field: PqField::Size,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn vector_mnemonics_parse() {
-        let p = assemble("vload v0, s1, 0\nvsub v0, v0, v1\nvmult v0, v0, v0\nvfxp v2, v0, v1\nhalt")
-            .expect("assembles");
+        let p =
+            assemble("vload v0, s1, 0\nvsub v0, v0, v1\nvmult v0, v0, v0\nvfxp v2, v0, v1\nhalt")
+                .expect("assembles");
         assert!(matches!(p[0], I::VLoad { .. }));
         assert!(matches!(p[1], I::VAlu { op: AluOp::Sub, .. }));
         assert!(matches!(p[3], I::Vfxp { .. }));
@@ -642,24 +720,33 @@ mod tests {
 
     #[test]
     fn equ_can_be_defined_after_use() {
-        let p = assemble("addi s1, s0, LATER
+        let p = assemble(
+            "addi s1, s0, LATER
 .equ LATER, 7
-halt").expect("assembles");
+halt",
+        )
+        .expect("assembles");
         assert!(matches!(p[0], I::SAluImm { imm: 7, .. }));
     }
 
     #[test]
     fn undefined_constant_is_an_error() {
-        let e = assemble("addi s1, s0, MYSTERY
-halt").expect_err("should fail");
+        let e = assemble(
+            "addi s1, s0, MYSTERY
+halt",
+        )
+        .expect_err("should fail");
         assert!(e.message.contains("undefined constant"));
     }
 
     #[test]
     fn duplicate_constant_is_an_error() {
-        let e = assemble(".equ A, 1
+        let e = assemble(
+            ".equ A, 1
 .equ A, 2
-halt").expect_err("should fail");
+halt",
+        )
+        .expect_err("should fail");
         assert!(e.message.contains("duplicate constant"));
     }
 

@@ -18,7 +18,6 @@
 //! fraction of the original dataset size".
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use ssam_knn::topk::{Neighbor, TopK};
 use ssam_knn::VectorStore;
 
@@ -37,7 +36,7 @@ pub struct SsamCluster {
 }
 
 /// Timing for one cluster query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterTiming {
     /// End-to-end seconds (broadcast + slowest module + collection).
     pub seconds: f64,
@@ -75,7 +74,12 @@ impl SsamCluster {
             first_ids.push(next as u32);
             next += count;
         }
-        Self { modules: devs, first_ids, vectors: store.len(), config }
+        Self {
+            modules: devs,
+            first_ids,
+            vectors: store.len(),
+            config,
+        }
     }
 
     /// Number of modules in the chain.
@@ -130,9 +134,9 @@ impl SsamCluster {
         let broadcast_seconds =
             depth as f64 * ssam_hmc::packet::bulk_wire_bytes(query_bytes) as f64 / link_bw;
         let result_bytes = (self.modules.len() * k * 8) as u64;
-        let collect_seconds =
-            depth as f64 * ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / link_bw
-                + (self.modules.len() * k) as f64 * 1e-9;
+        let collect_seconds = depth as f64 * ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64
+            / link_bw
+            + (self.modules.len() * k) as f64 * 1e-9;
 
         let timing = ClusterTiming {
             seconds: broadcast_seconds + module_seconds + collect_seconds,

@@ -185,8 +185,8 @@ impl IndexedSsamDevice {
             total_bytes += s.dram.bytes_read;
         }
         let result_bytes = (vault_stats.len() * k * 8) as u64;
-        let link_t = ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64
-            / cfg.hmc.external_bandwidth;
+        let link_t =
+            ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / cfg.hmc.external_bandwidth;
         let merge_t = (vault_stats.len() * k) as f64 * 1e-9;
         let seconds = worst + link_t + merge_t;
 
@@ -260,7 +260,10 @@ mod tests {
             cyc_lo += t_lo.total_cycles;
             cyc_hi += t_hi.total_cycles;
         }
-        assert!(rec_hi >= rec_lo, "recall did not improve: {rec_lo} vs {rec_hi}");
+        assert!(
+            rec_hi >= rec_lo,
+            "recall did not improve: {rec_lo} vs {rec_hi}"
+        );
         assert!(cyc_lo < cyc_hi, "budget must control work");
     }
 
@@ -291,7 +294,12 @@ mod tests {
         let dev = IndexedSsamDevice::build(config(), &store, 8);
         let (_, t, _) = dev.query(&[0.1; 8], 5, 1).expect("runs");
         let full_bytes = (4000 * dev.vec_words * 4) as u64;
-        assert!(t.total_bytes < full_bytes / 3, "{} vs {}", t.total_bytes, full_bytes);
+        assert!(
+            t.total_bytes < full_bytes / 3,
+            "{} vs {}",
+            t.total_bytes,
+            full_bytes
+        );
     }
 
     #[test]
@@ -304,7 +312,10 @@ mod tests {
             .collect();
         for vl in [2usize, 4, 8, 16] {
             let dev = IndexedSsamDevice::build(
-                SsamConfig { vector_length: vl, ..SsamConfig::default() },
+                SsamConfig {
+                    vector_length: vl,
+                    ..SsamConfig::default()
+                },
                 &store,
                 16,
             );

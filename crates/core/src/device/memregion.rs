@@ -282,7 +282,13 @@ mod tests {
     fn allocation_size_is_enforced() {
         let mut r = SsamRegion::nmalloc(10);
         let e = r.nmemcpy(&store()).expect_err("too big");
-        assert!(matches!(e, RegionError::AllocationExceeded { allocated: 10, needed: 180 }));
+        assert!(matches!(
+            e,
+            RegionError::AllocationExceeded {
+                allocated: 10,
+                needed: 180
+            }
+        ));
     }
 
     #[test]
@@ -316,7 +322,12 @@ mod tests {
         lin.nmemcpy(&s).expect("copy");
         lin.nwrite_query(&q).expect("query");
         lin.nexec(5).expect("exec");
-        let lin_ids: Vec<u32> = lin.nread_result().expect("results").iter().map(|n| n.id).collect();
+        let lin_ids: Vec<u32> = lin
+            .nread_result()
+            .expect("results")
+            .iter()
+            .map(|n| n.id)
+            .collect();
 
         let mut kd = SsamRegion::nmalloc(1000);
         kd.nmode(IndexMode::KdTree { leaf_size: 8 });
@@ -324,7 +335,12 @@ mod tests {
         kd.nbuild_index(None).expect("build");
         kd.nwrite_query(&q).expect("query");
         kd.nexec(5).expect("exec");
-        let kd_ids: Vec<u32> = kd.nread_result().expect("results").iter().map(|n| n.id).collect();
+        let kd_ids: Vec<u32> = kd
+            .nread_result()
+            .expect("results")
+            .iter()
+            .map(|n| n.id)
+            .collect();
         assert_eq!(kd_ids, lin_ids);
     }
 

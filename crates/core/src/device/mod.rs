@@ -23,7 +23,6 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use ssam_hmc::HmcConfig;
 use ssam_knn::binary::BinaryStore;
 use ssam_knn::distance::norm_sq;
@@ -37,7 +36,7 @@ use crate::kernels::{linear, Kernel};
 use crate::sim::pu::{ProcessingUnit, RunStats, SimError};
 
 /// Device configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SsamConfig {
     /// The memory module geometry.
     pub hmc: HmcConfig,
@@ -65,7 +64,7 @@ impl Default for SsamConfig {
 }
 
 /// Which kernel family a query runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceMetric {
     /// Squared Euclidean (canonical).
     Euclidean,
@@ -126,7 +125,7 @@ enum Payload {
 }
 
 /// Timing/energy account for one device query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryTiming {
     /// Wall-clock seconds for the query (slowest vault + host reduce +
     /// link transfer).
@@ -254,7 +253,11 @@ impl SsamDevice {
             for id in next..next + count {
                 emit(id as u32, &mut words);
             }
-            shards.push(Shard { words: Arc::new(words), first_id: next as u32, vectors: count });
+            shards.push(Shard {
+                words: Arc::new(words),
+                first_id: next as u32,
+                vectors: count,
+            });
             next += count;
         }
         // Shard byte span must stay within the PU's positive address space.
@@ -293,7 +296,8 @@ impl SsamDevice {
         };
         debug_assert_eq!(kernel.layout.vec_words, self.vec_words);
         let kernel = Arc::new(kernel);
-        self.kernel_cache.insert((metric, cache_k), Arc::clone(&kernel));
+        self.kernel_cache
+            .insert((metric, cache_k), Arc::clone(&kernel));
         kernel
     }
 
@@ -409,7 +413,11 @@ impl SsamDevice {
 
         let vault_stats: Vec<RunStats> = results.iter().map(|(_, s)| *s).collect();
         let timing = self.derive_timing(&vault_stats, k);
-        Ok(DeviceResult { neighbors, timing, vault_stats })
+        Ok(DeviceResult {
+            neighbors,
+            timing,
+            vault_stats,
+        })
     }
 
     /// Derives query time and energy from per-vault simulation statistics.
@@ -455,8 +463,8 @@ impl SsamDevice {
 
         // Result collection: each vault returns k (id, value) tuples.
         let result_bytes = (vault_stats.len() * k * 8) as u64;
-        let link_t = ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64
-            / cfg.hmc.external_bandwidth;
+        let link_t =
+            ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / cfg.hmc.external_bandwidth;
         // Host merge: ~log-depth reduction over vaults·k tuples at ~1 ns each.
         let merge_t = (vault_stats.len() * k) as f64 * 1e-9;
 
@@ -509,7 +517,7 @@ impl SsamDevice {
 }
 
 /// Batch throughput/energy estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchEstimate {
     /// Mean seconds per query.
     pub seconds_per_query: f64,
@@ -543,7 +551,10 @@ mod tests {
     }
 
     fn device(vl: usize) -> SsamDevice {
-        SsamDevice::new(SsamConfig { vector_length: vl, ..SsamConfig::default() })
+        SsamDevice::new(SsamConfig {
+            vector_length: vl,
+            ..SsamConfig::default()
+        })
     }
 
     #[test]
@@ -635,7 +646,10 @@ mod tests {
         let q: Vec<f32> = (0..5).map(|i| 0.2 * i as f32).collect();
         let mut hw = device(4);
         hw.load_vectors(&store);
-        let mut sw = SsamDevice::new(SsamConfig { use_hw_queue: false, ..SsamConfig::default() });
+        let mut sw = SsamDevice::new(SsamConfig {
+            use_hw_queue: false,
+            ..SsamConfig::default()
+        });
         sw.load_vectors(&store);
         let rh = hw.query(&DeviceQuery::Euclidean(&q), 8).expect("hw runs");
         let rs = sw.query(&DeviceQuery::Euclidean(&q), 8).expect("sw runs");

@@ -14,12 +14,10 @@
 //! are consistent with mW for a design of this size, and only *ratios*
 //! matter for the energy-efficiency comparisons, which are normalized).
 
-use serde::{Deserialize, Serialize};
-
 use crate::sim::RunStats;
 
 /// Per-module power, in Table III units (mW).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModulePower {
     /// Priority-queue unit.
     pub pqueue: f64,
@@ -94,7 +92,7 @@ pub fn module_power(vl: usize) -> ModulePower {
 }
 
 /// Per-module switching activity in `[0, 1]`, derived from a kernel run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Activity {
     /// Priority-queue unit activity.
     pub pqueue: f64,
@@ -187,7 +185,10 @@ mod tests {
     #[test]
     fn wider_vectors_burn_more_power() {
         let a = Activity::peak();
-        let p: Vec<f64> = [2, 4, 8, 16].iter().map(|&vl| effective_power(vl, &a)).collect();
+        let p: Vec<f64> = [2, 4, 8, 16]
+            .iter()
+            .map(|&vl| effective_power(vl, &a))
+            .collect();
         for w in p.windows(2) {
             assert!(w[1] > w[0], "power not monotone in VL: {p:?}");
         }
@@ -213,7 +214,15 @@ mod tests {
             ..RunStats::default()
         };
         let a = Activity::from_stats(&stats);
-        for v in [a.pqueue, a.stack, a.alus, a.scratchpad, a.regfiles, a.ins_memory, a.pipeline] {
+        for v in [
+            a.pqueue,
+            a.stack,
+            a.alus,
+            a.scratchpad,
+            a.regfiles,
+            a.ins_memory,
+            a.pipeline,
+        ] {
             assert!((0.0..=1.0).contains(&v));
         }
         assert_eq!(a.alus, 1.0);
@@ -238,7 +247,11 @@ mod tests {
 
     #[test]
     fn energy_scales_with_cycles() {
-        let mut stats = RunStats { cycles: 1000, instructions: 1000, ..RunStats::default() };
+        let mut stats = RunStats {
+            cycles: 1000,
+            instructions: 1000,
+            ..RunStats::default()
+        };
         let e1 = kernel_energy_mj(4, &stats, 1e9);
         stats.cycles = 2000;
         let e2 = kernel_energy_mj(4, &stats, 1e9);

@@ -155,9 +155,12 @@ pub fn encode(inst: &Instruction) -> u64 {
         SAlu { op, rd, rs1, rs2 } => pack(Opcode::SAlu, alu_code(op), rd.0, rs1.0, rs2.0 as i32),
         SAluImm { op, rd, rs1, imm } => pack(Opcode::SAluImm, alu_code(op), rd.0, rs1.0, imm),
         SUnary { op, rd, rs1 } => pack(Opcode::SUnary, unary_code(op), rd.0, rs1.0, 0),
-        Branch { cond, rs1, rs2, target } => {
-            pack(Opcode::Branch, cond_code(cond), rs1.0, rs2.0, target as i32)
-        }
+        Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => pack(Opcode::Branch, cond_code(cond), rs1.0, rs2.0, target as i32),
         Jump { target } => pack(Opcode::Jump, 0, 0, 0, target as i32),
         Push { rs1 } => pack(Opcode::Push, 0, rs1.0, 0, 0),
         Pop { rd } => pack(Opcode::Pop, 0, rd.0, 0, 0),
@@ -167,8 +170,16 @@ pub fn encode(inst: &Instruction) -> u64 {
         }
         PqueueReset => pack(Opcode::PqueueReset, 0, 0, 0, 0),
         Sfxp { rd, rs1, rs2 } => pack(Opcode::Sfxp, 0, rd.0, rs1.0, rs2.0 as i32),
-        Load { rd, rs_base, offset } => pack(Opcode::Load, 0, rd.0, rs_base.0, offset),
-        Store { rs_val, rs_base, offset } => pack(Opcode::Store, 0, rs_val.0, rs_base.0, offset),
+        Load {
+            rd,
+            rs_base,
+            offset,
+        } => pack(Opcode::Load, 0, rd.0, rs_base.0, offset),
+        Store {
+            rs_val,
+            rs_base,
+            offset,
+        } => pack(Opcode::Store, 0, rs_val.0, rs_base.0, offset),
         MemFetch { rs_base, len } => pack(Opcode::MemFetch, 0, rs_base.0, 0, len),
         SvMove { vd, rs1, lane } => pack(Opcode::SvMove, 0, vd.0, rs1.0, lane as i32),
         VsMove { rd, vs1, lane } => pack(Opcode::VsMove, 0, rd.0, vs1.0, lane as i32),
@@ -177,8 +188,16 @@ pub fn encode(inst: &Instruction) -> u64 {
         VAluImm { op, vd, vs1, imm } => pack(Opcode::VAluImm, alu_code(op), vd.0, vs1.0, imm),
         VUnary { op, vd, vs1 } => pack(Opcode::VUnary, unary_code(op), vd.0, vs1.0, 0),
         Vfxp { vd, vs1, vs2 } => pack(Opcode::Vfxp, 0, vd.0, vs1.0, vs2.0 as i32),
-        VLoad { vd, rs_base, offset } => pack(Opcode::VLoad, 0, vd.0, rs_base.0, offset),
-        VStore { vs, rs_base, offset } => pack(Opcode::VStore, 0, vs.0, rs_base.0, offset),
+        VLoad {
+            vd,
+            rs_base,
+            offset,
+        } => pack(Opcode::VLoad, 0, vd.0, rs_base.0, offset),
+        VStore {
+            vs,
+            rs_base,
+            offset,
+        } => pack(Opcode::VStore, 0, vs.0, rs_base.0, offset),
     }
 }
 
@@ -197,12 +216,17 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
             rs1: sreg(b)?,
             rs2: sreg(imm as u8)?,
         },
-        x if x == Opcode::SAluImm as u8 => {
-            I::SAluImm { op: alu_from(sub)?, rd: sreg(a)?, rs1: sreg(b)?, imm }
-        }
-        x if x == Opcode::SUnary as u8 => {
-            I::SUnary { op: unary_from(sub)?, rd: sreg(a)?, rs1: sreg(b)? }
-        }
+        x if x == Opcode::SAluImm as u8 => I::SAluImm {
+            op: alu_from(sub)?,
+            rd: sreg(a)?,
+            rs1: sreg(b)?,
+            imm,
+        },
+        x if x == Opcode::SUnary as u8 => I::SUnary {
+            op: unary_from(sub)?,
+            rd: sreg(a)?,
+            rs1: sreg(b)?,
+        },
         x if x == Opcode::Branch as u8 => I::Branch {
             cond: cond_from(sub)?,
             rs1: sreg(a)?,
@@ -212,27 +236,45 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
         x if x == Opcode::Jump as u8 => I::Jump { target: imm as u32 },
         x if x == Opcode::Push as u8 => I::Push { rs1: sreg(a)? },
         x if x == Opcode::Pop as u8 => I::Pop { rd: sreg(a)? },
-        x if x == Opcode::PqueueInsert as u8 => {
-            I::PqueueInsert { rs_id: sreg(a)?, rs_val: sreg(b)? }
-        }
-        x if x == Opcode::PqueueLoad as u8 => {
-            I::PqueueLoad { rd: sreg(a)?, rs_idx: sreg(b)?, field: field_from(sub)? }
-        }
+        x if x == Opcode::PqueueInsert as u8 => I::PqueueInsert {
+            rs_id: sreg(a)?,
+            rs_val: sreg(b)?,
+        },
+        x if x == Opcode::PqueueLoad as u8 => I::PqueueLoad {
+            rd: sreg(a)?,
+            rs_idx: sreg(b)?,
+            field: field_from(sub)?,
+        },
         x if x == Opcode::PqueueReset as u8 => I::PqueueReset,
-        x if x == Opcode::Sfxp as u8 => {
-            I::Sfxp { rd: sreg(a)?, rs1: sreg(b)?, rs2: sreg(imm as u8)? }
-        }
-        x if x == Opcode::Load as u8 => I::Load { rd: sreg(a)?, rs_base: sreg(b)?, offset: imm },
-        x if x == Opcode::Store as u8 => {
-            I::Store { rs_val: sreg(a)?, rs_base: sreg(b)?, offset: imm }
-        }
-        x if x == Opcode::MemFetch as u8 => I::MemFetch { rs_base: sreg(a)?, len: imm },
-        x if x == Opcode::SvMove as u8 => {
-            I::SvMove { vd: vreg(a)?, rs1: sreg(b)?, lane: imm as i8 }
-        }
-        x if x == Opcode::VsMove as u8 => {
-            I::VsMove { rd: sreg(a)?, vs1: vreg(b)?, lane: imm as u8 }
-        }
+        x if x == Opcode::Sfxp as u8 => I::Sfxp {
+            rd: sreg(a)?,
+            rs1: sreg(b)?,
+            rs2: sreg(imm as u8)?,
+        },
+        x if x == Opcode::Load as u8 => I::Load {
+            rd: sreg(a)?,
+            rs_base: sreg(b)?,
+            offset: imm,
+        },
+        x if x == Opcode::Store as u8 => I::Store {
+            rs_val: sreg(a)?,
+            rs_base: sreg(b)?,
+            offset: imm,
+        },
+        x if x == Opcode::MemFetch as u8 => I::MemFetch {
+            rs_base: sreg(a)?,
+            len: imm,
+        },
+        x if x == Opcode::SvMove as u8 => I::SvMove {
+            vd: vreg(a)?,
+            rs1: sreg(b)?,
+            lane: imm as i8,
+        },
+        x if x == Opcode::VsMove as u8 => I::VsMove {
+            rd: sreg(a)?,
+            vs1: vreg(b)?,
+            lane: imm as u8,
+        },
         x if x == Opcode::Halt as u8 => I::Halt,
         x if x == Opcode::VAlu as u8 => I::VAlu {
             op: alu_from(sub)?,
@@ -240,19 +282,32 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
             vs1: vreg(b)?,
             vs2: vreg(imm as u8)?,
         },
-        x if x == Opcode::VAluImm as u8 => {
-            I::VAluImm { op: alu_from(sub)?, vd: vreg(a)?, vs1: vreg(b)?, imm }
-        }
-        x if x == Opcode::VUnary as u8 => {
-            I::VUnary { op: unary_from(sub)?, vd: vreg(a)?, vs1: vreg(b)? }
-        }
-        x if x == Opcode::Vfxp as u8 => {
-            I::Vfxp { vd: vreg(a)?, vs1: vreg(b)?, vs2: vreg(imm as u8)? }
-        }
-        x if x == Opcode::VLoad as u8 => I::VLoad { vd: vreg(a)?, rs_base: sreg(b)?, offset: imm },
-        x if x == Opcode::VStore as u8 => {
-            I::VStore { vs: vreg(a)?, rs_base: sreg(b)?, offset: imm }
-        }
+        x if x == Opcode::VAluImm as u8 => I::VAluImm {
+            op: alu_from(sub)?,
+            vd: vreg(a)?,
+            vs1: vreg(b)?,
+            imm,
+        },
+        x if x == Opcode::VUnary as u8 => I::VUnary {
+            op: unary_from(sub)?,
+            vd: vreg(a)?,
+            vs1: vreg(b)?,
+        },
+        x if x == Opcode::Vfxp as u8 => I::Vfxp {
+            vd: vreg(a)?,
+            vs1: vreg(b)?,
+            vs2: vreg(imm as u8)?,
+        },
+        x if x == Opcode::VLoad as u8 => I::VLoad {
+            vd: vreg(a)?,
+            rs_base: sreg(b)?,
+            offset: imm,
+        },
+        x if x == Opcode::VStore as u8 => I::VStore {
+            vs: vreg(a)?,
+            rs_base: sreg(b)?,
+            offset: imm,
+        },
         other => return Err(DecodeError::BadOpcode(other)),
     })
 }
@@ -265,29 +320,104 @@ mod tests {
     fn all_shapes() -> Vec<Instruction> {
         use Instruction::*;
         vec![
-            SAlu { op: AluOp::Mult, rd: SReg(1), rs1: SReg(2), rs2: SReg(3) },
-            SAluImm { op: AluOp::Sra, rd: SReg(31), rs1: SReg(0), imm: -12345 },
-            SUnary { op: UnaryOp::Popcount, rd: SReg(4), rs1: SReg(5) },
-            Branch { cond: BranchCond::Gt, rs1: SReg(6), rs2: SReg(7), target: 99 },
+            SAlu {
+                op: AluOp::Mult,
+                rd: SReg(1),
+                rs1: SReg(2),
+                rs2: SReg(3),
+            },
+            SAluImm {
+                op: AluOp::Sra,
+                rd: SReg(31),
+                rs1: SReg(0),
+                imm: -12345,
+            },
+            SUnary {
+                op: UnaryOp::Popcount,
+                rd: SReg(4),
+                rs1: SReg(5),
+            },
+            Branch {
+                cond: BranchCond::Gt,
+                rs1: SReg(6),
+                rs2: SReg(7),
+                target: 99,
+            },
             Jump { target: 1234 },
             Push { rs1: SReg(8) },
             Pop { rd: SReg(9) },
-            PqueueInsert { rs_id: SReg(10), rs_val: SReg(11) },
-            PqueueLoad { rd: SReg(12), rs_idx: SReg(13), field: PqField::Value },
+            PqueueInsert {
+                rs_id: SReg(10),
+                rs_val: SReg(11),
+            },
+            PqueueLoad {
+                rd: SReg(12),
+                rs_idx: SReg(13),
+                field: PqField::Value,
+            },
             PqueueReset,
-            Sfxp { rd: SReg(14), rs1: SReg(15), rs2: SReg(16) },
-            Load { rd: SReg(17), rs_base: SReg(18), offset: -64 },
-            Store { rs_val: SReg(19), rs_base: SReg(20), offset: 4096 },
-            MemFetch { rs_base: SReg(21), len: 1 << 20 },
-            SvMove { vd: VReg(1), rs1: SReg(22), lane: -1 },
-            VsMove { rd: SReg(23), vs1: VReg(2), lane: 15 },
+            Sfxp {
+                rd: SReg(14),
+                rs1: SReg(15),
+                rs2: SReg(16),
+            },
+            Load {
+                rd: SReg(17),
+                rs_base: SReg(18),
+                offset: -64,
+            },
+            Store {
+                rs_val: SReg(19),
+                rs_base: SReg(20),
+                offset: 4096,
+            },
+            MemFetch {
+                rs_base: SReg(21),
+                len: 1 << 20,
+            },
+            SvMove {
+                vd: VReg(1),
+                rs1: SReg(22),
+                lane: -1,
+            },
+            VsMove {
+                rd: SReg(23),
+                vs1: VReg(2),
+                lane: 15,
+            },
             Halt,
-            VAlu { op: AluOp::Xor, vd: VReg(3), vs1: VReg(4), vs2: VReg(5) },
-            VAluImm { op: AluOp::Sl, vd: VReg(6), vs1: VReg(7), imm: 16 },
-            VUnary { op: UnaryOp::Not, vd: VReg(0), vs1: VReg(1) },
-            Vfxp { vd: VReg(2), vs1: VReg(3), vs2: VReg(4) },
-            VLoad { vd: VReg(5), rs_base: SReg(24), offset: 128 },
-            VStore { vs: VReg(6), rs_base: SReg(25), offset: -4 },
+            VAlu {
+                op: AluOp::Xor,
+                vd: VReg(3),
+                vs1: VReg(4),
+                vs2: VReg(5),
+            },
+            VAluImm {
+                op: AluOp::Sl,
+                vd: VReg(6),
+                vs1: VReg(7),
+                imm: 16,
+            },
+            VUnary {
+                op: UnaryOp::Not,
+                vd: VReg(0),
+                vs1: VReg(1),
+            },
+            Vfxp {
+                vd: VReg(2),
+                vs1: VReg(3),
+                vs2: VReg(4),
+            },
+            VLoad {
+                vd: VReg(5),
+                rs_base: SReg(24),
+                offset: 128,
+            },
+            VStore {
+                vs: VReg(6),
+                rs_base: SReg(25),
+                offset: -4,
+            },
         ]
     }
 
@@ -302,7 +432,10 @@ mod tests {
 
     #[test]
     fn bad_opcode_rejected() {
-        assert!(matches!(decode(0xFF << 56), Err(DecodeError::BadOpcode(0xFF))));
+        assert!(matches!(
+            decode(0xFF << 56),
+            Err(DecodeError::BadOpcode(0xFF))
+        ));
     }
 
     #[test]
@@ -320,7 +453,12 @@ mod tests {
 
     #[test]
     fn negative_immediates_survive() {
-        let i = Instruction::SAluImm { op: AluOp::Add, rd: SReg(1), rs1: SReg(1), imm: i32::MIN };
+        let i = Instruction::SAluImm {
+            op: AluOp::Add,
+            rd: SReg(1),
+            rs1: SReg(1),
+            imm: i32::MIN,
+        };
         assert_eq!(decode(encode(&i)).expect("decodes"), i);
     }
 

@@ -17,13 +17,12 @@
 //! `HALT` terminates a kernel (the hardware raises "done" to the vault
 //! controller); it is an assembler-level addition not listed in Table II.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use super::reg::{SReg, VReg};
 
 /// Two-operand ALU operations, shared by scalar and vector datapaths.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// Wrapping 32-bit add.
     Add,
@@ -79,7 +78,7 @@ impl AluOp {
 }
 
 /// One-operand ALU operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// Bitwise NOT.
     Not,
@@ -107,7 +106,7 @@ impl UnaryOp {
 }
 
 /// Branch conditions (`BNE`, `BGT`, `BLT`, `BE`). Comparisons are signed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchCond {
     /// Branch if not equal.
     Ne,
@@ -144,7 +143,7 @@ impl BranchCond {
 
 /// Field selector for `PQUEUE_LOAD` ("reads either the id or the value of
 /// a tuple in the priority queue at a designated queue position").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PqField {
     /// The stored identifier.
     Id,
@@ -156,7 +155,7 @@ pub enum PqField {
 }
 
 /// One SSAM PU instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instruction {
     // ---- scalar datapath ----
     /// Scalar reg-reg ALU: `rd = op(rs1, rs2)`.
@@ -398,7 +397,12 @@ impl fmt::Display for Instruction {
             SAlu { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic()),
             SAluImm { op, rd, rs1, imm } => write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic()),
             SUnary { op, rd, rs1 } => write!(f, "{} {rd}, {rs1}", op.mnemonic()),
-            Branch { cond, rs1, rs2, target } => {
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, {target}", cond.mnemonic())
             }
             Jump { target } => write!(f, "j {target}"),
@@ -415,8 +419,16 @@ impl fmt::Display for Instruction {
             }
             PqueueReset => write!(f, "pqueue_reset"),
             Sfxp { rd, rs1, rs2 } => write!(f, "sfxp {rd}, {rs1}, {rs2}"),
-            Load { rd, rs_base, offset } => write!(f, "load {rd}, {rs_base}, {offset}"),
-            Store { rs_val, rs_base, offset } => write!(f, "store {rs_val}, {rs_base}, {offset}"),
+            Load {
+                rd,
+                rs_base,
+                offset,
+            } => write!(f, "load {rd}, {rs_base}, {offset}"),
+            Store {
+                rs_val,
+                rs_base,
+                offset,
+            } => write!(f, "store {rs_val}, {rs_base}, {offset}"),
             MemFetch { rs_base, len } => write!(f, "mem_fetch {rs_base}, {len}"),
             SvMove { vd, rs1, lane } => write!(f, "svmove {vd}, {rs1}, {lane}"),
             VsMove { rd, vs1, lane } => write!(f, "vsmove {rd}, {vs1}, {lane}"),
@@ -425,15 +437,23 @@ impl fmt::Display for Instruction {
             VAluImm { op, vd, vs1, imm } => write!(f, "v{}i {vd}, {vs1}, {imm}", op.mnemonic()),
             VUnary { op, vd, vs1 } => write!(f, "v{} {vd}, {vs1}", op.mnemonic()),
             Vfxp { vd, vs1, vs2 } => write!(f, "vfxp {vd}, {vs1}, {vs2}"),
-            VLoad { vd, rs_base, offset } => write!(f, "vload {vd}, {rs_base}, {offset}"),
-            VStore { vs, rs_base, offset } => write!(f, "vstore {vs}, {rs_base}, {offset}"),
+            VLoad {
+                vd,
+                rs_base,
+                offset,
+            } => write!(f, "vload {vd}, {rs_base}, {offset}"),
+            VStore {
+                vs,
+                rs_base,
+                offset,
+            } => write!(f, "vstore {vs}, {rs_base}, {offset}"),
         }
     }
 }
 
 /// Numeric opcode identifiers used by the binary encoding (one per
 /// instruction *shape*; ALU/branch subops are encoded in a field).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 #[allow(missing_docs)]
 pub enum Opcode {
@@ -484,7 +504,7 @@ mod tests {
         let one_half = 1 << 15; // 0.5 in Q16.16
         let two = 2 << 16;
         assert_eq!(AluOp::Mult.eval(one_half, two), 1 << 16); // 0.5*2 = 1.0
-        // Large squares use the 64-bit intermediate.
+                                                              // Large squares use the 64-bit intermediate.
         let d = 3 << 16; // 3.0
         assert_eq!(AluOp::Mult.eval(d, d), 9 << 16);
     }
@@ -519,16 +539,29 @@ mod tests {
         };
         assert!(v.is_vector());
         assert!(!v.is_memory());
-        let l = Instruction::VLoad { vd: VReg::new(0), rs_base: SReg::new(1), offset: 0 };
+        let l = Instruction::VLoad {
+            vd: VReg::new(0),
+            rs_base: SReg::new(1),
+            offset: 0,
+        };
         assert!(l.is_vector() && l.is_memory());
         assert!(Instruction::Halt.is_control());
     }
 
     #[test]
     fn display_round_trips_mnemonics() {
-        let i = Instruction::SAluImm { op: AluOp::Add, rd: SReg::new(1), rs1: SReg::new(2), imm: -3 };
+        let i = Instruction::SAluImm {
+            op: AluOp::Add,
+            rd: SReg::new(1),
+            rs1: SReg::new(2),
+            imm: -3,
+        };
         assert_eq!(i.to_string(), "addi s1, s2, -3");
-        let f = Instruction::Vfxp { vd: VReg::new(1), vs1: VReg::new(2), vs2: VReg::new(3) };
+        let f = Instruction::Vfxp {
+            vd: VReg::new(1),
+            vs1: VReg::new(2),
+            vs2: VReg::new(3),
+        };
         assert_eq!(f.to_string(), "vfxp v1, v2, v3");
     }
 }

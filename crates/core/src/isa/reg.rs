@@ -1,6 +1,5 @@
 //! Register identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of scalar registers ("32 scalar registers … are sufficient").
@@ -9,11 +8,11 @@ pub const NUM_SCALAR_REGS: usize = 32;
 pub const NUM_VECTOR_REGS: usize = 8;
 
 /// A scalar register `s0`–`s31`; `s0` reads as zero and ignores writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SReg(pub u8);
 
 /// A vector register `v0`–`v7`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VReg(pub u8);
 
 impl SReg {
@@ -25,7 +24,10 @@ impl SReg {
     /// # Panics
     /// Panics if `i >= 32`.
     pub fn new(i: u8) -> Self {
-        assert!((i as usize) < NUM_SCALAR_REGS, "scalar register s{i} out of range");
+        assert!(
+            (i as usize) < NUM_SCALAR_REGS,
+            "scalar register s{i} out of range"
+        );
         SReg(i)
     }
 
@@ -41,7 +43,10 @@ impl VReg {
     /// # Panics
     /// Panics if `i >= 8`.
     pub fn new(i: u8) -> Self {
-        assert!((i as usize) < NUM_VECTOR_REGS, "vector register v{i} out of range");
+        assert!(
+            (i as usize) < NUM_VECTOR_REGS,
+            "vector register v{i} out of range"
+        );
         VReg(i)
     }
 

@@ -215,6 +215,7 @@ pub fn kmeans_euclidean(dims: usize, vl: usize, max_bucket: usize) -> Kernel {
          ; driver contract: s20 = leaf budget, s21 = root node addr,\n\
          ;                  query at spad 0, tree at spad {TREE_ADDR}\n\
          start:\n\
+         \x20   pqueue_reset\n\
          \x20   addi s6, s0, {chunks}\n\
          \x20   push s0                 ; sentinel\n\
          \x20   push s21                ; root\n\
@@ -314,18 +315,38 @@ pub fn kmeans_euclidean(dims: usize, vl: usize, max_bucket: usize) -> Kernel {
     Kernel::build(
         format!("kmeans_euclidean_vl{vl}"),
         src,
-        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+        KernelLayout {
+            vec_words: dp,
+            vl,
+            query_addr: 0,
+            swqueue_addr: 0,
+            driver_sregs: super::sreg_mask(&[20, 21]),
+        },
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isa::DRAM_BASE;
+    use crate::sim::pu::ProcessingUnit;
     use rand::rngs::StdRng;
     use rand::RngExt;
     use rand::SeedableRng;
-    use crate::isa::DRAM_BASE;
-    use crate::sim::pu::ProcessingUnit;
+
+    #[test]
+    fn kmeans_kernels_verify_error_free() {
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            for dims in [16, 100] {
+                let k = kmeans_euclidean(dims, vl, 64);
+                let errors: Vec<_> = crate::analysis::verify(&k)
+                    .into_iter()
+                    .filter(|d| d.is_error())
+                    .collect();
+                assert!(errors.is_empty(), "{}: {errors:?}", k.name);
+            }
+        }
+    }
     use ssam_knn::linear::knn_exact;
     use ssam_knn::Metric;
     use std::sync::Arc;
@@ -356,7 +377,9 @@ mod tests {
         pu.load_program(kernel.program.clone());
         let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
         q.resize(img.vec_words, 0);
-        pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+        pu.scratchpad_mut()
+            .write_block(0, &q)
+            .expect("query staged");
         pu.scratchpad_mut()
             .write_block(TREE_ADDR, &img.spad_words)
             .expect("tree staged");

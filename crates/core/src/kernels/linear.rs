@@ -1,6 +1,6 @@
 //! Linear-scan kNN kernels, one generator per distance metric.
 
-use super::{Kernel, KernelLayout};
+use super::{sreg_mask, Kernel, KernelLayout};
 
 /// Scratchpad byte address of the software-queue region (the query lives
 /// at address 0; 16 KB leaves ample room for padded 4096-d queries).
@@ -50,7 +50,7 @@ pub fn euclidean(dims: usize, vl: usize) -> Kernel {
     let dp = pad_to(dims, vl);
     let chunks = dp / vl;
     let vlb = vl * 4;
-    let mut src = scan_prologue(chunks, dp * 4, "");
+    let mut src = scan_prologue(chunks, dp * 4, "    pqueue_reset\n");
     src.push_str("    svmove v2, s0, -1       ; acc = 0\n");
     src.push_str(&format!(
         "inner:\n\
@@ -70,7 +70,13 @@ pub fn euclidean(dims: usize, vl: usize) -> Kernel {
     Kernel::build(
         format!("linear_euclidean_vl{vl}"),
         src,
-        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+        KernelLayout {
+            vec_words: dp,
+            vl,
+            query_addr: 0,
+            swqueue_addr: 0,
+            driver_sregs: sreg_mask(&[1, 2, 3]),
+        },
     )
 }
 
@@ -82,7 +88,7 @@ pub fn manhattan(dims: usize, vl: usize) -> Kernel {
     let dp = pad_to(dims, vl);
     let chunks = dp / vl;
     let vlb = vl * 4;
-    let mut src = scan_prologue(chunks, dp * 4, "");
+    let mut src = scan_prologue(chunks, dp * 4, "    pqueue_reset\n");
     src.push_str("    svmove v2, s0, -1\n");
     src.push_str(&format!(
         "inner:\n\
@@ -104,7 +110,13 @@ pub fn manhattan(dims: usize, vl: usize) -> Kernel {
     Kernel::build(
         format!("linear_manhattan_vl{vl}"),
         src,
-        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+        KernelLayout {
+            vec_words: dp,
+            vl,
+            query_addr: 0,
+            swqueue_addr: 0,
+            driver_sregs: sreg_mask(&[1, 2, 3]),
+        },
     )
 }
 
@@ -117,7 +129,7 @@ pub fn hamming(words: usize, vl: usize) -> Kernel {
     let wp = pad_to(words, vl);
     let chunks = wp / vl;
     let vlb = vl * 4;
-    let mut src = scan_prologue(chunks, wp * 4, "");
+    let mut src = scan_prologue(chunks, wp * 4, "    pqueue_reset\n");
     src.push_str("    svmove v2, s0, -1       ; per-lane popcount acc\n");
     src.push_str(&format!(
         "inner:\n\
@@ -135,7 +147,13 @@ pub fn hamming(words: usize, vl: usize) -> Kernel {
     Kernel::build(
         format!("linear_hamming_vl{vl}"),
         src,
-        KernelLayout { vec_words: wp, query_addr: 0, swqueue_addr: 0 },
+        KernelLayout {
+            vec_words: wp,
+            vl,
+            query_addr: 0,
+            swqueue_addr: 0,
+            driver_sregs: sreg_mask(&[1, 2, 3]),
+        },
     )
 }
 
@@ -153,7 +171,11 @@ pub fn cosine(dims: usize, vl: usize) -> Kernel {
     let dp = pad_to(dims, vl);
     let chunks = dp / vl;
     let vlb = vl * 4;
-    let mut src = scan_prologue(chunks, dp * 4, "    addi s17, s0, 17        ; division steps\n");
+    let mut src = scan_prologue(
+        chunks,
+        dp * 4,
+        "    pqueue_reset\n    addi s17, s0, 17        ; division steps\n",
+    );
     src.push_str("    svmove v2, s0, -1       ; dot acc\n    svmove v3, s0, -1       ; norm acc\n");
     src.push_str(&format!(
         "inner:\n\
@@ -203,7 +225,13 @@ pub fn cosine(dims: usize, vl: usize) -> Kernel {
     Kernel::build(
         format!("linear_cosine_vl{vl}"),
         src,
-        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+        KernelLayout {
+            vec_words: dp,
+            vl,
+            query_addr: 0,
+            swqueue_addr: 0,
+            driver_sregs: sreg_mask(&[1, 2, 3, 10]),
+        },
     )
 }
 
@@ -283,7 +311,13 @@ pub fn euclidean_swqueue(dims: usize, vl: usize, k: usize) -> Kernel {
     Kernel::build(
         format!("linear_euclidean_swqueue_vl{vl}_k{k}"),
         src,
-        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: qbase },
+        KernelLayout {
+            vec_words: dp,
+            vl,
+            query_addr: 0,
+            swqueue_addr: qbase,
+            driver_sregs: sreg_mask(&[1, 2, 3]),
+        },
     )
 }
 
@@ -302,6 +336,24 @@ mod tests {
             }
             assert!(!hamming(32, vl).program.is_empty());
             assert!(!euclidean_swqueue(64, vl, 10).program.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_linear_kernels_verify_completely_clean() {
+        // Linear scans have fully static control flow and layout: the
+        // verifier must find nothing at all, warnings included.
+        for &vl in &VECTOR_LENGTHS {
+            for dims in [vl, 100, 960] {
+                for k in [euclidean(dims, vl), manhattan(dims, vl), cosine(dims, vl)] {
+                    let diags = crate::analysis::verify(&k);
+                    assert!(diags.is_empty(), "{}: {diags:?}", k.name);
+                }
+            }
+            for k in [hamming(32, vl), euclidean_swqueue(64, vl, 10)] {
+                let diags = crate::analysis::verify(&k);
+                assert!(diags.is_empty(), "{}: {diags:?}", k.name);
+            }
         }
     }
 
@@ -344,6 +396,9 @@ mod tests {
     #[test]
     fn kernel_names_encode_parameters() {
         assert_eq!(euclidean(10, 8).name, "linear_euclidean_vl8");
-        assert_eq!(euclidean_swqueue(10, 2, 6).name, "linear_euclidean_swqueue_vl2_k6");
+        assert_eq!(
+            euclidean_swqueue(10, 2, 6).name,
+            "linear_euclidean_swqueue_vl2_k6"
+        );
     }
 }

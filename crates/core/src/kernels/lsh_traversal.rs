@@ -105,7 +105,9 @@ pub fn build_lsh_image(store: &VectorStore, hash_bits: usize, vl: usize, seed: u
     };
     let mut planes: Vec<Vec<i32>> = Vec::with_capacity(hash_bits);
     for _ in 0..hash_bits {
-        let mut p: Vec<i32> = (0..dims).map(|_| Fix32::from_f32(gaussian(&mut rng)).0).collect();
+        let mut p: Vec<i32> = (0..dims)
+            .map(|_| Fix32::from_f32(gaussian(&mut rng)).0)
+            .collect();
         p.resize(vec_words, 0);
         planes.push(p);
     }
@@ -187,6 +189,7 @@ pub fn lsh_euclidean(dims: usize, vl: usize, hash_bits: usize, max_bucket: usize
          .equ IDXBUF, {idx_buf}\n\
          .equ TBL, {tbl}\n\
          start:\n\
+         \x20   pqueue_reset\n\
          \x20   addi s6, s0, {chunks}\n\
          \x20   addi s11, s0, BITS\n\
          ; ---- phase 1: hash the query, recording |activation| per bit ----\n\
@@ -343,7 +346,13 @@ pub fn lsh_euclidean(dims: usize, vl: usize, hash_bits: usize, max_bucket: usize
     Kernel::build(
         format!("lsh_euclidean_vl{vl}_b{hash_bits}"),
         src,
-        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+        KernelLayout {
+            vec_words: dp,
+            vl,
+            query_addr: 0,
+            swqueue_addr: 0,
+            driver_sregs: super::sreg_mask(&[15, 20]),
+        },
     )
 }
 
@@ -352,6 +361,20 @@ mod tests {
     use super::*;
     use crate::sim::pu::ProcessingUnit;
     use std::sync::Arc;
+
+    #[test]
+    fn lsh_kernels_verify_error_free() {
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            for dims in [16, 100] {
+                let k = lsh_euclidean(dims, vl, 8, 64);
+                let errors: Vec<_> = crate::analysis::verify(&k)
+                    .into_iter()
+                    .filter(|d| d.is_error())
+                    .collect();
+                assert!(errors.is_empty(), "{}: {errors:?}", k.name);
+            }
+        }
+    }
 
     use rand::rngs::StdRng;
     use rand::RngExt;
@@ -510,7 +533,10 @@ mod tests {
         }
         cands.sort_unstable();
         cands.truncate(5);
-        let expect: Vec<u32> = cands.iter().map(|&(_, p)| img.id_order[p as usize]).collect();
+        let expect: Vec<u32> = cands
+            .iter()
+            .map(|&(_, p)| img.id_order[p as usize])
+            .collect();
         assert_eq!(got, expect);
     }
 

@@ -58,11 +58,29 @@ pub struct Kernel {
 pub struct KernelLayout {
     /// Words per database vector after padding to a VL multiple.
     pub vec_words: usize,
+    /// Vector length the kernel was generated for (lane count).
+    pub vl: usize,
     /// Scratchpad byte address of the query vector.
     pub query_addr: u32,
     /// Scratchpad byte address of the software queue region (software-
     /// queue variant only; 0 otherwise).
     pub swqueue_addr: u32,
+    /// Bitmask of scalar registers the driver initializes before `nexec`
+    /// (bit `r` set ⇒ `sN` is part of the driver contract). The static
+    /// verifier treats these as defined at kernel entry.
+    pub driver_sregs: u32,
+}
+
+/// Builds a `driver_sregs` bitmask from a register list (e.g.
+/// `sreg_mask(&[1, 2, 3])` for the linear-scan contract).
+pub const fn sreg_mask(regs: &[u8]) -> u32 {
+    let mut mask = 0u32;
+    let mut i = 0;
+    while i < regs.len() {
+        mask |= 1 << regs[i];
+        i += 1;
+    }
+    mask
 }
 
 impl Kernel {
@@ -78,6 +96,27 @@ impl Kernel {
                 "kernel generator `{name}` produced invalid assembly at line {line}: {message}\n{source}"
             ),
         };
-        Self { name, source, program, layout }
+        let kernel = Self {
+            name,
+            source,
+            program,
+            layout,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let errors: Vec<String> = crate::analysis::verify(&kernel)
+                .into_iter()
+                .filter(|d| d.severity == crate::analysis::Severity::Error)
+                .map(|d| d.to_string())
+                .collect();
+            debug_assert!(
+                errors.is_empty(),
+                "kernel `{}` failed static verification:\n{}\n{}",
+                kernel.name,
+                errors.join("\n"),
+                kernel.source
+            );
+        }
+        kernel
     }
 }

@@ -84,8 +84,7 @@ pub fn build_tree_image(store: &VectorStore, leaf_size: usize, vl: usize) -> Tre
         fn build(&mut self, mut ids: Vec<u32>) -> usize {
             if ids.len() <= self.leaf_size {
                 // Emit bucket data contiguously; record its DRAM address.
-                let dram_addr =
-                    crate::isa::DRAM_BASE as i64 + (self.dram_words.len() as i64) * 4;
+                let dram_addr = crate::isa::DRAM_BASE as i64 + (self.dram_words.len() as i64) * 4;
                 let first_local = (self.dram_words.len() / self.vec_words) as i32;
                 for &id in &ids {
                     let v = self.store.get(id);
@@ -97,7 +96,8 @@ pub fn build_tree_image(store: &VectorStore, leaf_size: usize, vl: usize) -> Tre
                     }
                 }
                 self.leaves += 1;
-                self.nodes.push([-1, ids.len() as i32, dram_addr as i32, first_local]);
+                self.nodes
+                    .push([-1, ids.len() as i32, dram_addr as i32, first_local]);
                 return self.nodes.len() - 1;
             }
             // Widest-spread dimension, split at median.
@@ -133,7 +133,14 @@ pub fn build_tree_image(store: &VectorStore, leaf_size: usize, vl: usize) -> Tre
         }
     }
 
-    let mut b = Builder { store, leaf_size, vec_words, nodes: Vec::new(), dram_words: Vec::new(), leaves: 0 };
+    let mut b = Builder {
+        store,
+        leaf_size,
+        vec_words,
+        nodes: Vec::new(),
+        dram_words: Vec::new(),
+        leaves: 0,
+    };
     let root = b.build((0..store.len() as u32).collect());
 
     let spad_words: Vec<i32> = b.nodes.iter().flatten().copied().collect();
@@ -185,7 +192,12 @@ pub fn image_id_order(store: &VectorStore, leaf_size: usize) -> Vec<u32> {
         go(store, leaf_size, right, out);
     }
     let mut out = Vec::with_capacity(store.len());
-    go(store, leaf_size.max(1), (0..store.len() as u32).collect(), &mut out);
+    go(
+        store,
+        leaf_size.max(1),
+        (0..store.len() as u32).collect(),
+        &mut out,
+    );
     out
 }
 
@@ -206,6 +218,7 @@ pub fn kdtree_euclidean(dims: usize, vl: usize, max_bucket: usize) -> Kernel {
          ; driver contract: s20 = leaf budget, s21 = root node addr,\n\
          ;                  query at spad 0, tree at spad {TREE_ADDR}\n\
          start:\n\
+         \x20   pqueue_reset\n\
          \x20   addi s6, s0, {chunks}\n\
          \x20   push s0                 ; sentinel (addr 0 terminates)\n\
          \x20   push s21                ; root\n\
@@ -267,7 +280,13 @@ pub fn kdtree_euclidean(dims: usize, vl: usize, max_bucket: usize) -> Kernel {
     Kernel::build(
         format!("kdtree_euclidean_vl{vl}"),
         src,
-        KernelLayout { vec_words: dp, query_addr: 0, swqueue_addr: 0 },
+        KernelLayout {
+            vec_words: dp,
+            vl,
+            query_addr: 0,
+            swqueue_addr: 0,
+            driver_sregs: super::sreg_mask(&[20, 21]),
+        },
     )
 }
 
@@ -277,6 +296,22 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::RngExt;
     use rand::SeedableRng;
+
+    #[test]
+    fn kdtree_kernels_verify_error_free() {
+        // Data-dependent push loops legitimately warn (STK004); the
+        // traversal budget bounds them at runtime. Errors are bugs.
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            for dims in [16, 100] {
+                let k = kdtree_euclidean(dims, vl, 64);
+                let errors: Vec<_> = crate::analysis::verify(&k)
+                    .into_iter()
+                    .filter(|d| d.is_error())
+                    .collect();
+                assert!(errors.is_empty(), "{}: {errors:?}", k.name);
+            }
+        }
+    }
 
     fn random_store(n: usize, dims: usize, seed: u64) -> VectorStore {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -26,10 +26,14 @@
 //!   `nexec` / `nread_result`).
 //! * [`energy`] / [`area`] — the per-module power and area models
 //!   calibrated to the paper's post-place-and-route Tables III and IV.
+//! * [`analysis`] — `ssam-lint`: sound static verification of assembled
+//!   kernels (control flow, register def-use, stack depth, priority-queue
+//!   protocol, scratchpad bounds) with machine-readable diagnostics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod area;
 pub mod asm;
 pub mod device;

@@ -10,12 +10,10 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::DRAM_BASE;
 
 /// Error from a DRAM access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DramError {
     /// Address below `DRAM_BASE` or beyond the shard.
     OutOfBounds {
@@ -41,7 +39,7 @@ impl std::fmt::Display for DramError {
 impl std::error::Error for DramError {}
 
 /// Traffic/locality counters for one kernel run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
     /// Bytes read from DRAM.
     pub bytes_read: u64,
@@ -68,7 +66,11 @@ pub struct DramInterface {
 impl DramInterface {
     /// Wraps a shard (word array starting at `DRAM_BASE`).
     pub fn new(words: Arc<Vec<i32>>) -> Self {
-        Self { words, windows: Vec::new(), stats: DramStats::default() }
+        Self {
+            words,
+            windows: Vec::new(),
+            stats: DramStats::default(),
+        }
     }
 
     /// Shard length in bytes.
@@ -141,7 +143,9 @@ impl DramInterface {
         debug_assert_eq!(out.len(), n);
         let i = self.index(addr)?;
         if i + n > self.words.len() {
-            return Err(DramError::OutOfBounds { addr: addr + 4 * n as u32 });
+            return Err(DramError::OutOfBounds {
+                addr: addr + 4 * n as u32,
+            });
         }
         let hit = self.covered(addr, 4 * n as u32);
         self.stats.bytes_read += 4 * n as u64;

@@ -27,10 +27,8 @@ pub mod trace;
 pub use pqueue::HardwarePriorityQueue;
 pub use pu::{ProcessingUnit, RunStats, SimError};
 
-use serde::{Deserialize, Serialize};
-
 /// Fixed per-instruction latencies in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     /// Simple scalar/vector ALU, moves, queue and stack operations.
     pub alu: u64,
@@ -52,6 +50,14 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        Self { alu: 1, mult: 3, vmult: 1, scratchpad: 2, dram_hit: 2, dram_miss: 40, branch_taken: 2 }
+        Self {
+            alu: 1,
+            mult: 3,
+            vmult: 1,
+            scratchpad: 2,
+            dram_hit: 2,
+            dram_miss: 40,
+            branch_taken: 2,
+        }
     }
 }

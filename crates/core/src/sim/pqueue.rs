@@ -12,12 +12,10 @@
 //! the PU's native signed 32-bit (Q16.16 distances or integer Hamming
 //! counts) and ordering is ascending (smallest distance = best).
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::PQUEUE_DEPTH;
 
 /// One `(id, value)` entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PqEntry {
     /// Candidate identifier.
     pub id: i32,
@@ -26,7 +24,7 @@ pub struct PqEntry {
 }
 
 /// A chainable shift-register priority queue.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HardwarePriorityQueue {
     capacity: usize,
     /// Sorted ascending by (value, id).
@@ -46,7 +44,11 @@ impl HardwarePriorityQueue {
     /// Panics if `chain == 0`.
     pub fn chained(chain: usize) -> Self {
         assert!(chain > 0, "need at least one queue in the chain");
-        Self { capacity: PQUEUE_DEPTH * chain, entries: Vec::new(), inserts: 0 }
+        Self {
+            capacity: PQUEUE_DEPTH * chain,
+            entries: Vec::new(),
+            inserts: 0,
+        }
     }
 
     /// Queue capacity in entries.
@@ -190,7 +192,9 @@ mod tests {
         let mut all: Vec<(i32, i32)> = Vec::new();
         let mut x = 123456789u64;
         for id in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) as i32 % 1000;
             q.insert(id, v);
             all.push((v, id));

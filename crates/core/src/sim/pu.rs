@@ -10,8 +10,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::inst::{Instruction, PqField};
 use crate::isa::reg::{NUM_SCALAR_REGS, NUM_VECTOR_REGS};
 use crate::isa::{DRAM_BASE, VECTOR_LENGTHS};
@@ -48,6 +46,17 @@ pub enum SimError {
         /// Configured vector length.
         vl: usize,
     },
+    /// Read of a scalar register never written (trap mode only — see
+    /// [`ProcessingUnit::enable_uninit_trap`]).
+    UninitSreg {
+        /// The offending register.
+        reg: u8,
+    },
+    /// Read of a vector register never written (trap mode only).
+    UninitVreg {
+        /// The offending register.
+        reg: u8,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -59,6 +68,8 @@ impl std::fmt::Display for SimError {
             SimError::Dram(e) => write!(f, "{e}"),
             SimError::Stack(e) => write!(f, "{e}"),
             SimError::BadLane { lane, vl } => write!(f, "lane {lane} out of range for VL={vl}"),
+            SimError::UninitSreg { reg } => write!(f, "read of uninitialized register s{reg}"),
+            SimError::UninitVreg { reg } => write!(f, "read of uninitialized register v{reg}"),
         }
     }
 }
@@ -84,7 +95,7 @@ impl From<StackError> for SimError {
 /// Cycle and activity account for one kernel run. Activity factors drive
 /// the Table III energy model; the class mix is also what the Table I
 /// profiling methodology reports for the accelerator.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunStats {
     /// Simulated cycles.
     pub cycles: u64,
@@ -142,6 +153,13 @@ pub struct ProcessingUnit {
     latency: LatencyModel,
     stats: RunStats,
     trace: Option<TraceBuffer>,
+    /// When set, reads of never-written registers fault (the dynamic
+    /// counterpart of the static `analysis::regflow` pass).
+    uninit_trap: bool,
+    /// Scalar registers written so far (bit 0 / `s0` is always set).
+    sreg_written: u32,
+    /// Vector registers written so far.
+    vreg_written: u8,
 }
 
 impl ProcessingUnit {
@@ -168,7 +186,21 @@ impl ProcessingUnit {
             latency: LatencyModel::default(),
             stats: RunStats::default(),
             trace: None,
+            uninit_trap: false,
+            sreg_written: 1,
+            vreg_written: 0,
         }
+    }
+
+    /// Enables the uninitialized-register-read trap: any read of a
+    /// register that neither the driver ([`Self::set_sreg`]) nor the
+    /// kernel has written raises [`SimError::UninitSreg`] /
+    /// [`SimError::UninitVreg`] instead of silently returning zero.
+    ///
+    /// Off by default — real hardware has no such check; harnesses use it
+    /// to validate the static verifier's def-use analysis.
+    pub fn enable_uninit_trap(&mut self) {
+        self.uninit_trap = true;
     }
 
     /// Configured vector length.
@@ -210,6 +242,7 @@ impl ProcessingUnit {
         if r != 0 {
             self.sregs[r] = value;
         }
+        self.sreg_written |= 1 << r;
     }
 
     /// Reads a scalar register.
@@ -250,7 +283,9 @@ impl ProcessingUnit {
         let mut executed = 0u64;
         while !self.halted {
             if executed >= max_instructions {
-                return Err(SimError::InstructionLimit { limit: max_instructions });
+                return Err(SimError::InstructionLimit {
+                    limit: max_instructions,
+                });
             }
             self.step()?;
             executed += 1;
@@ -263,6 +298,10 @@ impl ProcessingUnit {
         let Some(&inst) = self.program.get(self.pc as usize) else {
             return Err(SimError::PcOutOfRange { pc: self.pc });
         };
+        if self.uninit_trap {
+            self.check_uninit(&inst)?;
+        }
+        self.note_writes(&inst);
         self.stats.instructions += 1;
         let mut next_pc = self.pc + 1;
         let lat = self.latency;
@@ -294,7 +333,12 @@ impl ProcessingUnit {
                 self.stats.scalar_alu_ops += 1;
                 self.stats.regfile_accesses += 2;
             }
-            Branch { cond, rs1, rs2, target } => {
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 self.stats.branches += 1;
                 self.stats.regfile_accesses += 2;
                 if cond.eval(self.sregs[rs1.index()], self.sregs[rs2.index()]) {
@@ -348,14 +392,22 @@ impl ProcessingUnit {
                 self.stats.scalar_alu_ops += 1;
                 self.stats.regfile_accesses += 4;
             }
-            Load { rd, rs_base, offset } => {
+            Load {
+                rd,
+                rs_base,
+                offset,
+            } => {
                 let addr = (self.sregs[rs_base.index()].wrapping_add(offset)) as u32;
                 let (v, c) = self.mem_load(addr)?;
                 self.write_sreg(rd.index(), v);
                 self.stats.regfile_accesses += 2;
                 cycles = c;
             }
-            Store { rs_val, rs_base, offset } => {
+            Store {
+                rs_val,
+                rs_base,
+                offset,
+            } => {
                 let addr = (self.sregs[rs_base.index()].wrapping_add(offset)) as u32;
                 // Stores target the scratchpad only; the dataset is
                 // read-only from the PU's perspective.
@@ -376,7 +428,10 @@ impl ProcessingUnit {
                 } else {
                     let l = lane as usize;
                     if l >= self.vl {
-                        return Err(SimError::BadLane { lane: lane as i32, vl: self.vl });
+                        return Err(SimError::BadLane {
+                            lane: lane as i32,
+                            vl: self.vl,
+                        });
                     }
                     self.vregs[vd.index()][l] = v;
                 }
@@ -387,7 +442,10 @@ impl ProcessingUnit {
             VsMove { rd, vs1, lane } => {
                 let l = lane as usize;
                 if l >= self.vl {
-                    return Err(SimError::BadLane { lane: lane as i32, vl: self.vl });
+                    return Err(SimError::BadLane {
+                        lane: lane as i32,
+                        vl: self.vl,
+                    });
                 }
                 let v = self.vregs[vs1.index()][l];
                 self.write_sreg(rd.index(), v);
@@ -439,14 +497,22 @@ impl ProcessingUnit {
                 self.stats.vector_lane_ops += self.vl as u64;
                 self.stats.regfile_accesses += 4;
             }
-            VLoad { vd, rs_base, offset } => {
+            VLoad {
+                vd,
+                rs_base,
+                offset,
+            } => {
                 let addr = (self.sregs[rs_base.index()].wrapping_add(offset)) as u32;
                 cycles = self.vec_load(vd.index(), addr)?;
                 self.stats.vector_ops += 1;
                 self.stats.vector_lane_ops += self.vl as u64;
                 self.stats.regfile_accesses += 2;
             }
-            VStore { vs, rs_base, offset } => {
+            VStore {
+                vs,
+                rs_base,
+                offset,
+            } => {
                 let addr = (self.sregs[rs_base.index()].wrapping_add(offset)) as u32;
                 for l in 0..self.vl {
                     let v = self.vregs[vs.index()][l];
@@ -480,6 +546,37 @@ impl ProcessingUnit {
         }
     }
 
+    /// Trap-mode check: every register the instruction reads must have
+    /// been written (by the driver or by the kernel). Shares its operand
+    /// model with the static verifier via [`crate::analysis::uses`].
+    fn check_uninit(&self, inst: &Instruction) -> Result<(), SimError> {
+        let mut fault = None;
+        crate::analysis::uses::for_each_sreg_read(inst, |r| {
+            if self.sreg_written & (1 << r.0) == 0 && fault.is_none() {
+                fault = Some(SimError::UninitSreg { reg: r.0 });
+            }
+        });
+        crate::analysis::uses::for_each_vreg_read(inst, |r| {
+            if self.vreg_written & (1 << r.0) == 0 && fault.is_none() {
+                fault = Some(SimError::UninitVreg { reg: r.0 });
+            }
+        });
+        match fault {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Records the registers the instruction writes, for trap mode.
+    fn note_writes(&mut self, inst: &Instruction) {
+        if let Some(rd) = crate::analysis::uses::sreg_write(inst) {
+            self.sreg_written |= 1 << rd.0;
+        }
+        if let Some(vd) = crate::analysis::uses::vreg_write(inst) {
+            self.vreg_written |= 1 << vd.0;
+        }
+    }
+
     /// Scalar load dispatch by address space; returns (value, cycles).
     fn mem_load(&mut self, addr: u32) -> Result<(i32, u64), SimError> {
         if addr < DRAM_BASE {
@@ -488,7 +585,11 @@ impl ProcessingUnit {
             Ok((v, self.latency.scratchpad))
         } else {
             let (v, hit) = self.dram.load(addr)?;
-            let c = if hit { self.latency.dram_hit } else { self.latency.dram_miss };
+            let c = if hit {
+                self.latency.dram_hit
+            } else {
+                self.latency.dram_miss
+            };
             Ok((v, c))
         }
     }
@@ -507,7 +608,11 @@ impl ProcessingUnit {
             let mut buf = vec![0i32; vl];
             let hit = self.dram.load_block(addr, vl, &mut buf)?;
             self.vregs[vd].copy_from_slice(&buf);
-            Ok(if hit { self.latency.dram_hit } else { self.latency.dram_miss })
+            Ok(if hit {
+                self.latency.dram_hit
+            } else {
+                self.latency.dram_miss
+            })
         }
     }
 }
@@ -550,6 +655,37 @@ mod tests {
     }
 
     #[test]
+    fn uninit_trap_catches_unwritten_scalar_read() {
+        let mut pu = pu_with(4, vec![], "add s1, s2, s0\nhalt");
+        pu.enable_uninit_trap();
+        assert_eq!(pu.run(10), Err(SimError::UninitSreg { reg: 2 }));
+    }
+
+    #[test]
+    fn uninit_trap_respects_driver_initialization() {
+        let mut pu = pu_with(4, vec![], "add s1, s2, s0\nhalt");
+        pu.enable_uninit_trap();
+        pu.set_sreg(2, 7);
+        pu.run(10).expect("driver-initialized register is readable");
+        assert_eq!(pu.sreg(1), 7);
+    }
+
+    #[test]
+    fn uninit_trap_catches_unwritten_vector_read() {
+        let mut pu = pu_with(4, vec![], "svmove v1, s0, -1\nvadd v0, v1, v2\nhalt");
+        pu.enable_uninit_trap();
+        assert_eq!(pu.run(10), Err(SimError::UninitVreg { reg: 2 }));
+    }
+
+    #[test]
+    fn trap_is_off_by_default_reads_return_zero() {
+        let mut pu = pu_with(4, vec![], "add s1, s2, s0\nhalt");
+        pu.run(10)
+            .expect("untrapped uninitialized read is architecturally zero");
+        assert_eq!(pu.sreg(1), 0);
+    }
+
+    #[test]
     fn vector_pipeline_computes_squared_difference() {
         // DRAM holds a candidate vector; scratchpad holds the query.
         // Compute sum((a-b)^2) in Q16.16 over 4 dims.
@@ -577,7 +713,9 @@ mod tests {
             ),
         );
         // query = [1, 1, 1, 1] in Q16.16
-        pu.scratchpad_mut().write_block(0, &[one, one, one, one]).expect("init");
+        pu.scratchpad_mut()
+            .write_block(0, &[one, one, one, one])
+            .expect("init");
         pu.run(100).expect("runs");
         // (3-1)^2 + (1-1)^2 + (0-1)^2 + (2-1)^2 = 4+0+1+1 = 6.0
         assert_eq!(pu.sreg(3), 6 * one);
@@ -677,13 +815,19 @@ mod tests {
     #[test]
     fn infinite_loop_hits_instruction_limit() {
         let mut pu = pu_with(2, vec![], "loop: j loop");
-        assert!(matches!(pu.run(100), Err(SimError::InstructionLimit { limit: 100 })));
+        assert!(matches!(
+            pu.run(100),
+            Err(SimError::InstructionLimit { limit: 100 })
+        ));
     }
 
     #[test]
     fn bad_lane_faults() {
         let mut pu = pu_with(2, vec![], "vsmove s1, v0, 5\nhalt");
-        assert!(matches!(pu.run(10), Err(SimError::BadLane { lane: 5, vl: 2 })));
+        assert!(matches!(
+            pu.run(10),
+            Err(SimError::BadLane { lane: 5, vl: 2 })
+        ));
     }
 
     #[test]

@@ -8,12 +8,10 @@
 //! Word-addressed (4-byte aligned) 32-bit accesses, matching the PU's
 //! native width.
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::SCRATCHPAD_BYTES;
 
 /// Error from a scratchpad access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpadError {
     /// Address beyond the scratchpad.
     OutOfBounds {
@@ -30,7 +28,9 @@ pub enum SpadError {
 impl std::fmt::Display for SpadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpadError::OutOfBounds { addr } => write!(f, "scratchpad address {addr:#x} out of bounds"),
+            SpadError::OutOfBounds { addr } => {
+                write!(f, "scratchpad address {addr:#x} out of bounds")
+            }
             SpadError::Unaligned { addr } => write!(f, "scratchpad address {addr:#x} unaligned"),
         }
     }
@@ -39,7 +39,7 @@ impl std::fmt::Display for SpadError {
 impl std::error::Error for SpadError {}
 
 /// The scratchpad array with access accounting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Scratchpad {
     words: Vec<i32>,
     reads: u64,
@@ -49,7 +49,11 @@ pub struct Scratchpad {
 impl Scratchpad {
     /// A zeroed 32 KB scratchpad.
     pub fn new() -> Self {
-        Self { words: vec![0; SCRATCHPAD_BYTES / 4], reads: 0, writes: 0 }
+        Self {
+            words: vec![0; SCRATCHPAD_BYTES / 4],
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Capacity in bytes.
@@ -88,7 +92,9 @@ impl Scratchpad {
     pub fn write_block(&mut self, addr: u32, data: &[i32]) -> Result<(), SpadError> {
         let start = self.index(addr)?;
         if start + data.len() > self.words.len() {
-            return Err(SpadError::OutOfBounds { addr: addr + 4 * data.len() as u32 });
+            return Err(SpadError::OutOfBounds {
+                addr: addr + 4 * data.len() as u32,
+            });
         }
         self.words[start..start + data.len()].copy_from_slice(data);
         Ok(())
@@ -101,7 +107,9 @@ impl Scratchpad {
         }
         let start = (addr / 4) as usize;
         if start + len > self.words.len() {
-            return Err(SpadError::OutOfBounds { addr: addr + 4 * len as u32 });
+            return Err(SpadError::OutOfBounds {
+                addr: addr + 4 * len as u32,
+            });
         }
         Ok(&self.words[start..start + len])
     }
@@ -144,7 +152,10 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected() {
         let mut s = Scratchpad::new();
-        assert_eq!(s.load(32 * 1024), Err(SpadError::OutOfBounds { addr: 32 * 1024 }));
+        assert_eq!(
+            s.load(32 * 1024),
+            Err(SpadError::OutOfBounds { addr: 32 * 1024 })
+        );
     }
 
     #[test]

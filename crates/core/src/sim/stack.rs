@@ -5,13 +5,11 @@
 //! natural choice to facilitate backtracking when traversing hierarchical
 //! index structures."
 
-use serde::{Deserialize, Serialize};
-
 /// Default stack depth in 32-bit entries ("small hardware stack").
 pub const STACK_DEPTH: usize = 64;
 
 /// Error from a stack operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StackError {
     /// Push onto a full stack.
     Overflow,
@@ -31,7 +29,7 @@ impl std::fmt::Display for StackError {
 impl std::error::Error for StackError {}
 
 /// Fixed-depth LIFO of 32-bit words.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HardwareStack {
     depth: usize,
     data: Vec<i32>,
@@ -50,7 +48,11 @@ impl HardwareStack {
     /// Panics if `depth == 0`.
     pub fn with_depth(depth: usize) -> Self {
         assert!(depth > 0, "stack depth must be positive");
-        Self { depth, data: Vec::with_capacity(depth), ops: 0 }
+        Self {
+            depth,
+            data: Vec::with_capacity(depth),
+            ops: 0,
+        }
     }
 
     /// Pushes a word.

@@ -9,12 +9,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::inst::Instruction;
 
 /// One retired instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
     /// Program counter of the instruction.
     pub pc: u32,
@@ -27,7 +25,7 @@ pub struct TraceRecord {
 }
 
 /// Bounded ring buffer of [`TraceRecord`]s (keeps the most recent `cap`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceBuffer {
     cap: usize,
     records: Vec<TraceRecord>,
@@ -44,7 +42,12 @@ impl TraceBuffer {
     /// Panics if `cap == 0`.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "trace capacity must be positive");
-        Self { cap, records: Vec::with_capacity(cap), head: 0, pushed: 0 }
+        Self {
+            cap,
+            records: Vec::with_capacity(cap),
+            head: 0,
+            pushed: 0,
+        }
     }
 
     /// Appends a record, evicting the oldest when full.
@@ -60,7 +63,9 @@ impl TraceBuffer {
 
     /// Records in retirement order (oldest retained first).
     pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
-        self.records[self.head..].iter().chain(self.records[..self.head].iter())
+        self.records[self.head..]
+            .iter()
+            .chain(self.records[..self.head].iter())
     }
 
     /// Retained record count.
@@ -116,7 +121,7 @@ impl TraceBuffer {
 }
 
 /// Per-mnemonic `(count, cycles)` aggregation over a trace.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSummary {
     /// Mnemonic → (instructions retired, cycles charged).
     pub per_mnemonic: BTreeMap<String, (u64, u64)>,
@@ -146,7 +151,12 @@ mod tests {
     fn rec(pc: u32, cycles: u64) -> TraceRecord {
         TraceRecord {
             pc,
-            inst: Instruction::SAluImm { op: AluOp::Add, rd: SReg(1), rs1: SReg(1), imm: 1 },
+            inst: Instruction::SAluImm {
+                op: AluOp::Add,
+                rd: SReg(1),
+                rs1: SReg(1),
+                imm: 1,
+            },
             cycles,
             total_cycles: cycles,
         }

@@ -15,13 +15,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
-
 /// Hours in a (non-leap) year.
 pub const HOURS_PER_YEAR: f64 = 24.0 * 365.0;
 
 /// All model assumptions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcoParams {
     /// Front-end query arrival rate, queries/second.
     pub total_qps: f64,
@@ -67,7 +65,7 @@ impl TcoParams {
 }
 
 /// Model outputs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcoReport {
     /// Unique queries/second to serve.
     pub unique_qps: f64,
@@ -133,7 +131,11 @@ mod tests {
     fn paper_fleet_size_is_about_1800_machines() {
         let r = evaluate(&TcoParams::paper_defaults());
         assert_eq!(r.unique_qps, 11_200.0);
-        assert!((1700..=1850).contains(&(r.cpu_servers as i64)), "{}", r.cpu_servers);
+        assert!(
+            (1700..=1850).contains(&(r.cpu_servers as i64)),
+            "{}",
+            r.cpu_servers
+        );
     }
 
     #[test]
@@ -141,7 +143,11 @@ mod tests {
         // The paper's "118 kW-hrs per second of dynamic compute power":
         // ~1800 machines × ~65 W.
         let r = evaluate(&TcoParams::paper_defaults());
-        assert!((110.0..125.0).contains(&r.cpu_power_kw), "{}", r.cpu_power_kw);
+        assert!(
+            (110.0..125.0).contains(&r.cpu_power_kw),
+            "{}",
+            r.cpu_power_kw
+        );
     }
 
     #[test]

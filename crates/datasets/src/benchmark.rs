@@ -27,7 +27,12 @@ impl Benchmark {
     pub fn from_spec(spec: DatasetSpec) -> Self {
         let GeneratedData { train, queries, .. } = generate(&spec);
         let ground_truth = GroundTruth::compute(&train, &queries, spec.k, Metric::Euclidean);
-        Self { spec, train, queries, ground_truth }
+        Self {
+            spec,
+            train,
+            queries,
+            ground_truth,
+        }
     }
 
     /// Generates one of the paper's datasets at reduced `scale`

@@ -76,7 +76,11 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedData {
         queries.push(&v);
     }
 
-    GeneratedData { train, queries, train_clusters }
+    GeneratedData {
+        train,
+        queries,
+        train_clusters,
+    }
 }
 
 /// Uniform direction on the unit sphere (normalized Gaussian vector).
@@ -144,12 +148,8 @@ mod tests {
     fn vectors_have_unit_scale() {
         let d = generate(&tiny_spec());
         // Centers are unit norm and spread is small, so norms cluster near 1.
-        let mean_norm: f32 = d
-            .train
-            .iter()
-            .map(|(_, v)| norm_sq(v).sqrt())
-            .sum::<f32>()
-            / d.train.len() as f32;
+        let mean_norm: f32 =
+            d.train.iter().map(|(_, v)| norm_sq(v).sqrt()).sum::<f32>() / d.train.len() as f32;
         assert!((0.8..1.3).contains(&mean_norm), "mean norm {mean_norm}");
     }
 

@@ -5,12 +5,11 @@
 //! embarrassingly parallel across queries, so we compute it with rayon.
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use ssam_knn::linear::knn_exact;
 use ssam_knn::{Metric, VectorStore};
 
 /// Exact neighbor ids per query (row-aligned with the query store).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroundTruth {
     /// `k` used to compute the truth sets.
     pub k: usize,

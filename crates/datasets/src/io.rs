@@ -3,21 +3,23 @@
 //! Benchmarks regenerate deterministically from their spec, but large
 //! scales take minutes to produce ground truth for, so experiments can
 //! cache generated bundles on disk as JSON. (JSON is slow but dependency-
-//! free; caching is optional and off the hot path.)
+//! free; caching is optional and off the hot path.) The encoding is
+//! hand-rolled over [`crate::json`] — see that module for why.
 
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-use ssam_knn::VectorStore;
+use ssam_knn::{Metric, VectorStore};
 
 use crate::benchmark::Benchmark;
 use crate::ground_truth::GroundTruth;
+use crate::json::{self, JsonError, Value};
 use crate::spec::DatasetSpec;
 
 /// Serializable image of a [`Benchmark`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BenchmarkFile {
     /// Generating spec.
     pub spec: DatasetSpec,
@@ -31,7 +33,12 @@ pub struct BenchmarkFile {
 
 impl From<Benchmark> for BenchmarkFile {
     fn from(b: Benchmark) -> Self {
-        Self { spec: b.spec, train: b.train, queries: b.queries, ground_truth: b.ground_truth }
+        Self {
+            spec: b.spec,
+            train: b.train,
+            queries: b.queries,
+            ground_truth: b.ground_truth,
+        }
     }
 }
 
@@ -46,6 +53,160 @@ impl From<BenchmarkFile> for Benchmark {
     }
 }
 
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn encode_store(store: &VectorStore) -> Value {
+    object(vec![
+        ("dims", json::number_usize(store.dims())),
+        (
+            "data",
+            Value::Array(
+                store
+                    .as_flat()
+                    .iter()
+                    .map(|&x| json::number_f32(x))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_store(v: &Value) -> Result<VectorStore, JsonError> {
+    let dims = v.field("dims")?.as_usize()?;
+    let data = v
+        .field("data")?
+        .as_array()?
+        .iter()
+        .map(Value::as_f32)
+        .collect::<Result<Vec<f32>, _>>()?;
+    if dims == 0 || !data.len().is_multiple_of(dims) {
+        return Err(JsonError {
+            message: format!(
+                "vector store: {} floats is not a multiple of dims {dims}",
+                data.len()
+            ),
+            offset: 0,
+        });
+    }
+    Ok(VectorStore::from_flat(dims, data))
+}
+
+fn metric_name(metric: Metric) -> &'static str {
+    match metric {
+        Metric::Euclidean => "euclidean",
+        Metric::Manhattan => "manhattan",
+        Metric::Cosine => "cosine",
+        Metric::ChiSquared => "chi_squared",
+        Metric::Jaccard => "jaccard",
+    }
+}
+
+fn metric_from_name(name: &str) -> Result<Metric, JsonError> {
+    Ok(match name {
+        "euclidean" => Metric::Euclidean,
+        "manhattan" => Metric::Manhattan,
+        "cosine" => Metric::Cosine,
+        "chi_squared" => Metric::ChiSquared,
+        "jaccard" => Metric::Jaccard,
+        other => {
+            return Err(JsonError {
+                message: format!("unknown metric `{other}`"),
+                offset: 0,
+            });
+        }
+    })
+}
+
+fn encode(image: &BenchmarkFile) -> Value {
+    let spec = &image.spec;
+    let truth = &image.ground_truth;
+    object(vec![
+        (
+            "spec",
+            object(vec![
+                ("name", Value::String(spec.name.clone())),
+                ("train", json::number_usize(spec.train)),
+                ("queries", json::number_usize(spec.queries)),
+                ("dims", json::number_usize(spec.dims)),
+                ("k", json::number_usize(spec.k)),
+                ("clusters", json::number_usize(spec.clusters)),
+                ("cluster_spread", json::number_f32(spec.cluster_spread)),
+                ("imbalance", json::number_f64(spec.imbalance)),
+                ("seed", json::number_u64(spec.seed)),
+            ]),
+        ),
+        ("train", encode_store(&image.train)),
+        ("queries", encode_store(&image.queries)),
+        (
+            "ground_truth",
+            object(vec![
+                ("k", json::number_usize(truth.k)),
+                (
+                    "metric",
+                    Value::String(metric_name(truth.metric).to_string()),
+                ),
+                (
+                    "ids",
+                    Value::Array(
+                        truth
+                            .ids
+                            .iter()
+                            .map(|row| {
+                                Value::Array(
+                                    row.iter().map(|&id| json::number_u64(id as u64)).collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn decode(doc: &Value) -> Result<BenchmarkFile, JsonError> {
+    let spec = doc.field("spec")?;
+    let truth = doc.field("ground_truth")?;
+    let ids = truth
+        .field("ids")?
+        .as_array()?
+        .iter()
+        .map(|row| {
+            row.as_array()?
+                .iter()
+                .map(Value::as_u32)
+                .collect::<Result<Vec<u32>, _>>()
+        })
+        .collect::<Result<Vec<Vec<u32>>, JsonError>>()?;
+    Ok(BenchmarkFile {
+        spec: DatasetSpec {
+            name: spec.field("name")?.as_str()?.to_string(),
+            train: spec.field("train")?.as_usize()?,
+            queries: spec.field("queries")?.as_usize()?,
+            dims: spec.field("dims")?.as_usize()?,
+            k: spec.field("k")?.as_usize()?,
+            clusters: spec.field("clusters")?.as_usize()?,
+            cluster_spread: spec.field("cluster_spread")?.as_f32()?,
+            imbalance: spec.field("imbalance")?.as_f64()?,
+            seed: spec.field("seed")?.as_u64()?,
+        },
+        train: decode_store(doc.field("train")?)?,
+        queries: decode_store(doc.field("queries")?)?,
+        ground_truth: GroundTruth {
+            k: truth.field("k")?.as_usize()?,
+            metric: metric_from_name(truth.field("metric")?.as_str()?)?,
+            ids,
+        },
+    })
+}
+
 /// Writes a benchmark to `path` as JSON.
 pub fn save_benchmark(b: &Benchmark, path: &Path) -> std::io::Result<()> {
     let file = File::create(path)?;
@@ -56,9 +217,7 @@ pub fn save_benchmark(b: &Benchmark, path: &Path) -> std::io::Result<()> {
         queries: b.queries.clone(),
         ground_truth: b.ground_truth.clone(),
     };
-    let json = serde_json::to_string(&image)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    w.write_all(json.as_bytes())
+    w.write_all(json::to_string(&encode(&image)).as_bytes())
 }
 
 /// Reads a benchmark previously written by [`save_benchmark`].
@@ -67,8 +226,10 @@ pub fn load_benchmark(path: &Path) -> std::io::Result<Benchmark> {
     let mut r = BufReader::new(file);
     let mut buf = String::new();
     r.read_to_string(&mut buf)?;
-    let image: BenchmarkFile = serde_json::from_str(&buf)
+    let doc = json::from_str(&buf)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let image =
+        decode(&doc).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     Ok(image.into())
 }
 
@@ -95,5 +256,24 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load_benchmark(Path::new("/nonexistent/nope.json")).is_err());
+    }
+
+    #[test]
+    fn load_rejects_malformed_documents() {
+        let dir = std::env::temp_dir().join("ssam_datasets_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for (name, text) in [
+            ("not_json.json", "not json at all"),
+            ("wrong_shape.json", r#"{"spec":{}}"#),
+            (
+                "bad_metric.json",
+                r#"{"spec":{"name":"x","train":1,"queries":1,"dims":1,"k":1,"clusters":1,"cluster_spread":0.1,"imbalance":1.0,"seed":1},"train":{"dims":1,"data":[1.0]},"queries":{"dims":1,"data":[1.0]},"ground_truth":{"k":1,"metric":"warp","ids":[[0]]}}"#,
+            ),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, text).expect("write");
+            assert!(load_benchmark(&path).is_err(), "{name} should fail");
+            std::fs::remove_file(&path).ok();
+        }
     }
 }

@@ -1,0 +1,530 @@
+//! Minimal JSON reader/writer for the benchmark cache format.
+//!
+//! The build environment vendors its few dependencies, so rather than
+//! carry a full serde stack for one cache file, this module implements
+//! exactly the JSON subset [`crate::io`] needs: objects, arrays,
+//! strings (with escapes), finite numbers, booleans, and null. Numbers
+//! keep their source text so integers up to `u64::MAX` round-trip
+//! without a detour through `f64`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source text.
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. `BTreeMap` keeps output deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+/// Parse or conversion failure, with a byte offset for parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the problem was found (0 for
+    /// conversion errors on already-parsed values).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Borrows the object map, or errors.
+    pub fn as_object(&self) -> Result<&BTreeMap<String, Value>, JsonError> {
+        match self {
+            Value::Object(m) => Ok(m),
+            other => Err(type_error("object", other)),
+        }
+    }
+
+    /// Borrows the array elements, or errors.
+    pub fn as_array(&self) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(v) => Ok(v),
+            other => Err(type_error("array", other)),
+        }
+    }
+
+    /// Borrows the string contents, or errors.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(type_error("string", other)),
+        }
+    }
+
+    /// Converts a number to `f64`, or errors.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Value::Number(text) => text.parse().map_err(|_| JsonError {
+                message: format!("malformed number `{text}`"),
+                offset: 0,
+            }),
+            other => Err(type_error("number", other)),
+        }
+    }
+
+    /// Converts a number to `f32`, or errors.
+    pub fn as_f32(&self) -> Result<f32, JsonError> {
+        self.as_f64().map(|x| x as f32)
+    }
+
+    /// Converts an integer number to `u64` exactly, or errors.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Value::Number(text) => text.parse().map_err(|_| JsonError {
+                message: format!("expected unsigned integer, got `{text}`"),
+                offset: 0,
+            }),
+            other => Err(type_error("number", other)),
+        }
+    }
+
+    /// Converts an integer number to `usize` exactly, or errors.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        self.as_u64().map(|x| x as usize)
+    }
+
+    /// Converts an integer number to `u32` exactly, or errors.
+    pub fn as_u32(&self) -> Result<u32, JsonError> {
+        let x = self.as_u64()?;
+        u32::try_from(x).map_err(|_| JsonError {
+            message: format!("integer {x} out of u32 range"),
+            offset: 0,
+        })
+    }
+
+    /// Looks up a required object field.
+    pub fn field(&self, key: &str) -> Result<&Value, JsonError> {
+        self.as_object()?.get(key).ok_or_else(|| JsonError {
+            message: format!("missing field `{key}`"),
+            offset: 0,
+        })
+    }
+}
+
+fn type_error(expected: &str, got: &Value) -> JsonError {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    };
+    JsonError {
+        message: format!("expected {expected}, found {kind}"),
+        offset: 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Serializes a value to compact JSON.
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(text) => out.push_str(text),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A finite `f32` as a number value (shortest round-trip form).
+///
+/// # Panics
+/// On non-finite input: JSON has no representation for NaN/inf, and the
+/// dataset pipeline never produces them.
+pub fn number_f32(x: f32) -> Value {
+    assert!(x.is_finite(), "cannot serialize non-finite float {x}");
+    Value::Number(format!("{x:?}"))
+}
+
+/// A finite `f64` as a number value (shortest round-trip form).
+///
+/// # Panics
+/// On non-finite input, as [`number_f32`].
+pub fn number_f64(x: f64) -> Value {
+    assert!(x.is_finite(), "cannot serialize non-finite float {x}");
+    Value::Number(format!("{x:?}"))
+}
+
+/// A `u64` as a number value (exact).
+pub fn number_u64(x: u64) -> Value {
+    Value::Number(x.to_string())
+}
+
+/// A `usize` as a number value (exact).
+pub fn number_usize(x: usize) -> Value {
+    Value::Number(x.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn from_str(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pairs are not needed by this
+                            // format; reject rather than mis-decode.
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| self.error("unsupported \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        Ok(Value::Number(text.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for src in [
+            "null", "true", "false", "0", "-17", "3.25", "1e-3", "\"hi\"",
+        ] {
+            let v = from_str(src).expect("parses");
+            assert_eq!(from_str(&to_string(&v)).expect("reparses"), v);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.0f32, -0.0, 1.5, 0.1, f32::MIN_POSITIVE, 1e30, -123.456] {
+            let v = number_f32(x);
+            let back = from_str(&to_string(&v))
+                .expect("parses")
+                .as_f32()
+                .expect("f32");
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+        let seed = u64::MAX - 3;
+        let v = number_u64(seed);
+        assert_eq!(
+            from_str(&to_string(&v))
+                .expect("parses")
+                .as_u64()
+                .expect("u64"),
+            seed
+        );
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let src = r#"{"a":[1,2,[3]],"b":{"c":"x\ny","d":[]},"e":null}"#;
+        let v = from_str(src).expect("parses");
+        assert_eq!(from_str(&to_string(&v)).expect("reparses"), v);
+        assert_eq!(
+            v.field("b")
+                .expect("b")
+                .field("c")
+                .expect("c")
+                .as_str()
+                .expect("str"),
+            "x\ny"
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let nasty = "quote\" back\\slash \n\t\r control\u{1} unicode\u{e9}";
+        let v = Value::String(nasty.to_string());
+        assert_eq!(
+            from_str(&to_string(&v))
+                .expect("parses")
+                .as_str()
+                .expect("str"),
+            nasty
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets_and_kinds() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{\"a\":}").is_err());
+        assert!(from_str("[1,2").is_err());
+        assert!(from_str("12 34").is_err());
+        let v = from_str("[1]").expect("parses");
+        assert!(v.as_object().is_err());
+        assert!(v.field("x").is_err());
+        assert!(from_str("\"x\"").expect("parses").as_u64().is_err());
+        assert!(from_str("1.5").expect("parses").as_u64().is_err());
+    }
+
+    #[test]
+    fn objects_serialize_deterministically() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), number_usize(2));
+        m.insert("a".to_string(), number_usize(1));
+        assert_eq!(to_string(&Value::Object(m)), r#"{"a":1,"b":2}"#);
+    }
+}

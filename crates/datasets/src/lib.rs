@@ -30,6 +30,7 @@ pub mod benchmark;
 pub mod generator;
 pub mod ground_truth;
 pub mod io;
+pub mod json;
 pub mod spec;
 pub mod texmex;
 

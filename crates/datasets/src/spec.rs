@@ -1,9 +1,7 @@
 //! Dataset specifications matching the paper's workload parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// The three evaluation datasets of Section II-B.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PaperDataset {
     /// GloVe: 1.2 M Twitter word embeddings, 100-d, k = 6.
     GloVe,
@@ -15,7 +13,11 @@ pub enum PaperDataset {
 
 impl PaperDataset {
     /// All three datasets in paper order.
-    pub const ALL: [PaperDataset; 3] = [PaperDataset::GloVe, PaperDataset::Gist, PaperDataset::AlexNet];
+    pub const ALL: [PaperDataset; 3] = [
+        PaperDataset::GloVe,
+        PaperDataset::Gist,
+        PaperDataset::AlexNet,
+    ];
 
     /// Display name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -76,7 +78,7 @@ impl PaperDataset {
 }
 
 /// Full parameterization of one synthetic dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
     /// Display name.
     pub name: String,

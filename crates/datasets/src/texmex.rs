@@ -48,7 +48,9 @@ fn read_dim(r: &mut impl Read) -> Result<Option<usize>, TexmexError> {
     }
     let dim = i32::from_le_bytes(head);
     if dim <= 0 || dim > 1_000_000 {
-        return Err(TexmexError::Format(format!("implausible dimensionality {dim}")));
+        return Err(TexmexError::Format(format!(
+            "implausible dimensionality {dim}"
+        )));
     }
     Ok(Some(dim as usize))
 }

@@ -8,12 +8,10 @@
 //! Both mappings are provided; the device model uses sharding, the
 //! standard-memory path uses interleaving.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::HmcConfig;
 
 /// Maps physical addresses to (vault, offset) pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AddressMap {
     /// Consecutive `block_bytes` blocks rotate across vaults (standard HMC).
     BlockInterleave {
@@ -35,30 +33,41 @@ pub enum AddressMap {
 impl AddressMap {
     /// Standard interleaving for a module configuration.
     pub fn interleaved(cfg: &HmcConfig) -> Self {
-        AddressMap::BlockInterleave { block_bytes: cfg.block_bytes, vaults: cfg.vaults as u32 }
+        AddressMap::BlockInterleave {
+            block_bytes: cfg.block_bytes,
+            vaults: cfg.vaults as u32,
+        }
     }
 
     /// SSAM sharding for a module configuration.
     pub fn sharded(cfg: &HmcConfig) -> Self {
-        AddressMap::Sharded { vault_capacity: cfg.vault_capacity(), vaults: cfg.vaults as u32 }
+        AddressMap::Sharded {
+            vault_capacity: cfg.vault_capacity(),
+            vaults: cfg.vaults as u32,
+        }
     }
 
     /// Vault owning byte address `addr`.
     pub fn vault_of(&self, addr: u64) -> u32 {
         match *self {
-            AddressMap::BlockInterleave { block_bytes, vaults } => {
-                ((addr / block_bytes) % vaults as u64) as u32
-            }
-            AddressMap::Sharded { vault_capacity, vaults } => {
-                ((addr / vault_capacity).min(vaults as u64 - 1)) as u32
-            }
+            AddressMap::BlockInterleave {
+                block_bytes,
+                vaults,
+            } => ((addr / block_bytes) % vaults as u64) as u32,
+            AddressMap::Sharded {
+                vault_capacity,
+                vaults,
+            } => ((addr / vault_capacity).min(vaults as u64 - 1)) as u32,
         }
     }
 
     /// Offset of `addr` within its vault's local address space.
     pub fn offset_in_vault(&self, addr: u64) -> u64 {
         match *self {
-            AddressMap::BlockInterleave { block_bytes, vaults } => {
+            AddressMap::BlockInterleave {
+                block_bytes,
+                vaults,
+            } => {
                 let block = addr / block_bytes;
                 (block / vaults as u64) * block_bytes + addr % block_bytes
             }

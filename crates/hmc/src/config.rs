@@ -6,10 +6,8 @@
 //! configuration captures the paper's CPU-side comparison point
 //! ("optimistically, standard DRAM modules provide up to 25 GB/s").
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and bandwidth of one HMC module.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HmcConfig {
     /// Number of vaults (HMC 2.0: up to 32).
     pub vaults: usize,
@@ -74,7 +72,7 @@ impl Default for HmcConfig {
 }
 
 /// A conventional DDR memory channel set, the CPU-side comparison point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DdrConfig {
     /// Sustained bandwidth in bytes/second.
     pub bandwidth: f64,
@@ -87,7 +85,11 @@ pub struct DdrConfig {
 impl DdrConfig {
     /// The paper's optimistic standard-DRAM figure: 25 GB/s.
     pub fn ddr4_quad_channel() -> Self {
-        Self { bandwidth: 25.0e9, access_latency: 70e-9, capacity: 64 << 30 }
+        Self {
+            bandwidth: 25.0e9,
+            access_latency: 70e-9,
+            capacity: 64 << 30,
+        }
     }
 }
 
@@ -99,7 +101,7 @@ impl Default for DdrConfig {
 
 /// Either memory technology, unified for the bandwidth ablation
 /// (`ablation_bandwidth` experiment).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MemoryTechnology {
     /// Die-stacked HMC.
     Hmc(HmcConfig),

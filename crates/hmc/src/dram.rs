@@ -10,10 +10,8 @@
 //! row buffer open, while random gathers pay precharge+activate on nearly
 //! every access.
 
-use serde::{Deserialize, Serialize};
-
 /// Bank timing parameters (seconds) and geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramTimings {
     /// Row activate → column access (tRCD).
     pub t_rcd: f64,
@@ -98,7 +96,9 @@ impl DramTimings {
     /// Seconds for `count` independent random reads of `elem_bytes` each:
     /// every access pays the full precharge/activate/CAS sequence.
     pub fn random_read_time(&self, count: u64, elem_bytes: u64) -> f64 {
-        let per = self.t_rp + self.t_rcd + self.t_cas
+        let per = self.t_rp
+            + self.t_rcd
+            + self.t_cas
             + elem_bytes.div_ceil(self.burst_bytes).max(1) as f64 * self.t_burst;
         count as f64 * per
     }
@@ -128,14 +128,20 @@ mod tests {
         // overhead-dominated time of tiny reads.
         let one = t.sequential_read_time(t.row_bytes);
         let many = t.sequential_read_time(64 * t.row_bytes);
-        assert!(many < 64.0 * one, "row overhead must amortize: {one} vs {many}");
+        assert!(
+            many < 64.0 * one,
+            "row overhead must amortize: {one} vs {many}"
+        );
     }
 
     #[test]
     fn random_reads_are_much_slower_than_sequential() {
         let t = DramTimings::hmc_layer();
         let eff = t.random_access_efficiency(4);
-        assert!(eff < 0.2, "random 4-byte gathers should be <20% efficient, got {eff}");
+        assert!(
+            eff < 0.2,
+            "random 4-byte gathers should be <20% efficient, got {eff}"
+        );
     }
 
     #[test]

@@ -11,15 +11,13 @@
 //! It also supports interleaved transaction traffic for the
 //! standard-memory ("SSAM logic bypassed") operating mode.
 
-use serde::{Deserialize, Serialize};
-
 use crate::address::AddressMap;
 use crate::config::HmcConfig;
 use crate::packet::bulk_wire_bytes;
 use crate::vault::{VaultController, VaultStats};
 
 /// One HMC module with live vault controllers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HmcModule {
     config: HmcConfig,
     vaults: Vec<VaultController>,
@@ -43,7 +41,11 @@ impl HmcModule {
         let vaults = (0..config.vaults)
             .map(|_| VaultController::new(config.vault_bandwidth, config.access_latency))
             .collect();
-        Self { config, vaults, map }
+        Self {
+            config,
+            vaults,
+            map,
+        }
     }
 
     /// Module configuration.
@@ -202,7 +204,10 @@ mod tests {
         let len = 64 << 20;
         let t_inter = inter.read(0.0, 0, len);
         let t_shard = shard.read(0.0, 0, len);
-        assert!(t_inter < t_shard, "interleaving should parallelize one stream");
+        assert!(
+            t_inter < t_shard,
+            "interleaving should parallelize one stream"
+        );
     }
 
     #[test]

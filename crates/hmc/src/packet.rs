@@ -8,7 +8,6 @@
 //! which are a fraction of the original dataset size").
 
 use bytes::{BufMut, Bytes, BytesMut};
-use serde::{Deserialize, Serialize};
 
 /// Bytes per FLIT on an HMC link.
 pub const FLIT_BYTES: usize = 16;
@@ -18,7 +17,7 @@ pub const OVERHEAD_FLITS: usize = 2;
 pub const MAX_PAYLOAD_BYTES: usize = 128;
 
 /// Request commands a host can issue to a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Command {
     /// Read `len` bytes at `addr`.
     Read,
@@ -33,35 +32,24 @@ pub enum Command {
 }
 
 /// One link packet (request or response).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Packet {
     /// Command.
     pub command: Command,
     /// Target byte address within the module.
     pub addr: u64,
     /// Data payload (may be empty for pure requests).
-    #[serde(with = "serde_bytes_compat")]
     pub payload: Bytes,
-}
-
-mod serde_bytes_compat {
-    //! `Bytes` doesn't implement serde traits directly; round-trip via Vec.
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        b.as_ref().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
-    }
 }
 
 impl Packet {
     /// Builds a request packet.
     pub fn request(command: Command, addr: u64, payload: &[u8]) -> Self {
-        Self { command, addr, payload: Bytes::copy_from_slice(payload) }
+        Self {
+            command,
+            addr,
+            payload: Bytes::copy_from_slice(payload),
+        }
     }
 
     /// Total FLITs on the wire for this packet, including overhead.
@@ -111,7 +99,11 @@ impl Packet {
         if frame.len() != len {
             return None;
         }
-        Some(Self { command, addr, payload: frame })
+        Some(Self {
+            command,
+            addr,
+            payload: frame,
+        })
     }
 }
 

@@ -8,10 +8,8 @@
 //! pattern — therefore approach the full controller bandwidth, matching the
 //! paper's "near optimal memory bandwidth" expectation for bucket scans.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulated traffic counters for one vault.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct VaultStats {
     /// Bytes read from DRAM.
     pub bytes_read: u64,
@@ -24,7 +22,7 @@ pub struct VaultStats {
 }
 
 /// One vault controller with busy-until timing.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VaultController {
     bandwidth: f64,
     access_latency: f64,
@@ -40,7 +38,12 @@ impl VaultController {
     /// Panics if `bandwidth` is not positive.
     pub fn new(bandwidth: f64, access_latency: f64) -> Self {
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        Self { bandwidth, access_latency, busy_until: 0.0, stats: VaultStats::default() }
+        Self {
+            bandwidth,
+            access_latency,
+            busy_until: 0.0,
+            stats: VaultStats::default(),
+        }
     }
 
     /// Issues a read of `bytes` at time `now`; returns completion time.

@@ -13,7 +13,6 @@
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::distance::dot;
 use crate::topk::{Neighbor, TopK};
@@ -22,7 +21,7 @@ use crate::vecstore::VectorStore;
 /// A set of binary codes, one per vector, packed into 32-bit words to match
 /// the SSAM `FXP` instruction ("each 32-bit word is 32 dimensions of a
 /// binary vector").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BinaryStore {
     bits: usize,
     words_per_vec: usize,
@@ -36,7 +35,11 @@ impl BinaryStore {
     /// Panics if `bits == 0`.
     pub fn new(bits: usize) -> Self {
         assert!(bits > 0, "code length must be positive");
-        Self { bits, words_per_vec: bits.div_ceil(32), data: Vec::new() }
+        Self {
+            bits,
+            words_per_vec: bits.div_ceil(32),
+            data: Vec::new(),
+        }
     }
 
     /// Appends a packed code; returns its id.
@@ -94,7 +97,7 @@ pub fn hamming(a: &[u32], b: &[u32]) -> u32 {
 
 /// Random-hyperplane binarizer: bit `i` of the code is the sign of the
 /// projection onto Gaussian direction `i`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HyperplaneBinarizer {
     planes: VectorStore,
     bits: usize,
@@ -223,7 +226,10 @@ mod tests {
         let b = HyperplaneBinarizer::new(dims, 256, 4);
         let base: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
         // near: small perturbation; far: independent vector
-        let near: Vec<f32> = base.iter().map(|x| x + rng.random_range(-0.05..0.05)).collect();
+        let near: Vec<f32> = base
+            .iter()
+            .map(|x| x + rng.random_range(-0.05f32..0.05))
+            .collect();
         let far: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
         assert!(cosine_similarity(&base, &near) > cosine_similarity(&base, &far));
         let cb = b.encode(&base);

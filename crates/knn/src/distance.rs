@@ -11,10 +11,8 @@
 //! what both our CPU baseline and the SSAM kernels compute — mirroring the
 //! paper's accelerator, whose distance pipeline has no sqrt unit.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a distance metric; used to select kernels on every platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Euclidean (L2) distance. Ranked via the squared form.
     Euclidean,

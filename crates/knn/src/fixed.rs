@@ -10,8 +10,6 @@
 //! unit's ALUs — every SSAM kernel computes distances on these values, so
 //! conversion and arithmetic here define accelerator semantics.
 
-use serde::{Deserialize, Serialize};
-
 use crate::vecstore::VectorStore;
 
 /// Fraction bits in the Q16.16 format.
@@ -20,7 +18,7 @@ pub const FRAC_BITS: u32 = 16;
 pub const SCALE: f64 = (1u32 << FRAC_BITS) as f64;
 
 /// A Q16.16 fixed-point value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fix32(pub i32);
 
 impl Fix32 {
@@ -64,7 +62,7 @@ impl Fix32 {
 }
 
 /// A dataset converted to Q16.16 for fixed-point pipelines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FixedStore {
     dims: usize,
     data: Vec<i32>,
@@ -78,7 +76,10 @@ impl FixedStore {
             .iter()
             .map(|&x| Fix32::from_f32(x).0)
             .collect();
-        Self { dims: store.dims(), data }
+        Self {
+            dims: store.dims(),
+            data,
+        }
     }
 
     /// Number of vectors.
@@ -160,7 +161,7 @@ mod tests {
 
     #[test]
     fn round_trip_error_is_within_half_ulp() {
-        for x in [-1.5f32, 0.0, 0.25, 3.14159, -100.0, 1e-5] {
+        for x in [-1.5f32, 0.0, 0.25, std::f32::consts::PI, -100.0, 1e-5] {
             let err = (Fix32::from_f32(x).to_f32() - x).abs();
             assert!(err <= (1.0 / SCALE as f32), "err {err} for {x}");
         }
@@ -227,7 +228,11 @@ mod tests {
             let fixed = knn_exact_fixed(&fs, &fs.quantize_query(&q), 10);
             total += recall_ids(&exact, &fixed);
         }
-        assert!(total / 20.0 > 0.99, "fixed-point recall degraded: {}", total / 20.0);
+        assert!(
+            total / 20.0 > 0.99,
+            "fixed-point recall degraded: {}",
+            total / 20.0
+        );
     }
 
     #[test]

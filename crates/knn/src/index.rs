@@ -6,13 +6,11 @@
 //! dataset examined per query, trading throughput for accuracy; this is
 //! the single knob swept to produce the paper's Fig. 2 and Fig. 7 curves.
 
-use serde::{Deserialize, Serialize};
-
 use crate::topk::Neighbor;
 use crate::vecstore::VectorStore;
 
 /// Per-query work cap for an approximate index traversal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchBudget {
     /// Maximum leaves (buckets) to visit, including the initial descent
     /// (tree indexes), or probes per hash table (MPLSH).
@@ -22,7 +20,9 @@ pub struct SearchBudget {
 impl SearchBudget {
     /// Budget of `checks` leaves/probes.
     pub fn checks(checks: usize) -> Self {
-        Self { checks: checks.max(1) }
+        Self {
+            checks: checks.max(1),
+        }
     }
 
     /// Effectively unlimited budget — degrades the index to linear-scan
@@ -40,7 +40,7 @@ impl Default for SearchBudget {
 
 /// Work accounting reported by a single query, used to derive throughput
 /// proxies and to feed the SSAM device model with candidate-scan volumes.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Database vectors whose distance to the query was evaluated.
     pub distance_evals: usize,
@@ -106,8 +106,16 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_fields() {
-        let mut a = SearchStats { distance_evals: 1, leaves_visited: 2, interior_steps: 3 };
-        let b = SearchStats { distance_evals: 10, leaves_visited: 20, interior_steps: 30 };
+        let mut a = SearchStats {
+            distance_evals: 1,
+            leaves_visited: 2,
+            interior_steps: 3,
+        };
+        let b = SearchStats {
+            distance_evals: 10,
+            leaves_visited: 20,
+            interior_steps: 30,
+        };
         a.merge(&b);
         assert_eq!(a.distance_evals, 11);
         assert_eq!(a.leaves_visited, 22);

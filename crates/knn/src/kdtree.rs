@@ -15,7 +15,6 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::distance::Metric;
 use crate::index::{SearchBudget, SearchIndex, SearchStats};
@@ -27,7 +26,7 @@ use crate::vecstore::VectorStore;
 const RAND_DIM_CANDIDATES: usize = 5;
 
 /// Construction parameters for a [`KdForest`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct KdTreeParams {
     /// Number of parallel randomized trees.
     pub trees: usize,
@@ -39,11 +38,15 @@ pub struct KdTreeParams {
 
 impl Default for KdTreeParams {
     fn default() -> Self {
-        Self { trees: 4, leaf_size: 16, seed: 0x6B64 }
+        Self {
+            trees: 4,
+            leaf_size: 16,
+            seed: 0x6B64,
+        }
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Interior {
         dim: u16,
@@ -57,7 +60,7 @@ enum Node {
 }
 
 /// One randomized kd-tree stored as an arena of nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct KdTree {
     nodes: Vec<Node>,
     root: u32,
@@ -65,7 +68,7 @@ struct KdTree {
 
 /// A forest of randomized kd-trees sharing one candidate queue at search
 /// time, as in FLANN.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KdForest {
     trees: Vec<KdTree>,
     params: KdTreeParams,
@@ -91,7 +94,12 @@ impl KdForest {
                 KdTree { nodes, root }
             })
             .collect();
-        Self { trees, params, metric, dims: store.dims() }
+        Self {
+            trees,
+            params,
+            metric,
+            dims: store.dims(),
+        }
     }
 
     /// Number of trees in the forest.
@@ -145,12 +153,21 @@ fn build_subtree(
     }
     // Guard against degenerate splits (all points on one side): cut in half
     // so the recursion always terminates.
-    let mid = if lo == 0 || lo == ids.len() { ids.len() / 2 } else { lo };
+    let mid = if lo == 0 || lo == ids.len() {
+        ids.len() / 2
+    } else {
+        lo
+    };
 
     let (left_ids, right_ids) = ids.split_at_mut(mid);
     let left = build_subtree(store, left_ids, leaf_size, nodes, rng);
     let right = build_subtree(store, right_ids, leaf_size, nodes, rng);
-    nodes.push(Node::Interior { dim: dim as u16, split, left, right });
+    nodes.push(Node::Interior {
+        dim: dim as u16,
+        split,
+        left,
+        right,
+    });
     (nodes.len() - 1) as u32
 }
 
@@ -224,7 +241,11 @@ impl SearchIndex for KdForest {
         let mut seen = std::collections::HashSet::new();
 
         for (t, tree) in self.trees.iter().enumerate() {
-            frontier.push(Reverse(Branch { mindist: 0.0, tree: t as u32, node: tree.root }));
+            frontier.push(Reverse(Branch {
+                mindist: 0.0,
+                tree: t as u32,
+                node: tree.root,
+            }));
         }
 
         let mut leaves = 0usize;
@@ -242,13 +263,26 @@ impl SearchIndex for KdForest {
             // Descend to a leaf, deferring far siblings onto the frontier.
             loop {
                 match &tree.nodes[node as usize] {
-                    Node::Interior { dim, split, left, right } => {
+                    Node::Interior {
+                        dim,
+                        split,
+                        left,
+                        right,
+                    } => {
                         stats.interior_steps += 1;
                         let q = query[*dim as usize];
                         let delta = q - split;
-                        let (near, far) = if delta < 0.0 { (*left, *right) } else { (*right, *left) };
+                        let (near, far) = if delta < 0.0 {
+                            (*left, *right)
+                        } else {
+                            (*right, *left)
+                        };
                         let far_min = acc + plane_penalty(self.metric, delta);
-                        frontier.push(Reverse(Branch { mindist: far_min, tree: br.tree, node: far }));
+                        frontier.push(Reverse(Branch {
+                            mindist: far_min,
+                            tree: br.tree,
+                            node: far,
+                        }));
                         node = near;
                         // `acc` unchanged on the near side: the region still
                         // contains points at the current lower bound.
@@ -307,7 +341,11 @@ mod tests {
     }
 
     fn params(trees: usize) -> KdTreeParams {
-        KdTreeParams { trees, leaf_size: 8, seed: 99 }
+        KdTreeParams {
+            trees,
+            leaf_size: 8,
+            seed: 99,
+        }
     }
 
     #[test]
@@ -340,8 +378,7 @@ mod tests {
     fn budget_caps_leaves_visited() {
         let s = random_store(500, 4, 4);
         let f = KdForest::build(&s, Metric::Euclidean, params(2));
-        let (_, stats) =
-            f.search_with_stats(&s, &[0.0; 4], 3, SearchBudget::checks(3));
+        let (_, stats) = f.search_with_stats(&s, &[0.0; 4], 3, SearchBudget::checks(3));
         assert!(stats.leaves_visited <= 3);
     }
 
@@ -366,7 +403,11 @@ mod tests {
     #[test]
     fn leaf_sizes_respect_cap() {
         let s = random_store(300, 5, 6);
-        let p = KdTreeParams { trees: 1, leaf_size: 10, seed: 0 };
+        let p = KdTreeParams {
+            trees: 1,
+            leaf_size: 10,
+            seed: 0,
+        };
         let f = KdForest::build(&s, Metric::Euclidean, p);
         for node in &f.trees[0].nodes {
             if let Node::Leaf { ids } = node {

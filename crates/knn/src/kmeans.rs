@@ -39,7 +39,11 @@ pub struct KMeansParams {
 
 impl Default for KMeansParams {
     fn default() -> Self {
-        Self { k: 8, max_iters: 25, seed: 0x55A4D }
+        Self {
+            k: 8,
+            max_iters: 25,
+            seed: 0x55A4D,
+        }
     }
 }
 
@@ -117,7 +121,12 @@ pub fn kmeans(store: &VectorStore, ids: Option<&[u32]>, params: KMeansParams) ->
         inertia = new_inertia;
     }
 
-    KMeansResult { centroids, assignments, iterations, inertia }
+    KMeansResult {
+        centroids,
+        assignments,
+        iterations,
+        inertia,
+    }
 }
 
 /// Index and squared distance of the centroid closest to `v`.
@@ -193,7 +202,15 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let s = blobs();
-        let r = kmeans(&s, None, KMeansParams { k: 2, max_iters: 50, seed: 1 });
+        let r = kmeans(
+            &s,
+            None,
+            KMeansParams {
+                k: 2,
+                max_iters: 50,
+                seed: 1,
+            },
+        );
         // All even rows (blob A) share a cluster, all odd rows (blob B) the other.
         let a = r.assignments[0];
         let b = r.assignments[1];
@@ -206,7 +223,15 @@ mod tests {
     #[test]
     fn centroids_land_near_blob_means() {
         let s = blobs();
-        let r = kmeans(&s, None, KMeansParams { k: 2, max_iters: 50, seed: 7 });
+        let r = kmeans(
+            &s,
+            None,
+            KMeansParams {
+                k: 2,
+                max_iters: 50,
+                seed: 7,
+            },
+        );
         let mut near_origin = 0;
         let mut near_ten = 0;
         for (_, c) in r.centroids.iter() {
@@ -224,7 +249,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let s = blobs();
-        let p = KMeansParams { k: 3, max_iters: 10, seed: 42 };
+        let p = KMeansParams {
+            k: 3,
+            max_iters: 10,
+            seed: 42,
+        };
         let r1 = kmeans(&s, None, p);
         let r2 = kmeans(&s, None, p);
         assert_eq!(r1.assignments, r2.assignments);
@@ -234,7 +263,15 @@ mod tests {
     #[test]
     fn k_clamped_to_population() {
         let s = VectorStore::from_flat(1, vec![1.0, 2.0]);
-        let r = kmeans(&s, None, KMeansParams { k: 10, max_iters: 5, seed: 0 });
+        let r = kmeans(
+            &s,
+            None,
+            KMeansParams {
+                k: 10,
+                max_iters: 5,
+                seed: 0,
+            },
+        );
         assert_eq!(r.centroids.len(), 2);
     }
 
@@ -243,7 +280,15 @@ mod tests {
         let s = blobs();
         // Cluster only blob A rows; centroid must be near the origin.
         let ids: Vec<u32> = (0..s.len() as u32).filter(|i| i % 2 == 0).collect();
-        let r = kmeans(&s, Some(&ids), KMeansParams { k: 1, max_iters: 10, seed: 0 });
+        let r = kmeans(
+            &s,
+            Some(&ids),
+            KMeansParams {
+                k: 1,
+                max_iters: 10,
+                seed: 0,
+            },
+        );
         assert!(r.centroids.get(0)[0] < 1.0);
         assert_eq!(r.assignments.len(), ids.len());
     }
@@ -259,7 +304,15 @@ mod tests {
     #[test]
     fn identical_points_do_not_crash() {
         let s = VectorStore::from_flat(2, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
-        let r = kmeans(&s, None, KMeansParams { k: 3, max_iters: 5, seed: 0 });
+        let r = kmeans(
+            &s,
+            None,
+            KMeansParams {
+                k: 3,
+                max_iters: 5,
+                seed: 0,
+            },
+        );
         assert!(r.inertia < 1e-12);
     }
 

@@ -10,8 +10,6 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::distance::{squared_euclidean, Metric};
 use crate::index::{SearchBudget, SearchIndex, SearchStats};
 use crate::kmeans::{kmeans, KMeansParams};
@@ -19,7 +17,7 @@ use crate::topk::{Neighbor, TopK};
 use crate::vecstore::VectorStore;
 
 /// Construction parameters for a [`KMeansTree`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct KMeansTreeParams {
     /// Branching factor at every interior node.
     pub branching: usize,
@@ -35,11 +33,17 @@ pub struct KMeansTreeParams {
 
 impl Default for KMeansTreeParams {
     fn default() -> Self {
-        Self { branching: 8, leaf_size: 32, max_height: 12, kmeans_iters: 8, seed: 0x6B6D }
+        Self {
+            branching: 8,
+            leaf_size: 32,
+            max_height: 12,
+            kmeans_iters: 8,
+            seed: 0x6B6D,
+        }
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Interior {
         /// Centroid per child, row-major in `centroids` (branching rows).
@@ -52,7 +56,7 @@ enum Node {
 }
 
 /// Hierarchical k-means index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KMeansTree {
     nodes: Vec<Node>,
     root: u32,
@@ -72,7 +76,13 @@ impl KMeansTree {
         let mut nodes = Vec::new();
         let ids: Vec<u32> = (0..store.len() as u32).collect();
         let root = build_node(store, ids, &params, 0, &mut nodes);
-        Self { nodes, root, params, metric, dims: store.dims() }
+        Self {
+            nodes,
+            root,
+            params,
+            metric,
+            dims: store.dims(),
+        }
     }
 
     /// Number of leaves (buckets).
@@ -140,7 +150,10 @@ fn build_node(
         let child = build_node(store, group, params, level + 1, nodes);
         children.push(child);
     }
-    nodes.push(Node::Interior { centroids, children });
+    nodes.push(Node::Interior {
+        centroids,
+        children,
+    });
     (nodes.len() - 1) as u32
 }
 
@@ -153,7 +166,9 @@ struct Branch {
 impl Eq for Branch {}
 impl Ord for Branch {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.total_cmp(&other.key).then_with(|| self.node.cmp(&other.node))
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| self.node.cmp(&other.node))
     }
 }
 impl PartialOrd for Branch {
@@ -174,7 +189,10 @@ impl SearchIndex for KMeansTree {
         let mut top = TopK::new(k);
         let mut stats = SearchStats::default();
         let mut frontier: BinaryHeap<Reverse<Branch>> = BinaryHeap::new();
-        frontier.push(Reverse(Branch { key: 0.0, node: self.root }));
+        frontier.push(Reverse(Branch {
+            key: 0.0,
+            node: self.root,
+        }));
 
         let mut leaves = 0usize;
         while let Some(Reverse(br)) = frontier.pop() {
@@ -185,7 +203,10 @@ impl SearchIndex for KMeansTree {
             // Descend: follow the closest centroid, defer siblings.
             loop {
                 match &self.nodes[node as usize] {
-                    Node::Interior { centroids, children } => {
+                    Node::Interior {
+                        centroids,
+                        children,
+                    } => {
                         stats.interior_steps += 1;
                         let mut best_child = 0usize;
                         let mut best_d = f32::INFINITY;
@@ -202,7 +223,10 @@ impl SearchIndex for KMeansTree {
                         }
                         for (c, &child) in children.iter().enumerate() {
                             if c != best_child {
-                                frontier.push(Reverse(Branch { key: dists[c], node: child }));
+                                frontier.push(Reverse(Branch {
+                                    key: dists[c],
+                                    node: child,
+                                }));
                             }
                         }
                         node = children[best_child];
@@ -247,7 +271,13 @@ mod tests {
     }
 
     fn params() -> KMeansTreeParams {
-        KMeansTreeParams { branching: 4, leaf_size: 16, max_height: 10, kmeans_iters: 5, seed: 11 }
+        KMeansTreeParams {
+            branching: 4,
+            leaf_size: 16,
+            max_height: 10,
+            kmeans_iters: 5,
+            seed: 11,
+        }
     }
 
     #[test]

@@ -107,12 +107,8 @@ mod tests {
     #[test]
     fn stats_count_full_scan() {
         let s = toy_store();
-        let (_, stats) = LinearSearch::default().search_with_stats(
-            &s,
-            &[1.0],
-            2,
-            SearchBudget::default(),
-        );
+        let (_, stats) =
+            LinearSearch::default().search_with_stats(&s, &[1.0], 2, SearchBudget::default());
         assert_eq!(stats.distance_evals, 5);
     }
 

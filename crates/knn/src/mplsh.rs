@@ -15,7 +15,6 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::distance::{dot, Metric};
 use crate::index::{SearchBudget, SearchIndex, SearchStats};
@@ -23,7 +22,7 @@ use crate::topk::{Neighbor, TopK};
 use crate::vecstore::VectorStore;
 
 /// Construction parameters for [`MultiProbeLsh`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MplshParams {
     /// Independent hash tables.
     pub tables: usize,
@@ -35,12 +34,16 @@ pub struct MplshParams {
 
 impl Default for MplshParams {
     fn default() -> Self {
-        Self { tables: 4, hash_bits: 20, seed: 0x004C_5348 }
+        Self {
+            tables: 4,
+            hash_bits: 20,
+            seed: 0x004C_5348,
+        }
     }
 }
 
 /// One hash table: its hyperplanes and bucket map.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Table {
     /// `hash_bits` hyperplane normals, row-major.
     planes: VectorStore,
@@ -48,7 +51,7 @@ struct Table {
 }
 
 /// Hyperplane multi-probe LSH index.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MultiProbeLsh {
     tables: Vec<Table>,
     params: MplshParams,
@@ -92,7 +95,12 @@ impl MultiProbeLsh {
                 Table { planes, buckets }
             })
             .collect();
-        Self { tables, params, metric, dims }
+        Self {
+            tables,
+            params,
+            metric,
+            dims,
+        }
     }
 
     /// Number of non-empty buckets summed over tables.
@@ -182,7 +190,10 @@ fn probe_sequence(code: u32, acts: &[f32], n: usize) -> Vec<u32> {
     // Heap-based generation (Lv et al.): successors of a set whose last
     // element is `j` are shift (j→j+1) and expand (append j+1).
     let mut heap: BinaryHeap<Reverse<Probe>> = BinaryHeap::new();
-    heap.push(Reverse(Probe { score: cost(0), set: vec![0] }));
+    heap.push(Reverse(Probe {
+        score: cost(0),
+        set: vec![0],
+    }));
     while out.len() < n {
         let Some(Reverse(p)) = heap.pop() else { break };
         // Emit this perturbation.
@@ -198,12 +209,18 @@ fn probe_sequence(code: u32, acts: &[f32], n: usize) -> Vec<u32> {
             let mut shifted = p.set.clone();
             *shifted.last_mut().expect("non-empty") = last + 1;
             let score = p.score - cost(last) + cost(last + 1);
-            heap.push(Reverse(Probe { score, set: shifted }));
+            heap.push(Reverse(Probe {
+                score,
+                set: shifted,
+            }));
             // Expand.
             let mut expanded = p.set;
             expanded.push(last + 1);
             let score = p.score + cost(last + 1);
-            heap.push(Reverse(Probe { score, set: expanded }));
+            heap.push(Reverse(Probe {
+                score,
+                set: expanded,
+            }));
         }
     }
     out
@@ -269,7 +286,11 @@ mod tests {
 
     fn small_params() -> MplshParams {
         // Few bits so buckets are well-populated at test scale.
-        MplshParams { tables: 6, hash_bits: 8, seed: 77 }
+        MplshParams {
+            tables: 6,
+            hash_bits: 8,
+            seed: 77,
+        }
     }
 
     #[test]
@@ -294,7 +315,10 @@ mod tests {
         // |activations|: bit2 is cheapest (0.05)
         let acts = vec![0.5, -0.2, 0.05];
         let seq = probe_sequence(0b000, &acts, 2);
-        assert_eq!(seq[1], 0b100, "second probe should flip the lowest-margin bit");
+        assert_eq!(
+            seq[1], 0b100,
+            "second probe should flip the lowest-margin bit"
+        );
     }
 
     #[test]

@@ -5,14 +5,12 @@
 //! way the paper's bandwidth analysis assumes: large contiguous blocks, each
 //! vector touched once per query and then discarded.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense, row-major collection of equal-length `f32` feature vectors.
 ///
 /// Vector `i` occupies `data[i*dims .. (i+1)*dims]`. IDs are implicit row
 /// indices (`u32`), matching the paper's observation that a kNN query's
 /// result set is "only a small set of identifiers".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VectorStore {
     dims: usize,
     data: Vec<f32>,
@@ -25,7 +23,10 @@ impl VectorStore {
     /// Panics if `dims == 0`.
     pub fn new(dims: usize) -> Self {
         assert!(dims > 0, "vector dimensionality must be positive");
-        Self { dims, data: Vec::new() }
+        Self {
+            dims,
+            data: Vec::new(),
+        }
     }
 
     /// Creates a store from a flat row-major buffer.
@@ -46,7 +47,10 @@ impl VectorStore {
     /// Creates a store with capacity preallocated for `n` vectors.
     pub fn with_capacity(dims: usize, n: usize) -> Self {
         assert!(dims > 0, "vector dimensionality must be positive");
-        Self { dims, data: Vec::with_capacity(dims * n) }
+        Self {
+            dims,
+            data: Vec::with_capacity(dims * n),
+        }
     }
 
     /// Appends one vector; returns its id.

@@ -19,7 +19,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use ssam_knn::index::{SearchBudget, SearchIndex, SearchStats};
 use ssam_knn::VectorStore;
 
@@ -27,7 +26,7 @@ use ssam_knn::VectorStore;
 pub const SIMD_LANES: usize = 8;
 
 /// Instruction-class totals for a workload.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OpCounts {
     /// Vector (AVX/SSE-class) instructions.
     pub vector: f64,
@@ -57,7 +56,7 @@ impl OpCounts {
 }
 
 /// One Table I row.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstructionMix {
     /// AVX/SSE instruction share, percent.
     pub vector_pct: f64,
@@ -68,7 +67,7 @@ pub struct InstructionMix {
 }
 
 /// Algorithm families of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Exact linear scan.
     Linear,
@@ -218,7 +217,11 @@ mod tests {
     use super::*;
 
     fn stats(evals: usize, interior: usize, leaves: usize) -> SearchStats {
-        SearchStats { distance_evals: evals, interior_steps: interior, leaves_visited: leaves }
+        SearchStats {
+            distance_evals: evals,
+            interior_steps: interior,
+            leaves_visited: leaves,
+        }
     }
 
     #[test]
@@ -254,7 +257,12 @@ mod tests {
 
     #[test]
     fn percentages_sum_to_at_most_one_hundred() {
-        for f in [Family::Linear, Family::KdTree, Family::KMeans, Family::Mplsh] {
+        for f in [
+            Family::Linear,
+            Family::KdTree,
+            Family::KMeans,
+            Family::Mplsh,
+        ] {
             let mix = expand(f, &stats(1000, 300, 32), 128).mix();
             let sum = mix.vector_pct + mix.mem_read_pct + mix.mem_write_pct;
             assert!(sum <= 100.0 + 1e-9, "{f:?}: {sum}");

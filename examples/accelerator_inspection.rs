@@ -22,7 +22,11 @@ fn main() {
 
     // 1. Generate the hand-written Euclidean scan kernel for this shape.
     let kernel = linear::euclidean(dims, vl);
-    println!("=== kernel `{}` ({} instructions) ===", kernel.name, kernel.program.len());
+    println!(
+        "=== kernel `{}` ({} instructions) ===",
+        kernel.name,
+        kernel.program.len()
+    );
     println!("{}", kernel.source);
 
     // 2. Assemble ↔ disassemble ↔ binary-encode round trips.
@@ -31,7 +35,10 @@ fn main() {
     let words: Vec<u64> = kernel.program.iter().map(encode).collect();
     let decoded: Vec<_> = words.iter().map(|&w| decode(w).expect("decodes")).collect();
     assert_eq!(decoded, kernel.program);
-    println!("=== binary image: {} x 64-bit words; disassembly ===", words.len());
+    println!(
+        "=== binary image: {} x 64-bit words; disassembly ===",
+        words.len()
+    );
     println!("{}", disassemble(&kernel.program));
 
     // 3. Stage a 6-vector shard in DRAM and a query in the scratchpad.
@@ -53,7 +60,9 @@ fn main() {
     pu.load_program(kernel.program.clone());
     let query = [0.5f32; 8];
     let q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
-    pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+    pu.scratchpad_mut()
+        .write_block(0, &q)
+        .expect("query staged");
     pu.set_sreg(1, DRAM_BASE as i32);
     pu.set_sreg(2, DRAM_BASE as i32 + shard_bytes as i32);
 
@@ -67,19 +76,38 @@ fn main() {
             e.value as f64 / 65536.0
         );
     }
-    assert_eq!(pu.pqueue().entries()[0].id, 2, "vector 2 is the query itself");
+    assert_eq!(
+        pu.pqueue().entries()[0].id,
+        2,
+        "vector 2 is the query itself"
+    );
 
     // 5. Cycle/activity account and the calibrated models.
     println!("\n=== run statistics ===");
     println!("  cycles             {}", stats.cycles);
     println!("  instructions       {}", stats.instructions);
-    println!("  vector fraction    {:.1}%", 100.0 * stats.vector_fraction());
+    println!(
+        "  vector fraction    {:.1}%",
+        100.0 * stats.vector_fraction()
+    );
     println!("  DRAM bytes         {}", stats.dram.bytes_read);
-    println!("  prefetch hit rate  {:.0}%", 100.0 * stats.dram.hits as f64 / (stats.dram.hits + stats.dram.misses).max(1) as f64);
+    println!(
+        "  prefetch hit rate  {:.0}%",
+        100.0 * stats.dram.hits as f64 / (stats.dram.hits + stats.dram.misses).max(1) as f64
+    );
 
     let act = Activity::from_stats(&stats);
     println!("\n=== calibrated models (paper Tables III/IV) ===");
-    println!("  effective PU power  {:.2} (Table III units)", effective_power(vl, &act));
-    println!("  kernel energy       {:.6} mJ @ 1 GHz", kernel_energy_mj(vl, &stats, 1.0e9));
-    println!("  accelerator area    {:.2} mm^2 at 28 nm", module_area(vl).total());
+    println!(
+        "  effective PU power  {:.2} (Table III units)",
+        effective_power(vl, &act)
+    );
+    println!(
+        "  kernel energy       {:.6} mJ @ 1 GHz",
+        kernel_energy_mj(vl, &stats, 1.0e9)
+    );
+    println!(
+        "  accelerator area    {:.2} mm^2 at 28 nm",
+        module_area(vl).total()
+    );
 }

@@ -56,7 +56,11 @@ fn main() {
                 title: format!("img-{theme:02}-{i:04}"),
                 theme,
             });
-            features.push(&extract_features(theme, (theme * per_theme + i) as u64, dims));
+            features.push(&extract_features(
+                theme,
+                (theme * per_theme + i) as u64,
+                dims,
+            ));
         }
     }
 
@@ -65,7 +69,13 @@ fn main() {
     let index = KMeansTree::build(
         &features,
         Metric::Euclidean,
-        KMeansTreeParams { branching: 8, leaf_size: 32, max_height: 8, kmeans_iters: 8, seed: 42 },
+        KMeansTreeParams {
+            branching: 8,
+            leaf_size: 32,
+            max_height: 8,
+            kmeans_iters: 8,
+            seed: 42,
+        },
     );
     println!("    {} leaves", index.num_leaves());
 
@@ -96,7 +106,10 @@ fn main() {
                 if entry.theme == 7 {
                     theme_hits += 1;
                 }
-                println!("      {}  (theme {:>2}, dist {:.3})", entry.title, entry.theme, n.dist);
+                println!(
+                    "      {}  (theme {:>2}, dist {:.3})",
+                    entry.title, entry.theme, n.dist
+                );
             }
             assert!(
                 theme_hits >= k / 2,

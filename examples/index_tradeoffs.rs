@@ -29,22 +29,40 @@ fn main() {
     let kd = KdForest::build(
         &bench.train,
         Metric::Euclidean,
-        KdTreeParams { trees: 4, leaf_size: 32, seed: 1 },
+        KdTreeParams {
+            trees: 4,
+            leaf_size: 32,
+            seed: 1,
+        },
     );
     let km = KMeansTree::build(
         &bench.train,
         Metric::Euclidean,
-        KMeansTreeParams { branching: 8, leaf_size: 32, max_height: 10, kmeans_iters: 6, seed: 1 },
+        KMeansTreeParams {
+            branching: 8,
+            leaf_size: 32,
+            max_height: 10,
+            kmeans_iters: 6,
+            seed: 1,
+        },
     );
     let bits = ((bench.train.len() as f64 / 8.0).log2().ceil() as usize).clamp(8, 20);
     let lsh = MultiProbeLsh::build(
         &bench.train,
         Metric::Euclidean,
-        MplshParams { tables: 8, hash_bits: bits, seed: 1 },
+        MplshParams {
+            tables: 8,
+            hash_bits: bits,
+            seed: 1,
+        },
     );
 
-    let indexes: [(&str, &dyn SearchIndex); 3] = [("kd-tree", &kd), ("k-means", &km), ("MPLSH", &lsh)];
-    println!("{:<10} {:>7} {:>12} {:>8} {:>10}", "index", "budget", "queries/s", "recall", "% scanned");
+    let indexes: [(&str, &dyn SearchIndex); 3] =
+        [("kd-tree", &kd), ("k-means", &km), ("MPLSH", &lsh)];
+    println!(
+        "{:<10} {:>7} {:>12} {:>8} {:>10}",
+        "index", "budget", "queries/s", "recall", "% scanned"
+    );
     for (name, index) in indexes {
         for budget in [1usize, 4, 16, 64] {
             let start = Instant::now();

@@ -27,13 +27,21 @@ fn main() {
     let gpu = GpuPlatform::titan_x();
 
     let vl = 4;
-    let mut dev = SsamDevice::new(SsamConfig { vector_length: vl, ..SsamConfig::default() });
+    let mut dev = SsamDevice::new(SsamConfig {
+        vector_length: vl,
+        ..SsamConfig::default()
+    });
     dev.load_vectors(&bench.train);
     let q: Vec<f32> = bench.queries.get(0).to_vec();
-    let r = dev.query(&DeviceQuery::Euclidean(&q), bench.k()).expect("device runs");
+    let r = dev
+        .query(&DeviceQuery::Euclidean(&q), bench.k())
+        .expect("device runs");
     let ssam_qps = 1.0 / r.timing.seconds;
 
-    println!("{:<18} {:>12} {:>12} {:>14}", "platform", "queries/s", "mm^2@28nm", "q/s/mm^2");
+    println!(
+        "{:<18} {:>12} {:>12} {:>14}",
+        "platform", "queries/s", "mm^2@28nm", "q/s/mm^2"
+    );
     let row = |name: &str, qps: f64, area: f64| {
         println!(
             "{:<18} {:>12.1} {:>12.1} {:>14.3}",
@@ -43,9 +51,17 @@ fn main() {
             area_normalized_throughput(qps, area)
         );
     };
-    row("Xeon E5-2620", cpu.linear_throughput(&w), cpu.area_mm2_28nm());
+    row(
+        "Xeon E5-2620",
+        cpu.linear_throughput(&w),
+        cpu.area_mm2_28nm(),
+    );
     row("Titan X", gpu.linear_throughput(&w), gpu.area_mm2_28nm());
-    row(&format!("SSAM-{vl} (sim)"), ssam_qps, module_area(vl).total());
+    row(
+        &format!("SSAM-{vl} (sim)"),
+        ssam_qps,
+        module_area(vl).total(),
+    );
 
     // Where does the SSAM advantage come from? Bandwidth, mostly.
     let hmc = HmcConfig::hmc2();
@@ -64,7 +80,11 @@ fn main() {
     println!(
         "\ndevice detail: {} PU(s)/vault, {}-bound, {:.3} mJ/query",
         r.timing.pus_per_vault,
-        if r.timing.compute_bound { "compute" } else { "bandwidth" },
+        if r.timing.compute_bound {
+            "compute"
+        } else {
+            "bandwidth"
+        },
         r.timing.energy_mj
     );
 }

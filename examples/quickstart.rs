@@ -46,7 +46,11 @@ fn main() {
         "\ndevice query time {:.2} us  ({} PU(s)/vault, {}-bound, {:.3} uJ)",
         timing.seconds * 1e6,
         timing.pus_per_vault,
-        if timing.compute_bound { "compute" } else { "bandwidth" },
+        if timing.compute_bound {
+            "compute"
+        } else {
+            "bandwidth"
+        },
         timing.energy_mj * 1e3,
     );
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-1def8087c5d2858a.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth-1def8087c5d2858a: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-d0b3015a52a838f1.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth-d0b3015a52a838f1: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

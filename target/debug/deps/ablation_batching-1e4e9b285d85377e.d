@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-1e4e9b285d85377e.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-1e4e9b285d85377e: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-b43ac1172737b39f.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-b43ac1172737b39f: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_chaining-480948d2ffb76cd3.d: crates/bench/src/bin/ablation_chaining.rs
+
+/root/repo/target/debug/deps/ablation_chaining-480948d2ffb76cd3: crates/bench/src/bin/ablation_chaining.rs
+
+crates/bench/src/bin/ablation_chaining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_chaining-b6d6019ef8b9756b.d: crates/bench/src/bin/ablation_chaining.rs
+
+/root/repo/target/debug/deps/ablation_chaining-b6d6019ef8b9756b: crates/bench/src/bin/ablation_chaining.rs
+
+crates/bench/src/bin/ablation_chaining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fixed_point-1e6ff7b2a88120b3.d: crates/bench/src/bin/ablation_fixed_point.rs
+
+/root/repo/target/debug/deps/ablation_fixed_point-1e6ff7b2a88120b3: crates/bench/src/bin/ablation_fixed_point.rs
+
+crates/bench/src/bin/ablation_fixed_point.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fixed_point-e4c947ac73e09ca6.d: crates/bench/src/bin/ablation_fixed_point.rs
+
+/root/repo/target/debug/deps/ablation_fixed_point-e4c947ac73e09ca6: crates/bench/src/bin/ablation_fixed_point.rs
+
+crates/bench/src/bin/ablation_fixed_point.rs:

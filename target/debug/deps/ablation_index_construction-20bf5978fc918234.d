@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_index_construction-20bf5978fc918234.d: crates/bench/src/bin/ablation_index_construction.rs
+
+/root/repo/target/debug/deps/ablation_index_construction-20bf5978fc918234: crates/bench/src/bin/ablation_index_construction.rs
+
+crates/bench/src/bin/ablation_index_construction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_index_construction-27f9cec40bf3d90e.d: crates/bench/src/bin/ablation_index_construction.rs
+
+/root/repo/target/debug/deps/ablation_index_construction-27f9cec40bf3d90e: crates/bench/src/bin/ablation_index_construction.rs
+
+crates/bench/src/bin/ablation_index_construction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_module_scaling-10cf5eaafacc3fca.d: crates/bench/src/bin/ablation_module_scaling.rs
+
+/root/repo/target/debug/deps/ablation_module_scaling-10cf5eaafacc3fca: crates/bench/src/bin/ablation_module_scaling.rs
+
+crates/bench/src/bin/ablation_module_scaling.rs:

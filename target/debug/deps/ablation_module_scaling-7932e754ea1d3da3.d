@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_module_scaling-7932e754ea1d3da3.d: crates/bench/src/bin/ablation_module_scaling.rs
+
+/root/repo/target/debug/deps/ablation_module_scaling-7932e754ea1d3da3: crates/bench/src/bin/ablation_module_scaling.rs
+
+crates/bench/src/bin/ablation_module_scaling.rs:

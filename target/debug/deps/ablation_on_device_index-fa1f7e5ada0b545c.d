@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_on_device_index-fa1f7e5ada0b545c.d: crates/bench/src/bin/ablation_on_device_index.rs
+
+/root/repo/target/debug/deps/ablation_on_device_index-fa1f7e5ada0b545c: crates/bench/src/bin/ablation_on_device_index.rs
+
+crates/bench/src/bin/ablation_on_device_index.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_priority_queue-81951de326fecf17.d: crates/bench/src/bin/ablation_priority_queue.rs
+
+/root/repo/target/debug/deps/ablation_priority_queue-81951de326fecf17: crates/bench/src/bin/ablation_priority_queue.rs
+
+crates/bench/src/bin/ablation_priority_queue.rs:

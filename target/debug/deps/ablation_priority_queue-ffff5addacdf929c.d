@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_priority_queue-ffff5addacdf929c.d: crates/bench/src/bin/ablation_priority_queue.rs
+
+/root/repo/target/debug/deps/ablation_priority_queue-ffff5addacdf929c: crates/bench/src/bin/ablation_priority_queue.rs
+
+crates/bench/src/bin/ablation_priority_queue.rs:

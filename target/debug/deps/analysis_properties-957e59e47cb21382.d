@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_properties-957e59e47cb21382.d: tests/analysis_properties.rs
+
+/root/repo/target/debug/deps/analysis_properties-957e59e47cb21382: tests/analysis_properties.rs
+
+tests/analysis_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assembler-133f7f1dfbee8587.d: crates/bench/benches/assembler.rs
+
+/root/repo/target/debug/deps/assembler-133f7f1dfbee8587: crates/bench/benches/assembler.rs
+
+crates/bench/benches/assembler.rs:

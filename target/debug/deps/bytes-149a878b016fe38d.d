@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-149a878b016fe38d.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-149a878b016fe38d.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-149a878b016fe38d.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

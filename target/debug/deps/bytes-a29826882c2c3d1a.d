@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a29826882c2c3d1a.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-a29826882c2c3d1a: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_sim-e43ff40fcbb01dba.d: tests/differential_sim.rs
+
+/root/repo/target/debug/deps/differential_sim-e43ff40fcbb01dba: tests/differential_sim.rs
+
+tests/differential_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distances-1e7c6611e4f62f94.d: crates/bench/benches/distances.rs
+
+/root/repo/target/debug/deps/distances-1e7c6611e4f62f94: crates/bench/benches/distances.rs
+
+crates/bench/benches/distances.rs:

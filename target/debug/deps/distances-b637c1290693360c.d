@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distances-b637c1290693360c.d: crates/bench/benches/distances.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistances-b637c1290693360c.rmeta: crates/bench/benches/distances.rs Cargo.toml
+
+crates/bench/benches/distances.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

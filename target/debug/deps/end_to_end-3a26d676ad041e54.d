@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3a26d676ad041e54.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3a26d676ad041e54: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-2fb07eb6c29b5b09.d: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-2fb07eb6c29b5b09: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+crates/bench/src/bin/fig2_accuracy_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-9f57f931372cc55e.d: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-9f57f931372cc55e: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+crates/bench/src/bin/fig2_accuracy_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_linear_comparison-3872b3a8eafd76a1.d: crates/bench/src/bin/fig6_linear_comparison.rs
+
+/root/repo/target/debug/deps/fig6_linear_comparison-3872b3a8eafd76a1: crates/bench/src/bin/fig6_linear_comparison.rs
+
+crates/bench/src/bin/fig6_linear_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_linear_comparison-b28da216a043a0b1.d: crates/bench/src/bin/fig6_linear_comparison.rs
+
+/root/repo/target/debug/deps/fig6_linear_comparison-b28da216a043a0b1: crates/bench/src/bin/fig6_linear_comparison.rs
+
+crates/bench/src/bin/fig6_linear_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_approx_comparison-64403346ba852279.d: crates/bench/src/bin/fig7_approx_comparison.rs
+
+/root/repo/target/debug/deps/fig7_approx_comparison-64403346ba852279: crates/bench/src/bin/fig7_approx_comparison.rs
+
+crates/bench/src/bin/fig7_approx_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_approx_comparison-a0647b9b71edbf15.d: crates/bench/src/bin/fig7_approx_comparison.rs
+
+/root/repo/target/debug/deps/fig7_approx_comparison-a0647b9b71edbf15: crates/bench/src/bin/fig7_approx_comparison.rs
+
+crates/bench/src/bin/fig7_approx_comparison.rs:

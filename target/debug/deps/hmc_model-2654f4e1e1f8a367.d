@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hmc_model-2654f4e1e1f8a367.d: crates/bench/benches/hmc_model.rs
+
+/root/repo/target/debug/deps/hmc_model-2654f4e1e1f8a367: crates/bench/benches/hmc_model.rs
+
+crates/bench/benches/hmc_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/indexes-1f97a62413b3f0d7.d: crates/bench/benches/indexes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindexes-1f97a62413b3f0d7.rmeta: crates/bench/benches/indexes.rs Cargo.toml
+
+crates/bench/benches/indexes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

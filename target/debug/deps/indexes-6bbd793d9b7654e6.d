@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/indexes-6bbd793d9b7654e6.d: crates/bench/benches/indexes.rs
+
+/root/repo/target/debug/deps/indexes-6bbd793d9b7654e6: crates/bench/benches/indexes.rs
+
+crates/bench/benches/indexes.rs:

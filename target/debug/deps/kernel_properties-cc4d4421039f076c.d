@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_properties-cc4d4421039f076c.d: tests/kernel_properties.rs
+
+/root/repo/target/debug/deps/kernel_properties-cc4d4421039f076c: tests/kernel_properties.rs
+
+tests/kernel_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_figures-10c7ea86f5d16abc.d: crates/bench/src/bin/make_figures.rs
+
+/root/repo/target/debug/deps/make_figures-10c7ea86f5d16abc: crates/bench/src/bin/make_figures.rs
+
+crates/bench/src/bin/make_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_figures-8ef057721ac22f1b.d: crates/bench/src/bin/make_figures.rs
+
+/root/repo/target/debug/deps/make_figures-8ef057721ac22f1b: crates/bench/src/bin/make_figures.rs
+
+crates/bench/src/bin/make_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/make_figures-bd9c07b4f9d22b39.d: crates/bench/src/bin/make_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmake_figures-bd9c07b4f9d22b39.rmeta: crates/bench/src/bin/make_figures.rs Cargo.toml
+
+crates/bench/src/bin/make_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

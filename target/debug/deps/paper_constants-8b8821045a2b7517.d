@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_constants-8b8821045a2b7517.d: tests/paper_constants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_constants-8b8821045a2b7517.rmeta: tests/paper_constants.rs Cargo.toml
+
+tests/paper_constants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_constants-914af0951bbe3fb2.d: tests/paper_constants.rs
+
+/root/repo/target/debug/deps/paper_constants-914af0951bbe3fb2: tests/paper_constants.rs
+
+tests/paper_constants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f9369e1e8c1e8cb8.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f9369e1e8c1e8cb8: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-1f3f17825dc68a2b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-1f3f17825dc68a2b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

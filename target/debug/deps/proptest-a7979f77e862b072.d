@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a7979f77e862b072.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a7979f77e862b072.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a7979f77e862b072.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-3db0a1d212824905.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-3db0a1d212824905: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

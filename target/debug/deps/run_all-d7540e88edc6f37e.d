@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-d7540e88edc6f37e.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-d7540e88edc6f37e: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-0d3bdec2718f85a4.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-0d3bdec2718f85a4: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_vs_reference-e2b8b60ddbb01393.d: tests/simulator_vs_reference.rs
+
+/root/repo/target/debug/deps/simulator_vs_reference-e2b8b60ddbb01393: tests/simulator_vs_reference.rs
+
+tests/simulator_vs_reference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam-07ce6145451eff04.d: src/lib.rs
+
+/root/repo/target/debug/deps/ssam-07ce6145451eff04: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssam-0a4013e91aa207c1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam-0a4013e91aa207c1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssam-235493293ae8f5a9.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam-235493293ae8f5a9.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ssam-af279a9974e737f4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libssam-af279a9974e737f4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libssam-af279a9974e737f4.rmeta: src/lib.rs
+
+src/lib.rs:

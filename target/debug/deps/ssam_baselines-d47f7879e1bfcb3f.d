@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssam_baselines-d47f7879e1bfcb3f.d: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+/root/repo/target/debug/deps/ssam_baselines-d47f7879e1bfcb3f: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/automata.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/fpga.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/normalize.rs:
+crates/baselines/src/parallel.rs:

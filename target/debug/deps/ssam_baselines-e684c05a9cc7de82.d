@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ssam_baselines-e684c05a9cc7de82.d: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+/root/repo/target/debug/deps/libssam_baselines-e684c05a9cc7de82.rlib: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+/root/repo/target/debug/deps/libssam_baselines-e684c05a9cc7de82.rmeta: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/automata.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/fpga.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/normalize.rs:
+crates/baselines/src/parallel.rs:

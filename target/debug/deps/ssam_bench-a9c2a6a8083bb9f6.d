@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ssam_bench-a9c2a6a8083bb9f6.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libssam_bench-a9c2a6a8083bb9f6.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libssam_bench-a9c2a6a8083bb9f6.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

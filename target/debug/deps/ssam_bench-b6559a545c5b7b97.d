@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ssam_bench-b6559a545c5b7b97.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/ssam_bench-b6559a545c5b7b97: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

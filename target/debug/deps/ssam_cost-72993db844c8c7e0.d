@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssam_cost-72993db844c8c7e0.d: crates/cost/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_cost-72993db844c8c7e0.rmeta: crates/cost/src/lib.rs Cargo.toml
+
+crates/cost/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ssam_cost-b1ecbd2560590e66.d: crates/cost/src/lib.rs
+
+/root/repo/target/debug/deps/libssam_cost-b1ecbd2560590e66.rlib: crates/cost/src/lib.rs
+
+/root/repo/target/debug/deps/libssam_cost-b1ecbd2560590e66.rmeta: crates/cost/src/lib.rs
+
+crates/cost/src/lib.rs:

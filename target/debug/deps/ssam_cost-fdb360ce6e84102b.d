@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_cost-fdb360ce6e84102b.d: crates/cost/src/lib.rs
+
+/root/repo/target/debug/deps/ssam_cost-fdb360ce6e84102b: crates/cost/src/lib.rs
+
+crates/cost/src/lib.rs:

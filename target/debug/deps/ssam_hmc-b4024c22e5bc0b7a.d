@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ssam_hmc-b4024c22e5bc0b7a.d: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_hmc-b4024c22e5bc0b7a.rmeta: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs Cargo.toml
+
+crates/hmc/src/lib.rs:
+crates/hmc/src/address.rs:
+crates/hmc/src/config.rs:
+crates/hmc/src/dram.rs:
+crates/hmc/src/module.rs:
+crates/hmc/src/packet.rs:
+crates/hmc/src/vault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ssam_hmc-cfcd897381aa2300.d: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_hmc-cfcd897381aa2300.rmeta: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs Cargo.toml
+
+crates/hmc/src/lib.rs:
+crates/hmc/src/address.rs:
+crates/hmc/src/config.rs:
+crates/hmc/src/dram.rs:
+crates/hmc/src/module.rs:
+crates/hmc/src/packet.rs:
+crates/hmc/src/vault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

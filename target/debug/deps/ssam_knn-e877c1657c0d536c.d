@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ssam_knn-e877c1657c0d536c.d: crates/knn/src/lib.rs crates/knn/src/binary.rs crates/knn/src/distance.rs crates/knn/src/fixed.rs crates/knn/src/index.rs crates/knn/src/kdtree.rs crates/knn/src/kmeans.rs crates/knn/src/kmeans_tree.rs crates/knn/src/linear.rs crates/knn/src/mplsh.rs crates/knn/src/recall.rs crates/knn/src/topk.rs crates/knn/src/vecstore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_knn-e877c1657c0d536c.rmeta: crates/knn/src/lib.rs crates/knn/src/binary.rs crates/knn/src/distance.rs crates/knn/src/fixed.rs crates/knn/src/index.rs crates/knn/src/kdtree.rs crates/knn/src/kmeans.rs crates/knn/src/kmeans_tree.rs crates/knn/src/linear.rs crates/knn/src/mplsh.rs crates/knn/src/recall.rs crates/knn/src/topk.rs crates/knn/src/vecstore.rs Cargo.toml
+
+crates/knn/src/lib.rs:
+crates/knn/src/binary.rs:
+crates/knn/src/distance.rs:
+crates/knn/src/fixed.rs:
+crates/knn/src/index.rs:
+crates/knn/src/kdtree.rs:
+crates/knn/src/kmeans.rs:
+crates/knn/src/kmeans_tree.rs:
+crates/knn/src/linear.rs:
+crates/knn/src/mplsh.rs:
+crates/knn/src/recall.rs:
+crates/knn/src/topk.rs:
+crates/knn/src/vecstore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_lint-4f699a39b651dfb8.d: crates/bench/src/bin/ssam_lint.rs
+
+/root/repo/target/debug/deps/ssam_lint-4f699a39b651dfb8: crates/bench/src/bin/ssam_lint.rs
+
+crates/bench/src/bin/ssam_lint.rs:

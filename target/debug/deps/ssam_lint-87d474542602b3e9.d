@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_lint-87d474542602b3e9.d: crates/bench/src/bin/ssam_lint.rs
+
+/root/repo/target/debug/deps/ssam_lint-87d474542602b3e9: crates/bench/src/bin/ssam_lint.rs
+
+crates/bench/src/bin/ssam_lint.rs:

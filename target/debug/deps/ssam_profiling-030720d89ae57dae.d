@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssam_profiling-030720d89ae57dae.d: crates/profiling/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_profiling-030720d89ae57dae.rmeta: crates/profiling/src/lib.rs Cargo.toml
+
+crates/profiling/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_profiling-6c6c11397f1dc0c0.d: crates/profiling/src/lib.rs
+
+/root/repo/target/debug/deps/ssam_profiling-6c6c11397f1dc0c0: crates/profiling/src/lib.rs
+
+crates/profiling/src/lib.rs:

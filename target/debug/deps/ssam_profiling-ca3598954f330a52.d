@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ssam_profiling-ca3598954f330a52.d: crates/profiling/src/lib.rs
+
+/root/repo/target/debug/deps/libssam_profiling-ca3598954f330a52.rlib: crates/profiling/src/lib.rs
+
+/root/repo/target/debug/deps/libssam_profiling-ca3598954f330a52.rmeta: crates/profiling/src/lib.rs
+
+crates/profiling/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssam_profiling-d348e59fa5073b8d.d: crates/profiling/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_profiling-d348e59fa5073b8d.rmeta: crates/profiling/src/lib.rs Cargo.toml
+
+crates/profiling/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

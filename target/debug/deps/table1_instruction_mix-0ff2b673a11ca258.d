@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_instruction_mix-0ff2b673a11ca258.d: crates/bench/src/bin/table1_instruction_mix.rs
+
+/root/repo/target/debug/deps/table1_instruction_mix-0ff2b673a11ca258: crates/bench/src/bin/table1_instruction_mix.rs
+
+crates/bench/src/bin/table1_instruction_mix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_instruction_mix-817a883709f1e007.d: crates/bench/src/bin/table1_instruction_mix.rs
+
+/root/repo/target/debug/deps/table1_instruction_mix-817a883709f1e007: crates/bench/src/bin/table1_instruction_mix.rs
+
+crates/bench/src/bin/table1_instruction_mix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_power-c98ab20f9dab83bb.d: crates/bench/src/bin/table3_power.rs
+
+/root/repo/target/debug/deps/table3_power-c98ab20f9dab83bb: crates/bench/src/bin/table3_power.rs
+
+crates/bench/src/bin/table3_power.rs:

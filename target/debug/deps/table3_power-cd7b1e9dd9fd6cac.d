@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_power-cd7b1e9dd9fd6cac.d: crates/bench/src/bin/table3_power.rs
+
+/root/repo/target/debug/deps/table3_power-cd7b1e9dd9fd6cac: crates/bench/src/bin/table3_power.rs
+
+crates/bench/src/bin/table3_power.rs:

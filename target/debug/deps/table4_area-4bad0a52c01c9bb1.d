@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_area-4bad0a52c01c9bb1.d: crates/bench/src/bin/table4_area.rs
+
+/root/repo/target/debug/deps/table4_area-4bad0a52c01c9bb1: crates/bench/src/bin/table4_area.rs
+
+crates/bench/src/bin/table4_area.rs:

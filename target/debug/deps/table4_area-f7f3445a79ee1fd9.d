@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_area-f7f3445a79ee1fd9.d: crates/bench/src/bin/table4_area.rs
+
+/root/repo/target/debug/deps/table4_area-f7f3445a79ee1fd9: crates/bench/src/bin/table4_area.rs
+
+crates/bench/src/bin/table4_area.rs:

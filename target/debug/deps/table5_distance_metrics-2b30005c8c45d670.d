@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_distance_metrics-2b30005c8c45d670.d: crates/bench/src/bin/table5_distance_metrics.rs
+
+/root/repo/target/debug/deps/table5_distance_metrics-2b30005c8c45d670: crates/bench/src/bin/table5_distance_metrics.rs
+
+crates/bench/src/bin/table5_distance_metrics.rs:

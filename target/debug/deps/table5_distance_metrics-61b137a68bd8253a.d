@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_distance_metrics-61b137a68bd8253a.d: crates/bench/src/bin/table5_distance_metrics.rs
+
+/root/repo/target/debug/deps/table5_distance_metrics-61b137a68bd8253a: crates/bench/src/bin/table5_distance_metrics.rs
+
+crates/bench/src/bin/table5_distance_metrics.rs:

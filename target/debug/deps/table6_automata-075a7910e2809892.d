@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_automata-075a7910e2809892.d: crates/bench/src/bin/table6_automata.rs
+
+/root/repo/target/debug/deps/table6_automata-075a7910e2809892: crates/bench/src/bin/table6_automata.rs
+
+crates/bench/src/bin/table6_automata.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_automata-c49b0b45f3c3d527.d: crates/bench/src/bin/table6_automata.rs
+
+/root/repo/target/debug/deps/table6_automata-c49b0b45f3c3d527: crates/bench/src/bin/table6_automata.rs
+
+crates/bench/src/bin/table6_automata.rs:

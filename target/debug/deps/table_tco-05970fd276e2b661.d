@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_tco-05970fd276e2b661.d: crates/bench/src/bin/table_tco.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_tco-05970fd276e2b661.rmeta: crates/bench/src/bin/table_tco.rs Cargo.toml
+
+crates/bench/src/bin/table_tco.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_tco-802792c3fa9b6d78.d: crates/bench/src/bin/table_tco.rs
+
+/root/repo/target/debug/deps/table_tco-802792c3fa9b6d78: crates/bench/src/bin/table_tco.rs
+
+crates/bench/src/bin/table_tco.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_tco-c2ef888687f7fd01.d: crates/bench/src/bin/table_tco.rs
+
+/root/repo/target/debug/deps/table_tco-c2ef888687f7fd01: crates/bench/src/bin/table_tco.rs
+
+crates/bench/src/bin/table_tco.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topk-0e811766dc8595a4.d: crates/bench/benches/topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopk-0e811766dc8595a4.rmeta: crates/bench/benches/topk.rs Cargo.toml
+
+crates/bench/benches/topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

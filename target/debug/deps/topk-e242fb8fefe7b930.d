@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topk-e242fb8fefe7b930.d: crates/bench/benches/topk.rs
+
+/root/repo/target/debug/deps/topk-e242fb8fefe7b930: crates/bench/benches/topk.rs
+
+crates/bench/benches/topk.rs:

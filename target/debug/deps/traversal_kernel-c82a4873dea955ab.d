@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traversal_kernel-c82a4873dea955ab.d: tests/traversal_kernel.rs
+
+/root/repo/target/debug/deps/traversal_kernel-c82a4873dea955ab: tests/traversal_kernel.rs
+
+tests/traversal_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_inspection-1bdc3fc0edea0b86.d: examples/accelerator_inspection.rs
+
+/root/repo/target/debug/examples/accelerator_inspection-1bdc3fc0edea0b86: examples/accelerator_inspection.rs
+
+examples/accelerator_inspection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accelerator_inspection-3e83403f1aa276fc.d: examples/accelerator_inspection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccelerator_inspection-3e83403f1aa276fc.rmeta: examples/accelerator_inspection.rs Cargo.toml
+
+examples/accelerator_inspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/content_search-502681ca54d0eaf1.d: examples/content_search.rs
+
+/root/repo/target/debug/examples/content_search-502681ca54d0eaf1: examples/content_search.rs
+
+examples/content_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/content_search-9e2bb4dfa98772ea.d: examples/content_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontent_search-9e2bb4dfa98772ea.rmeta: examples/content_search.rs Cargo.toml
+
+examples/content_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/index_tradeoffs-154e70cd0832e1e3.d: examples/index_tradeoffs.rs
+
+/root/repo/target/debug/examples/index_tradeoffs-154e70cd0832e1e3: examples/index_tradeoffs.rs
+
+examples/index_tradeoffs.rs:

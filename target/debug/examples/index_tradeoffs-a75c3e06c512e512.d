@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/index_tradeoffs-a75c3e06c512e512.d: examples/index_tradeoffs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindex_tradeoffs-a75c3e06c512e512.rmeta: examples/index_tradeoffs.rs Cargo.toml
+
+examples/index_tradeoffs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/indexed_region-330ad8aa5f9dd898.d: examples/indexed_region.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindexed_region-330ad8aa5f9dd898.rmeta: examples/indexed_region.rs Cargo.toml
+
+examples/indexed_region.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/indexed_region-4cbcaf78b0d60536.d: examples/indexed_region.rs
+
+/root/repo/target/debug/examples/indexed_region-4cbcaf78b0d60536: examples/indexed_region.rs
+
+examples/indexed_region.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/near_data_advantage-8c8a236f318d5aa5.d: examples/near_data_advantage.rs
+
+/root/repo/target/debug/examples/near_data_advantage-8c8a236f318d5aa5: examples/near_data_advantage.rs
+
+examples/near_data_advantage.rs:

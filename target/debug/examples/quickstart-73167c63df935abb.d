@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-73167c63df935abb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-73167c63df935abb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libssam_cost.rlib: /root/repo/crates/cost/src/lib.rs

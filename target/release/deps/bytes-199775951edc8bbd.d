@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-199775951edc8bbd.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-199775951edc8bbd.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-199775951edc8bbd.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

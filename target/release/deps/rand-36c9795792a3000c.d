@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-36c9795792a3000c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-36c9795792a3000c.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-36c9795792a3000c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

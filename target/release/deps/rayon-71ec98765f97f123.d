@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-71ec98765f97f123.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-71ec98765f97f123.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-71ec98765f97f123.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

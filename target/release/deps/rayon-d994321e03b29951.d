@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rayon-d994321e03b29951.d: vendor/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librayon-d994321e03b29951.rmeta: vendor/rayon/src/lib.rs Cargo.toml
+
+vendor/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ssam-9e40c853532f0ded.d: src/lib.rs
+
+/root/repo/target/release/deps/libssam-9e40c853532f0ded.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libssam-9e40c853532f0ded.rmeta: src/lib.rs
+
+src/lib.rs:

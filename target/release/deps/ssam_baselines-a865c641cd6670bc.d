@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ssam_baselines-a865c641cd6670bc.d: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+/root/repo/target/release/deps/libssam_baselines-a865c641cd6670bc.rlib: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+/root/repo/target/release/deps/libssam_baselines-a865c641cd6670bc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/automata.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/fpga.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/normalize.rs:
+crates/baselines/src/parallel.rs:

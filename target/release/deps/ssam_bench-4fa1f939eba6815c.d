@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ssam_bench-4fa1f939eba6815c.d: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+
+/root/repo/target/release/deps/libssam_bench-4fa1f939eba6815c.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

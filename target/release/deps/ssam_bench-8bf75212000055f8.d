@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ssam_bench-8bf75212000055f8.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libssam_bench-8bf75212000055f8.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libssam_bench-8bf75212000055f8.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

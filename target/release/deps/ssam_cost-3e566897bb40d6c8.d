@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ssam_cost-3e566897bb40d6c8.d: crates/cost/src/lib.rs
+
+/root/repo/target/release/deps/libssam_cost-3e566897bb40d6c8.rlib: crates/cost/src/lib.rs
+
+/root/repo/target/release/deps/libssam_cost-3e566897bb40d6c8.rmeta: crates/cost/src/lib.rs
+
+crates/cost/src/lib.rs:

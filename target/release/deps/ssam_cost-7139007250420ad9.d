@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ssam_cost-7139007250420ad9.d: crates/cost/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libssam_cost-7139007250420ad9.rmeta: crates/cost/src/lib.rs Cargo.toml
+
+crates/cost/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

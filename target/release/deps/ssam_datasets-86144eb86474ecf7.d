@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ssam_datasets-86144eb86474ecf7.d: crates/datasets/src/lib.rs crates/datasets/src/benchmark.rs crates/datasets/src/generator.rs crates/datasets/src/ground_truth.rs crates/datasets/src/io.rs crates/datasets/src/json.rs crates/datasets/src/spec.rs crates/datasets/src/texmex.rs
+
+/root/repo/target/release/deps/libssam_datasets-86144eb86474ecf7.rlib: crates/datasets/src/lib.rs crates/datasets/src/benchmark.rs crates/datasets/src/generator.rs crates/datasets/src/ground_truth.rs crates/datasets/src/io.rs crates/datasets/src/json.rs crates/datasets/src/spec.rs crates/datasets/src/texmex.rs
+
+/root/repo/target/release/deps/libssam_datasets-86144eb86474ecf7.rmeta: crates/datasets/src/lib.rs crates/datasets/src/benchmark.rs crates/datasets/src/generator.rs crates/datasets/src/ground_truth.rs crates/datasets/src/io.rs crates/datasets/src/json.rs crates/datasets/src/spec.rs crates/datasets/src/texmex.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/benchmark.rs:
+crates/datasets/src/generator.rs:
+crates/datasets/src/ground_truth.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/json.rs:
+crates/datasets/src/spec.rs:
+crates/datasets/src/texmex.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ssam_datasets-dd697ad2fee86e16.d: crates/datasets/src/lib.rs crates/datasets/src/benchmark.rs crates/datasets/src/generator.rs crates/datasets/src/ground_truth.rs crates/datasets/src/io.rs crates/datasets/src/json.rs crates/datasets/src/spec.rs crates/datasets/src/texmex.rs Cargo.toml
+
+/root/repo/target/release/deps/libssam_datasets-dd697ad2fee86e16.rmeta: crates/datasets/src/lib.rs crates/datasets/src/benchmark.rs crates/datasets/src/generator.rs crates/datasets/src/ground_truth.rs crates/datasets/src/io.rs crates/datasets/src/json.rs crates/datasets/src/spec.rs crates/datasets/src/texmex.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/benchmark.rs:
+crates/datasets/src/generator.rs:
+crates/datasets/src/ground_truth.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/json.rs:
+crates/datasets/src/spec.rs:
+crates/datasets/src/texmex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ssam_hmc-d809915255b26dc5.d: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs Cargo.toml
+
+/root/repo/target/release/deps/libssam_hmc-d809915255b26dc5.rmeta: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs Cargo.toml
+
+crates/hmc/src/lib.rs:
+crates/hmc/src/address.rs:
+crates/hmc/src/config.rs:
+crates/hmc/src/dram.rs:
+crates/hmc/src/module.rs:
+crates/hmc/src/packet.rs:
+crates/hmc/src/vault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

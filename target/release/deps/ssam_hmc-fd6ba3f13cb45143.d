@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ssam_hmc-fd6ba3f13cb45143.d: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs
+
+/root/repo/target/release/deps/libssam_hmc-fd6ba3f13cb45143.rlib: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs
+
+/root/repo/target/release/deps/libssam_hmc-fd6ba3f13cb45143.rmeta: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs
+
+crates/hmc/src/lib.rs:
+crates/hmc/src/address.rs:
+crates/hmc/src/config.rs:
+crates/hmc/src/dram.rs:
+crates/hmc/src/module.rs:
+crates/hmc/src/packet.rs:
+crates/hmc/src/vault.rs:

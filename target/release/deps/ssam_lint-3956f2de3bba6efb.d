@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ssam_lint-3956f2de3bba6efb.d: crates/bench/src/bin/ssam_lint.rs
+
+/root/repo/target/release/deps/ssam_lint-3956f2de3bba6efb: crates/bench/src/bin/ssam_lint.rs
+
+crates/bench/src/bin/ssam_lint.rs:

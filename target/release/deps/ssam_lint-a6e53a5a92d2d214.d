@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ssam_lint-a6e53a5a92d2d214.d: crates/bench/src/bin/ssam_lint.rs Cargo.toml
+
+/root/repo/target/release/deps/libssam_lint-a6e53a5a92d2d214.rmeta: crates/bench/src/bin/ssam_lint.rs Cargo.toml
+
+crates/bench/src/bin/ssam_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ssam_profiling-ce1bfdfb2a114434.d: crates/profiling/src/lib.rs
+
+/root/repo/target/release/deps/libssam_profiling-ce1bfdfb2a114434.rlib: crates/profiling/src/lib.rs
+
+/root/repo/target/release/deps/libssam_profiling-ce1bfdfb2a114434.rmeta: crates/profiling/src/lib.rs
+
+crates/profiling/src/lib.rs:

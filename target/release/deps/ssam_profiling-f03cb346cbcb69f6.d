@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ssam_profiling-f03cb346cbcb69f6.d: crates/profiling/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libssam_profiling-f03cb346cbcb69f6.rmeta: crates/profiling/src/lib.rs Cargo.toml
+
+crates/profiling/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
+use ssam::core::analysis::{verify_program, Severity, VerifyConfig};
 use ssam::core::isa::inst::{AluOp, Instruction, UnaryOp};
 use ssam::core::isa::reg::{SReg, VReg};
 use ssam::core::isa::{DRAM_BASE, SCRATCHPAD_BYTES};
@@ -99,12 +100,20 @@ impl RefMachine {
                     let val = self.s[rd.index()].wrapping_add(x.count_ones() as i32);
                     self.write_s(rd.index(), val);
                 }
-                Load { rd, rs_base, offset } => {
+                Load {
+                    rd,
+                    rs_base,
+                    offset,
+                } => {
                     let addr = self.s[rs_base.index()].wrapping_add(offset) as u32;
                     let val = self.load_word(addr);
                     self.write_s(rd.index(), val);
                 }
-                Store { rs_val, rs_base, offset } => {
+                Store {
+                    rs_val,
+                    rs_base,
+                    offset,
+                } => {
                     let addr = self.s[rs_base.index()].wrapping_add(offset) as u32;
                     self.spad[(addr / 4) as usize] = self.s[rs_val.index()];
                 }
@@ -144,13 +153,21 @@ impl RefMachine {
                             self.v[vd.index()][l].wrapping_add(x.count_ones() as i32);
                     }
                 }
-                VLoad { vd, rs_base, offset } => {
+                VLoad {
+                    vd,
+                    rs_base,
+                    offset,
+                } => {
                     let addr = self.s[rs_base.index()].wrapping_add(offset) as u32;
                     for l in 0..VL {
                         self.v[vd.index()][l] = self.load_word(addr + 4 * l as u32);
                     }
                 }
-                VStore { vs, rs_base, offset } => {
+                VStore {
+                    vs,
+                    rs_base,
+                    offset,
+                } => {
                     let addr = self.s[rs_base.index()].wrapping_add(offset) as u32;
                     for l in 0..VL {
                         self.spad[((addr + 4 * l as u32) / 4) as usize] = self.v[vs.index()][l];
@@ -208,41 +225,73 @@ fn arb_safe_inst() -> impl Strategy<Value = Instruction> {
             .prop_map(|(op, rd, rs1, rs2)| Instruction::SAlu { op, rd, rs1, rs2 }),
         (arb_alu(), rd(), arb_sreg(), -1000i32..1000)
             .prop_map(|(op, rd, rs1, imm)| Instruction::SAluImm { op, rd, rs1, imm }),
-        (arb_unary(), rd(), arb_sreg())
-            .prop_map(|(op, rd, rs1)| Instruction::SUnary { op, rd, rs1 }),
-        (rd(), arb_sreg())
-            .prop_map(|(rs_id, rs_val)| Instruction::PqueueInsert { rs_id, rs_val }),
+        (arb_unary(), rd(), arb_sreg()).prop_map(|(op, rd, rs1)| Instruction::SUnary {
+            op,
+            rd,
+            rs1
+        }),
+        (rd(), arb_sreg()).prop_map(|(rs_id, rs_val)| Instruction::PqueueInsert { rs_id, rs_val }),
         (rd(), arb_sreg()).prop_map(|(rd, rs_idx)| Instruction::PqueueLoad {
             rd,
             rs_idx,
             field: ssam::core::isa::inst::PqField::Value
         }),
-        (rd(), arb_sreg(), arb_sreg())
-            .prop_map(|(rd, rs1, rs2)| Instruction::Sfxp { rd, rs1, rs2 }),
-        (rd(), arb_spad_offset())
-            .prop_map(|(rd, offset)| Instruction::Load { rd, rs_base: SReg(0), offset }),
-        (arb_sreg(), arb_spad_offset())
-            .prop_map(|(rs_val, offset)| Instruction::Store { rs_val, rs_base: SReg(0), offset }),
-        (rd(), arb_dram_offset())
-            .prop_map(|(rd, offset)| Instruction::Load { rd, rs_base: SReg(31), offset }),
+        (rd(), arb_sreg(), arb_sreg()).prop_map(|(rd, rs1, rs2)| Instruction::Sfxp {
+            rd,
+            rs1,
+            rs2
+        }),
+        (rd(), arb_spad_offset()).prop_map(|(rd, offset)| Instruction::Load {
+            rd,
+            rs_base: SReg(0),
+            offset
+        }),
+        (arb_sreg(), arb_spad_offset()).prop_map(|(rs_val, offset)| Instruction::Store {
+            rs_val,
+            rs_base: SReg(0),
+            offset
+        }),
+        (rd(), arb_dram_offset()).prop_map(|(rd, offset)| Instruction::Load {
+            rd,
+            rs_base: SReg(31),
+            offset
+        }),
         (arb_vreg(), arb_sreg(), (-1i8..VL as i8))
             .prop_map(|(vd, rs1, lane)| Instruction::SvMove { vd, rs1, lane }),
-        (rd(), arb_vreg(), (0u8..VL as u8))
-            .prop_map(|(rd, vs1, lane)| Instruction::VsMove { rd, vs1, lane }),
+        (rd(), arb_vreg(), (0u8..VL as u8)).prop_map(|(rd, vs1, lane)| Instruction::VsMove {
+            rd,
+            vs1,
+            lane
+        }),
         (arb_alu(), arb_vreg(), arb_vreg(), arb_vreg())
             .prop_map(|(op, vd, vs1, vs2)| Instruction::VAlu { op, vd, vs1, vs2 }),
         (arb_alu(), arb_vreg(), arb_vreg(), -1000i32..1000)
             .prop_map(|(op, vd, vs1, imm)| Instruction::VAluImm { op, vd, vs1, imm }),
-        (arb_unary(), arb_vreg(), arb_vreg())
-            .prop_map(|(op, vd, vs1)| Instruction::VUnary { op, vd, vs1 }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs1, vs2)| Instruction::Vfxp { vd, vs1, vs2 }),
-        (arb_vreg(), arb_spad_offset())
-            .prop_map(|(vd, offset)| Instruction::VLoad { vd, rs_base: SReg(0), offset }),
-        (arb_vreg(), arb_dram_offset())
-            .prop_map(|(vd, offset)| Instruction::VLoad { vd, rs_base: SReg(31), offset }),
-        (arb_vreg(), arb_spad_offset())
-            .prop_map(|(vs, offset)| Instruction::VStore { vs, rs_base: SReg(0), offset }),
+        (arb_unary(), arb_vreg(), arb_vreg()).prop_map(|(op, vd, vs1)| Instruction::VUnary {
+            op,
+            vd,
+            vs1
+        }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs1, vs2)| Instruction::Vfxp {
+            vd,
+            vs1,
+            vs2
+        }),
+        (arb_vreg(), arb_spad_offset()).prop_map(|(vd, offset)| Instruction::VLoad {
+            vd,
+            rs_base: SReg(0),
+            offset
+        }),
+        (arb_vreg(), arb_dram_offset()).prop_map(|(vd, offset)| Instruction::VLoad {
+            vd,
+            rs_base: SReg(31),
+            offset
+        }),
+        (arb_vreg(), arb_spad_offset()).prop_map(|(vs, offset)| Instruction::VStore {
+            vs,
+            rs_base: SReg(0),
+            offset
+        }),
     ]
 }
 
@@ -271,6 +320,18 @@ proptest! {
         dram in prop::collection::vec(any::<i32>(), DRAM_WORDS),
         seeds in prop::collection::vec(any::<i32>(), 8),
     ) {
+        // The generator's safety contract, checked by the static
+        // verifier: straight-line, balanced, in-bounds programs carry no
+        // error-severity diagnostics (warnings such as a constant
+        // PQUEUE_LOAD index past the queue depth are architecturally
+        // defined and modeled by the reference interpreter).
+        let diags = verify_program(&program, &VerifyConfig::permissive(VL));
+        prop_assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "generated program should verify error-free: {:?}",
+            diags
+        );
+
         // Simulator under test.
         let mut pu = ProcessingUnit::new(VL, Arc::new(dram.clone()));
         // Straight-line body (reference executes everything except Halt).

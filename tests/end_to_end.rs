@@ -31,7 +31,9 @@ fn ssam_device_reproduces_ground_truth_exactly() {
     let mut dev = SsamDevice::new(SsamConfig::default());
     dev.load_vectors(&b.train);
     for (qi, q, gt) in b.iter_queries().take(5) {
-        let r = dev.query(&DeviceQuery::Euclidean(q), b.k()).expect("device runs");
+        let r = dev
+            .query(&DeviceQuery::Euclidean(q), b.k())
+            .expect("device runs");
         let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
         assert_eq!(got, gt, "query {qi}");
     }
@@ -51,22 +53,42 @@ fn all_indexes_reach_high_recall_with_generous_budget() {
     let kd = KdForest::build(
         &b.train,
         Metric::Euclidean,
-        KdTreeParams { trees: 4, leaf_size: 16, seed: 1 },
+        KdTreeParams {
+            trees: 4,
+            leaf_size: 16,
+            seed: 1,
+        },
     );
     let km = KMeansTree::build(
         &b.train,
         Metric::Euclidean,
-        KMeansTreeParams { branching: 8, leaf_size: 32, max_height: 8, kmeans_iters: 5, seed: 1 },
+        KMeansTreeParams {
+            branching: 8,
+            leaf_size: 32,
+            max_height: 8,
+            kmeans_iters: 5,
+            seed: 1,
+        },
     );
     let lsh = MultiProbeLsh::build(
         &b.train,
         Metric::Euclidean,
-        MplshParams { tables: 8, hash_bits: 8, seed: 1 },
+        MplshParams {
+            tables: 8,
+            hash_bits: 8,
+            seed: 1,
+        },
     );
     let indexes: [(&str, &(dyn SearchIndex + Sync), f64); 3] =
         [("kd", &kd, 0.95), ("km", &km, 0.95), ("lsh", &lsh, 0.6)];
     for (name, index, floor) in indexes {
-        let out = batch_search(index, &b.train, &b.queries, b.k(), SearchBudget::checks(256));
+        let out = batch_search(
+            index,
+            &b.train,
+            &b.queries,
+            b.k(),
+            SearchBudget::checks(256),
+        );
         let r = batch_recall(&out, &b.ground_truth.ids);
         assert!(r >= floor, "{name}: recall {r} below {floor}");
     }
@@ -78,7 +100,13 @@ fn approximate_recall_increases_with_budget_on_real_data() {
     let km = KMeansTree::build(
         &b.train,
         Metric::Euclidean,
-        KMeansTreeParams { branching: 8, leaf_size: 32, max_height: 8, kmeans_iters: 5, seed: 2 },
+        KMeansTreeParams {
+            branching: 8,
+            leaf_size: 32,
+            max_height: 8,
+            kmeans_iters: 5,
+            seed: 2,
+        },
     );
     let lo = batch_search(&km, &b.train, &b.queries, b.k(), SearchBudget::checks(1));
     let hi = batch_search(&km, &b.train, &b.queries, b.k(), SearchBudget::checks(64));
@@ -100,7 +128,9 @@ fn hamming_device_agrees_with_host_hamming_search() {
     dev.load_binary(&codes);
     for (_, q, _) in b.iter_queries().take(3) {
         let code = bin.encode(q);
-        let r = dev.query(&DeviceQuery::Hamming(&code), b.k()).expect("device runs");
+        let r = dev
+            .query(&DeviceQuery::Hamming(&code), b.k())
+            .expect("device runs");
         let host = ssam::knn::binary::knn_hamming(&codes, &code, b.k());
         let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
         let expect: Vec<u32> = host.iter().map(|n| n.id).collect();
@@ -144,13 +174,19 @@ fn device_handles_all_paper_dataset_shapes() {
         let mut dev = SsamDevice::new(SsamConfig::default());
         dev.load_vectors(&b.train);
         let (_, q, gt) = b.iter_queries().next().expect("has queries");
-        let r = dev.query(&DeviceQuery::Euclidean(q), b.k()).expect("device runs");
+        let r = dev
+            .query(&DeviceQuery::Euclidean(q), b.k())
+            .expect("device runs");
         let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
         match dataset {
             PaperDataset::GloVe => assert_eq!(got, gt, "{}", dataset.name()),
             _ => {
                 let recall = ssam::knn::recall::recall_ids(gt, &got);
-                assert!(recall >= 0.7, "{}: recall {recall} ({got:?} vs {gt:?})", dataset.name());
+                assert!(
+                    recall >= 0.7,
+                    "{}: recall {recall} ({got:?} vs {gt:?})",
+                    dataset.name()
+                );
             }
         }
     }

@@ -53,7 +53,12 @@ fn run_euclidean_kernel(vectors: &[Vec<f32>], query: &[f32], vl: usize) -> Kerne
     pu.set_sreg(1, DRAM_BASE as i32);
     pu.set_sreg(2, DRAM_BASE as i32 + (vectors.len() * vw * 4) as i32);
     pu.run(10_000_000).expect("kernel halts");
-    let queue: Vec<(i32, i32)> = pu.pqueue().entries().iter().map(|e| (e.value, e.id)).collect();
+    let queue: Vec<(i32, i32)> = pu
+        .pqueue()
+        .entries()
+        .iter()
+        .map(|e| (e.value, e.id))
+        .collect();
     (queue, qq, quantized)
 }
 

@@ -49,23 +49,39 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
             rs1
         }),
         (arb_sreg(), arb_sreg(), any::<u32>()).prop_map(|(rs1, rs2, target)| {
-            Instruction::Branch { cond: BranchCond::Lt, rs1, rs2, target }
+            Instruction::Branch {
+                cond: BranchCond::Lt,
+                rs1,
+                rs2,
+                target,
+            }
         }),
         any::<u32>().prop_map(|target| Instruction::Jump { target }),
         arb_sreg().prop_map(|rs1| Instruction::Push { rs1 }),
         arb_sreg().prop_map(|rd| Instruction::Pop { rd }),
         (arb_sreg(), arb_sreg())
             .prop_map(|(rs_id, rs_val)| Instruction::PqueueInsert { rs_id, rs_val }),
-        (arb_sreg(), arb_sreg())
-            .prop_map(|(rd, rs_idx)| Instruction::PqueueLoad { rd, rs_idx, field: PqField::Value }),
+        (arb_sreg(), arb_sreg()).prop_map(|(rd, rs_idx)| Instruction::PqueueLoad {
+            rd,
+            rs_idx,
+            field: PqField::Value
+        }),
         Just(Instruction::PqueueReset),
         Just(Instruction::Halt),
-        (arb_vreg(), arb_sreg(), any::<i32>())
-            .prop_map(|(vd, rs_base, offset)| Instruction::VLoad { vd, rs_base, offset }),
+        (arb_vreg(), arb_sreg(), any::<i32>()).prop_map(|(vd, rs_base, offset)| {
+            Instruction::VLoad {
+                vd,
+                rs_base,
+                offset,
+            }
+        }),
         (arb_alu(), arb_vreg(), arb_vreg(), arb_vreg())
             .prop_map(|(op, vd, vs1, vs2)| Instruction::VAlu { op, vd, vs1, vs2 }),
-        (arb_vreg(), arb_vreg(), arb_vreg())
-            .prop_map(|(vd, vs1, vs2)| Instruction::Vfxp { vd, vs1, vs2 }),
+        (arb_vreg(), arb_vreg(), arb_vreg()).prop_map(|(vd, vs1, vs2)| Instruction::Vfxp {
+            vd,
+            vs1,
+            vs2
+        }),
     ]
 }
 

@@ -48,7 +48,9 @@ fn run_kernel(
     pu.load_program(kernel.program.clone());
     let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
     q.resize(vw, 0);
-    pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+    pu.scratchpad_mut()
+        .write_block(0, &q)
+        .expect("query staged");
     pu.set_sreg(1, DRAM_BASE as i32);
     pu.set_sreg(2, DRAM_BASE as i32 + shard_bytes as i32);
     extra_setup(&mut pu);
@@ -58,7 +60,12 @@ fn run_kernel(
 
 #[test]
 fn euclidean_kernel_matches_reference_across_shapes() {
-    for (n, dims, vl, seed) in [(64, 7, 2, 1u64), (100, 16, 4, 2), (80, 33, 8, 3), (50, 100, 16, 4)] {
+    for (n, dims, vl, seed) in [
+        (64, 7, 2, 1u64),
+        (100, 16, 4, 2),
+        (80, 33, 8, 3),
+        (50, 100, 16, 4),
+    ] {
         let store = random_store(n, dims, seed);
         let mut rng = StdRng::seed_from_u64(seed + 100);
         let query: Vec<f32> = (0..dims).map(|_| rng.random_range(-1.0..1.0)).collect();
@@ -68,7 +75,11 @@ fn euclidean_kernel_matches_reference_across_shapes() {
             .iter()
             .map(|x| x.id)
             .collect();
-        assert_eq!(&got[..expect.len().min(got.len())], &expect[..], "n={n} dims={dims} vl={vl}");
+        assert_eq!(
+            &got[..expect.len().min(got.len())],
+            &expect[..],
+            "n={n} dims={dims} vl={vl}"
+        );
     }
 }
 
@@ -100,7 +111,10 @@ fn cosine_kernel_top1_matches_reference() {
         .collect();
     assert_eq!(got[0], expect[0], "nearest cosine neighbor must agree");
     // cos² ranking may permute near-ties; demand strong overlap on top-8.
-    let overlap = got[..8].iter().filter(|id| expect[..8].contains(id)).count();
+    let overlap = got[..8]
+        .iter()
+        .filter(|id| expect[..8].contains(id))
+        .count();
     assert!(overlap >= 6, "got {got:?}\nexpect {expect:?}");
 }
 
@@ -128,7 +142,9 @@ fn swqueue_kernel_matches_hw_queue_kernel() {
     pu.load_program(sw.program.clone());
     let mut q: Vec<i32> = query.iter().map(|&x| Fix32::from_f32(x).0).collect();
     q.resize(vw, 0);
-    pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+    pu.scratchpad_mut()
+        .write_block(0, &q)
+        .expect("query staged");
     let init: Vec<i32> = (0..k).flat_map(|_| [i32::MAX, -1]).collect();
     pu.scratchpad_mut()
         .write_block(sw.layout.swqueue_addr, &init)
@@ -171,13 +187,18 @@ fn hamming_kernel_matches_reference() {
     pu.load_program(kernel.program.clone());
     let mut q: Vec<i32> = query.iter().map(|&w| w as i32).collect();
     q.resize(vw, 0);
-    pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+    pu.scratchpad_mut()
+        .write_block(0, &q)
+        .expect("query staged");
     pu.set_sreg(1, DRAM_BASE as i32);
     pu.set_sreg(2, DRAM_BASE as i32 + shard_bytes as i32);
     pu.run(10_000_000).expect("kernel halts");
 
     let got: Vec<u32> = pu.pqueue().entries().iter().map(|e| e.id as u32).collect();
-    let expect: Vec<u32> = knn_hamming(&codes, &query, 16).iter().map(|n| n.id).collect();
+    let expect: Vec<u32> = knn_hamming(&codes, &query, 16)
+        .iter()
+        .map(|n| n.id)
+        .collect();
     assert_eq!(got, expect);
 }
 
@@ -199,7 +220,9 @@ fn prefetch_hits_dominate_in_generated_kernels() {
     let shard_bytes = words.len() * 4;
     let mut pu = ProcessingUnit::new(8, Arc::new(words));
     pu.load_program(kernel.program.clone());
-    pu.scratchpad_mut().write_block(0, &vec![0; vw]).expect("query");
+    pu.scratchpad_mut()
+        .write_block(0, &vec![0; vw])
+        .expect("query");
     pu.set_sreg(1, DRAM_BASE as i32);
     pu.set_sreg(2, DRAM_BASE as i32 + shard_bytes as i32);
     let stats = pu.run(10_000_000).expect("runs");

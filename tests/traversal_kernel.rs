@@ -46,7 +46,9 @@ fn run_traversal(
         q.resize(img.vec_words, 0);
         q
     };
-    pu.scratchpad_mut().write_block(0, &q).expect("query staged");
+    pu.scratchpad_mut()
+        .write_block(0, &q)
+        .expect("query staged");
     pu.scratchpad_mut()
         .write_block(TREE_ADDR, &img.spad_words)
         .expect("tree staged");
@@ -78,7 +80,10 @@ fn full_budget_traversal_matches_exact_search() {
         .map(|n| n.id)
         .collect();
     assert_eq!(ids, expect);
-    assert!(stats.stack_ops > 0, "traversal must exercise the stack unit");
+    assert!(
+        stats.stack_ops > 0,
+        "traversal must exercise the stack unit"
+    );
 }
 
 #[test]
@@ -97,7 +102,10 @@ fn small_budget_still_finds_nearby_neighbors() {
     let store = random_store(200, 4, 3);
     let query: Vec<f32> = store.get(17).to_vec();
     let (ids, _) = run_traversal(&store, &query, 3, 16, 4, 1);
-    assert!(ids.contains(&17), "query's own bucket must contain it: {ids:?}");
+    assert!(
+        ids.contains(&17),
+        "query's own bucket must contain it: {ids:?}"
+    );
 }
 
 #[test]

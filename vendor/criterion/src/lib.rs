@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the bench-harness API the workspace's `benches/` use —
+//! `Criterion`, groups, `BenchmarkId`, `Throughput`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a lightweight
+//! measurement loop instead of criterion's statistical machinery: each
+//! benchmark is warmed up briefly, then timed over a fixed batch and
+//! reported as mean ns/iter on stdout. Numbers are indicative, not
+//! rigorous; the point is that `cargo bench` runs and regressions of
+//! 10x are visible.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work-per-iteration declaration; used to report a rate next to the
+/// per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Picks an iteration count that makes one measurement batch take
+/// roughly `target`, based on a quick calibration run of `routine`.
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut routine: F) {
+    // Calibration: one iteration, to scale the batch.
+    let mut cal = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut cal);
+    let per_iter = cal.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(20);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+
+    let mut bench = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bench);
+    let ns_per_iter = bench.elapsed.as_nanos() as f64 / iters as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => format!(" ({:.1} MiB/s)", b as f64 / ns_per_iter * 953.674_316),
+        Throughput::Elements(e) => {
+            format!(" ({:.1} Melem/s)", e as f64 / ns_per_iter * 1_000.0)
+        }
+    });
+    println!(
+        "{label:<40} {ns_per_iter:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares work-per-iteration for subsequent benches in the group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Ignored: the lightweight loop sizes batches by time, not count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_the_routine() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(
+            BenchmarkId::new("euclidean", 128).to_string(),
+            "euclidean/128"
+        );
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

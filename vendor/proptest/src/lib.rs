@@ -1,0 +1,406 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the property-testing surface the workspace uses:
+//! [`strategy::Strategy`] with `prop_map`, [`strategy::Just`], ranges and
+//! tuples as strategies, `prop_oneof!`, `prop::collection::vec`,
+//! `any::<T>()`, `ProptestConfig::with_cases`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, deliberate for size:
+//! - **Generation only, no shrinking.** A failing case reports its case
+//!   number and the (fixed) per-test seed instead of a minimal input.
+//! - **Deterministic.** Each `proptest!` test derives its RNG seed from
+//!   the test name (FNV-1a), so failures reproduce exactly across runs
+//!   and machines.
+//! - `prop_assert*` panic (like `assert*`) instead of returning `Err`.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SampleRange};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe: only [`Strategy::generate`] is dispatchable, so
+    /// heterogeneous strategies can be unified via [`Strategy::boxed`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map {
+                strategy: self,
+                map,
+            }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strategy: S,
+        map: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.map)(self.strategy.generate(rng))
+        }
+    }
+
+    /// Uniform choice among type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics on an empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.random_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Ranges are strategies: uniform over the range.
+    impl<T: Clone> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T: Clone> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: SampleRange<T>,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, Standard};
+    use std::marker::PhantomData;
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random()
+        }
+    }
+
+    /// Uniform values over `T`'s whole domain (`[0,1)` for floats).
+    pub fn any<T: Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// half-open / inclusive range.
+    pub trait IntoSizeRange {
+        /// Returns `(lo, hi)` as a half-open interval of lengths.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.hi <= self.lo + 1 {
+                self.lo
+            } else {
+                rng.random_range(self.lo..self.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element`-generated values with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty length range in prop::collection::vec");
+        VecStrategy { element, lo, hi }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand;
+
+    /// FNV-1a over the test name: the deterministic per-test RNG seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Declares property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(any::<i32>(), 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::__rt::seed_for(stringify!($name));
+            let mut __rng = <$crate::__rt::rand::rngs::StdRng
+                as $crate::__rt::rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }));
+                if let Err(__panic) = __result {
+                    eprintln!(
+                        "proptest `{}`: failing case {}/{} (seed {:#x}; cases replay \
+                         deterministically in order)",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __seed,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Like `assert!` (panics; no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Like `assert_eq!` (panics; no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..100).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_maps_compose(x in arb_even(), y in 1i32..10) {
+            prop_assert!(x % 2 == 0);
+            prop_assert!((1..10).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_collections(
+            pair in (0u8..4, any::<u64>()),
+            v in prop::collection::vec(0i32..7, 0..20),
+            fixed in prop::collection::vec(any::<u32>(), 3),
+        ) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(v.len() < 20);
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!(v.iter().all(|&x| (0..7).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(picks in prop::collection::vec(
+            prop_oneof![Just(0u8), Just(1u8), Just(2u8)], 200))
+        {
+            for k in 0..3u8 {
+                prop_assert!(picks.contains(&k), "arm {} never chosen", k);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(crate::__rt::seed_for("a"), crate::__rt::seed_for("b"));
+    }
+}

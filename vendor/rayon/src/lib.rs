@@ -1,0 +1,83 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this crate maps
+//! the small `par_iter` surface the workspace uses onto *sequential* std
+//! iterators. Call sites keep rayon's names and shapes (so swapping the
+//! real crate back in is a one-line Cargo change), but execution is
+//! single-threaded: every downstream combinator (`map`, `collect`,
+//! `sum`, …) is the std implementation.
+//!
+//! Functional behavior is identical — the workspace only uses data
+//! parallelism for independent per-shard simulation, which is
+//! order-insensitive.
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// `par_iter()` over shared slices (and anything derefing to one).
+    pub trait IntoParallelRefIterator<T> {
+        /// Sequential stand-in for rayon's parallel shared iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    /// `par_iter_mut()` over mutable slices.
+    pub trait IntoParallelRefMutIterator<T> {
+        /// Sequential stand-in for rayon's parallel mutable iterator.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> IntoParallelRefMutIterator<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// `into_par_iter()` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator;
+        /// Sequential stand-in for rayon's owning parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = [1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits() {
+        let v = [1, 2, 3];
+        let r: Result<Vec<i32>, &str> = v
+            .par_iter()
+            .map(|&x| if x == 2 { Err("two") } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err("two"));
+    }
+}
