@@ -19,6 +19,7 @@ fn main() {
     let bench = cfg.benchmark(PaperDataset::GloVe);
     let k = bench.k();
     let queries: Vec<Vec<f32>> = (0..2u32).map(|i| bench.queries.get(i).to_vec()).collect();
+    let dq: Vec<DeviceQuery<'_>> = queries.iter().map(|q| DeviceQuery::Euclidean(q)).collect();
     let mut rows = Vec::new();
 
     for &vl in &VECTOR_LENGTHS {
@@ -29,16 +30,8 @@ fn main() {
                 ..SsamConfig::default()
             });
             dev.load_vectors(&bench.train);
-            let mut cycles = 0u64;
-            let mut secs = 0.0;
-            for q in &queries {
-                let r = dev
-                    .query(&DeviceQuery::Euclidean(q), k)
-                    .expect("device runs");
-                cycles += r.timing.total_cycles;
-                secs += r.timing.seconds;
-            }
-            (cycles, secs)
+            let batch = dev.query_batch(&dq, k).expect("device runs");
+            (batch.timing.total_cycles, batch.timing.seconds)
         };
         let (hw_cycles, hw_secs) = run(true);
         let (sw_cycles, sw_secs) = run(false);

@@ -45,6 +45,8 @@ fn all_kernels() -> Vec<(String, Kernel)> {
                 linear::manhattan(dims, vl),
                 linear::cosine(dims, vl),
                 linear::euclidean_swqueue(dims, vl, 10),
+                linear::manhattan_swqueue(dims, vl, 10),
+                linear::cosine_swqueue(dims, vl, 10),
                 traversal::kdtree_euclidean(dims, vl, 64),
                 kmeans_traversal::kmeans_euclidean(dims, vl, 64),
                 lsh_traversal::lsh_euclidean(dims, vl, 8, 64),
@@ -53,8 +55,12 @@ fn all_kernels() -> Vec<(String, Kernel)> {
             }
         }
         for &words in &HAMMING_WORDS {
-            let kernel = linear::hamming(words, vl);
-            kernels.push((format!("{} words={words}", kernel.name), kernel));
+            for kernel in [
+                linear::hamming(words, vl),
+                linear::hamming_swqueue(words, vl, 10),
+            ] {
+                kernels.push((format!("{} words={words}", kernel.name), kernel));
+            }
         }
     }
     kernels

@@ -197,8 +197,9 @@ pub fn ssam_with(store: &VectorStore, vl: usize) -> SsamDevice {
     dev
 }
 
-/// Runs `n` sample queries from a benchmark through a device and returns
-/// `(queries/s, energy mJ/query)`.
+/// Runs `n` sample queries from a benchmark through the device's batched
+/// engine ([`SsamDevice::query_batch`] via `estimate_throughput`) and
+/// returns `(queries/s, energy mJ/query)`.
 pub fn ssam_linear_estimate(dev: &mut SsamDevice, bench: &Benchmark, n: usize) -> (f64, f64) {
     let n = n.min(bench.queries.len()).max(1);
     let queries: Vec<Vec<f32>> = (0..n as u32)

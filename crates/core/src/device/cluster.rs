@@ -97,55 +97,84 @@ impl SsamCluster {
         self.vectors == 0
     }
 
-    /// Executes one Euclidean query across the whole cluster.
+    /// Executes one Euclidean query across the whole cluster — the
+    /// single-query special case of [`SsamCluster::query_batch`].
     pub fn query(
         &mut self,
         query: &[f32],
         k: usize,
     ) -> Result<(Vec<Neighbor>, ClusterTiming), SimError> {
+        let mut out = self.query_batch(&[query], k)?;
+        Ok(out.pop().expect("one result per query"))
+    }
+
+    /// Executes a batch of Euclidean queries across the whole cluster:
+    /// every module runs the batch through its batched engine
+    /// ([`SsamDevice::query_batch`]), then each query's per-module top-k
+    /// sets are reduced on the host and charged the chain's broadcast and
+    /// collection link terms.
+    pub fn query_batch(
+        &mut self,
+        queries: &[&[f32]],
+        k: usize,
+    ) -> Result<Vec<(Vec<Neighbor>, ClusterTiming)>, SimError> {
         assert!(k > 0, "k must be positive");
+        assert!(!queries.is_empty(), "batch must contain at least one query");
         let first_ids = self.first_ids.clone();
-        let results: Result<Vec<(Vec<Neighbor>, QueryTiming)>, SimError> = self
+        type ModuleBatch = Vec<(Vec<Neighbor>, QueryTiming)>;
+        let module_results: Result<Vec<ModuleBatch>, SimError> = self
             .modules
             .par_iter_mut()
             .map(|dev| {
-                let r = dev.query(&DeviceQuery::Euclidean(query), k)?;
-                Ok((r.neighbors, r.timing))
+                let dq: Vec<DeviceQuery<'_>> =
+                    queries.iter().map(|q| DeviceQuery::Euclidean(q)).collect();
+                let batch = dev.query_batch(&dq, k)?;
+                Ok(batch
+                    .results
+                    .into_iter()
+                    .map(|r| (r.neighbors, r.timing))
+                    .collect())
             })
             .collect();
-        let results = results?;
+        let module_results = module_results?;
 
-        let mut top = TopK::new(k);
-        let mut module_seconds = 0.0f64;
-        let mut energy_mj = 0.0;
-        for ((neighbors, timing), &base) in results.iter().zip(&first_ids) {
-            for n in neighbors {
-                top.offer(base + n.id, n.dist);
-            }
-            module_seconds = module_seconds.max(timing.seconds);
-            energy_mj += timing.energy_mj;
-        }
-
-        // Link fabric: the query travels down the chain (depth hops), the
-        // per-module k-tuple results travel back up.
         let depth = self.modules.len() as u64;
-        let query_bytes = (query.len() * 4) as u64;
         let link_bw = self.config.hmc.external_bandwidth;
-        let broadcast_seconds =
-            depth as f64 * ssam_hmc::packet::bulk_wire_bytes(query_bytes) as f64 / link_bw;
         let result_bytes = (self.modules.len() * k * 8) as u64;
-        let collect_seconds = depth as f64 * ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64
-            / link_bw
-            + (self.modules.len() * k) as f64 * 1e-9;
 
-        let timing = ClusterTiming {
-            seconds: broadcast_seconds + module_seconds + collect_seconds,
-            broadcast_seconds,
-            module_seconds,
-            collect_seconds,
-            energy_mj,
-        };
-        Ok((top.into_sorted(), timing))
+        let mut out = Vec::with_capacity(queries.len());
+        for (qi, query) in queries.iter().enumerate() {
+            let mut top = TopK::new(k);
+            let mut module_seconds = 0.0f64;
+            let mut energy_mj = 0.0;
+            for (per_query, &base) in module_results.iter().zip(&first_ids) {
+                let (neighbors, timing) = &per_query[qi];
+                for n in neighbors {
+                    top.offer(base + n.id, n.dist);
+                }
+                module_seconds = module_seconds.max(timing.seconds);
+                energy_mj += timing.energy_mj;
+            }
+
+            // Link fabric: the query travels down the chain (depth hops),
+            // the per-module k-tuple results travel back up.
+            let query_bytes = (query.len() * 4) as u64;
+            let broadcast_seconds =
+                depth as f64 * ssam_hmc::packet::bulk_wire_bytes(query_bytes) as f64 / link_bw;
+            let collect_seconds =
+                depth as f64 * ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / link_bw
+                    + (self.modules.len() * k) as f64 * 1e-9;
+
+            let timing = ClusterTiming {
+                seconds: broadcast_seconds + module_seconds + collect_seconds,
+                broadcast_seconds,
+                module_seconds,
+                collect_seconds,
+                energy_mj,
+            };
+            out.push((top.into_sorted(), timing));
+        }
+        Ok(out)
     }
 }
 
@@ -243,6 +272,23 @@ mod tests {
         let mut cluster = SsamCluster::build(SsamConfig::default(), 4, &store);
         let (_, t) = cluster.query(&q, 10).expect("runs");
         assert!(t.broadcast_seconds + t.collect_seconds < 0.15 * t.seconds);
+    }
+
+    #[test]
+    fn cluster_batch_matches_serial_loop() {
+        let store = random_store(400, 6, 8);
+        let mut cluster = SsamCluster::build(SsamConfig::default(), 3, &store);
+        let qs: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..6).map(|j| ((i + 2 * j) as f32 * 0.4).cos()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = qs.iter().map(Vec::as_slice).collect();
+        let batch = cluster.query_batch(&refs, 5).expect("batch runs");
+        assert_eq!(batch.len(), 4);
+        for (q, (neighbors, timing)) in refs.iter().zip(&batch) {
+            let (sn, st) = cluster.query(q, 5).expect("serial runs");
+            assert_eq!(&sn, neighbors);
+            assert_eq!(&st, timing);
+        }
     }
 
     #[test]

@@ -148,7 +148,7 @@ impl IndexedSsamDevice {
                     .entries()
                     .iter()
                     .take(k)
-                    .map(|e| Neighbor::new(shard.id_order[e.id as usize], e.value as f32))
+                    .map(|e| Neighbor::new(shard.id_order[e.id as usize], Fix32(e.value).to_f32()))
                     .collect();
                 Ok((neighbors, stats))
             })

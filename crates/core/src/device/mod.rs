@@ -31,6 +31,7 @@ use ssam_knn::topk::{Neighbor, TopK};
 use ssam_knn::VectorStore;
 
 use crate::energy::{effective_power, Activity};
+use crate::isa::inst::Instruction;
 use crate::isa::{DRAM_BASE, PQUEUE_DEPTH};
 use crate::kernels::{linear, Kernel};
 use crate::sim::pu::{ProcessingUnit, RunStats, SimError};
@@ -107,6 +108,29 @@ struct Shard {
     words: Arc<Vec<i32>>,
     first_id: u32,
     vectors: usize,
+}
+
+/// One query staged for batched execution.
+struct StagedQuery {
+    /// Padded scratchpad image of the query.
+    words: Vec<i32>,
+    /// Cosine `s10` query norm, when the kernel needs it.
+    norm: Option<i32>,
+    /// Kernel the query runs.
+    kernel: Arc<Kernel>,
+    /// Shared instruction image — one allocation per distinct kernel per
+    /// batch, handed to every recycled PU by `Arc` clone.
+    program: Arc<Vec<Instruction>>,
+}
+
+/// Converts a kernel's raw distance word into host float units: feature
+/// vectors compute Q16.16 fixed-point distances, binary codes raw
+/// popcount counts.
+fn host_dist(payload: Payload, raw: i32) -> f32 {
+    match payload {
+        Payload::Fixed { .. } => Fix32(raw).to_f32(),
+        Payload::Binary { .. } => raw as f32,
+    }
 }
 
 /// What kind of payload is loaded.
@@ -289,9 +313,27 @@ impl SsamDevice {
                     linear::euclidean_swqueue(dims, vl, k)
                 }
             }
-            (DeviceMetric::Manhattan, Payload::Fixed { dims }) => linear::manhattan(dims, vl),
-            (DeviceMetric::Cosine, Payload::Fixed { dims }) => linear::cosine(dims, vl),
-            (DeviceMetric::Hamming, Payload::Binary { words }) => linear::hamming(words, vl),
+            (DeviceMetric::Manhattan, Payload::Fixed { dims }) => {
+                if self.config.use_hw_queue {
+                    linear::manhattan(dims, vl)
+                } else {
+                    linear::manhattan_swqueue(dims, vl, k)
+                }
+            }
+            (DeviceMetric::Cosine, Payload::Fixed { dims }) => {
+                if self.config.use_hw_queue {
+                    linear::cosine(dims, vl)
+                } else {
+                    linear::cosine_swqueue(dims, vl, k)
+                }
+            }
+            (DeviceMetric::Hamming, Payload::Binary { words }) => {
+                if self.config.use_hw_queue {
+                    linear::hamming(words, vl)
+                } else {
+                    linear::hamming_swqueue(words, vl, k)
+                }
+            }
             (m, p) => panic!("metric {m:?} incompatible with loaded payload {p:?}"),
         };
         debug_assert_eq!(kernel.layout.vec_words, self.vec_words);
@@ -308,26 +350,23 @@ impl SsamDevice {
         out
     }
 
-    /// Executes one query across all vaults and merges the result
-    /// (`nexec` + `nread_result` semantics).
-    ///
-    /// # Panics
-    /// Panics if no dataset is loaded or the query shape mismatches it.
-    pub fn query(&mut self, query: &DeviceQuery<'_>, k: usize) -> Result<DeviceResult, SimError> {
-        assert!(!self.is_empty(), "no dataset loaded");
-        assert!(k > 0, "k must be positive");
-        let payload = self.payload.expect("dataset loaded");
+    /// Queries per (vault, tile) work item: one simulated PU is recycled
+    /// across this many queries of a batch before the scheduler moves to
+    /// the next item (balances PU reuse against parallel slack across
+    /// worker threads).
+    const QUERY_TILE: usize = 16;
 
-        // Stage the query image + any extra register state.
-        let (spad_query, extra_norm): (Vec<i32>, Option<i32>) = match (query, payload) {
+    /// Stages one query: the padded scratchpad image plus any extra
+    /// driver register state (cosine's `s10` query norm).
+    fn stage_query(&self, query: &DeviceQuery<'_>, payload: Payload) -> (Vec<i32>, Option<i32>) {
+        match (query, payload) {
             (DeviceQuery::Euclidean(q) | DeviceQuery::Manhattan(q), Payload::Fixed { dims }) => {
                 assert_eq!(q.len(), dims, "query dimensionality mismatch");
                 (self.quantize_query(q), None)
             }
             (DeviceQuery::Cosine(q), Payload::Fixed { dims }) => {
                 assert_eq!(q.len(), dims, "query dimensionality mismatch");
-                let norm = Fix32::from_f32(norm_sq(q)).0;
-                (self.quantize_query(q), Some(norm))
+                (self.quantize_query(q), Some(Fix32::from_f32(norm_sq(q)).0))
             }
             (DeviceQuery::Hamming(q), Payload::Binary { words }) => {
                 assert_eq!(q.len(), words, "query code-length mismatch");
@@ -336,88 +375,204 @@ impl SsamDevice {
                 (out, None)
             }
             _ => panic!("query representation incompatible with loaded payload"),
-        };
+        }
+    }
 
-        let kernel = self.kernel_for(query.metric(), k);
+    /// Executes one query across all vaults and merges the result
+    /// (`nexec` + `nread_result` semantics) — the single-query special
+    /// case of [`SsamDevice::query_batch`].
+    ///
+    /// # Panics
+    /// Panics if no dataset is loaded or the query shape mismatches it.
+    pub fn query(&mut self, query: &DeviceQuery<'_>, k: usize) -> Result<DeviceResult, SimError> {
+        let mut batch = self.query_batch(std::slice::from_ref(query), k)?;
+        Ok(batch.results.pop().expect("one result per query"))
+    }
+
+    /// Executes a batch of queries across all vaults and merges each
+    /// query's per-vault top-k on the host (Section III-E: queries are
+    /// aggregated into batches before being issued to the accelerator).
+    ///
+    /// Functionally every query sees exactly the serial
+    /// [`SsamDevice::query`] semantics — neighbors and per-query stats are
+    /// bit-identical to a serial loop — but the engine parallelizes over
+    /// (vault × query-tile) work items, recycles one processing unit per
+    /// work item across its tile (architectural-state reset plus query
+    /// rewrite instead of reconstruction), and shares one instruction
+    /// image per distinct kernel instead of cloning it per (query, vault).
+    /// The batch-level account in [`BatchResult::timing`] additionally
+    /// pipelines each vault's runs over a single provisioning decision.
+    ///
+    /// # Panics
+    /// Panics if no dataset is loaded, `k == 0`, the batch is empty, or a
+    /// query shape mismatches the loaded payload.
+    pub fn query_batch(
+        &mut self,
+        queries: &[DeviceQuery<'_>],
+        k: usize,
+    ) -> Result<BatchResult, SimError> {
+        assert!(!self.is_empty(), "no dataset loaded");
+        assert!(k > 0, "k must be positive");
+        assert!(!queries.is_empty(), "batch must contain at least one query");
+        let payload = self.payload.expect("dataset loaded");
+
+        // Stage every query up front; distinct kernels share one
+        // instruction image across the whole batch.
+        let mut programs: HashMap<String, Arc<Vec<Instruction>>> = HashMap::new();
+        let staged: Vec<StagedQuery> = queries
+            .iter()
+            .map(|q| {
+                let (words, norm) = self.stage_query(q, payload);
+                let kernel = self.kernel_for(q.metric(), k);
+                let program = Arc::clone(
+                    programs
+                        .entry(kernel.name.clone())
+                        .or_insert_with(|| Arc::new(kernel.program.clone())),
+                );
+                StagedQuery {
+                    words,
+                    norm,
+                    kernel,
+                    program,
+                }
+            })
+            .collect();
+
         let vl = self.config.vector_length;
         let use_hw = self.config.use_hw_queue;
         let pq_chain = k.div_ceil(PQUEUE_DEPTH);
-        let vec_words = self.vec_words;
+        // Generous runaway guard: the rolled chunk loop executes ~9
+        // instructions per vector-length chunk plus per-vector
+        // reduction/queue overhead (worst case: the software-queue
+        // shifting loop).
+        let per_vec = 16 * self.vec_words as u64 + 64 * k as u64 + 2048;
+        let swinit: Vec<i32> = if use_hw {
+            Vec::new()
+        } else {
+            (0..k).flat_map(|_| [i32::MAX, -1]).collect()
+        };
+        let shards = &self.shards;
 
-        // Simulate every vault (in parallel threads; each vault is an
-        // independent accelerator).
-        let results: Result<Vec<(Vec<Neighbor>, RunStats)>, SimError> = self
-            .shards
+        // (vault × query-tile) work items.
+        let mut items: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        for si in 0..shards.len() {
+            let mut q0 = 0;
+            while q0 < staged.len() {
+                let q1 = (q0 + Self::QUERY_TILE).min(staged.len());
+                items.push((si, q0..q1));
+                q0 = q1;
+            }
+        }
+
+        // Simulate every work item (in parallel threads; each vault is an
+        // independent accelerator and each tile its own PU).
+        type TileOut = (usize, usize, Vec<(Vec<Neighbor>, RunStats)>);
+        let tiles: Result<Vec<TileOut>, SimError> = items
             .par_iter()
-            .map(|shard| {
+            .map(|(si, range)| {
+                let shard = &shards[*si];
                 let mut pu = ProcessingUnit::new(vl, Arc::clone(&shard.words));
                 if use_hw {
                     pu.chain_pqueue(pq_chain);
                 }
-                pu.load_program(kernel.program.clone());
-                pu.scratchpad_mut()
-                    .write_block(kernel.layout.query_addr, &spad_query)
-                    .expect("query fits scratchpad");
-                if !use_hw {
-                    // Initialize the software queue region: k (MAX, -1) pairs.
-                    let init: Vec<i32> = (0..k).flat_map(|_| [i32::MAX, -1]).collect();
-                    pu.scratchpad_mut()
-                        .write_block(kernel.layout.swqueue_addr, &init)
-                        .expect("queue fits scratchpad");
-                }
-                pu.set_sreg(1, DRAM_BASE as i32);
-                pu.set_sreg(2, DRAM_BASE as i32 + (shard.words.len() * 4) as i32);
-                pu.set_sreg(3, 0); // local ids; remapped below
-                if let Some(norm) = extra_norm {
-                    pu.set_sreg(10, norm);
-                }
-                // Generous runaway guard: the rolled chunk loop executes
-                // ~9 instructions per vector-length chunk plus per-vector
-                // reduction/queue overhead (worst case: the software-queue
-                // shifting loop).
-                let per_vec = 16 * vec_words as u64 + 64 * k as u64 + 2048;
                 let budget = 10_000u64 + shard.vectors as u64 * per_vec;
-                let stats = pu.run(budget)?;
+                let mut loaded: Option<&str> = None;
+                let mut out = Vec::with_capacity(range.len());
+                for sq in &staged[range.clone()] {
+                    if loaded.is_some() {
+                        pu.reset_state();
+                    }
+                    if loaded != Some(sq.kernel.name.as_str()) {
+                        pu.load_program(Arc::clone(&sq.program));
+                        loaded = Some(sq.kernel.name.as_str());
+                    }
+                    pu.scratchpad_mut()
+                        .write_block(sq.kernel.layout.query_addr, &sq.words)
+                        .expect("query fits scratchpad");
+                    if !use_hw {
+                        // Initialize the software queue: k (MAX, -1) pairs.
+                        pu.scratchpad_mut()
+                            .write_block(sq.kernel.layout.swqueue_addr, &swinit)
+                            .expect("queue fits scratchpad");
+                    }
+                    pu.set_sreg(1, DRAM_BASE as i32);
+                    pu.set_sreg(2, DRAM_BASE as i32 + (shard.words.len() * 4) as i32);
+                    pu.set_sreg(3, 0); // local ids; remapped below
+                    if let Some(norm) = sq.norm {
+                        pu.set_sreg(10, norm);
+                    }
+                    let stats = pu.run(budget)?;
 
-                let neighbors: Vec<Neighbor> = if use_hw {
-                    pu.pqueue()
-                        .entries()
-                        .iter()
-                        .take(k)
-                        .map(|e| Neighbor::new(shard.first_id + e.id as u32, e.value as f32))
-                        .collect()
-                } else {
-                    let words = pu
-                        .scratchpad()
-                        .read_block(kernel.layout.swqueue_addr, 2 * k)
-                        .expect("queue readable");
-                    words
-                        .chunks_exact(2)
-                        .filter(|pair| pair[1] >= 0)
-                        .map(|pair| Neighbor::new(shard.first_id + pair[1] as u32, pair[0] as f32))
-                        .collect()
-                };
-                Ok((neighbors, stats))
+                    let neighbors: Vec<Neighbor> = if use_hw {
+                        pu.pqueue()
+                            .entries()
+                            .iter()
+                            .take(k)
+                            .map(|e| {
+                                Neighbor::new(
+                                    shard.first_id + e.id as u32,
+                                    host_dist(payload, e.value),
+                                )
+                            })
+                            .collect()
+                    } else {
+                        pu.scratchpad()
+                            .read_block(sq.kernel.layout.swqueue_addr, 2 * k)
+                            .expect("queue readable")
+                            .chunks_exact(2)
+                            .filter(|pair| pair[1] >= 0)
+                            .map(|pair| {
+                                Neighbor::new(
+                                    shard.first_id + pair[1] as u32,
+                                    host_dist(payload, pair[0]),
+                                )
+                            })
+                            .collect()
+                    };
+                    out.push((neighbors, stats));
+                }
+                Ok((*si, range.start, out))
             })
             .collect();
-        let results = results?;
+        let tiles = tiles?;
 
-        // Host-side global top-k reduction.
-        let mut top = TopK::new(k);
-        for (neighbors, _) in &results {
-            for n in neighbors {
-                top.offer(n.id, n.dist);
+        // Reassemble the (query, vault) grid in vault order.
+        let n_vaults = shards.len();
+        let batch = staged.len();
+        type Cell = Option<(Vec<Neighbor>, RunStats)>;
+        let mut grid: Vec<Vec<Cell>> = (0..batch)
+            .map(|_| (0..n_vaults).map(|_| None).collect())
+            .collect();
+        for (si, q0, rows) in tiles {
+            for (off, cell) in rows.into_iter().enumerate() {
+                grid[q0 + off][si] = Some(cell);
             }
         }
-        let neighbors = top.into_sorted();
 
-        let vault_stats: Vec<RunStats> = results.iter().map(|(_, s)| *s).collect();
-        let timing = self.derive_timing(&vault_stats, k);
-        Ok(DeviceResult {
-            neighbors,
-            timing,
-            vault_stats,
-        })
+        // Per-query host-side global top-k reduction + serial-equivalent
+        // timing, then the batch-level pipelined account.
+        let mut results = Vec::with_capacity(batch);
+        let mut per_query_stats: Vec<Vec<RunStats>> = Vec::with_capacity(batch);
+        for row in grid {
+            let mut top = TopK::new(k);
+            let mut vault_stats = Vec::with_capacity(n_vaults);
+            for cell in row {
+                let (neighbors, stats) = cell.expect("every (vault, query) item simulated");
+                for n in &neighbors {
+                    top.offer(n.id, n.dist);
+                }
+                vault_stats.push(stats);
+            }
+            let timing = self.derive_timing(&vault_stats, k);
+            per_query_stats.push(vault_stats.clone());
+            results.push(DeviceResult {
+                neighbors: top.into_sorted(),
+                timing,
+                vault_stats,
+            });
+        }
+        let timing = self.derive_batch_timing(&per_query_stats, k);
+        Ok(BatchResult { results, timing })
     }
 
     /// Derives query time and energy from per-vault simulation statistics.
@@ -451,12 +606,13 @@ impl SsamDevice {
         for s in vault_stats {
             let mem_t = s.dram.bytes_read as f64 / vault_bw;
             let comp_t = s.cycles as f64 / (pus as f64 * freq);
-            if comp_t >= worst && comp_t > mem_t {
-                compute_bound = true;
-            } else if mem_t >= worst && mem_t >= comp_t {
-                compute_bound = false;
+            // Classify from the vault that actually sets the critical path
+            // (strictly-greater keeps the first argmax on ties).
+            let vault_t = mem_t.max(comp_t);
+            if vault_t > worst {
+                worst = vault_t;
+                compute_bound = comp_t > mem_t;
             }
-            worst = worst.max(mem_t.max(comp_t));
             total_cycles += s.cycles;
             total_bytes += s.dram.bytes_read;
         }
@@ -489,31 +645,133 @@ impl SsamDevice {
         }
     }
 
-    /// Throughput estimate for a batch: mean per-query seconds over the
-    /// sample, inverted.
+    /// Derives the batch-level time/energy account: one PU-provisioning
+    /// decision covers every (query, vault) run; each vault pipelines its
+    /// `B` kernel runs, so per-vault time is `max(Σ mem, Σ comp)` rather
+    /// than `Σ max`; the external-link transfer and host merge are paid
+    /// once per query.
+    fn derive_batch_timing(&self, per_query_stats: &[Vec<RunStats>], k: usize) -> BatchTiming {
+        let cfg = &self.config;
+        let freq = cfg.freq_hz;
+        let vault_bw = cfg.hmc.vault_bandwidth;
+        let batch = per_query_stats.len();
+        let vaults = per_query_stats.first().map_or(0, Vec::len);
+
+        // One provisioning decision across every (query, vault) run.
+        let mut pus = 1usize;
+        for s in per_query_stats.iter().flatten() {
+            let bytes = s.dram.bytes_read.max(1) as f64;
+            let secs = s.cycles.max(1) as f64 / freq;
+            let need = (vault_bw / (bytes / secs)).ceil() as usize;
+            pus = pus.max(need.clamp(1, cfg.max_pus_per_vault));
+        }
+
+        let mut worst = 0.0f64;
+        let mut compute_bound = false;
+        for v in 0..vaults {
+            let mut mem_t = 0.0;
+            let mut comp_t = 0.0;
+            for q in per_query_stats {
+                mem_t += q[v].dram.bytes_read as f64 / vault_bw;
+                comp_t += q[v].cycles as f64 / (pus as f64 * freq);
+            }
+            let vault_t = mem_t.max(comp_t);
+            if vault_t > worst {
+                worst = vault_t;
+                compute_bound = comp_t > mem_t;
+            }
+        }
+        let mut total_cycles = 0u64;
+        let mut total_bytes = 0u64;
+        for s in per_query_stats.iter().flatten() {
+            total_cycles += s.cycles;
+            total_bytes += s.dram.bytes_read;
+        }
+
+        // Each query still returns vaults·k (id, value) tuples over the
+        // external link and pays its own host merge.
+        let result_bytes = (vaults * k * 8) as u64;
+        let link_t =
+            ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / cfg.hmc.external_bandwidth;
+        let merge_t = (vaults * k) as f64 * 1e-9;
+        let seconds = worst + batch as f64 * (link_t + merge_t);
+
+        // Energy: every (query, vault) run burns its activity-scaled PU
+        // power over its share of the batch window.
+        let mut energy_mj = 0.0;
+        let per_query_window = seconds / batch.max(1) as f64;
+        for s in per_query_stats.iter().flatten() {
+            let act = Activity::from_stats(s);
+            energy_mj += effective_power(cfg.vector_length, &act) * per_query_window * pus as f64;
+        }
+
+        BatchTiming {
+            batch,
+            seconds,
+            seconds_per_query: seconds / batch.max(1) as f64,
+            queries_per_second: batch as f64 / seconds,
+            pus_per_vault: pus,
+            compute_bound,
+            total_cycles,
+            total_bytes,
+            energy_mj,
+        }
+    }
+
+    /// Throughput estimate for a batch, from one batched execution
+    /// ([`SsamDevice::query_batch`]).
     pub fn estimate_throughput(
         &mut self,
         queries: &[DeviceQuery<'_>],
         k: usize,
     ) -> Result<BatchEstimate, SimError> {
         assert!(!queries.is_empty(), "need at least one sample query");
-        let mut total_s = 0.0;
-        let mut total_e = 0.0;
-        let mut pus = 0usize;
-        for q in queries {
-            let r = self.query(q, k)?;
-            total_s += r.timing.seconds;
-            total_e += r.timing.energy_mj;
-            pus = pus.max(r.timing.pus_per_vault);
-        }
-        let n = queries.len() as f64;
+        let b = self.query_batch(queries, k)?;
         Ok(BatchEstimate {
-            seconds_per_query: total_s / n,
-            queries_per_second: n / total_s,
-            energy_mj_per_query: total_e / n,
-            pus_per_vault: pus,
+            seconds_per_query: b.timing.seconds_per_query,
+            queries_per_second: b.timing.queries_per_second,
+            energy_mj_per_query: b.timing.energy_mj / b.results.len() as f64,
+            pus_per_vault: b.timing.pus_per_vault,
         })
     }
+}
+
+/// Batch-level timing/energy account from one [`SsamDevice::query_batch`]
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchTiming {
+    /// Queries in the batch.
+    pub batch: usize,
+    /// Wall-clock seconds for the whole batch: the slowest vault's
+    /// pipelined run of all queries, plus per-query link transfer and
+    /// host merge.
+    pub seconds: f64,
+    /// `seconds / batch`.
+    pub seconds_per_query: f64,
+    /// `batch / seconds`.
+    pub queries_per_second: f64,
+    /// Processing units provisioned per vault for the whole batch.
+    pub pus_per_vault: usize,
+    /// True when compute cycles (not vault bandwidth) set the pace on the
+    /// critical vault.
+    pub compute_bound: bool,
+    /// Aggregate simulated cycles across all (query, vault) runs.
+    pub total_cycles: u64,
+    /// Aggregate DRAM bytes streamed across the batch.
+    pub total_bytes: u64,
+    /// Device energy for the whole batch in millijoules.
+    pub energy_mj: f64,
+}
+
+/// Result of one batched device execution.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-query results in submission order. Each result's `timing`
+    /// describes that query as if executed alone (serial-equivalent);
+    /// the batch-level account is in [`BatchResult::timing`].
+    pub results: Vec<DeviceResult>,
+    /// Batch-level pipelined timing/energy.
+    pub timing: BatchTiming,
 }
 
 /// Batch throughput/energy estimate.
@@ -735,5 +993,226 @@ mod tests {
         dev.load_vectors(&store);
         let q = [0.0f32; 5];
         let _ = dev.query(&DeviceQuery::Euclidean(&q), 1);
+    }
+
+    #[test]
+    fn all_metrics_return_exact_results_under_software_queue() {
+        // Regression: `kernel_for` used to fall through to the HW-queue
+        // kernels for Manhattan/Cosine/Hamming when `use_hw_queue` was
+        // off, while the driver read the never-written software-queue
+        // region — every non-Euclidean software-queue query came back
+        // empty.
+        let store = random_store(200, 6, 21);
+        let mut dev = SsamDevice::new(SsamConfig {
+            use_hw_queue: false,
+            ..SsamConfig::default()
+        });
+        dev.load_vectors(&store);
+        let q: Vec<f32> = (0..6).map(|i| 0.15 * i as f32 - 0.3).collect();
+        for (query, metric) in [
+            (DeviceQuery::Euclidean(&q), Metric::Euclidean),
+            (DeviceQuery::Manhattan(&q), Metric::Manhattan),
+        ] {
+            let r = dev.query(&query, 5).expect("runs");
+            let expect: Vec<u32> = knn_exact(&store, &q, 5, metric)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+            assert_eq!(got, expect, "{metric:?} under software queue");
+        }
+        // Cosine: the device's cos² transform may permute near-ties;
+        // demand a full result set, an exact best match, and ≥4/5 overlap.
+        let r = dev.query(&DeviceQuery::Cosine(&q), 5).expect("runs");
+        assert_eq!(r.neighbors.len(), 5);
+        let expect: Vec<u32> = knn_exact(&store, &q, 5, Metric::Cosine)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(r.neighbors[0].id, expect[0]);
+        let overlap = r
+            .neighbors
+            .iter()
+            .filter(|n| expect.contains(&n.id))
+            .count();
+        assert!(overlap >= 4, "cosine under software queue: {overlap}/5");
+
+        let mut codes = BinaryStore::new(64);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..150 {
+            codes.push(&[rng.random::<u32>(), rng.random::<u32>()]);
+        }
+        let mut dev = SsamDevice::new(SsamConfig {
+            use_hw_queue: false,
+            ..SsamConfig::default()
+        });
+        dev.load_binary(&codes);
+        let qc = [0xFACE_FEEDu32, 0x0BAD_F00D];
+        let r = dev.query(&DeviceQuery::Hamming(&qc), 6).expect("runs");
+        let expect: Vec<u32> = knn_hamming(&codes, &qc, 6).iter().map(|n| n.id).collect();
+        let got: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(got, expect, "Hamming under software queue");
+    }
+
+    #[test]
+    fn device_distances_are_in_float_units() {
+        // Regression: readout used to cast the raw Q16.16 word to f32,
+        // reporting distances 65536× the CPU baseline.
+        let store = random_store(120, 8, 23);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q: Vec<f32> = store.get(3).to_vec();
+        for query in [DeviceQuery::Euclidean(&q), DeviceQuery::Manhattan(&q)] {
+            let metric = match query.metric() {
+                DeviceMetric::Euclidean => Metric::Euclidean,
+                _ => Metric::Manhattan,
+            };
+            let r = dev.query(&query, 5).expect("runs");
+            let expect = knn_exact(&store, &q, 5, metric);
+            for (got, want) in r.neighbors.iter().zip(&expect) {
+                assert!(
+                    (got.dist - want.dist).abs() < 1e-2,
+                    "{metric:?}: device {} vs reference {}",
+                    got.dist,
+                    want.dist
+                );
+            }
+        }
+        // Hamming distances stay in raw popcount units.
+        let mut codes = BinaryStore::new(32);
+        for w in 0u32..50 {
+            codes.push(&[w.wrapping_mul(0x9E37_79B9)]);
+        }
+        let mut dev = device(4);
+        dev.load_binary(&codes);
+        let qc = [codes.get(11)[0]];
+        let r = dev.query(&DeviceQuery::Hamming(&qc), 3).expect("runs");
+        assert_eq!(r.neighbors[0].id, 11);
+        assert_eq!(r.neighbors[0].dist, 0.0);
+        assert_eq!(r.neighbors[1].dist, r.neighbors[1].dist.round());
+    }
+
+    #[test]
+    fn query_batch_matches_serial_loop() {
+        let store = random_store(180, 6, 24);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let qs: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..6).map(|j| ((i * 7 + j) as f32 * 0.3).sin()).collect())
+            .collect();
+        let queries: Vec<DeviceQuery<'_>> = qs.iter().map(|q| DeviceQuery::Euclidean(q)).collect();
+        let batch = dev.query_batch(&queries, 4).expect("batch runs");
+        assert_eq!(batch.results.len(), 5);
+        assert_eq!(batch.timing.batch, 5);
+        for (q, r) in queries.iter().zip(&batch.results) {
+            let serial = dev.query(q, 4).expect("serial runs");
+            assert_eq!(serial.neighbors, r.neighbors);
+            assert_eq!(serial.vault_stats, r.vault_stats);
+            assert_eq!(serial.timing, r.timing);
+        }
+    }
+
+    #[test]
+    fn mixed_metric_batch_matches_serial_loop() {
+        // Kernel switches inside one tile exercise the program-reload path
+        // of the recycled PUs.
+        let store = random_store(100, 6, 26);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q1: Vec<f32> = (0..6).map(|i| 0.2 * i as f32).collect();
+        let q2: Vec<f32> = (0..6).map(|i| -0.1 * i as f32).collect();
+        let queries = [
+            DeviceQuery::Euclidean(&q1),
+            DeviceQuery::Manhattan(&q2),
+            DeviceQuery::Euclidean(&q2),
+        ];
+        let batch = dev.query_batch(&queries, 3).expect("runs");
+        for (q, r) in queries.iter().zip(&batch.results) {
+            let serial = dev.query(q, 3).expect("runs");
+            assert_eq!(serial.neighbors, r.neighbors);
+            assert_eq!(serial.vault_stats, r.vault_stats);
+        }
+    }
+
+    #[test]
+    fn batch_timing_amortizes_over_serial_execution() {
+        let store = random_store(160, 8, 25);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let qs: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..8).map(|j| 0.1 * (i + j) as f32).collect())
+            .collect();
+        let queries: Vec<DeviceQuery<'_>> = qs.iter().map(|q| DeviceQuery::Euclidean(q)).collect();
+        let batch = dev.query_batch(&queries, 4).expect("runs");
+        // Pipelining can only help: max(Σ mem, Σ comp) ≤ Σ max(mem, comp).
+        let serial_total: f64 = batch.results.iter().map(|r| r.timing.seconds).sum();
+        assert!(batch.timing.seconds > 0.0);
+        assert!(batch.timing.seconds <= serial_total + 1e-12);
+        assert!(
+            (batch.timing.queries_per_second * batch.timing.seconds_per_query - 1.0).abs() < 1e-9
+        );
+        assert!(batch.timing.energy_mj > 0.0);
+        assert!(batch.timing.total_bytes >= 4 * (160 * 8 * 4) as u64);
+    }
+
+    fn stat(bytes: u64, cycles: u64) -> RunStats {
+        RunStats {
+            cycles,
+            dram: crate::sim::memif::DramStats {
+                bytes_read: bytes,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compute_bound_tracks_memory_bound_critical_vault() {
+        // Vault 0 sets the critical path and is memory-bound; vault 1 is
+        // compute-bound but far from critical. Provisioning lands on 8 PUs
+        // (vault 1's streaming demand), so vault 1 stays compute-bound.
+        let dev = device(4);
+        let t = dev.derive_timing(&[stat(80_000, 800), stat(1_000, 1_000)], 4);
+        assert_eq!(t.pus_per_vault, 8);
+        assert!(!t.compute_bound, "critical vault is memory-bound");
+    }
+
+    #[test]
+    fn compute_bound_tracks_compute_bound_critical_vault() {
+        let dev = device(4);
+        let t = dev.derive_timing(&[stat(8_000, 80), stat(1_000, 100_000)], 4);
+        assert_eq!(t.pus_per_vault, 8);
+        assert!(t.compute_bound, "critical vault is compute-bound");
+    }
+
+    #[test]
+    fn compute_bound_ties_resolve_to_first_critical_vault() {
+        // Regression: both vaults reach the same critical time (1e-5 s),
+        // vault 0 memory-bound, vault 1 compute-bound. The old stale-worst
+        // comparison let the later, non-argmax vault flip the flag.
+        let dev = device(4);
+        let t = dev.derive_timing(&[stat(100_000, 100), stat(1_000, 80_000)], 4);
+        assert_eq!(t.pus_per_vault, 8);
+        assert!(
+            !t.compute_bound,
+            "first vault to set the path is memory-bound"
+        );
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_query_account() {
+        let store = random_store(90, 6, 27);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q: Vec<f32> = (0..6).map(|i| 0.3 * i as f32).collect();
+        let batch = dev
+            .query_batch(&[DeviceQuery::Euclidean(&q)], 3)
+            .expect("runs");
+        let serial = dev.query(&DeviceQuery::Euclidean(&q), 3).expect("runs");
+        assert_eq!(batch.results.len(), 1);
+        assert_eq!(batch.results[0].neighbors, serial.neighbors);
+        assert_eq!(batch.timing.pus_per_vault, serial.timing.pus_per_vault);
+        assert_eq!(batch.timing.compute_bound, serial.timing.compute_bound);
+        assert!((batch.timing.seconds - serial.timing.seconds).abs() < 1e-12);
     }
 }

@@ -162,6 +162,15 @@ impl DramInterface {
     pub fn stats(&self) -> DramStats {
         self.stats
     }
+
+    /// Closes every prefetch window and zeroes the traffic counters,
+    /// returning the interface to its just-constructed state over the
+    /// same shard (used when a processing unit is recycled between
+    /// queries of a batch).
+    pub fn reset(&mut self) {
+        self.windows.clear();
+        self.stats = DramStats::default();
+    }
 }
 
 #[cfg(test)]

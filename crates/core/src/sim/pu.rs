@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use crate::isa::inst::{Instruction, PqField};
 use crate::isa::reg::{NUM_SCALAR_REGS, NUM_VECTOR_REGS};
-use crate::isa::{DRAM_BASE, VECTOR_LENGTHS};
+use crate::isa::{DRAM_BASE, PQUEUE_DEPTH, VECTOR_LENGTHS};
 use crate::sim::memif::{DramError, DramInterface, DramStats};
 use crate::sim::pqueue::HardwarePriorityQueue;
 use crate::sim::scratchpad::{Scratchpad, SpadError};
@@ -139,7 +139,9 @@ impl RunStats {
 #[derive(Debug, Clone)]
 pub struct ProcessingUnit {
     vl: usize,
-    program: Vec<Instruction>,
+    /// Instruction memory. Shared (`Arc`) so a batch engine can point many
+    /// vault workers at one kernel image without cloning it per query.
+    program: Arc<Vec<Instruction>>,
     pc: u32,
     halted: bool,
     sregs: [i32; NUM_SCALAR_REGS],
@@ -174,7 +176,7 @@ impl ProcessingUnit {
         );
         Self {
             vl,
-            program: Vec::new(),
+            program: Arc::new(Vec::new()),
             pc: 0,
             halted: false,
             sregs: [0; NUM_SCALAR_REGS],
@@ -231,10 +233,47 @@ impl ProcessingUnit {
     }
 
     /// Loads a program into instruction memory and resets the PC.
-    pub fn load_program(&mut self, program: Vec<Instruction>) {
-        self.program = program;
+    ///
+    /// Accepts either an owned `Vec<Instruction>` or a shared
+    /// `Arc<Vec<Instruction>>`; the batched device engine passes the same
+    /// `Arc` to every vault worker so no per-query program copy is made.
+    pub fn load_program(&mut self, program: impl Into<Arc<Vec<Instruction>>>) {
+        self.program = program.into();
         self.pc = 0;
         self.halted = false;
+    }
+
+    /// Resets all architectural and accounting state for a fresh kernel
+    /// run while keeping the expensive long-lived structures: the loaded
+    /// program (`Arc`), the DRAM shard mapping, the scratchpad *contents*
+    /// (the driver rewrites the regions the next kernel reads), the
+    /// priority-queue chain depth, and the latency/trap/trace
+    /// configuration.
+    ///
+    /// After `reset_state()` the PU is architecturally indistinguishable
+    /// from a freshly constructed one with the same program loaded: the
+    /// registers are zeroed, the queue and stack are empty, the stream
+    /// buffer holds no prefetch windows, and every statistic starts from
+    /// zero — which is what makes batched execution bit-identical to a
+    /// serial loop of one-shot PUs.
+    pub fn reset_state(&mut self) {
+        self.pc = 0;
+        self.halted = false;
+        self.sregs = [0; NUM_SCALAR_REGS];
+        for v in &mut self.vregs {
+            v.fill(0);
+        }
+        let chain = self.pqueue.capacity() / PQUEUE_DEPTH;
+        self.pqueue = HardwarePriorityQueue::chained(chain.max(1));
+        self.stack = HardwareStack::new();
+        self.spad.reset_activity();
+        self.dram.reset();
+        self.stats = RunStats::default();
+        if let Some(trace) = &mut self.trace {
+            trace.clear();
+        }
+        self.sreg_written = 1;
+        self.vreg_written = 0;
     }
 
     /// Writes a scalar register (driver-side initialization).

@@ -123,6 +123,14 @@ impl Scratchpad {
     pub fn write_count(&self) -> u64 {
         self.writes
     }
+
+    /// Zeroes the activity counters without touching the contents
+    /// (between batched queries the driver overwrites the regions the
+    /// next kernel reads, so the words themselves need no clearing).
+    pub fn reset_activity(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
 }
 
 impl Default for Scratchpad {

@@ -50,6 +50,14 @@ impl TraceBuffer {
         }
     }
 
+    /// Empties the ring (capacity unchanged), e.g. when a PU is recycled
+    /// for the next query of a batch.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.head = 0;
+        self.pushed = 0;
+    }
+
     /// Appends a record, evicting the oldest when full.
     pub fn push(&mut self, record: TraceRecord) {
         if self.records.len() < self.cap {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch-3d7629d73a2a88f3.d: crates/bench/benches/batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch-3d7629d73a2a88f3.rmeta: crates/bench/benches/batch.rs Cargo.toml
+
+crates/bench/benches/batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_equivalence-098055d0c36be76e.d: tests/batch_equivalence.rs
+
+/root/repo/target/debug/deps/batch_equivalence-098055d0c36be76e: tests/batch_equivalence.rs
+
+tests/batch_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_equivalence-18801b589e9a1688.d: tests/batch_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_equivalence-18801b589e9a1688.rmeta: tests/batch_equivalence.rs Cargo.toml
+
+tests/batch_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bandwidth-576f64c8db1f9f98.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/release/deps/ablation_bandwidth-576f64c8db1f9f98: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_batching-265e0f2dd2c509a6.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/release/deps/ablation_batching-265e0f2dd2c509a6: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

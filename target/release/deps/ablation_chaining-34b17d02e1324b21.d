@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_chaining-34b17d02e1324b21.d: crates/bench/src/bin/ablation_chaining.rs
+
+/root/repo/target/release/deps/ablation_chaining-34b17d02e1324b21: crates/bench/src/bin/ablation_chaining.rs
+
+crates/bench/src/bin/ablation_chaining.rs:

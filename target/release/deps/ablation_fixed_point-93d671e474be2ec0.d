@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fixed_point-93d671e474be2ec0.d: crates/bench/src/bin/ablation_fixed_point.rs
+
+/root/repo/target/release/deps/ablation_fixed_point-93d671e474be2ec0: crates/bench/src/bin/ablation_fixed_point.rs
+
+crates/bench/src/bin/ablation_fixed_point.rs:

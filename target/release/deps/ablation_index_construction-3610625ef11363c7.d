@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_index_construction-3610625ef11363c7.d: crates/bench/src/bin/ablation_index_construction.rs
+
+/root/repo/target/release/deps/ablation_index_construction-3610625ef11363c7: crates/bench/src/bin/ablation_index_construction.rs
+
+crates/bench/src/bin/ablation_index_construction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_module_scaling-08387af7bdf5c12c.d: crates/bench/src/bin/ablation_module_scaling.rs
+
+/root/repo/target/release/deps/ablation_module_scaling-08387af7bdf5c12c: crates/bench/src/bin/ablation_module_scaling.rs
+
+crates/bench/src/bin/ablation_module_scaling.rs:

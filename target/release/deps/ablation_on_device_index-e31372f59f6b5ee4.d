@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_on_device_index-e31372f59f6b5ee4.d: crates/bench/src/bin/ablation_on_device_index.rs
+
+/root/repo/target/release/deps/ablation_on_device_index-e31372f59f6b5ee4: crates/bench/src/bin/ablation_on_device_index.rs
+
+crates/bench/src/bin/ablation_on_device_index.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_priority_queue-a0fedac82cc52177.d: crates/bench/src/bin/ablation_priority_queue.rs
+
+/root/repo/target/release/deps/ablation_priority_queue-a0fedac82cc52177: crates/bench/src/bin/ablation_priority_queue.rs
+
+crates/bench/src/bin/ablation_priority_queue.rs:

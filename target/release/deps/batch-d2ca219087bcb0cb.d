@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch-d2ca219087bcb0cb.d: crates/bench/benches/batch.rs
+
+/root/repo/target/release/deps/batch-d2ca219087bcb0cb: crates/bench/benches/batch.rs
+
+crates/bench/benches/batch.rs:

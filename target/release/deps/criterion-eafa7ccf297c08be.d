@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-eafa7ccf297c08be.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-eafa7ccf297c08be.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-eafa7ccf297c08be.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

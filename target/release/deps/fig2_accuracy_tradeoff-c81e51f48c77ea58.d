@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_accuracy_tradeoff-c81e51f48c77ea58.d: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+/root/repo/target/release/deps/fig2_accuracy_tradeoff-c81e51f48c77ea58: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+crates/bench/src/bin/fig2_accuracy_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_linear_comparison-c973626bc992da7e.d: crates/bench/src/bin/fig6_linear_comparison.rs
+
+/root/repo/target/release/deps/fig6_linear_comparison-c973626bc992da7e: crates/bench/src/bin/fig6_linear_comparison.rs
+
+crates/bench/src/bin/fig6_linear_comparison.rs:

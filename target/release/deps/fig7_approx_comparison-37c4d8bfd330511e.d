@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_approx_comparison-37c4d8bfd330511e.d: crates/bench/src/bin/fig7_approx_comparison.rs
+
+/root/repo/target/release/deps/fig7_approx_comparison-37c4d8bfd330511e: crates/bench/src/bin/fig7_approx_comparison.rs
+
+crates/bench/src/bin/fig7_approx_comparison.rs:

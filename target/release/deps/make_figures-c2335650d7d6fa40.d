@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/make_figures-c2335650d7d6fa40.d: crates/bench/src/bin/make_figures.rs
+
+/root/repo/target/release/deps/make_figures-c2335650d7d6fa40: crates/bench/src/bin/make_figures.rs
+
+crates/bench/src/bin/make_figures.rs:

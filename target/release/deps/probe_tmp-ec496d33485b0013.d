@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_tmp-ec496d33485b0013.d: crates/bench/src/bin/probe_tmp.rs
+
+/root/repo/target/release/deps/probe_tmp-ec496d33485b0013: crates/bench/src/bin/probe_tmp.rs
+
+crates/bench/src/bin/probe_tmp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-cfabf5570673d34c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cfabf5570673d34c.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cfabf5570673d34c.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-616b79a9a1bd8efb.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-616b79a9a1bd8efb: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

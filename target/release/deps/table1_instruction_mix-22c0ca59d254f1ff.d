@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_instruction_mix-22c0ca59d254f1ff.d: crates/bench/src/bin/table1_instruction_mix.rs
+
+/root/repo/target/release/deps/table1_instruction_mix-22c0ca59d254f1ff: crates/bench/src/bin/table1_instruction_mix.rs
+
+crates/bench/src/bin/table1_instruction_mix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_power-f35a7721d6fc2304.d: crates/bench/src/bin/table3_power.rs
+
+/root/repo/target/release/deps/table3_power-f35a7721d6fc2304: crates/bench/src/bin/table3_power.rs
+
+crates/bench/src/bin/table3_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_area-f9fd709d30b2349a.d: crates/bench/src/bin/table4_area.rs
+
+/root/repo/target/release/deps/table4_area-f9fd709d30b2349a: crates/bench/src/bin/table4_area.rs
+
+crates/bench/src/bin/table4_area.rs:

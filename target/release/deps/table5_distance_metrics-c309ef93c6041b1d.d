@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_distance_metrics-c309ef93c6041b1d.d: crates/bench/src/bin/table5_distance_metrics.rs
+
+/root/repo/target/release/deps/table5_distance_metrics-c309ef93c6041b1d: crates/bench/src/bin/table5_distance_metrics.rs
+
+crates/bench/src/bin/table5_distance_metrics.rs:

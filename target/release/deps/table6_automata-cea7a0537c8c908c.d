@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_automata-cea7a0537c8c908c.d: crates/bench/src/bin/table6_automata.rs
+
+/root/repo/target/release/deps/table6_automata-cea7a0537c8c908c: crates/bench/src/bin/table6_automata.rs
+
+crates/bench/src/bin/table6_automata.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_tco-08a48bb54edc4e0e.d: crates/bench/src/bin/table_tco.rs
+
+/root/repo/target/release/deps/table_tco-08a48bb54edc4e0e: crates/bench/src/bin/table_tco.rs
+
+crates/bench/src/bin/table_tco.rs:

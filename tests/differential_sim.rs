@@ -369,3 +369,48 @@ proptest! {
         }
     }
 }
+
+/// Unit-consistency: the device engine reports distances in the same
+/// float units as the CPU reference (`Fix32::to_f32` on the raw Q16.16
+/// queue words, not a raw integer cast — the raw cast was 65536× off).
+#[test]
+fn device_distances_agree_with_cpu_reference_units() {
+    use ssam::core::device::{DeviceQuery, SsamConfig, SsamDevice};
+    use ssam::knn::linear::knn_exact;
+    use ssam::knn::{Metric, VectorStore};
+
+    let dims = 12usize;
+    let mut store = VectorStore::with_capacity(dims, 150);
+    for i in 0..150 {
+        let v: Vec<f32> = (0..dims)
+            .map(|j| ((i * 29 + j * 11) as f32 * 0.09).sin())
+            .collect();
+        store.push(&v);
+    }
+    let q: Vec<f32> = (0..dims).map(|j| (j as f32 * 0.23).cos()).collect();
+
+    for use_hw_queue in [true, false] {
+        let mut dev = SsamDevice::new(SsamConfig {
+            use_hw_queue,
+            ..SsamConfig::default()
+        });
+        dev.load_vectors(&store);
+        for (query, metric) in [
+            (DeviceQuery::Euclidean(&q), Metric::Euclidean),
+            (DeviceQuery::Manhattan(&q), Metric::Manhattan),
+        ] {
+            let r = dev.query(&query, 6).expect("device runs");
+            let reference = knn_exact(&store, &q, 6, metric);
+            assert_eq!(r.neighbors.len(), reference.len());
+            for (got, want) in r.neighbors.iter().zip(&reference) {
+                assert!(
+                    (got.dist - want.dist).abs() < 1e-2,
+                    "{metric:?} hw_queue={use_hw_queue}: device {} vs reference {} (id {})",
+                    got.dist,
+                    want.dist,
+                    want.id
+                );
+            }
+        }
+    }
+}
