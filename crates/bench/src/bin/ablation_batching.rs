@@ -98,6 +98,7 @@ fn main() {
         scale: (cfg.scale * 0.2).min(0.002),
         queries: cfg.queries,
         csv: cfg.csv,
+        telemetry: None,
     }
     .benchmark(PaperDataset::GloVe);
     let k = glove.k();

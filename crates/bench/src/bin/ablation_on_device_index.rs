@@ -12,14 +12,17 @@
 
 use std::sync::Arc;
 
-use ssam_bench::{fmt, print_table, ExpConfig};
+use ssam_bench::{emit_telemetry, fmt, print_table, ExpConfig};
+use ssam_core::device::SsamConfig;
+use ssam_core::energy::{effective_power, Activity};
 use ssam_core::isa::DRAM_BASE;
 use ssam_core::kernels::kmeans_traversal::{build_kmeans_tree_image, kmeans_euclidean};
 use ssam_core::kernels::lsh_traversal::{build_lsh_image, lsh_euclidean};
 use ssam_core::kernels::traversal::{
     build_tree_image, image_id_order, kdtree_euclidean, TREE_ADDR,
 };
-use ssam_core::sim::pu::ProcessingUnit;
+use ssam_core::sim::pu::{ProcessingUnit, RunStats};
+use ssam_core::telemetry::{self, Phases, QueryRecord, RecordKind, Telemetry, VaultAccount};
 use ssam_datasets::PaperDataset;
 use ssam_knn::fixed::Fix32;
 use ssam_knn::recall::recall_ids;
@@ -60,7 +63,7 @@ fn main() {
                budget: i32,
                root: Option<u32>,
                buckets: Option<usize>|
-     -> (Vec<u32>, u64, u64) {
+     -> (Vec<u32>, RunStats) {
         let mut pu = ProcessingUnit::new(VL, Arc::clone(dram));
         pu.chain_pqueue(k.div_ceil(16));
         pu.load_program(kernel.program.clone());
@@ -86,19 +89,21 @@ fn main() {
             .take(k)
             .map(|e| order[e.id as usize])
             .collect();
-        (ids, stats.cycles, stats.dram.bytes_read)
+        (ids, stats)
     };
 
     let kd_dram = Arc::new(kd_img.dram_words.clone());
     let km_dram = Arc::new(km_img.dram_words.clone());
     let lsh_dram = Arc::new(lsh_img.dram_words.clone());
     let nq = bench.queries.len().min(20);
+    let sink = Telemetry::default();
+    let dev_cfg = SsamConfig::default();
     let mut rows = Vec::new();
     for budget in [1i32, 2, 4, 8, 16, 1_000_000] {
-        let mut agg = [(0.0f64, 0u64, 0u64); 3];
+        let mut agg = [(0.0f64, RunStats::default()); 3];
         for (qi, q, gt) in bench.iter_queries().take(nq) {
             let _ = qi;
-            let (ids, cyc, bytes) = run(
+            let (ids, stats) = run(
                 &kd_dram,
                 &kd_img.spad_words,
                 &kd_kernel,
@@ -109,9 +114,8 @@ fn main() {
                 None,
             );
             agg[0].0 += recall_ids(gt, &ids);
-            agg[0].1 += cyc;
-            agg[0].2 += bytes;
-            let (ids, cyc, bytes) = run(
+            agg[0].1.accumulate(&stats);
+            let (ids, stats) = run(
                 &km_dram,
                 &km_img.spad_words,
                 &km_kernel,
@@ -122,9 +126,8 @@ fn main() {
                 None,
             );
             agg[1].0 += recall_ids(gt, &ids);
-            agg[1].1 += cyc;
-            agg[1].2 += bytes;
-            let (ids, cyc, bytes) = run(
+            agg[1].1.accumulate(&stats);
+            let (ids, stats) = run(
                 &lsh_dram,
                 &lsh_img.spad_words,
                 &lsh_kernel,
@@ -135,20 +138,59 @@ fn main() {
                 Some(lsh_img.buckets),
             );
             agg[2].0 += recall_ids(gt, &ids);
-            agg[2].1 += cyc;
-            agg[2].2 += bytes;
+            agg[2].1.accumulate(&stats);
         }
         for (i, name) in ["kd-tree", "k-means", "LSH"].iter().enumerate() {
+            let label = if budget >= 1_000_000 {
+                "all".to_string()
+            } else {
+                budget.to_string()
+            };
+            let summed = &agg[i].1;
+            if cfg.telemetry.is_some() {
+                // One checked record per (budget, kernel): a single-PU
+                // "device" with its nq runs pipelined, no link or merge
+                // phase (the results never leave the module).
+                let mut account = VaultAccount::from_stats(
+                    0,
+                    summed,
+                    dev_cfg.hmc.vault_bandwidth,
+                    dev_cfg.freq_hz,
+                    1,
+                );
+                let seconds = account.critical_seconds();
+                let act = Activity::from_stats(summed);
+                account.energy_mj = effective_power(VL, &act) * seconds;
+                let compute_bound = telemetry::critical_path(std::slice::from_ref(&account))
+                    .map(|(_, _, cb)| cb)
+                    .unwrap_or(false);
+                sink.record(QueryRecord {
+                    seq: 0,
+                    kind: RecordKind::Indexed,
+                    label: format!("{name}@{label}"),
+                    batch: nq,
+                    k,
+                    pus_per_vault: 1,
+                    phases: Phases {
+                        stage_seconds: 0.0,
+                        simulate_seconds: seconds,
+                        link_seconds: 0.0,
+                        merge_seconds: 0.0,
+                    },
+                    seconds,
+                    compute_bound,
+                    total_cycles: account.cycles,
+                    total_bytes: account.bytes,
+                    energy_mj: account.energy_mj,
+                    vaults: vec![account],
+                });
+            }
             rows.push(vec![
-                if budget >= 1_000_000 {
-                    "all".into()
-                } else {
-                    budget.to_string()
-                },
+                label,
                 (*name).into(),
                 format!("{:.3}", agg[i].0 / nq as f64),
-                fmt(agg[i].1 as f64 / nq as f64),
-                fmt(agg[i].2 as f64 / nq as f64),
+                fmt(agg[i].1.cycles as f64 / nq as f64),
+                fmt(agg[i].1.dram.bytes_read as f64 / nq as f64),
             ]);
         }
     }
@@ -175,4 +217,5 @@ fn main() {
          memory. (LSH recall saturates at its probe ceiling; tree budgets\n\
          reach exactness.)"
     );
+    emit_telemetry(&cfg, &sink);
 }

@@ -12,13 +12,15 @@
 
 use ssam_baselines::normalize::{area_normalized_throughput, energy_efficiency};
 use ssam_baselines::{CpuPlatform, FpgaPlatform, GpuPlatform, ScanWorkload};
-use ssam_bench::{fmt, print_table, ssam_linear_estimate, ssam_with, ExpConfig};
+use ssam_bench::{emit_telemetry, fmt, print_table, ssam_linear_estimate, ssam_with, ExpConfig};
 use ssam_core::area::module_area;
 use ssam_core::isa::VECTOR_LENGTHS;
+use ssam_core::telemetry::Telemetry;
 use ssam_datasets::PaperDataset;
 
 fn main() {
     let cfg = ExpConfig::from_args(0.002);
+    let sink = Telemetry::default();
     let mut rows = Vec::new();
 
     for dataset in PaperDataset::ALL {
@@ -73,6 +75,9 @@ fn main() {
         }
         for &vl in &VECTOR_LENGTHS {
             let mut dev = ssam_with(&bench.train, vl);
+            if cfg.telemetry.is_some() {
+                dev.attach_telemetry(&sink);
+            }
             let (qps, mj_per_q) = ssam_linear_estimate(&mut dev, &bench, 2);
             let area = module_area(vl).total();
             // queries/J directly from simulated per-query energy.
@@ -112,4 +117,5 @@ fn main() {
          (up to ~2 orders of magnitude over the CPU) and energy efficiency;\n\
          GPU and FPGA land between CPU and SSAM."
     );
+    emit_telemetry(&cfg, &sink);
 }

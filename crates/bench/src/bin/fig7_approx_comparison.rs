@@ -15,8 +15,9 @@
 use ssam_baselines::normalize::area_normalized_throughput;
 use ssam_baselines::parallel::{batch_recall, batch_search_single_thread};
 use ssam_baselines::CpuPlatform;
-use ssam_bench::{fmt, print_table, ssam_scan_cost, ExpConfig};
+use ssam_bench::{emit_telemetry, fmt, print_table, ssam_scan_cost, ExpConfig};
 use ssam_core::area::module_area;
+use ssam_core::telemetry::{Phases, QueryRecord, RecordKind, Telemetry, VaultAccount};
 use ssam_datasets::PaperDataset;
 use ssam_hmc::HmcConfig;
 use ssam_knn::index::{SearchBudget, SearchIndex};
@@ -35,6 +36,7 @@ fn main() {
     let ssam_area = module_area(VL).total();
     let freq = 1.0e9;
     let pus_per_vault = 4.0;
+    let sink = Telemetry::default();
     let mut rows = Vec::new();
 
     for dataset in PaperDataset::ALL {
@@ -120,6 +122,49 @@ fn main() {
                 let ssam_t = mem_t.max(comp_t) + trav_t + 2e-7;
                 let ssam_norm = area_normalized_throughput(1.0 / ssam_t, ssam_area);
 
+                if cfg.telemetry.is_some() {
+                    // No full simulation behind this row, so the record
+                    // is a single aggregate account over the engaged
+                    // vaults; the scalar traversal rides in the merge
+                    // span, the fixed dispatch allowance in the link
+                    // span. It still passes every `verify_record` check.
+                    let cycles = (cand * cost.cycles_per_vector).round() as u64;
+                    let bytes = bytes.round() as u64;
+                    let compute_bound = comp_t > mem_t;
+                    sink.record(QueryRecord {
+                        seq: 0,
+                        kind: RecordKind::Modeled,
+                        label: format!("{}/{name}@{budget}", dataset.name()),
+                        batch: 1,
+                        k,
+                        pus_per_vault: pus_per_vault as usize,
+                        vaults: vec![VaultAccount {
+                            vault: 0,
+                            cycles,
+                            bytes,
+                            instructions: 0,
+                            pqueue_ops: 0,
+                            stack_ops: 0,
+                            scratchpad_accesses: 0,
+                            mem_seconds: mem_t,
+                            comp_seconds: comp_t,
+                            compute_bound,
+                            energy_mj: 0.0,
+                        }],
+                        phases: Phases {
+                            stage_seconds: 0.0,
+                            simulate_seconds: mem_t.max(comp_t),
+                            link_seconds: 2e-7,
+                            merge_seconds: trav_t,
+                        },
+                        seconds: ssam_t,
+                        compute_bound,
+                        total_cycles: cycles,
+                        total_bytes: bytes,
+                        energy_mj: 0.0,
+                    });
+                }
+
                 rows.push(vec![
                     dataset.name().into(),
                     name.into(),
@@ -153,4 +198,5 @@ fn main() {
          k-means stay distance-calculation-dominated, MPLSH is hash-bound at\n\
          small budgets."
     );
+    emit_telemetry(&cfg, &sink);
 }

@@ -5,11 +5,14 @@
 //! primitives. Every binary accepts:
 //!
 //! ```text
-//! --scale <f64>    dataset scale factor in (0,1]; default varies per
-//!                  experiment (cycle-accurate ones default smaller)
-//! --full           shorthand for --scale 1.0 (paper cardinalities)
-//! --queries <n>    cap the query batch
-//! --csv            machine-readable CSV instead of aligned tables
+//! --scale <f64>      dataset scale factor in (0,1]; default varies per
+//!                    experiment (cycle-accurate ones default smaller)
+//! --full             shorthand for --scale 1.0 (paper cardinalities)
+//! --queries <n>      cap the query batch
+//! --csv              machine-readable CSV instead of aligned tables
+//! --telemetry <path> write the query-scoped telemetry JSONL there and
+//!                    print a record summary (supported by the device
+//!                    simulation binaries)
 //! ```
 //!
 //! Trends (who wins, crossovers, relative factors) are stable across
@@ -38,6 +41,8 @@ pub struct ExpConfig {
     pub queries: Option<usize>,
     /// Emit CSV.
     pub csv: bool,
+    /// Optional path for the telemetry JSONL export.
+    pub telemetry: Option<String>,
 }
 
 impl ExpConfig {
@@ -51,6 +56,7 @@ impl ExpConfig {
             scale: default_scale,
             queries: None,
             csv: false,
+            telemetry: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -73,8 +79,19 @@ impl ExpConfig {
                     );
                 }
                 "--csv" => cfg.csv = true,
+                "--telemetry" => {
+                    i += 1;
+                    cfg.telemetry = Some(
+                        args.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| panic!("--telemetry needs an output path")),
+                    );
+                }
                 other => {
-                    panic!("unknown argument `{other}` (expected --scale/--full/--queries/--csv)")
+                    panic!(
+                        "unknown argument `{other}` (expected \
+                         --scale/--full/--queries/--csv/--telemetry)"
+                    )
                 }
             }
             i += 1;
@@ -103,6 +120,30 @@ impl ExpConfig {
         }
         b
     }
+}
+
+/// Finishes a telemetry run: writes the JSONL export to the path given
+/// via `--telemetry` (no-op when absent), prints the per-record summary
+/// table, and surfaces any accounting-invariant violations the sink
+/// retained (debug builds panic at collection time instead).
+///
+/// # Panics
+/// Panics if the JSONL file cannot be written or a violation was
+/// retained — a bench run with inconsistent accounts must not pass
+/// silently.
+pub fn emit_telemetry(cfg: &ExpConfig, sink: &ssam_core::telemetry::Telemetry) {
+    use ssam_core::telemetry::Telemetry;
+    let Some(path) = &cfg.telemetry else { return };
+    sink.write_jsonl(std::path::Path::new(path))
+        .unwrap_or_else(|e| panic!("cannot write telemetry JSONL to {path}: {e}"));
+    println!();
+    println!("telemetry: {} records -> {path}", sink.len());
+    print_table(cfg.csv, Telemetry::summary_headers(), &sink.summary_rows());
+    let violations = sink.violations();
+    assert!(
+        violations.is_empty(),
+        "telemetry accounting violations: {violations:#?}"
+    );
 }
 
 /// Prints a row-aligned table (or CSV when `csv` is set).
@@ -245,6 +286,7 @@ mod tests {
             scale: 0.0005,
             queries: Some(2),
             csv: false,
+            telemetry: None,
         };
         let b = cfg.benchmark(PaperDataset::GloVe);
         let mut dev = ssam_with(&b.train, 4);
@@ -259,6 +301,7 @@ mod tests {
             scale: 0.0005,
             queries: Some(3),
             csv: false,
+            telemetry: None,
         };
         let b = cfg.benchmark(PaperDataset::GloVe);
         assert_eq!(b.queries.len(), 3);

@@ -22,6 +22,7 @@ use ssam_knn::topk::{Neighbor, TopK};
 use ssam_knn::VectorStore;
 
 use crate::sim::pu::SimError;
+use crate::telemetry::{self, Phases, QueryRecord, RecordKind, Telemetry, VaultAccount};
 
 use super::{DeviceQuery, QueryTiming, SsamConfig, SsamDevice};
 
@@ -33,6 +34,7 @@ pub struct SsamCluster {
     first_ids: Vec<u32>,
     vectors: usize,
     config: SsamConfig,
+    telemetry: Option<Telemetry>,
 }
 
 /// Timing for one cluster query.
@@ -79,7 +81,22 @@ impl SsamCluster {
             first_ids,
             vectors: store.len(),
             config,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink; every subsequent query records a
+    /// checked [`RecordKind::Cluster`] account (one [`VaultAccount`] per
+    /// *module* — the cluster treats each module the way a module treats
+    /// a vault). The member modules are not attached; attach them
+    /// individually for per-vault depth.
+    pub fn attach_telemetry(&mut self, sink: &Telemetry) {
+        self.telemetry = Some(sink.clone());
+    }
+
+    /// Stops recording telemetry.
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
     }
 
     /// Number of modules in the chain.
@@ -157,13 +174,15 @@ impl SsamCluster {
             }
 
             // Link fabric: the query travels down the chain (depth hops),
-            // the per-module k-tuple results travel back up.
+            // the per-module k-tuple results travel back up; the host
+            // then merges modules × k tuples.
             let query_bytes = (query.len() * 4) as u64;
             let broadcast_seconds =
                 depth as f64 * ssam_hmc::packet::bulk_wire_bytes(query_bytes) as f64 / link_bw;
-            let collect_seconds =
-                depth as f64 * ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / link_bw
-                    + (self.modules.len() * k) as f64 * 1e-9;
+            let collect_wire_seconds =
+                depth as f64 * ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / link_bw;
+            let merge_seconds = (self.modules.len() * k) as f64 * 1e-9;
+            let collect_seconds = collect_wire_seconds + merge_seconds;
 
             let timing = ClusterTiming {
                 seconds: broadcast_seconds + module_seconds + collect_seconds,
@@ -172,9 +191,73 @@ impl SsamCluster {
                 collect_seconds,
                 energy_mj,
             };
+
+            if let Some(sink) = &self.telemetry {
+                let link_seconds = broadcast_seconds + collect_wire_seconds;
+                sink.record(self.cluster_record(qi, k, &module_results, &timing, link_seconds));
+            }
             out.push((top.into_sorted(), timing));
         }
         Ok(out)
+    }
+
+    /// Builds the checked telemetry record for query `qi`: one
+    /// [`VaultAccount`] per *module*, with each module's end-to-end time
+    /// standing in for the roofline term its own classification came
+    /// from (so [`telemetry::critical_path`] over the accounts reproduces
+    /// both the slowest-module span and its memory-vs-compute verdict).
+    fn cluster_record(
+        &self,
+        qi: usize,
+        k: usize,
+        module_results: &[Vec<(Vec<Neighbor>, QueryTiming)>],
+        timing: &ClusterTiming,
+        link_seconds: f64,
+    ) -> QueryRecord {
+        let mut accounts = Vec::with_capacity(module_results.len());
+        let mut total_cycles = 0u64;
+        let mut total_bytes = 0u64;
+        let mut pus_per_vault = 1usize;
+        for (mi, per_query) in module_results.iter().enumerate() {
+            let t = &per_query[qi].1;
+            accounts.push(VaultAccount {
+                vault: mi,
+                cycles: t.total_cycles,
+                bytes: t.total_bytes,
+                instructions: 0,
+                pqueue_ops: 0,
+                stack_ops: 0,
+                scratchpad_accesses: 0,
+                mem_seconds: if t.compute_bound { 0.0 } else { t.seconds },
+                comp_seconds: if t.compute_bound { t.seconds } else { 0.0 },
+                compute_bound: t.compute_bound,
+                energy_mj: t.energy_mj,
+            });
+            total_cycles += t.total_cycles;
+            total_bytes += t.total_bytes;
+            pus_per_vault = pus_per_vault.max(t.pus_per_vault);
+        }
+        let (_, _, compute_bound) = telemetry::critical_path(&accounts).unwrap_or((0, 0.0, false));
+        QueryRecord {
+            seq: 0,
+            kind: RecordKind::Cluster,
+            label: format!("cluster[{}]", self.modules.len()),
+            batch: 1,
+            k,
+            pus_per_vault,
+            vaults: accounts,
+            phases: Phases {
+                stage_seconds: 0.0,
+                simulate_seconds: timing.module_seconds,
+                link_seconds,
+                merge_seconds: (self.modules.len() * k) as f64 * 1e-9,
+            },
+            seconds: timing.seconds,
+            compute_bound,
+            total_cycles,
+            total_bytes,
+            energy_mj: timing.energy_mj,
+        }
     }
 }
 
@@ -288,6 +371,99 @@ mod tests {
             let (sn, st) = cluster.query(q, 5).expect("serial runs");
             assert_eq!(&sn, neighbors);
             assert_eq!(&st, timing);
+        }
+    }
+
+    /// Vectors on a line: vector `i` is `[0.1·i, 0, …]`, so nearest
+    /// neighbors of a point are the ids around it and module boundaries
+    /// fall at known ids.
+    fn line_store(n: usize, dims: usize) -> VectorStore {
+        let mut s = VectorStore::with_capacity(dims, n);
+        for i in 0..n {
+            let mut v = vec![0.0f32; dims];
+            v[0] = i as f32 * 0.1;
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn topk_straddling_a_module_boundary_remaps_global_ids() {
+        let store = line_store(100, 4);
+        let mut cluster = SsamCluster::build(SsamConfig::default(), 2, &store);
+        // The module boundary is at id 50; a query at 4.96 pulls its
+        // top-6 from both sides, so every id from module 1 must come back
+        // offset by its base (a module-local id would collide with
+        // module 0's range).
+        let q = [4.96f32, 0.0, 0.0, 0.0];
+        let (ns, _) = cluster.query(&q, 6).expect("runs");
+        let got: Vec<u32> = ns.iter().map(|n| n.id).collect();
+        let expect: Vec<u32> = knn_exact(&store, &q, 6, Metric::Euclidean)
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(got, expect);
+        assert!(
+            got.iter().any(|&id| id < 50) && got.iter().any(|&id| id >= 50),
+            "top-k must straddle the boundary: {got:?}"
+        );
+        let unique: std::collections::HashSet<u32> = got.iter().copied().collect();
+        assert_eq!(unique.len(), got.len(), "global ids must not collide");
+    }
+
+    #[test]
+    fn batched_boundary_queries_remap_global_ids() {
+        let store = line_store(100, 4);
+        let mut cluster = SsamCluster::build(SsamConfig::default(), 4, &store);
+        // Boundaries at ids 25, 50, 75 — one query lands on each.
+        let centers = [(2.46f32, 25u32), (4.96, 50), (7.46, 75)];
+        let qs: Vec<Vec<f32>> = centers
+            .iter()
+            .map(|&(x, _)| vec![x, 0.0, 0.0, 0.0])
+            .collect();
+        let refs: Vec<&[f32]> = qs.iter().map(Vec::as_slice).collect();
+        let batch = cluster.query_batch(&refs, 4).expect("runs");
+        assert_eq!(batch.len(), 3);
+        for ((q, &(_, boundary)), (ns, _)) in refs.iter().zip(&centers).zip(&batch) {
+            let got: Vec<u32> = ns.iter().map(|n| n.id).collect();
+            let expect: Vec<u32> = knn_exact(&store, q, 4, Metric::Euclidean)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            assert_eq!(got, expect, "boundary {boundary}");
+            assert!(
+                got.iter().any(|&id| id < boundary) && got.iter().any(|&id| id >= boundary),
+                "top-k must straddle boundary {boundary}: {got:?}"
+            );
+            let unique: std::collections::HashSet<u32> = got.iter().copied().collect();
+            assert_eq!(unique.len(), got.len(), "global ids must not collide");
+        }
+    }
+
+    #[test]
+    fn telemetry_records_checked_cluster_accounts() {
+        let store = random_store(400, 6, 9);
+        let mut cluster = SsamCluster::build(SsamConfig::default(), 3, &store);
+        let sink = Telemetry::default();
+        cluster.attach_telemetry(&sink);
+        let qs: Vec<Vec<f32>> = (0..2)
+            .map(|i| (0..6).map(|j| ((i + 3 * j) as f32 * 0.3).sin()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = qs.iter().map(Vec::as_slice).collect();
+        let batch = cluster.query_batch(&refs, 5).expect("runs");
+        assert_eq!(sink.len(), 2);
+        assert!(
+            sink.violations().is_empty(),
+            "cluster accounts must self-check clean: {:?}",
+            sink.violations()
+        );
+        for (r, (_, t)) in sink.records().iter().zip(&batch) {
+            assert_eq!(r.kind, RecordKind::Cluster);
+            assert_eq!(r.vaults.len(), 3, "one account per module");
+            assert_eq!(r.seconds, t.seconds);
+            assert_eq!(r.energy_mj, t.energy_mj);
+            assert_eq!(r.phases.simulate_seconds, t.module_seconds);
+            telemetry::verify_record(r).expect("record passes verification");
         }
     }
 

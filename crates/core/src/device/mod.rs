@@ -35,6 +35,7 @@ use crate::isa::inst::Instruction;
 use crate::isa::{DRAM_BASE, PQUEUE_DEPTH};
 use crate::kernels::{linear, Kernel};
 use crate::sim::pu::{ProcessingUnit, RunStats, SimError};
+use crate::telemetry::{self, Phases, QueryRecord, RecordKind, Telemetry, VaultAccount};
 
 /// Device configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,6 +187,7 @@ pub struct SsamDevice {
     vec_words: usize,
     vectors: usize,
     kernel_cache: HashMap<(DeviceMetric, usize), Arc<Kernel>>,
+    telemetry: Option<Telemetry>,
 }
 
 impl SsamDevice {
@@ -206,12 +208,26 @@ impl SsamDevice {
             vec_words: 0,
             vectors: 0,
             kernel_cache: HashMap::new(),
+            telemetry: None,
         }
     }
 
     /// Device configuration.
     pub fn config(&self) -> &SsamConfig {
         &self.config
+    }
+
+    /// Attaches a telemetry sink: every subsequent
+    /// [`SsamDevice::query_batch`] emits one verified [`QueryRecord`] per
+    /// query plus one batch-level record into it. The sink is
+    /// `Arc`-shared, so one handle may observe many devices.
+    pub fn attach_telemetry(&mut self, sink: &Telemetry) {
+        self.telemetry = Some(sink.clone());
+    }
+
+    /// Detaches the telemetry sink, if any.
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
     }
 
     /// Number of vectors loaded.
@@ -418,6 +434,7 @@ impl SsamDevice {
 
         // Stage every query up front; distinct kernels share one
         // instruction image across the whole batch.
+        let stage_start = std::time::Instant::now();
         let mut programs: HashMap<String, Arc<Vec<Instruction>>> = HashMap::new();
         let staged: Vec<StagedQuery> = queries
             .iter()
@@ -437,6 +454,7 @@ impl SsamDevice {
                 }
             })
             .collect();
+        let stage_seconds = stage_start.elapsed().as_secs_f64();
 
         let vl = self.config.vector_length;
         let use_hw = self.config.use_hw_queue;
@@ -553,7 +571,8 @@ impl SsamDevice {
         // timing, then the batch-level pipelined account.
         let mut results = Vec::with_capacity(batch);
         let mut per_query_stats: Vec<Vec<RunStats>> = Vec::with_capacity(batch);
-        for row in grid {
+        let mut query_records: Vec<QueryRecord> = Vec::new();
+        for (qi, row) in grid.into_iter().enumerate() {
             let mut top = TopK::new(k);
             let mut vault_stats = Vec::with_capacity(n_vaults);
             for cell in row {
@@ -563,7 +582,25 @@ impl SsamDevice {
                 }
                 vault_stats.push(stats);
             }
-            let timing = self.derive_timing(&vault_stats, k);
+            let (timing, accounts, mut phases) = self.account_query(&vault_stats, k);
+            if self.telemetry.is_some() {
+                phases.stage_seconds = stage_seconds / batch as f64;
+                query_records.push(QueryRecord {
+                    seq: 0,
+                    kind: RecordKind::Query,
+                    label: staged[qi].kernel.name.clone(),
+                    batch: 1,
+                    k,
+                    pus_per_vault: timing.pus_per_vault,
+                    vaults: accounts,
+                    phases,
+                    seconds: timing.seconds,
+                    compute_bound: timing.compute_bound,
+                    total_cycles: timing.total_cycles,
+                    total_bytes: timing.total_bytes,
+                    energy_mj: timing.energy_mj,
+                });
+            }
             per_query_stats.push(vault_stats.clone());
             results.push(DeviceResult {
                 neighbors: top.into_sorted(),
@@ -571,7 +608,29 @@ impl SsamDevice {
                 vault_stats,
             });
         }
-        let timing = self.derive_batch_timing(&per_query_stats, k);
+        let (timing, accounts, mut phases) = self.account_batch(&per_query_stats, k);
+        if let Some(sink) = &self.telemetry {
+            for r in &query_records {
+                sink.record(r.clone());
+            }
+            phases.stage_seconds = stage_seconds;
+            let batch_record = QueryRecord {
+                seq: 0,
+                kind: RecordKind::Batch,
+                label: format!("batch[{batch}]"),
+                batch,
+                k,
+                pus_per_vault: timing.pus_per_vault,
+                vaults: accounts,
+                phases,
+                seconds: timing.seconds,
+                compute_bound: timing.compute_bound,
+                total_cycles: timing.total_cycles,
+                total_bytes: timing.total_bytes,
+                energy_mj: timing.energy_mj,
+            };
+            sink.record_batch(batch_record, &query_records);
+        }
         Ok(BatchResult { results, timing })
     }
 
@@ -584,38 +643,47 @@ impl SsamDevice {
     /// `max(bytes / vault_bw, cycles / (n_pu · freq))`; the query ends
     /// when the slowest vault does, plus the external-link transfer of
     /// the k-tuple results and a host merge allowance.
-    fn derive_timing(&self, vault_stats: &[RunStats], k: usize) -> QueryTiming {
+    /// Provisions PUs from the densest vault's streaming demand.
+    fn provision_pus(&self, vault_stats: &[RunStats]) -> usize {
         let cfg = &self.config;
-        let freq = cfg.freq_hz;
-        let vault_bw = cfg.hmc.vault_bandwidth;
-
-        // Provision PUs from the densest vault's demand.
         let mut pus = 1usize;
         for s in vault_stats {
             let bytes = s.dram.bytes_read.max(1) as f64;
-            let secs = s.cycles.max(1) as f64 / freq;
+            let secs = s.cycles.max(1) as f64 / cfg.freq_hz;
             let demand = bytes / secs; // one PU's streaming demand
-            let need = (vault_bw / demand).ceil() as usize;
+            let need = (cfg.hmc.vault_bandwidth / demand).ceil() as usize;
             pus = pus.max(need.clamp(1, cfg.max_pus_per_vault));
         }
+        pus
+    }
 
-        let mut worst = 0.0f64;
-        let mut compute_bound = false;
-        let mut total_cycles = 0u64;
-        let mut total_bytes = 0u64;
-        for s in vault_stats {
-            let mem_t = s.dram.bytes_read as f64 / vault_bw;
-            let comp_t = s.cycles as f64 / (pus as f64 * freq);
-            // Classify from the vault that actually sets the critical path
-            // (strictly-greater keeps the first argmax on ties).
-            let vault_t = mem_t.max(comp_t);
-            if vault_t > worst {
-                worst = vault_t;
-                compute_bound = comp_t > mem_t;
-            }
-            total_cycles += s.cycles;
-            total_bytes += s.dram.bytes_read;
-        }
+    /// Timing-only view of [`SsamDevice::account_query`] (test seam for
+    /// the classification regression tests).
+    #[cfg(test)]
+    fn derive_timing(&self, vault_stats: &[RunStats], k: usize) -> QueryTiming {
+        self.account_query(vault_stats, k).0
+    }
+
+    /// Derives the query account: the summary [`QueryTiming`] plus the
+    /// per-vault [`VaultAccount`]s and phase spans backing it. The
+    /// memory-vs-compute classification comes from
+    /// [`telemetry::critical_path`] — the vault that actually sets the
+    /// critical path (strictly-greater keeps the first argmax on ties).
+    fn account_query(
+        &self,
+        vault_stats: &[RunStats],
+        k: usize,
+    ) -> (QueryTiming, Vec<VaultAccount>, Phases) {
+        let cfg = &self.config;
+        let pus = self.provision_pus(vault_stats);
+
+        let mut vaults: Vec<VaultAccount> = vault_stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| VaultAccount::from_stats(i, s, cfg.hmc.vault_bandwidth, cfg.freq_hz, pus))
+            .collect();
+        let (_, worst, compute_bound) =
+            telemetry::critical_path(&vaults).unwrap_or((0, 0.0, false));
 
         // Result collection: each vault returns k (id, value) tuples.
         let result_bytes = (vault_stats.len() * k * 8) as u64;
@@ -629,20 +697,32 @@ impl SsamDevice {
         // Energy: per-vault accelerator power at observed activity, over
         // the query duration, for every active PU.
         let mut energy_mj = 0.0;
-        for s in vault_stats {
+        let mut total_cycles = 0u64;
+        let mut total_bytes = 0u64;
+        for (v, s) in vaults.iter_mut().zip(vault_stats) {
             let act = Activity::from_stats(s);
             let power_mw = effective_power(cfg.vector_length, &act);
-            energy_mj += power_mw * seconds * pus as f64;
+            v.energy_mj = power_mw * seconds * pus as f64;
+            energy_mj += v.energy_mj;
+            total_cycles += s.cycles;
+            total_bytes += s.dram.bytes_read;
         }
 
-        QueryTiming {
+        let timing = QueryTiming {
             seconds,
             pus_per_vault: pus,
             compute_bound,
             total_cycles,
             total_bytes,
             energy_mj,
-        }
+        };
+        let phases = Phases {
+            stage_seconds: 0.0,
+            simulate_seconds: worst,
+            link_seconds: link_t,
+            merge_seconds: merge_t,
+        };
+        (timing, vaults, phases)
     }
 
     /// Derives the batch-level time/energy account: one PU-provisioning
@@ -650,62 +730,71 @@ impl SsamDevice {
     /// `B` kernel runs, so per-vault time is `max(Σ mem, Σ comp)` rather
     /// than `Σ max`; the external-link transfer and host merge are paid
     /// once per query.
-    fn derive_batch_timing(&self, per_query_stats: &[Vec<RunStats>], k: usize) -> BatchTiming {
+    /// Derives the batch account: summary [`BatchTiming`] plus per-vault
+    /// accounts (each vault's counters summed over its `B` pipelined
+    /// runs via [`RunStats::accumulate`]) and phase spans. Like
+    /// [`SsamDevice::account_query`], the classification comes from the
+    /// argmax vault of [`telemetry::critical_path`].
+    fn account_batch(
+        &self,
+        per_query_stats: &[Vec<RunStats>],
+        k: usize,
+    ) -> (BatchTiming, Vec<VaultAccount>, Phases) {
         let cfg = &self.config;
         let freq = cfg.freq_hz;
-        let vault_bw = cfg.hmc.vault_bandwidth;
         let batch = per_query_stats.len();
-        let vaults = per_query_stats.first().map_or(0, Vec::len);
+        let n_vaults = per_query_stats.first().map_or(0, Vec::len);
 
         // One provisioning decision across every (query, vault) run.
         let mut pus = 1usize;
-        for s in per_query_stats.iter().flatten() {
-            let bytes = s.dram.bytes_read.max(1) as f64;
-            let secs = s.cycles.max(1) as f64 / freq;
-            let need = (vault_bw / (bytes / secs)).ceil() as usize;
-            pus = pus.max(need.clamp(1, cfg.max_pus_per_vault));
+        for q in per_query_stats {
+            pus = pus.max(self.provision_pus(q));
         }
 
-        let mut worst = 0.0f64;
-        let mut compute_bound = false;
-        for v in 0..vaults {
-            let mut mem_t = 0.0;
-            let mut comp_t = 0.0;
-            for q in per_query_stats {
-                mem_t += q[v].dram.bytes_read as f64 / vault_bw;
-                comp_t += q[v].cycles as f64 / (pus as f64 * freq);
-            }
-            let vault_t = mem_t.max(comp_t);
-            if vault_t > worst {
-                worst = vault_t;
-                compute_bound = comp_t > mem_t;
-            }
-        }
+        // Each vault pipelines its `B` runs: per-vault time is
+        // `max(Σ mem, Σ comp)`, i.e. the roofline over the summed
+        // counters.
+        let mut vaults: Vec<VaultAccount> = (0..n_vaults)
+            .map(|v| {
+                let mut summed = RunStats::default();
+                for q in per_query_stats {
+                    summed.accumulate(&q[v]);
+                }
+                VaultAccount::from_stats(v, &summed, cfg.hmc.vault_bandwidth, freq, pus)
+            })
+            .collect();
+        let (_, worst, compute_bound) =
+            telemetry::critical_path(&vaults).unwrap_or((0, 0.0, false));
+
         let mut total_cycles = 0u64;
         let mut total_bytes = 0u64;
-        for s in per_query_stats.iter().flatten() {
-            total_cycles += s.cycles;
-            total_bytes += s.dram.bytes_read;
+        for v in &vaults {
+            total_cycles += v.cycles;
+            total_bytes += v.bytes;
         }
 
         // Each query still returns vaults·k (id, value) tuples over the
         // external link and pays its own host merge.
-        let result_bytes = (vaults * k * 8) as u64;
+        let result_bytes = (n_vaults * k * 8) as u64;
         let link_t =
             ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / cfg.hmc.external_bandwidth;
-        let merge_t = (vaults * k) as f64 * 1e-9;
+        let merge_t = (n_vaults * k) as f64 * 1e-9;
         let seconds = worst + batch as f64 * (link_t + merge_t);
 
         // Energy: every (query, vault) run burns its activity-scaled PU
-        // power over its share of the batch window.
+        // power over its share of the batch window, charged to its vault.
         let mut energy_mj = 0.0;
         let per_query_window = seconds / batch.max(1) as f64;
-        for s in per_query_stats.iter().flatten() {
-            let act = Activity::from_stats(s);
-            energy_mj += effective_power(cfg.vector_length, &act) * per_query_window * pus as f64;
+        for q in per_query_stats {
+            for (v, s) in vaults.iter_mut().zip(q) {
+                let act = Activity::from_stats(s);
+                let e = effective_power(cfg.vector_length, &act) * per_query_window * pus as f64;
+                v.energy_mj += e;
+                energy_mj += e;
+            }
         }
 
-        BatchTiming {
+        let timing = BatchTiming {
             batch,
             seconds,
             seconds_per_query: seconds / batch.max(1) as f64,
@@ -715,7 +804,14 @@ impl SsamDevice {
             total_cycles,
             total_bytes,
             energy_mj,
-        }
+        };
+        let phases = Phases {
+            stage_seconds: 0.0,
+            simulate_seconds: worst,
+            link_seconds: batch as f64 * link_t,
+            merge_seconds: batch as f64 * merge_t,
+        };
+        (timing, vaults, phases)
     }
 
     /// Throughput estimate for a batch, from one batched execution

@@ -29,6 +29,10 @@
 //! * [`analysis`] — `ssam-lint`: sound static verification of assembled
 //!   kernels (control flow, register def-use, stack depth, priority-queue
 //!   protocol, scratchpad bounds) with machine-readable diagnostics.
+//! * [`telemetry`] — query-scoped observability: per-vault accounting
+//!   records with collection-time invariant checks (byte/cycle sums,
+//!   critical-path classification, energy sanity), span-style phase
+//!   timings, and JSONL export for the bench binaries' `--telemetry`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +45,7 @@ pub mod energy;
 pub mod isa;
 pub mod kernels;
 pub mod sim;
+pub mod telemetry;
 
 pub use device::{SsamConfig, SsamDevice};
 pub use isa::inst::Instruction;

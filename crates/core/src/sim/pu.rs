@@ -133,6 +133,28 @@ impl RunStats {
             self.vector_ops as f64 / self.instructions as f64
         }
     }
+
+    /// Adds another run's counters into this one — the aggregation the
+    /// batched engine and the telemetry layer both use, kept in one place
+    /// so a new counter cannot be summed in one account and dropped in
+    /// the other.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.scalar_alu_ops += other.scalar_alu_ops;
+        self.vector_ops += other.vector_ops;
+        self.vector_lane_ops += other.vector_lane_ops;
+        self.pqueue_ops += other.pqueue_ops;
+        self.stack_ops += other.stack_ops;
+        self.scratchpad_accesses += other.scratchpad_accesses;
+        self.regfile_accesses += other.regfile_accesses;
+        self.branches += other.branches;
+        self.branches_taken += other.branches_taken;
+        self.dram.bytes_read += other.dram.bytes_read;
+        self.dram.hits += other.dram.hits;
+        self.dram.misses += other.dram.misses;
+        self.dram.prefetches += other.dram.prefetches;
+    }
 }
 
 /// One SSAM processing unit.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-e39020608850962f.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e39020608850962f.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

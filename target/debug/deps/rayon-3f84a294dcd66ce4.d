@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-3f84a294dcd66ce4.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-3f84a294dcd66ce4.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

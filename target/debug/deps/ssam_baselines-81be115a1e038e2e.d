@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssam_baselines-81be115a1e038e2e.d: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+/root/repo/target/debug/deps/libssam_baselines-81be115a1e038e2e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/automata.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/fpga.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/normalize.rs:
+crates/baselines/src/parallel.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ssam_bench-c1f45eda6132ca87.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libssam_bench-c1f45eda6132ca87.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

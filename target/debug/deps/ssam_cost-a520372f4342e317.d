@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_cost-a520372f4342e317.d: crates/cost/src/lib.rs
+
+/root/repo/target/debug/deps/libssam_cost-a520372f4342e317.rmeta: crates/cost/src/lib.rs
+
+crates/cost/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_profiling-609cd77af7af5473.d: crates/profiling/src/lib.rs
+
+/root/repo/target/debug/deps/libssam_profiling-609cd77af7af5473.rmeta: crates/profiling/src/lib.rs
+
+crates/profiling/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_invariants-5056c01ff7650e57.d: tests/telemetry_invariants.rs
+
+/root/repo/target/debug/deps/telemetry_invariants-5056c01ff7650e57: tests/telemetry_invariants.rs
+
+tests/telemetry_invariants.rs:

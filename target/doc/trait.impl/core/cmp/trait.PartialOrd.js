@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["ssam_core",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"enum\" href=\"ssam_core/analysis/enum.DiagCode.html\" title=\"enum ssam_core::analysis::DiagCode\">DiagCode</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"enum\" href=\"ssam_core/analysis/enum.Severity.html\" title=\"enum ssam_core::analysis::Severity\">Severity</a>",0]]],["ssam_knn",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"ssam_knn/fixed/struct.Fix32.html\" title=\"struct ssam_knn::fixed::Fix32\">Fix32</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.PartialOrd.html\" title=\"trait core::cmp::PartialOrd\">PartialOrd</a> for <a class=\"struct\" href=\"ssam_knn/topk/struct.Neighbor.html\" title=\"struct ssam_knn::topk::Neighbor\">Neighbor</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[581,566]}
