@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-e8f18376f99dc7d2.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/libablation_bandwidth-e8f18376f99dc7d2.rmeta: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-73429d28288509a3.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/libablation_batching-73429d28288509a3.rmeta: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_chaining-e5cd1a69c03f1374.d: crates/bench/src/bin/ablation_chaining.rs
+
+/root/repo/target/debug/deps/libablation_chaining-e5cd1a69c03f1374.rmeta: crates/bench/src/bin/ablation_chaining.rs
+
+crates/bench/src/bin/ablation_chaining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fixed_point-38f9163d984c206b.d: crates/bench/src/bin/ablation_fixed_point.rs
+
+/root/repo/target/debug/deps/libablation_fixed_point-38f9163d984c206b.rmeta: crates/bench/src/bin/ablation_fixed_point.rs
+
+crates/bench/src/bin/ablation_fixed_point.rs:

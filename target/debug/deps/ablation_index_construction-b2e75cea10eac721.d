@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_index_construction-b2e75cea10eac721.d: crates/bench/src/bin/ablation_index_construction.rs
+
+/root/repo/target/debug/deps/libablation_index_construction-b2e75cea10eac721.rmeta: crates/bench/src/bin/ablation_index_construction.rs
+
+crates/bench/src/bin/ablation_index_construction.rs:

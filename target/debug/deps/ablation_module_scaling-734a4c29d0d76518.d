@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_module_scaling-734a4c29d0d76518.d: crates/bench/src/bin/ablation_module_scaling.rs
+
+/root/repo/target/debug/deps/libablation_module_scaling-734a4c29d0d76518.rmeta: crates/bench/src/bin/ablation_module_scaling.rs
+
+crates/bench/src/bin/ablation_module_scaling.rs:

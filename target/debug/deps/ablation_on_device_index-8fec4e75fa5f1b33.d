@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_on_device_index-8fec4e75fa5f1b33.d: crates/bench/src/bin/ablation_on_device_index.rs
+
+/root/repo/target/debug/deps/libablation_on_device_index-8fec4e75fa5f1b33.rmeta: crates/bench/src/bin/ablation_on_device_index.rs
+
+crates/bench/src/bin/ablation_on_device_index.rs:

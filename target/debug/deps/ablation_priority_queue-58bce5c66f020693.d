@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_priority_queue-58bce5c66f020693.d: crates/bench/src/bin/ablation_priority_queue.rs
+
+/root/repo/target/debug/deps/libablation_priority_queue-58bce5c66f020693.rmeta: crates/bench/src/bin/ablation_priority_queue.rs
+
+crates/bench/src/bin/ablation_priority_queue.rs:

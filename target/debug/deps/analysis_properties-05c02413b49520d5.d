@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_properties-05c02413b49520d5.d: tests/analysis_properties.rs
+
+/root/repo/target/debug/deps/libanalysis_properties-05c02413b49520d5.rmeta: tests/analysis_properties.rs
+
+tests/analysis_properties.rs:

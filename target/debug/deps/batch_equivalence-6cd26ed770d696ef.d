@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_equivalence-6cd26ed770d696ef.d: tests/batch_equivalence.rs
+
+/root/repo/target/debug/deps/libbatch_equivalence-6cd26ed770d696ef.rmeta: tests/batch_equivalence.rs
+
+tests/batch_equivalence.rs:

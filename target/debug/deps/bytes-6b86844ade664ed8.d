@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-6b86844ade664ed8.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-6b86844ade664ed8.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-27ba3a9c1ad71e50.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-27ba3a9c1ad71e50.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-d26dc135f6cf412c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-d26dc135f6cf412c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_sim-8f9fcb927c92a44a.d: tests/differential_sim.rs
+
+/root/repo/target/debug/deps/libdifferential_sim-8f9fcb927c92a44a.rmeta: tests/differential_sim.rs
+
+tests/differential_sim.rs:

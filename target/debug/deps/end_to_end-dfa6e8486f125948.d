@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-dfa6e8486f125948.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-dfa6e8486f125948.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

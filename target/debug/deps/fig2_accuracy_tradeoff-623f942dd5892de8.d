@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-623f942dd5892de8.d: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+/root/repo/target/debug/deps/libfig2_accuracy_tradeoff-623f942dd5892de8.rmeta: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+crates/bench/src/bin/fig2_accuracy_tradeoff.rs:

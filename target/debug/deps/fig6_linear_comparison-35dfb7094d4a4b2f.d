@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_linear_comparison-35dfb7094d4a4b2f.d: crates/bench/src/bin/fig6_linear_comparison.rs
+
+/root/repo/target/debug/deps/libfig6_linear_comparison-35dfb7094d4a4b2f.rmeta: crates/bench/src/bin/fig6_linear_comparison.rs
+
+crates/bench/src/bin/fig6_linear_comparison.rs:

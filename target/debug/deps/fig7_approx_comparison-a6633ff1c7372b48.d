@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_approx_comparison-a6633ff1c7372b48.d: crates/bench/src/bin/fig7_approx_comparison.rs
+
+/root/repo/target/debug/deps/libfig7_approx_comparison-a6633ff1c7372b48.rmeta: crates/bench/src/bin/fig7_approx_comparison.rs
+
+crates/bench/src/bin/fig7_approx_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_properties-c579c7d28590ae37.d: tests/kernel_properties.rs
+
+/root/repo/target/debug/deps/libkernel_properties-c579c7d28590ae37.rmeta: tests/kernel_properties.rs
+
+tests/kernel_properties.rs:

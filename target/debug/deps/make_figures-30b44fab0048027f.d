@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_figures-30b44fab0048027f.d: crates/bench/src/bin/make_figures.rs
+
+/root/repo/target/debug/deps/libmake_figures-30b44fab0048027f.rmeta: crates/bench/src/bin/make_figures.rs
+
+crates/bench/src/bin/make_figures.rs:

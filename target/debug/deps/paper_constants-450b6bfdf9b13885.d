@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_constants-450b6bfdf9b13885.d: tests/paper_constants.rs
+
+/root/repo/target/debug/deps/libpaper_constants-450b6bfdf9b13885.rmeta: tests/paper_constants.rs
+
+tests/paper_constants.rs:

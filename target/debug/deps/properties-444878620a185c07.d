@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-444878620a185c07.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-444878620a185c07.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-701680d8853f3a36.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-701680d8853f3a36.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

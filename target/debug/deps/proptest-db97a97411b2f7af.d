@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-db97a97411b2f7af.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-db97a97411b2f7af.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2271b92296f64bfb.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2271b92296f64bfb.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

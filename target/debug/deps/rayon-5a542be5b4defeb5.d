@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-5a542be5b4defeb5.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-5a542be5b4defeb5.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-7c9190b2cd35689c.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/librun_all-7c9190b2cd35689c.rmeta: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

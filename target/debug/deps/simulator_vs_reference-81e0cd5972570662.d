@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_vs_reference-81e0cd5972570662.d: tests/simulator_vs_reference.rs
+
+/root/repo/target/debug/deps/libsimulator_vs_reference-81e0cd5972570662.rmeta: tests/simulator_vs_reference.rs
+
+tests/simulator_vs_reference.rs:

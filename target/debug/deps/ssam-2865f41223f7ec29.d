@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam-2865f41223f7ec29.d: src/lib.rs
+
+/root/repo/target/debug/deps/libssam-2865f41223f7ec29.rmeta: src/lib.rs
+
+src/lib.rs:

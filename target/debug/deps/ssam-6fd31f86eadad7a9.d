@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam-6fd31f86eadad7a9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libssam-6fd31f86eadad7a9.rmeta: src/lib.rs
+
+src/lib.rs:

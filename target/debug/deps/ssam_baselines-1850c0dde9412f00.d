@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssam_baselines-1850c0dde9412f00.d: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+/root/repo/target/debug/deps/libssam_baselines-1850c0dde9412f00.rmeta: crates/baselines/src/lib.rs crates/baselines/src/automata.rs crates/baselines/src/cpu.rs crates/baselines/src/fpga.rs crates/baselines/src/gpu.rs crates/baselines/src/normalize.rs crates/baselines/src/parallel.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/automata.rs:
+crates/baselines/src/cpu.rs:
+crates/baselines/src/fpga.rs:
+crates/baselines/src/gpu.rs:
+crates/baselines/src/normalize.rs:
+crates/baselines/src/parallel.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ssam_bench-efd1105169db5a06.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libssam_bench-efd1105169db5a06.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_cost-3c0259a53172b990.d: crates/cost/src/lib.rs
+
+/root/repo/target/debug/deps/libssam_cost-3c0259a53172b990.rmeta: crates/cost/src/lib.rs
+
+crates/cost/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ssam_datasets-983b37aed703ca22.d: crates/datasets/src/lib.rs crates/datasets/src/benchmark.rs crates/datasets/src/generator.rs crates/datasets/src/ground_truth.rs crates/datasets/src/io.rs crates/datasets/src/json.rs crates/datasets/src/spec.rs crates/datasets/src/texmex.rs
+
+/root/repo/target/debug/deps/libssam_datasets-983b37aed703ca22.rmeta: crates/datasets/src/lib.rs crates/datasets/src/benchmark.rs crates/datasets/src/generator.rs crates/datasets/src/ground_truth.rs crates/datasets/src/io.rs crates/datasets/src/json.rs crates/datasets/src/spec.rs crates/datasets/src/texmex.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/benchmark.rs:
+crates/datasets/src/generator.rs:
+crates/datasets/src/ground_truth.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/json.rs:
+crates/datasets/src/spec.rs:
+crates/datasets/src/texmex.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssam_hmc-88ab483f5ba75ac8.d: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs
+
+/root/repo/target/debug/deps/libssam_hmc-88ab483f5ba75ac8.rmeta: crates/hmc/src/lib.rs crates/hmc/src/address.rs crates/hmc/src/config.rs crates/hmc/src/dram.rs crates/hmc/src/module.rs crates/hmc/src/packet.rs crates/hmc/src/vault.rs
+
+crates/hmc/src/lib.rs:
+crates/hmc/src/address.rs:
+crates/hmc/src/config.rs:
+crates/hmc/src/dram.rs:
+crates/hmc/src/module.rs:
+crates/hmc/src/packet.rs:
+crates/hmc/src/vault.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ssam_knn-4770500057aee42b.d: crates/knn/src/lib.rs crates/knn/src/binary.rs crates/knn/src/distance.rs crates/knn/src/fixed.rs crates/knn/src/index.rs crates/knn/src/kdtree.rs crates/knn/src/kmeans.rs crates/knn/src/kmeans_tree.rs crates/knn/src/linear.rs crates/knn/src/mplsh.rs crates/knn/src/recall.rs crates/knn/src/topk.rs crates/knn/src/vecstore.rs
+
+/root/repo/target/debug/deps/libssam_knn-4770500057aee42b.rmeta: crates/knn/src/lib.rs crates/knn/src/binary.rs crates/knn/src/distance.rs crates/knn/src/fixed.rs crates/knn/src/index.rs crates/knn/src/kdtree.rs crates/knn/src/kmeans.rs crates/knn/src/kmeans_tree.rs crates/knn/src/linear.rs crates/knn/src/mplsh.rs crates/knn/src/recall.rs crates/knn/src/topk.rs crates/knn/src/vecstore.rs
+
+crates/knn/src/lib.rs:
+crates/knn/src/binary.rs:
+crates/knn/src/distance.rs:
+crates/knn/src/fixed.rs:
+crates/knn/src/index.rs:
+crates/knn/src/kdtree.rs:
+crates/knn/src/kmeans.rs:
+crates/knn/src/kmeans_tree.rs:
+crates/knn/src/linear.rs:
+crates/knn/src/mplsh.rs:
+crates/knn/src/recall.rs:
+crates/knn/src/topk.rs:
+crates/knn/src/vecstore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_lint-bdac0e78743ca1b7.d: crates/bench/src/bin/ssam_lint.rs
+
+/root/repo/target/debug/deps/libssam_lint-bdac0e78743ca1b7.rmeta: crates/bench/src/bin/ssam_lint.rs
+
+crates/bench/src/bin/ssam_lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_profiling-011da865364f5a71.d: crates/profiling/src/lib.rs
+
+/root/repo/target/debug/deps/libssam_profiling-011da865364f5a71.rmeta: crates/profiling/src/lib.rs
+
+crates/profiling/src/lib.rs:

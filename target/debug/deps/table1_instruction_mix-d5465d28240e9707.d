@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_instruction_mix-d5465d28240e9707.d: crates/bench/src/bin/table1_instruction_mix.rs
+
+/root/repo/target/debug/deps/libtable1_instruction_mix-d5465d28240e9707.rmeta: crates/bench/src/bin/table1_instruction_mix.rs
+
+crates/bench/src/bin/table1_instruction_mix.rs:

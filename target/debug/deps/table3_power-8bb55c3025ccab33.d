@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_power-8bb55c3025ccab33.d: crates/bench/src/bin/table3_power.rs
+
+/root/repo/target/debug/deps/libtable3_power-8bb55c3025ccab33.rmeta: crates/bench/src/bin/table3_power.rs
+
+crates/bench/src/bin/table3_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_area-742a7ed808dda579.d: crates/bench/src/bin/table4_area.rs
+
+/root/repo/target/debug/deps/libtable4_area-742a7ed808dda579.rmeta: crates/bench/src/bin/table4_area.rs
+
+crates/bench/src/bin/table4_area.rs:

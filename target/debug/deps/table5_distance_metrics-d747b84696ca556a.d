@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_distance_metrics-d747b84696ca556a.d: crates/bench/src/bin/table5_distance_metrics.rs
+
+/root/repo/target/debug/deps/libtable5_distance_metrics-d747b84696ca556a.rmeta: crates/bench/src/bin/table5_distance_metrics.rs
+
+crates/bench/src/bin/table5_distance_metrics.rs:

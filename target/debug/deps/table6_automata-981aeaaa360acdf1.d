@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_automata-981aeaaa360acdf1.d: crates/bench/src/bin/table6_automata.rs
+
+/root/repo/target/debug/deps/libtable6_automata-981aeaaa360acdf1.rmeta: crates/bench/src/bin/table6_automata.rs
+
+crates/bench/src/bin/table6_automata.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_tco-895cc8279118f140.d: crates/bench/src/bin/table_tco.rs
+
+/root/repo/target/debug/deps/libtable_tco-895cc8279118f140.rmeta: crates/bench/src/bin/table_tco.rs
+
+crates/bench/src/bin/table_tco.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_invariants-6e9ba8cb2dd0540e.d: tests/telemetry_invariants.rs
+
+/root/repo/target/debug/deps/libtelemetry_invariants-6e9ba8cb2dd0540e.rmeta: tests/telemetry_invariants.rs
+
+tests/telemetry_invariants.rs:

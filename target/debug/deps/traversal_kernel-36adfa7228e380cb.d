@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traversal_kernel-36adfa7228e380cb.d: tests/traversal_kernel.rs
+
+/root/repo/target/debug/deps/libtraversal_kernel-36adfa7228e380cb.rmeta: tests/traversal_kernel.rs
+
+tests/traversal_kernel.rs:
