@@ -32,6 +32,12 @@ const DIMS: [usize; 3] = [16, 100, 960];
 /// Representative binary code widths (32-bit words) for Hamming kernels.
 const HAMMING_WORDS: [usize; 2] = [4, 16];
 
+/// The software-queue kernels specialize on `k` (the insertion loop is
+/// unrolled against the queue depth), and the serving runtime stages one
+/// such kernel per requested `k` — so lint representative serving depths
+/// around the paper's canonical k = 10, not just k = 10 itself.
+const SWQUEUE_KS: [usize; 3] = [1, 10, 40];
+
 /// Every kernel in the matrix, labeled with its dimensionality — kernel
 /// names encode the metric and VL but not the feature width, so without
 /// the label the three `DIMS` instantiations are indistinguishable in
@@ -44,21 +50,27 @@ fn all_kernels() -> Vec<(String, Kernel)> {
                 linear::euclidean(dims, vl),
                 linear::manhattan(dims, vl),
                 linear::cosine(dims, vl),
-                linear::euclidean_swqueue(dims, vl, 10),
-                linear::manhattan_swqueue(dims, vl, 10),
-                linear::cosine_swqueue(dims, vl, 10),
                 traversal::kdtree_euclidean(dims, vl, 64),
                 kmeans_traversal::kmeans_euclidean(dims, vl, 64),
                 lsh_traversal::lsh_euclidean(dims, vl, 8, 64),
             ] {
                 kernels.push((format!("{} dims={dims}", kernel.name), kernel));
             }
+            for &k in &SWQUEUE_KS {
+                for kernel in [
+                    linear::euclidean_swqueue(dims, vl, k),
+                    linear::manhattan_swqueue(dims, vl, k),
+                    linear::cosine_swqueue(dims, vl, k),
+                ] {
+                    kernels.push((format!("{} dims={dims}", kernel.name), kernel));
+                }
+            }
         }
         for &words in &HAMMING_WORDS {
-            for kernel in [
-                linear::hamming(words, vl),
-                linear::hamming_swqueue(words, vl, 10),
-            ] {
+            let kernel = linear::hamming(words, vl);
+            kernels.push((format!("{} words={words}", kernel.name), kernel));
+            for &k in &SWQUEUE_KS {
+                let kernel = linear::hamming_swqueue(words, vl, k);
                 kernels.push((format!("{} words={words}", kernel.name), kernel));
             }
         }

@@ -114,8 +114,19 @@ impl SsamCluster {
         self.vectors == 0
     }
 
+    /// Expected query length (feature dimensionality) for the loaded
+    /// dataset — the cluster-level twin of
+    /// [`SsamDevice::query_len`](super::SsamDevice::query_len), used by
+    /// the serving runtime's admission control.
+    pub fn query_len(&self) -> Option<usize> {
+        self.modules.first().and_then(|m| m.query_len())
+    }
+
     /// Executes one Euclidean query across the whole cluster — the
     /// single-query special case of [`SsamCluster::query_batch`].
+    ///
+    /// # Errors
+    /// Returns [`SimError::ZeroK`] when `k == 0`.
     pub fn query(
         &mut self,
         query: &[f32],
@@ -130,13 +141,23 @@ impl SsamCluster {
     /// ([`SsamDevice::query_batch`]), then each query's per-module top-k
     /// sets are reduced on the host and charged the chain's broadcast and
     /// collection link terms.
+    ///
+    /// # Errors
+    /// Returns [`SimError::EmptyBatch`] for an empty query slice and
+    /// [`SimError::ZeroK`] for `k == 0` (typed rejections for online
+    /// callers, matching
+    /// [`SsamDevice::query_batch`](super::SsamDevice::query_batch)).
     pub fn query_batch(
         &mut self,
         queries: &[&[f32]],
         k: usize,
     ) -> Result<Vec<(Vec<Neighbor>, ClusterTiming)>, SimError> {
-        assert!(k > 0, "k must be positive");
-        assert!(!queries.is_empty(), "batch must contain at least one query");
+        if queries.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        if k == 0 {
+            return Err(SimError::ZeroK);
+        }
         let first_ids = self.first_ids.clone();
         type ModuleBatch = Vec<(Vec<Neighbor>, QueryTiming)>;
         let module_results: Result<Vec<ModuleBatch>, SimError> = self
@@ -465,6 +486,23 @@ mod tests {
             assert_eq!(r.phases.simulate_seconds, t.module_seconds);
             telemetry::verify_record(r).expect("record passes verification");
         }
+    }
+
+    #[test]
+    fn degenerate_batches_return_typed_errors() {
+        // Regression: the cluster entry point used to panic on an empty
+        // batch or k == 0; both are now typed rejections.
+        let store = random_store(60, 4, 10);
+        let mut cluster = SsamCluster::build(SsamConfig::default(), 2, &store);
+        let empty: [&[f32]; 0] = [];
+        assert_eq!(
+            cluster.query_batch(&empty, 3).unwrap_err(),
+            SimError::EmptyBatch
+        );
+        let q = [0.0f32; 4];
+        assert_eq!(cluster.query_batch(&[&q], 0).unwrap_err(), SimError::ZeroK);
+        assert_eq!(cluster.query(&q, 0).unwrap_err(), SimError::ZeroK);
+        assert_eq!(cluster.query_len(), Some(4));
     }
 
     #[test]

@@ -245,6 +245,25 @@ impl SsamDevice {
         self.vec_words
     }
 
+    /// Expected query length for the loaded payload: feature
+    /// dimensionality for float datasets, packed 32-bit words for binary
+    /// codes. `None` before a dataset is loaded. Host-side layers (the
+    /// serving runtime's admission control) use this to reject malformed
+    /// queries before they reach a worker thread.
+    pub fn query_len(&self) -> Option<usize> {
+        self.payload.map(|p| match p {
+            Payload::Fixed { dims } => dims,
+            Payload::Binary { words } => words,
+        })
+    }
+
+    /// Whether the loaded payload is packed binary codes (Hamming
+    /// kernels) rather than fixed-point feature vectors. `None` before a
+    /// dataset is loaded.
+    pub fn payload_is_binary(&self) -> Option<bool> {
+        self.payload.map(|p| matches!(p, Payload::Binary { .. }))
+    }
+
     /// Loads a float dataset: quantizes to Q16.16 (`nmemcpy` semantics),
     /// pads each vector to a vector-length multiple, and shards evenly
     /// across vaults.
@@ -398,6 +417,9 @@ impl SsamDevice {
     /// (`nexec` + `nread_result` semantics) — the single-query special
     /// case of [`SsamDevice::query_batch`].
     ///
+    /// # Errors
+    /// Returns [`SimError::ZeroK`] when `k == 0`.
+    ///
     /// # Panics
     /// Panics if no dataset is loaded or the query shape mismatches it.
     pub fn query(&mut self, query: &DeviceQuery<'_>, k: usize) -> Result<DeviceResult, SimError> {
@@ -419,17 +441,28 @@ impl SsamDevice {
     /// The batch-level account in [`BatchResult::timing`] additionally
     /// pipelines each vault's runs over a single provisioning decision.
     ///
+    /// # Errors
+    /// Returns [`SimError::EmptyBatch`] for an empty query slice and
+    /// [`SimError::ZeroK`] for `k == 0` — degenerate requests are typed
+    /// rejections, not panics, so online callers (the serving runtime)
+    /// can surface them without unwinding a worker.
+    ///
     /// # Panics
-    /// Panics if no dataset is loaded, `k == 0`, the batch is empty, or a
-    /// query shape mismatches the loaded payload.
+    /// Panics if no dataset is loaded or a query shape mismatches the
+    /// loaded payload (both are caller programming errors, not request
+    /// data).
     pub fn query_batch(
         &mut self,
         queries: &[DeviceQuery<'_>],
         k: usize,
     ) -> Result<BatchResult, SimError> {
         assert!(!self.is_empty(), "no dataset loaded");
-        assert!(k > 0, "k must be positive");
-        assert!(!queries.is_empty(), "batch must contain at least one query");
+        if queries.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        if k == 0 {
+            return Err(SimError::ZeroK);
+        }
         let payload = self.payload.expect("dataset loaded");
 
         // Stage every query up front; distinct kernels share one
@@ -1292,6 +1325,53 @@ mod tests {
         assert!(
             !t.compute_bound,
             "first vault to set the path is memory-bound"
+        );
+    }
+
+    #[test]
+    fn payload_shape_getters_reflect_loaded_dataset() {
+        let mut dev = device(4);
+        assert_eq!(dev.query_len(), None);
+        assert_eq!(dev.payload_is_binary(), None);
+        dev.load_vectors(&random_store(20, 6, 30));
+        assert_eq!(dev.query_len(), Some(6));
+        assert_eq!(dev.payload_is_binary(), Some(false));
+        let mut codes = BinaryStore::new(64);
+        codes.push(&[1, 2]);
+        let mut dev = device(4);
+        dev.load_binary(&codes);
+        assert_eq!(dev.query_len(), Some(2));
+        assert_eq!(dev.payload_is_binary(), Some(true));
+    }
+
+    #[test]
+    fn empty_batch_returns_typed_error() {
+        // Regression: `query_batch` used to panic on degenerate requests;
+        // the serving runtime needs typed rejections.
+        let store = random_store(40, 4, 28);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let empty: [DeviceQuery<'_>; 0] = [];
+        assert_eq!(
+            dev.query_batch(&empty, 3).unwrap_err(),
+            SimError::EmptyBatch
+        );
+    }
+
+    #[test]
+    fn zero_k_returns_typed_error() {
+        let store = random_store(40, 4, 29);
+        let mut dev = device(4);
+        dev.load_vectors(&store);
+        let q = [0.0f32; 4];
+        assert_eq!(
+            dev.query_batch(&[DeviceQuery::Euclidean(&q)], 0)
+                .unwrap_err(),
+            SimError::ZeroK
+        );
+        assert_eq!(
+            dev.query(&DeviceQuery::Euclidean(&q), 0).unwrap_err(),
+            SimError::ZeroK
         );
     }
 

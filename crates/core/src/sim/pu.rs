@@ -57,6 +57,20 @@ pub enum SimError {
         /// The offending register.
         reg: u8,
     },
+    /// A device batch entry point was handed an empty query slice.
+    ///
+    /// Raised by the host-side batch APIs
+    /// ([`crate::device::SsamDevice::query_batch`],
+    /// [`crate::device::cluster::SsamCluster::query_batch`]), never by the
+    /// PU core itself: an empty batch is a degenerate *request*, not a
+    /// kernel fault, and callers (the serving runtime in particular) need
+    /// a typed rejection rather than a panic.
+    EmptyBatch,
+    /// A device batch entry point was handed `k == 0`.
+    ///
+    /// Raised by the host-side batch APIs, never by the PU core (see
+    /// [`SimError::EmptyBatch`]).
+    ZeroK,
 }
 
 impl std::fmt::Display for SimError {
@@ -70,6 +84,8 @@ impl std::fmt::Display for SimError {
             SimError::BadLane { lane, vl } => write!(f, "lane {lane} out of range for VL={vl}"),
             SimError::UninitSreg { reg } => write!(f, "read of uninitialized register s{reg}"),
             SimError::UninitVreg { reg } => write!(f, "read of uninitialized register v{reg}"),
+            SimError::EmptyBatch => write!(f, "batch must contain at least one query"),
+            SimError::ZeroK => write!(f, "k must be positive"),
         }
     }
 }

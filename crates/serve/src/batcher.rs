@@ -1,0 +1,288 @@
+//! The dynamic-batching state machine, factored as a pure decision
+//! function over an immutable queue snapshot.
+//!
+//! Worker threads hold the queue lock, build a [`PendingMeta`] snapshot,
+//! and ask [`plan`] what to do. Keeping the decision logic free of
+//! threads, clocks, and channels means every trigger — max-size flush,
+//! linger-timeout flush, deadline expiry, shutdown drain — is
+//! deterministically unit-testable with synthetic `Instant`s; the
+//! threaded runtime in [`crate`] only *executes* decisions, it never
+//! makes them.
+//!
+//! ## State machine
+//!
+//! For the oldest live (non-expired) request's [`BatchKey`]:
+//!
+//! ```text
+//!            ┌──────────── deadline ≤ now ───────────► Expired (reject)
+//!            │
+//! Queued ────┤  compatible count ≥ max_batch ────────► Flush (full)
+//!            │  oldest age ≥ max_linger ─────────────► Flush (linger)
+//!            │  draining (shutdown) ─────────────────► Flush (drain)
+//!            │
+//!            └─ otherwise ───────────────────────────► Wait(wake − now)
+//! ```
+//!
+//! where `wake = min(oldest arrival + max_linger, soonest queued
+//! deadline)` — a worker never sleeps past the moment its decision could
+//! change. Deadlines are a *rejection* bound, not a flush accelerator:
+//! a request whose deadline passes while queued is completed with
+//! `DeadlineExceeded` before staging (it never stalls or poisons the
+//! batch it would have joined). Configure `max_linger` well below the
+//! deadline budgets you hand out.
+
+use std::time::{Duration, Instant};
+
+use ssam_core::device::DeviceMetric;
+
+/// The kernel-compatibility key queries are coalesced under: requests
+/// batch together only when the device would stage them through the same
+/// kernel, which is determined by the metric, the requested `k` (the
+/// software-queue kernels specialize on `k`), and the queue
+/// implementation the device is configured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Kernel family.
+    pub metric: DeviceMetric,
+    /// Neighbors requested.
+    pub k: usize,
+    /// Whether the serving device uses the hardware priority queue
+    /// (constant per server, carried for record-keeping).
+    pub hw_queue: bool,
+}
+
+/// Scheduling-relevant metadata of one queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingMeta {
+    /// Kernel-compatibility key.
+    pub key: BatchKey,
+    /// When the request was admitted.
+    pub enqueued: Instant,
+    /// Absolute deadline, if the request carries one.
+    pub deadline: Option<Instant>,
+}
+
+/// What a worker should do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Execute these queue indices now: arrival order, one batch key,
+    /// at most `max_batch` of them.
+    Flush(Vec<usize>),
+    /// Nothing is ripe yet; wait at most this long for arrivals or for
+    /// the oldest batch's linger/deadline clock to run out.
+    Wait(Duration),
+    /// The queue holds no live requests.
+    Idle,
+}
+
+/// A full scheduling decision over one queue snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Indices whose deadline has passed: complete them with
+    /// `DeadlineExceeded` *before* acting — they must never be staged.
+    /// When non-empty, re-plan after removal (the action's indices refer
+    /// to the same snapshot and would be stale).
+    pub expired: Vec<usize>,
+    /// What to do with the live requests.
+    pub action: Action,
+}
+
+/// Decides the next step for a worker looking at queue snapshot
+/// `pending` (arrival order) at time `now`. `drain` is the shutdown
+/// flag: a draining server flushes immediately rather than lingering.
+pub fn plan(
+    pending: &[PendingMeta],
+    now: Instant,
+    max_batch: usize,
+    max_linger: Duration,
+    drain: bool,
+) -> Plan {
+    let max_batch = max_batch.max(1);
+    let mut expired = Vec::new();
+    let mut live: Vec<usize> = Vec::with_capacity(pending.len());
+    for (i, p) in pending.iter().enumerate() {
+        if p.deadline.is_some_and(|d| d <= now) {
+            expired.push(i);
+        } else {
+            live.push(i);
+        }
+    }
+    let Some(&first) = live.first() else {
+        return Plan {
+            expired,
+            action: Action::Idle,
+        };
+    };
+
+    // The oldest live request anchors the batch; everything sharing its
+    // key (in arrival order, up to the size cap) rides along.
+    let key = pending[first].key;
+    let members: Vec<usize> = live
+        .iter()
+        .copied()
+        .filter(|&i| pending[i].key == key)
+        .take(max_batch)
+        .collect();
+
+    let linger_deadline = pending[first].enqueued + max_linger;
+    if members.len() >= max_batch || drain || now >= linger_deadline {
+        return Plan {
+            expired,
+            action: Action::Flush(members),
+        };
+    }
+
+    // Sleep only until the decision could change: the linger clock of
+    // the anchored batch, or the soonest queued deadline (so expiring
+    // requests are rejected promptly instead of waiting out a flush).
+    let mut wake = linger_deadline;
+    for &i in &live {
+        if let Some(d) = pending[i].deadline {
+            wake = wake.min(d);
+        }
+    }
+    Plan {
+        expired,
+        action: Action::Wait(wake.saturating_duration_since(now)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: usize) -> BatchKey {
+        BatchKey {
+            metric: DeviceMetric::Euclidean,
+            k,
+            hw_queue: true,
+        }
+    }
+
+    fn meta(key_: BatchKey, enqueued: Instant, deadline: Option<Instant>) -> PendingMeta {
+        PendingMeta {
+            key: key_,
+            enqueued,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn empty_queue_is_idle() {
+        let now = Instant::now();
+        let p = plan(&[], now, 8, Duration::from_millis(1), false);
+        assert_eq!(p.expired, Vec::<usize>::new());
+        assert_eq!(p.action, Action::Idle);
+    }
+
+    #[test]
+    fn max_size_triggers_immediate_flush() {
+        let t0 = Instant::now();
+        let pending: Vec<PendingMeta> = (0..4).map(|_| meta(key(5), t0, None)).collect();
+        // Linger far in the future: size alone must trigger.
+        let p = plan(&pending, t0, 4, Duration::from_secs(3600), false);
+        assert_eq!(p.action, Action::Flush(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn oversize_queue_flushes_only_max_batch() {
+        let t0 = Instant::now();
+        let pending: Vec<PendingMeta> = (0..7).map(|_| meta(key(5), t0, None)).collect();
+        let p = plan(&pending, t0, 4, Duration::from_secs(3600), false);
+        assert_eq!(p.action, Action::Flush(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn linger_expiry_flushes_partial_batch() {
+        let t0 = Instant::now();
+        let linger = Duration::from_millis(2);
+        let pending = vec![meta(key(5), t0, None), meta(key(5), t0, None)];
+        // Before the linger bound: wait exactly the remainder.
+        let p = plan(&pending, t0 + Duration::from_millis(1), 8, linger, false);
+        assert_eq!(p.action, Action::Wait(Duration::from_millis(1)));
+        // At the bound: flush whatever is there.
+        let p = plan(&pending, t0 + linger, 8, linger, false);
+        assert_eq!(p.action, Action::Flush(vec![0, 1]));
+    }
+
+    #[test]
+    fn drain_flushes_without_lingering() {
+        let t0 = Instant::now();
+        let pending = vec![meta(key(5), t0, None)];
+        let p = plan(&pending, t0, 64, Duration::from_secs(3600), true);
+        assert_eq!(p.action, Action::Flush(vec![0]));
+    }
+
+    #[test]
+    fn batches_group_by_key_in_arrival_order() {
+        let t0 = Instant::now();
+        let a = key(5);
+        let b = key(9);
+        let pending = vec![
+            meta(a, t0, None),
+            meta(b, t0, None),
+            meta(a, t0, None),
+            meta(a, t0, None),
+        ];
+        // The oldest request anchors key `a`; the key-`b` request is
+        // skipped (left for the next round), order preserved.
+        let p = plan(&pending, t0, 3, Duration::ZERO, false);
+        assert_eq!(p.action, Action::Flush(vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn expired_requests_are_culled_not_staged() {
+        let t0 = Instant::now();
+        let now = t0 + Duration::from_millis(5);
+        let pending = vec![
+            meta(key(5), t0, Some(t0 + Duration::from_millis(1))), // expired
+            meta(key(5), t0, None),
+            meta(key(5), t0, Some(now)), // deadline == now counts as expired
+        ];
+        let p = plan(&pending, now, 8, Duration::ZERO, false);
+        assert_eq!(p.expired, vec![0, 2]);
+        // Linger already elapsed for the survivor.
+        assert_eq!(p.action, Action::Flush(vec![1]));
+    }
+
+    #[test]
+    fn expiry_of_every_request_leaves_idle() {
+        let t0 = Instant::now();
+        let now = t0 + Duration::from_secs(1);
+        let pending = vec![
+            meta(key(5), t0, Some(t0 + Duration::from_millis(1))),
+            meta(key(9), t0, Some(t0 + Duration::from_millis(2))),
+        ];
+        let p = plan(&pending, now, 8, Duration::from_secs(3600), false);
+        assert_eq!(p.expired, vec![0, 1]);
+        assert_eq!(p.action, Action::Idle);
+    }
+
+    #[test]
+    fn wait_is_bounded_by_soonest_deadline() {
+        let t0 = Instant::now();
+        let linger = Duration::from_secs(10);
+        // A lone request whose deadline lands long before the linger
+        // bound: the worker must wake at the deadline to reject it, not
+        // sleep out the full linger (the "stalled batch" failure mode).
+        let pending = vec![meta(key(5), t0, Some(t0 + Duration::from_millis(3)))];
+        let p = plan(&pending, t0, 8, linger, false);
+        assert_eq!(p.action, Action::Wait(Duration::from_millis(3)));
+        // Deadlines of *other* keys bound the wait too: they are culled
+        // promptly even though they are not in the anchored batch.
+        let pending = vec![
+            meta(key(5), t0, None),
+            meta(key(9), t0, Some(t0 + Duration::from_millis(2))),
+        ];
+        let p = plan(&pending, t0, 8, linger, false);
+        assert_eq!(p.action, Action::Wait(Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn zero_max_batch_is_clamped_to_one() {
+        let t0 = Instant::now();
+        let pending = vec![meta(key(5), t0, None)];
+        let p = plan(&pending, t0, 0, Duration::from_secs(3600), false);
+        assert_eq!(p.action, Action::Flush(vec![0]));
+    }
+}

@@ -1,0 +1,805 @@
+//! # ssam-serve — online query serving for the SSAM device
+//!
+//! The device layer executes pre-formed batches
+//! ([`SsamDevice::query_batch`]); this crate is the missing path from
+//! *many concurrent callers* to those batches. The paper's host already
+//! works this way — it "broadcasts the search across SSAM processing
+//! units and performs the final set of global top-k reductions" (§III),
+//! and near-data kNN accelerators are throughput devices whose
+//! utilization hinges on how the host aggregates independent queries
+//! into device-sized batches.
+//!
+//! A [`Server`] owns a pool of worker threads, each holding a clone of
+//! the backing [`SsamDevice`] (or [`SsamCluster`]) — clones share the
+//! `Arc`-held dataset shards and kernel images, so they are cheap, and
+//! each worker's batched executions recycle warm processing units
+//! through the device's `reset_state` path. Callers get a cloneable
+//! [`ServerHandle`] and submit [`Request`]s:
+//!
+//! * **Dynamic batching** — concurrently submitted requests that are
+//!   kernel-compatible (same metric, `k`, and queue implementation —
+//!   [`batcher::BatchKey`]) coalesce into one `query_batch` call under a
+//!   dual trigger: a batch flushes when it reaches
+//!   [`ServeConfig::max_batch`] *or* when its oldest request has waited
+//!   [`ServeConfig::max_linger`].
+//! * **Admission control and backpressure** — the submission queue is
+//!   bounded ([`ServeConfig::queue_capacity`]); submissions beyond it
+//!   are rejected with [`ServeError::Overloaded`] instead of queueing
+//!   unboundedly. Malformed requests (zero `k`, empty or wrong-shape
+//!   queries) are rejected at admission with [`ServeError::BadRequest`]
+//!   before they can reach a worker.
+//! * **Deadlines** — a request may carry a deadline budget
+//!   ([`Request::timeout`]); if it expires while queued the request is
+//!   completed with [`ServeError::DeadlineExceeded`] *before staging* —
+//!   it never stalls or joins a device batch.
+//! * **Graceful shutdown and panic isolation** — [`Server::shutdown`]
+//!   stops admissions, drains every queued request (flushing without
+//!   lingering), and joins the workers; dropping the server does the
+//!   same. A worker that panics mid-batch completes that batch's
+//!   requests with [`ServeError::WorkerPanicked`], discards its possibly
+//!   inconsistent device clone for a pristine one, and keeps serving —
+//!   the queue is never wedged.
+//!
+//! Every served batch still flows through the device's self-checking
+//! telemetry: attach a [`ssam_core::telemetry::Telemetry`] sink to the
+//! device *before* [`Server::start`] and each worker clone records
+//! verified per-query and per-batch accounts into it.
+//!
+//! ```
+//! use ssam_core::device::{SsamConfig, SsamDevice};
+//! use ssam_knn::VectorStore;
+//! use ssam_serve::{OwnedQuery, Request, ServeConfig, Server};
+//!
+//! let mut store = VectorStore::new(4);
+//! for i in 0..64 {
+//!     store.push(&[i as f32, 0.0, 0.0, 0.0]);
+//! }
+//! let mut device = SsamDevice::new(SsamConfig::default());
+//! device.load_vectors(&store);
+//!
+//! let server = Server::start(device, ServeConfig::default());
+//! let handle = server.handle();
+//! let response = handle
+//!     .query(Request::new(OwnedQuery::Euclidean(vec![7.2, 0.0, 0.0, 0.0]), 3))
+//!     .expect("served");
+//! assert_eq!(response.neighbors[0].id, 7);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ssam_core::device::cluster::{ClusterTiming, SsamCluster};
+use ssam_core::device::{BatchTiming, DeviceQuery, QueryTiming, SsamDevice};
+use ssam_core::sim::pu::SimError;
+use ssam_knn::topk::Neighbor;
+
+use crate::batcher::{plan, Action, BatchKey, PendingMeta};
+
+/// Serving-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as this many kernel-compatible requests are
+    /// queued (clamped to ≥ 1; `1` degenerates to serial batch-of-1
+    /// serving, the baseline the load generator compares against).
+    pub max_batch: usize,
+    /// Flush a non-full batch once its oldest request has waited this
+    /// long — the latency bound dynamic batching trades against
+    /// throughput. Keep it well below the deadline budgets you hand out.
+    pub max_linger: Duration,
+    /// Bounded submission-queue capacity; submissions beyond it are
+    /// rejected with [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Worker threads, each owning a clone of the backing device
+    /// (clamped to ≥ 1).
+    pub workers: usize,
+    /// Deadline budget applied to requests that do not carry their own
+    /// ([`Request::timeout`] wins when both are set).
+    pub default_timeout: Option<Duration>,
+    /// Test-only fault injection: the worker executing the nth batch
+    /// (0-based, counted across the server) panics mid-execution. Used
+    /// by the panic-isolation tests; leave `None`.
+    #[doc(hidden)]
+    pub panic_on_batch: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_linger: Duration::from_millis(1),
+            queue_capacity: 1024,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            default_timeout: None,
+            panic_on_batch: None,
+        }
+    }
+}
+
+/// An owned query. The device API's [`DeviceQuery`] borrows its payload;
+/// serving requests cross thread boundaries and outlive their caller's
+/// stack frame, so the runtime owns the payload and reborrows it at
+/// staging time ([`OwnedQuery::as_device_query`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedQuery {
+    /// Float query for the Euclidean kernel.
+    Euclidean(Vec<f32>),
+    /// Float query for the Manhattan kernel.
+    Manhattan(Vec<f32>),
+    /// Float query for the cosine kernel.
+    Cosine(Vec<f32>),
+    /// Packed binary query for the Hamming kernel.
+    Hamming(Vec<u32>),
+}
+
+impl OwnedQuery {
+    /// The metric this query selects.
+    pub fn metric(&self) -> ssam_core::device::DeviceMetric {
+        self.as_device_query().metric()
+    }
+
+    /// Reborrows as the device API's query type.
+    pub fn as_device_query(&self) -> DeviceQuery<'_> {
+        match self {
+            OwnedQuery::Euclidean(q) => DeviceQuery::Euclidean(q),
+            OwnedQuery::Manhattan(q) => DeviceQuery::Manhattan(q),
+            OwnedQuery::Cosine(q) => DeviceQuery::Cosine(q),
+            OwnedQuery::Hamming(q) => DeviceQuery::Hamming(q),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            OwnedQuery::Euclidean(q) | OwnedQuery::Manhattan(q) | OwnedQuery::Cosine(q) => q.len(),
+            OwnedQuery::Hamming(q) => q.len(),
+        }
+    }
+
+    fn is_binary(&self) -> bool {
+        matches!(self, OwnedQuery::Hamming(_))
+    }
+}
+
+/// One serving request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The query payload.
+    pub query: OwnedQuery,
+    /// Neighbors requested.
+    pub k: usize,
+    /// Optional deadline budget, measured from submission. When it
+    /// expires before the request is staged into a device batch, the
+    /// request completes with [`ServeError::DeadlineExceeded`].
+    pub timeout: Option<Duration>,
+}
+
+impl Request {
+    /// A request with no per-request deadline (the server's
+    /// [`ServeConfig::default_timeout`] still applies, if set).
+    pub fn new(query: OwnedQuery, k: usize) -> Self {
+        Self {
+            query,
+            k,
+            timeout: None,
+        }
+    }
+
+    /// Attaches a deadline budget.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Why a request was not served. Every variant is a *response* — the
+/// runtime never hangs a caller and never panics across the API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue is full (backpressure): retry later
+    /// or shed load upstream.
+    Overloaded {
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The request's deadline passed before it could be staged.
+    DeadlineExceeded {
+        /// How far past the deadline the rejection happened.
+        missed_by: Duration,
+    },
+    /// The server no longer accepts submissions (it still drains
+    /// requests admitted before shutdown began).
+    ShuttingDown,
+    /// The request is malformed for the loaded dataset and was rejected
+    /// at admission.
+    BadRequest(&'static str),
+    /// The device simulation faulted while executing the batch.
+    Device(SimError),
+    /// The worker executing this request's batch panicked; the request
+    /// was not served (the worker recovered and the server keeps
+    /// running).
+    WorkerPanicked,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::DeadlineExceeded { missed_by } => {
+                write!(f, "deadline exceeded (missed by {missed_by:?})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::Device(e) => write!(f, "device fault: {e}"),
+            ServeError::WorkerPanicked => write!(f, "worker panicked executing the batch"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Device-side account of a served request, depending on the backend.
+#[derive(Debug, Clone)]
+pub enum DeviceAccount {
+    /// Served by a single-module [`SsamDevice`]: the request's
+    /// serial-equivalent query account plus the pipelined account of the
+    /// device batch it rode in.
+    Device {
+        /// Serial-equivalent per-query timing.
+        timing: QueryTiming,
+        /// The whole device batch's pipelined account.
+        batch: BatchTiming,
+    },
+    /// Served by a [`SsamCluster`]: the per-query cluster account.
+    Cluster(ClusterTiming),
+}
+
+impl DeviceAccount {
+    /// Modeled device seconds for this request alone (serial-equivalent
+    /// for the single-module backend, end-to-end for the cluster).
+    pub fn device_seconds(&self) -> f64 {
+        match self {
+            DeviceAccount::Device { timing, .. } => timing.seconds,
+            DeviceAccount::Cluster(t) => t.seconds,
+        }
+    }
+
+    /// Modeled device energy for this request, millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        match self {
+            DeviceAccount::Device { timing, .. } => timing.energy_mj,
+            DeviceAccount::Cluster(t) => t.energy_mj,
+        }
+    }
+}
+
+/// A served query.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Global top-k, best first.
+    pub neighbors: Vec<Neighbor>,
+    /// Device-side timing/energy account.
+    pub account: DeviceAccount,
+    /// Size of the device batch this request was coalesced into.
+    pub batch_size: usize,
+    /// Host wall-clock from admission to batch formation.
+    pub queue_seconds: f64,
+    /// Host wall-clock executing the device batch (shared by every
+    /// request in it).
+    pub service_seconds: f64,
+}
+
+/// Counters describing a server's lifetime so far. Snapshot via
+/// [`Server::stats`] or returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests served successfully.
+    pub served: u64,
+    /// Submissions rejected by backpressure ([`ServeError::Overloaded`]).
+    pub rejected_overload: u64,
+    /// Queued requests rejected on deadline expiry.
+    pub rejected_deadline: u64,
+    /// Requests completed with [`ServeError::Device`] or
+    /// [`ServeError::WorkerPanicked`].
+    pub failed: u64,
+    /// Worker panic events survived (each covers one batch).
+    pub worker_panics: u64,
+    /// Device batches executed successfully.
+    pub batches: u64,
+    /// Histogram of successful device-batch sizes: `batch_hist[s]` is
+    /// the number of batches of size `s` (index 0 unused).
+    pub batch_hist: Vec<u64>,
+}
+
+impl ServerStats {
+    /// Mean successful batch size (0 when no batch completed).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.served as f64 / self.batches as f64
+    }
+
+    /// Largest successful batch observed.
+    pub fn max_batch(&self) -> usize {
+        self.batch_hist.iter().rposition(|&n| n > 0).unwrap_or(0)
+    }
+}
+
+/// One admitted request waiting in the queue.
+struct Pending {
+    query: OwnedQuery,
+    k: usize,
+    key: BatchKey,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    tx: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+impl Pending {
+    fn meta(&self) -> PendingMeta {
+        PendingMeta {
+            key: self.key,
+            enqueued: self.enqueued,
+            deadline: self.deadline,
+        }
+    }
+}
+
+struct QueueState {
+    pending: VecDeque<Pending>,
+    /// `false` once shutdown begins: admissions stop, workers drain.
+    open: bool,
+    /// Batches handed to workers so far (drives test fault injection).
+    batches_started: u64,
+    stats: ServerStats,
+}
+
+/// Shape of the queries the backend accepts, checked at admission so
+/// malformed requests can never panic a worker.
+#[derive(Debug, Clone, Copy)]
+struct QueryShape {
+    len: usize,
+    binary: bool,
+    hw_queue: bool,
+    /// The cluster backend broadcasts float Euclidean queries only.
+    euclidean_only: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    wake: Condvar,
+    config: ServeConfig,
+    shape: QueryShape,
+}
+
+/// The execution backend a worker owns: a clone of the template device
+/// (or cluster), replaced from the template after a panic.
+enum Engine {
+    Device {
+        template: Arc<SsamDevice>,
+        live: Box<SsamDevice>,
+    },
+    Cluster {
+        template: Arc<SsamCluster>,
+        live: Box<SsamCluster>,
+    },
+}
+
+impl Engine {
+    fn recover(&mut self) {
+        match self {
+            Engine::Device { template, live } => **live = (**template).clone(),
+            Engine::Cluster { template, live } => **live = (**template).clone(),
+        }
+    }
+
+    /// Executes one coalesced batch. Results are in request order.
+    fn execute(
+        &mut self,
+        batch: &[Pending],
+        k: usize,
+    ) -> Result<Vec<(Vec<Neighbor>, DeviceAccount)>, SimError> {
+        match self {
+            Engine::Device { live, .. } => {
+                let queries: Vec<DeviceQuery<'_>> =
+                    batch.iter().map(|p| p.query.as_device_query()).collect();
+                let out = live.query_batch(&queries, k)?;
+                let batch_timing = out.timing;
+                Ok(out
+                    .results
+                    .into_iter()
+                    .map(|r| {
+                        (
+                            r.neighbors,
+                            DeviceAccount::Device {
+                                timing: r.timing,
+                                batch: batch_timing,
+                            },
+                        )
+                    })
+                    .collect())
+            }
+            Engine::Cluster { live, .. } => {
+                let queries: Vec<&[f32]> = batch
+                    .iter()
+                    .map(|p| match &p.query {
+                        OwnedQuery::Euclidean(q) => q.as_slice(),
+                        _ => unreachable!("admission rejects non-Euclidean cluster queries"),
+                    })
+                    .collect();
+                let out = live.query_batch(&queries, k)?;
+                Ok(out
+                    .into_iter()
+                    .map(|(neighbors, timing)| (neighbors, DeviceAccount::Cluster(timing)))
+                    .collect())
+            }
+        }
+    }
+}
+
+/// The online serving runtime: a dynamic batcher in front of a worker
+/// pool over device clones. See the crate docs for the full contract.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the worker pool over clones of `device` and starts
+    /// serving. Attach a telemetry sink to the device *before* this
+    /// call; every worker clone shares it.
+    ///
+    /// # Panics
+    /// Panics if the device has no dataset loaded.
+    pub fn start(device: SsamDevice, config: ServeConfig) -> Server {
+        let shape = QueryShape {
+            len: device
+                .query_len()
+                .expect("serve: device must have a dataset loaded"),
+            binary: device.payload_is_binary().unwrap_or(false),
+            hw_queue: device.config().use_hw_queue,
+            euclidean_only: false,
+        };
+        let template = Arc::new(device);
+        Self::spawn(config, shape, move || Engine::Device {
+            live: Box::new((*template).clone()),
+            template: Arc::clone(&template),
+        })
+    }
+
+    /// Spawns the worker pool over clones of `cluster`. The cluster
+    /// backend serves float Euclidean queries only (the cluster
+    /// broadcast path); other metrics are rejected at admission.
+    ///
+    /// # Panics
+    /// Panics if the cluster holds no data.
+    pub fn start_cluster(cluster: SsamCluster, config: ServeConfig) -> Server {
+        let shape = QueryShape {
+            len: cluster
+                .query_len()
+                .expect("serve: cluster must have a dataset loaded"),
+            binary: false,
+            hw_queue: true,
+            euclidean_only: true,
+        };
+        let template = Arc::new(cluster);
+        Self::spawn(config, shape, move || Engine::Cluster {
+            live: Box::new((*template).clone()),
+            template: Arc::clone(&template),
+        })
+    }
+
+    fn spawn(config: ServeConfig, shape: QueryShape, make_engine: impl Fn() -> Engine) -> Server {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                open: true,
+                batches_started: 0,
+                stats: ServerStats::default(),
+            }),
+            wake: Condvar::new(),
+            config,
+            shape,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let mut engine = make_engine();
+                std::thread::Builder::new()
+                    .name(format!("ssam-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &mut engine))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared
+            .state
+            .lock()
+            .expect("serve queue lock")
+            .stats
+            .clone()
+    }
+
+    /// Stops admissions, drains every queued request (flushing batches
+    /// immediately, without lingering), joins the workers, and returns
+    /// the final counters. Dropping the server performs the same
+    /// shutdown implicitly.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown_and_join();
+        self.shared
+            .state
+            .lock()
+            .expect("serve queue lock")
+            .stats
+            .clone()
+    }
+
+    fn begin_shutdown_and_join(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("serve queue lock");
+            st.open = false;
+        }
+        self.shared.wake.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.begin_shutdown_and_join();
+    }
+}
+
+/// A cloneable handle for submitting requests to a [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Validates and enqueues one request. On success the returned
+    /// [`Ticket`] resolves to the response once a worker serves (or
+    /// rejects) it; admission failures are returned immediately.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let shape = &self.shared.shape;
+        if req.k == 0 {
+            return Err(ServeError::BadRequest("k must be positive"));
+        }
+        if req.query.len() == 0 {
+            return Err(ServeError::BadRequest("query must be non-empty"));
+        }
+        if req.query.is_binary() != shape.binary {
+            return Err(ServeError::BadRequest(
+                "query representation incompatible with the loaded payload",
+            ));
+        }
+        if shape.euclidean_only && !matches!(req.query, OwnedQuery::Euclidean(_)) {
+            return Err(ServeError::BadRequest(
+                "cluster backend serves Euclidean queries only",
+            ));
+        }
+        if req.query.len() != shape.len {
+            return Err(ServeError::BadRequest(
+                "query length mismatches the loaded dataset",
+            ));
+        }
+
+        let now = Instant::now();
+        let timeout = req.timeout.or(self.shared.config.default_timeout);
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            key: BatchKey {
+                metric: req.query.metric(),
+                k: req.k,
+                hw_queue: shape.hw_queue,
+            },
+            query: req.query,
+            k: req.k,
+            enqueued: now,
+            deadline: timeout.map(|t| now + t),
+            tx,
+        };
+
+        {
+            let mut st = self.shared.state.lock().expect("serve queue lock");
+            if !st.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.pending.len() >= self.shared.config.queue_capacity {
+                st.stats.rejected_overload += 1;
+                return Err(ServeError::Overloaded {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            st.stats.submitted += 1;
+            st.pending.push_back(pending);
+        }
+        self.shared.wake.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and blocks for the response: `submit(req)?.wait()`.
+    pub fn query(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+}
+
+/// The pending side of one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request is served or rejected. Never hangs: a
+    /// draining server completes every admitted request before its
+    /// workers exit.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still queued or
+    /// executing.
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Removes `idx` (ascending, in-range) from the deque, returning the
+/// removed requests in their original order.
+fn take_indices(q: &mut VecDeque<Pending>, idx: &[usize]) -> Vec<Pending> {
+    let mut out: Vec<Pending> = idx
+        .iter()
+        .rev()
+        .map(|&i| q.remove(i).expect("batcher index in range"))
+        .collect();
+    out.reverse();
+    out
+}
+
+fn worker_loop(shared: &Shared, engine: &mut Engine) {
+    let cfg = &shared.config;
+    loop {
+        // Decide under the lock (see `batcher` for the state machine).
+        let decision: Option<(Vec<Pending>, u64)> = {
+            let mut st = shared.state.lock().expect("serve queue lock");
+            loop {
+                let now = Instant::now();
+                let metas: Vec<PendingMeta> = st.pending.iter().map(Pending::meta).collect();
+                let drain = !st.open;
+                let p = plan(&metas, now, cfg.max_batch, cfg.max_linger, drain);
+
+                // Deadline-expired requests are rejected before staging;
+                // indices are then stale, so re-plan.
+                if !p.expired.is_empty() {
+                    let dead = take_indices(&mut st.pending, &p.expired);
+                    st.stats.rejected_deadline += dead.len() as u64;
+                    for r in dead {
+                        let missed =
+                            now.saturating_duration_since(r.deadline.expect("expired ⇒ deadline"));
+                        let _ =
+                            r.tx.send(Err(ServeError::DeadlineExceeded { missed_by: missed }));
+                    }
+                    continue;
+                }
+
+                match p.action {
+                    Action::Flush(idx) => {
+                        let batch = take_indices(&mut st.pending, &idx);
+                        let seq = st.batches_started;
+                        st.batches_started += 1;
+                        if !st.pending.is_empty() {
+                            // Leftover work (another key, or overflow past
+                            // max_batch): wake a sibling before executing.
+                            shared.wake.notify_all();
+                        }
+                        break Some((batch, seq));
+                    }
+                    Action::Wait(timeout) => {
+                        let (guard, _) = shared
+                            .wake
+                            .wait_timeout(st, timeout)
+                            .expect("serve queue lock");
+                        st = guard;
+                    }
+                    Action::Idle => {
+                        if !st.open {
+                            break None; // drained and closed: exit
+                        }
+                        st = shared.wake.wait(st).expect("serve queue lock");
+                    }
+                }
+            }
+        };
+        let Some((batch, seq)) = decision else { return };
+        execute_batch(shared, engine, batch, seq);
+    }
+}
+
+/// Executes one coalesced batch outside the queue lock and completes
+/// every member request — with results, a typed device error, or
+/// `WorkerPanicked` if the execution unwound.
+fn execute_batch(shared: &Shared, engine: &mut Engine, batch: Vec<Pending>, seq: u64) {
+    let k = batch[0].k;
+    let n = batch.len();
+    let formed = Instant::now();
+    let inject = shared.config.panic_on_batch == Some(seq);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        assert!(!inject, "injected fault (ServeConfig::panic_on_batch)");
+        engine.execute(&batch, k)
+    }));
+    let service_seconds = formed.elapsed().as_secs_f64();
+
+    match outcome {
+        Ok(Ok(results)) => {
+            {
+                let mut st = shared.state.lock().expect("serve queue lock");
+                st.stats.served += n as u64;
+                st.stats.batches += 1;
+                if st.stats.batch_hist.len() <= n {
+                    st.stats.batch_hist.resize(n + 1, 0);
+                }
+                st.stats.batch_hist[n] += 1;
+            }
+            for (p, (neighbors, account)) in batch.into_iter().zip(results) {
+                let queue_seconds = formed.duration_since(p.enqueued).as_secs_f64();
+                let _ = p.tx.send(Ok(Response {
+                    neighbors,
+                    account,
+                    batch_size: n,
+                    queue_seconds,
+                    service_seconds,
+                }));
+            }
+        }
+        Ok(Err(e)) => {
+            shared.state.lock().expect("serve queue lock").stats.failed += n as u64;
+            for p in batch {
+                let _ = p.tx.send(Err(ServeError::Device(e.clone())));
+            }
+        }
+        Err(_) => {
+            // The device clone may be mid-mutation; discard it for a
+            // pristine copy of the template and keep serving.
+            engine.recover();
+            {
+                let mut st = shared.state.lock().expect("serve queue lock");
+                st.stats.failed += n as u64;
+                st.stats.worker_panics += 1;
+            }
+            for p in batch {
+                let _ = p.tx.send(Err(ServeError::WorkerPanicked));
+            }
+        }
+    }
+}

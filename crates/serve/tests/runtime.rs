@@ -1,0 +1,433 @@
+//! Deterministic integration tests for the serving runtime: every
+//! trigger of the batcher state machine exercised through the real
+//! threaded server, plus admission control, shutdown drain, panic
+//! isolation, the cluster backend, and telemetry cross-checking.
+
+use std::time::{Duration, Instant};
+
+use ssam_core::device::cluster::SsamCluster;
+use ssam_core::device::{SsamConfig, SsamDevice};
+use ssam_core::telemetry::Telemetry;
+use ssam_knn::binary::BinaryStore;
+use ssam_knn::VectorStore;
+use ssam_serve::{OwnedQuery, Request, ServeConfig, ServeError, Server};
+
+const DIMS: usize = 8;
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x
+}
+
+fn float_vec(x: &mut u64) -> Vec<f32> {
+    (0..DIMS)
+        .map(|_| ((lcg(x) >> 40) as i32 % 1000) as f32 / 500.0)
+        .collect()
+}
+
+fn float_device(n: usize, seed: u64) -> SsamDevice {
+    let mut store = VectorStore::with_capacity(DIMS, n);
+    let mut x = seed | 1;
+    for _ in 0..n {
+        store.push(&float_vec(&mut x));
+    }
+    let mut dev = SsamDevice::new(SsamConfig::default());
+    dev.load_vectors(&store);
+    dev
+}
+
+/// A long-linger config with one worker: nothing flushes until the
+/// trigger under test fires, and scheduling is single-file.
+fn slow_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 64,
+        max_linger: Duration::from_secs(3600),
+        workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn served_responses_match_serial_queries() {
+    let mut reference = float_device(96, 7);
+    let server = Server::start(
+        float_device(96, 7),
+        ServeConfig {
+            max_batch: 4,
+            max_linger: Duration::from_millis(5),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+
+    let mut x = 99u64;
+    let queries: Vec<Vec<f32>> = (0..10).map(|_| float_vec(&mut x)).collect();
+    let tickets: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            handle
+                .submit(Request::new(OwnedQuery::Euclidean(q.clone()), 5))
+                .expect("admitted")
+        })
+        .collect();
+    for (q, t) in queries.iter().zip(tickets) {
+        let resp = t.wait().expect("served");
+        let serial = reference
+            .query(&ssam_core::device::DeviceQuery::Euclidean(q), 5)
+            .expect("serial");
+        assert_eq!(resp.neighbors, serial.neighbors, "serving changed results");
+        assert!(resp.batch_size >= 1);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 10);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn linger_timeout_flushes_partial_batch() {
+    let server = Server::start(
+        float_device(48, 3),
+        ServeConfig {
+            max_batch: 64,
+            max_linger: Duration::from_millis(100),
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 5u64;
+    // Submissions are non-blocking, so all three requests sit queued
+    // long before the 100 ms linger bound of the first: one batch of 3.
+    let tickets: Vec<_> = (0..3)
+        .map(|_| {
+            handle
+                .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        let r = t.wait().expect("served");
+        assert_eq!(r.batch_size, 3);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.batch_hist.get(3), Some(&1));
+}
+
+#[test]
+fn full_batch_flushes_without_waiting_for_linger() {
+    let started = Instant::now();
+    let server = Server::start(
+        float_device(48, 4),
+        ServeConfig {
+            max_batch: 3,
+            ..slow_config()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 11u64;
+    let tickets: Vec<_> = (0..3)
+        .map(|_| {
+            handle
+                .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        assert_eq!(t.wait().expect("served").batch_size, 3);
+    }
+    // The linger bound is an hour; only the size trigger can explain a
+    // prompt flush.
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "batch waited out the linger despite being full"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.batch_hist.get(3), Some(&1));
+}
+
+#[test]
+fn expired_deadline_rejects_promptly_without_flushing() {
+    let started = Instant::now();
+    let server = Server::start(float_device(48, 5), slow_config());
+    let handle = server.handle();
+    let mut x = 13u64;
+    // A lone request can only leave the hour-long linger window through
+    // its deadline — as a typed rejection, never a hang.
+    let err = handle
+        .query(
+            Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4)
+                .with_timeout(Duration::from_millis(50)),
+        )
+        .expect_err("deadline must reject");
+    assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "deadline rejection waited out the linger"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.served, 0);
+}
+
+#[test]
+fn default_timeout_applies_when_request_has_none() {
+    let server = Server::start(
+        float_device(48, 6),
+        ServeConfig {
+            default_timeout: Some(Duration::from_millis(50)),
+            ..slow_config()
+        },
+    );
+    let mut x = 17u64;
+    let err = server
+        .handle()
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect_err("server-wide deadline must reject");
+    assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    let server = Server::start(float_device(48, 8), slow_config());
+    let handle = server.handle();
+    let mut x = 19u64;
+    let tickets: Vec<_> = (0..3)
+        .map(|_| {
+            handle
+                .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+                .expect("admitted")
+        })
+        .collect();
+    // None of the three can flush on its own inside the hour-long
+    // linger; shutdown must drain them, not abandon them.
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 3);
+    for t in tickets {
+        t.wait().expect("drained requests are served");
+    }
+    // The handle outlives the server and reports closure.
+    let err = handle
+        .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect_err("closed");
+    assert_eq!(err, ServeError::ShuttingDown);
+}
+
+#[test]
+fn bounded_queue_rejects_overload_with_typed_error() {
+    let server = Server::start(
+        float_device(48, 9),
+        ServeConfig {
+            queue_capacity: 2,
+            ..slow_config()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 23u64;
+    // The worker lingers for an hour, so the first two requests occupy
+    // the whole queue; the third must bounce immediately.
+    let _t1 = handle
+        .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect("admitted");
+    let _t2 = handle
+        .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect("admitted");
+    let err = handle
+        .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect_err("overloaded");
+    assert_eq!(err, ServeError::Overloaded { capacity: 2 });
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_overload, 1);
+    assert_eq!(stats.served, 2);
+}
+
+#[test]
+fn malformed_requests_rejected_at_admission() {
+    let server = Server::start(float_device(48, 10), slow_config());
+    let handle = server.handle();
+    let cases = [
+        Request::new(OwnedQuery::Euclidean(vec![0.0; DIMS]), 0),
+        Request::new(OwnedQuery::Euclidean(vec![]), 4),
+        Request::new(OwnedQuery::Euclidean(vec![0.0; DIMS + 1]), 4),
+        Request::new(OwnedQuery::Hamming(vec![0; 2]), 4),
+    ];
+    for req in cases {
+        let err = handle.submit(req.clone()).expect_err("must reject");
+        assert!(matches!(err, ServeError::BadRequest(_)), "{req:?}: {err}");
+    }
+    assert_eq!(server.shutdown().submitted, 0);
+}
+
+#[test]
+fn binary_device_serves_hamming_and_rejects_floats() {
+    let mut store = BinaryStore::new(64);
+    let mut x = 31u64;
+    for _ in 0..48 {
+        store.push(&[(lcg(&mut x) >> 16) as u32, (lcg(&mut x) >> 16) as u32]);
+    }
+    let mut dev = SsamDevice::new(SsamConfig::default());
+    dev.load_binary(&store);
+    let mut reference = dev.clone();
+
+    let server = Server::start(
+        dev,
+        ServeConfig {
+            max_linger: Duration::from_millis(5),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let err = handle
+        .submit(Request::new(OwnedQuery::Euclidean(vec![0.0; 2]), 4))
+        .expect_err("float query against binary payload");
+    assert!(matches!(err, ServeError::BadRequest(_)));
+
+    let code = vec![(lcg(&mut x) >> 16) as u32, (lcg(&mut x) >> 16) as u32];
+    let resp = handle
+        .query(Request::new(OwnedQuery::Hamming(code.clone()), 6))
+        .expect("served");
+    let serial = reference
+        .query(&ssam_core::device::DeviceQuery::Hamming(&code), 6)
+        .expect("serial");
+    assert_eq!(resp.neighbors, serial.neighbors);
+}
+
+#[test]
+fn mixed_k_requests_batch_separately_but_all_serve() {
+    let server = Server::start(
+        float_device(64, 12),
+        ServeConfig {
+            max_batch: 8,
+            max_linger: Duration::from_millis(20),
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 37u64;
+    let tickets: Vec<(usize, _)> = (0..6)
+        .map(|i| {
+            let k = if i % 2 == 0 { 3 } else { 9 };
+            let t = handle
+                .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), k))
+                .expect("admitted");
+            (k, t)
+        })
+        .collect();
+    for (k, t) in tickets {
+        let r = t.wait().expect("served");
+        assert_eq!(r.neighbors.len(), k);
+        // k is part of the batch key: a batch never mixes depths.
+        assert!(r.batch_size <= 3, "incompatible requests coalesced");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 6);
+    assert!(stats.batches >= 2);
+}
+
+#[test]
+fn worker_panic_is_isolated_and_server_recovers() {
+    let server = Server::start(
+        float_device(48, 14),
+        ServeConfig {
+            max_batch: 1, // every request is its own batch
+            max_linger: Duration::from_millis(1),
+            workers: 1,
+            panic_on_batch: Some(0),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 41u64;
+    let err = handle
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect_err("injected fault");
+    assert_eq!(err, ServeError::WorkerPanicked);
+    // The worker recovered on a pristine device clone; the queue is not
+    // wedged and subsequent requests serve normally.
+    let resp = handle
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect("server recovered");
+    assert_eq!(resp.neighbors.len(), 4);
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.served, 1);
+}
+
+#[test]
+fn cluster_backend_serves_and_enforces_euclidean_only() {
+    let mut store = VectorStore::with_capacity(DIMS, 96);
+    let mut x = 43u64;
+    for _ in 0..96 {
+        store.push(&float_vec(&mut x));
+    }
+    let cluster = SsamCluster::build(SsamConfig::default(), 2, &store);
+    let mut reference = cluster.clone();
+
+    let server = Server::start_cluster(
+        cluster,
+        ServeConfig {
+            max_linger: Duration::from_millis(5),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let err = handle
+        .submit(Request::new(OwnedQuery::Manhattan(vec![0.0; DIMS]), 4))
+        .expect_err("cluster is Euclidean-only");
+    assert!(matches!(err, ServeError::BadRequest(_)));
+
+    let q = float_vec(&mut x);
+    let resp = handle
+        .query(Request::new(OwnedQuery::Euclidean(q.clone()), 5))
+        .expect("served");
+    let serial = reference.query(&q, 5).expect("serial");
+    assert_eq!(resp.neighbors, serial.0);
+    assert!(matches!(
+        resp.account,
+        ssam_serve::DeviceAccount::Cluster(_)
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn served_batches_record_verified_telemetry() {
+    let sink = Telemetry::new();
+    let mut dev = float_device(64, 15);
+    dev.attach_telemetry(&sink);
+    let server = Server::start(
+        dev,
+        ServeConfig {
+            max_batch: 4,
+            max_linger: Duration::from_millis(5),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 47u64;
+    let tickets: Vec<_> = (0..8)
+        .map(|_| {
+            handle
+                .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 5))
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("served");
+    }
+    server.shutdown();
+    // Worker device clones share the sink attached before start: every
+    // served query left a self-checked record, and none was retained as
+    // a violation.
+    assert!(sink.records().len() >= 8, "served queries left no records");
+    assert!(
+        sink.violations().is_empty(),
+        "serve-path accounting violated telemetry invariants: {:?}",
+        sink.violations()
+    );
+}

@@ -21,6 +21,9 @@
 //!   FPGA / Automata Processor platform models.
 //! * [`profiling`] — instruction-mix instrumentation (the paper's Table I).
 //! * [`cost`] — the Section VI-A datacenter TCO model.
+//! * [`serve`] — the online query-serving runtime: dynamic batching,
+//!   admission control, deadlines, and graceful shutdown over the device
+//!   engine (see `examples/serve_demo.rs`).
 //!
 //! ## Quickstart
 //!
@@ -45,3 +48,4 @@ pub use ssam_datasets as datasets;
 pub use ssam_hmc as hmc;
 pub use ssam_knn as knn;
 pub use ssam_profiling as profiling;
+pub use ssam_serve as serve;

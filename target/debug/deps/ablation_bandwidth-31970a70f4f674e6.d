@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bandwidth-31970a70f4f674e6.d: crates/bench/src/bin/ablation_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bandwidth-31970a70f4f674e6.rmeta: crates/bench/src/bin/ablation_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/ablation_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bandwidth-bc85464133e385ac.d: crates/bench/src/bin/ablation_bandwidth.rs
+
+/root/repo/target/debug/deps/ablation_bandwidth-bc85464133e385ac: crates/bench/src/bin/ablation_bandwidth.rs
+
+crates/bench/src/bin/ablation_bandwidth.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_batching-32a54b0961b06f65.d: crates/bench/src/bin/ablation_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_batching-32a54b0961b06f65.rmeta: crates/bench/src/bin/ablation_batching.rs Cargo.toml
+
+crates/bench/src/bin/ablation_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

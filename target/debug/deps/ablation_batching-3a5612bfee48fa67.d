@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batching-3a5612bfee48fa67.d: crates/bench/src/bin/ablation_batching.rs
+
+/root/repo/target/debug/deps/ablation_batching-3a5612bfee48fa67: crates/bench/src/bin/ablation_batching.rs
+
+crates/bench/src/bin/ablation_batching.rs:

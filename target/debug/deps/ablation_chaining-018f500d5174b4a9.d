@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_chaining-018f500d5174b4a9.d: crates/bench/src/bin/ablation_chaining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_chaining-018f500d5174b4a9.rmeta: crates/bench/src/bin/ablation_chaining.rs Cargo.toml
+
+crates/bench/src/bin/ablation_chaining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

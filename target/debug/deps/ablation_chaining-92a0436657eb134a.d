@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_chaining-92a0436657eb134a.d: crates/bench/src/bin/ablation_chaining.rs
+
+/root/repo/target/debug/deps/ablation_chaining-92a0436657eb134a: crates/bench/src/bin/ablation_chaining.rs
+
+crates/bench/src/bin/ablation_chaining.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_chaining-e7f682a424a7a09f.d: crates/bench/src/bin/ablation_chaining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_chaining-e7f682a424a7a09f.rmeta: crates/bench/src/bin/ablation_chaining.rs Cargo.toml
+
+crates/bench/src/bin/ablation_chaining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fixed_point-38f2ba564fa200b2.d: crates/bench/src/bin/ablation_fixed_point.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fixed_point-38f2ba564fa200b2.rmeta: crates/bench/src/bin/ablation_fixed_point.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fixed_point.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fixed_point-a7b0071161ec4bab.d: crates/bench/src/bin/ablation_fixed_point.rs
+
+/root/repo/target/debug/deps/ablation_fixed_point-a7b0071161ec4bab: crates/bench/src/bin/ablation_fixed_point.rs
+
+crates/bench/src/bin/ablation_fixed_point.rs:

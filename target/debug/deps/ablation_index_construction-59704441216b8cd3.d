@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_index_construction-59704441216b8cd3.d: crates/bench/src/bin/ablation_index_construction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_index_construction-59704441216b8cd3.rmeta: crates/bench/src/bin/ablation_index_construction.rs Cargo.toml
+
+crates/bench/src/bin/ablation_index_construction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_index_construction-be41017f9421b9ef.d: crates/bench/src/bin/ablation_index_construction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_index_construction-be41017f9421b9ef.rmeta: crates/bench/src/bin/ablation_index_construction.rs Cargo.toml
+
+crates/bench/src/bin/ablation_index_construction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_index_construction-d2201880737fc943.d: crates/bench/src/bin/ablation_index_construction.rs
+
+/root/repo/target/debug/deps/ablation_index_construction-d2201880737fc943: crates/bench/src/bin/ablation_index_construction.rs
+
+crates/bench/src/bin/ablation_index_construction.rs:

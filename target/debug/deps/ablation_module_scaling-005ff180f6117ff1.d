@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_module_scaling-005ff180f6117ff1.d: crates/bench/src/bin/ablation_module_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_module_scaling-005ff180f6117ff1.rmeta: crates/bench/src/bin/ablation_module_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_module_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

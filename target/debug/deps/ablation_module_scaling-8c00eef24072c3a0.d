@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_module_scaling-8c00eef24072c3a0.d: crates/bench/src/bin/ablation_module_scaling.rs
+
+/root/repo/target/debug/deps/ablation_module_scaling-8c00eef24072c3a0: crates/bench/src/bin/ablation_module_scaling.rs
+
+crates/bench/src/bin/ablation_module_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_on_device_index-912927f298aeb731.d: crates/bench/src/bin/ablation_on_device_index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_on_device_index-912927f298aeb731.rmeta: crates/bench/src/bin/ablation_on_device_index.rs Cargo.toml
+
+crates/bench/src/bin/ablation_on_device_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_on_device_index-96e53a25c89eccd7.d: crates/bench/src/bin/ablation_on_device_index.rs
+
+/root/repo/target/debug/deps/ablation_on_device_index-96e53a25c89eccd7: crates/bench/src/bin/ablation_on_device_index.rs
+
+crates/bench/src/bin/ablation_on_device_index.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_priority_queue-8e96211ccda949a4.d: crates/bench/src/bin/ablation_priority_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_priority_queue-8e96211ccda949a4.rmeta: crates/bench/src/bin/ablation_priority_queue.rs Cargo.toml
+
+crates/bench/src/bin/ablation_priority_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

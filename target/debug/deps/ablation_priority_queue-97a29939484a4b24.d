@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_priority_queue-97a29939484a4b24.d: crates/bench/src/bin/ablation_priority_queue.rs
+
+/root/repo/target/debug/deps/ablation_priority_queue-97a29939484a4b24: crates/bench/src/bin/ablation_priority_queue.rs
+
+crates/bench/src/bin/ablation_priority_queue.rs:

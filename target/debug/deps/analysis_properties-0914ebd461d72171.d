@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_properties-0914ebd461d72171.d: tests/analysis_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_properties-0914ebd461d72171.rmeta: tests/analysis_properties.rs Cargo.toml
+
+tests/analysis_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

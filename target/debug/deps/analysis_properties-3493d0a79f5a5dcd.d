@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_properties-3493d0a79f5a5dcd.d: tests/analysis_properties.rs
+
+/root/repo/target/debug/deps/analysis_properties-3493d0a79f5a5dcd: tests/analysis_properties.rs
+
+tests/analysis_properties.rs:

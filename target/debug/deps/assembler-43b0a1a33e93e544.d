@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assembler-43b0a1a33e93e544.d: crates/bench/benches/assembler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassembler-43b0a1a33e93e544.rmeta: crates/bench/benches/assembler.rs Cargo.toml
+
+crates/bench/benches/assembler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

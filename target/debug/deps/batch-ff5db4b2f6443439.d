@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch-ff5db4b2f6443439.d: crates/bench/benches/batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch-ff5db4b2f6443439.rmeta: crates/bench/benches/batch.rs Cargo.toml
+
+crates/bench/benches/batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

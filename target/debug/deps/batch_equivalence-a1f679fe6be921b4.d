@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/batch_equivalence-a1f679fe6be921b4.d: tests/batch_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_equivalence-a1f679fe6be921b4.rmeta: tests/batch_equivalence.rs Cargo.toml
+
+tests/batch_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

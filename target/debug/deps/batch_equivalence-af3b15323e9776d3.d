@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_equivalence-af3b15323e9776d3.d: tests/batch_equivalence.rs
+
+/root/repo/target/debug/deps/batch_equivalence-af3b15323e9776d3: tests/batch_equivalence.rs
+
+tests/batch_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_sim-4b04ce9f13cd54e2.d: tests/differential_sim.rs
+
+/root/repo/target/debug/deps/differential_sim-4b04ce9f13cd54e2: tests/differential_sim.rs
+
+tests/differential_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_sim-cc20901993f2850d.d: tests/differential_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_sim-cc20901993f2850d.rmeta: tests/differential_sim.rs Cargo.toml
+
+tests/differential_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distances-34bc7959e3954398.d: crates/bench/benches/distances.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistances-34bc7959e3954398.rmeta: crates/bench/benches/distances.rs Cargo.toml
+
+crates/bench/benches/distances.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

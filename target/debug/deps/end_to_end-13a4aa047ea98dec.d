@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-13a4aa047ea98dec.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-13a4aa047ea98dec: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-2a8a4d0e5d91eca2.d: crates/bench/src/bin/fig2_accuracy_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_accuracy_tradeoff-2a8a4d0e5d91eca2.rmeta: crates/bench/src/bin/fig2_accuracy_tradeoff.rs Cargo.toml
+
+crates/bench/src/bin/fig2_accuracy_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-5d85cb806199fba8.d: crates/bench/src/bin/fig2_accuracy_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_accuracy_tradeoff-5d85cb806199fba8.rmeta: crates/bench/src/bin/fig2_accuracy_tradeoff.rs Cargo.toml
+
+crates/bench/src/bin/fig2_accuracy_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

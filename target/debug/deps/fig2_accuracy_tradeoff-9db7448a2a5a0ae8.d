@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-9db7448a2a5a0ae8.d: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+/root/repo/target/debug/deps/fig2_accuracy_tradeoff-9db7448a2a5a0ae8: crates/bench/src/bin/fig2_accuracy_tradeoff.rs
+
+crates/bench/src/bin/fig2_accuracy_tradeoff.rs:

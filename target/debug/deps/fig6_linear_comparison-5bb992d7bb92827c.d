@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_linear_comparison-5bb992d7bb92827c.d: crates/bench/src/bin/fig6_linear_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_linear_comparison-5bb992d7bb92827c.rmeta: crates/bench/src/bin/fig6_linear_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fig6_linear_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

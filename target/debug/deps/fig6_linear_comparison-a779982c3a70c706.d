@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_linear_comparison-a779982c3a70c706.d: crates/bench/src/bin/fig6_linear_comparison.rs
+
+/root/repo/target/debug/deps/fig6_linear_comparison-a779982c3a70c706: crates/bench/src/bin/fig6_linear_comparison.rs
+
+crates/bench/src/bin/fig6_linear_comparison.rs:

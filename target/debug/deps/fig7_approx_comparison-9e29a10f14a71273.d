@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_approx_comparison-9e29a10f14a71273.d: crates/bench/src/bin/fig7_approx_comparison.rs
+
+/root/repo/target/debug/deps/fig7_approx_comparison-9e29a10f14a71273: crates/bench/src/bin/fig7_approx_comparison.rs
+
+crates/bench/src/bin/fig7_approx_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_approx_comparison-d643ae15d847bffd.d: crates/bench/src/bin/fig7_approx_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_approx_comparison-d643ae15d847bffd.rmeta: crates/bench/src/bin/fig7_approx_comparison.rs Cargo.toml
+
+crates/bench/src/bin/fig7_approx_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmc_model-e500422e3cdd240a.d: crates/bench/benches/hmc_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmc_model-e500422e3cdd240a.rmeta: crates/bench/benches/hmc_model.rs Cargo.toml
+
+crates/bench/benches/hmc_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

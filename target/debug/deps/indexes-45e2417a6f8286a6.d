@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/indexes-45e2417a6f8286a6.d: crates/bench/benches/indexes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindexes-45e2417a6f8286a6.rmeta: crates/bench/benches/indexes.rs Cargo.toml
+
+crates/bench/benches/indexes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_properties-ae9e07e669c9b21a.d: tests/kernel_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_properties-ae9e07e669c9b21a.rmeta: tests/kernel_properties.rs Cargo.toml
+
+tests/kernel_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

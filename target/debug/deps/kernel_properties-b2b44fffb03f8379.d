@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_properties-b2b44fffb03f8379.d: tests/kernel_properties.rs
+
+/root/repo/target/debug/deps/kernel_properties-b2b44fffb03f8379: tests/kernel_properties.rs
+
+tests/kernel_properties.rs:

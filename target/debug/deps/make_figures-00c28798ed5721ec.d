@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/make_figures-00c28798ed5721ec.d: crates/bench/src/bin/make_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmake_figures-00c28798ed5721ec.rmeta: crates/bench/src/bin/make_figures.rs Cargo.toml
+
+crates/bench/src/bin/make_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/make_figures-084ad08b0ce895b1.d: crates/bench/src/bin/make_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmake_figures-084ad08b0ce895b1.rmeta: crates/bench/src/bin/make_figures.rs Cargo.toml
+
+crates/bench/src/bin/make_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

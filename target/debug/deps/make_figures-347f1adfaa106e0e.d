@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_figures-347f1adfaa106e0e.d: crates/bench/src/bin/make_figures.rs
+
+/root/repo/target/debug/deps/make_figures-347f1adfaa106e0e: crates/bench/src/bin/make_figures.rs
+
+crates/bench/src/bin/make_figures.rs:

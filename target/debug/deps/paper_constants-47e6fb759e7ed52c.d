@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_constants-47e6fb759e7ed52c.d: tests/paper_constants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_constants-47e6fb759e7ed52c.rmeta: tests/paper_constants.rs Cargo.toml
+
+tests/paper_constants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_constants-bf5114b1b30fc679.d: tests/paper_constants.rs
+
+/root/repo/target/debug/deps/paper_constants-bf5114b1b30fc679: tests/paper_constants.rs
+
+tests/paper_constants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-01b8981cd51d1cd3.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-01b8981cd51d1cd3: tests/properties.rs
+
+tests/properties.rs:

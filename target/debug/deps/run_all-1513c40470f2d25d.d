@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-1513c40470f2d25d.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-1513c40470f2d25d: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-3fd4609fc3a72fa8.d: crates/serve/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-3fd4609fc3a72fa8: crates/serve/tests/runtime.rs
+
+crates/serve/tests/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-e106755054f2bfae.d: crates/serve/tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-e106755054f2bfae.rmeta: crates/serve/tests/runtime.rs Cargo.toml
+
+crates/serve/tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

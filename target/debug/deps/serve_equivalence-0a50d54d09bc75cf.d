@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_equivalence-0a50d54d09bc75cf.d: tests/serve_equivalence.rs
+
+/root/repo/target/debug/deps/serve_equivalence-0a50d54d09bc75cf: tests/serve_equivalence.rs
+
+tests/serve_equivalence.rs:

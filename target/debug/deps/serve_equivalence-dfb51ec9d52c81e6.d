@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_equivalence-dfb51ec9d52c81e6.d: tests/serve_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_equivalence-dfb51ec9d52c81e6.rmeta: tests/serve_equivalence.rs Cargo.toml
+
+tests/serve_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_load-161deeda34d9ce0a.d: crates/bench/src/bin/serve_load.rs
+
+/root/repo/target/debug/deps/serve_load-161deeda34d9ce0a: crates/bench/src/bin/serve_load.rs
+
+crates/bench/src/bin/serve_load.rs:

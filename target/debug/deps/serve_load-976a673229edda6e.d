@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_load-976a673229edda6e.d: crates/bench/src/bin/serve_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_load-976a673229edda6e.rmeta: crates/bench/src/bin/serve_load.rs Cargo.toml
+
+crates/bench/src/bin/serve_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

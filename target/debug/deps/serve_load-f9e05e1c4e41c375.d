@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_load-f9e05e1c4e41c375.d: crates/bench/src/bin/serve_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_load-f9e05e1c4e41c375.rmeta: crates/bench/src/bin/serve_load.rs Cargo.toml
+
+crates/bench/src/bin/serve_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_vs_reference-4b59334d00985852.d: tests/simulator_vs_reference.rs
+
+/root/repo/target/debug/deps/simulator_vs_reference-4b59334d00985852: tests/simulator_vs_reference.rs
+
+tests/simulator_vs_reference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_vs_reference-9cee1e6dcfbea373.d: tests/simulator_vs_reference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_vs_reference-9cee1e6dcfbea373.rmeta: tests/simulator_vs_reference.rs Cargo.toml
+
+tests/simulator_vs_reference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam-92f1fa25befcb50b.d: src/lib.rs
+
+/root/repo/target/debug/deps/ssam-92f1fa25befcb50b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssam-c35937a69d6a6308.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam-c35937a69d6a6308.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ssam-e5bbce06f4f10197.d: src/lib.rs
+
+/root/repo/target/debug/deps/libssam-e5bbce06f4f10197.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libssam-e5bbce06f4f10197.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ssam_bench-22923c462ac407d9.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/ssam_bench-22923c462ac407d9: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ssam_bench-5a90332738fa192b.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libssam_bench-5a90332738fa192b.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ssam_bench-e71a39432af5d396.d: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_bench-e71a39432af5d396.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

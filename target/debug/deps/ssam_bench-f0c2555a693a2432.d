@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ssam_bench-f0c2555a693a2432.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libssam_bench-f0c2555a693a2432.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libssam_bench-f0c2555a693a2432.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

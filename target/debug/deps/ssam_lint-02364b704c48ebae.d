@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssam_lint-02364b704c48ebae.d: crates/bench/src/bin/ssam_lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_lint-02364b704c48ebae.rmeta: crates/bench/src/bin/ssam_lint.rs Cargo.toml
+
+crates/bench/src/bin/ssam_lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

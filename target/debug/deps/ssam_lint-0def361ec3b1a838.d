@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssam_lint-0def361ec3b1a838.d: crates/bench/src/bin/ssam_lint.rs
+
+/root/repo/target/debug/deps/ssam_lint-0def361ec3b1a838: crates/bench/src/bin/ssam_lint.rs
+
+crates/bench/src/bin/ssam_lint.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ssam_serve-28612e394907a118.d: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+/root/repo/target/debug/deps/ssam_serve-28612e394907a118: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:

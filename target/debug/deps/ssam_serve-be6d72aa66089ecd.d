@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ssam_serve-be6d72aa66089ecd.d: crates/serve/src/lib.rs crates/serve/src/batcher.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssam_serve-be6d72aa66089ecd.rmeta: crates/serve/src/lib.rs crates/serve/src/batcher.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

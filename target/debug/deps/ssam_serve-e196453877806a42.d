@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ssam_serve-e196453877806a42.d: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+/root/repo/target/debug/deps/libssam_serve-e196453877806a42.rmeta: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ssam_serve-e1a72c0ed914e406.d: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+/root/repo/target/debug/deps/libssam_serve-e1a72c0ed914e406.rlib: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+/root/repo/target/debug/deps/libssam_serve-e1a72c0ed914e406.rmeta: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:

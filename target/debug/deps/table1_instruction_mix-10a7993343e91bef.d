@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_instruction_mix-10a7993343e91bef.d: crates/bench/src/bin/table1_instruction_mix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_instruction_mix-10a7993343e91bef.rmeta: crates/bench/src/bin/table1_instruction_mix.rs Cargo.toml
+
+crates/bench/src/bin/table1_instruction_mix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

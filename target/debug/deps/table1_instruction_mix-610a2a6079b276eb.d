@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_instruction_mix-610a2a6079b276eb.d: crates/bench/src/bin/table1_instruction_mix.rs
+
+/root/repo/target/debug/deps/table1_instruction_mix-610a2a6079b276eb: crates/bench/src/bin/table1_instruction_mix.rs
+
+crates/bench/src/bin/table1_instruction_mix.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_power-31adf4297ed47bb6.d: crates/bench/src/bin/table3_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_power-31adf4297ed47bb6.rmeta: crates/bench/src/bin/table3_power.rs Cargo.toml
+
+crates/bench/src/bin/table3_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

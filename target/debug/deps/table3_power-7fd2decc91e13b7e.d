@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_power-7fd2decc91e13b7e.d: crates/bench/src/bin/table3_power.rs
+
+/root/repo/target/debug/deps/table3_power-7fd2decc91e13b7e: crates/bench/src/bin/table3_power.rs
+
+crates/bench/src/bin/table3_power.rs:

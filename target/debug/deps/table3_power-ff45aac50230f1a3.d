@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_power-ff45aac50230f1a3.d: crates/bench/src/bin/table3_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_power-ff45aac50230f1a3.rmeta: crates/bench/src/bin/table3_power.rs Cargo.toml
+
+crates/bench/src/bin/table3_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_area-123f5476d8563b7b.d: crates/bench/src/bin/table4_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_area-123f5476d8563b7b.rmeta: crates/bench/src/bin/table4_area.rs Cargo.toml
+
+crates/bench/src/bin/table4_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_area-6d73d5c7a640acac.d: crates/bench/src/bin/table4_area.rs
+
+/root/repo/target/debug/deps/table4_area-6d73d5c7a640acac: crates/bench/src/bin/table4_area.rs
+
+crates/bench/src/bin/table4_area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_distance_metrics-b0755c354f529a12.d: crates/bench/src/bin/table5_distance_metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_distance_metrics-b0755c354f529a12.rmeta: crates/bench/src/bin/table5_distance_metrics.rs Cargo.toml
+
+crates/bench/src/bin/table5_distance_metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

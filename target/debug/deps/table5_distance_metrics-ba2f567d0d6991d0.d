@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_distance_metrics-ba2f567d0d6991d0.d: crates/bench/src/bin/table5_distance_metrics.rs
+
+/root/repo/target/debug/deps/table5_distance_metrics-ba2f567d0d6991d0: crates/bench/src/bin/table5_distance_metrics.rs
+
+crates/bench/src/bin/table5_distance_metrics.rs:

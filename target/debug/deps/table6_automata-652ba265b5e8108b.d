@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_automata-652ba265b5e8108b.d: crates/bench/src/bin/table6_automata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_automata-652ba265b5e8108b.rmeta: crates/bench/src/bin/table6_automata.rs Cargo.toml
+
+crates/bench/src/bin/table6_automata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

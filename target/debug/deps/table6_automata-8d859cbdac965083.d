@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_automata-8d859cbdac965083.d: crates/bench/src/bin/table6_automata.rs
+
+/root/repo/target/debug/deps/table6_automata-8d859cbdac965083: crates/bench/src/bin/table6_automata.rs
+
+crates/bench/src/bin/table6_automata.rs:

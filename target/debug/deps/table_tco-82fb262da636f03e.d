@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_tco-82fb262da636f03e.d: crates/bench/src/bin/table_tco.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_tco-82fb262da636f03e.rmeta: crates/bench/src/bin/table_tco.rs Cargo.toml
+
+crates/bench/src/bin/table_tco.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

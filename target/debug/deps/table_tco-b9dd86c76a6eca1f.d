@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_tco-b9dd86c76a6eca1f.d: crates/bench/src/bin/table_tco.rs
+
+/root/repo/target/debug/deps/table_tco-b9dd86c76a6eca1f: crates/bench/src/bin/table_tco.rs
+
+crates/bench/src/bin/table_tco.rs:

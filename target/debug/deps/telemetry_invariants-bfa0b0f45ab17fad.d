@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_invariants-bfa0b0f45ab17fad.d: tests/telemetry_invariants.rs
+
+/root/repo/target/debug/deps/telemetry_invariants-bfa0b0f45ab17fad: tests/telemetry_invariants.rs
+
+tests/telemetry_invariants.rs:

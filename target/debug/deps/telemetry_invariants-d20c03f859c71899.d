@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_invariants-d20c03f859c71899.d: tests/telemetry_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_invariants-d20c03f859c71899.rmeta: tests/telemetry_invariants.rs Cargo.toml
+
+tests/telemetry_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topk-9af9db1f15d0850b.d: crates/bench/benches/topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopk-9af9db1f15d0850b.rmeta: crates/bench/benches/topk.rs Cargo.toml
+
+crates/bench/benches/topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traversal_kernel-1db166ee69551dfc.d: tests/traversal_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraversal_kernel-1db166ee69551dfc.rmeta: tests/traversal_kernel.rs Cargo.toml
+
+tests/traversal_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/traversal_kernel-2749cd087a49e615.d: tests/traversal_kernel.rs
+
+/root/repo/target/debug/deps/traversal_kernel-2749cd087a49e615: tests/traversal_kernel.rs
+
+tests/traversal_kernel.rs:

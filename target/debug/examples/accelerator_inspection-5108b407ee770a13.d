@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_inspection-5108b407ee770a13.d: examples/accelerator_inspection.rs
+
+/root/repo/target/debug/examples/accelerator_inspection-5108b407ee770a13: examples/accelerator_inspection.rs
+
+examples/accelerator_inspection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accelerator_inspection-fc782cb94b0503a7.d: examples/accelerator_inspection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccelerator_inspection-fc782cb94b0503a7.rmeta: examples/accelerator_inspection.rs Cargo.toml
+
+examples/accelerator_inspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

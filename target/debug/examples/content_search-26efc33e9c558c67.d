@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/content_search-26efc33e9c558c67.d: examples/content_search.rs
+
+/root/repo/target/debug/examples/content_search-26efc33e9c558c67: examples/content_search.rs
+
+examples/content_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/content_search-e0a06354cdb182ef.d: examples/content_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcontent_search-e0a06354cdb182ef.rmeta: examples/content_search.rs Cargo.toml
+
+examples/content_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

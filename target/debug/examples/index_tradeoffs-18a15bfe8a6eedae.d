@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/index_tradeoffs-18a15bfe8a6eedae.d: examples/index_tradeoffs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindex_tradeoffs-18a15bfe8a6eedae.rmeta: examples/index_tradeoffs.rs Cargo.toml
+
+examples/index_tradeoffs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

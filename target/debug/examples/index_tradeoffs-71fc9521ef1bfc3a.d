@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/index_tradeoffs-71fc9521ef1bfc3a.d: examples/index_tradeoffs.rs
+
+/root/repo/target/debug/examples/index_tradeoffs-71fc9521ef1bfc3a: examples/index_tradeoffs.rs
+
+examples/index_tradeoffs.rs:

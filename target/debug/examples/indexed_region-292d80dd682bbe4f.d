@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/indexed_region-292d80dd682bbe4f.d: examples/indexed_region.rs Cargo.toml
+
+/root/repo/target/debug/examples/libindexed_region-292d80dd682bbe4f.rmeta: examples/indexed_region.rs Cargo.toml
+
+examples/indexed_region.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

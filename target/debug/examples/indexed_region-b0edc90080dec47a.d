@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/indexed_region-b0edc90080dec47a.d: examples/indexed_region.rs
+
+/root/repo/target/debug/examples/indexed_region-b0edc90080dec47a: examples/indexed_region.rs
+
+examples/indexed_region.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/near_data_advantage-bfe66bbf98b8197e.d: examples/near_data_advantage.rs
+
+/root/repo/target/debug/examples/near_data_advantage-bfe66bbf98b8197e: examples/near_data_advantage.rs
+
+examples/near_data_advantage.rs:

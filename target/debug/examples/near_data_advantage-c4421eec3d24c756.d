@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/near_data_advantage-c4421eec3d24c756.d: examples/near_data_advantage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnear_data_advantage-c4421eec3d24c756.rmeta: examples/near_data_advantage.rs Cargo.toml
+
+examples/near_data_advantage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

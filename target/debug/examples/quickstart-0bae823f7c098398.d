@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0bae823f7c098398.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0bae823f7c098398: examples/quickstart.rs
+
+examples/quickstart.rs:

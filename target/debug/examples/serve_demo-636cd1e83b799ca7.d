@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve_demo-636cd1e83b799ca7.d: examples/serve_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_demo-636cd1e83b799ca7.rmeta: examples/serve_demo.rs Cargo.toml
+
+examples/serve_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

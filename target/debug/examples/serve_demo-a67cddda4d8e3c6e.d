@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_demo-a67cddda4d8e3c6e.d: examples/serve_demo.rs
+
+/root/repo/target/debug/examples/serve_demo-a67cddda4d8e3c6e: examples/serve_demo.rs
+
+examples/serve_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_load-a517b350fb80514e.d: crates/bench/src/bin/serve_load.rs
+
+/root/repo/target/release/deps/serve_load-a517b350fb80514e: crates/bench/src/bin/serve_load.rs
+
+crates/bench/src/bin/serve_load.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ssam-ce30724b581e4608.d: src/lib.rs
+
+/root/repo/target/release/deps/libssam-ce30724b581e4608.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libssam-ce30724b581e4608.rmeta: src/lib.rs
+
+src/lib.rs:

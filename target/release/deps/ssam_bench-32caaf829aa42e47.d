@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ssam_bench-32caaf829aa42e47.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libssam_bench-32caaf829aa42e47.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libssam_bench-32caaf829aa42e47.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

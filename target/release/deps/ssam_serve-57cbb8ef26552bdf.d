@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ssam_serve-57cbb8ef26552bdf.d: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+/root/repo/target/release/deps/libssam_serve-57cbb8ef26552bdf.rlib: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+/root/repo/target/release/deps/libssam_serve-57cbb8ef26552bdf.rmeta: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_demo-4c8b14ac696f52f3.d: examples/serve_demo.rs
+
+/root/repo/target/release/examples/serve_demo-4c8b14ac696f52f3: examples/serve_demo.rs
+
+examples/serve_demo.rs:

@@ -1,0 +1,183 @@
+//! Property test: online serving is observationally identical to serial
+//! queries, under any interleaving of concurrent submissions.
+//!
+//! The serving runtime coalesces concurrent requests into device batches
+//! whose membership depends on thread scheduling — which requests land
+//! in the queue before a flush trigger fires is nondeterministic. The
+//! invariant is that none of that can show through: whatever batches
+//! form, every request's neighbors must be bit-identical to running the
+//! same query alone through `SsamDevice::query()`. (The device-batch
+//! half of this property — `query_batch` vs the serial loop — is covered
+//! by `batch_equivalence.rs`; this test covers the batcher + worker-pool
+//! layer above it.)
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use ssam::core::device::{DeviceQuery, SsamConfig, SsamDevice};
+use ssam::knn::VectorStore;
+use ssam::serve::{OwnedQuery, Request, ServeConfig, Server};
+
+const DIMS: usize = 8;
+
+fn float_device(use_hw_queue: bool, seed: u64, n: usize) -> SsamDevice {
+    let mut store = VectorStore::with_capacity(DIMS, n);
+    let mut x = seed | 1;
+    for _ in 0..n {
+        let v: Vec<f32> = (0..DIMS)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 40) as i32 % 1000) as f32 / 500.0
+            })
+            .collect();
+        store.push(&v);
+    }
+    let mut dev = SsamDevice::new(SsamConfig {
+        use_hw_queue,
+        ..SsamConfig::default()
+    });
+    dev.load_vectors(&store);
+    dev
+}
+
+fn make_query(seed: u64, i: usize) -> OwnedQuery {
+    let v: Vec<f32> = (0..DIMS)
+        .map(|j| ((seed as usize + i * 13 + j * 7) as f32 * 0.17).sin())
+        .collect();
+    // Mix metrics across clients so compatible requests coalesce while
+    // incompatible ones must be kept apart.
+    match i % 3 {
+        0 => OwnedQuery::Euclidean(v),
+        1 => OwnedQuery::Manhattan(v),
+        _ => OwnedQuery::Cosine(v),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn concurrent_serving_matches_serial_queries(
+        seed in 1u64..1000,
+        use_hw in any::<bool>(),
+        clients in 2usize..5,
+        per_client in 1usize..4,
+        max_batch in 1usize..6,
+        workers in 1usize..4,
+        k_idx in 0usize..3,
+    ) {
+        let k = [1usize, 7, 40][k_idx];
+        let mut reference = float_device(use_hw, seed, 120);
+        let server = Server::start(
+            float_device(use_hw, seed, 120),
+            ServeConfig {
+                max_batch,
+                max_linger: Duration::from_millis(2),
+                workers,
+                ..ServeConfig::default()
+            },
+        );
+        let server = Arc::new(server);
+
+        // Real client threads: submission order and batch membership are
+        // up to the scheduler.
+        let joins: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = server.handle();
+                std::thread::spawn(move || {
+                    (0..per_client)
+                        .map(|i| {
+                            let idx = c * 100 + i;
+                            let q = make_query(seed, idx);
+                            let resp = handle
+                                .query(Request::new(q, k))
+                                .expect("request served");
+                            (idx, resp)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+
+        let mut served = Vec::new();
+        for j in joins {
+            served.extend(j.join().expect("client thread"));
+        }
+        prop_assert_eq!(served.len(), clients * per_client);
+
+        for (idx, resp) in served {
+            let owned = make_query(seed, idx);
+            let dq = owned.as_device_query();
+            let serial = reference.query(&dq, k).expect("serial query");
+            prop_assert_eq!(
+                &resp.neighbors,
+                &serial.neighbors,
+                "query {} (metric {:?}, batch of {}) diverged from serial",
+                idx,
+                dq.metric(),
+                resp.batch_size
+            );
+        }
+
+        let stats = Arc::into_inner(server)
+            .expect("sole owner")
+            .shutdown();
+        prop_assert_eq!(stats.served, (clients * per_client) as u64);
+        prop_assert_eq!(stats.failed, 0);
+    }
+}
+
+/// Hamming serving against a binary payload, concurrent clients.
+#[test]
+fn concurrent_hamming_serving_matches_serial() {
+    use ssam::knn::binary::BinaryStore;
+
+    let mut store = BinaryStore::new(64);
+    let mut x = 77u64;
+    let mut word = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (x >> 24) as u32
+    };
+    for _ in 0..100 {
+        let code = [word(), word()];
+        store.push(&code);
+    }
+    let mut dev = SsamDevice::new(SsamConfig::default());
+    dev.load_binary(&store);
+    let mut reference = dev.clone();
+
+    let server = Arc::new(Server::start(
+        dev,
+        ServeConfig {
+            max_batch: 4,
+            max_linger: Duration::from_millis(2),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    ));
+    let joins: Vec<_> = (0..3)
+        .map(|c| {
+            let handle = server.handle();
+            std::thread::spawn(move || {
+                let code = vec![0xA5A5_0000u32 ^ (c * 7), 0x0F0F_FFFFu32.rotate_left(c)];
+                let resp = handle
+                    .query(Request::new(OwnedQuery::Hamming(code.clone()), 8))
+                    .expect("served");
+                (code, resp)
+            })
+        })
+        .collect();
+    for j in joins {
+        let (code, resp) = j.join().expect("client thread");
+        let serial = reference
+            .query(&DeviceQuery::Hamming(&code), 8)
+            .expect("serial");
+        assert_eq!(resp.neighbors, serial.neighbors);
+    }
+}
