@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime-db306a31bec5a2cb.d: crates/serve/tests/runtime.rs
+
+/root/repo/target/release/deps/runtime-db306a31bec5a2cb: crates/serve/tests/runtime.rs
+
+crates/serve/tests/runtime.rs:

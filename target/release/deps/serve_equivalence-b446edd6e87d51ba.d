@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_equivalence-b446edd6e87d51ba.d: tests/serve_equivalence.rs
+
+/root/repo/target/release/deps/serve_equivalence-b446edd6e87d51ba: tests/serve_equivalence.rs
+
+tests/serve_equivalence.rs:

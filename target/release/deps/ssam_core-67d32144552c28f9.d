@@ -1,0 +1,37 @@
+/root/repo/target/release/deps/ssam_core-67d32144552c28f9.d: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/cfg.rs crates/core/src/analysis/memcheck.rs crates/core/src/analysis/pqueue.rs crates/core/src/analysis/regflow.rs crates/core/src/analysis/stackflow.rs crates/core/src/analysis/uses.rs crates/core/src/area.rs crates/core/src/asm/mod.rs crates/core/src/asm/parser.rs crates/core/src/device/mod.rs crates/core/src/device/cluster.rs crates/core/src/device/indexed.rs crates/core/src/device/memregion.rs crates/core/src/energy.rs crates/core/src/isa/mod.rs crates/core/src/isa/encoding.rs crates/core/src/isa/inst.rs crates/core/src/isa/reg.rs crates/core/src/kernels/mod.rs crates/core/src/kernels/kmeans_traversal.rs crates/core/src/kernels/linear.rs crates/core/src/kernels/lsh_traversal.rs crates/core/src/kernels/traversal.rs crates/core/src/sim/mod.rs crates/core/src/sim/memif.rs crates/core/src/sim/pqueue.rs crates/core/src/sim/pu.rs crates/core/src/sim/scratchpad.rs crates/core/src/sim/stack.rs crates/core/src/sim/trace.rs crates/core/src/telemetry.rs
+
+/root/repo/target/release/deps/ssam_core-67d32144552c28f9: crates/core/src/lib.rs crates/core/src/analysis/mod.rs crates/core/src/analysis/cfg.rs crates/core/src/analysis/memcheck.rs crates/core/src/analysis/pqueue.rs crates/core/src/analysis/regflow.rs crates/core/src/analysis/stackflow.rs crates/core/src/analysis/uses.rs crates/core/src/area.rs crates/core/src/asm/mod.rs crates/core/src/asm/parser.rs crates/core/src/device/mod.rs crates/core/src/device/cluster.rs crates/core/src/device/indexed.rs crates/core/src/device/memregion.rs crates/core/src/energy.rs crates/core/src/isa/mod.rs crates/core/src/isa/encoding.rs crates/core/src/isa/inst.rs crates/core/src/isa/reg.rs crates/core/src/kernels/mod.rs crates/core/src/kernels/kmeans_traversal.rs crates/core/src/kernels/linear.rs crates/core/src/kernels/lsh_traversal.rs crates/core/src/kernels/traversal.rs crates/core/src/sim/mod.rs crates/core/src/sim/memif.rs crates/core/src/sim/pqueue.rs crates/core/src/sim/pu.rs crates/core/src/sim/scratchpad.rs crates/core/src/sim/stack.rs crates/core/src/sim/trace.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis/mod.rs:
+crates/core/src/analysis/cfg.rs:
+crates/core/src/analysis/memcheck.rs:
+crates/core/src/analysis/pqueue.rs:
+crates/core/src/analysis/regflow.rs:
+crates/core/src/analysis/stackflow.rs:
+crates/core/src/analysis/uses.rs:
+crates/core/src/area.rs:
+crates/core/src/asm/mod.rs:
+crates/core/src/asm/parser.rs:
+crates/core/src/device/mod.rs:
+crates/core/src/device/cluster.rs:
+crates/core/src/device/indexed.rs:
+crates/core/src/device/memregion.rs:
+crates/core/src/energy.rs:
+crates/core/src/isa/mod.rs:
+crates/core/src/isa/encoding.rs:
+crates/core/src/isa/inst.rs:
+crates/core/src/isa/reg.rs:
+crates/core/src/kernels/mod.rs:
+crates/core/src/kernels/kmeans_traversal.rs:
+crates/core/src/kernels/linear.rs:
+crates/core/src/kernels/lsh_traversal.rs:
+crates/core/src/kernels/traversal.rs:
+crates/core/src/sim/mod.rs:
+crates/core/src/sim/memif.rs:
+crates/core/src/sim/pqueue.rs:
+crates/core/src/sim/pu.rs:
+crates/core/src/sim/scratchpad.rs:
+crates/core/src/sim/stack.rs:
+crates/core/src/sim/trace.rs:
+crates/core/src/telemetry.rs:

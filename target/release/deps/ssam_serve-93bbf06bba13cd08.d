@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/ssam_serve-93bbf06bba13cd08.d: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+/root/repo/target/release/deps/ssam_serve-93bbf06bba13cd08: crates/serve/src/lib.rs crates/serve/src/batcher.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/batcher.rs:
