@@ -176,7 +176,9 @@ fn main() {
                         simulate_seconds: seconds,
                         link_seconds: 0.0,
                         merge_seconds: 0.0,
+                        fault_seconds: 0.0,
                     },
+                    faults: ssam_core::telemetry::FaultRecord::default(),
                     seconds,
                     compute_bound,
                     total_cycles: account.cycles,

@@ -156,7 +156,9 @@ fn main() {
                             simulate_seconds: mem_t.max(comp_t),
                             link_seconds: 2e-7,
                             merge_seconds: trav_t,
+                            fault_seconds: 0.0,
                         },
+                        faults: ssam_core::telemetry::FaultRecord::default(),
                         seconds: ssam_t,
                         compute_bound,
                         total_cycles: cycles,

@@ -23,10 +23,17 @@
 //! `--json`), optionally with the raw per-query records as JSONL
 //! (`--telemetry`).
 //!
+//! With `--faults <spec>` (a [`ssam_faults::FaultPlan::parse`] spec such
+//! as `chaos:7` or `seed=3,bit_flip=0.5,vault_out=0.02`) every worker
+//! device injects seeded faults; the run then also audits the fault
+//! accounting — aggregate injected/corrected/retried/lost counters must
+//! close exactly or the run fails — and emits them under `"faults"` in
+//! the JSON report.
+//!
 //! ```text
 //! serve_load [--seconds N] [--concurrency 1,4,16,64] [--workers N]
 //!            [--max-batch N] [--linger-us N] [--scale F] [--k N]
-//!            [--rate QPS] [--timeout-ms N] [--json PATH]
+//!            [--rate QPS] [--timeout-ms N] [--faults SPEC] [--json PATH]
 //!            [--telemetry PATH] [--csv]
 //! ```
 
@@ -42,8 +49,9 @@ use ssam_core::device::{DeviceQuery, SsamDevice};
 use ssam_core::telemetry::Telemetry;
 use ssam_datasets::json::{self, Value};
 use ssam_datasets::PaperDataset;
+use ssam_faults::FaultPlan;
 use ssam_knn::VectorStore;
-use ssam_serve::{OwnedQuery, Request, ServeConfig, ServeError, Server};
+use ssam_serve::{OwnedQuery, Request, ServeConfig, ServeError, ServeFaults, Server};
 
 struct Args {
     seconds: f64,
@@ -55,6 +63,7 @@ struct Args {
     k: Option<usize>,
     rate: Option<f64>,
     timeout: Option<Duration>,
+    faults: Option<String>,
     json: String,
     telemetry: Option<String>,
     csv: bool,
@@ -71,6 +80,7 @@ fn parse_args() -> Args {
         k: None,
         rate: None,
         timeout: None,
+        faults: None,
         json: "BENCH_serve.json".to_string(),
         telemetry: None,
         csv: false,
@@ -109,6 +119,7 @@ fn parse_args() -> Args {
                     take(&mut i, "--timeout-ms").parse().expect("ms"),
                 ));
             }
+            "--faults" => a.faults = Some(take(&mut i, "--faults")),
             "--json" => a.json = take(&mut i, "--json"),
             "--telemetry" => a.telemetry = Some(take(&mut i, "--telemetry")),
             "--csv" => a.csv = true,
@@ -116,8 +127,8 @@ fn parse_args() -> Args {
                 println!(
                     "usage: serve_load [--seconds N] [--concurrency 1,4,16,64] [--workers N]\n\
                      \x20                 [--max-batch N] [--linger-us N] [--scale F] [--k N]\n\
-                     \x20                 [--rate QPS] [--timeout-ms N] [--json PATH]\n\
-                     \x20                 [--telemetry PATH] [--csv]"
+                     \x20                 [--rate QPS] [--timeout-ms N] [--faults SPEC]\n\
+                     \x20                 [--json PATH] [--telemetry PATH] [--csv]"
                 );
                 std::process::exit(0);
             }
@@ -338,10 +349,32 @@ fn main() {
         fmt(offline_host)
     );
 
+    let fault_plan = args.faults.as_deref().map(|spec| {
+        Arc::new(FaultPlan::parse(spec).unwrap_or_else(|e| panic!("bad --faults spec: {e}")))
+    });
+    if let Some(plan) = &fault_plan {
+        println!(
+            "fault injection: seed={} bit_flip={} crc={} vault_out={} straggle={} module_out={}",
+            plan.seed,
+            plan.bit_flip_rate,
+            plan.crc_corruption_rate,
+            plan.vault_outage_rate,
+            plan.straggler_rate,
+            plan.module_outage_rate
+        );
+    }
     let serve_config = ServeConfig {
         max_batch: args.max_batch,
         max_linger: args.linger,
         workers: args.workers,
+        faults: ServeFaults {
+            plan: fault_plan.clone(),
+            // The load generator accepts partial answers and reports
+            // coverage honestly; the retry/degrade path is exercised by
+            // the runtime's own tests.
+            min_coverage: 0.0,
+            ..ServeFaults::default()
+        },
         ..ServeConfig::default()
     };
 
@@ -530,6 +563,36 @@ fn main() {
     );
     println!("telemetry: {} verified records, 0 violations", sink.len());
 
+    // ---- Fault audit: the aggregate of every per-query fault record
+    // must close — no injected fault may vanish unaccounted.
+    let fault_totals = sink.fault_totals();
+    fault_totals
+        .check_closure()
+        .unwrap_or_else(|e| panic!("fault accounting does not close: {e}"));
+    if fault_plan.is_some() {
+        println!(
+            "faults: {} injected = {} ecc-corrected + {} ecc-uncorrectable + \
+             {} crc (of which {} retried ok, {} link-failed) + {} vault outages + \
+             {} module outages + {} stragglers; {} failed over; coverage {:.4}",
+            fault_totals.injected(),
+            fault_totals.ecc_corrected,
+            fault_totals.ecc_uncorrectable,
+            fault_totals.crc_corruptions,
+            fault_totals.link_retries_ok,
+            fault_totals.link_failures,
+            fault_totals.vault_outages,
+            fault_totals.module_outages,
+            fault_totals.stragglers,
+            fault_totals.failed_over,
+            fault_totals.coverage(),
+        );
+        assert!(
+            fault_totals.injected() > 0,
+            "--faults was given but no fault was ever injected; \
+             the chaos run exercised nothing"
+        );
+    }
+
     // ---- BENCH_serve.json
     let mut root = BTreeMap::new();
     root.insert("dataset".into(), Value::String(dataset_label));
@@ -575,6 +638,58 @@ fn main() {
     tele_o.insert("records".into(), json::number_usize(sink.len()));
     tele_o.insert("violations".into(), json::number_usize(0));
     root.insert("telemetry".into(), Value::Object(tele_o));
+    if let Some(plan) = &fault_plan {
+        let mut f = BTreeMap::new();
+        f.insert("spec".into(), Value::String(args.faults.clone().unwrap()));
+        f.insert("seed".into(), json::number_u64(plan.seed));
+        f.insert("injected".into(), json::number_u64(fault_totals.injected()));
+        f.insert(
+            "bit_flips".into(),
+            json::number_u64(fault_totals.bit_flip_events),
+        );
+        f.insert(
+            "ecc_corrected".into(),
+            json::number_u64(fault_totals.ecc_corrected),
+        );
+        f.insert(
+            "ecc_uncorrectable".into(),
+            json::number_u64(fault_totals.ecc_uncorrectable),
+        );
+        f.insert(
+            "crc_corruptions".into(),
+            json::number_u64(fault_totals.crc_corruptions),
+        );
+        f.insert(
+            "link_retries_ok".into(),
+            json::number_u64(fault_totals.link_retries_ok),
+        );
+        f.insert(
+            "link_failures".into(),
+            json::number_u64(fault_totals.link_failures),
+        );
+        f.insert(
+            "vault_outages".into(),
+            json::number_u64(fault_totals.vault_outages),
+        );
+        f.insert(
+            "module_outages".into(),
+            json::number_u64(fault_totals.module_outages),
+        );
+        f.insert(
+            "stragglers".into(),
+            json::number_u64(fault_totals.stragglers),
+        );
+        f.insert(
+            "failed_over".into(),
+            json::number_u64(fault_totals.failed_over),
+        );
+        f.insert("coverage".into(), json::number_f64(fault_totals.coverage()));
+        f.insert(
+            "recovery_seconds".into(),
+            json::number_f64(fault_totals.recovery_seconds),
+        );
+        root.insert("faults".into(), Value::Object(f));
+    }
     let mut stats_o = BTreeMap::new();
     for (name, s) in [("dynamic", &dyn_stats), ("open_loop", &open_stats)] {
         let mut o = BTreeMap::new();
@@ -591,6 +706,13 @@ fn main() {
         );
         o.insert("batches".into(), json::number_u64(s.batches));
         o.insert("mean_batch".into(), json::number_f64(s.mean_batch()));
+        o.insert("degraded".into(), json::number_u64(s.degraded));
+        o.insert(
+            "retried_degraded".into(),
+            json::number_u64(s.retried_degraded),
+        );
+        o.insert("retried_panic".into(), json::number_u64(s.retried_panic));
+        o.insert("worker_panics".into(), json::number_u64(s.worker_panics));
         stats_o.insert(name.to_string(), Value::Object(o));
     }
     root.insert("server_stats".into(), Value::Object(stats_o));

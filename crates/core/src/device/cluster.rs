@@ -17,7 +17,10 @@
 //! with chain depth and the result volume is `modules × k` tuples — "a
 //! fraction of the original dataset size".
 
+use std::sync::Arc;
+
 use rayon::prelude::*;
+use ssam_faults::{FaultPlan, FaultRecord};
 use ssam_knn::topk::{Neighbor, TopK};
 use ssam_knn::VectorStore;
 
@@ -25,6 +28,32 @@ use crate::sim::pu::SimError;
 use crate::telemetry::{self, Phases, QueryRecord, RecordKind, Telemetry, VaultAccount};
 
 use super::{DeviceQuery, QueryTiming, SsamConfig, SsamDevice};
+
+/// Per-module health bookkeeping for fault-tolerant dispatch.
+#[derive(Debug, Clone, Default)]
+struct ModuleHealth {
+    /// Batches in a row that needed a retry (or died outright).
+    consecutive_faults: u32,
+    /// A degraded module is skipped except for periodic probes.
+    degraded: bool,
+    /// Batches skipped since the last live probe of a degraded module.
+    batches_since_probe: u64,
+}
+
+/// What happened to one module during a fault-tolerant batch.
+enum ModuleOutcome {
+    /// The module produced results, possibly after `retries` failovers to
+    /// a standby replica.
+    Ran {
+        per_query: Vec<(Vec<Neighbor>, QueryTiming, FaultRecord)>,
+        retries: u64,
+    },
+    /// Degraded module skipped without dispatch (awaiting its next probe).
+    Skipped,
+    /// Every dispatch attempt hit a module outage; its shard is
+    /// uncovered for this batch.
+    Dead { attempts: u64 },
+}
 
 /// A daisy chain of SSAM modules behind one host.
 #[derive(Debug, Clone)]
@@ -35,12 +64,17 @@ pub struct SsamCluster {
     vectors: usize,
     config: SsamConfig,
     telemetry: Option<Telemetry>,
+    faults: Option<Arc<FaultPlan>>,
+    /// Monotonic batch counter keying module-outage fault decisions.
+    batch_seq: u64,
+    health: Vec<ModuleHealth>,
 }
 
 /// Timing for one cluster query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterTiming {
-    /// End-to-end seconds (broadcast + slowest module + collection).
+    /// End-to-end seconds (broadcast + slowest module + collection,
+    /// plus failover backoff when faults forced retries).
     pub seconds: f64,
     /// Seconds spent broadcasting the query down the chain.
     pub broadcast_seconds: f64,
@@ -48,8 +82,22 @@ pub struct ClusterTiming {
     pub module_seconds: f64,
     /// Seconds collecting per-module results back up the chain.
     pub collect_seconds: f64,
+    /// Seconds of failover backoff (module-outage retries) every query in
+    /// the batch waited on. Zero on the fault-free path.
+    pub recovery_seconds: f64,
     /// Total energy across modules, millijoules.
     pub energy_mj: f64,
+    /// Cluster-level fault accounting for this query (module outages plus
+    /// the member modules' own vault-level records). Trivial without a
+    /// fault plan.
+    pub faults: FaultRecord,
+}
+
+impl ClusterTiming {
+    /// Fraction of the dataset actually scanned for this query.
+    pub fn coverage(&self) -> f64 {
+        self.faults.coverage()
+    }
 }
 
 impl SsamCluster {
@@ -76,13 +124,44 @@ impl SsamCluster {
             first_ids.push(next as u32);
             next += count;
         }
+        let n = devs.len();
         Self {
             modules: devs,
             first_ids,
             vectors: store.len(),
             config,
             telemetry: None,
+            faults: None,
+            batch_seq: 0,
+            health: vec![ModuleHealth::default(); n],
         }
+    }
+
+    /// Attaches (or clears) a fault-injection plan across the whole
+    /// chain. Each member module samples a decorrelated fault stream
+    /// (its index is the key scope); module-outage decisions are made
+    /// here, per batch, with failover to a standby replica under the
+    /// plan's [`RecoveryPolicy`](ssam_faults::RecoveryPolicy). Health
+    /// state resets.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        for (mi, dev) in self.modules.iter_mut().enumerate() {
+            dev.set_fault_plan(plan.clone());
+            dev.set_fault_scope(mi as u64);
+            dev.set_fault_attempt(0);
+        }
+        self.faults = plan;
+        self.health = vec![ModuleHealth::default(); self.modules.len()];
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Per-module degraded flags (true = health-aware dispatch is
+    /// routing around the module, pending a recovery probe).
+    pub fn degraded_modules(&self) -> Vec<bool> {
+        self.health.iter().map(|h| h.degraded).collect()
     }
 
     /// Attaches a telemetry sink; every subsequent query records a
@@ -159,22 +238,129 @@ impl SsamCluster {
             return Err(SimError::ZeroK);
         }
         let first_ids = self.first_ids.clone();
-        type ModuleBatch = Vec<(Vec<Neighbor>, QueryTiming)>;
-        let module_results: Result<Vec<ModuleBatch>, SimError> = self
-            .modules
-            .par_iter_mut()
-            .map(|dev| {
-                let dq: Vec<DeviceQuery<'_>> =
-                    queries.iter().map(|q| DeviceQuery::Euclidean(q)).collect();
-                let batch = dev.query_batch(&dq, k)?;
-                Ok(batch
-                    .results
-                    .into_iter()
-                    .map(|r| (r.neighbors, r.timing))
-                    .collect())
+        let plan = self.faults.clone();
+        let batch_seq = self.batch_seq;
+        self.batch_seq += 1;
+        // Health-aware dispatch: a degraded module is routed around,
+        // except every `probe_interval` batches when it gets a live probe
+        // to detect recovery.
+        let dispatch: Vec<bool> = self
+            .health
+            .iter()
+            .map(|h| {
+                !h.degraded
+                    || plan
+                        .as_ref()
+                        .is_some_and(|p| h.batches_since_probe + 1 >= p.policy.probe_interval)
             })
             .collect();
-        let module_results = module_results?;
+        let outcomes: Result<Vec<ModuleOutcome>, SimError> = self
+            .modules
+            .par_iter_mut()
+            .enumerate()
+            .map(|(mi, dev)| {
+                let dq: Vec<DeviceQuery<'_>> =
+                    queries.iter().map(|q| DeviceQuery::Euclidean(q)).collect();
+                let per_query = |batch: super::BatchResult| {
+                    batch
+                        .results
+                        .into_iter()
+                        .map(|r| (r.neighbors, r.timing, r.faults))
+                        .collect()
+                };
+                let Some(plan) = &plan else {
+                    let batch = dev.query_batch(&dq, k)?;
+                    return Ok(ModuleOutcome::Ran {
+                        per_query: per_query(batch),
+                        retries: 0,
+                    });
+                };
+                if !dispatch[mi] {
+                    return Ok(ModuleOutcome::Skipped);
+                }
+                let mut attempt = 0u64;
+                loop {
+                    if plan.module_outage(0, batch_seq, mi as u64, attempt) {
+                        attempt += 1;
+                        if attempt > u64::from(plan.policy.max_module_retries) {
+                            return Ok(ModuleOutcome::Dead { attempts: attempt });
+                        }
+                        continue;
+                    }
+                    let batch = if attempt == 0 {
+                        dev.query_batch(&dq, k)?
+                    } else {
+                        // Failover: re-dispatch the batch on a standby
+                        // replica (a clone of the module), then promote
+                        // the replica to primary. The bumped attempt
+                        // gives the replica a fresh — but still
+                        // deterministic — fault sample.
+                        let mut replica = dev.clone();
+                        replica.set_fault_attempt(attempt);
+                        let b = replica.query_batch(&dq, k)?;
+                        *dev = replica;
+                        dev.set_fault_attempt(0);
+                        b
+                    };
+                    return Ok(ModuleOutcome::Ran {
+                        per_query: per_query(batch),
+                        retries: attempt,
+                    });
+                }
+            })
+            .collect();
+        let outcomes = outcomes?;
+
+        // Health bookkeeping from this batch's outcomes.
+        if plan.is_some() {
+            let degrade_after = plan.as_ref().map_or(u32::MAX, |p| p.policy.degrade_after);
+            for (out, h) in outcomes.iter().zip(&mut self.health) {
+                match out {
+                    ModuleOutcome::Skipped => h.batches_since_probe += 1,
+                    ModuleOutcome::Dead { .. } => {
+                        h.consecutive_faults += 1;
+                        h.batches_since_probe = 0;
+                        if h.consecutive_faults >= degrade_after {
+                            h.degraded = true;
+                        }
+                    }
+                    ModuleOutcome::Ran { retries, .. } => {
+                        h.batches_since_probe = 0;
+                        if *retries > 0 {
+                            h.consecutive_faults += 1;
+                            if h.consecutive_faults >= degrade_after {
+                                h.degraded = true;
+                            }
+                        } else {
+                            h.consecutive_faults = 0;
+                            h.degraded = false;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Failover backoff (and the module-outage event tally) every
+        // query in this batch waited on.
+        let mut backoff_total = 0.0f64;
+        let mut module_outage_events = 0u64;
+        let mut failed_over = 0u64;
+        if let Some(plan) = &plan {
+            for out in &outcomes {
+                let (retries, died) = match out {
+                    ModuleOutcome::Ran { retries, .. } => (*retries, false),
+                    ModuleOutcome::Dead { attempts } => (attempts - 1, true),
+                    ModuleOutcome::Skipped => continue,
+                };
+                module_outage_events += retries + u64::from(died);
+                if !died {
+                    failed_over += retries;
+                }
+                for a in 1..=retries {
+                    backoff_total += plan.policy.backoff(a as u32);
+                }
+            }
+        }
 
         let depth = self.modules.len() as u64;
         let link_bw = self.config.hmc.external_bandwidth;
@@ -185,13 +371,43 @@ impl SsamCluster {
             let mut top = TopK::new(k);
             let mut module_seconds = 0.0f64;
             let mut energy_mj = 0.0;
-            for (per_query, &base) in module_results.iter().zip(&first_ids) {
-                let (neighbors, timing) = &per_query[qi];
-                for n in neighbors {
-                    top.offer(base + n.id, n.dist);
+            let mut rec = FaultRecord::default();
+            if plan.is_some() {
+                rec.module_outages = module_outage_events;
+                rec.failed_over = failed_over;
+                rec.recovery_seconds = backoff_total;
+            }
+            for (mi, outcome) in outcomes.iter().enumerate() {
+                let module_len = self.modules[mi].len() as u64;
+                match outcome {
+                    ModuleOutcome::Ran { per_query, .. } => {
+                        let (neighbors, timing, mrec) = &per_query[qi];
+                        for n in neighbors {
+                            top.offer(first_ids[mi] + n.id, n.dist);
+                        }
+                        module_seconds = module_seconds.max(timing.seconds);
+                        energy_mj += timing.energy_mj;
+                        if plan.is_some() {
+                            if mrec.is_trivial() {
+                                rec.total_vectors += module_len;
+                                rec.covered_vectors += module_len;
+                            } else {
+                                // Module-internal recovery time already
+                                // sits inside `timing.seconds` (the
+                                // simulate span); the cluster-level fault
+                                // span is the failover backoff alone.
+                                let cluster_recovery = rec.recovery_seconds;
+                                rec.accumulate(mrec);
+                                rec.recovery_seconds = cluster_recovery;
+                            }
+                        }
+                    }
+                    ModuleOutcome::Skipped | ModuleOutcome::Dead { .. } => {
+                        rec.lost_module += 1;
+                        rec.lost_units.push(mi as u32);
+                        rec.total_vectors += module_len;
+                    }
                 }
-                module_seconds = module_seconds.max(timing.seconds);
-                energy_mj += timing.energy_mj;
             }
 
             // Link fabric: the query travels down the chain (depth hops),
@@ -206,16 +422,18 @@ impl SsamCluster {
             let collect_seconds = collect_wire_seconds + merge_seconds;
 
             let timing = ClusterTiming {
-                seconds: broadcast_seconds + module_seconds + collect_seconds,
+                seconds: broadcast_seconds + module_seconds + collect_seconds + backoff_total,
                 broadcast_seconds,
                 module_seconds,
                 collect_seconds,
+                recovery_seconds: backoff_total,
                 energy_mj,
+                faults: rec,
             };
 
             if let Some(sink) = &self.telemetry {
                 let link_seconds = broadcast_seconds + collect_wire_seconds;
-                sink.record(self.cluster_record(qi, k, &module_results, &timing, link_seconds));
+                sink.record(self.cluster_record(qi, k, &outcomes, &timing, link_seconds));
             }
             out.push((top.into_sorted(), timing));
         }
@@ -231,32 +449,43 @@ impl SsamCluster {
         &self,
         qi: usize,
         k: usize,
-        module_results: &[Vec<(Vec<Neighbor>, QueryTiming)>],
+        outcomes: &[ModuleOutcome],
         timing: &ClusterTiming,
         link_seconds: f64,
     ) -> QueryRecord {
-        let mut accounts = Vec::with_capacity(module_results.len());
+        let mut accounts = Vec::with_capacity(outcomes.len());
         let mut total_cycles = 0u64;
         let mut total_bytes = 0u64;
         let mut pus_per_vault = 1usize;
-        for (mi, per_query) in module_results.iter().enumerate() {
-            let t = &per_query[qi].1;
-            accounts.push(VaultAccount {
+        for (mi, outcome) in outcomes.iter().enumerate() {
+            // A module that never ran (skipped or dead) contributes an
+            // empty account: zero work, zero span.
+            let mut account = VaultAccount {
                 vault: mi,
-                cycles: t.total_cycles,
-                bytes: t.total_bytes,
+                cycles: 0,
+                bytes: 0,
                 instructions: 0,
                 pqueue_ops: 0,
                 stack_ops: 0,
                 scratchpad_accesses: 0,
-                mem_seconds: if t.compute_bound { 0.0 } else { t.seconds },
-                comp_seconds: if t.compute_bound { t.seconds } else { 0.0 },
-                compute_bound: t.compute_bound,
-                energy_mj: t.energy_mj,
-            });
-            total_cycles += t.total_cycles;
-            total_bytes += t.total_bytes;
-            pus_per_vault = pus_per_vault.max(t.pus_per_vault);
+                mem_seconds: 0.0,
+                comp_seconds: 0.0,
+                compute_bound: false,
+                energy_mj: 0.0,
+            };
+            if let ModuleOutcome::Ran { per_query, .. } = outcome {
+                let t = &per_query[qi].1;
+                account.cycles = t.total_cycles;
+                account.bytes = t.total_bytes;
+                account.mem_seconds = if t.compute_bound { 0.0 } else { t.seconds };
+                account.comp_seconds = if t.compute_bound { t.seconds } else { 0.0 };
+                account.compute_bound = t.compute_bound;
+                account.energy_mj = t.energy_mj;
+                total_cycles += t.total_cycles;
+                total_bytes += t.total_bytes;
+                pus_per_vault = pus_per_vault.max(t.pus_per_vault);
+            }
+            accounts.push(account);
         }
         let (_, _, compute_bound) = telemetry::critical_path(&accounts).unwrap_or((0, 0.0, false));
         QueryRecord {
@@ -272,12 +501,14 @@ impl SsamCluster {
                 simulate_seconds: timing.module_seconds,
                 link_seconds,
                 merge_seconds: (self.modules.len() * k) as f64 * 1e-9,
+                fault_seconds: timing.recovery_seconds,
             },
             seconds: timing.seconds,
             compute_bound,
             total_cycles,
             total_bytes,
             energy_mj: timing.energy_mj,
+            faults: timing.faults.clone(),
         }
     }
 }

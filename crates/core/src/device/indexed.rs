@@ -242,6 +242,9 @@ impl IndexedSsamDevice {
                 total_cycles: timing.total_cycles,
                 total_bytes: timing.total_bytes,
                 energy_mj: timing.energy_mj,
+                // The indexed engine has no fault hooks (yet): its
+                // records carry a trivial fault account.
+                faults: ssam_faults::FaultRecord::default(),
             });
         }
         Ok((top.into_sorted(), timing, stats))
@@ -307,6 +310,7 @@ impl IndexedSsamDevice {
             simulate_seconds: worst,
             link_seconds: link_t,
             merge_seconds: merge_t,
+            fault_seconds: 0.0,
         };
         (timing, vaults, phases)
     }

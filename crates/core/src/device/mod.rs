@@ -23,6 +23,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use rayon::prelude::*;
+use ssam_faults::{FaultPlan, FaultRecord, VaultFault};
+use ssam_hmc::dram::{Secded32, SecdedOutcome, SECDED_CODE_BITS};
 use ssam_hmc::HmcConfig;
 use ssam_knn::binary::BinaryStore;
 use ssam_knn::distance::norm_sq;
@@ -170,12 +172,24 @@ pub struct QueryTiming {
 /// Result of one device query.
 #[derive(Debug, Clone)]
 pub struct DeviceResult {
-    /// Global top-k, best first.
+    /// Global top-k, best first — exact over the covered fraction of the
+    /// dataset (the whole dataset unless faults lost vaults).
     pub neighbors: Vec<Neighbor>,
     /// Timing/energy account.
     pub timing: QueryTiming,
     /// Per-vault simulation statistics (vault 0 first).
     pub vault_stats: Vec<RunStats>,
+    /// Fault accounting for this query: injected/corrected/retried/lost
+    /// counters plus the covered-vector tally. Trivial when no fault plan
+    /// is attached or nothing fired.
+    pub faults: FaultRecord,
+}
+
+impl DeviceResult {
+    /// Fraction of candidate vectors actually scanned for this query.
+    pub fn coverage(&self) -> f64 {
+        self.faults.coverage()
+    }
 }
 
 /// The SSAM device.
@@ -188,6 +202,14 @@ pub struct SsamDevice {
     vectors: usize,
     kernel_cache: HashMap<(DeviceMetric, usize), Arc<Kernel>>,
     telemetry: Option<Telemetry>,
+    faults: Option<Arc<FaultPlan>>,
+    /// Disambiguates fault-key streams across device clones (cluster
+    /// module index, serve worker index).
+    fault_scope: u64,
+    /// Retry generation: a re-executed batch samples fresh fault outcomes.
+    fault_attempt: u64,
+    /// Monotonic query counter keying per-(query, vault) fault decisions.
+    query_seq: u64,
 }
 
 impl SsamDevice {
@@ -209,7 +231,51 @@ impl SsamDevice {
             vectors: 0,
             kernel_cache: HashMap::new(),
             telemetry: None,
+            faults: None,
+            fault_scope: 0,
+            fault_attempt: 0,
+            query_seq: 0,
         }
+    }
+
+    /// Attaches (or clears) a fault-injection plan. Every subsequent query
+    /// samples the plan's channels per (query, vault), keyed by the
+    /// device's seed/scope/sequence state, so a run is bit-reproducible.
+    pub fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Sets the fault key scope (cluster module index, serve worker index)
+    /// so device clones sample decorrelated fault streams.
+    pub fn set_fault_scope(&mut self, scope: u64) {
+        self.fault_scope = scope;
+    }
+
+    /// Sets the retry generation: re-running the same queries at a higher
+    /// attempt samples fresh (but still deterministic) fault outcomes.
+    pub fn set_fault_attempt(&mut self, attempt: u64) {
+        self.fault_attempt = attempt;
+    }
+
+    /// The next query sequence number (how many queries this device has
+    /// executed).
+    pub fn query_seq(&self) -> u64 {
+        self.query_seq
+    }
+
+    /// Per-vault shard spans as `(first_id, vectors)`, vault 0 first.
+    /// Fault-tolerance tests use this to reconstruct the covered id set
+    /// from a result's lost vaults.
+    pub fn shard_spans(&self) -> Vec<(u32, usize)> {
+        self.shards
+            .iter()
+            .map(|s| (s.first_id, s.vectors))
+            .collect()
     }
 
     /// Device configuration.
@@ -489,6 +555,36 @@ impl SsamDevice {
             .collect();
         let stage_seconds = stage_start.elapsed().as_secs_f64();
 
+        // Sample the per-(query, vault) fault grid up front, keyed by
+        // `(seed, scope, query_seq, vault, attempt)` so any run is
+        // bit-reproducible. `None` — no plan attached, or nothing fired —
+        // keeps execution on the legacy fault-free path, so a zero-fault
+        // plan stays bit-identical to no plan at all.
+        let base_seq = self.query_seq;
+        self.query_seq += queries.len() as u64;
+        let fault_grid: Option<Vec<Vec<VaultFault>>> = self.faults.as_ref().and_then(|plan| {
+            let grid: Vec<Vec<VaultFault>> = (0..queries.len())
+                .map(|qi| {
+                    (0..self.shards.len())
+                        .map(|v| {
+                            plan.vault_fault(
+                                self.fault_scope,
+                                base_seq + qi as u64,
+                                v as u64,
+                                self.fault_attempt,
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            if grid.iter().flatten().all(VaultFault::is_trivial) {
+                None
+            } else {
+                Some(grid)
+            }
+        });
+        let fg = fault_grid.as_deref();
+
         let vl = self.config.vector_length;
         let use_hw = self.config.use_hw_queue;
         let pq_chain = k.div_ceil(PQUEUE_DEPTH);
@@ -529,7 +625,13 @@ impl SsamDevice {
                 let budget = 10_000u64 + shard.vectors as u64 * per_vec;
                 let mut loaded: Option<&str> = None;
                 let mut out = Vec::with_capacity(range.len());
-                for sq in &staged[range.clone()] {
+                for (off, sq) in staged[range.clone()].iter().enumerate() {
+                    // A vault outage means this (query, vault) run never
+                    // executes: no neighbors, no retired work.
+                    if fg.is_some_and(|g| g[range.start + off][*si].outage) {
+                        out.push((Vec::new(), RunStats::default()));
+                        continue;
+                    }
                     if loaded.is_some() {
                         pu.reset_state();
                     }
@@ -605,17 +707,32 @@ impl SsamDevice {
         let mut results = Vec::with_capacity(batch);
         let mut per_query_stats: Vec<Vec<RunStats>> = Vec::with_capacity(batch);
         let mut query_records: Vec<QueryRecord> = Vec::new();
+        let mut per_query_faults: Vec<FaultRecord> = Vec::with_capacity(batch);
         for (qi, row) in grid.into_iter().enumerate() {
-            let mut top = TopK::new(k);
             let mut vault_stats = Vec::with_capacity(n_vaults);
+            let mut vault_neighbors = Vec::with_capacity(n_vaults);
             for cell in row {
                 let (neighbors, stats) = cell.expect("every (vault, query) item simulated");
-                for n in &neighbors {
-                    top.offer(n.id, n.dist);
-                }
+                vault_neighbors.push(neighbors);
                 vault_stats.push(stats);
             }
-            let (timing, accounts, mut phases) = self.account_query(&vault_stats, k);
+            let fault_row = fault_grid
+                .as_ref()
+                .map(|g| (base_seq + qi as u64, g[qi].as_slice()));
+            let (timing, accounts, mut phases, frec) =
+                self.account_query(&vault_stats, k, fault_row);
+            // Merge per-vault candidates, dropping vaults whose results
+            // were lost (outage, uncorrectable ECC, exhausted link
+            // retries): the answer is exact over the covered fraction.
+            let mut top = TopK::new(k);
+            for (vi, neighbors) in vault_neighbors.iter().enumerate() {
+                if fault_grid.as_ref().is_some_and(|g| g[qi][vi].lost()) {
+                    continue;
+                }
+                for n in neighbors {
+                    top.offer(n.id, n.dist);
+                }
+            }
             if self.telemetry.is_some() {
                 phases.stage_seconds = stage_seconds / batch as f64;
                 query_records.push(QueryRecord {
@@ -632,16 +749,23 @@ impl SsamDevice {
                     total_cycles: timing.total_cycles,
                     total_bytes: timing.total_bytes,
                     energy_mj: timing.energy_mj,
+                    faults: frec.clone(),
                 });
             }
             per_query_stats.push(vault_stats.clone());
+            per_query_faults.push(frec.clone());
             results.push(DeviceResult {
                 neighbors: top.into_sorted(),
                 timing,
                 vault_stats,
+                faults: frec,
             });
         }
-        let (timing, accounts, mut phases) = self.account_batch(&per_query_stats, k);
+        let batch_faults = fault_grid
+            .as_ref()
+            .map(|g| (g.as_slice(), per_query_faults.as_slice()));
+        let (timing, accounts, mut phases, batch_frec) =
+            self.account_batch(&per_query_stats, k, batch_faults);
         if let Some(sink) = &self.telemetry {
             for r in &query_records {
                 sink.record(r.clone());
@@ -661,10 +785,15 @@ impl SsamDevice {
                 total_cycles: timing.total_cycles,
                 total_bytes: timing.total_bytes,
                 energy_mj: timing.energy_mj,
+                faults: batch_frec.clone(),
             };
             sink.record_batch(batch_record, &query_records);
         }
-        Ok(BatchResult { results, timing })
+        Ok(BatchResult {
+            results,
+            timing,
+            faults: batch_frec,
+        })
     }
 
     /// Derives query time and energy from per-vault simulation statistics.
@@ -681,6 +810,13 @@ impl SsamDevice {
         let cfg = &self.config;
         let mut pus = 1usize;
         for s in vault_stats {
+            // A vault that retired nothing (outage-injected) exerts no
+            // streaming demand; without this skip its 0/0 roofline would
+            // read as insatiable and force max provisioning. Fault-free
+            // runs always retire cycles, so the legacy path is untouched.
+            if s.cycles == 0 && s.dram.bytes_read == 0 {
+                continue;
+            }
             let bytes = s.dram.bytes_read.max(1) as f64;
             let secs = s.cycles.max(1) as f64 / cfg.freq_hz;
             let demand = bytes / secs; // one PU's streaming demand
@@ -694,7 +830,7 @@ impl SsamDevice {
     /// the classification regression tests).
     #[cfg(test)]
     fn derive_timing(&self, vault_stats: &[RunStats], k: usize) -> QueryTiming {
-        self.account_query(vault_stats, k).0
+        self.account_query(vault_stats, k, None).0
     }
 
     /// Derives the query account: the summary [`QueryTiming`] plus the
@@ -706,7 +842,8 @@ impl SsamDevice {
         &self,
         vault_stats: &[RunStats],
         k: usize,
-    ) -> (QueryTiming, Vec<VaultAccount>, Phases) {
+        fault_row: Option<(u64, &[VaultFault])>,
+    ) -> (QueryTiming, Vec<VaultAccount>, Phases, FaultRecord) {
         let cfg = &self.config;
         let pus = self.provision_pus(vault_stats);
 
@@ -715,17 +852,27 @@ impl SsamDevice {
             .enumerate()
             .map(|(i, s)| VaultAccount::from_stats(i, s, cfg.hmc.vault_bandwidth, cfg.freq_hz, pus))
             .collect();
+        let rec = self.settle_faults(&mut vaults, k, fault_row);
         let (_, worst, compute_bound) =
             telemetry::critical_path(&vaults).unwrap_or((0, 0.0, false));
 
-        // Result collection: each vault returns k (id, value) tuples.
-        let result_bytes = (vault_stats.len() * k * 8) as u64;
+        // Result collection: each vault that completed its scan and had
+        // data to send returns k (id, value) tuples (outage and
+        // uncorrectable-ECC vaults never transmit); the host then merges
+        // one k-list per vault whose transfer survived. Without faults
+        // both counts equal the vault count, so the fault-free expression
+        // is unchanged.
+        let transfers = vault_stats.len() as u64 - rec.vault_outages - rec.lost_ecc;
+        let merged = vault_stats.len() as u64 - rec.lost_units.len() as u64;
+        let result_bytes = transfers * k as u64 * 8;
         let link_t =
             ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / cfg.hmc.external_bandwidth;
         // Host merge: ~log-depth reduction over vaults·k tuples at ~1 ns each.
-        let merge_t = (vault_stats.len() * k) as f64 * 1e-9;
+        let merge_t = (merged * k as u64) as f64 * 1e-9;
 
-        let seconds = worst + link_t + merge_t;
+        // `recovery_seconds` is 0.0 on the fault-free path, and adding
+        // 0.0 to a finite non-negative sum is bitwise identity.
+        let seconds = worst + link_t + merge_t + rec.recovery_seconds;
 
         // Energy: per-vault accelerator power at observed activity, over
         // the query duration, for every active PU.
@@ -754,8 +901,115 @@ impl SsamDevice {
             simulate_seconds: worst,
             link_seconds: link_t,
             merge_seconds: merge_t,
+            fault_seconds: rec.recovery_seconds,
         };
-        (timing, vaults, phases)
+        (timing, vaults, phases, rec)
+    }
+
+    /// Applies one query's fault row to its per-vault accounts and builds
+    /// the closed [`FaultRecord`]: stragglers stretch their vault's
+    /// roofline, every injected bit-flip event is pushed through the real
+    /// SECDED codec over the actual shard words, CRC retries accrue
+    /// recovery time, and each lost vault is attributed to exactly one
+    /// cause (outage ≻ uncorrectable ECC ≻ link failure).
+    fn settle_faults(
+        &self,
+        vaults: &mut [VaultAccount],
+        k: usize,
+        fault_row: Option<(u64, &[VaultFault])>,
+    ) -> FaultRecord {
+        let mut rec = FaultRecord::default();
+        let Some((seq, row)) = fault_row else {
+            return rec;
+        };
+        let plan = self
+            .faults
+            .as_ref()
+            .expect("a sampled fault row implies an attached plan");
+        rec.total_vectors = self.vectors as u64;
+        // Retransmissions re-send this vault's k-tuple result payload.
+        let per_vault_wire = ssam_hmc::packet::bulk_wire_bytes((k * 8) as u64) as f64
+            / self.config.hmc.external_bandwidth;
+        for (vi, f) in row.iter().enumerate() {
+            if f.outage {
+                rec.vault_outages += 1;
+                rec.lost_outage += 1;
+                rec.lost_units.push(vi as u32);
+                continue;
+            }
+            if f.slowdown != 1.0 {
+                // The straggling vault still scans — only slower; its
+                // results remain valid, so it stretches the critical path
+                // rather than shrinking coverage.
+                vaults[vi].mem_seconds *= f.slowdown;
+                vaults[vi].comp_seconds *= f.slowdown;
+                rec.stragglers += 1;
+            }
+            rec.bit_flip_events += u64::from(f.bit_flip_events);
+            if f.bit_flip_events > 0 {
+                let words = &self.shards[vi].words;
+                for e in 0..f.bit_flip_events {
+                    // Which events are double matters only in aggregate;
+                    // exercise the first `double_bit_events` as doubles.
+                    let double = e < f.double_bit_events;
+                    let widx = (plan.victim_index(self.fault_scope, seq, vi as u64, e)
+                        % words.len() as u64) as usize;
+                    let clean = words[widx] as u32;
+                    let code = Secded32::encode(clean);
+                    let (p0, p1) = plan.flip_positions(
+                        self.fault_scope,
+                        seq,
+                        vi as u64,
+                        e,
+                        SECDED_CODE_BITS,
+                        double,
+                    );
+                    let mut corrupted = code ^ (1u64 << p0);
+                    if double {
+                        corrupted ^= 1u64 << p1;
+                    }
+                    match Secded32::decode(corrupted) {
+                        SecdedOutcome::Corrected { data, .. } => {
+                            debug_assert!(!double, "double flip slipped past detection");
+                            debug_assert_eq!(data, clean, "miscorrected word");
+                            rec.ecc_corrected += 1;
+                        }
+                        SecdedOutcome::DoubleError => {
+                            debug_assert!(double, "single flip flagged uncorrectable");
+                            rec.ecc_uncorrectable += 1;
+                        }
+                        SecdedOutcome::Clean(_) => {
+                            debug_assert!(false, "injected flip decoded clean");
+                        }
+                    }
+                }
+            }
+            if f.uncorrectable() {
+                // The vault detects the poisoned data and withholds its
+                // result; the transfer never happens, so the CRC channel
+                // had no opportunity to fire.
+                rec.lost_ecc += 1;
+                rec.lost_units.push(vi as u32);
+                continue;
+            }
+            rec.crc_corruptions += u64::from(f.crc_corruptions);
+            rec.recovery_seconds +=
+                f64::from(f.crc_corruptions) * (per_vault_wire + plan.link_retry_penalty);
+            if f.link_failed {
+                rec.link_failures += 1;
+                rec.link_failed_attempts += u64::from(f.crc_corruptions);
+                rec.lost_link += 1;
+                rec.lost_units.push(vi as u32);
+            } else {
+                rec.link_retries_ok += u64::from(f.crc_corruptions);
+            }
+        }
+        for (vi, shard) in self.shards.iter().enumerate() {
+            if !row[vi].lost() {
+                rec.covered_vectors += shard.vectors as u64;
+            }
+        }
+        rec
     }
 
     /// Derives the batch-level time/energy account: one PU-provisioning
@@ -772,7 +1026,8 @@ impl SsamDevice {
         &self,
         per_query_stats: &[Vec<RunStats>],
         k: usize,
-    ) -> (BatchTiming, Vec<VaultAccount>, Phases) {
+        batch_faults: Option<(&[Vec<VaultFault>], &[FaultRecord])>,
+    ) -> (BatchTiming, Vec<VaultAccount>, Phases, FaultRecord) {
         let cfg = &self.config;
         let freq = cfg.freq_hz;
         let batch = per_query_stats.len();
@@ -796,6 +1051,29 @@ impl SsamDevice {
                 VaultAccount::from_stats(v, &summed, cfg.hmc.vault_bandwidth, freq, pus)
             })
             .collect();
+        let mut batch_rec = FaultRecord::default();
+        if let Some((grid, recs)) = batch_faults {
+            // Stragglers stretch only their own run's share of the
+            // pipelined vault time: add `(slowdown − 1) · run_time` on
+            // top of the already-summed nominal counters.
+            for (q, row) in per_query_stats.iter().zip(grid) {
+                for (v, (s, f)) in q.iter().zip(row).enumerate() {
+                    if f.outage || f.slowdown == 1.0 {
+                        continue;
+                    }
+                    let extra = f.slowdown - 1.0;
+                    vaults[v].mem_seconds +=
+                        extra * s.dram.bytes_read as f64 / cfg.hmc.vault_bandwidth;
+                    vaults[v].comp_seconds += extra * s.cycles as f64 / (pus as f64 * freq);
+                }
+            }
+            for v in vaults.iter_mut() {
+                v.compute_bound = v.comp_seconds > v.mem_seconds;
+            }
+            for r in recs {
+                batch_rec.accumulate(r);
+            }
+        }
         let (_, worst, compute_bound) =
             telemetry::critical_path(&vaults).unwrap_or((0, 0.0, false));
 
@@ -807,12 +1085,35 @@ impl SsamDevice {
         }
 
         // Each query still returns vaults·k (id, value) tuples over the
-        // external link and pays its own host merge.
+        // external link and pays its own host merge — minus the vaults
+        // whose transfers a fault suppressed. Without faults this reduces
+        // to the legacy `batch · (link + merge)` expression exactly.
         let result_bytes = (n_vaults * k * 8) as u64;
         let link_t =
             ssam_hmc::packet::bulk_wire_bytes(result_bytes) as f64 / cfg.hmc.external_bandwidth;
         let merge_t = (n_vaults * k) as f64 * 1e-9;
-        let seconds = worst + batch as f64 * (link_t + merge_t);
+        let (host_t, link_total, merge_total) = match batch_faults {
+            // Fault-free: keep the exact legacy expression (grouping and
+            // all) so the zero-fault batch account stays bit-identical.
+            None => (
+                batch as f64 * (link_t + merge_t),
+                batch as f64 * link_t,
+                batch as f64 * merge_t,
+            ),
+            Some((_, recs)) => {
+                let mut lt = 0.0;
+                let mut mt = 0.0;
+                for r in recs {
+                    let transfers = n_vaults as u64 - r.vault_outages - r.lost_ecc;
+                    let merged = n_vaults as u64 - r.lost_units.len() as u64;
+                    lt += ssam_hmc::packet::bulk_wire_bytes(transfers * k as u64 * 8) as f64
+                        / cfg.hmc.external_bandwidth;
+                    mt += (merged * k as u64) as f64 * 1e-9;
+                }
+                (lt + mt, lt, mt)
+            }
+        };
+        let seconds = worst + host_t + batch_rec.recovery_seconds;
 
         // Energy: every (query, vault) run burns its activity-scaled PU
         // power over its share of the batch window, charged to its vault.
@@ -841,10 +1142,11 @@ impl SsamDevice {
         let phases = Phases {
             stage_seconds: 0.0,
             simulate_seconds: worst,
-            link_seconds: batch as f64 * link_t,
-            merge_seconds: batch as f64 * merge_t,
+            link_seconds: link_total,
+            merge_seconds: merge_total,
+            fault_seconds: batch_rec.recovery_seconds,
         };
-        (timing, vaults, phases)
+        (timing, vaults, phases, batch_rec)
     }
 
     /// Throughput estimate for a batch, from one batched execution
@@ -901,6 +1203,8 @@ pub struct BatchResult {
     pub results: Vec<DeviceResult>,
     /// Batch-level pipelined timing/energy.
     pub timing: BatchTiming,
+    /// Accumulated fault accounting over every query in the batch.
+    pub faults: FaultRecord,
 }
 
 /// Batch throughput/energy estimate.

@@ -33,6 +33,8 @@
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
+pub use ssam_faults::FaultRecord;
+
 use crate::sim::pu::RunStats;
 
 /// Relative tolerance for floating-point reconciliation. The bench
@@ -165,12 +167,16 @@ pub struct Phases {
     pub link_seconds: f64,
     /// Modeled host merge/reduce allowance.
     pub merge_seconds: f64,
+    /// Modeled fault-recovery time: link retransmissions and failover
+    /// backoff. Zero on every fault-free path; must equal the record's
+    /// [`FaultRecord::recovery_seconds`].
+    pub fault_seconds: f64,
 }
 
 impl Phases {
-    /// The modeled end-to-end time: `simulate + link + merge`.
+    /// The modeled end-to-end time: `simulate + link + merge + fault`.
     pub fn modeled_seconds(&self) -> f64 {
-        self.simulate_seconds + self.link_seconds + self.merge_seconds
+        self.simulate_seconds + self.link_seconds + self.merge_seconds + self.fault_seconds
     }
 }
 
@@ -206,6 +212,19 @@ pub struct QueryRecord {
     /// The summary energy the device reported (must reconcile with
     /// Σ vault energies).
     pub energy_mj: f64,
+    /// Fault-injection accounting for the record's window. Trivial (all
+    /// zeros, full coverage) on fault-free paths; when faults were
+    /// injected, [`verify_record`] checks the closure invariants — every
+    /// injected fault must be corrected, retried, or surfaced as lost
+    /// coverage.
+    pub faults: FaultRecord,
+}
+
+impl QueryRecord {
+    /// Fraction of the candidate set this record actually scanned.
+    pub fn coverage(&self) -> f64 {
+        self.faults.coverage()
+    }
 }
 
 /// A violated accounting invariant.
@@ -257,6 +276,13 @@ pub enum AccountingError {
     },
     /// A record with no vault accounts (nothing to check against).
     Empty,
+    /// Fault accounting does not close: an injected fault vanished
+    /// without being corrected, retried, or surfaced as lost coverage —
+    /// or the recovery time disagrees with the fault phase span.
+    FaultMismatch {
+        /// Human-readable description of the broken closure invariant.
+        detail: String,
+    },
     /// Batch totals differ from the serial-loop sum ([`verify_batch`]).
     BatchCounterMismatch {
         /// Which counter disagreed (`"cycles"` or `"bytes"`).
@@ -297,6 +323,9 @@ impl std::fmt::Display for AccountingError {
                  compute_bound={vault_compute_bound}"
             ),
             AccountingError::BadEnergy { detail } => write!(f, "bad energy account: {detail}"),
+            AccountingError::FaultMismatch { detail } => {
+                write!(f, "fault accounting does not close: {detail}")
+            }
             AccountingError::Empty => write!(f, "record has no vault accounts"),
             AccountingError::BatchCounterMismatch {
                 counter,
@@ -379,6 +408,18 @@ pub fn verify_record(r: &QueryRecord) -> Result<(), AccountingError> {
             detail: format!(
                 "per-vault energy sum {vault_energy} != reported total {}",
                 r.energy_mj
+            ),
+        });
+    }
+
+    if let Err(detail) = r.faults.check_closure() {
+        return Err(AccountingError::FaultMismatch { detail });
+    }
+    if !close(r.phases.fault_seconds, r.faults.recovery_seconds) {
+        return Err(AccountingError::FaultMismatch {
+            detail: format!(
+                "fault phase span {} != fault-record recovery_seconds {}",
+                r.phases.fault_seconds, r.faults.recovery_seconds
             ),
         });
     }
@@ -509,9 +550,24 @@ impl Telemetry {
         std::fs::write(path, self.to_jsonl())
     }
 
+    /// Aggregated fault counters over every non-batch record (batch
+    /// records re-accumulate their member queries' faults, so including
+    /// them would double-count). The result still satisfies
+    /// [`FaultRecord::check_closure`].
+    pub fn fault_totals(&self) -> FaultRecord {
+        let inner = self.inner.lock().expect("telemetry lock");
+        let mut total = FaultRecord::default();
+        for r in &inner.records {
+            if r.kind != RecordKind::Batch {
+                total.accumulate(&r.faults);
+            }
+        }
+        total
+    }
+
     /// Summary-table rows (one per record) for the bench binaries:
     /// `[seq, kind, label, batch, vaults, seconds, bound, cycles, bytes,
-    /// energy mJ]`.
+    /// energy mJ, coverage]`.
     pub fn summary_rows(&self) -> Vec<Vec<String>> {
         let inner = self.inner.lock().expect("telemetry lock");
         inner
@@ -529,6 +585,7 @@ impl Telemetry {
                     r.total_cycles.to_string(),
                     r.total_bytes.to_string(),
                     format!("{:.3e}", r.energy_mj),
+                    format!("{:.3}", r.coverage()),
                 ]
             })
             .collect()
@@ -547,6 +604,7 @@ impl Telemetry {
             "cycles",
             "bytes",
             "energy mJ",
+            "coverage",
         ]
     }
 }
@@ -611,7 +669,39 @@ pub fn record_json(r: &QueryRecord) -> String {
     json_f64(r.phases.link_seconds, &mut o);
     o.push_str(",\"merge_seconds\":");
     json_f64(r.phases.merge_seconds, &mut o);
-    o.push_str("},\"vaults\":[");
+    o.push_str(",\"fault_seconds\":");
+    json_f64(r.phases.fault_seconds, &mut o);
+    o.push_str("},\"coverage\":");
+    json_f64(r.coverage(), &mut o);
+    if !r.faults.is_trivial() {
+        let fr = &r.faults;
+        let _ = write!(
+            o,
+            ",\"faults\":{{\"bit_flip_events\":{},\"ecc_corrected\":{},\
+             \"ecc_uncorrectable\":{},\"crc_corruptions\":{},\"link_retries_ok\":{},\
+             \"link_failed_attempts\":{},\"link_failures\":{},\"vault_outages\":{},\
+             \"module_outages\":{},\"stragglers\":{},\"failed_over\":{},\
+             \"lost_units\":{:?},\"covered_vectors\":{},\"total_vectors\":{},",
+            fr.bit_flip_events,
+            fr.ecc_corrected,
+            fr.ecc_uncorrectable,
+            fr.crc_corruptions,
+            fr.link_retries_ok,
+            fr.link_failed_attempts,
+            fr.link_failures,
+            fr.vault_outages,
+            fr.module_outages,
+            fr.stragglers,
+            fr.failed_over,
+            fr.lost_units,
+            fr.covered_vectors,
+            fr.total_vectors,
+        );
+        o.push_str("\"recovery_seconds\":");
+        json_f64(fr.recovery_seconds, &mut o);
+        o.push('}');
+    }
+    o.push_str(",\"vaults\":[");
     for (i, v) in r.vaults.iter().enumerate() {
         if i > 0 {
             o.push(',');
@@ -693,8 +783,10 @@ mod tests {
                 simulate_seconds: critical,
                 link_seconds: 2e-7,
                 merge_seconds: 3e-8,
+                fault_seconds: 0.0,
             },
             vaults,
+            faults: FaultRecord::default(),
         }
     }
 
@@ -851,6 +943,65 @@ mod tests {
         let rows = t.summary_rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].len(), Telemetry::summary_headers().len());
+    }
+
+    #[test]
+    fn fault_leak_fires() {
+        let mut r = valid_record();
+        // An injected flip with no corrected/uncorrectable trace.
+        r.faults.bit_flip_events = 1;
+        assert!(matches!(
+            verify_record(&r),
+            Err(AccountingError::FaultMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn consistent_fault_record_passes_and_exports() {
+        let mut r = valid_record();
+        r.faults.bit_flip_events = 2;
+        r.faults.ecc_corrected = 1;
+        r.faults.ecc_uncorrectable = 1;
+        r.faults.lost_ecc = 1;
+        r.faults.lost_units = vec![1];
+        r.faults.covered_vectors = 80;
+        r.faults.total_vectors = 100;
+        assert_eq!(verify_record(&r), Ok(()));
+        assert!((r.coverage() - 0.8).abs() < 1e-12);
+        let json = record_json(&r);
+        assert!(json.contains("\"coverage\":0.8"));
+        assert!(json.contains("\"ecc_corrected\":1"));
+        assert!(json.contains("\"lost_units\":[1]"));
+    }
+
+    #[test]
+    fn recovery_time_drift_fires() {
+        let mut r = valid_record();
+        r.faults.crc_corruptions = 1;
+        r.faults.link_retries_ok = 1;
+        r.faults.recovery_seconds = 1e-6;
+        // Phase span left at zero: the retry time vanished from timing.
+        assert!(matches!(
+            verify_record(&r),
+            Err(AccountingError::FaultMismatch { .. })
+        ));
+        r.phases.fault_seconds = 1e-6;
+        r.seconds += 1e-6;
+        assert_eq!(verify_record(&r), Ok(()));
+    }
+
+    #[test]
+    fn fault_totals_skip_batch_records() {
+        let t = Telemetry::new();
+        let mut q = valid_record();
+        q.faults.stragglers = 1;
+        q.faults.covered_vectors = 10;
+        q.faults.total_vectors = 10;
+        t.record(q.clone());
+        let mut b = q;
+        b.kind = RecordKind::Batch;
+        t.record(b);
+        assert_eq!(t.fault_totals().stragglers, 1);
     }
 
     #[test]

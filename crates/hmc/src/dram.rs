@@ -117,6 +117,115 @@ impl DramTimings {
     }
 }
 
+/// Bits in a [`Secded32`] codeword: 32 data + 6 Hamming parity + 1 overall.
+pub const SECDED_CODE_BITS: u32 = 39;
+
+/// Outcome of decoding a SECDED codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecdedOutcome {
+    /// No error; the stored word.
+    Clean(u32),
+    /// A single-bit error was corrected in place.
+    Corrected {
+        /// The recovered word.
+        data: u32,
+        /// Codeword bit position (0..39) that was flipped.
+        bit: u32,
+    },
+    /// A double-bit error was detected; the word is unrecoverable.
+    DoubleError,
+}
+
+/// SECDED (single-error-correct, double-error-detect) extended Hamming code
+/// over 32-bit words, as used by in-DRAM ECC on HMC-class stacked memory.
+///
+/// Layout follows the classic extended Hamming construction: codeword bit 0
+/// holds overall parity, bits at power-of-two positions 1,2,4,8,16,32 hold
+/// the six Hamming parity bits, and the 32 data bits fill the remaining
+/// positions up to 38. Any single flipped bit is located by the syndrome and
+/// corrected; any two flipped bits yield a non-zero syndrome with even
+/// overall parity and are reported as [`SecdedOutcome::DoubleError`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Secded32;
+
+impl Secded32 {
+    fn is_data_position(pos: u32) -> bool {
+        pos != 0 && !pos.is_power_of_two()
+    }
+
+    /// Encodes `data` into a 39-bit codeword (in the low bits of the u64).
+    pub fn encode(data: u32) -> u64 {
+        let mut code: u64 = 0;
+        let mut bit = 0u32;
+        for pos in 1..SECDED_CODE_BITS {
+            if Self::is_data_position(pos) {
+                code |= u64::from((data >> bit) & 1) << pos;
+                bit += 1;
+            }
+        }
+        debug_assert_eq!(bit, 32);
+        // Hamming parity p (at position 2^p) covers every position whose
+        // index has that bit set.
+        for p in 0..6u32 {
+            let mask = 1u32 << p;
+            let mut parity = 0u64;
+            for pos in 1..SECDED_CODE_BITS {
+                if pos & mask != 0 {
+                    parity ^= (code >> pos) & 1;
+                }
+            }
+            code |= parity << mask;
+        }
+        // Overall parity over the whole codeword makes it SECDED.
+        let overall = (1..SECDED_CODE_BITS).fold(0u64, |acc, pos| acc ^ ((code >> pos) & 1));
+        code | overall
+    }
+
+    fn extract(code: u64) -> u32 {
+        let mut data = 0u32;
+        let mut bit = 0u32;
+        for pos in 1..SECDED_CODE_BITS {
+            if Self::is_data_position(pos) {
+                data |= (((code >> pos) & 1) as u32) << bit;
+                bit += 1;
+            }
+        }
+        data
+    }
+
+    /// Decodes a codeword, correcting a single flipped bit if present.
+    pub fn decode(code: u64) -> SecdedOutcome {
+        let mut syndrome = 0u32;
+        for p in 0..6u32 {
+            let mask = 1u32 << p;
+            let mut parity = 0u64;
+            for pos in 1..SECDED_CODE_BITS {
+                if pos & mask != 0 {
+                    parity ^= (code >> pos) & 1;
+                }
+            }
+            if parity != 0 {
+                syndrome |= mask;
+            }
+        }
+        let overall = (0..SECDED_CODE_BITS).fold(0u64, |acc, pos| acc ^ ((code >> pos) & 1));
+        match (syndrome, overall) {
+            (0, 0) => SecdedOutcome::Clean(Self::extract(code)),
+            // Odd overall parity: exactly one bit flipped, located by the
+            // syndrome (0 means the overall-parity bit itself).
+            (s, 1) => {
+                let fixed = code ^ (1u64 << s);
+                SecdedOutcome::Corrected {
+                    data: Self::extract(fixed),
+                    bit: s,
+                }
+            }
+            // Even overall parity with a non-zero syndrome: two flips.
+            (_, _) => SecdedOutcome::DoubleError,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +282,47 @@ mod tests {
         assert!(ddr.row_bytes > hmc.row_bytes);
         let ratio = hmc.sequential_bandwidth() / ddr.sequential_bandwidth();
         assert!((0.2..5.0).contains(&ratio));
+    }
+
+    #[test]
+    fn secded_clean_round_trip() {
+        for w in [0u32, 1, 0xffff_ffff, 0xdead_beef, 0x8000_0001] {
+            assert_eq!(
+                Secded32::decode(Secded32::encode(w)),
+                SecdedOutcome::Clean(w)
+            );
+        }
+    }
+
+    #[test]
+    fn secded_corrects_every_single_bit_flip() {
+        for w in [0u32, 0xa5a5_5a5a, 0xffff_ffff, 0x1234_5678] {
+            let code = Secded32::encode(w);
+            for bit in 0..SECDED_CODE_BITS {
+                match Secded32::decode(code ^ (1u64 << bit)) {
+                    SecdedOutcome::Corrected { data, bit: located } => {
+                        assert_eq!(data, w, "flip at {bit} not corrected");
+                        assert_eq!(located, bit);
+                    }
+                    other => panic!("flip at {bit}: expected correction, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn secded_detects_every_double_bit_flip() {
+        let w = 0xcafe_f00du32;
+        let code = Secded32::encode(w);
+        for b0 in 0..SECDED_CODE_BITS {
+            for b1 in (b0 + 1)..SECDED_CODE_BITS {
+                let corrupted = code ^ (1u64 << b0) ^ (1u64 << b1);
+                assert_eq!(
+                    Secded32::decode(corrupted),
+                    SecdedOutcome::DoubleError,
+                    "double flip at ({b0}, {b1}) not detected"
+                );
+            }
+        }
     }
 }

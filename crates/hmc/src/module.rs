@@ -114,6 +114,56 @@ impl HmcModule {
         bulk_wire_bytes(payload_bytes) as f64 / self.config.external_bandwidth
     }
 
+    /// Extra link time charged when CRC forces `retries` retransmissions of
+    /// a `payload_bytes` transfer: each retry re-sends the wire bytes and
+    /// pays a fixed `penalty` (timeout + reissue overhead).
+    pub fn external_retry_time(&self, payload_bytes: u64, retries: u32, penalty: f64) -> f64 {
+        f64::from(retries) * (self.external_transfer_time(payload_bytes) + penalty)
+    }
+
+    /// Mutable access to one vault controller (fault injection hooks).
+    pub fn vault_mut(&mut self, vault: usize) -> &mut VaultController {
+        &mut self.vaults[vault]
+    }
+
+    /// Marks a vault failed; its shard becomes unreachable.
+    pub fn fail_vault(&mut self, vault: usize) {
+        self.vaults[vault].fail();
+    }
+
+    /// Revives a failed vault at nominal speed.
+    pub fn revive_vault(&mut self, vault: usize) {
+        self.vaults[vault].revive();
+    }
+
+    /// Number of vaults currently serving requests.
+    pub fn healthy_vaults(&self) -> usize {
+        self.vaults.iter().filter(|v| !v.is_failed()).count()
+    }
+
+    /// Like [`parallel_stream_time`](Self::parallel_stream_time) but skips
+    /// failed vaults instead of returning infinity. Returns the completion
+    /// time over healthy vaults and the bytes actually covered — the
+    /// degraded-mode scan the fault-tolerant device model uses.
+    pub fn degraded_stream_time(&self, shard_bytes: &[u64]) -> (f64, u64) {
+        assert!(
+            shard_bytes.len() <= self.vaults.len(),
+            "more shards ({}) than vaults ({})",
+            shard_bytes.len(),
+            self.vaults.len()
+        );
+        let mut t = 0.0f64;
+        let mut covered = 0u64;
+        for (&b, v) in shard_bytes.iter().zip(&self.vaults) {
+            if v.is_failed() {
+                continue;
+            }
+            t = t.max(v.stream_time(b));
+            covered += b;
+        }
+        (t, covered)
+    }
+
     /// Aggregated statistics over all vaults.
     pub fn total_stats(&self) -> VaultStats {
         let mut agg = VaultStats::default();
@@ -216,6 +266,45 @@ mod tests {
         // 128 B payload costs 160 B wire.
         let t = m.external_transfer_time(128);
         assert!((t - 160.0 / 240.0e9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn failed_vault_blocks_parallel_stream_but_degraded_mode_skips_it() {
+        let mut m = HmcModule::new_sharded(HmcConfig::hmc2());
+        let shards = vec![1_000_000u64; 32];
+        let nominal = m.parallel_stream_time(&shards);
+        m.fail_vault(5);
+        assert_eq!(m.healthy_vaults(), 31);
+        assert!(m.parallel_stream_time(&shards).is_infinite());
+        let (t, covered) = m.degraded_stream_time(&shards);
+        assert!((t - nominal).abs() < 1e-15);
+        assert_eq!(covered, 31_000_000);
+        m.revive_vault(5);
+        let (_, covered) = m.degraded_stream_time(&shards);
+        assert_eq!(covered, 32_000_000);
+    }
+
+    #[test]
+    fn straggler_vault_stretches_the_scan() {
+        let mut m = HmcModule::new_sharded(HmcConfig::hmc2());
+        let shards = vec![1_000_000u64; 32];
+        let nominal = m.parallel_stream_time(&shards);
+        m.vault_mut(3).set_slowdown(4.0);
+        let slowed = m.parallel_stream_time(&shards);
+        assert!(
+            (slowed - 4.0 * nominal).abs() < 1e-12,
+            "{slowed} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn retry_time_scales_with_retries() {
+        let m = HmcModule::new_sharded(HmcConfig::hmc2());
+        let one = m.external_retry_time(1024, 1, 1e-6);
+        let three = m.external_retry_time(1024, 3, 1e-6);
+        assert_eq!(m.external_retry_time(1024, 0, 1e-6), 0.0);
+        assert!(one > 1e-6);
+        assert!((three - 3.0 * one).abs() < 1e-18);
     }
 
     #[test]

@@ -11,6 +11,8 @@ use bytes::{BufMut, Bytes, BytesMut};
 
 /// Bytes per FLIT on an HMC link.
 pub const FLIT_BYTES: usize = 16;
+/// Bytes of CRC carried in each packet's tail FLIT.
+pub const CRC_BYTES: usize = 4;
 /// Header + tail overhead per packet, in FLITs.
 pub const OVERHEAD_FLITS: usize = 2;
 /// Maximum data payload per packet (HMC spec: 128 bytes).
@@ -29,6 +31,23 @@ pub enum Command {
     Exec,
     /// SSAM extension: read back a result buffer of (id, distance) tuples.
     ReadResult,
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), as carried in the
+/// tail FLIT of every HMC packet for link-level error detection.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xedb8_8320;
+            }
+        }
+    }
+    !crc
 }
 
 /// One link packet (request or response).
@@ -62,9 +81,11 @@ impl Packet {
         self.flits() * FLIT_BYTES
     }
 
-    /// Serializes to a raw frame (debug/trace tooling).
+    /// Serializes to a raw frame (debug/trace tooling). The frame carries a
+    /// trailing CRC-32 over header and payload, mirroring the CRC in the
+    /// tail FLIT of real HMC packets.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(13 + self.payload.len());
+        let mut buf = BytesMut::with_capacity(13 + self.payload.len() + CRC_BYTES);
         buf.put_u8(match self.command {
             Command::Read => 0,
             Command::Write => 1,
@@ -75,15 +96,23 @@ impl Packet {
         buf.put_u64(self.addr);
         buf.put_u32(self.payload.len() as u32);
         buf.put_slice(&self.payload);
+        let crc = crc32(&buf);
+        buf.put_u32(crc);
         buf.freeze()
     }
 
-    /// Decodes a frame produced by [`Packet::encode`].
+    /// Decodes a frame produced by [`Packet::encode`], verifying the CRC.
     ///
-    /// Returns `None` on truncated or malformed input.
+    /// Returns `None` on truncated, malformed, or corrupted input.
     pub fn decode(mut frame: Bytes) -> Option<Self> {
         use bytes::Buf;
-        if frame.len() < 13 {
+        if frame.len() < 13 + CRC_BYTES {
+            return None;
+        }
+        let body_len = frame.len() - CRC_BYTES;
+        let expected = crc32(&frame[..body_len]);
+        let stored = u32::from_be_bytes(frame[body_len..].try_into().ok()?);
+        if expected != stored {
             return None;
         }
         let command = match frame.get_u8() {
@@ -96,13 +125,13 @@ impl Packet {
         };
         let addr = frame.get_u64();
         let len = frame.get_u32() as usize;
-        if frame.len() != len {
+        if frame.len() != len + CRC_BYTES {
             return None;
         }
         Some(Self {
             command,
             addr,
-            payload: frame,
+            payload: Bytes::copy_from_slice(&frame[..len]),
         })
     }
 }
@@ -179,6 +208,32 @@ mod tests {
     #[test]
     fn bulk_efficiency_is_eighty_percent() {
         assert!((bulk_efficiency() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // The standard IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn decode_rejects_payload_bit_flip() {
+        // Same length, one flipped payload bit: only the CRC can catch it.
+        let p = Packet::request(Command::ReadResult, 3, &[0u8; 32]);
+        let mut enc = p.encode().to_vec();
+        let idx = 13 + 5;
+        enc[idx] ^= 0x10;
+        assert!(Packet::decode(Bytes::from(enc)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_corrupted_crc_field() {
+        let p = Packet::request(Command::Exec, 1, &[1, 2, 3]);
+        let mut enc = p.encode().to_vec();
+        let last = enc.len() - 1;
+        enc[last] ^= 0xff;
+        assert!(Packet::decode(Bytes::from(enc)).is_none());
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct VaultController {
     access_latency: f64,
     busy_until: f64,
     stats: VaultStats,
+    /// Multiplicative service-time slowdown (1.0 = nominal). Models a
+    /// straggling vault: thermal throttling, refresh storms, weak cells.
+    slowdown: f64,
+    /// A failed vault serves nothing until revived.
+    failed: bool,
 }
 
 impl VaultController {
@@ -43,7 +48,39 @@ impl VaultController {
             access_latency,
             busy_until: 0.0,
             stats: VaultStats::default(),
+            slowdown: 1.0,
+            failed: false,
         }
+    }
+
+    /// Sets a multiplicative service-time slowdown (straggler injection).
+    ///
+    /// # Panics
+    /// Panics if `slowdown < 1.0`.
+    pub fn set_slowdown(&mut self, slowdown: f64) {
+        assert!(slowdown >= 1.0, "slowdown must be >= 1.0");
+        self.slowdown = slowdown;
+    }
+
+    /// Current service-time slowdown.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Marks the vault failed: transactions never complete until revived.
+    pub fn fail(&mut self) {
+        self.failed = true;
+    }
+
+    /// Brings a failed vault back at nominal speed.
+    pub fn revive(&mut self) {
+        self.failed = false;
+        self.slowdown = 1.0;
+    }
+
+    /// Whether the vault is currently failed.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 
     /// Issues a read of `bytes` at time `now`; returns completion time.
@@ -61,12 +98,20 @@ impl VaultController {
     }
 
     fn serve(&mut self, now: f64, bytes: u64) -> f64 {
+        if self.failed {
+            return f64::INFINITY;
+        }
         let start = now.max(self.busy_until);
-        let xfer = bytes as f64 / self.bandwidth;
-        let done = start + self.access_latency + xfer;
+        let mut cost = self.access_latency + bytes as f64 / self.bandwidth;
+        // Gated so the nominal path stays bit-identical to the
+        // pre-fault-injection model.
+        if self.slowdown != 1.0 {
+            cost *= self.slowdown;
+        }
+        let done = start + cost;
         self.busy_until = done;
         self.stats.transactions += 1;
-        self.stats.busy_time += self.access_latency + xfer;
+        self.stats.busy_time += cost;
         done
     }
 
@@ -86,9 +131,18 @@ impl VaultController {
     }
 
     /// Seconds needed to stream `bytes` sequentially through this
-    /// controller (one access latency, then line-rate transfer).
+    /// controller (one access latency, then line-rate transfer). A failed
+    /// vault never finishes; a straggler is proportionally slower.
     pub fn stream_time(&self, bytes: u64) -> f64 {
-        self.access_latency + bytes as f64 / self.bandwidth
+        if self.failed {
+            return f64::INFINITY;
+        }
+        let t = self.access_latency + bytes as f64 / self.bandwidth;
+        if self.slowdown != 1.0 {
+            t * self.slowdown
+        } else {
+            t
+        }
     }
 }
 
@@ -148,5 +202,38 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         let _ = VaultController::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn straggler_scales_service_time() {
+        let mut c = ctrl();
+        let nominal = c.stream_time(1_000_000);
+        c.set_slowdown(4.0);
+        assert!((c.stream_time(1_000_000) - 4.0 * nominal).abs() < 1e-15);
+        let done = c.read(0.0, 1_000_000);
+        assert!((done - 4.0 * nominal).abs() < 1e-15);
+    }
+
+    #[test]
+    fn failed_vault_never_completes_and_revives_clean() {
+        let mut c = ctrl();
+        c.set_slowdown(2.0);
+        c.fail();
+        assert!(c.is_failed());
+        assert!(c.stream_time(100).is_infinite());
+        assert!(c.read(0.0, 100).is_infinite());
+        let before = c.stats();
+        c.revive();
+        assert!(!c.is_failed());
+        assert_eq!(c.slowdown(), 1.0);
+        // The failed read left no trace in the counters.
+        assert_eq!(c.stats(), before);
+        assert!(c.stream_time(100).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown must be >= 1.0")]
+    fn sub_unity_slowdown_rejected() {
+        ctrl().set_slowdown(0.5);
     }
 }

@@ -80,9 +80,43 @@ use std::time::{Duration, Instant};
 use ssam_core::device::cluster::{ClusterTiming, SsamCluster};
 use ssam_core::device::{BatchTiming, DeviceQuery, QueryTiming, SsamDevice};
 use ssam_core::sim::pu::SimError;
+use ssam_faults::FaultPlan;
 use ssam_knn::topk::Neighbor;
 
 use crate::batcher::{plan, Action, BatchKey, PendingMeta};
+
+/// Fault-injection and fault-tolerance configuration for the serving
+/// runtime. [`ServeFaults::default`] injects nothing and degrades
+/// nothing — the fault-free fast path.
+#[derive(Debug, Clone)]
+pub struct ServeFaults {
+    /// Deterministic fault plan threaded to every worker's device clone
+    /// (each worker samples a decorrelated stream — its index is the
+    /// fault-key scope). `None` disables injection entirely.
+    pub plan: Option<Arc<FaultPlan>>,
+    /// The worker executing the nth batch (0-based, counted across the
+    /// server) panics mid-execution — the crash-fault channel of the
+    /// plan, kept separate because it exercises the host runtime rather
+    /// than the device model.
+    pub panic_on_batch: Option<u64>,
+    /// Minimum per-request coverage (fraction of candidate vectors
+    /// actually scanned). A response below this is retried within the
+    /// plan's `serve_retry_budget`, then surfaced as
+    /// [`ServeError::Degraded`]. With the default `1.0`, any lost vault
+    /// triggers the retry/degrade path; without a plan coverage is
+    /// always `1.0` and this never fires.
+    pub min_coverage: f64,
+}
+
+impl Default for ServeFaults {
+    fn default() -> Self {
+        Self {
+            plan: None,
+            panic_on_batch: None,
+            min_coverage: 1.0,
+        }
+    }
+}
 
 /// Serving-runtime configuration.
 #[derive(Debug, Clone)]
@@ -104,9 +138,11 @@ pub struct ServeConfig {
     /// Deadline budget applied to requests that do not carry their own
     /// ([`Request::timeout`] wins when both are set).
     pub default_timeout: Option<Duration>,
-    /// Test-only fault injection: the worker executing the nth batch
-    /// (0-based, counted across the server) panics mid-execution. Used
-    /// by the panic-isolation tests; leave `None`.
+    /// Fault injection and tolerance knobs.
+    pub faults: ServeFaults,
+    /// Thin back-compat wrapper for [`ServeFaults::panic_on_batch`]
+    /// (the hook's original home). [`ServeFaults::panic_on_batch`] wins
+    /// when both are set; prefer it in new code.
     #[doc(hidden)]
     pub panic_on_batch: Option<u64>,
 }
@@ -119,8 +155,26 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             default_timeout: None,
+            faults: ServeFaults::default(),
             panic_on_batch: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The effective panic-injection batch: the fault config's hook,
+    /// falling back to the legacy top-level field.
+    fn effective_panic_on_batch(&self) -> Option<u64> {
+        self.faults.panic_on_batch.or(self.panic_on_batch)
+    }
+
+    /// Per-request retry budget for under-coverage responses (0 without
+    /// a fault plan).
+    fn degraded_retry_budget(&self) -> u32 {
+        self.faults
+            .plan
+            .as_ref()
+            .map_or(0, |p| p.policy.serve_retry_budget)
     }
 }
 
@@ -227,6 +281,15 @@ pub enum ServeError {
     /// was not served (the worker recovered and the server keeps
     /// running).
     WorkerPanicked,
+    /// Faults degraded the result below the configured
+    /// [`ServeFaults::min_coverage`] even after the retry budget:
+    /// `coverage` is the fraction of candidate vectors the best attempt
+    /// actually scanned. Callers that can tolerate partial results may
+    /// lower `min_coverage` and read [`Response::coverage`] instead.
+    Degraded {
+        /// Fraction of the dataset covered by the rejected attempt.
+        coverage: f64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -242,6 +305,9 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
             ServeError::Device(e) => write!(f, "device fault: {e}"),
             ServeError::WorkerPanicked => write!(f, "worker panicked executing the batch"),
+            ServeError::Degraded { coverage } => {
+                write!(f, "result degraded below required coverage ({coverage:.3})")
+            }
         }
     }
 }
@@ -297,6 +363,10 @@ pub struct Response {
     /// Host wall-clock executing the device batch (shared by every
     /// request in it).
     pub service_seconds: f64,
+    /// Fraction of candidate vectors actually scanned for this request
+    /// (`1.0` unless fault injection lost vaults or modules). The
+    /// neighbors are exact over this fraction.
+    pub coverage: f64,
 }
 
 /// Counters describing a server's lifetime so far. Snapshot via
@@ -314,6 +384,15 @@ pub struct ServerStats {
     /// Requests completed with [`ServeError::Device`] or
     /// [`ServeError::WorkerPanicked`].
     pub failed: u64,
+    /// Requests surfaced as [`ServeError::Degraded`] after exhausting
+    /// the retry budget.
+    pub degraded: u64,
+    /// Under-coverage responses retried within the budget (each is one
+    /// re-enqueue of one request).
+    pub retried_degraded: u64,
+    /// Requests re-enqueued after a worker panic instead of being failed
+    /// outright (panic-survivor retries).
+    pub retried_panic: u64,
     /// Worker panic events survived (each covers one batch).
     pub worker_panics: u64,
     /// Device batches executed successfully.
@@ -345,6 +424,12 @@ struct Pending {
     key: BatchKey,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Times this request was re-enqueued after an under-coverage
+    /// response (bounded by the plan's `serve_retry_budget`).
+    degraded_retries: u32,
+    /// Times this request survived a worker panic via re-enqueue
+    /// (bounded at 1: a second panic fails it).
+    panic_retries: u32,
     tx: mpsc::Sender<Result<Response, ServeError>>,
 }
 
@@ -391,6 +476,9 @@ enum Engine {
     Device {
         template: Arc<SsamDevice>,
         live: Box<SsamDevice>,
+        /// This worker's fault-key scope, reapplied after recovery (the
+        /// template always carries scope 0).
+        scope: u64,
     },
     Cluster {
         template: Arc<SsamCluster>,
@@ -401,17 +489,25 @@ enum Engine {
 impl Engine {
     fn recover(&mut self) {
         match self {
-            Engine::Device { template, live } => **live = (**template).clone(),
+            Engine::Device {
+                template,
+                live,
+                scope,
+            } => {
+                **live = (**template).clone();
+                live.set_fault_scope(*scope);
+            }
             Engine::Cluster { template, live } => **live = (**template).clone(),
         }
     }
 
-    /// Executes one coalesced batch. Results are in request order.
+    /// Executes one coalesced batch. Results are in request order, each
+    /// with the fraction of candidate vectors its answer covers.
     fn execute(
         &mut self,
         batch: &[Pending],
         k: usize,
-    ) -> Result<Vec<(Vec<Neighbor>, DeviceAccount)>, SimError> {
+    ) -> Result<Vec<(Vec<Neighbor>, DeviceAccount, f64)>, SimError> {
         match self {
             Engine::Device { live, .. } => {
                 let queries: Vec<DeviceQuery<'_>> =
@@ -422,12 +518,14 @@ impl Engine {
                     .results
                     .into_iter()
                     .map(|r| {
+                        let coverage = r.coverage();
                         (
                             r.neighbors,
                             DeviceAccount::Device {
                                 timing: r.timing,
                                 batch: batch_timing,
                             },
+                            coverage,
                         )
                     })
                     .collect())
@@ -443,7 +541,10 @@ impl Engine {
                 let out = live.query_batch(&queries, k)?;
                 Ok(out
                     .into_iter()
-                    .map(|(neighbors, timing)| (neighbors, DeviceAccount::Cluster(timing)))
+                    .map(|(neighbors, timing)| {
+                        let coverage = timing.coverage();
+                        (neighbors, DeviceAccount::Cluster(timing), coverage)
+                    })
                     .collect())
             }
         }
@@ -464,7 +565,10 @@ impl Server {
     ///
     /// # Panics
     /// Panics if the device has no dataset loaded.
-    pub fn start(device: SsamDevice, config: ServeConfig) -> Server {
+    pub fn start(mut device: SsamDevice, config: ServeConfig) -> Server {
+        if let Some(plan) = &config.faults.plan {
+            device.set_fault_plan(Some(Arc::clone(plan)));
+        }
         let shape = QueryShape {
             len: device
                 .query_len()
@@ -474,9 +578,14 @@ impl Server {
             euclidean_only: false,
         };
         let template = Arc::new(device);
-        Self::spawn(config, shape, move || Engine::Device {
-            live: Box::new((*template).clone()),
-            template: Arc::clone(&template),
+        Self::spawn(config, shape, move |worker| {
+            let mut live = (*template).clone();
+            live.set_fault_scope(worker as u64);
+            Engine::Device {
+                live: Box::new(live),
+                template: Arc::clone(&template),
+                scope: worker as u64,
+            }
         })
     }
 
@@ -486,7 +595,12 @@ impl Server {
     ///
     /// # Panics
     /// Panics if the cluster holds no data.
-    pub fn start_cluster(cluster: SsamCluster, config: ServeConfig) -> Server {
+    pub fn start_cluster(mut cluster: SsamCluster, config: ServeConfig) -> Server {
+        if let Some(plan) = &config.faults.plan {
+            // The cluster scopes fault keys by module index itself
+            // (health-aware dispatch and failover live inside it).
+            cluster.set_fault_plan(Some(Arc::clone(plan)));
+        }
         let shape = QueryShape {
             len: cluster
                 .query_len()
@@ -496,13 +610,17 @@ impl Server {
             euclidean_only: true,
         };
         let template = Arc::new(cluster);
-        Self::spawn(config, shape, move || Engine::Cluster {
+        Self::spawn(config, shape, move |_worker| Engine::Cluster {
             live: Box::new((*template).clone()),
             template: Arc::clone(&template),
         })
     }
 
-    fn spawn(config: ServeConfig, shape: QueryShape, make_engine: impl Fn() -> Engine) -> Server {
+    fn spawn(
+        config: ServeConfig,
+        shape: QueryShape,
+        make_engine: impl Fn(usize) -> Engine,
+    ) -> Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
@@ -518,7 +636,7 @@ impl Server {
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let mut engine = make_engine();
+                let mut engine = make_engine(i);
                 std::thread::Builder::new()
                     .name(format!("ssam-serve-{i}"))
                     .spawn(move || worker_loop(&shared, &mut engine))
@@ -627,6 +745,8 @@ impl ServerHandle {
             k: req.k,
             enqueued: now,
             deadline: timeout.map(|t| now + t),
+            degraded_retries: 0,
+            panic_retries: 0,
             tx,
         };
 
@@ -753,33 +873,64 @@ fn execute_batch(shared: &Shared, engine: &mut Engine, batch: Vec<Pending>, seq:
     let k = batch[0].k;
     let n = batch.len();
     let formed = Instant::now();
-    let inject = shared.config.panic_on_batch == Some(seq);
+    let inject = shared.config.effective_panic_on_batch() == Some(seq);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        assert!(!inject, "injected fault (ServeConfig::panic_on_batch)");
+        assert!(!inject, "injected fault (ServeFaults::panic_on_batch)");
         engine.execute(&batch, k)
     }));
     let service_seconds = formed.elapsed().as_secs_f64();
 
     match outcome {
         Ok(Ok(results)) => {
-            {
-                let mut st = shared.state.lock().expect("serve queue lock");
-                st.stats.served += n as u64;
-                st.stats.batches += 1;
-                if st.stats.batch_hist.len() <= n {
-                    st.stats.batch_hist.resize(n + 1, 0);
+            let min_coverage = shared.config.faults.min_coverage;
+            let budget = shared.config.degraded_retry_budget();
+            let mut served = 0u64;
+            let mut degraded = 0u64;
+            let mut retry: Vec<Pending> = Vec::new();
+            let mut complete: Vec<(Pending, Result<Response, ServeError>)> = Vec::new();
+            for (mut p, (neighbors, account, coverage)) in batch.into_iter().zip(results) {
+                if coverage < min_coverage {
+                    if p.degraded_retries < budget {
+                        // Under-covered: spend retry budget. A fresh
+                        // execution samples fresh (still deterministic)
+                        // faults, so lost vaults usually come back.
+                        p.degraded_retries += 1;
+                        retry.push(p);
+                    } else {
+                        degraded += 1;
+                        complete.push((p, Err(ServeError::Degraded { coverage })));
+                    }
+                    continue;
                 }
-                st.stats.batch_hist[n] += 1;
-            }
-            for (p, (neighbors, account)) in batch.into_iter().zip(results) {
+                served += 1;
                 let queue_seconds = formed.duration_since(p.enqueued).as_secs_f64();
-                let _ = p.tx.send(Ok(Response {
+                let response = Response {
                     neighbors,
                     account,
                     batch_size: n,
                     queue_seconds,
                     service_seconds,
-                }));
+                    coverage,
+                };
+                complete.push((p, Ok(response)));
+            }
+            {
+                let mut st = shared.state.lock().expect("serve queue lock");
+                st.stats.served += served;
+                st.stats.degraded += degraded;
+                st.stats.retried_degraded += retry.len() as u64;
+                st.stats.batches += 1;
+                if st.stats.batch_hist.len() <= n {
+                    st.stats.batch_hist.resize(n + 1, 0);
+                }
+                st.stats.batch_hist[n] += 1;
+                for p in retry {
+                    st.pending.push_back(p);
+                }
+            }
+            shared.wake.notify_all();
+            for (p, result) in complete {
+                let _ = p.tx.send(result);
             }
         }
         Ok(Err(e)) => {
@@ -790,14 +941,33 @@ fn execute_batch(shared: &Shared, engine: &mut Engine, batch: Vec<Pending>, seq:
         }
         Err(_) => {
             // The device clone may be mid-mutation; discard it for a
-            // pristine copy of the template and keep serving.
+            // pristine copy of the template and keep serving. Requests
+            // that merely shared the batch with whatever caused the
+            // panic get one solo retry; a singleton batch (or a request
+            // that already survived one panic) is the prime suspect and
+            // fails outright.
             engine.recover();
+            let mut fail: Vec<Pending> = Vec::new();
+            let mut retry: Vec<Pending> = Vec::new();
+            for mut p in batch {
+                if n == 1 || p.panic_retries >= 1 {
+                    fail.push(p);
+                } else {
+                    p.panic_retries += 1;
+                    retry.push(p);
+                }
+            }
             {
                 let mut st = shared.state.lock().expect("serve queue lock");
-                st.stats.failed += n as u64;
+                st.stats.failed += fail.len() as u64;
+                st.stats.retried_panic += retry.len() as u64;
                 st.stats.worker_panics += 1;
+                for p in retry {
+                    st.pending.push_back(p);
+                }
             }
-            for p in batch {
+            shared.wake.notify_all();
+            for p in fail {
                 let _ = p.tx.send(Err(ServeError::WorkerPanicked));
             }
         }

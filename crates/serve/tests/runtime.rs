@@ -431,3 +431,147 @@ fn served_batches_record_verified_telemetry() {
         sink.violations()
     );
 }
+
+#[test]
+fn panicked_batch_requests_are_reenqueued_once() {
+    use ssam_serve::ServeFaults;
+    // Four requests share the panicking batch; none of them is the
+    // proven culprit (the batch had company), so each gets one retry
+    // and the rebuilt batch serves them all.
+    let server = Server::start(
+        float_device(48, 14),
+        ServeConfig {
+            max_batch: 4,
+            max_linger: Duration::from_secs(3600),
+            workers: 1,
+            faults: ServeFaults {
+                panic_on_batch: Some(0),
+                ..ServeFaults::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 51u64;
+    let tickets: Vec<_> = (0..4)
+        .map(|_| {
+            handle
+                .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+                .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        let resp = t.wait().expect("re-enqueued after panic, then served");
+        assert_eq!(resp.neighbors.len(), 4);
+        assert_eq!(resp.coverage, 1.0);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.retried_panic, 4);
+    assert_eq!(stats.served, 4);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn legacy_panic_on_batch_field_still_fires() {
+    // PR-4 style config: the deprecated top-level knob, no ServeFaults.
+    let server = Server::start(
+        float_device(48, 14),
+        ServeConfig {
+            max_batch: 1,
+            max_linger: Duration::from_millis(1),
+            workers: 1,
+            panic_on_batch: Some(0),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 53u64;
+    let err = handle
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect_err("injected fault");
+    assert_eq!(err, ServeError::WorkerPanicked);
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.failed, 1);
+}
+
+#[test]
+fn degraded_coverage_surfaces_after_retry_budget() {
+    use ssam_faults::FaultPlan;
+    use ssam_serve::ServeFaults;
+    use std::sync::Arc;
+    // Vault 0 is permanently dead: every execution loses its shard, so
+    // coverage is deterministically below 1.0 on the first try and on
+    // the retry. With the default min_coverage of 1.0 and the default
+    // retry budget of 1, the request retries once and then surfaces as
+    // Degraded with the honest coverage fraction.
+    let plan = FaultPlan::parse("dead_vaults=0").expect("valid spec");
+    let server = Server::start(
+        float_device(256, 21),
+        ServeConfig {
+            max_batch: 1,
+            max_linger: Duration::from_millis(1),
+            workers: 1,
+            faults: ServeFaults {
+                plan: Some(Arc::new(plan)),
+                ..ServeFaults::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 61u64;
+    let err = handle
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect_err("dead vault can never reach full coverage");
+    match err {
+        ServeError::Degraded { coverage } => {
+            assert!(coverage > 0.0 && coverage < 1.0, "coverage = {coverage}");
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.retried_degraded, 1);
+    assert_eq!(stats.served, 0);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn relaxed_min_coverage_serves_with_honest_coverage() {
+    use ssam_faults::FaultPlan;
+    use ssam_serve::ServeFaults;
+    use std::sync::Arc;
+    // Same dead vault, but the operator accepts partial answers: the
+    // response arrives with coverage < 1.0 reported truthfully.
+    let plan = FaultPlan::parse("dead_vaults=0").expect("valid spec");
+    let server = Server::start(
+        float_device(256, 21),
+        ServeConfig {
+            max_batch: 1,
+            max_linger: Duration::from_millis(1),
+            workers: 1,
+            faults: ServeFaults {
+                plan: Some(Arc::new(plan)),
+                min_coverage: 0.5,
+                ..ServeFaults::default()
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 61u64;
+    let resp = handle
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect("partial coverage accepted");
+    assert_eq!(resp.neighbors.len(), 4);
+    assert!(
+        resp.coverage >= 0.5 && resp.coverage < 1.0,
+        "coverage = {}",
+        resp.coverage
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.degraded, 0);
+}

@@ -24,6 +24,10 @@
 //! * [`serve`] — the online query-serving runtime: dynamic batching,
 //!   admission control, deadlines, and graceful shutdown over the device
 //!   engine (see `examples/serve_demo.rs`).
+//! * [`faults`] — seeded deterministic fault injection (DRAM bit flips
+//!   under SECDED ECC, link CRC corruption with bounded retry, vault and
+//!   module outages, stragglers) plus the closed fault-accounting record
+//!   the rest of the stack reports recovery through.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +49,7 @@ pub use ssam_baselines as baselines;
 pub use ssam_core as core;
 pub use ssam_cost as cost;
 pub use ssam_datasets as datasets;
+pub use ssam_faults as faults;
 pub use ssam_hmc as hmc;
 pub use ssam_knn as knn;
 pub use ssam_profiling as profiling;
