@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use ssam_bench::{fmt, print_table, ssam_with};
-use ssam_core::device::{DeviceQuery, SsamDevice};
+use ssam_core::device::{DeviceQuery, SsamConfig, SsamDevice};
 use ssam_core::telemetry::Telemetry;
 use ssam_datasets::json::{self, Value};
 use ssam_datasets::PaperDataset;
@@ -67,6 +67,7 @@ struct Args {
     json: String,
     telemetry: Option<String>,
     csv: bool,
+    no_opt: bool,
 }
 
 fn parse_args() -> Args {
@@ -84,6 +85,7 @@ fn parse_args() -> Args {
         json: "BENCH_serve.json".to_string(),
         telemetry: None,
         csv: false,
+        no_opt: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -123,12 +125,14 @@ fn parse_args() -> Args {
             "--json" => a.json = take(&mut i, "--json"),
             "--telemetry" => a.telemetry = Some(take(&mut i, "--telemetry")),
             "--csv" => a.csv = true,
+            "--no-opt" => a.no_opt = true,
             "-h" | "--help" => {
                 println!(
                     "usage: serve_load [--seconds N] [--concurrency 1,4,16,64] [--workers N]\n\
                      \x20                 [--max-batch N] [--linger-us N] [--scale F] [--k N]\n\
                      \x20                 [--rate QPS] [--timeout-ms N] [--faults SPEC]\n\
-                     \x20                 [--json PATH] [--telemetry PATH] [--csv]"
+                     \x20                 [--json PATH] [--telemetry PATH] [--csv] [--no-opt]\n\
+                     \x20  --no-opt stages raw (unoptimized) kernel programs for A/B runs"
                 );
                 std::process::exit(0);
             }
@@ -297,7 +301,17 @@ fn main() {
     let bench = ssam_datasets::Benchmark::from_spec(spec);
     let k = args.k.unwrap_or_else(|| bench.k());
     let sink = Telemetry::new();
-    let mut device = ssam_with(&bench.train, 4);
+    let mut device = if args.no_opt {
+        let mut dev = SsamDevice::new(SsamConfig {
+            vector_length: 4,
+            optimize_kernels: false,
+            ..SsamConfig::default()
+        });
+        dev.load_vectors(&bench.train);
+        dev
+    } else {
+        ssam_with(&bench.train, 4)
+    };
     device.attach_telemetry(&sink);
     let dataset_label = format!(
         "{} ({} train / {} queries, {}-d)",
@@ -605,6 +619,7 @@ fn main() {
         json::number_u64(args.linger.as_micros() as u64),
     );
     root.insert("seconds_per_point".into(), json::number_f64(args.seconds));
+    root.insert("optimize_kernels".into(), Value::Bool(!args.no_opt));
     let mut offline_o = BTreeMap::new();
     offline_o.insert("batch".into(), json::number_usize(offline_batch));
     offline_o.insert("host_qps".into(), json::number_f64(offline_host));

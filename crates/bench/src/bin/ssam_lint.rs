@@ -18,8 +18,20 @@
 //! ```text
 //! ssam-lint [--all] [FILTER]   # FILTER = substring of the kernel label
 //! ssam-lint -q                 # errors only
+//! ssam-lint --opt-report       # optimizer JSON report (and CI gate)
+//! ssam-lint --cost [--n N]     # static cost-model JSON over the matrix
 //! ```
+//!
+//! `--opt-report` emits one JSON object covering the whole matrix —
+//! per-kernel before/after instruction counts and pass counters plus
+//! per-family totals — and **gates**: it exits non-zero if optimization
+//! ever *increased* an instruction count or introduced a lint error.
+//! `--cost` runs [`analysis::cost::estimate`] over every kernel at a
+//! representative shard size (default 1024 vectors, override with
+//! `--n`), reporting cycle/traffic intervals and the roofline
+//! classification the telemetry layer would assign.
 
+use ssam_core::analysis::cost::{estimate, BoundClass};
 use ssam_core::analysis::{self, Severity};
 use ssam_core::isa::VECTOR_LENGTHS;
 use ssam_core::kernels::{kmeans_traversal, linear, lsh_traversal, traversal, Kernel};
@@ -86,20 +98,179 @@ fn emit(out: &mut impl std::io::Write, errors: usize, line: std::fmt::Arguments)
     }
 }
 
+/// Kernel family: the name up to the `_vl` parameter suffix
+/// (`linear_euclidean_swqueue_vl4_k10` → `linear_euclidean_swqueue`).
+fn family(name: &str) -> &str {
+    name.find("_vl").map_or(name, |i| &name[..i])
+}
+
+/// `ssam-lint --opt-report`: optimizer accounting as JSON, plus the CI
+/// gate — optimization must never add instructions or lint errors.
+fn opt_report(kernels: &[(String, Kernel)]) -> i32 {
+    use std::collections::BTreeMap;
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut families: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    let mut rows = Vec::new();
+    let (mut total_before, mut total_after) = (0u64, 0u64);
+    for (label, kernel) in kernels {
+        let r = &kernel.opt;
+        if r.instructions_after > r.instructions_before {
+            gate_failures.push(format!(
+                "{label}: optimization grew the program ({} -> {})",
+                r.instructions_before, r.instructions_after
+            ));
+        }
+        let errors = analysis::verify(kernel)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        if errors > 0 {
+            gate_failures.push(format!(
+                "{label}: optimized kernel has {errors} lint error(s)"
+            ));
+        }
+        total_before += r.instructions_before as u64;
+        total_after += r.instructions_after as u64;
+        let fam = families.entry(family(&kernel.name)).or_insert((0, 0));
+        fam.0 += r.instructions_before as u64;
+        fam.1 += r.instructions_after as u64;
+        rows.push(format!(
+            "    {{\"kernel\": \"{}\", \"before\": {}, \"after\": {}, \"folded\": {}, \
+             \"branches_resolved\": {}, \"unreachable_removed\": {}, \"dead_removed\": {}, \
+             \"redundant_loads\": {}, \"hoisted\": {}, \"rounds\": {}, \"lint_errors\": {}}}",
+            label,
+            r.instructions_before,
+            r.instructions_after,
+            r.folded,
+            r.branches_resolved,
+            r.unreachable_removed,
+            r.dead_removed,
+            r.redundant_loads,
+            r.hoisted,
+            r.rounds,
+            errors
+        ));
+    }
+    let fam_rows: Vec<String> = families
+        .iter()
+        .map(|(fam, (before, after))| {
+            format!(
+                "    {{\"family\": \"{fam}\", \"before\": {before}, \"after\": {after}, \
+                 \"reduction_pct\": {:.2}}}",
+                if *before > 0 {
+                    100.0 * (before - after) as f64 / *before as f64
+                } else {
+                    0.0
+                }
+            )
+        })
+        .collect();
+    println!("{{");
+    println!("  \"kernels\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ],");
+    println!("  \"families\": [");
+    println!("{}", fam_rows.join(",\n"));
+    println!("  ],");
+    println!("  \"total_before\": {total_before},");
+    println!("  \"total_after\": {total_after},");
+    println!(
+        "  \"reduction_pct\": {:.2},",
+        100.0 * (total_before - total_after) as f64 / total_before as f64
+    );
+    println!("  \"gate_failures\": {}", gate_failures.len());
+    println!("}}");
+    for f in &gate_failures {
+        eprintln!("ssam-lint gate: {f}");
+    }
+    i32::from(!gate_failures.is_empty())
+}
+
+/// Renders an [`analysis::cost::Interval`] as a JSON `{"min", "max"}`
+/// pair, `max: null` when statically unbounded.
+fn json_interval(iv: analysis::cost::Interval) -> String {
+    match iv.max {
+        Some(max) => format!("{{\"min\": {}, \"max\": {max}}}", iv.min),
+        None => format!("{{\"min\": {}, \"max\": null}}", iv.min),
+    }
+}
+
+/// `ssam-lint --cost`: the static cost model over the kernel matrix.
+fn cost_report(kernels: &[(String, Kernel)], n: u64) -> i32 {
+    let rows: Vec<String> = kernels
+        .iter()
+        .map(|(label, kernel)| {
+            let e = estimate(kernel, kernel.layout.vl, n);
+            let bound = match e.bound {
+                Some(BoundClass::Compute) => "\"compute\"",
+                Some(BoundClass::Memory) => "\"memory\"",
+                None => "null",
+            };
+            format!(
+                "    {{\"kernel\": \"{label}\", \"vl\": {}, \"n\": {n}, \"exact\": {}, \
+                 \"instructions\": {}, \"cycles\": {}, \"dram_bytes\": {}, \
+                 \"comp_seconds\": {:.9}, \"mem_seconds\": {:.9}, \"bound\": {bound}}}",
+                kernel.layout.vl,
+                e.exact,
+                json_interval(e.instructions),
+                json_interval(e.cycles),
+                json_interval(e.dram_bytes),
+                e.comp_seconds,
+                e.mem_seconds,
+            )
+        })
+        .collect();
+    println!("{{");
+    println!("  \"kernels\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+    0
+}
+
 fn main() {
     let mut filter: Option<String> = None;
     let mut quiet = false;
-    for arg in std::env::args().skip(1) {
+    let mut mode_opt_report = false;
+    let mut mode_cost = false;
+    let mut cost_n = 1024u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--all" => {} // the default; accepted for CI readability
             "-q" | "--quiet" => quiet = true,
+            "--opt-report" => mode_opt_report = true,
+            "--cost" => mode_cost = true,
+            "--n" => {
+                cost_n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("ssam-lint: --n requires a positive integer");
+                    std::process::exit(2);
+                });
+            }
             "-h" | "--help" => {
                 println!("usage: ssam-lint [--all] [-q|--quiet] [FILTER]");
+                println!("       ssam-lint --opt-report   # optimizer JSON + CI gate");
+                println!("       ssam-lint --cost [--n N] # static cost model JSON");
                 println!("Statically verifies every generated kernel; exits 1 on errors.");
                 return;
             }
             other => filter = Some(other.to_string()),
         }
+    }
+
+    if mode_opt_report || mode_cost {
+        let kernels: Vec<(String, Kernel)> = all_kernels()
+            .into_iter()
+            .filter(|(label, _)| filter.as_ref().is_none_or(|f| label.contains(f.as_str())))
+            .collect();
+        let mut status = 0;
+        if mode_opt_report {
+            status = status.max(opt_report(&kernels));
+        }
+        if mode_cost {
+            status = status.max(cost_report(&kernels, cost_n));
+        }
+        std::process::exit(status);
     }
 
     let stdout = std::io::stdout();

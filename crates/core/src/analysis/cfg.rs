@@ -115,6 +115,17 @@ impl Cfg {
 
         Self { succs, reachable }
     }
+
+    /// Predecessor lists, the transpose of [`Cfg::succs`].
+    pub fn preds(&self) -> Vec<Vec<u32>> {
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); self.succs.len()];
+        for (pc, succs) in self.succs.iter().enumerate() {
+            for &s in succs {
+                preds[s as usize].push(pc as u32);
+            }
+        }
+        preds
+    }
 }
 
 /// Generic forward dataflow fixpoint over a [`Cfg`].
@@ -159,6 +170,46 @@ pub(crate) fn forward_fixpoint<S: Clone + PartialEq>(
         }
     }
     in_states
+}
+
+/// Generic backward dataflow fixpoint over a [`Cfg`].
+///
+/// The dual of [`forward_fixpoint`]: propagates states against control
+/// flow, so the result is the *out-state* of every instruction — the
+/// join over its successors' post-transfer states. Instructions with no
+/// successor (`HALT`, dropped edges) get `exit` as their out-state.
+/// Unreachable instructions still participate (their states are simply
+/// never observed by reachable code), so every entry is `Some`.
+pub(crate) fn backward_fixpoint<S: Clone + PartialEq>(
+    program: &[Instruction],
+    cfg: &Cfg,
+    exit: S,
+    join: impl Fn(&S, &S) -> S,
+    transfer: impl Fn(u32, &Instruction, &S) -> S,
+) -> Vec<S> {
+    let len = program.len();
+    let mut out_states: Vec<S> = vec![exit; len];
+    if len == 0 {
+        return out_states;
+    }
+    let preds = cfg.preds();
+    let mut worklist: std::collections::VecDeque<u32> = (0..len as u32).rev().collect();
+    let mut queued = vec![true; len];
+    while let Some(pc) = worklist.pop_front() {
+        queued[pc as usize] = false;
+        let inflow = transfer(pc, &program[pc as usize], &out_states[pc as usize]);
+        for &pred in &preds[pc as usize] {
+            let merged = join(&out_states[pred as usize], &inflow);
+            if out_states[pred as usize] != merged {
+                out_states[pred as usize] = merged;
+                if !queued[pred as usize] {
+                    queued[pred as usize] = true;
+                    worklist.push_back(pred);
+                }
+            }
+        }
+    }
+    out_states
 }
 
 #[cfg(test)]
@@ -225,5 +276,44 @@ mod tests {
         );
         // The loop head joins the entry (1 write) and back-edge (saturated).
         assert_eq!(states[1], Some(10));
+    }
+
+    #[test]
+    fn preds_transpose_succs() {
+        let program =
+            assemble("loop:\naddi s1, s1, 1\nblt s1, s2, loop\nhalt\n").expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        let preds = cfg.preds();
+        assert_eq!(preds[0], vec![1]); // back edge
+        assert_eq!(preds[1], vec![0]);
+        assert_eq!(preds[2], vec![1]); // branch fallthrough
+    }
+
+    #[test]
+    fn backward_fixpoint_computes_liveness() {
+        // s2 is read by the branch, so it is live-out of pc 0; s3 is
+        // never read, so it is dead everywhere.
+        let program = assemble("addi s3, s0, 7\nloop:\naddi s1, s1, 1\nblt s1, s2, loop\nhalt\n")
+            .expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        let live: Vec<u32> = backward_fixpoint(
+            &program,
+            &cfg,
+            0u32,
+            |a, b| a | b,
+            |_, inst, out| {
+                let mut s = *out;
+                if let Some(r) = crate::analysis::uses::sreg_write(inst) {
+                    s &= !(1 << r.0);
+                }
+                crate::analysis::uses::for_each_sreg_read(inst, |r| s |= 1 << r.0);
+                s
+            },
+        );
+        assert_ne!(live[0] & (1 << 2), 0, "s2 live out of pc 0");
+        assert_eq!(live[0] & (1 << 3), 0, "s3 dead everywhere");
+        assert_ne!(live[1] & (1 << 1), 0, "s1 live around the loop");
     }
 }

@@ -1,0 +1,151 @@
+//! Shared constant-propagation lattice over the scalar register file.
+//!
+//! One abstract domain serves three clients: the memory/lane checker
+//! ([`super::memcheck`]) resolving constant scratchpad addresses, the
+//! kernel optimizer ([`super::opt`]) folding constant expressions and
+//! resolving branches, and the static cost model ([`super::cost`])
+//! seeding its symbolic evaluation. Keeping the lattice and transfer
+//! function in one module means the three can never disagree about what
+//! an instruction does to a constant.
+//!
+//! The lattice per register is `Const(i32)` ⊑ `Top`; `s0` is pinned to
+//! `Const(0)` (hardwired zero). Anything read from memory, the stack,
+//! the priority queue, or the vector file is data and maps to `Top`.
+
+use crate::isa::inst::Instruction;
+use crate::isa::reg::NUM_SCALAR_REGS;
+
+/// Abstract value of one scalar register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Val {
+    /// Known constant on every path.
+    Const(i32),
+    /// Unknown or path-dependent.
+    Top,
+}
+
+/// Abstract scalar register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Consts(pub(crate) [Val; NUM_SCALAR_REGS]);
+
+impl Consts {
+    /// The entry state: every register unknown except hardwired `s0`.
+    pub(crate) fn entry() -> Self {
+        let mut s = Consts([Val::Top; NUM_SCALAR_REGS]);
+        s.0[0] = Val::Const(0);
+        s
+    }
+
+    pub(crate) fn get(&self, r: u8) -> Val {
+        self.0[r as usize]
+    }
+
+    pub(crate) fn set(&mut self, r: u8, v: Val) {
+        if r != 0 {
+            self.0[r as usize] = v; // s0 stays hardwired zero
+        }
+    }
+}
+
+/// Pointwise join: registers that disagree become `Top`.
+pub(crate) fn join(a: &Consts, b: &Consts) -> Consts {
+    let mut out = *a;
+    for (o, bv) in out.0.iter_mut().zip(b.0.iter()) {
+        if *o != *bv {
+            *o = Val::Top;
+        }
+    }
+    out
+}
+
+/// Transfer function: evaluates constant scalar arithmetic, kills the
+/// destination of anything data-dependent.
+pub(crate) fn transfer(inst: &Instruction, s: &Consts) -> Consts {
+    use Instruction::*;
+    let mut out = *s;
+    match *inst {
+        SAlu { op, rd, rs1, rs2 } => {
+            let v = match (s.get(rs1.0), s.get(rs2.0)) {
+                (Val::Const(a), Val::Const(b)) => Val::Const(op.eval(a, b)),
+                _ => Val::Top,
+            };
+            out.set(rd.0, v);
+        }
+        SAluImm { op, rd, rs1, imm } => {
+            let v = match s.get(rs1.0) {
+                Val::Const(a) => Val::Const(op.eval(a, imm)),
+                Val::Top => Val::Top,
+            };
+            out.set(rd.0, v);
+        }
+        SUnary { op, rd, rs1 } => {
+            let v = match s.get(rs1.0) {
+                Val::Const(a) => Val::Const(op.eval(a)),
+                Val::Top => Val::Top,
+            };
+            out.set(rd.0, v);
+        }
+        // Anything loaded from memory, the stack, the queue, or the
+        // vector file is data: Top.
+        Load { rd, .. }
+        | Pop { rd }
+        | PqueueLoad { rd, .. }
+        | VsMove { rd, .. }
+        | Sfxp { rd, .. } => out.set(rd.0, Val::Top),
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn entry_pins_s0_only() {
+        let e = Consts::entry();
+        assert_eq!(e.get(0), Val::Const(0));
+        assert_eq!(e.get(1), Val::Top);
+    }
+
+    #[test]
+    fn transfer_folds_constant_chains() {
+        let program = assemble("addi s1, s0, 6\naddi s2, s1, 4\n").expect("assembles");
+        let mut s = Consts::entry();
+        for inst in &program {
+            s = transfer(inst, &s);
+        }
+        assert_eq!(s.get(2), Val::Const(10));
+    }
+
+    #[test]
+    fn s0_writes_are_ignored() {
+        let program = assemble("addi s0, s0, 99\n").expect("assembles");
+        let s = transfer(&program[0], &Consts::entry());
+        assert_eq!(s.get(0), Val::Const(0));
+    }
+
+    #[test]
+    fn data_sources_kill_to_top() {
+        let program = assemble("addi s1, s0, 0\nload s1, s0, 0\n").expect("assembles");
+        let mut s = Consts::entry();
+        for inst in &program {
+            s = transfer(inst, &s);
+        }
+        assert_eq!(s.get(1), Val::Top);
+    }
+
+    #[test]
+    fn join_keeps_agreement_tops_disagreement() {
+        let mut a = Consts::entry();
+        a.set(1, Val::Const(5));
+        a.set(2, Val::Const(7));
+        let mut b = Consts::entry();
+        b.set(1, Val::Const(5));
+        b.set(2, Val::Const(8));
+        let j = join(&a, &b);
+        assert_eq!(j.get(1), Val::Const(5));
+        assert_eq!(j.get(2), Val::Top);
+    }
+}

@@ -1,0 +1,396 @@
+//! Loop structure recovery: dominators, natural loops, nesting, and
+//! trip-count inference for the emitters' counted-loop idiom.
+//!
+//! SSAM kernels come out of four code emitters that all use the same two
+//! loop shapes: a *bottom-test counted loop* (`addi cnt, s0, 0` … `addi
+//! cnt, cnt, 1; blt cnt, bound, head`) whose trip count is a compile-time
+//! constant, and a *header-exit cursor loop* (`head: be cur, end, done`)
+//! whose trip count depends on the dataset size. This module recovers
+//! both structurally — dominators over the [`Cfg`], back edges, natural
+//! loops merged per header, nesting — and proves exact trip counts for
+//! the counted form. The optimizer ([`super::opt`]) consumes the
+//! structure for loop-invariant code motion; the cost model
+//! ([`super::cost`]) consumes structure *and* trip counts.
+
+use crate::isa::inst::{BranchCond, Instruction};
+
+use super::cfg::{forward_fixpoint, Cfg};
+use super::constprop::{self, Consts, Val};
+
+/// Dominator sets over a [`Cfg`], one bitset row per instruction.
+///
+/// `None` for unreachable instructions (they dominate nothing and the
+/// notion is undefined for them).
+pub(crate) struct Dominators {
+    sets: Vec<Option<Vec<u64>>>,
+}
+
+impl Dominators {
+    /// Iterative bitset dominator computation (programs are a few
+    /// hundred instructions at most, so O(n²/64) per pass is fine).
+    pub(crate) fn compute(cfg: &Cfg) -> Self {
+        let len = cfg.succs.len();
+        let words = len.div_ceil(64);
+        let full = {
+            let mut v = vec![u64::MAX; words];
+            if !len.is_multiple_of(64) {
+                v[words - 1] = (1u64 << (len % 64)) - 1;
+            }
+            v
+        };
+        let mut sets: Vec<Option<Vec<u64>>> = (0..len)
+            .map(|pc| {
+                if !cfg.reachable[pc] {
+                    None
+                } else if pc == 0 {
+                    let mut s = vec![0u64; words];
+                    s[0] = 1;
+                    Some(s)
+                } else {
+                    Some(full.clone())
+                }
+            })
+            .collect();
+        if len == 0 {
+            return Self { sets };
+        }
+        let preds = cfg.preds();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for pc in 1..len {
+                if !cfg.reachable[pc] {
+                    continue;
+                }
+                let mut new = full.clone();
+                let mut any_pred = false;
+                for &p in &preds[pc] {
+                    if let Some(ps) = &sets[p as usize] {
+                        any_pred = true;
+                        for (n, w) in new.iter_mut().zip(ps.iter()) {
+                            *n &= w;
+                        }
+                    }
+                }
+                if !any_pred {
+                    new = vec![0u64; words];
+                }
+                new[pc / 64] |= 1u64 << (pc % 64);
+                if sets[pc].as_ref() != Some(&new) {
+                    sets[pc] = Some(new);
+                    changed = true;
+                }
+            }
+        }
+        Self { sets }
+    }
+
+    /// Does `a` dominate `b`? (False if either is unreachable.)
+    pub(crate) fn dominates(&self, a: u32, b: u32) -> bool {
+        match &self.sets[b as usize] {
+            Some(s) => s[a as usize / 64] & (1u64 << (a as usize % 64)) != 0,
+            None => false,
+        }
+    }
+}
+
+/// One natural loop (all back edges sharing a header, merged).
+#[derive(Debug, Clone)]
+pub(crate) struct Loop {
+    /// Header instruction index (target of the back edges).
+    pub header: u32,
+    /// Sources of the back edges into `header`.
+    pub latches: Vec<u32>,
+    /// Membership bitmap over the whole program.
+    pub body: Vec<bool>,
+    /// Index of the innermost enclosing loop, if any.
+    pub parent: Option<usize>,
+    /// Nesting depth (outermost = 1).
+    pub depth: usize,
+}
+
+impl Loop {
+    /// Is `pc` inside this loop?
+    pub(crate) fn contains(&self, pc: u32) -> bool {
+        self.body.get(pc as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of instructions in the body.
+    pub(crate) fn len(&self) -> usize {
+        self.body.iter().filter(|&&b| b).count()
+    }
+}
+
+/// All natural loops of a program, innermost-first nesting resolved.
+#[derive(Debug, Clone)]
+pub(crate) struct LoopForest {
+    /// Loops, sorted by ascending body size (innermost first).
+    pub loops: Vec<Loop>,
+    /// Per-pc index into `loops` of the innermost loop containing it.
+    pub innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Detects natural loops: for every edge `u → h` where `h` dominates
+    /// `u`, the loop body is `{h}` plus every node that reaches `u`
+    /// backwards without passing through `h`. Back edges sharing a
+    /// header are merged into one loop.
+    pub(crate) fn build(cfg: &Cfg, dom: &Dominators) -> Self {
+        let len = cfg.succs.len();
+        let preds = cfg.preds();
+        let mut by_header: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (u, succs) in cfg.succs.iter().enumerate() {
+            for &h in succs {
+                if dom.dominates(h, u as u32) {
+                    match by_header.iter_mut().find(|(hh, _)| *hh == h) {
+                        Some((_, latches)) => latches.push(u as u32),
+                        None => by_header.push((h, vec![u as u32])),
+                    }
+                }
+            }
+        }
+
+        let mut loops: Vec<Loop> = by_header
+            .into_iter()
+            .map(|(header, latches)| {
+                let mut body = vec![false; len];
+                body[header as usize] = true;
+                let mut stack: Vec<u32> = Vec::new();
+                for &l in &latches {
+                    if !body[l as usize] {
+                        body[l as usize] = true;
+                        stack.push(l);
+                    }
+                }
+                while let Some(n) = stack.pop() {
+                    for &p in &preds[n as usize] {
+                        if !body[p as usize] {
+                            body[p as usize] = true;
+                            stack.push(p);
+                        }
+                    }
+                }
+                Loop {
+                    header,
+                    latches,
+                    body,
+                    parent: None,
+                    depth: 1,
+                }
+            })
+            .collect();
+
+        // Innermost-first order, then resolve nesting: the parent of L is
+        // the smallest strictly-larger loop containing L's header.
+        loops.sort_by_key(|l| l.len());
+        for i in 0..loops.len() {
+            for j in (i + 1)..loops.len() {
+                if loops[j].contains(loops[i].header) && loops[j].header != loops[i].header {
+                    loops[i].parent = Some(j);
+                    break;
+                }
+            }
+        }
+        for i in (0..loops.len()).rev() {
+            loops[i].depth = match loops[i].parent {
+                Some(p) => loops[p].depth + 1,
+                None => 1,
+            };
+        }
+
+        let innermost: Vec<Option<usize>> = (0..len)
+            .map(|pc| loops.iter().position(|l| l.contains(pc as u32)))
+            .collect();
+        Self { loops, innermost }
+    }
+}
+
+/// Exact trip count of a bottom-test counted loop, if provable.
+///
+/// Matches the emitters' inner-loop idiom: a single latch `blt cnt,
+/// bound, header` where `cnt` has exactly one definition inside the loop
+/// — `addi cnt, cnt, step` with `step > 0` — `bound` is never written
+/// inside the loop, and both `bound` and the loop-entry value of `cnt`
+/// are compile-time constants. The body of such a do-while loop runs
+/// `max(1, ceil((bound − init) / step))` times.
+pub(crate) fn counted_trip(program: &[Instruction], cfg: &Cfg, lp: &Loop) -> Option<u64> {
+    let [latch] = lp.latches[..] else { return None };
+    let Instruction::Branch {
+        cond: BranchCond::Lt,
+        rs1: cnt,
+        rs2: bound,
+        target,
+    } = program[latch as usize]
+    else {
+        return None;
+    };
+    if target != lp.header {
+        return None;
+    }
+
+    // Exactly one in-loop def of `cnt`, of the form `addi cnt, cnt, step`.
+    let mut step: Option<i32> = None;
+    for (pc, inst) in program.iter().enumerate() {
+        if !lp.contains(pc as u32) {
+            continue;
+        }
+        if super::uses::sreg_write(inst) == Some(cnt) {
+            match *inst {
+                Instruction::SAluImm {
+                    op: crate::isa::inst::AluOp::Add,
+                    rd,
+                    rs1,
+                    imm,
+                } if rd == cnt && rs1 == cnt && imm > 0 && step.is_none() => step = Some(imm),
+                _ => return None,
+            }
+        }
+        // `bound` must be loop-invariant.
+        if super::uses::sreg_write(inst) == Some(bound) {
+            return None;
+        }
+    }
+    let step = step?;
+
+    // Entry values: join the out-states of the header's outside
+    // predecessors under constant propagation.
+    let states = forward_fixpoint(
+        program,
+        cfg,
+        Consts::entry(),
+        constprop::join,
+        |_, inst, s| constprop::transfer(inst, s),
+    );
+    let preds = cfg.preds();
+    let mut at_entry: Option<Consts> = None;
+    for &p in &preds[lp.header as usize] {
+        if lp.contains(p) {
+            continue;
+        }
+        let out = constprop::transfer(&program[p as usize], states[p as usize].as_ref()?);
+        at_entry = Some(match at_entry {
+            None => out,
+            Some(cur) => constprop::join(&cur, &out),
+        });
+    }
+    // Header at pc 0 has an implicit entry edge with the initial state.
+    if lp.header == 0 {
+        let e = Consts::entry();
+        at_entry = Some(match at_entry {
+            None => e,
+            Some(cur) => constprop::join(&cur, &e),
+        });
+    }
+    let at_entry = at_entry?;
+    let (Val::Const(init), Val::Const(b)) = (at_entry.get(cnt.0), at_entry.get(bound.0)) else {
+        return None;
+    };
+
+    let span = (b as i64) - (init as i64);
+    let trips = if span <= 0 {
+        1 // do-while: the body runs once before the first test
+    } else {
+        let step = step as i64;
+        ((span + step - 1) / step).max(1)
+    };
+    Some(trips as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn analyze(src: &str) -> (Vec<Instruction>, Cfg, LoopForest) {
+        let program = assemble(src).expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom);
+        (program, cfg, forest)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let (_, _, forest) = analyze("addi s1, s0, 1\nhalt\n");
+        assert!(forest.loops.is_empty());
+    }
+
+    #[test]
+    fn counted_loop_is_detected_with_exact_trips() {
+        let src = "addi s5, s0, 0\naddi s6, s0, 7\n\
+                   inner:\naddi s5, s5, 1\nblt s5, s6, inner\nhalt\n";
+        let (program, cfg, forest) = analyze(src);
+        assert_eq!(forest.loops.len(), 1);
+        let lp = &forest.loops[0];
+        assert_eq!(lp.header, 2);
+        assert_eq!(lp.latches, vec![3]);
+        assert_eq!(counted_trip(&program, &cfg, lp), Some(7));
+    }
+
+    #[test]
+    fn counted_loop_with_zero_span_runs_once() {
+        // init == bound: do-while still executes the body once.
+        let src = "addi s5, s0, 0\naddi s6, s0, 0\n\
+                   inner:\naddi s5, s5, 1\nblt s5, s6, inner\nhalt\n";
+        let (program, cfg, forest) = analyze(src);
+        assert_eq!(counted_trip(&program, &cfg, &forest.loops[0]), Some(1));
+    }
+
+    #[test]
+    fn data_dependent_bound_is_unknown() {
+        let src = "addi s5, s0, 0\nload s6, s0, 0\n\
+                   inner:\naddi s5, s5, 1\nblt s5, s6, inner\nhalt\n";
+        let (program, cfg, forest) = analyze(src);
+        assert_eq!(counted_trip(&program, &cfg, &forest.loops[0]), None);
+    }
+
+    #[test]
+    fn nested_loops_resolve_parents_and_depth() {
+        // Outer cursor loop around an inner counted loop — the emitters'
+        // scan shape.
+        let src = "start:\naddi s6, s0, 4\n\
+                   outer:\nbe s1, s2, done\n\
+                   addi s5, s0, 0\n\
+                   inner:\naddi s5, s5, 1\nblt s5, s6, inner\n\
+                   addi s1, s1, 16\nj outer\ndone:\nhalt\n";
+        let (program, cfg, forest) = analyze(src);
+        assert_eq!(forest.loops.len(), 2);
+        // Innermost first.
+        let inner = &forest.loops[0];
+        let outer = &forest.loops[1];
+        assert_eq!(inner.header, 3);
+        assert_eq!(outer.header, 1);
+        assert_eq!(inner.parent, Some(1));
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(outer.depth, 1);
+        assert_eq!(counted_trip(&program, &cfg, inner), Some(4));
+        // The cursor loop is not a counted loop (Eq header exit).
+        assert_eq!(counted_trip(&program, &cfg, outer), None);
+        // The inner body is inside the outer body.
+        for pc in 0..program.len() as u32 {
+            if inner.contains(pc) {
+                assert!(outer.contains(pc));
+            }
+        }
+    }
+
+    #[test]
+    fn dominators_basic_properties() {
+        let src = "addi s1, s0, 1\nbe s1, s0, skip\naddi s2, s0, 2\nskip:\nhalt\n";
+        let program = assemble(src).expect("assembles");
+        let mut d = Vec::new();
+        let cfg = Cfg::build(&program, &mut d);
+        let dom = Dominators::compute(&cfg);
+        // Entry dominates everything; the branch's two arms don't
+        // dominate the join.
+        for pc in 0..program.len() as u32 {
+            assert!(dom.dominates(0, pc));
+            assert!(dom.dominates(pc, pc));
+        }
+        assert!(!dom.dominates(2, 3));
+        assert!(dom.dominates(1, 3));
+    }
+}

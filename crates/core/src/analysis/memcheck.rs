@@ -17,83 +17,11 @@
 //! `MEM_FETCH` prefetch lengths.
 
 use crate::isa::inst::Instruction;
-use crate::isa::reg::NUM_SCALAR_REGS;
 use crate::isa::{DRAM_BASE, PQUEUE_DEPTH, SCRATCHPAD_BYTES};
 
 use super::cfg::{forward_fixpoint, Cfg};
+use super::constprop::{join, transfer, Consts, Val};
 use super::{DiagCode, Diagnostic, VerifyConfig};
-
-/// Abstract value of one scalar register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Val {
-    /// Known constant on every path.
-    Const(i32),
-    /// Unknown or path-dependent.
-    Top,
-}
-
-/// Abstract scalar register file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Consts([Val; NUM_SCALAR_REGS]);
-
-impl Consts {
-    fn get(&self, r: u8) -> Val {
-        self.0[r as usize]
-    }
-
-    fn set(&mut self, r: u8, v: Val) {
-        if r != 0 {
-            self.0[r as usize] = v; // s0 stays hardwired zero
-        }
-    }
-}
-
-fn join(a: &Consts, b: &Consts) -> Consts {
-    let mut out = *a;
-    for (o, bv) in out.0.iter_mut().zip(b.0.iter()) {
-        if *o != *bv {
-            *o = Val::Top;
-        }
-    }
-    out
-}
-
-fn transfer(inst: &Instruction, s: &Consts) -> Consts {
-    use Instruction::*;
-    let mut out = *s;
-    match *inst {
-        SAlu { op, rd, rs1, rs2 } => {
-            let v = match (s.get(rs1.0), s.get(rs2.0)) {
-                (Val::Const(a), Val::Const(b)) => Val::Const(op.eval(a, b)),
-                _ => Val::Top,
-            };
-            out.set(rd.0, v);
-        }
-        SAluImm { op, rd, rs1, imm } => {
-            let v = match s.get(rs1.0) {
-                Val::Const(a) => Val::Const(op.eval(a, imm)),
-                Val::Top => Val::Top,
-            };
-            out.set(rd.0, v);
-        }
-        SUnary { op, rd, rs1 } => {
-            let v = match s.get(rs1.0) {
-                Val::Const(a) => Val::Const(op.eval(a)),
-                Val::Top => Val::Top,
-            };
-            out.set(rd.0, v);
-        }
-        // Anything loaded from memory, the stack, the queue, or the
-        // vector file is data: Top.
-        Load { rd, .. }
-        | Pop { rd }
-        | PqueueLoad { rd, .. }
-        | VsMove { rd, .. }
-        | Sfxp { rd, .. } => out.set(rd.0, Val::Top),
-        _ => {}
-    }
-    out
-}
 
 /// Checks one resolved constant access of `size` bytes at `addr`.
 fn check_access(
@@ -159,8 +87,7 @@ pub fn check(
     config: &VerifyConfig,
     diags: &mut Vec<Diagnostic>,
 ) {
-    let mut entry = Consts([Val::Top; NUM_SCALAR_REGS]);
-    entry.0[0] = Val::Const(0);
+    let entry = Consts::entry();
     let states = forward_fixpoint(program, cfg, entry, join, |_, inst, s| transfer(inst, s));
 
     let vbytes = (config.vl * 4) as u32;

@@ -34,9 +34,26 @@
 //! returns no diagnostics at all, execution on the simulator cannot raise
 //! an uninitialized-read, stack, lane, constant-address scratchpad, or
 //! missing-`HALT` fault (property-tested in `tests/analysis_properties.rs`).
+//!
+//! Beyond linting, the same dataflow machinery (forward/backward solvers
+//! in [`cfg`], the shared constant lattice in `constprop`, loop structure
+//! and trip counts in `loops`) drives two *clients* that transform and
+//! predict rather than check:
+//!
+//! * [`opt`] — a semantics-preserving kernel optimizer (constant folding
+//!   and propagation, branch resolution, unreachable/dead-code
+//!   elimination, redundant scratchpad-load elimination, loop-invariant
+//!   code motion) run by `Kernel::build` on every generated kernel.
+//! * [`cost`] — a static cycle/DRAM-traffic cost model with a predicted
+//!   memory- vs compute-bound classification, cross-checked against the
+//!   cycle simulator (`ssam-lint --cost`).
 
 pub mod cfg;
+pub(crate) mod constprop;
+pub mod cost;
+pub(crate) mod loops;
 pub mod memcheck;
+pub mod opt;
 pub mod pqueue;
 pub mod regflow;
 pub mod stackflow;
@@ -316,8 +333,35 @@ pub fn verify_program(program: &[Instruction], config: &VerifyConfig) -> Vec<Dia
             .then(a.pc.cmp(&b.pc))
             .then(a.code.cmp(&b.code))
     });
+    // Passes can rediscover the same defect (e.g. a bad address reached
+    // along several abstract paths); one finding per (code, pc) is enough.
+    diags.dedup_by(|a, b| a.code == b.code && a.pc == b.pc);
     diags
 }
+
+/// Every diagnostic code, for exhaustive reporting and tests.
+pub const ALL_DIAG_CODES: [DiagCode; 20] = [
+    DiagCode::BranchTargetOutOfRange,
+    DiagCode::UnreachableCode,
+    DiagCode::MissingHalt,
+    DiagCode::UninitScalarRead,
+    DiagCode::MaybeUninitScalarRead,
+    DiagCode::UninitVectorRead,
+    DiagCode::MaybeUninitVectorRead,
+    DiagCode::StackUnderflow,
+    DiagCode::MaybeStackUnderflow,
+    DiagCode::StackOverflow,
+    DiagCode::MaybeStackOverflow,
+    DiagCode::InsertWithoutReset,
+    DiagCode::MaybeInsertWithoutReset,
+    DiagCode::PqueueLoadOutOfRange,
+    DiagCode::SpadOutOfBounds,
+    DiagCode::SpadMisaligned,
+    DiagCode::StoreClobbersQuery,
+    DiagCode::StoreToDram,
+    DiagCode::LaneOutOfRange,
+    DiagCode::FetchLenNonPositive,
+];
 
 #[cfg(test)]
 mod tests {
@@ -441,6 +485,64 @@ mod tests {
             assert!(d.severity <= prev, "errors must sort before warnings");
             prev = d.severity;
         }
+    }
+
+    #[test]
+    fn diag_codes_are_exhaustively_pinned() {
+        // One row per code: (variant, stable string, severity). A new
+        // variant must be added here, to ALL_DIAG_CODES, and to the CLI
+        // docs in the same change.
+        use DiagCode::*;
+        let pins: [(DiagCode, &str, Severity); 20] = [
+            (BranchTargetOutOfRange, "CF001", Severity::Error),
+            (UnreachableCode, "CF002", Severity::Warning),
+            (MissingHalt, "CF003", Severity::Error),
+            (UninitScalarRead, "REG001", Severity::Error),
+            (MaybeUninitScalarRead, "REG002", Severity::Warning),
+            (UninitVectorRead, "REG003", Severity::Error),
+            (MaybeUninitVectorRead, "REG004", Severity::Warning),
+            (StackUnderflow, "STK001", Severity::Error),
+            (MaybeStackUnderflow, "STK002", Severity::Warning),
+            (StackOverflow, "STK003", Severity::Error),
+            (MaybeStackOverflow, "STK004", Severity::Warning),
+            (InsertWithoutReset, "PQ001", Severity::Error),
+            (MaybeInsertWithoutReset, "PQ002", Severity::Warning),
+            (PqueueLoadOutOfRange, "PQ003", Severity::Warning),
+            (SpadOutOfBounds, "SP001", Severity::Error),
+            (SpadMisaligned, "SP002", Severity::Error),
+            (StoreClobbersQuery, "SP003", Severity::Warning),
+            (StoreToDram, "SP004", Severity::Error),
+            (LaneOutOfRange, "LANE001", Severity::Error),
+            (FetchLenNonPositive, "MF001", Severity::Warning),
+        ];
+        assert_eq!(pins.len(), ALL_DIAG_CODES.len());
+        for (i, (code, s, sev)) in pins.iter().enumerate() {
+            assert_eq!(ALL_DIAG_CODES[i], *code, "ALL_DIAG_CODES order");
+            assert_eq!(code.as_str(), *s);
+            assert_eq!(code.severity(), *sev);
+        }
+        // Codes are unique.
+        let mut strs: Vec<&str> = pins.iter().map(|p| p.1).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), 20);
+    }
+
+    #[test]
+    fn duplicate_diagnostics_collapse_to_one_per_code_and_pc() {
+        // A branch and its fallthrough can reach the same bad access, and
+        // multiple passes can flag the same pc; after verify_program there
+        // must be at most one finding per (code, pc).
+        let program = vec![
+            Instruction::Jump { target: 999 }, // CF001 at pc 0
+            Instruction::Halt,
+        ];
+        let diags = verify_program(&program, &VerifyConfig::permissive(4));
+        let mut keys: Vec<(DiagCode, Option<u32>)> = diags.iter().map(|d| (d.code, d.pc)).collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "verify_program returned duplicates");
     }
 
     #[test]

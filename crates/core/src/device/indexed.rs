@@ -115,7 +115,11 @@ impl IndexedSsamDevice {
 
         let kernel = kdtree_euclidean(dims, vl, leaf_size);
         let vec_words = kernel.layout.vec_words;
-        let program = Arc::new(kernel.program.clone());
+        let program = Arc::new(if config.optimize_kernels {
+            kernel.program.clone()
+        } else {
+            kernel.raw_program.clone()
+        });
         let pu_cache = shards.iter().map(|_| Mutex::new(None)).collect();
         Self {
             config,

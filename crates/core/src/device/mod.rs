@@ -53,6 +53,11 @@ pub struct SsamConfig {
     /// Use the hardware priority queue (false = Section V-B software-queue
     /// ablation).
     pub use_hw_queue: bool,
+    /// Stage the optimizer's output (default). `false` stages each
+    /// kernel's [`crate::kernels::Kernel::raw_program`] instead — the
+    /// A/B escape hatch used by the differential tests and
+    /// `serve_load --no-opt`.
+    pub optimize_kernels: bool,
 }
 
 impl Default for SsamConfig {
@@ -63,6 +68,7 @@ impl Default for SsamConfig {
             freq_hz: 1.0e9,
             max_pus_per_vault: 8,
             use_hw_queue: true,
+            optimize_kernels: true,
         }
     }
 }
@@ -540,11 +546,15 @@ impl SsamDevice {
             .map(|q| {
                 let (words, norm) = self.stage_query(q, payload);
                 let kernel = self.kernel_for(q.metric(), k);
-                let program = Arc::clone(
-                    programs
-                        .entry(kernel.name.clone())
-                        .or_insert_with(|| Arc::new(kernel.program.clone())),
-                );
+                let optimize = self.config.optimize_kernels;
+                let program =
+                    Arc::clone(programs.entry(kernel.name.clone()).or_insert_with(|| {
+                        Arc::new(if optimize {
+                            kernel.program.clone()
+                        } else {
+                            kernel.raw_program.clone()
+                        })
+                    }));
                 StagedQuery {
                     words,
                     norm,

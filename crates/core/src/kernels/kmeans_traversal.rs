@@ -468,4 +468,21 @@ mod tests {
         assert!(!k.program.is_empty());
         assert!(k.source.contains("selloop"));
     }
+
+    #[test]
+    fn optimizer_shrinks_kmeans_kernels_without_new_diagnostics() {
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            let k = kmeans_euclidean(100, vl, 64);
+            assert!(
+                k.opt.instructions_after < k.opt.instructions_before,
+                "{}: optimizer found nothing to remove",
+                k.name
+            );
+            let errors: Vec<_> = crate::analysis::verify(&k)
+                .into_iter()
+                .filter(|d| d.is_error())
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", k.name);
+        }
+    }
 }

@@ -566,4 +566,53 @@ mod tests {
             "linear_hamming_swqueue_vl2_k6"
         );
     }
+
+    #[test]
+    fn optimizer_shrinks_every_linear_kernel() {
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            for k in [
+                euclidean(100, vl),
+                manhattan(100, vl),
+                cosine(100, vl),
+                hamming(4, vl),
+                euclidean_swqueue(100, vl, 10),
+            ] {
+                assert_eq!(k.opt.instructions_before, k.raw_program.len(), "{}", k.name);
+                assert_eq!(k.opt.instructions_after, k.program.len(), "{}", k.name);
+                assert!(
+                    k.opt.instructions_after < k.opt.instructions_before,
+                    "{}: optimizer found nothing to remove",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_unrolls_the_degenerate_chunk_loop() {
+        // dims == vl ⇒ one chunk per vector: the counted inner loop's
+        // back edge resolves statically and the counter/cursor
+        // bookkeeping folds away — and the result must still verify
+        // completely clean.
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            let k = euclidean(vl, vl);
+            assert!(
+                k.opt.branches_resolved >= 1,
+                "{}: the chunk-loop back edge should resolve",
+                k.name
+            );
+            assert!(
+                k.opt.instructions_after + 4 <= k.opt.instructions_before,
+                "{}: expected the loop bookkeeping to fold away ({} -> {})",
+                k.name,
+                k.opt.instructions_before,
+                k.opt.instructions_after
+            );
+            assert!(
+                crate::analysis::verify(&k).is_empty(),
+                "{}: optimized kernel must stay diagnostic-free",
+                k.name
+            );
+        }
+    }
 }

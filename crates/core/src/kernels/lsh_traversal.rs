@@ -562,4 +562,21 @@ mod tests {
             assert_eq!(img.id_order[best.id as usize], 42, "VL={vl}");
         }
     }
+
+    #[test]
+    fn optimizer_shrinks_lsh_kernels_without_new_diagnostics() {
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            let k = lsh_euclidean(100, vl, 8, 64);
+            assert!(
+                k.opt.instructions_after < k.opt.instructions_before,
+                "{}: optimizer found nothing to remove",
+                k.name
+            );
+            let errors: Vec<_> = crate::analysis::verify(&k)
+                .into_iter()
+                .filter(|d| d.is_error())
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", k.name);
+        }
+    }
 }

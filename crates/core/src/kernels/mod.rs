@@ -37,6 +37,7 @@ pub mod linear;
 pub mod lsh_traversal;
 pub mod traversal;
 
+use crate::analysis::opt::{optimize, OptConfig, OptReport};
 use crate::asm::{assemble, AsmError};
 use crate::isa::inst::Instruction;
 
@@ -47,8 +48,13 @@ pub struct Kernel {
     pub name: String,
     /// Assembly source.
     pub source: String,
-    /// Assembled program.
+    /// Optimized program (what the device stages by default).
     pub program: Vec<Instruction>,
+    /// The program exactly as assembled, before optimization — kept for
+    /// A/B comparison and the `optimize_kernels: false` escape hatch.
+    pub raw_program: Vec<Instruction>,
+    /// What the optimizer did to `raw_program`.
+    pub opt: OptReport,
     /// Memory-layout contract between driver and kernel.
     pub layout: KernelLayout,
 }
@@ -90,16 +96,19 @@ impl Kernel {
     /// Panics if the generated source fails to assemble — generator bugs
     /// are programming errors, not runtime conditions.
     pub(crate) fn build(name: String, source: String, layout: KernelLayout) -> Self {
-        let program = match assemble(&source) {
+        let raw_program = match assemble(&source) {
             Ok(p) => p,
             Err(AsmError { line, message }) => panic!(
                 "kernel generator `{name}` produced invalid assembly at line {line}: {message}\n{source}"
             ),
         };
+        let (program, opt) = optimize(&raw_program, &OptConfig::default());
         let kernel = Self {
             name,
             source,
             program,
+            raw_program,
+            opt,
             layout,
         };
         #[cfg(debug_assertions)]

@@ -372,4 +372,21 @@ mod tests {
         assert_eq!(img.leaves, 1);
         assert_eq!(img.root_addr, TREE_ADDR);
     }
+
+    #[test]
+    fn optimizer_shrinks_kdtree_kernels_without_new_diagnostics() {
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            let k = kdtree_euclidean(100, vl, 64);
+            assert!(
+                k.opt.instructions_after < k.opt.instructions_before,
+                "{}: optimizer found nothing to remove",
+                k.name
+            );
+            let errors: Vec<_> = crate::analysis::verify(&k)
+                .into_iter()
+                .filter(|d| d.is_error())
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", k.name);
+        }
+    }
 }
