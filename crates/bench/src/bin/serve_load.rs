@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use ssam_bench::{fmt, print_table, ssam_with};
+use ssam_bench::{fmt, print_table};
 use ssam_core::device::{DeviceQuery, SsamConfig, SsamDevice};
 use ssam_core::telemetry::Telemetry;
 use ssam_datasets::json::{self, Value};
@@ -68,6 +68,7 @@ struct Args {
     telemetry: Option<String>,
     csv: bool,
     no_opt: bool,
+    fast_path: bool,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +87,7 @@ fn parse_args() -> Args {
         telemetry: None,
         csv: false,
         no_opt: false,
+        fast_path: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -126,13 +128,17 @@ fn parse_args() -> Args {
             "--telemetry" => a.telemetry = Some(take(&mut i, "--telemetry")),
             "--csv" => a.csv = true,
             "--no-opt" => a.no_opt = true,
+            "--fast-path" => a.fast_path = true,
             "-h" | "--help" => {
                 println!(
                     "usage: serve_load [--seconds N] [--concurrency 1,4,16,64] [--workers N]\n\
                      \x20                 [--max-batch N] [--linger-us N] [--scale F] [--k N]\n\
                      \x20                 [--rate QPS] [--timeout-ms N] [--faults SPEC]\n\
                      \x20                 [--json PATH] [--telemetry PATH] [--csv] [--no-opt]\n\
-                     \x20  --no-opt stages raw (unoptimized) kernel programs for A/B runs"
+                     \x20                 [--fast-path]\n\
+                     \x20  --no-opt stages raw (unoptimized) kernel programs for A/B runs\n\
+                     \x20  --fast-path uses the validated analytic executor (bit-identical\n\
+                     \x20  results, no per-instruction simulation) for A/B runs"
                 );
                 std::process::exit(0);
             }
@@ -205,9 +211,24 @@ impl Measured {
         }
         let mut sorted = self.latencies_ms.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-        sorted[idx]
+        sorted[percentile_rank(sorted.len(), q)]
     }
+}
+
+/// Nearest-rank percentile index: the smallest rank whose cumulative
+/// share of the sample is ≥ `q`, i.e. `⌈q·len⌉ − 1` zero-based.
+///
+/// The previous `((len − 1) · q).round()` form *interpolated the index*
+/// and systematically understated the tail: with 100 samples it reported
+/// the 95th-smallest value as p95 (rank 95 covers only 95% of the mass
+/// when exactly the 95th order statistic is the first to reach it — but
+/// at e.g. len = 10, `round(9 · 0.95) = 9` vs `round(9 · 0.99) = 9`
+/// collapsed p95 and p99, and at len = 20 it reported the 19th value for
+/// p99 instead of the maximum). Nearest-rank is the standard
+/// conservative definition: p99 of 20 samples is the sample maximum.
+fn percentile_rank(len: usize, q: f64) -> usize {
+    debug_assert!(len > 0 && (0.0..=1.0).contains(&q));
+    ((q * len as f64).ceil() as usize).clamp(1, len) - 1
 }
 
 /// Closed loop: `clients` threads, each issuing back-to-back blocking
@@ -301,16 +322,15 @@ fn main() {
     let bench = ssam_datasets::Benchmark::from_spec(spec);
     let k = args.k.unwrap_or_else(|| bench.k());
     let sink = Telemetry::new();
-    let mut device = if args.no_opt {
+    let mut device = {
         let mut dev = SsamDevice::new(SsamConfig {
             vector_length: 4,
-            optimize_kernels: false,
+            optimize_kernels: !args.no_opt,
+            fast_path: args.fast_path,
             ..SsamConfig::default()
         });
         dev.load_vectors(&bench.train);
         dev
-    } else {
-        ssam_with(&bench.train, 4)
     };
     device.attach_telemetry(&sink);
     let dataset_label = format!(
@@ -323,8 +343,16 @@ fn main() {
     let queries = Arc::new(bench.queries);
 
     println!(
-        "serve-load: {dataset_label}, k={k}, workers={}, max_batch={}, linger={:?}",
-        args.workers, args.max_batch, args.linger
+        "serve-load: {dataset_label}, k={k}, workers={}, max_batch={}, linger={:?}, \
+         executor={}",
+        args.workers,
+        args.max_batch,
+        args.linger,
+        if args.fast_path {
+            "analytic fast path"
+        } else {
+            "cycle simulator"
+        }
     );
 
     // ---- Offline ceiling: the device's batch engine, no serving layer.
@@ -620,6 +648,7 @@ fn main() {
     );
     root.insert("seconds_per_point".into(), json::number_f64(args.seconds));
     root.insert("optimize_kernels".into(), Value::Bool(!args.no_opt));
+    root.insert("fast_path".into(), Value::Bool(args.fast_path));
     let mut offline_o = BTreeMap::new();
     offline_o.insert("batch".into(), json::number_usize(offline_batch));
     offline_o.insert("host_qps".into(), json::number_f64(offline_host));
@@ -736,4 +765,59 @@ fn main() {
     std::fs::write(&args.json, payload + "\n")
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.json));
     println!("wrote {}", args.json);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured(latencies_ms: Vec<f64>) -> Measured {
+        Measured {
+            served: latencies_ms.len() as u64,
+            elapsed: 1.0,
+            cpu_seconds: None,
+            device_seconds: 0.0,
+            latencies_ms,
+        }
+    }
+
+    /// At small sample counts the old `round((len−1)·q)` index collapsed
+    /// p95 into p99 and neither reached the maximum; nearest-rank must
+    /// report the sample maximum for any q past (len−1)/len.
+    #[test]
+    fn small_sample_tails_reach_the_maximum() {
+        let m = measured((1..=10).map(f64::from).collect());
+        assert_eq!(m.percentile(0.50), 5.0);
+        assert_eq!(m.percentile(0.95), 10.0);
+        assert_eq!(m.percentile(0.99), 10.0);
+        assert_eq!(m.percentile(1.0), 10.0);
+
+        // len = 20: old formula gave round(19 · 0.99) = 19 → 19.0 for
+        // p99, silently discarding the worst observation.
+        let m = measured((1..=20).map(f64::from).collect());
+        assert_eq!(m.percentile(0.95), 19.0);
+        assert_eq!(m.percentile(0.99), 20.0);
+    }
+
+    /// At len = 100 the q-th percentile is exactly the ⌈100q⌉-th order
+    /// statistic, and p95/p99 are distinct.
+    #[test]
+    fn hundred_samples_hit_the_exact_order_statistic() {
+        let mut v: Vec<f64> = (1..=100).map(f64::from).collect();
+        v.reverse(); // percentile() sorts; feed it unsorted data.
+        let m = measured(v);
+        assert_eq!(m.percentile(0.50), 50.0);
+        assert_eq!(m.percentile(0.95), 95.0);
+        assert_eq!(m.percentile(0.99), 99.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(measured(vec![]).percentile(0.99).is_nan());
+        let one = measured(vec![7.5]);
+        assert_eq!(one.percentile(0.0), 7.5);
+        assert_eq!(one.percentile(0.99), 7.5);
+        assert_eq!(percentile_rank(1, 0.0), 0);
+        assert_eq!(percentile_rank(5, 1.0), 4);
+    }
 }

@@ -38,6 +38,7 @@ use crate::isa::inst::{AluOp, Instruction};
 use crate::isa::reg::NUM_SCALAR_REGS;
 use crate::isa::DRAM_BASE;
 use crate::kernels::Kernel;
+use crate::sim::pu::RunStats;
 use crate::sim::LatencyModel;
 
 use super::cfg::{forward_fixpoint, Cfg};
@@ -172,6 +173,16 @@ pub struct CostEstimate {
     /// Definite classification, when every point of the interval box
     /// classifies the same way; `None` when the bound is data-dependent.
     pub bound: Option<BoundClass>,
+    /// The complete simulator counter set, synthesized statically —
+    /// present only when *every* counter resolves exactly: each
+    /// instruction's execution count is a point interval, each branch's
+    /// taken/untaken split is known, and each load's region and
+    /// hit-or-miss outcome is determined. For the straight-line linear
+    /// kernels this must equal [`crate::sim::RunStats`] from an actual
+    /// run bit for bit (cross-checked in tests and by the fast-path
+    /// equivalence suite); any data-dependent control flow or ambiguous
+    /// access yields `None` rather than a guess.
+    pub stats: Option<RunStats>,
 }
 
 /// Estimates `kernel` at vector length `vl` over a shard of `n` vectors
@@ -537,9 +548,18 @@ pub fn estimate_with(
     let has_fetch = !fetches.is_empty();
     let covered = |pc: u32| fetches.iter().any(|&m| dom.dominates(m, pc));
 
-    // Latency interval of one load, plus its DRAM traffic, by region.
-    let spad_or_hit = lat.scratchpad.min(lat.dram_hit);
-    let load_profile = |pc: u32, base: Sym, offset: i32, width: u64| -> (Interval, Interval) {
+    // Where one load lands, and — for DRAM — whether it hits an open
+    // prefetch window. `DramAmbiguous` means "definitely DRAM but the
+    // hit/miss outcome is data-dependent".
+    #[derive(Clone, Copy, PartialEq)]
+    enum LoadClass {
+        Spad,
+        DramHit,
+        DramMiss,
+        DramAmbiguous,
+        Unknown,
+    }
+    let classify_load = |pc: u32, base: Sym, offset: i32| -> LoadClass {
         let region = match base {
             Sym::Known(v) => Some(addr_is_dram(v.wrapping_add(offset))),
             Sym::Entry(r) => {
@@ -552,21 +572,29 @@ pub fn estimate_with(
             other => other.region(),
         };
         match region {
-            Some(false) => (Interval::exact(lat.scratchpad), Interval::ZERO),
-            Some(true) => {
-                let cyc = if covered(pc) {
-                    Interval::exact(lat.dram_hit)
-                } else if has_fetch {
-                    Interval {
-                        min: lat.dram_hit.min(lat.dram_miss),
-                        max: Some(lat.dram_hit.max(lat.dram_miss)),
-                    }
-                } else {
-                    Interval::exact(lat.dram_miss)
-                };
-                (cyc, Interval::exact(width))
-            }
-            None => (
+            Some(false) => LoadClass::Spad,
+            Some(true) if covered(pc) => LoadClass::DramHit,
+            Some(true) if !has_fetch => LoadClass::DramMiss,
+            Some(true) => LoadClass::DramAmbiguous,
+            None => LoadClass::Unknown,
+        }
+    };
+
+    // Latency interval of one load, plus its DRAM traffic, by class.
+    let spad_or_hit = lat.scratchpad.min(lat.dram_hit);
+    let load_profile = |class: LoadClass, width: u64| -> (Interval, Interval) {
+        match class {
+            LoadClass::Spad => (Interval::exact(lat.scratchpad), Interval::ZERO),
+            LoadClass::DramHit => (Interval::exact(lat.dram_hit), Interval::exact(width)),
+            LoadClass::DramMiss => (Interval::exact(lat.dram_miss), Interval::exact(width)),
+            LoadClass::DramAmbiguous => (
+                Interval {
+                    min: lat.dram_hit.min(lat.dram_miss),
+                    max: Some(lat.dram_hit.max(lat.dram_miss)),
+                },
+                Interval::exact(width),
+            ),
+            LoadClass::Unknown => (
                 Interval {
                     min: spad_or_hit.min(lat.dram_miss),
                     max: Some(lat.scratchpad.max(lat.dram_hit).max(lat.dram_miss)),
@@ -585,6 +613,15 @@ pub fn estimate_with(
     let branch_lo = lat.alu.min(lat.branch_taken);
     let branch_hi = lat.alu.max(lat.branch_taken);
 
+    // Full counter synthesis alongside the intervals: `ctr` accumulates
+    // exactly what `ProcessingUnit::step` would, per instruction class,
+    // and stays meaningful only while `counters_exact` holds. The
+    // cycles / instructions / DRAM-byte fields are filled from the
+    // intervals after the loop.
+    let mut ctr = RunStats::default();
+    let mut counters_exact = true;
+    let vlw = vl as u64;
+
     for (pc_us, inst) in program.iter().enumerate() {
         let pc = pc_us as u32;
         let c = model.count(pc, &cfg);
@@ -592,20 +629,76 @@ pub fn estimate_with(
             continue;
         }
         instructions = instructions + c;
+        let cx = if c.is_exact() {
+            c.min
+        } else {
+            counters_exact = false;
+            0
+        };
         let contrib = match *inst {
-            Instruction::SAlu { op, .. } | Instruction::SAluImm { op, .. } => {
+            Instruction::SAlu { op, .. } => {
+                ctr.scalar_alu_ops += cx;
+                ctr.regfile_accesses += 3 * cx;
                 c.scale(if op == AluOp::Mult { lat.mult } else { lat.alu })
             }
-            Instruction::VAlu { op, .. } | Instruction::VAluImm { op, .. } => {
+            Instruction::SAluImm { op, .. } => {
+                ctr.scalar_alu_ops += cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(if op == AluOp::Mult { lat.mult } else { lat.alu })
+            }
+            Instruction::SUnary { .. } => {
+                ctr.scalar_alu_ops += cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(lat.alu)
+            }
+            Instruction::Sfxp { .. } => {
+                ctr.scalar_alu_ops += cx;
+                ctr.regfile_accesses += 4 * cx;
+                c.scale(lat.alu)
+            }
+            Instruction::VAlu { op, .. } => {
+                ctr.vector_ops += cx;
+                ctr.vector_lane_ops += vlw * cx;
+                ctr.regfile_accesses += 3 * cx;
                 c.scale(if op == AluOp::Mult {
                     lat.vmult
                 } else {
                     lat.alu
                 })
             }
-            Instruction::Jump { .. } => c.scale(lat.branch_taken),
+            Instruction::VAluImm { op, .. } => {
+                ctr.vector_ops += cx;
+                ctr.vector_lane_ops += vlw * cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(if op == AluOp::Mult {
+                    lat.vmult
+                } else {
+                    lat.alu
+                })
+            }
+            Instruction::VUnary { .. } => {
+                ctr.vector_ops += cx;
+                ctr.vector_lane_ops += vlw * cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(lat.alu)
+            }
+            Instruction::Vfxp { .. } => {
+                ctr.vector_ops += cx;
+                ctr.vector_lane_ops += vlw * cx;
+                ctr.regfile_accesses += 4 * cx;
+                c.scale(lat.alu)
+            }
+            Instruction::Jump { .. } => {
+                ctr.branches += cx;
+                ctr.branches_taken += cx;
+                c.scale(lat.branch_taken)
+            }
             Instruction::Branch { target, .. } => {
+                ctr.branches += cx;
+                ctr.regfile_accesses += 2 * cx;
                 let li = forest.innermost[pc_us];
+                // Exact taken/untaken split, available for the two loop
+                // shapes whose exit structure pins it down.
                 let exact_split = li.and_then(|i| {
                     let lp = &forest.loops[i];
                     let m = model.metas[i];
@@ -616,34 +709,46 @@ pub fn estimate_with(
                     if m.exact_latch && lp.latches == [pc] {
                         // Bottom-test: taken back to the header on all but
                         // the last iteration of each entry.
-                        let taken = c.min - e.min;
-                        Some(taken * lat.branch_taken + e.min * lat.alu)
+                        Some((c.min - e.min, e.min))
                     } else if m.exact_header_exit && pc == lp.header {
                         // Top-test: one exit per entry, the rest stay.
                         let stays = c.min - e.min;
-                        let (t, u) = if lp.contains(target) {
-                            (stays, e.min) // exit via fallthrough
+                        if lp.contains(target) {
+                            Some((stays, e.min)) // exit via fallthrough
                         } else {
-                            (e.min, stays) // exit via taken edge
-                        };
-                        Some(t * lat.branch_taken + u * lat.alu)
+                            Some((e.min, stays)) // exit via taken edge
+                        }
                     } else {
                         None
                     }
                 });
                 match exact_split {
-                    Some(cyc) => Interval::exact(cyc),
-                    None => Interval {
-                        min: c.min.saturating_mul(branch_lo),
-                        max: c.max.map(|m| m.saturating_mul(branch_hi)),
-                    },
+                    Some((taken, untaken)) => {
+                        ctr.branches_taken += taken;
+                        Interval::exact(taken * lat.branch_taken + untaken * lat.alu)
+                    }
+                    None => {
+                        counters_exact = false;
+                        Interval {
+                            min: c.min.saturating_mul(branch_lo),
+                            max: c.max.map(|m| m.saturating_mul(branch_hi)),
+                        }
+                    }
                 }
             }
             Instruction::Load {
                 rs_base, offset, ..
             } => {
                 let base = syms[pc_us].as_ref().map_or(Sym::Top, |s| s.get(rs_base.0));
-                let (cyc, bytes) = load_profile(pc, base, offset, 4);
+                let class = classify_load(pc, base, offset);
+                ctr.regfile_accesses += 2 * cx;
+                match class {
+                    LoadClass::Spad => ctr.scratchpad_accesses += cx,
+                    LoadClass::DramHit => ctr.dram.hits += cx,
+                    LoadClass::DramMiss => ctr.dram.misses += cx,
+                    _ => counters_exact = false,
+                }
+                let (cyc, bytes) = load_profile(class, 4);
                 dram_bytes = dram_bytes + c * bytes;
                 c * cyc
             }
@@ -651,15 +756,66 @@ pub fn estimate_with(
                 rs_base, offset, ..
             } => {
                 let base = syms[pc_us].as_ref().map_or(Sym::Top, |s| s.get(rs_base.0));
-                let (cyc, bytes) = load_profile(pc, base, offset, 4 * vl as u64);
+                let class = classify_load(pc, base, offset);
+                ctr.vector_ops += cx;
+                ctr.vector_lane_ops += vlw * cx;
+                ctr.regfile_accesses += 2 * cx;
+                match class {
+                    // A scratchpad vector load touches every lane's word;
+                    // a DRAM block transfer counts one hit or miss total.
+                    LoadClass::Spad => ctr.scratchpad_accesses += vlw * cx,
+                    LoadClass::DramHit => ctr.dram.hits += cx,
+                    LoadClass::DramMiss => ctr.dram.misses += cx,
+                    _ => counters_exact = false,
+                }
+                let (cyc, bytes) = load_profile(class, 4 * vlw);
                 dram_bytes = dram_bytes + c * bytes;
                 c * cyc
             }
-            Instruction::Store { .. } | Instruction::VStore { .. } => c.scale(lat.scratchpad),
-            // Everything else (queue, stack, moves, fetch, halt, vector
-            // fused ops) retires at ALU latency, matching the simulator's
-            // default arm.
-            _ => c.scale(lat.alu),
+            Instruction::Store { .. } => {
+                ctr.scratchpad_accesses += cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(lat.scratchpad)
+            }
+            Instruction::VStore { .. } => {
+                ctr.vector_ops += cx;
+                ctr.vector_lane_ops += vlw * cx;
+                ctr.scratchpad_accesses += vlw * cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(lat.scratchpad)
+            }
+            Instruction::MemFetch { .. } => {
+                ctr.dram.prefetches += cx;
+                ctr.regfile_accesses += cx;
+                c.scale(lat.alu)
+            }
+            Instruction::SvMove { .. } => {
+                ctr.vector_ops += cx;
+                ctr.vector_lane_ops += vlw * cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(lat.alu)
+            }
+            Instruction::VsMove { .. } => {
+                // Lane extract: a vector op but no per-lane work.
+                ctr.vector_ops += cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(lat.alu)
+            }
+            Instruction::Push { .. } | Instruction::Pop { .. } => {
+                ctr.stack_ops += cx;
+                ctr.regfile_accesses += cx;
+                c.scale(lat.alu)
+            }
+            Instruction::PqueueInsert { .. } | Instruction::PqueueLoad { .. } => {
+                ctr.pqueue_ops += cx;
+                ctr.regfile_accesses += 2 * cx;
+                c.scale(lat.alu)
+            }
+            Instruction::PqueueReset => {
+                ctr.pqueue_ops += cx;
+                c.scale(lat.alu)
+            }
+            Instruction::Halt => c.scale(lat.alu),
         };
         cycles = cycles + contrib;
     }
@@ -679,16 +835,27 @@ pub fn estimate_with(
         _ => None,
     };
 
+    let exact = instructions.is_exact() && cycles.is_exact() && dram_bytes.is_exact();
+    let stats = if exact && counters_exact {
+        ctr.instructions = instructions.min;
+        ctr.cycles = cycles.min;
+        ctr.dram.bytes_read = dram_bytes.min;
+        Some(ctr)
+    } else {
+        None
+    };
+
     CostEstimate {
         instructions,
         cycles,
         dram_bytes,
-        exact: instructions.is_exact() && cycles.is_exact() && dram_bytes.is_exact(),
+        exact,
         comp_seconds,
         comp_seconds_max,
         mem_seconds,
         mem_seconds_max,
         bound,
+        stats,
     }
 }
 
@@ -840,6 +1007,90 @@ mod tests {
             BoundClass::Memory
         };
         assert_eq!(e.bound, Some(expect));
+    }
+
+    #[test]
+    fn synthesized_stats_match_the_simulator_bit_for_bit() {
+        // Straight-line program.
+        let src = "addi s1, s0, 1024\nmult s2, s1, s1\nstore s2, s1, 0\nhalt\n";
+        let e = est(src, 4, 0);
+        assert_eq!(e.stats, Some(run(src, 4, vec![])));
+
+        // Counted bottom-test loop: needs the exact taken/untaken split.
+        let src = "addi s1, s0, 0\naddi s2, s0, 6\nloop:\naddi s3, s3, 1\naddi s1, s1, 1\nblt s1, s2, loop\nhalt\n";
+        let e = est(src, 4, 0);
+        assert_eq!(e.stats, Some(run(src, 4, vec![])));
+
+        // The mini scan shape: top-test split, prefetch coverage, DRAM
+        // vector loads.
+        let src = "outer:\n\
+                   be s1, s2, done\n\
+                   mem_fetch s1, 16\n\
+                   vload v0, s1, 0\n\
+                   vadd v1, v1, v0\n\
+                   addi s1, s1, 16\n\
+                   j outer\n\
+                   done:\n\
+                   halt\n";
+        let n = 5u64;
+        let e = est(src, 4, n);
+        let dram: Vec<i32> = (0..(4 * n as i32)).collect();
+        let mut pu = ProcessingUnit::new(4, Arc::new(dram));
+        pu.load_program(assemble(src).expect("assembles"));
+        pu.set_sreg(1, DRAM_BASE as i32);
+        pu.set_sreg(2, DRAM_BASE as i32 + 16 * n as i32);
+        let stats = pu.run(10_000).expect("runs");
+        assert_eq!(e.stats, Some(stats));
+    }
+
+    #[test]
+    fn data_dependent_programs_synthesize_no_stats() {
+        let src = "load s1, s0, 0\n\
+                   blt s1, s2, skip\n\
+                   addi s3, s0, 1\n\
+                   skip:\n\
+                   halt\n";
+        assert_eq!(est(src, 4, 0).stats, None);
+    }
+
+    /// The full counter set the cost model synthesizes for every linear
+    /// hardware-queue kernel — optimized *and* raw image — must equal an
+    /// actual simulated run bit for bit. This is the contract the
+    /// analytic fast-path executor rests on.
+    #[test]
+    fn linear_kernel_stats_match_a_real_run_for_the_whole_family() {
+        use crate::isa::DRAM_BASE;
+        for &vl in &crate::isa::VECTOR_LENGTHS {
+            for kernel in [
+                crate::kernels::linear::euclidean(24, vl),
+                crate::kernels::linear::manhattan(24, vl),
+                crate::kernels::linear::hamming(32, vl),
+            ] {
+                let vw = kernel.layout.vec_words;
+                let n = 6usize;
+                let dram: Vec<i32> = (0..(n * vw) as i32).map(|i| (i * 37) % 1000).collect();
+                let query: Vec<i32> = (0..vw as i32).map(|i| (i * 13) % 500).collect();
+                for program in [&kernel.program, &kernel.raw_program] {
+                    let e = estimate_with(program, vl, n as u64, &CostParams::default());
+                    let mut pu = ProcessingUnit::new(vl, Arc::new(dram.clone()));
+                    pu.load_program(program.clone());
+                    pu.scratchpad_mut()
+                        .write_block(kernel.layout.query_addr, &query)
+                        .expect("query fits");
+                    pu.set_sreg(1, DRAM_BASE as i32);
+                    pu.set_sreg(2, DRAM_BASE as i32 + (n * vw * 4) as i32);
+                    pu.set_sreg(3, 0);
+                    let stats = pu.run(1_000_000).expect("runs");
+                    assert_eq!(
+                        e.stats,
+                        Some(stats),
+                        "{} vl={vl} opt={}",
+                        kernel.name,
+                        std::ptr::eq(program, &kernel.program)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! roofline of `ssam-hmc`.
 
 pub mod cluster;
+mod fastpath;
 pub mod indexed;
 pub mod memregion;
 
@@ -58,6 +59,16 @@ pub struct SsamConfig {
     /// A/B escape hatch used by the differential tests and
     /// `serve_load --no-opt`.
     pub optimize_kernels: bool,
+    /// Execute eligible queries through the analytic fast path
+    /// ([`fastpath`]): distances computed host-side, counters synthesized
+    /// by the static cost model, selection through the same hardware
+    /// priority queue — bit-identical results without per-instruction
+    /// interpretation. Applies to the hardware-queue Euclidean /
+    /// Manhattan / Hamming kernels; cosine and software-queue queries
+    /// fall back to the cycle simulator per query. Default `false` (the
+    /// simulator remains authoritative; `serve_load --fast-path` and the
+    /// equivalence tests flip this on).
+    pub fast_path: bool,
 }
 
 impl Default for SsamConfig {
@@ -69,6 +80,7 @@ impl Default for SsamConfig {
             max_pus_per_vault: 8,
             use_hw_queue: true,
             optimize_kernels: true,
+            fast_path: false,
         }
     }
 }
@@ -125,6 +137,8 @@ struct StagedQuery {
     words: Vec<i32>,
     /// Cosine `s10` query norm, when the kernel needs it.
     norm: Option<i32>,
+    /// Metric the query selects (fast-path eligibility).
+    metric: DeviceMetric,
     /// Kernel the query runs.
     kernel: Arc<Kernel>,
     /// Shared instruction image — one allocation per distinct kernel per
@@ -558,6 +572,7 @@ impl SsamDevice {
                 StagedQuery {
                     words,
                     norm,
+                    metric: q.metric(),
                     kernel,
                     program,
                 }
@@ -597,6 +612,8 @@ impl SsamDevice {
 
         let vl = self.config.vector_length;
         let use_hw = self.config.use_hw_queue;
+        let fast_enabled = self.config.fast_path && use_hw;
+        let vec_words = self.vec_words;
         let pq_chain = k.div_ceil(PQUEUE_DEPTH);
         // Generous runaway guard: the rolled chunk loop executes ~9
         // instructions per vector-length chunk plus per-vector
@@ -634,6 +651,9 @@ impl SsamDevice {
                 }
                 let budget = 10_000u64 + shard.vectors as u64 * per_vec;
                 let mut loaded: Option<&str> = None;
+                // Fast-path counters depend only on (program, vl, n), so
+                // one synthesis per distinct kernel serves the whole tile.
+                let mut synth: HashMap<&str, Option<RunStats>> = HashMap::new();
                 let mut out = Vec::with_capacity(range.len());
                 for (off, sq) in staged[range.clone()].iter().enumerate() {
                     // A vault outage means this (query, vault) run never
@@ -641,6 +661,35 @@ impl SsamDevice {
                     if fg.is_some_and(|g| g[range.start + off][*si].outage) {
                         out.push((Vec::new(), RunStats::default()));
                         continue;
+                    }
+                    // Analytic fast path: host-side Q16.16 distances, the
+                    // same hardware priority queue, counters from the
+                    // static cost model — bit-identical to the simulator
+                    // without interpreting instructions. Queries whose
+                    // counters do not resolve exactly (or that would trip
+                    // the simulator's runaway budget) fall through to the
+                    // cycle simulator below.
+                    if fast_enabled && fastpath::supported(sq.metric) {
+                        let stats = *synth.entry(sq.kernel.name.as_str()).or_insert_with(|| {
+                            fastpath::synthesize_stats(&sq.program, vl, shard.vectors as u64)
+                        });
+                        if let Some(stats) = stats.filter(|s| s.instructions <= budget) {
+                            let neighbors = fastpath::scan_shard(
+                                sq.metric,
+                                &sq.words,
+                                &shard.words,
+                                vec_words,
+                                k,
+                                pq_chain,
+                            )
+                            .into_iter()
+                            .map(|(id, value)| {
+                                Neighbor::new(shard.first_id + id as u32, host_dist(payload, value))
+                            })
+                            .collect();
+                            out.push((neighbors, stats));
+                            continue;
+                        }
                     }
                     if loaded.is_some() {
                         pu.reset_state();

@@ -87,12 +87,31 @@ impl BinaryStore {
 
 /// Hamming distance between two packed codes: `Σ popcount(a_i XOR b_i)`.
 ///
+/// Accumulates into eight independent u32 lanes (the same chunk shape as
+/// the float kernels in [`crate::simd`]) so LLVM vectorizes the
+/// xor+popcount loop; integer addition is associative, so unlike the f32
+/// kernels no ordering contract is needed — any order is bit-identical.
+///
 /// # Panics
 /// Panics if the slices differ in length.
 #[inline]
 pub fn hamming(a: &[u32], b: &[u32]) -> u32 {
     assert_eq!(a.len(), b.len(), "codes must have equal length");
-    a.iter().zip(b).map(|(&x, &y)| (x ^ y).count_ones()).sum()
+    let mut lanes = [0u32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let base = c * 8;
+        let mut j = 0;
+        while j < 8 {
+            lanes[j] += (a[base + j] ^ b[base + j]).count_ones();
+            j += 1;
+        }
+    }
+    let mut total: u32 = lanes.iter().sum();
+    for i in chunks * 8..a.len() {
+        total += (a[i] ^ b[i]).count_ones();
+    }
+    total
 }
 
 /// Random-hyperplane binarizer: bit `i` of the code is the sign of the

@@ -10,6 +10,32 @@
 //! to Euclidean distance and saves a square root per candidate, which is
 //! what both our CPU baseline and the SSAM kernels compute — mirroring the
 //! paper's accelerator, whose distance pipeline has no sqrt unit.
+//!
+//! # The f32 reduction-order contract
+//!
+//! Every float reduction in this module follows ONE canonical evaluation
+//! order, defined in [`crate::simd`]:
+//!
+//! * terms accumulate into **eight independent lane partials** — lane `j`
+//!   holds the sum of terms `j, j+8, j+16, …` in increasing index order
+//!   (a trailing partial chunk contributes element `i` to lane `i`);
+//! * lane partials collapse through the **fixed pairwise tree**
+//!   `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+//!
+//! IEEE-754 f32 arithmetic is deterministic for a fixed evaluation order,
+//! so the autovectorized chunk loop and the scalar `i % 8` fallback are
+//! **bit-identical** (`to_bits()` equality, proven by proptests here and
+//! in `crates/knn/src/simd.rs`), and equivalence suites across the
+//! workspace may compare exact bits instead of epsilons. Contrast with
+//! the device pipeline: the SSAM kernels accumulate in Q16.16 fixed point
+//! (wrapping i32, per-lane then sequential lane reduction — see
+//! `ssam_core::kernels::linear::reduce_lanes`), so device distances are
+//! compared to these float references only through the quantization
+//! model, never bit-to-bit. The analytic fast-path executor replicates
+//! the *device* Q16.16 order, not this float order, precisely so it can
+//! be bit-identical to the cycle simulator.
+
+use crate::simd::{fold_terms, F32x8};
 
 /// Identifies a distance metric; used to select kernels on every platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,17 +96,15 @@ fn check_len(a: &[f32], b: &[f32]) {
     assert_eq!(a.len(), b.len(), "distance operands must have equal length");
 }
 
-/// Squared Euclidean distance `Σ (a_i - b_i)^2`.
+/// Squared Euclidean distance `Σ (a_i - b_i)^2`, canonical 8-lane order.
 #[inline]
 pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
     check_len(a, b);
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    fold_terms(a, b, |x, y| {
+        let d = x - y;
+        d * d
+    })
+    .hsum()
 }
 
 /// Euclidean distance `sqrt(Σ (a_i - b_i)^2)`.
@@ -89,24 +113,24 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     squared_euclidean(a, b).sqrt()
 }
 
-/// Manhattan (L1) distance `Σ |a_i - b_i|`.
+/// Manhattan (L1) distance `Σ |a_i - b_i|`, canonical 8-lane order.
 #[inline]
 pub fn manhattan(a: &[f32], b: &[f32]) -> f32 {
     check_len(a, b);
-    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+    fold_terms(a, b, |x, y| (x - y).abs()).hsum()
 }
 
-/// Dot product `Σ a_i b_i`.
+/// Dot product `Σ a_i b_i`, canonical 8-lane order.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     check_len(a, b);
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    fold_terms(a, b, |x, y| x * y).hsum()
 }
 
-/// Squared L2 norm.
+/// Squared L2 norm, canonical 8-lane order.
 #[inline]
 pub fn norm_sq(a: &[f32]) -> f32 {
-    a.iter().map(|&x| x * x).sum()
+    fold_terms(a, a, |x, _| x * x).hsum()
 }
 
 /// Cosine similarity `(Σ a_i b_i) / sqrt(Σ a_i² · Σ b_i²)`.
@@ -129,34 +153,35 @@ pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Chi-squared distance `Σ (a_i - b_i)² / (a_i + b_i)` over non-negative
-/// histograms; terms with a zero denominator contribute zero.
+/// histograms; terms with a zero denominator contribute zero. Canonical
+/// 8-lane order.
 #[inline]
 pub fn chi_squared(a: &[f32], b: &[f32]) -> f32 {
     check_len(a, b);
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| {
-            let s = x + y;
+    fold_terms(a, b, |x, y| {
+        let mut t = [0.0f32; 8];
+        let mut j = 0;
+        while j < 8 {
+            let s = x.0[j] + y.0[j];
             if s > 0.0 {
-                let d = x - y;
-                d * d / s
-            } else {
-                0.0
+                let d = x.0[j] - y.0[j];
+                t[j] = d * d / s;
             }
-        })
-        .sum()
+            j += 1;
+        }
+        F32x8(t)
+    })
+    .hsum()
 }
 
 /// Weighted Jaccard distance `1 - Σ min(a_i,b_i) / Σ max(a_i,b_i)` over
-/// non-negative vectors; two all-zero vectors have distance 0.
+/// non-negative vectors; two all-zero vectors have distance 0. Both the
+/// numerator and denominator sums follow the canonical 8-lane order.
 #[inline]
 pub fn jaccard_distance(a: &[f32], b: &[f32]) -> f32 {
     check_len(a, b);
-    let (mut num, mut den) = (0.0f32, 0.0f32);
-    for (&x, &y) in a.iter().zip(b) {
-        num += x.min(y);
-        den += x.max(y);
-    }
+    let num = fold_terms(a, b, |x, y| x.min(y)).hsum();
+    let den = fold_terms(a, b, |x, y| x.max(y)).hsum();
     if den <= 0.0 {
         0.0
     } else {
@@ -167,6 +192,7 @@ pub fn jaccard_distance(a: &[f32], b: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simd::fold_terms_scalar;
 
     const EPS: f32 = 1e-5;
 
@@ -255,5 +281,41 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Metric::ALL.len());
+    }
+
+    /// The reduction-order contract: vector kernels equal the scalar
+    /// `i % 8` fallback bit-for-bit on every metric, at lengths that
+    /// straddle chunk/tail boundaries.
+    #[test]
+    fn kernels_are_bit_identical_to_scalar_fallback() {
+        let gen = |n: usize, seed: u64| -> Vec<f32> {
+            let mut x = seed | 1;
+            (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((x >> 40) as i32 % 4000) as f32 / 777.0
+                })
+                .collect()
+        };
+        for n in [1usize, 7, 8, 9, 16, 25, 64, 100, 321] {
+            let a = gen(n, 3 + n as u64);
+            let b = gen(n, 17 + n as u64);
+            let se = fold_terms_scalar(&a, &b, |x, y| {
+                let d = x - y;
+                d * d
+            })
+            .hsum();
+            assert_eq!(
+                squared_euclidean(&a, &b).to_bits(),
+                se.to_bits(),
+                "l2 n={n}"
+            );
+            let l1 = fold_terms_scalar(&a, &b, |x, y| (x - y).abs()).hsum();
+            assert_eq!(manhattan(&a, &b).to_bits(), l1.to_bits(), "l1 n={n}");
+            let dp = fold_terms_scalar(&a, &b, |x, y| x * y).hsum();
+            assert_eq!(dot(&a, &b).to_bits(), dp.to_bits(), "dot n={n}");
+        }
     }
 }

@@ -253,8 +253,11 @@ impl SearchIndex for KdForest {
             if leaves >= budget.checks {
                 break;
             }
-            // Prune: the region cannot beat the current k-th best.
-            if br.mindist >= top.bound() {
+            // Prune: the region cannot beat the current k-th best. Must be
+            // strict — `TopK::offer` orders candidates by (dist, id), so a
+            // region whose mindist exactly ties the bound may still hold an
+            // equal-distance, lower-id neighbor the queue would accept.
+            if br.mindist > top.bound() {
                 continue;
             }
             let tree = &self.trees[br.tree as usize];
@@ -434,6 +437,35 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), out.len());
+    }
+
+    /// Regression: a subtree whose mindist exactly ties the k-th best must
+    /// still be visited, because `TopK::offer` prefers lower ids on tied
+    /// distances. Constructed in 1-D with exact f32 arithmetic: the query
+    /// sits at 0, ids 1 and 2 at x=-2 fill the k=2 queue at distance 4.0,
+    /// and id 0 at x=+2 (the far side of the root split, mindist exactly
+    /// 4.0) ties them with a lower id. The old `>=` prune returned
+    /// {1, 2}; the exact answer is {0, 1}.
+    #[test]
+    fn tied_mindist_subtree_is_not_pruned() {
+        let s = VectorStore::from_flat(1, vec![2.0, -2.0, -2.0, 10.0]);
+        let p = KdTreeParams {
+            trees: 1,
+            leaf_size: 1,
+            seed: 0,
+        };
+        let f = KdForest::build(&s, Metric::Euclidean, p);
+        let exact = knn_exact(&s, &[0.0], 2, Metric::Euclidean);
+        assert_eq!(
+            exact.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![0, 1],
+            "scenario precondition: exact ties break toward lower ids"
+        );
+        let approx = f.search(&s, &[0.0], 2, SearchBudget::unlimited());
+        assert_eq!(
+            approx, exact,
+            "tied subtree straddling the split was pruned"
+        );
     }
 
     #[test]

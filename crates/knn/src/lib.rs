@@ -36,6 +36,7 @@ pub mod kmeans_tree;
 pub mod linear;
 pub mod mplsh;
 pub mod recall;
+pub mod simd;
 pub mod topk;
 pub mod vecstore;
 

@@ -215,4 +215,69 @@ mod tests {
         assert_eq!(out[0].id, 1);
         assert_eq!(out[1].dist, f32::INFINITY);
     }
+
+    mod adversarial {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Distances drawn from a tiny palette (plus ±∞) so ties and
+        /// duplicates are the common case, not the 1-in-2³² case.
+        fn dist_strategy() -> impl Strategy<Value = f32> {
+            prop_oneof![
+                (0u8..5).prop_map(|d| d as f32),
+                Just(f32::INFINITY),
+                Just(f32::NEG_INFINITY),
+                Just(0.0f32),
+                Just(-0.0f32),
+            ]
+        }
+
+        proptest! {
+            /// `TopK` must agree with the full-sort reference on streams
+            /// stuffed with duplicate ids, tied distances, ±INFINITY, and
+            /// k both below and at/above n — the exact inputs where an
+            /// incremental bounded heap can drift from the sorted truth.
+            #[test]
+            fn matches_sort_reference_on_adversarial_streams(
+                cands in prop::collection::vec((0u32..8, dist_strategy()), 0..60),
+                k in 1usize..70,
+            ) {
+                let neighbors: Vec<Neighbor> =
+                    cands.iter().map(|&(id, d)| Neighbor::new(id, d)).collect();
+                let mut t = TopK::new(k);
+                for n in &neighbors {
+                    t.offer(n.id, n.dist);
+                }
+                let got = t.into_sorted();
+                let want = topk_by_sort(neighbors, k);
+                // Compare exactly, including -0.0 vs +0.0 (total_cmp order).
+                prop_assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(g.id, w.id);
+                    prop_assert_eq!(g.dist.to_bits(), w.dist.to_bits());
+                }
+            }
+
+            /// The pruning bound is exact: every offer strictly below the
+            /// bound must be retained, every offer at or above it (when
+            /// distances differ) must be rejected.
+            #[test]
+            fn bound_admits_exactly_the_improving_candidates(
+                cands in prop::collection::vec((0u32..8, dist_strategy()), 1..40),
+                k in 1usize..10,
+            ) {
+                let mut t = TopK::new(k);
+                for &(id, d) in &cands {
+                    let bound = t.bound();
+                    let retained = t.offer(id, d);
+                    if d < bound {
+                        prop_assert!(retained, "cand below bound rejected");
+                    }
+                    if d > bound {
+                        prop_assert!(!retained, "cand above bound retained");
+                    }
+                }
+            }
+        }
+    }
 }
