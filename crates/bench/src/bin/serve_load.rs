@@ -15,6 +15,24 @@
 //!   70% of the best closed-loop throughput) with non-blocking
 //!   submission, the regime where admission control matters — rejected
 //!   and deadline-expired requests are counted, never waited on.
+//!   Arrivals follow an **absolute schedule** (each tenant's next-arrival
+//!   instant is the previous one plus an exponential draw, paced with
+//!   sleep-until plus a short spin tail), so the offered rate has no
+//!   per-request sleep floor and no drift; the run **fails if achieved
+//!   diverges from offered by more than 5%**. Tail percentiles are
+//!   reported both over completed requests and over completed+expired
+//!   (each expired request counted at its deadline), so shedding load
+//!   cannot cosmetically improve the reported p99.
+//!
+//! With `--tenants <spec>` the open loop becomes a multi-tenant QoS
+//! harness: `name:rate=R[,weight=W][,tier=T][,limit=L][,burst=B]`
+//! `[,timeout_ms=MS][,min_cov=F][,storm];...` — each tenant is an
+//! independent Poisson stream at `rate` q/s, scheduled with per-tenant
+//! weight/tier/token-bucket admission (`limit`/`burst`), and `storm`
+//! confines the `--faults` plan to that tenant
+//! ([`ssam_serve::ServeFaults::storm_tenants`]). The report gains
+//! per-tenant p50/p95/p99, goodput, and a Jain fairness index over the
+//! fraction of each tenant's demand that was served.
 //!
 //! Every served query flows through the device's self-checking telemetry
 //! ([`ssam_core::telemetry`]); the run **fails** if any accounting
@@ -33,13 +51,14 @@
 //! ```text
 //! serve_load [--seconds N] [--concurrency 1,4,16,64] [--workers N]
 //!            [--max-batch N] [--linger-us N] [--scale F] [--k N]
-//!            [--rate QPS] [--timeout-ms N] [--faults SPEC] [--json PATH]
-//!            [--telemetry PATH] [--csv]
+//!            [--rate QPS] [--timeout-ms N] [--tenants SPEC]
+//!            [--faults SPEC] [--json PATH] [--telemetry PATH] [--csv]
 //! ```
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -51,7 +70,11 @@ use ssam_datasets::json::{self, Value};
 use ssam_datasets::PaperDataset;
 use ssam_faults::FaultPlan;
 use ssam_knn::VectorStore;
-use ssam_serve::{OwnedQuery, Request, ServeConfig, ServeError, ServeFaults, Server};
+use ssam_serve::qos::jain_index;
+use ssam_serve::{
+    OwnedQuery, QosConfig, Request, ServeConfig, ServeError, ServeFaults, Server, TenantId,
+    TenantQos,
+};
 
 struct Args {
     seconds: f64,
@@ -63,6 +86,8 @@ struct Args {
     k: Option<usize>,
     rate: Option<f64>,
     timeout: Option<Duration>,
+    tenants: Option<String>,
+    min_jain: Option<f64>,
     faults: Option<String>,
     json: String,
     telemetry: Option<String>,
@@ -82,6 +107,8 @@ fn parse_args() -> Args {
         k: None,
         rate: None,
         timeout: None,
+        tenants: None,
+        min_jain: None,
         faults: None,
         json: "BENCH_serve.json".to_string(),
         telemetry: None,
@@ -123,6 +150,10 @@ fn parse_args() -> Args {
                     take(&mut i, "--timeout-ms").parse().expect("ms"),
                 ));
             }
+            "--tenants" => a.tenants = Some(take(&mut i, "--tenants")),
+            "--min-jain" => {
+                a.min_jain = Some(take(&mut i, "--min-jain").parse().expect("float"));
+            }
             "--faults" => a.faults = Some(take(&mut i, "--faults")),
             "--json" => a.json = take(&mut i, "--json"),
             "--telemetry" => a.telemetry = Some(take(&mut i, "--telemetry")),
@@ -133,12 +164,18 @@ fn parse_args() -> Args {
                 println!(
                     "usage: serve_load [--seconds N] [--concurrency 1,4,16,64] [--workers N]\n\
                      \x20                 [--max-batch N] [--linger-us N] [--scale F] [--k N]\n\
-                     \x20                 [--rate QPS] [--timeout-ms N] [--faults SPEC]\n\
-                     \x20                 [--json PATH] [--telemetry PATH] [--csv] [--no-opt]\n\
-                     \x20                 [--fast-path]\n\
+                     \x20                 [--rate QPS] [--timeout-ms N] [--tenants SPEC]\n\
+                     \x20                 [--min-jain F] [--faults SPEC] [--json PATH]\n\
+                     \x20                 [--telemetry PATH] [--csv] [--no-opt] [--fast-path]\n\
                      \x20  --no-opt stages raw (unoptimized) kernel programs for A/B runs\n\
                      \x20  --fast-path uses the validated analytic executor (bit-identical\n\
-                     \x20  results, no per-instruction simulation) for A/B runs"
+                     \x20  results, no per-instruction simulation) for A/B runs\n\
+                     \x20  --tenants name:rate=R[,weight=W][,tier=T][,limit=L][,burst=B]\n\
+                     \x20            [,timeout_ms=MS][,min_cov=F][,storm];... runs the open\n\
+                     \x20  loop as a multi-tenant QoS harness (storm confines --faults to\n\
+                     \x20  that tenant)\n\
+                     \x20  --min-jain fails the run if Jain fairness over per-tenant\n\
+                     \x20  demand-met falls below F (CI gate; needs >= 2 tenants)"
                 );
                 std::process::exit(0);
             }
@@ -229,6 +266,344 @@ impl Measured {
 fn percentile_rank(len: usize, q: f64) -> usize {
     debug_assert!(len > 0 && (0.0..=1.0).contains(&q));
     ((q * len as f64).ceil() as usize).clamp(1, len) - 1
+}
+
+/// Tail percentile over completed *and* expired requests: each expired
+/// request contributes its deadline as a latency sample (it waited at
+/// least that long before the server gave up on it). Without this, an
+/// overloaded server that sheds more load reports a *better* p99 — the
+/// slowest requests are exactly the ones deleted from the sample.
+fn tail_percentile(completed_ms: &[f64], expired_at_ms: &[f64], q: f64) -> f64 {
+    let total = completed_ms.len() + expired_at_ms.len();
+    if total == 0 {
+        return f64::NAN;
+    }
+    let mut all: Vec<f64> = completed_ms.iter().chain(expired_at_ms).copied().collect();
+    all.sort_by(|a, b| a.total_cmp(b));
+    all[percentile_rank(total, q)]
+}
+
+/// Which stored query the `cursor`-th arrival issues. The cursor is
+/// `u64`: the previous `u32` counter wrapped at 2³² arrivals, which a
+/// million-q/s fast-path run reaches in ~71 minutes — after the wrap the
+/// modulo walk restarts mid-sequence (and with `i += 1` on the `u32`
+/// itself, overflow panics in debug builds).
+fn query_index(cursor: u64, n: u32) -> u32 {
+    debug_assert!(n > 0);
+    (cursor % u64::from(n)) as u32
+}
+
+/// Sleep-until with a short spin tail. `thread::sleep` alone rounds up
+/// to OS timer granularity (≈1 ms under a 1000 Hz tick — the bug that
+/// capped the old per-arrival-sleep pacing at ~1k q/s); spinning the
+/// final stretch hits the target instant to microseconds while still
+/// sleeping away the bulk of long waits. Already-past targets return
+/// immediately, so a generator that falls behind catches up instead of
+/// accumulating drift.
+const SPIN_TAIL: Duration = Duration::from_micros(200);
+
+fn pace_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        let left = target - now;
+        if left > SPIN_TAIL {
+            std::thread::sleep(left - SPIN_TAIL);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// One tenant of the open-loop harness, parsed from `--tenants`.
+struct TenantSpec {
+    name: String,
+    id: TenantId,
+    /// Offered Poisson arrival rate, q/s.
+    rate: f64,
+    weight: f64,
+    tier: u8,
+    /// Server-side admission limit (token-bucket rate), q/s.
+    limit: Option<f64>,
+    burst: f64,
+    timeout: Option<Duration>,
+    min_cov: Option<f64>,
+    /// Confine the `--faults` plan to this tenant's batches.
+    storm: bool,
+}
+
+impl TenantSpec {
+    fn qos(&self) -> TenantQos {
+        TenantQos {
+            rate: self.limit,
+            burst: self.burst,
+            weight: self.weight,
+            tier: self.tier,
+            min_coverage: self.min_cov,
+            default_timeout: None,
+        }
+    }
+}
+
+/// Parses `name:rate=R[,weight=W][,tier=T][,limit=L][,burst=B]`
+/// `[,timeout_ms=MS][,min_cov=F][,storm];...`. Tenant ids are assigned
+/// in declaration order.
+fn parse_tenant_specs(spec: &str, default_timeout: Option<Duration>) -> Vec<TenantSpec> {
+    let specs: Vec<TenantSpec> = spec
+        .split(';')
+        .filter(|part| !part.trim().is_empty())
+        .enumerate()
+        .map(|(idx, part)| {
+            let (name, rest) = part
+                .trim()
+                .split_once(':')
+                .unwrap_or_else(|| panic!("tenant spec `{part}` needs `name:key=value,...`"));
+            let mut t = TenantSpec {
+                name: name.trim().to_string(),
+                id: TenantId(idx as u32),
+                rate: 0.0,
+                weight: 1.0,
+                tier: 1,
+                limit: None,
+                burst: 1.0,
+                timeout: default_timeout,
+                min_cov: None,
+                storm: false,
+            };
+            for kv in rest.split(',') {
+                let kv = kv.trim();
+                if kv.is_empty() {
+                    continue;
+                }
+                match kv.split_once('=') {
+                    Some(("rate", v)) => t.rate = v.parse().expect("rate=QPS"),
+                    Some(("weight", v)) => t.weight = v.parse().expect("weight=F"),
+                    Some(("tier", v)) => t.tier = v.parse().expect("tier=N"),
+                    Some(("limit", v)) => t.limit = Some(v.parse().expect("limit=QPS")),
+                    Some(("burst", v)) => t.burst = v.parse().expect("burst=F"),
+                    Some(("timeout_ms", v)) => {
+                        t.timeout = Some(Duration::from_millis(v.parse().expect("timeout_ms=N")));
+                    }
+                    Some(("min_cov", v)) => t.min_cov = Some(v.parse().expect("min_cov=F")),
+                    None if kv == "storm" => t.storm = true,
+                    _ => panic!("unknown tenant key `{kv}` in `{part}` (try --help)"),
+                }
+            }
+            assert!(t.rate > 0.0, "tenant `{}` needs rate=QPS > 0", t.name);
+            t
+        })
+        .collect();
+    assert!(!specs.is_empty(), "--tenants spec names no tenants");
+    specs
+}
+
+/// Everything the open loop observed about one tenant.
+struct TenantResult {
+    name: String,
+    id: TenantId,
+    offered: f64,
+    timeout_ms: Option<f64>,
+    arrivals: u64,
+    rejected_overload: u64,
+    rejected_rate_limited: u64,
+    expired: u64,
+    degraded: u64,
+    latencies_ms: Vec<f64>,
+    device_seconds: f64,
+    elapsed: f64,
+}
+
+impl TenantResult {
+    fn served(&self) -> u64 {
+        self.latencies_ms.len() as u64
+    }
+
+    fn goodput(&self) -> f64 {
+        self.served() as f64 / self.elapsed
+    }
+
+    /// Fraction of this tenant's offered demand that completed — the
+    /// allocation the Jain index is computed over (1.0 for every tenant
+    /// means the server met everyone's demand equally well).
+    fn demand_met(&self) -> f64 {
+        (self.goodput() / self.offered).min(1.0)
+    }
+
+    /// Deadline values of expired requests, one sample each, for the
+    /// completed+expired tail.
+    fn expired_at_ms(&self) -> Vec<f64> {
+        let at = self.timeout_ms.unwrap_or(f64::NAN);
+        vec![at; self.expired as usize]
+    }
+
+    fn percentile(&self, q: f64) -> f64 {
+        tail_percentile(&self.latencies_ms, &[], q)
+    }
+
+    fn percentile_with_expired(&self, q: f64) -> f64 {
+        tail_percentile(&self.latencies_ms, &self.expired_at_ms(), q)
+    }
+}
+
+/// The open-loop run as a whole.
+struct OpenOutcome {
+    tenants: Vec<TenantResult>,
+    arrivals: u64,
+    offered_qps: f64,
+    achieved_qps: f64,
+    measured: Measured,
+}
+
+/// Multi-tenant open loop: per-tenant Poisson arrival streams merged on
+/// an absolute schedule, non-blocking submission, per-tenant waiter
+/// threads draining tickets as they complete (bounded memory at millions
+/// of arrivals). Fails the run if the achieved arrival rate diverges
+/// from the offered rate by more than 5% (only checked when the expected
+/// arrival count is large enough that Poisson noise sits well inside
+/// that band).
+fn open_loop(
+    server: &Arc<Server>,
+    queries: &Arc<VectorStore>,
+    k: usize,
+    specs: &[TenantSpec],
+    seconds: f64,
+) -> OpenOutcome {
+    let handle = server.handle();
+    let nq = queries.len() as u32;
+
+    // One waiter thread + ticket channel per tenant: tickets are
+    // consumed as they resolve instead of accumulating for the whole
+    // run.
+    let mut senders = Vec::new();
+    let mut waiters = Vec::new();
+    for _ in specs {
+        let (tx, rx) = mpsc::channel::<ssam_serve::Ticket>();
+        senders.push(tx);
+        waiters.push(std::thread::spawn(move || {
+            let mut lat = Vec::new();
+            let mut dev = 0.0f64;
+            let mut expired = 0u64;
+            let mut degraded = 0u64;
+            for ticket in rx {
+                match ticket.wait() {
+                    Ok(r) => {
+                        lat.push((r.queue_seconds + r.service_seconds) * 1e3);
+                        dev += device_share_seconds(&r);
+                    }
+                    Err(ServeError::DeadlineExceeded { .. }) => expired += 1,
+                    Err(ServeError::Degraded { .. }) => degraded += 1,
+                    Err(e) => panic!("open-loop request failed: {e}"),
+                }
+            }
+            (lat, dev, expired, degraded)
+        }));
+    }
+
+    // Absolute arrival schedule: a min-heap of (next instant, tenant)
+    // seeded with one exponential draw per tenant; every pop schedules
+    // that tenant's next arrival relative to the *scheduled* (not
+    // actual) time, so pacing error never compounds.
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs_f64(seconds);
+    let cpu0 = process_cpu_seconds();
+    let mut rngs: Vec<StdRng> = (0..specs.len())
+        .map(|i| StdRng::seed_from_u64(0x5e7e ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect();
+    let mut heap: BinaryHeap<Reverse<(Instant, usize)>> = BinaryHeap::new();
+    let draw = |rngs: &mut Vec<StdRng>, idx: usize, rate: f64| -> Duration {
+        let u: f64 = rngs[idx].random_range(f64::MIN_POSITIVE..1.0);
+        Duration::from_secs_f64((-u.ln() / rate).min(1.0))
+    };
+    for (idx, spec) in specs.iter().enumerate() {
+        heap.push(Reverse((t0 + draw(&mut rngs, idx, spec.rate), idx)));
+    }
+    let mut arrivals = vec![0u64; specs.len()];
+    let mut rejected_overload = vec![0u64; specs.len()];
+    let mut rejected_rate_limited = vec![0u64; specs.len()];
+    let mut cursor = 0u64;
+    while let Some(Reverse((at, idx))) = heap.pop() {
+        if at >= deadline {
+            break;
+        }
+        pace_until(at);
+        let spec = &specs[idx];
+        let q = queries.get(query_index(cursor, nq)).to_vec();
+        cursor += 1;
+        let mut req = Request::new(OwnedQuery::Euclidean(q), k).with_tenant(spec.id);
+        if let Some(t) = spec.timeout {
+            req = req.with_timeout(t);
+        }
+        match handle.submit(req) {
+            Ok(ticket) => senders[idx].send(ticket).expect("waiter alive"),
+            Err(ServeError::Overloaded { .. }) => rejected_overload[idx] += 1,
+            Err(ServeError::RateLimited { .. }) => rejected_rate_limited[idx] += 1,
+            Err(e) => panic!("open-loop submission failed: {e}"),
+        }
+        arrivals[idx] += 1;
+        heap.push(Reverse((at + draw(&mut rngs, idx, spec.rate), idx)));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    drop(senders);
+
+    let mut tenants = Vec::new();
+    let mut all_latencies = Vec::new();
+    let mut device_seconds = 0.0f64;
+    for (idx, waiter) in waiters.into_iter().enumerate() {
+        let (lat, dev, expired, degraded) = waiter.join().expect("waiter thread");
+        all_latencies.extend_from_slice(&lat);
+        device_seconds += dev;
+        let spec = &specs[idx];
+        tenants.push(TenantResult {
+            name: spec.name.clone(),
+            id: spec.id,
+            offered: spec.rate,
+            timeout_ms: spec.timeout.map(|t| t.as_secs_f64() * 1e3),
+            arrivals: arrivals[idx],
+            rejected_overload: rejected_overload[idx],
+            rejected_rate_limited: rejected_rate_limited[idx],
+            expired,
+            degraded,
+            latencies_ms: lat,
+            device_seconds: dev,
+            elapsed,
+        });
+    }
+    let cpu_seconds = process_cpu_seconds().zip(cpu0).map(|(a, b)| a - b);
+    let total_arrivals: u64 = arrivals.iter().sum();
+    let offered_qps: f64 = specs.iter().map(|s| s.rate).sum();
+    let achieved_qps = total_arrivals as f64 / elapsed;
+
+    // Pacing acceptance: achieved must track offered. Poisson count
+    // noise is √N, so only enforce once the expected count puts 5%
+    // beyond ~4σ; below that the check would flake on randomness, not
+    // pacing.
+    let expected = offered_qps * seconds;
+    if expected >= 2000.0 {
+        let divergence = (achieved_qps - offered_qps).abs() / offered_qps;
+        assert!(
+            divergence <= 0.05,
+            "open-loop pacing failed: offered {offered_qps:.0} q/s but achieved \
+             {achieved_qps:.0} q/s ({:.1}% divergence; the generator could not \
+             sustain the schedule)",
+            divergence * 100.0
+        );
+    }
+
+    OpenOutcome {
+        arrivals: total_arrivals,
+        offered_qps,
+        achieved_qps,
+        measured: Measured {
+            served: all_latencies.len() as u64,
+            elapsed,
+            cpu_seconds,
+            device_seconds,
+            latencies_ms: all_latencies,
+        },
+        tenants,
+    }
 }
 
 /// Closed loop: `clients` threads, each issuing back-to-back blocking
@@ -514,77 +889,188 @@ fn main() {
         offline_fraction * 100.0
     );
 
-    // ---- Open loop: Poisson arrivals at a fixed rate, non-blocking
-    // submission; rejections are counted, never waited on.
-    let rate = args.rate.unwrap_or(best_qps * 0.7).max(1.0);
-    let open_server = Arc::new(Server::start(device, serve_config));
+    // ---- Open loop: Poisson arrivals on an absolute schedule,
+    // non-blocking submission; rejections are counted, never waited on.
+    // `--tenants` turns this into the multi-tenant QoS harness; without
+    // it, one default tenant at `--rate` (or 70% of the best closed-loop
+    // throughput) reproduces the single-tenant run.
+    let specs = match &args.tenants {
+        Some(spec) => parse_tenant_specs(spec, args.timeout),
+        None => vec![TenantSpec {
+            name: "default".to_string(),
+            id: TenantId::DEFAULT,
+            rate: args.rate.unwrap_or(best_qps * 0.7).max(1.0),
+            weight: 1.0,
+            tier: 1,
+            limit: None,
+            burst: 1.0,
+            timeout: args.timeout,
+            min_cov: None,
+            storm: false,
+        }],
+    };
+    let storm_tenants: Vec<TenantId> = specs.iter().filter(|s| s.storm).map(|s| s.id).collect();
+    assert!(
+        storm_tenants.is_empty() || fault_plan.is_some(),
+        "--tenants marks a storm tenant but no --faults plan was given"
+    );
+    let mut open_config = serve_config.clone();
+    open_config.qos = specs.iter().fold(QosConfig::default(), |cfg, s| {
+        cfg.with_tenant(s.id, s.qos())
+    });
+    if !storm_tenants.is_empty() {
+        open_config.faults.storm_tenants = Some(storm_tenants.clone());
+    }
+    let open_server = Arc::new(Server::start(device, open_config));
+    let outcome = open_loop(&open_server, &queries, k, &specs, args.seconds);
     let open = {
-        let deadline = Instant::now() + Duration::from_secs_f64(args.seconds);
-        let handle = open_server.handle();
-        let mut rng = StdRng::seed_from_u64(0x5e7e);
-        let mut tickets = Vec::new();
-        let mut rejected_at_submit = 0u64;
-        let n = queries.len() as u32;
-        let mut i = 0u32;
-        let t0 = Instant::now();
-        let cpu0 = process_cpu_seconds();
-        while Instant::now() < deadline {
-            // Exponential inter-arrival for a Poisson process.
-            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-            let wait = Duration::from_secs_f64((-u.ln() / rate).min(1.0));
-            std::thread::sleep(wait);
-            let q = queries.get(i % n).to_vec();
-            i += 1;
-            let mut req = Request::new(OwnedQuery::Euclidean(q), k);
-            if let Some(t) = args.timeout {
-                req = req.with_timeout(t);
-            }
-            match handle.submit(req) {
-                Ok(t) => tickets.push(t),
-                Err(ServeError::Overloaded { .. }) => rejected_at_submit += 1,
-                Err(e) => panic!("open-loop submission failed: {e}"),
-            }
-        }
-        let mut latencies_ms = Vec::new();
-        let mut device_seconds = 0.0f64;
-        let mut rejected_deadline = 0u64;
-        for t in tickets {
-            match t.wait() {
-                Ok(r) => {
-                    latencies_ms.push((r.queue_seconds + r.service_seconds) * 1e3);
-                    device_seconds += device_share_seconds(&r);
-                }
-                Err(ServeError::DeadlineExceeded { .. }) => rejected_deadline += 1,
-                Err(e) => panic!("open-loop request failed: {e}"),
-            }
-        }
-        let elapsed = t0.elapsed().as_secs_f64();
-        let cpu_seconds = process_cpu_seconds().zip(cpu0).map(|(a, b)| a - b);
-        let m = Measured {
-            served: latencies_ms.len() as u64,
-            elapsed,
-            cpu_seconds,
-            device_seconds,
-            latencies_ms,
-        };
+        let m = &outcome.measured;
+        let rejected_overload: u64 = outcome.tenants.iter().map(|t| t.rejected_overload).sum();
+        let rejected_rate: u64 = outcome
+            .tenants
+            .iter()
+            .map(|t| t.rejected_rate_limited)
+            .sum();
+        let expired: u64 = outcome.tenants.iter().map(|t| t.expired).sum();
+        let expired_all: Vec<f64> = outcome
+            .tenants
+            .iter()
+            .flat_map(|t| t.expired_at_ms())
+            .collect();
+        let jain = jain_index(
+            &outcome
+                .tenants
+                .iter()
+                .map(TenantResult::demand_met)
+                .collect::<Vec<_>>(),
+        );
         println!(
-            "\nopen loop: Poisson {} q/s offered for {:.1}s -> {} served ({} q/s), \
-             p50 {:.2} ms, p99 {:.2} ms, {} overloaded, {} deadline-expired",
-            fmt(rate),
-            elapsed,
+            "\nopen loop: Poisson {} q/s offered for {:.1}s -> {} arrivals \
+             ({} q/s achieved), {} served ({} q/s goodput), p50 {:.2} ms, \
+             p99 {:.2} ms (with expired: {:.2} ms), {} overloaded, \
+             {} rate-limited, {} deadline-expired",
+            fmt(outcome.offered_qps),
+            m.elapsed,
+            outcome.arrivals,
+            fmt(outcome.achieved_qps),
             m.served,
             fmt(m.qps()),
             m.percentile(0.50),
             m.percentile(0.99),
-            rejected_at_submit,
-            rejected_deadline,
+            tail_percentile(&m.latencies_ms, &expired_all, 0.99),
+            rejected_overload,
+            rejected_rate,
+            expired,
         );
+        if outcome.tenants.len() > 1 {
+            println!(
+                "\nper-tenant ({} tenants, Jain fairness {jain:.4}):",
+                outcome.tenants.len()
+            );
+            let rows: Vec<Vec<String>> = outcome
+                .tenants
+                .iter()
+                .map(|t| {
+                    vec![
+                        t.name.clone(),
+                        fmt(t.offered),
+                        t.arrivals.to_string(),
+                        fmt(t.goodput()),
+                        format!("{:.3}", t.demand_met()),
+                        format!("{:.2}", t.percentile(0.50)),
+                        format!("{:.2}", t.percentile(0.99)),
+                        format!("{:.2}", t.percentile_with_expired(0.99)),
+                        t.rejected_rate_limited.to_string(),
+                        t.expired.to_string(),
+                        t.degraded.to_string(),
+                    ]
+                })
+                .collect();
+            print_table(
+                args.csv,
+                &[
+                    "tenant",
+                    "offered q/s",
+                    "arrivals",
+                    "goodput q/s",
+                    "demand met",
+                    "p50 ms",
+                    "p99 ms",
+                    "p99+exp ms",
+                    "rate-limited",
+                    "expired",
+                    "degraded",
+                ],
+                &rows,
+            );
+        }
+        if let Some(min) = args.min_jain {
+            assert!(
+                outcome.tenants.len() > 1,
+                "--min-jain needs at least two tenants (got {})",
+                outcome.tenants.len()
+            );
+            assert!(
+                jain >= min,
+                "Jain fairness {jain:.4} fell below the --min-jain {min} gate"
+            );
+        }
+        let tenants_json: Vec<Value> = outcome
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut o = BTreeMap::new();
+                o.insert("name".into(), Value::String(t.name.clone()));
+                o.insert("tenant".into(), json::number_u64(u64::from(t.id.0)));
+                o.insert("offered_qps".into(), json::number_f64(t.offered));
+                o.insert("arrivals".into(), json::number_u64(t.arrivals));
+                o.insert("served".into(), json::number_u64(t.served()));
+                o.insert("goodput_qps".into(), json::number_f64(t.goodput()));
+                o.insert("demand_met".into(), json::number_f64(t.demand_met()));
+                o.insert("p50_ms".into(), json::number_f64(t.percentile(0.50)));
+                o.insert("p95_ms".into(), json::number_f64(t.percentile(0.95)));
+                o.insert("p99_ms".into(), json::number_f64(t.percentile(0.99)));
+                o.insert(
+                    "p99_with_expired_ms".into(),
+                    json::number_f64(t.percentile_with_expired(0.99)),
+                );
+                o.insert(
+                    "rejected_overload".into(),
+                    json::number_u64(t.rejected_overload),
+                );
+                o.insert(
+                    "rejected_rate_limited".into(),
+                    json::number_u64(t.rejected_rate_limited),
+                );
+                o.insert("expired".into(), json::number_u64(t.expired));
+                o.insert("degraded".into(), json::number_u64(t.degraded));
+                o.insert("device_seconds".into(), json::number_f64(t.device_seconds));
+                Value::Object(o)
+            })
+            .collect();
         measured_object(
-            &m,
+            m,
             &[
-                ("offered_qps", json::number_f64(rate)),
-                ("rejected_overload", json::number_u64(rejected_at_submit)),
-                ("rejected_deadline", json::number_u64(rejected_deadline)),
+                ("offered_qps", json::number_f64(outcome.offered_qps)),
+                ("achieved_qps", json::number_f64(outcome.achieved_qps)),
+                ("arrivals", json::number_u64(outcome.arrivals)),
+                ("rejected_overload", json::number_u64(rejected_overload)),
+                ("rejected_rate_limited", json::number_u64(rejected_rate)),
+                ("rejected_deadline", json::number_u64(expired)),
+                (
+                    "p50_with_expired_ms",
+                    json::number_f64(tail_percentile(&m.latencies_ms, &expired_all, 0.50)),
+                ),
+                (
+                    "p95_with_expired_ms",
+                    json::number_f64(tail_percentile(&m.latencies_ms, &expired_all, 0.95)),
+                ),
+                (
+                    "p99_with_expired_ms",
+                    json::number_f64(tail_percentile(&m.latencies_ms, &expired_all, 0.99)),
+                ),
+                ("jain_fairness", json::number_f64(jain)),
+                ("tenants", Value::Array(tenants_json)),
             ],
         )
     };
@@ -748,6 +1234,10 @@ fn main() {
             "rejected_deadline".into(),
             json::number_u64(s.rejected_deadline),
         );
+        o.insert(
+            "rejected_rate_limited".into(),
+            json::number_u64(s.rejected_rate_limited),
+        );
         o.insert("batches".into(), json::number_u64(s.batches));
         o.insert("mean_batch".into(), json::number_f64(s.mean_batch()));
         o.insert("degraded".into(), json::number_u64(s.degraded));
@@ -819,5 +1309,73 @@ mod tests {
         assert_eq!(one.percentile(0.99), 7.5);
         assert_eq!(percentile_rank(1, 0.0), 0);
         assert_eq!(percentile_rank(5, 1.0), 4);
+    }
+
+    /// The cursor the open loop indexes queries with must survive past
+    /// 2³² arrivals: the old `u32` counter wrapped there (~71 minutes at
+    /// 1M q/s), restarting the modulo walk mid-sequence.
+    #[test]
+    fn query_cursor_survives_u32_overflow() {
+        let n = 1000u32;
+        let at_wrap = u64::from(u32::MAX) + 1;
+        assert_eq!(query_index(at_wrap, n), (at_wrap % u64::from(n)) as u32);
+        assert_eq!(
+            query_index(at_wrap + 1, n),
+            query_index(at_wrap, n) + 1,
+            "the walk must continue across the u32 boundary, not restart"
+        );
+        // The failure mode the u32 counter had: after the wrap the
+        // counter restarts at 0, so the walk jumps to query 0 — but the
+        // true u64 walk is at 2³² mod 1000 = 296.
+        assert_eq!(query_index(at_wrap, n), 296);
+        let wrapped_u32 = (at_wrap as u32) % n;
+        assert_ne!(query_index(at_wrap, n), wrapped_u32);
+    }
+
+    /// Expired requests count at their deadline in the combined tail:
+    /// shedding load must never *improve* reported p99.
+    #[test]
+    fn expired_requests_count_at_their_deadline() {
+        // 98 fast completions; 2 requests expired at a 100 ms deadline.
+        let completed: Vec<f64> = (1..=98).map(|i| f64::from(i) * 0.1).collect();
+        let expired = vec![100.0, 100.0];
+        // Completed-only p99 pretends the tail is sub-10 ms...
+        assert!(tail_percentile(&completed, &[], 0.99) < 10.0);
+        // ...but the honest tail is the deadline itself.
+        assert_eq!(tail_percentile(&completed, &expired, 0.99), 100.0);
+        assert_eq!(tail_percentile(&completed, &expired, 0.50), 5.0);
+        // More shedding (fewer completions, more expiries) must not
+        // lower the combined p99.
+        let fewer: Vec<f64> = (1..=50).map(|i| f64::from(i) * 0.1).collect();
+        let more_expired = vec![100.0; 50];
+        assert!(
+            tail_percentile(&fewer, &more_expired, 0.99)
+                >= tail_percentile(&completed, &expired, 0.99)
+        );
+        assert!(tail_percentile(&[], &[], 0.99).is_nan());
+    }
+
+    #[test]
+    fn tenant_spec_parses_full_grammar() {
+        let specs = parse_tenant_specs(
+            "gold:rate=100,weight=4,tier=0,timeout_ms=20,min_cov=0.9; \
+             bronze:rate=50,limit=40,burst=8,storm",
+            Some(Duration::from_millis(5)),
+        );
+        assert_eq!(specs.len(), 2);
+        let g = &specs[0];
+        assert_eq!((g.name.as_str(), g.id), ("gold", TenantId(0)));
+        assert_eq!((g.rate, g.weight, g.tier), (100.0, 4.0, 0));
+        assert_eq!(g.timeout, Some(Duration::from_millis(20)));
+        assert_eq!(g.min_cov, Some(0.9));
+        assert!(g.limit.is_none() && !g.storm);
+        let b = &specs[1];
+        assert_eq!((b.name.as_str(), b.id), ("bronze", TenantId(1)));
+        assert_eq!((b.limit, b.burst), (Some(40.0), 8.0));
+        // Unspecified timeout inherits the harness default.
+        assert_eq!(b.timeout, Some(Duration::from_millis(5)));
+        assert!(b.storm);
+        let qos = b.qos();
+        assert_eq!((qos.rate, qos.burst, qos.tier), (Some(40.0), 8.0, 1));
     }
 }

@@ -4,29 +4,36 @@
 //! Worker threads hold the queue lock, build a [`PendingMeta`] snapshot,
 //! and ask [`plan`] what to do. Keeping the decision logic free of
 //! threads, clocks, and channels means every trigger — max-size flush,
-//! linger-timeout flush, deadline expiry, shutdown drain — is
-//! deterministically unit-testable with synthetic `Instant`s; the
-//! threaded runtime in [`crate`] only *executes* decisions, it never
-//! makes them.
+//! linger-timeout flush, deadline expiry, shutdown drain, tenant
+//! selection — is deterministically unit-testable with synthetic
+//! `Instant`s; the threaded runtime in [`crate`] only *executes*
+//! decisions, it never makes them.
 //!
 //! ## State machine
 //!
-//! For the oldest live (non-expired) request's [`BatchKey`]:
+//! Live (non-expired) requests are grouped by [`BatchKey`] — which
+//! includes the tenant, so a device batch never mixes tenants. A group
+//! is **ripe** when it is full (`≥ max_batch` members), the server is
+//! draining, or its oldest member has waited `max_linger`:
 //!
 //! ```text
 //!            ┌──────────── deadline ≤ now ───────────► Expired (reject)
 //!            │
-//! Queued ────┤  compatible count ≥ max_batch ────────► Flush (full)
-//!            │  oldest age ≥ max_linger ─────────────► Flush (linger)
-//!            │  draining (shutdown) ─────────────────► Flush (drain)
+//! Queued ────┤  some group ripe ────────────────────► Flush (selected group)
 //!            │
 //!            └─ otherwise ───────────────────────────► Wait(wake − now)
 //! ```
 //!
-//! where `wake = min(oldest arrival + max_linger, soonest queued
-//! deadline)` — a worker never sleeps past the moment its decision could
-//! change. Deadlines are a *rejection* bound, not a flush accelerator:
-//! a request whose deadline passes while queued is completed with
+//! where `wake = min(every group's oldest arrival + max_linger, soonest
+//! queued deadline)` — a worker never sleeps past the moment its
+//! decision could change. Among *ripe* groups, selection is QoS-driven:
+//! strict priority tiers first, then least weighted-fair virtual service
+//! ([`FairState`]), then oldest arrival, then snapshot position (a total
+//! order, so the decision is deterministic). The caller charges the
+//! flushed tenant's [`FairState`] with the batch it took.
+//!
+//! Deadlines are a *rejection* bound, not a flush accelerator: a request
+//! whose deadline passes while queued is completed with
 //! `DeadlineExceeded` before staging (it never stalls or poisons the
 //! batch it would have joined). Configure `max_linger` well below the
 //! deadline budgets you hand out.
@@ -35,11 +42,13 @@ use std::time::{Duration, Instant};
 
 use ssam_core::device::DeviceMetric;
 
+use crate::qos::{FairState, QosConfig, TenantId};
+
 /// The kernel-compatibility key queries are coalesced under: requests
 /// batch together only when the device would stage them through the same
-/// kernel, which is determined by the metric, the requested `k` (the
-/// software-queue kernels specialize on `k`), and the queue
-/// implementation the device is configured with.
+/// kernel — metric, requested `k` (the software-queue kernels specialize
+/// on `k`), queue implementation — *and* the same tenant, so per-batch
+/// QoS accounting (fairness charges, per-tenant fault storms) is exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BatchKey {
     /// Kernel family.
@@ -49,6 +58,8 @@ pub struct BatchKey {
     /// Whether the serving device uses the hardware priority queue
     /// (constant per server, carried for record-keeping).
     pub hw_queue: bool,
+    /// The tenant this request belongs to: batches are single-tenant.
+    pub tenant: TenantId,
 }
 
 /// Scheduling-relevant metadata of one queued request.
@@ -65,11 +76,12 @@ pub struct PendingMeta {
 /// What a worker should do next.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Action {
-    /// Execute these queue indices now: arrival order, one batch key,
-    /// at most `max_batch` of them.
+    /// Execute these queue indices now: arrival order, one batch key
+    /// (hence one tenant), at most `max_batch` of them. The caller must
+    /// charge the tenant's [`FairState`] for the flush.
     Flush(Vec<usize>),
     /// Nothing is ripe yet; wait at most this long for arrivals or for
-    /// the oldest batch's linger/deadline clock to run out.
+    /// some group's linger/deadline clock to run out.
     Wait(Duration),
     /// The queue holds no live requests.
     Idle,
@@ -90,55 +102,87 @@ pub struct Plan {
 /// Decides the next step for a worker looking at queue snapshot
 /// `pending` (arrival order) at time `now`. `drain` is the shutdown
 /// flag: a draining server flushes immediately rather than lingering.
+/// `qos` supplies tier/weight per tenant and `fair` the accumulated
+/// weighted-fair service that arbitrates between ripe tenants; the
+/// function is pure over all five inputs.
 pub fn plan(
     pending: &[PendingMeta],
     now: Instant,
     max_batch: usize,
     max_linger: Duration,
     drain: bool,
+    qos: &QosConfig,
+    fair: &FairState,
 ) -> Plan {
     let max_batch = max_batch.max(1);
     let mut expired = Vec::new();
-    let mut live: Vec<usize> = Vec::with_capacity(pending.len());
+    // Group live requests by key, groups ordered by first arrival,
+    // members in arrival order.
+    let mut groups: Vec<(BatchKey, Vec<usize>)> = Vec::new();
     for (i, p) in pending.iter().enumerate() {
         if p.deadline.is_some_and(|d| d <= now) {
             expired.push(i);
-        } else {
-            live.push(i);
+            continue;
+        }
+        match groups.iter_mut().find(|(k, _)| *k == p.key) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((p.key, vec![i])),
         }
     }
-    let Some(&first) = live.first() else {
+    if groups.is_empty() {
         return Plan {
             expired,
             action: Action::Idle,
         };
-    };
+    }
 
-    // The oldest live request anchors the batch; everything sharing its
-    // key (in arrival order, up to the size cap) rides along.
-    let key = pending[first].key;
-    let members: Vec<usize> = live
-        .iter()
-        .copied()
-        .filter(|&i| pending[i].key == key)
-        .take(max_batch)
-        .collect();
-
-    let linger_deadline = pending[first].enqueued + max_linger;
-    if members.len() >= max_batch || drain || now >= linger_deadline {
+    // Ripe groups compete; QoS picks the winner. The comparison key is a
+    // total order, so the same snapshot always yields the same decision.
+    let mut best: Option<(u8, f64, Instant, usize)> = None;
+    for (gi, (key, members)) in groups.iter().enumerate() {
+        let oldest = pending[members[0]].enqueued;
+        let ripe = members.len() >= max_batch || drain || now >= oldest + max_linger;
+        if !ripe {
+            continue;
+        }
+        let tenant_qos = qos.get(key.tenant);
+        let cand = (tenant_qos.tier, fair.service(key.tenant), oldest, gi);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                cand.0
+                    .cmp(&b.0)
+                    .then(cand.1.total_cmp(&b.1))
+                    .then(cand.2.cmp(&b.2))
+                    .then(cand.3.cmp(&b.3))
+                    == std::cmp::Ordering::Less
+            }
+        };
+        if better {
+            best = Some(cand);
+        }
+    }
+    if let Some((_, _, _, gi)) = best {
+        let members: Vec<usize> = groups[gi].1.iter().copied().take(max_batch).collect();
         return Plan {
             expired,
             action: Action::Flush(members),
         };
     }
 
-    // Sleep only until the decision could change: the linger clock of
-    // the anchored batch, or the soonest queued deadline (so expiring
+    // Sleep only until the decision could change: the soonest linger
+    // clock of any group, or the soonest queued deadline (so expiring
     // requests are rejected promptly instead of waiting out a flush).
-    let mut wake = linger_deadline;
-    for &i in &live {
-        if let Some(d) = pending[i].deadline {
-            wake = wake.min(d);
+    let mut wake = groups
+        .iter()
+        .map(|(_, members)| pending[members[0]].enqueued + max_linger)
+        .min()
+        .expect("at least one group");
+    for (_, members) in &groups {
+        for &i in members {
+            if let Some(d) = pending[i].deadline {
+                wake = wake.min(d);
+            }
         }
     }
     Plan {
@@ -150,12 +194,21 @@ pub fn plan(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qos::TenantQos;
 
     fn key(k: usize) -> BatchKey {
         BatchKey {
             metric: DeviceMetric::Euclidean,
             k,
             hw_queue: true,
+            tenant: TenantId::DEFAULT,
+        }
+    }
+
+    fn tenant_key(t: u32) -> BatchKey {
+        BatchKey {
+            tenant: TenantId(t),
+            ..key(5)
         }
     }
 
@@ -167,10 +220,28 @@ mod tests {
         }
     }
 
+    fn plan_flat(
+        pending: &[PendingMeta],
+        now: Instant,
+        max_batch: usize,
+        max_linger: Duration,
+        drain: bool,
+    ) -> Plan {
+        plan(
+            pending,
+            now,
+            max_batch,
+            max_linger,
+            drain,
+            &QosConfig::default(),
+            &FairState::default(),
+        )
+    }
+
     #[test]
     fn empty_queue_is_idle() {
         let now = Instant::now();
-        let p = plan(&[], now, 8, Duration::from_millis(1), false);
+        let p = plan_flat(&[], now, 8, Duration::from_millis(1), false);
         assert_eq!(p.expired, Vec::<usize>::new());
         assert_eq!(p.action, Action::Idle);
     }
@@ -180,7 +251,7 @@ mod tests {
         let t0 = Instant::now();
         let pending: Vec<PendingMeta> = (0..4).map(|_| meta(key(5), t0, None)).collect();
         // Linger far in the future: size alone must trigger.
-        let p = plan(&pending, t0, 4, Duration::from_secs(3600), false);
+        let p = plan_flat(&pending, t0, 4, Duration::from_secs(3600), false);
         assert_eq!(p.action, Action::Flush(vec![0, 1, 2, 3]));
     }
 
@@ -188,7 +259,7 @@ mod tests {
     fn oversize_queue_flushes_only_max_batch() {
         let t0 = Instant::now();
         let pending: Vec<PendingMeta> = (0..7).map(|_| meta(key(5), t0, None)).collect();
-        let p = plan(&pending, t0, 4, Duration::from_secs(3600), false);
+        let p = plan_flat(&pending, t0, 4, Duration::from_secs(3600), false);
         assert_eq!(p.action, Action::Flush(vec![0, 1, 2, 3]));
     }
 
@@ -198,10 +269,10 @@ mod tests {
         let linger = Duration::from_millis(2);
         let pending = vec![meta(key(5), t0, None), meta(key(5), t0, None)];
         // Before the linger bound: wait exactly the remainder.
-        let p = plan(&pending, t0 + Duration::from_millis(1), 8, linger, false);
+        let p = plan_flat(&pending, t0 + Duration::from_millis(1), 8, linger, false);
         assert_eq!(p.action, Action::Wait(Duration::from_millis(1)));
         // At the bound: flush whatever is there.
-        let p = plan(&pending, t0 + linger, 8, linger, false);
+        let p = plan_flat(&pending, t0 + linger, 8, linger, false);
         assert_eq!(p.action, Action::Flush(vec![0, 1]));
     }
 
@@ -209,7 +280,7 @@ mod tests {
     fn drain_flushes_without_lingering() {
         let t0 = Instant::now();
         let pending = vec![meta(key(5), t0, None)];
-        let p = plan(&pending, t0, 64, Duration::from_secs(3600), true);
+        let p = plan_flat(&pending, t0, 64, Duration::from_secs(3600), true);
         assert_eq!(p.action, Action::Flush(vec![0]));
     }
 
@@ -224,10 +295,28 @@ mod tests {
             meta(a, t0, None),
             meta(a, t0, None),
         ];
-        // The oldest request anchors key `a`; the key-`b` request is
-        // skipped (left for the next round), order preserved.
-        let p = plan(&pending, t0, 3, Duration::ZERO, false);
+        // Both groups are ripe (zero linger); the tie breaks to the
+        // earlier snapshot position, so key `a` anchors and the key-`b`
+        // request is left for the next round, order preserved.
+        let p = plan_flat(&pending, t0, 3, Duration::ZERO, false);
         assert_eq!(p.action, Action::Flush(vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn full_non_oldest_group_flushes_while_oldest_lingers() {
+        let t0 = Instant::now();
+        let linger = Duration::from_secs(10);
+        // One old key-5 request still inside its linger window; three
+        // key-9 requests already fill a batch. The full batch must not
+        // wait for the unrelated linger clock.
+        let pending = vec![
+            meta(key(5), t0, None),
+            meta(key(9), t0 + Duration::from_millis(1), None),
+            meta(key(9), t0 + Duration::from_millis(1), None),
+            meta(key(9), t0 + Duration::from_millis(1), None),
+        ];
+        let p = plan_flat(&pending, t0 + Duration::from_millis(2), 3, linger, false);
+        assert_eq!(p.action, Action::Flush(vec![1, 2, 3]));
     }
 
     #[test]
@@ -239,7 +328,7 @@ mod tests {
             meta(key(5), t0, None),
             meta(key(5), t0, Some(now)), // deadline == now counts as expired
         ];
-        let p = plan(&pending, now, 8, Duration::ZERO, false);
+        let p = plan_flat(&pending, now, 8, Duration::ZERO, false);
         assert_eq!(p.expired, vec![0, 2]);
         // Linger already elapsed for the survivor.
         assert_eq!(p.action, Action::Flush(vec![1]));
@@ -253,7 +342,7 @@ mod tests {
             meta(key(5), t0, Some(t0 + Duration::from_millis(1))),
             meta(key(9), t0, Some(t0 + Duration::from_millis(2))),
         ];
-        let p = plan(&pending, now, 8, Duration::from_secs(3600), false);
+        let p = plan_flat(&pending, now, 8, Duration::from_secs(3600), false);
         assert_eq!(p.expired, vec![0, 1]);
         assert_eq!(p.action, Action::Idle);
     }
@@ -266,15 +355,15 @@ mod tests {
         // bound: the worker must wake at the deadline to reject it, not
         // sleep out the full linger (the "stalled batch" failure mode).
         let pending = vec![meta(key(5), t0, Some(t0 + Duration::from_millis(3)))];
-        let p = plan(&pending, t0, 8, linger, false);
+        let p = plan_flat(&pending, t0, 8, linger, false);
         assert_eq!(p.action, Action::Wait(Duration::from_millis(3)));
         // Deadlines of *other* keys bound the wait too: they are culled
-        // promptly even though they are not in the anchored batch.
+        // promptly even though they are not in the winning batch.
         let pending = vec![
             meta(key(5), t0, None),
             meta(key(9), t0, Some(t0 + Duration::from_millis(2))),
         ];
-        let p = plan(&pending, t0, 8, linger, false);
+        let p = plan_flat(&pending, t0, 8, linger, false);
         assert_eq!(p.action, Action::Wait(Duration::from_millis(2)));
     }
 
@@ -282,7 +371,114 @@ mod tests {
     fn zero_max_batch_is_clamped_to_one() {
         let t0 = Instant::now();
         let pending = vec![meta(key(5), t0, None)];
-        let p = plan(&pending, t0, 0, Duration::from_secs(3600), false);
+        let p = plan_flat(&pending, t0, 0, Duration::from_secs(3600), false);
         assert_eq!(p.action, Action::Flush(vec![0]));
+    }
+
+    #[test]
+    fn tenants_never_share_a_batch() {
+        let t0 = Instant::now();
+        let pending = vec![
+            meta(tenant_key(1), t0, None),
+            meta(tenant_key(2), t0, None),
+            meta(tenant_key(1), t0, None),
+        ];
+        let p = plan_flat(&pending, t0, 8, Duration::ZERO, false);
+        // Same metric/k/queue, different tenants: only tenant 1's
+        // requests flush together.
+        assert_eq!(p.action, Action::Flush(vec![0, 2]));
+    }
+
+    #[test]
+    fn higher_priority_tier_preempts_ripe_lower_tier() {
+        let t0 = Instant::now();
+        let qos = QosConfig::default()
+            .with_tenant(
+                TenantId(1),
+                TenantQos {
+                    tier: 2,
+                    ..TenantQos::default()
+                },
+            )
+            .with_tenant(
+                TenantId(2),
+                TenantQos {
+                    tier: 0,
+                    ..TenantQos::default()
+                },
+            );
+        // Tenant 1 arrived first and is ripe, but tenant 2 sits in a
+        // strictly higher tier: tier wins over arrival order.
+        let pending = vec![
+            meta(tenant_key(1), t0, None),
+            meta(tenant_key(2), t0 + Duration::from_micros(1), None),
+        ];
+        let p = plan(
+            &pending,
+            t0 + Duration::from_millis(1),
+            8,
+            Duration::ZERO,
+            false,
+            &qos,
+            &FairState::default(),
+        );
+        assert_eq!(p.action, Action::Flush(vec![1]));
+    }
+
+    #[test]
+    fn least_served_tenant_wins_within_a_tier() {
+        let t0 = Instant::now();
+        let qos = QosConfig::default();
+        let mut fair = FairState::default();
+        // Tenant 1 has already been served heavily; tenant 2 not at all.
+        fair.charge(TenantId(1), 16, 1.0);
+        let pending = vec![
+            meta(tenant_key(1), t0, None),
+            meta(tenant_key(2), t0 + Duration::from_micros(1), None),
+        ];
+        let p = plan(
+            &pending,
+            t0 + Duration::from_millis(1),
+            8,
+            Duration::ZERO,
+            false,
+            &qos,
+            &fair,
+        );
+        assert_eq!(p.action, Action::Flush(vec![1]));
+        // With service evened out, arrival order decides again.
+        fair.charge(TenantId(2), 16, 1.0);
+        let p = plan(
+            &pending,
+            t0 + Duration::from_millis(1),
+            8,
+            Duration::ZERO,
+            false,
+            &qos,
+            &fair,
+        );
+        assert_eq!(p.action, Action::Flush(vec![0]));
+    }
+
+    #[test]
+    fn weights_scale_fair_service_charges() {
+        // Weight enters through FairState::charge: a weight-4 tenant is
+        // charged a quarter of the service per request, so after equal
+        // batches it still wins selection.
+        let mut fair = FairState::default();
+        fair.charge(TenantId(1), 8, 1.0);
+        fair.charge(TenantId(2), 8, 4.0);
+        let t0 = Instant::now();
+        let pending = vec![meta(tenant_key(1), t0, None), meta(tenant_key(2), t0, None)];
+        let p = plan(
+            &pending,
+            t0,
+            8,
+            Duration::ZERO,
+            false,
+            &QosConfig::default(),
+            &fair,
+        );
+        assert_eq!(p.action, Action::Flush(vec![1]));
     }
 }

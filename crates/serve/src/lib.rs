@@ -39,6 +39,19 @@
 //!   requests with [`ServeError::WorkerPanicked`], discards its possibly
 //!   inconsistent device clone for a pristine one, and keeps serving —
 //!   the queue is never wedged.
+//! * **Multi-tenant QoS** — requests carry a [`TenantId`]
+//!   ([`Request::with_tenant`]); [`ServeConfig::qos`] assigns each
+//!   tenant an admission rate (deterministic token bucket →
+//!   [`ServeError::RateLimited`]), a strict priority tier, a
+//!   weighted-fair share arbitrating ripe batches within a tier, and
+//!   per-tenant coverage/deadline SLOs. The tenant is part of the
+//!   batcher's compatibility key, so device batches never mix tenants
+//!   and one tenant's burst or fault storm cannot ride in another's
+//!   batch (see [`qos`] for the fairness invariants).
+//! * **Network boundary** — [`net::NetServer`] exposes a server over a
+//!   std-only length-prefixed TCP frame protocol with a blocking
+//!   [`net::NetClient`], typed wire encodings for every [`ServeError`]
+//!   variant, and graceful connection drain on shutdown.
 //!
 //! Every served batch still flows through the device's self-checking
 //! telemetry: attach a [`ssam_core::telemetry::Telemetry`] sink to the
@@ -70,8 +83,12 @@
 #![warn(missing_docs)]
 
 pub mod batcher;
+pub mod net;
+pub mod qos;
 
-use std::collections::VecDeque;
+pub use qos::{QosConfig, TenantId, TenantQos};
+
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -84,6 +101,7 @@ use ssam_faults::FaultPlan;
 use ssam_knn::topk::Neighbor;
 
 use crate::batcher::{plan, Action, BatchKey, PendingMeta};
+use crate::qos::{FairState, TokenBucket};
 
 /// Fault-injection and fault-tolerance configuration for the serving
 /// runtime. [`ServeFaults::default`] injects nothing and degrades
@@ -104,8 +122,15 @@ pub struct ServeFaults {
     /// plan's `serve_retry_budget`, then surfaced as
     /// [`ServeError::Degraded`]. With the default `1.0`, any lost vault
     /// triggers the retry/degrade path; without a plan coverage is
-    /// always `1.0` and this never fires.
+    /// always `1.0` and this never fires. Per-tenant
+    /// [`TenantQos::min_coverage`] overrides this for that tenant.
     pub min_coverage: f64,
+    /// When set, the fault plan is applied only to batches belonging to
+    /// these tenants — a *fault storm confined to a tenant*. Batches are
+    /// single-tenant (the tenant is part of the batch key), so the
+    /// confinement is exact: other tenants' executions run fault-free.
+    /// `None` (default) applies the plan to every tenant.
+    pub storm_tenants: Option<Vec<TenantId>>,
 }
 
 impl Default for ServeFaults {
@@ -114,6 +139,7 @@ impl Default for ServeFaults {
             plan: None,
             panic_on_batch: None,
             min_coverage: 1.0,
+            storm_tenants: None,
         }
     }
 }
@@ -140,6 +166,10 @@ pub struct ServeConfig {
     pub default_timeout: Option<Duration>,
     /// Fault injection and tolerance knobs.
     pub faults: ServeFaults,
+    /// Per-tenant admission and scheduling policy. The default governs
+    /// every tenant with the default [`TenantQos`] — no rate limits, one
+    /// tier, equal weights — making QoS invisible to single-tenant use.
+    pub qos: QosConfig,
     /// Thin back-compat wrapper for [`ServeFaults::panic_on_batch`]
     /// (the hook's original home). [`ServeFaults::panic_on_batch`] wins
     /// when both are set; prefer it in new code.
@@ -156,6 +186,7 @@ impl Default for ServeConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             default_timeout: None,
             faults: ServeFaults::default(),
+            qos: QosConfig::default(),
             panic_on_batch: None,
         }
     }
@@ -233,16 +264,22 @@ pub struct Request {
     /// expires before the request is staged into a device batch, the
     /// request completes with [`ServeError::DeadlineExceeded`].
     pub timeout: Option<Duration>,
+    /// The tenant this request belongs to, for admission (token
+    /// buckets), scheduling (tiers + weighted-fair dequeue), and SLOs.
+    /// Defaults to [`TenantId::DEFAULT`].
+    pub tenant: TenantId,
 }
 
 impl Request {
     /// A request with no per-request deadline (the server's
-    /// [`ServeConfig::default_timeout`] still applies, if set).
+    /// [`ServeConfig::default_timeout`] still applies, if set) under the
+    /// default tenant.
     pub fn new(query: OwnedQuery, k: usize) -> Self {
         Self {
             query,
             k,
             timeout: None,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -250,6 +287,13 @@ impl Request {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attributes the request to a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -263,6 +307,14 @@ pub enum ServeError {
     Overloaded {
         /// The configured queue capacity that was exceeded.
         capacity: usize,
+    },
+    /// The tenant's token bucket is empty: the tenant exceeded its
+    /// configured admission rate ([`TenantQos::rate`]). Unlike
+    /// [`ServeError::Overloaded`] this is per-tenant — other tenants'
+    /// queue capacity is unaffected.
+    RateLimited {
+        /// The throttled tenant.
+        tenant: TenantId,
     },
     /// The request's deadline passed before it could be staged.
     DeadlineExceeded {
@@ -297,6 +349,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Overloaded { capacity } => {
                 write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::RateLimited { tenant } => {
+                write!(f, "{tenant} exceeded its admission rate")
             }
             ServeError::DeadlineExceeded { missed_by } => {
                 write!(f, "deadline exceeded (missed by {missed_by:?})")
@@ -379,6 +434,9 @@ pub struct ServerStats {
     pub served: u64,
     /// Submissions rejected by backpressure ([`ServeError::Overloaded`]).
     pub rejected_overload: u64,
+    /// Submissions rejected by per-tenant token buckets
+    /// ([`ServeError::RateLimited`]).
+    pub rejected_rate_limited: u64,
     /// Queued requests rejected on deadline expiry.
     pub rejected_deadline: u64,
     /// Requests completed with [`ServeError::Device`] or
@@ -424,6 +482,9 @@ struct Pending {
     key: BatchKey,
     enqueued: Instant,
     deadline: Option<Instant>,
+    /// Coverage SLO resolved at admission: the tenant's
+    /// [`TenantQos::min_coverage`], else [`ServeFaults::min_coverage`].
+    min_coverage: f64,
     /// Times this request was re-enqueued after an under-coverage
     /// response (bounded by the plan's `serve_retry_budget`).
     degraded_retries: u32,
@@ -449,6 +510,10 @@ struct QueueState {
     open: bool,
     /// Batches handed to workers so far (drives test fault injection).
     batches_started: u64,
+    /// Per-tenant admission token buckets, created full on first use.
+    buckets: HashMap<TenantId, TokenBucket>,
+    /// Weighted-fair virtual service, charged per flushed batch.
+    fair: FairState,
     stats: ServerStats,
 }
 
@@ -487,6 +552,15 @@ enum Engine {
 }
 
 impl Engine {
+    /// Attaches or clears the fault plan on the live backend — the
+    /// per-batch switch behind [`ServeFaults::storm_tenants`].
+    fn set_fault_plan(&mut self, plan: Option<Arc<FaultPlan>>) {
+        match self {
+            Engine::Device { live, .. } => live.set_fault_plan(plan),
+            Engine::Cluster { live, .. } => live.set_fault_plan(plan),
+        }
+    }
+
     fn recover(&mut self) {
         match self {
             Engine::Device {
@@ -627,6 +701,8 @@ impl Server {
                 pending: VecDeque::new(),
                 open: true,
                 batches_started: 0,
+                buckets: HashMap::new(),
+                fair: FairState::default(),
                 stats: ServerStats::default(),
             }),
             wake: Condvar::new(),
@@ -733,18 +809,27 @@ impl ServerHandle {
         }
 
         let now = Instant::now();
-        let timeout = req.timeout.or(self.shared.config.default_timeout);
+        let tenant_qos = self.shared.config.qos.get(req.tenant);
+        let timeout = req
+            .timeout
+            .or(tenant_qos.default_timeout)
+            .or(self.shared.config.default_timeout);
+        let min_coverage = tenant_qos
+            .min_coverage
+            .unwrap_or(self.shared.config.faults.min_coverage);
         let (tx, rx) = mpsc::channel();
         let pending = Pending {
             key: BatchKey {
                 metric: req.query.metric(),
                 k: req.k,
                 hw_queue: shape.hw_queue,
+                tenant: req.tenant,
             },
             query: req.query,
             k: req.k,
             enqueued: now,
             deadline: timeout.map(|t| now + t),
+            min_coverage,
             degraded_retries: 0,
             panic_retries: 0,
             tx,
@@ -754,6 +839,16 @@ impl ServerHandle {
             let mut st = self.shared.state.lock().expect("serve queue lock");
             if !st.open {
                 return Err(ServeError::ShuttingDown);
+            }
+            if tenant_qos.rate.is_some() {
+                let bucket = st
+                    .buckets
+                    .entry(req.tenant)
+                    .or_insert_with(|| TokenBucket::new(tenant_qos, now));
+                if !bucket.try_admit(tenant_qos, now) {
+                    st.stats.rejected_rate_limited += 1;
+                    return Err(ServeError::RateLimited { tenant: req.tenant });
+                }
             }
             if st.pending.len() >= self.shared.config.queue_capacity {
                 st.stats.rejected_overload += 1;
@@ -817,7 +912,15 @@ fn worker_loop(shared: &Shared, engine: &mut Engine) {
                 let now = Instant::now();
                 let metas: Vec<PendingMeta> = st.pending.iter().map(Pending::meta).collect();
                 let drain = !st.open;
-                let p = plan(&metas, now, cfg.max_batch, cfg.max_linger, drain);
+                let p = plan(
+                    &metas,
+                    now,
+                    cfg.max_batch,
+                    cfg.max_linger,
+                    drain,
+                    &cfg.qos,
+                    &st.fair,
+                );
 
                 // Deadline-expired requests are rejected before staging;
                 // indices are then stale, so re-plan.
@@ -836,6 +939,9 @@ fn worker_loop(shared: &Shared, engine: &mut Engine) {
                 match p.action {
                     Action::Flush(idx) => {
                         let batch = take_indices(&mut st.pending, &idx);
+                        let tenant = batch[0].key.tenant;
+                        st.fair
+                            .charge(tenant, batch.len(), cfg.qos.get(tenant).weight);
                         let seq = st.batches_started;
                         st.batches_started += 1;
                         if !st.pending.is_empty() {
@@ -872,6 +978,17 @@ fn worker_loop(shared: &Shared, engine: &mut Engine) {
 fn execute_batch(shared: &Shared, engine: &mut Engine, batch: Vec<Pending>, seq: u64) {
     let k = batch[0].k;
     let n = batch.len();
+    // Fault storms confined to specific tenants: batches are
+    // single-tenant, so toggling the plan per batch confines injection
+    // exactly. (Recovery re-clones the template, which carries the plan,
+    // so the toggle is re-applied every batch.)
+    if let (Some(storm), Some(plan)) = (
+        &shared.config.faults.storm_tenants,
+        &shared.config.faults.plan,
+    ) {
+        let stormy = storm.contains(&batch[0].key.tenant);
+        engine.set_fault_plan(stormy.then(|| Arc::clone(plan)));
+    }
     let formed = Instant::now();
     let inject = shared.config.effective_panic_on_batch() == Some(seq);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -882,14 +999,13 @@ fn execute_batch(shared: &Shared, engine: &mut Engine, batch: Vec<Pending>, seq:
 
     match outcome {
         Ok(Ok(results)) => {
-            let min_coverage = shared.config.faults.min_coverage;
             let budget = shared.config.degraded_retry_budget();
             let mut served = 0u64;
             let mut degraded = 0u64;
             let mut retry: Vec<Pending> = Vec::new();
             let mut complete: Vec<(Pending, Result<Response, ServeError>)> = Vec::new();
             for (mut p, (neighbors, account, coverage)) in batch.into_iter().zip(results) {
-                if coverage < min_coverage {
+                if coverage < p.min_coverage {
                     if p.degraded_retries < budget {
                         // Under-covered: spend retry budget. A fresh
                         // execution samples fresh (still deterministic)

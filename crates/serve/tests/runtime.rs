@@ -539,6 +539,145 @@ fn degraded_coverage_surfaces_after_retry_budget() {
 }
 
 #[test]
+fn rate_limited_tenant_bounces_without_occupying_the_queue() {
+    use ssam_serve::{QosConfig, TenantId, TenantQos};
+    let tenant = TenantId(5);
+    let server = Server::start(
+        float_device(48, 27),
+        ServeConfig {
+            qos: QosConfig::default().with_tenant(
+                tenant,
+                TenantQos {
+                    rate: Some(0.001),
+                    burst: 2.0,
+                    ..TenantQos::default()
+                },
+            ),
+            ..slow_config()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 67u64;
+    // The bucket starts full: exactly `burst` admissions, then typed
+    // rejection naming the tenant — while an unlimited tenant admits
+    // freely throughout.
+    let mut tickets = Vec::new();
+    for _ in 0..2 {
+        tickets.push(
+            handle
+                .submit(
+                    Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4).with_tenant(tenant),
+                )
+                .expect("burst admits"),
+        );
+    }
+    let err = handle
+        .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4).with_tenant(tenant))
+        .expect_err("bucket empty");
+    assert_eq!(err, ServeError::RateLimited { tenant });
+    tickets.push(
+        handle
+            .submit(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+            .expect("unlimited tenant admits"),
+    );
+    let stats = server.shutdown();
+    for t in tickets {
+        t.wait().expect("admitted requests drain");
+    }
+    assert_eq!(stats.rejected_rate_limited, 1);
+    assert_eq!(stats.served, 3);
+}
+
+#[test]
+fn per_tenant_default_timeout_overrides_server_default() {
+    use ssam_serve::{QosConfig, TenantId, TenantQos};
+    let strict = TenantId(6);
+    let server = Server::start(
+        float_device(48, 28),
+        ServeConfig {
+            default_timeout: Some(Duration::from_secs(3600)),
+            qos: QosConfig::default().with_tenant(
+                strict,
+                TenantQos {
+                    default_timeout: Some(Duration::from_millis(40)),
+                    ..TenantQos::default()
+                },
+            ),
+            ..slow_config()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 71u64;
+    // The strict tenant's 40 ms budget beats the hour-long server
+    // default; inside the hour-long linger only a deadline can end the
+    // wait, so a prompt DeadlineExceeded proves the tenant SLO applied.
+    let started = Instant::now();
+    let err = handle
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4).with_tenant(strict))
+        .expect_err("tenant deadline must fire");
+    assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+    assert!(started.elapsed() < Duration::from_secs(60));
+    // An explicit request timeout still wins over the tenant default.
+    let started = Instant::now();
+    let err = handle
+        .query(
+            Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4)
+                .with_tenant(strict)
+                .with_timeout(Duration::from_millis(5)),
+        )
+        .expect_err("request deadline must fire");
+    assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+    assert!(started.elapsed() < Duration::from_secs(1));
+    server.shutdown();
+}
+
+#[test]
+fn per_tenant_min_coverage_relaxes_the_global_slo() {
+    use ssam_faults::FaultPlan;
+    use ssam_serve::{QosConfig, ServeFaults, TenantId, TenantQos};
+    use std::sync::Arc;
+    // Global SLO demands full coverage; the tolerant tenant opts down to
+    // 0.5. Under a dead vault the tolerant tenant serves with honest
+    // partial coverage while a default tenant degrades.
+    let tolerant = TenantId(7);
+    let plan = FaultPlan::parse("dead_vaults=0").expect("valid spec");
+    let server = Server::start(
+        float_device(256, 21),
+        ServeConfig {
+            max_batch: 1,
+            max_linger: Duration::from_millis(1),
+            workers: 1,
+            faults: ServeFaults {
+                plan: Some(Arc::new(plan)),
+                min_coverage: 1.0,
+                ..ServeFaults::default()
+            },
+            qos: QosConfig::default().with_tenant(
+                tolerant,
+                TenantQos {
+                    min_coverage: Some(0.5),
+                    ..TenantQos::default()
+                },
+            ),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let mut x = 73u64;
+    let resp = handle
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4).with_tenant(tolerant))
+        .expect("tolerant tenant accepts partial coverage");
+    assert!(resp.coverage >= 0.5 && resp.coverage < 1.0);
+    let err = handle
+        .query(Request::new(OwnedQuery::Euclidean(float_vec(&mut x)), 4))
+        .expect_err("default tenant keeps the strict SLO");
+    assert!(matches!(err, ServeError::Degraded { .. }), "{err}");
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.degraded, 1);
+}
+
+#[test]
 fn relaxed_min_coverage_serves_with_honest_coverage() {
     use ssam_faults::FaultPlan;
     use ssam_serve::ServeFaults;

@@ -131,6 +131,91 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Multi-tenant traffic: tenants shape *scheduling* (tenant-keyed
+    /// batches, weighted-fair dequeue, priority tiers) but must never
+    /// shape *results* — every request's neighbors stay bit-identical
+    /// to the same query run serially, regardless of which tenant sent
+    /// it or what QoS policy governed it.
+    #[test]
+    fn multi_tenant_serving_matches_serial_per_tenant_queries(
+        seed in 1u64..1000,
+        tenants in 2usize..4,
+        per_tenant in 1usize..4,
+        max_batch in 1usize..6,
+        workers in 1usize..3,
+    ) {
+        use ssam::serve::{QosConfig, TenantId, TenantQos};
+        let k = 7usize;
+        let mut reference = float_device(false, seed, 120);
+        // Distinct weights and tiers per tenant so QoS actually
+        // arbitrates; no rate limits (admission must not drop requests).
+        let qos = (0..tenants).fold(QosConfig::default(), |cfg, t| {
+            cfg.with_tenant(
+                TenantId(t as u32),
+                TenantQos {
+                    weight: 1.0 + t as f64,
+                    tier: (t % 2) as u8,
+                    ..TenantQos::default()
+                },
+            )
+        });
+        let server = Arc::new(Server::start(
+            float_device(false, seed, 120),
+            ServeConfig {
+                max_batch,
+                max_linger: Duration::from_millis(2),
+                workers,
+                qos,
+                ..ServeConfig::default()
+            },
+        ));
+        let joins: Vec<_> = (0..tenants)
+            .map(|t| {
+                let handle = server.handle();
+                std::thread::spawn(move || {
+                    (0..per_tenant)
+                        .map(|i| {
+                            let idx = t * 100 + i;
+                            let resp = handle
+                                .query(
+                                    Request::new(make_query(seed, idx), k)
+                                        .with_tenant(TenantId(t as u32)),
+                                )
+                                .expect("request served");
+                            (idx, resp)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut served = Vec::new();
+        for j in joins {
+            served.extend(j.join().expect("tenant thread"));
+        }
+        prop_assert_eq!(served.len(), tenants * per_tenant);
+        for (idx, resp) in served {
+            let owned = make_query(seed, idx);
+            let serial = reference
+                .query(&owned.as_device_query(), k)
+                .expect("serial query");
+            prop_assert_eq!(
+                &resp.neighbors,
+                &serial.neighbors,
+                "tenant {} query {} diverged from serial",
+                idx / 100,
+                idx
+            );
+        }
+        let stats = Arc::into_inner(server).expect("sole owner").shutdown();
+        prop_assert_eq!(stats.served, (tenants * per_tenant) as u64);
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(stats.rejected_rate_limited, 0);
+    }
+}
+
 /// Hamming serving against a binary payload, concurrent clients.
 #[test]
 fn concurrent_hamming_serving_matches_serial() {
