@@ -88,6 +88,8 @@ struct Args {
     timeout: Option<Duration>,
     tenants: Option<String>,
     min_jain: Option<f64>,
+    mutate: Option<String>,
+    memtable: Option<usize>,
     faults: Option<String>,
     json: String,
     telemetry: Option<String>,
@@ -109,6 +111,8 @@ fn parse_args() -> Args {
         timeout: None,
         tenants: None,
         min_jain: None,
+        mutate: None,
+        memtable: None,
         faults: None,
         json: "BENCH_serve.json".to_string(),
         telemetry: None,
@@ -154,6 +158,10 @@ fn parse_args() -> Args {
             "--min-jain" => {
                 a.min_jain = Some(take(&mut i, "--min-jain").parse().expect("float"));
             }
+            "--mutate" => a.mutate = Some(take(&mut i, "--mutate")),
+            "--memtable" => {
+                a.memtable = Some(take(&mut i, "--memtable").parse().expect("integer"));
+            }
             "--faults" => a.faults = Some(take(&mut i, "--faults")),
             "--json" => a.json = take(&mut i, "--json"),
             "--telemetry" => a.telemetry = Some(take(&mut i, "--telemetry")),
@@ -175,7 +183,13 @@ fn parse_args() -> Args {
                      \x20  loop as a multi-tenant QoS harness (storm confines --faults to\n\
                      \x20  that tenant)\n\
                      \x20  --min-jain fails the run if Jain fairness over per-tenant\n\
-                     \x20  demand-met falls below F (CI gate; needs >= 2 tenants)"
+                     \x20  demand-met falls below F (CI gate; needs >= 2 tenants)\n\
+                     \x20  --mutate insert=F,delete=F runs an open-loop mixed read/write\n\
+                     \x20  workload against a mutable ssam-store backend instead of the\n\
+                     \x20  read-only sweeps: fractions are per-arrival probabilities (the\n\
+                     \x20  rest are reads), writes churn uids in [0, 2n), and the report\n\
+                     \x20  gains write tails, compaction stall time, and read-during-\n\
+                     \x20  compaction tails (--memtable N overrides the seal threshold)"
                 );
                 std::process::exit(0);
             }
@@ -669,7 +683,390 @@ fn device_share_seconds(resp: &ssam_serve::Response) -> f64 {
     match &resp.account {
         ssam_serve::DeviceAccount::Device { batch, .. } => batch.seconds_per_query,
         ssam_serve::DeviceAccount::Cluster(t) => t.seconds,
+        ssam_serve::DeviceAccount::Store { seconds, .. } => *seconds,
     }
+}
+
+/// Mixed read/write workload mix, parsed from `--mutate`. Fractions are
+/// per-arrival probabilities; everything left over is a read.
+struct MutateSpec {
+    insert: f64,
+    delete: f64,
+}
+
+/// Parses `insert=F,delete=F` (either key may be omitted; defaults are a
+/// 20% insert / 5% delete mix).
+fn parse_mutate_spec(s: &str) -> MutateSpec {
+    let mut m = MutateSpec {
+        insert: 0.2,
+        delete: 0.05,
+    };
+    for kv in s.split(',') {
+        let kv = kv.trim();
+        if kv.is_empty() {
+            continue;
+        }
+        match kv.split_once('=') {
+            Some(("insert", v)) => m.insert = v.parse().expect("insert=F"),
+            Some(("delete", v)) => m.delete = v.parse().expect("delete=F"),
+            _ => panic!("unknown mutate key `{kv}` (want insert=F,delete=F)"),
+        }
+    }
+    assert!(
+        m.insert >= 0.0 && m.delete >= 0.0 && m.insert + m.delete <= 1.0,
+        "mutate fractions must be non-negative and sum to at most 1"
+    );
+    m
+}
+
+fn lock_store(
+    store: &std::sync::Mutex<ssam_store::Store>,
+) -> std::sync::MutexGuard<'_, ssam_store::Store> {
+    store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn percentile_of(samples: &[f64], q: f64) -> f64 {
+    tail_percentile(samples, &[], q)
+}
+
+/// JSON-safe percentile: the serializer rejects non-finite floats, so an
+/// empty sample set reports 0.0 (its count field disambiguates).
+fn percentile_json(samples: &[f64], q: f64) -> Value {
+    let p = percentile_of(samples, q);
+    json::number_f64(if p.is_finite() { p } else { 0.0 })
+}
+
+/// The `--mutate` harness: an open-loop Poisson stream where each
+/// arrival is an insert, a delete, or a read, against a mutable
+/// [`ssam_store::Store`] behind the serving runtime (so reads batch
+/// through the normal path and compaction runs on the maintenance
+/// thread, sharing the store lock with every query and write).
+///
+/// Reported: write tails (inserts and deletes block on the store lock,
+/// so a write landing mid-compaction eats the stall — the write p99 *is*
+/// the user-visible compaction cost), total/worst compaction stall, and
+/// read tails split into all reads vs reads that overlapped a compaction
+/// (classified by the store's compaction counter moving between a read's
+/// submission and completion).
+fn run_mutate(args: &Args, spec: &MutateSpec) {
+    use ssam_store::{Store, StoreConfig};
+
+    let ds = PaperDataset::GloVe.scaled_spec(args.scale);
+    let bench = ssam_datasets::Benchmark::from_spec(ds);
+    let k = args.k.unwrap_or_else(|| bench.k());
+    let dims = bench.train.dims();
+    let n = bench.train.len();
+    let queries = bench.queries;
+    let nq = queries.len() as u32;
+    let sink = Telemetry::new();
+
+    let mut store_config = StoreConfig::new(dims);
+    store_config.device = SsamConfig {
+        vector_length: 4,
+        optimize_kernels: !args.no_opt,
+        fast_path: args.fast_path,
+        ..SsamConfig::default()
+    };
+    // Small enough that a few seconds of writes seal repeatedly, big
+    // enough that the memtable amortizes device staging.
+    store_config.memtable_capacity = args.memtable.unwrap_or((n / 8).max(64));
+    store_config.fanout = 4;
+    let memtable_capacity = store_config.memtable_capacity;
+
+    let mut store = Store::create(store_config);
+    store.attach_telemetry(&sink);
+    for i in 0..n as u32 {
+        store
+            .insert(i, queries_or_train(&bench.train, i))
+            .expect("initial load");
+    }
+    // Drain load-time compaction debt so the measured window starts from
+    // a settled tree.
+    while store.compact_step() {}
+
+    let fault_plan = args.faults.as_deref().map(|fs| {
+        Arc::new(FaultPlan::parse(fs).unwrap_or_else(|e| panic!("bad --faults spec: {e}")))
+    });
+    let serve_config = ServeConfig {
+        max_batch: args.max_batch,
+        max_linger: args.linger,
+        workers: args.workers,
+        faults: ServeFaults {
+            plan: fault_plan.clone(),
+            min_coverage: 0.0,
+            ..ServeFaults::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::start_store(store, serve_config));
+    let handle = server.handle();
+    let store = server.store().expect("store backend");
+    let base = lock_store(&store).stats();
+
+    let rate = args.rate.unwrap_or(500.0).max(1.0);
+    println!(
+        "serve-load --mutate: {} initial vectors ({dims}-d), k={k}, \
+         memtable {memtable_capacity}, fanout 4, {} q/s offered \
+         (insert {:.0}%, delete {:.0}%, read {:.0}%), executor={}",
+        n,
+        fmt(rate),
+        spec.insert * 100.0,
+        spec.delete * 100.0,
+        (1.0 - spec.insert - spec.delete) * 100.0,
+        if args.fast_path {
+            "analytic fast path"
+        } else {
+            "cycle simulator"
+        }
+    );
+
+    // Waiter thread: drains read tickets as they resolve, classifying
+    // each read by whether the compaction counter moved while it was in
+    // flight.
+    let (tx, rx) = mpsc::channel::<(ssam_serve::Ticket, u64)>();
+    let store_w = Arc::clone(&store);
+    let waiter = std::thread::spawn(move || {
+        let mut read_ms = Vec::new();
+        let mut during_ms = Vec::new();
+        let mut dev = 0.0f64;
+        let mut expired = 0u64;
+        let mut degraded = 0u64;
+        for (ticket, c0) in rx {
+            match ticket.wait() {
+                Ok(r) => {
+                    let ms = (r.queue_seconds + r.service_seconds) * 1e3;
+                    dev += device_share_seconds(&r);
+                    let c1 = lock_store(&store_w).stats().compactions;
+                    if c1 != c0 {
+                        during_ms.push(ms);
+                    }
+                    read_ms.push(ms);
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => expired += 1,
+                Err(ServeError::Degraded { .. }) => degraded += 1,
+                Err(e) => panic!("mutate read failed: {e}"),
+            }
+        }
+        (read_ms, during_ms, dev, expired, degraded)
+    });
+
+    // One merged Poisson stream; each arrival draws its op kind. Writes
+    // churn uids over [0, 2n) so the live set both grows (fresh uids)
+    // and turns over (overwrites + deletes of resident uids).
+    let churn_uids = (2 * n.max(1)) as u32;
+    let mut rng = StdRng::seed_from_u64(0x5e7e_a11d);
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs_f64(args.seconds);
+    let cpu0 = process_cpu_seconds();
+    let mut next = t0;
+    let mut cursor = 0u64;
+    let mut arrivals = 0u64;
+    let mut reads = 0u64;
+    let mut rejected = 0u64;
+    let mut insert_ms = Vec::new();
+    let mut delete_ms = Vec::new();
+    loop {
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        next += Duration::from_secs_f64((-u.ln() / rate).min(1.0));
+        if next >= deadline {
+            break;
+        }
+        pace_until(next);
+        arrivals += 1;
+        let op: f64 = rng.random_range(0.0..1.0);
+        if op < spec.insert {
+            let uid = rng.random_range(0..churn_uids);
+            let v = queries.get(query_index(cursor, nq)).to_vec();
+            cursor += 1;
+            let w0 = Instant::now();
+            handle.insert(uid, &v).expect("mutate insert");
+            insert_ms.push(w0.elapsed().as_secs_f64() * 1e3);
+        } else if op < spec.insert + spec.delete {
+            let uid = rng.random_range(0..churn_uids);
+            let w0 = Instant::now();
+            handle.delete(uid).expect("mutate delete");
+            delete_ms.push(w0.elapsed().as_secs_f64() * 1e3);
+        } else {
+            let q = queries.get(query_index(cursor, nq)).to_vec();
+            cursor += 1;
+            let c0 = lock_store(&store).stats().compactions;
+            let mut req = Request::new(OwnedQuery::Euclidean(q), k);
+            if let Some(t) = args.timeout {
+                req = req.with_timeout(t);
+            }
+            match handle.submit(req) {
+                Ok(ticket) => {
+                    tx.send((ticket, c0)).expect("waiter alive");
+                    reads += 1;
+                }
+                Err(ServeError::Overloaded { .. }) => rejected += 1,
+                Err(e) => panic!("mutate read submission failed: {e}"),
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    drop(tx);
+    let (read_ms, during_ms, device_seconds, expired, degraded) =
+        waiter.join().expect("waiter thread");
+    let cpu_seconds = process_cpu_seconds().zip(cpu0).map(|(a, b)| a - b);
+
+    // Post-run store accounting: post one verified account record, then
+    // read the raw stats for the report. Violations fail the run below.
+    let (stats, account) = {
+        let st = lock_store(&store);
+        st.record_account("serve_load_mutate");
+        (st.stats(), st.account("serve_load_mutate"))
+    };
+    let write_ms: Vec<f64> = insert_ms.iter().chain(&delete_ms).copied().collect();
+    let stall = stats.compact_seconds - base.compact_seconds;
+    let seal_stall = stats.seal_seconds - base.seal_seconds;
+    let writes = insert_ms.len() + delete_ms.len();
+
+    println!(
+        "\nmutate open loop: {arrivals} arrivals in {elapsed:.1}s -> {writes} writes \
+         (p50 {:.3} ms, p99 {:.3} ms), {} reads served of {reads} submitted \
+         (p50 {:.2} ms, p99 {:.2} ms), {rejected} overloaded, {expired} expired, \
+         {degraded} degraded",
+        percentile_of(&write_ms, 0.50),
+        percentile_of(&write_ms, 0.99),
+        read_ms.len(),
+        percentile_of(&read_ms, 0.50),
+        percentile_of(&read_ms, 0.99),
+    );
+    println!(
+        "compaction: {} merges over the run, {stall:.3}s total stall \
+         (worst single {:.3}s), {} seals ({seal_stall:.3}s); {} of {} reads \
+         overlapped a compaction (p99 {:.2} ms vs {:.2} ms clear)",
+        stats.compactions - base.compactions,
+        stats.max_compact_seconds,
+        stats.seals - base.seals,
+        during_ms.len(),
+        read_ms.len(),
+        percentile_of(&during_ms, 0.99),
+        percentile_of(&read_ms, 0.99),
+    );
+    println!(
+        "store: {} segments on {} levels, {} live / {} resident \
+         (dead ratio {:.3}), write-amp {:.2}, compaction debt {}",
+        stats.segments,
+        stats.levels,
+        account.live(),
+        account.resident(),
+        account.dead_ratio(),
+        account.write_amp(),
+        account.compaction_debt(),
+    );
+
+    let server_stats = Arc::into_inner(server).expect("sole owner").shutdown();
+
+    let violations = sink.violations();
+    assert!(
+        violations.is_empty(),
+        "mutate-path accounting violations: {violations:#?}"
+    );
+    let fault_totals = sink.fault_totals();
+    fault_totals
+        .check_closure()
+        .unwrap_or_else(|e| panic!("fault accounting does not close: {e}"));
+    println!("telemetry: {} verified records, 0 violations", sink.len());
+    if let Some(path) = &args.telemetry {
+        sink.write_jsonl(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("cannot write telemetry JSONL to {path}: {e}"));
+    }
+
+    let m = Measured {
+        served: read_ms.len() as u64,
+        elapsed,
+        cpu_seconds,
+        device_seconds,
+        latencies_ms: read_ms.clone(),
+    };
+    let mut mutate_o = BTreeMap::new();
+    mutate_o.insert("insert_fraction".into(), json::number_f64(spec.insert));
+    mutate_o.insert("delete_fraction".into(), json::number_f64(spec.delete));
+    mutate_o.insert("offered_qps".into(), json::number_f64(rate));
+    mutate_o.insert("arrivals".into(), json::number_u64(arrivals));
+    mutate_o.insert("inserts".into(), json::number_u64(server_stats.inserts));
+    mutate_o.insert("deletes".into(), json::number_u64(server_stats.deletes));
+    mutate_o.insert("reads_submitted".into(), json::number_u64(reads));
+    mutate_o.insert("rejected_overload".into(), json::number_u64(rejected));
+    mutate_o.insert("expired".into(), json::number_u64(expired));
+    mutate_o.insert("degraded".into(), json::number_u64(degraded));
+    mutate_o.insert("write_p50_ms".into(), percentile_json(&write_ms, 0.50));
+    mutate_o.insert("write_p99_ms".into(), percentile_json(&write_ms, 0.99));
+    mutate_o.insert("insert_p99_ms".into(), percentile_json(&insert_ms, 0.99));
+    mutate_o.insert("delete_p99_ms".into(), percentile_json(&delete_ms, 0.99));
+    mutate_o.insert(
+        "reads_during_compaction".into(),
+        json::number_usize(during_ms.len()),
+    );
+    mutate_o.insert(
+        "read_during_compaction_p99_ms".into(),
+        percentile_json(&during_ms, 0.99),
+    );
+    let mut compaction_o = BTreeMap::new();
+    compaction_o.insert(
+        "compactions".into(),
+        json::number_u64(stats.compactions - base.compactions),
+    );
+    compaction_o.insert("stall_seconds".into(), json::number_f64(stall));
+    compaction_o.insert(
+        "max_stall_seconds".into(),
+        json::number_f64(stats.max_compact_seconds),
+    );
+    compaction_o.insert("seals".into(), json::number_u64(stats.seals - base.seals));
+    compaction_o.insert("seal_seconds".into(), json::number_f64(seal_stall));
+    mutate_o.insert("compaction".into(), Value::Object(compaction_o));
+    let mut store_o = BTreeMap::new();
+    store_o.insert("segments".into(), json::number_usize(stats.segments));
+    store_o.insert("levels".into(), json::number_usize(stats.levels));
+    store_o.insert("live".into(), json::number_usize(account.live()));
+    store_o.insert("resident".into(), json::number_usize(account.resident()));
+    store_o.insert("dead_ratio".into(), json::number_f64(account.dead_ratio()));
+    store_o.insert("write_amp".into(), json::number_f64(account.write_amp()));
+    store_o.insert(
+        "compaction_debt".into(),
+        json::number_u64(account.compaction_debt()),
+    );
+    store_o.insert("wal_records".into(), json::number_u64(stats.wal_records));
+    store_o.insert("wal_bytes".into(), json::number_u64(stats.wal_bytes));
+    store_o.insert("staged_bytes".into(), json::number_u64(stats.staged_bytes));
+    mutate_o.insert("store".into(), Value::Object(store_o));
+
+    let mut root = BTreeMap::new();
+    root.insert(
+        "dataset".into(),
+        Value::String(format!("GloVe scaled ({n} train / {nq} queries, {dims}-d)")),
+    );
+    root.insert("mode".into(), Value::String("mutate".into()));
+    root.insert("scale".into(), json::number_f64(args.scale));
+    root.insert("k".into(), json::number_usize(k));
+    root.insert("workers".into(), json::number_usize(args.workers));
+    root.insert("max_batch".into(), json::number_usize(args.max_batch));
+    root.insert("seconds".into(), json::number_f64(args.seconds));
+    root.insert("fast_path".into(), Value::Bool(args.fast_path));
+    root.insert(
+        "open_loop".into(),
+        measured_object(&m, &[("offered_qps", json::number_f64(rate))]),
+    );
+    root.insert("mutate".into(), Value::Object(mutate_o));
+    let mut tele_o = BTreeMap::new();
+    tele_o.insert("records".into(), json::number_usize(sink.len()));
+    tele_o.insert("violations".into(), json::number_usize(0));
+    root.insert("telemetry".into(), Value::Object(tele_o));
+
+    let payload = json::to_string(&Value::Object(root));
+    std::fs::write(&args.json, payload + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.json));
+    println!("wrote {}", args.json);
+}
+
+/// Initial-load vectors come from the train split (the queries split
+/// feeds the runtime churn), cycled if uids outrun it.
+fn queries_or_train(train: &VectorStore, i: u32) -> &[f32] {
+    train.get(i % train.len() as u32)
 }
 
 fn measured_object(m: &Measured, extra: &[(&str, Value)]) -> Value {
@@ -693,6 +1090,14 @@ fn hist_value(hist: &[u64]) -> Value {
 
 fn main() {
     let args = parse_args();
+    if let Some(mutate) = args.mutate.as_deref().map(parse_mutate_spec) {
+        assert!(
+            args.tenants.is_none(),
+            "--mutate and --tenants are separate harnesses; pick one"
+        );
+        run_mutate(&args, &mutate);
+        return;
+    }
     let spec = PaperDataset::GloVe.scaled_spec(args.scale);
     let bench = ssam_datasets::Benchmark::from_spec(spec);
     let k = args.k.unwrap_or_else(|| bench.k());

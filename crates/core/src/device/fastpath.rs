@@ -87,7 +87,12 @@ fn q16_mult(a: i32, b: i32) -> i32 {
 /// # Panics
 /// Panics if the slices differ in length (staging guarantees both are
 /// `vec_words` long).
-pub(super) fn raw_distance(metric: DeviceMetric, query: &[i32], cand: &[i32]) -> i32 {
+///
+/// Public (re-exported as [`crate::device::raw_distance`]): the mutable
+/// store's memtable scan computes candidate distances through this exact
+/// function so host-resident vectors rank bit-identically to vault-staged
+/// ones.
+pub fn raw_distance(metric: DeviceMetric, query: &[i32], cand: &[i32]) -> i32 {
     assert_eq!(query.len(), cand.len(), "candidate/query width mismatch");
     let mut acc = 0i32;
     match metric {

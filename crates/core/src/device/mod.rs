@@ -20,6 +20,8 @@ mod fastpath;
 pub mod indexed;
 pub mod memregion;
 
+pub use fastpath::raw_distance;
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

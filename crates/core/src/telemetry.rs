@@ -283,6 +283,12 @@ pub enum AccountingError {
         /// Human-readable description of the broken closure invariant.
         detail: String,
     },
+    /// A mutable-store account violated a lifecycle invariant
+    /// ([`verify_store_account`]).
+    StoreMismatch {
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
     /// Batch totals differ from the serial-loop sum ([`verify_batch`]).
     BatchCounterMismatch {
         /// Which counter disagreed (`"cycles"` or `"bytes"`).
@@ -323,6 +329,9 @@ impl std::fmt::Display for AccountingError {
                  compute_bound={vault_compute_bound}"
             ),
             AccountingError::BadEnergy { detail } => write!(f, "bad energy account: {detail}"),
+            AccountingError::StoreMismatch { detail } => {
+                write!(f, "store accounting does not close: {detail}")
+            }
             AccountingError::FaultMismatch { detail } => {
                 write!(f, "fault accounting does not close: {detail}")
             }
@@ -450,9 +459,239 @@ pub fn verify_batch(batch: &QueryRecord, queries: &[QueryRecord]) -> Result<(), 
     Ok(())
 }
 
+/// One immutable segment's share of a mutable-store account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentAccount {
+    /// Store-wide segment id (monotonic across seals and compactions).
+    pub id: u64,
+    /// Compaction level the segment currently sits on (0 = freshest).
+    pub level: usize,
+    /// Vectors resident in the segment (live at seal time).
+    pub entries: usize,
+    /// Resident vectors since superseded by a newer version or tombstone
+    /// (the store's over-fetch margin for this segment).
+    pub stale: usize,
+    /// Bytes staged into this segment's vault shards.
+    pub bytes: u64,
+}
+
+impl SegmentAccount {
+    /// Resident vectors still visible to queries.
+    pub fn live(&self) -> usize {
+        self.entries - self.stale
+    }
+}
+
+/// A mutable store's complete lifecycle account: WAL, memtable, segment,
+/// and compaction counters, cross-checked by [`verify_store_account`] at
+/// collection time exactly like query records are by [`verify_record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreAccount {
+    /// Sequence number, assigned by the [`Telemetry`] sink at collection.
+    pub seq: u64,
+    /// Free-form label (which lifecycle event produced the account).
+    pub label: String,
+    /// Bytes per padded stored vector (`vec_words * 4`).
+    pub vec_bytes: u64,
+    /// Vectors resident in the memtable (all visible by construction).
+    pub memtable_entries: usize,
+    /// Index entries pointing at a live location (memtable or segment).
+    pub index_live: usize,
+    /// Index entries that are tombstones.
+    pub index_dead: usize,
+    /// WAL records appended so far.
+    pub wal_records: u64,
+    /// WAL bytes appended so far (framing + payload).
+    pub wal_bytes: u64,
+    /// Caller payload bytes accepted (insert vectors, pre-quantization).
+    pub payload_bytes: u64,
+    /// Bytes written into segment devices across every seal + compaction.
+    pub staged_bytes: u64,
+    /// Memtable seals performed.
+    pub seals: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Level fanout: a level holding more than this many segments owes
+    /// compaction work.
+    pub fanout: usize,
+    /// Per-segment accounts, level order then segment order.
+    pub segments: Vec<SegmentAccount>,
+}
+
+impl StoreAccount {
+    /// Vectors resident across every segment (live + stale).
+    pub fn resident(&self) -> usize {
+        self.segments.iter().map(|s| s.entries).sum()
+    }
+
+    /// Visible vectors: live segment entries plus the memtable.
+    pub fn live(&self) -> usize {
+        self.segments
+            .iter()
+            .map(SegmentAccount::live)
+            .sum::<usize>()
+            + self.memtable_entries
+    }
+
+    /// Fraction of segment-resident vectors that are dead weight
+    /// (superseded or tombstoned); `0.0` with no resident vectors.
+    pub fn dead_ratio(&self) -> f64 {
+        let resident = self.resident();
+        if resident == 0 {
+            return 0.0;
+        }
+        self.segments.iter().map(|s| s.stale).sum::<usize>() as f64 / resident as f64
+    }
+
+    /// Write amplification: total bytes durably written (WAL + staging)
+    /// per accepted payload byte; `0.0` before any payload arrived.
+    pub fn write_amp(&self) -> f64 {
+        if self.payload_bytes == 0 {
+            return 0.0;
+        }
+        (self.wal_bytes + self.staged_bytes) as f64 / self.payload_bytes as f64
+    }
+
+    /// Compaction debt: segments beyond the fanout on each level (how
+    /// many merges the background compactor owes).
+    pub fn compaction_debt(&self) -> u64 {
+        let mut per_level: std::collections::BTreeMap<usize, usize> = Default::default();
+        for s in &self.segments {
+            *per_level.entry(s.level).or_insert(0) += 1;
+        }
+        per_level
+            .values()
+            .map(|&n| n.saturating_sub(self.fanout) as u64)
+            .sum()
+    }
+}
+
+/// Checks a mutable-store account's lifecycle invariants. Like
+/// [`verify_record`], the first violated invariant is returned.
+///
+/// The load-bearing cross-check is visibility closure: the per-segment
+/// `stale` counters (maintained incrementally as writes supersede
+/// resident vectors) and the index's live count (maintained as a map of
+/// latest versions) are independent bookkeeping, and
+/// `Σ segment live + memtable == index_live` catches either side
+/// drifting.
+pub fn verify_store_account(a: &StoreAccount) -> Result<(), AccountingError> {
+    for s in &a.segments {
+        if s.entries == 0 {
+            return Err(AccountingError::StoreMismatch {
+                detail: format!("segment {} is resident but empty", s.id),
+            });
+        }
+        if s.stale > s.entries {
+            return Err(AccountingError::StoreMismatch {
+                detail: format!(
+                    "segment {}: stale {} exceeds entries {}",
+                    s.id, s.stale, s.entries
+                ),
+            });
+        }
+        if s.bytes != s.entries as u64 * a.vec_bytes {
+            return Err(AccountingError::StoreMismatch {
+                detail: format!(
+                    "segment {}: staged bytes {} != entries {} x vec_bytes {}",
+                    s.id, s.bytes, s.entries, a.vec_bytes
+                ),
+            });
+        }
+    }
+    let seg_live: usize = a.segments.iter().map(SegmentAccount::live).sum();
+    if seg_live + a.memtable_entries != a.index_live {
+        return Err(AccountingError::StoreMismatch {
+            detail: format!(
+                "segment live {} + memtable {} != index live {}",
+                seg_live, a.memtable_entries, a.index_live
+            ),
+        });
+    }
+    if a.wal_bytes < a.payload_bytes {
+        return Err(AccountingError::StoreMismatch {
+            detail: format!(
+                "WAL bytes {} below accepted payload bytes {} (records are framed supersets)",
+                a.wal_bytes, a.payload_bytes
+            ),
+        });
+    }
+    let resident_bytes: u64 = a.segments.iter().map(|s| s.bytes).sum();
+    if a.staged_bytes < resident_bytes {
+        return Err(AccountingError::StoreMismatch {
+            detail: format!(
+                "cumulative staged bytes {} below currently resident bytes {}",
+                a.staged_bytes, resident_bytes
+            ),
+        });
+    }
+    if !a.segments.is_empty() && a.seals == 0 {
+        return Err(AccountingError::StoreMismatch {
+            detail: "segments are resident but no seal was ever recorded".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Serializes one store account as a single-line JSON object
+/// (`"kind":"store"`, interleaved with query records in the JSONL
+/// export).
+pub fn store_account_json(a: &StoreAccount) -> String {
+    let mut o = String::with_capacity(256 + 96 * a.segments.len());
+    o.push('{');
+    let _ = write!(o, "\"seq\":{},\"kind\":\"store\",\"label\":", a.seq);
+    json_escape(&a.label, &mut o);
+    let _ = write!(
+        o,
+        ",\"vec_bytes\":{},\"memtable_entries\":{},\"index_live\":{},\"index_dead\":{},\
+         \"wal_records\":{},\"wal_bytes\":{},\"payload_bytes\":{},\"staged_bytes\":{},\
+         \"seals\":{},\"compactions\":{},\"fanout\":{},\"live\":{},\"resident\":{},",
+        a.vec_bytes,
+        a.memtable_entries,
+        a.index_live,
+        a.index_dead,
+        a.wal_records,
+        a.wal_bytes,
+        a.payload_bytes,
+        a.staged_bytes,
+        a.seals,
+        a.compactions,
+        a.fanout,
+        a.live(),
+        a.resident(),
+    );
+    o.push_str("\"dead_ratio\":");
+    json_f64(a.dead_ratio(), &mut o);
+    o.push_str(",\"write_amp\":");
+    json_f64(a.write_amp(), &mut o);
+    let _ = write!(
+        o,
+        ",\"compaction_debt\":{},\"segments\":[",
+        a.compaction_debt()
+    );
+    for (i, s) in a.segments.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"id\":{},\"level\":{},\"entries\":{},\"stale\":{},\"live\":{},\"bytes\":{}}}",
+            s.id,
+            s.level,
+            s.entries,
+            s.stale,
+            s.live(),
+            s.bytes
+        );
+    }
+    o.push_str("]}");
+    o
+}
+
 #[derive(Debug, Default)]
 struct TelemetryInner {
     records: Vec<QueryRecord>,
+    store_accounts: Vec<StoreAccount>,
     violations: Vec<String>,
     next_seq: u64,
 }
@@ -509,6 +748,35 @@ impl Telemetry {
         self.record(batch);
     }
 
+    /// Verifies and stores one mutable-store account, assigning its
+    /// sequence number from the same counter as query records.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the account violates a lifecycle
+    /// invariant (release builds retain the violation — see
+    /// [`Telemetry::violations`]).
+    pub fn record_store(&self, mut a: StoreAccount) {
+        let verdict = verify_store_account(&a);
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        a.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if let Err(e) = verdict {
+            let msg = format!("store account {} ({}): {e}", a.seq, a.label);
+            debug_assert!(false, "telemetry invariant violated: {msg}");
+            inner.violations.push(msg);
+        }
+        inner.store_accounts.push(a);
+    }
+
+    /// Snapshot of the collected store accounts.
+    pub fn store_accounts(&self) -> Vec<StoreAccount> {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .store_accounts
+            .clone()
+    }
+
     /// Number of records collected.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("telemetry lock").records.len()
@@ -540,6 +808,10 @@ impl Telemetry {
         let mut out = String::new();
         for r in &inner.records {
             out.push_str(&record_json(r));
+            out.push('\n');
+        }
+        for a in &inner.store_accounts {
+            out.push_str(&store_account_json(a));
             out.push('\n');
         }
         out
@@ -1002,6 +1274,121 @@ mod tests {
         b.kind = RecordKind::Batch;
         t.record(b);
         assert_eq!(t.fault_totals().stragglers, 1);
+    }
+
+    fn valid_store_account() -> StoreAccount {
+        StoreAccount {
+            seq: 0,
+            label: "seal".into(),
+            vec_bytes: 32,
+            memtable_entries: 3,
+            index_live: 3 + (10 - 2) + (4 - 1),
+            index_dead: 2,
+            wal_records: 20,
+            wal_bytes: 2_000,
+            payload_bytes: 1_000,
+            staged_bytes: (10 + 4 + 6) * 32,
+            seals: 2,
+            compactions: 1,
+            fanout: 4,
+            segments: vec![
+                SegmentAccount {
+                    id: 0,
+                    level: 0,
+                    entries: 10,
+                    stale: 2,
+                    bytes: 10 * 32,
+                },
+                SegmentAccount {
+                    id: 1,
+                    level: 1,
+                    entries: 4,
+                    stale: 1,
+                    bytes: 4 * 32,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_store_account_passes_and_derives() {
+        let a = valid_store_account();
+        assert_eq!(verify_store_account(&a), Ok(()));
+        assert_eq!(a.resident(), 14);
+        assert_eq!(a.live(), 14 - 3 + 3);
+        assert!((a.dead_ratio() - 3.0 / 14.0).abs() < 1e-12);
+        assert!((a.write_amp() - (2_000.0 + 640.0) / 1_000.0).abs() < 1e-12);
+        assert_eq!(a.compaction_debt(), 0);
+        let json = store_account_json(&a);
+        assert!(json.contains("\"kind\":\"store\""));
+        assert!(json.contains("\"compactions\":1"));
+        assert!(json.contains("\"stale\":2"));
+    }
+
+    #[test]
+    fn store_visibility_closure_fires() {
+        // The index claims one more live entry than the segments +
+        // memtable can account for: stale-counter or index drift.
+        let mut a = valid_store_account();
+        a.index_live += 1;
+        assert!(matches!(
+            verify_store_account(&a),
+            Err(AccountingError::StoreMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_stale_overflow_fires() {
+        let mut a = valid_store_account();
+        a.segments[0].stale = a.segments[0].entries + 1;
+        assert!(matches!(
+            verify_store_account(&a),
+            Err(AccountingError::StoreMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_wal_below_payload_fires() {
+        let mut a = valid_store_account();
+        a.wal_bytes = a.payload_bytes - 1;
+        assert!(matches!(
+            verify_store_account(&a),
+            Err(AccountingError::StoreMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_compaction_debt_counts_overflow() {
+        let mut a = valid_store_account();
+        a.fanout = 1;
+        // Two segments on distinct levels: each level holds exactly one,
+        // so no debt; move both onto level 0 and one merge is owed.
+        assert_eq!(a.compaction_debt(), 0);
+        a.segments[1].level = 0;
+        assert_eq!(a.compaction_debt(), 1);
+    }
+
+    #[test]
+    fn sink_collects_store_accounts() {
+        let t = Telemetry::new();
+        t.record(valid_record());
+        t.record_store(valid_store_account());
+        assert_eq!(t.store_accounts().len(), 1);
+        assert_eq!(t.store_accounts()[0].seq, 1, "shared seq counter");
+        assert!(t.violations().is_empty());
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().nth(1).unwrap().contains("\"kind\":\"store\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry invariant violated")]
+    #[cfg(debug_assertions)]
+    fn store_sink_panics_on_violation_in_debug() {
+        let t = Telemetry::new();
+        let mut a = valid_store_account();
+        a.index_live += 1;
+        t.record_store(a);
     }
 
     #[test]

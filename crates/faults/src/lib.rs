@@ -35,6 +35,7 @@ const DOMAIN_CRC: u64 = 5;
 const DOMAIN_VAULT_OUT: u64 = 6;
 const DOMAIN_MODULE_OUT: u64 = 7;
 const DOMAIN_STRAGGLE: u64 = 8;
+const DOMAIN_CRASH: u64 = 9;
 
 /// How the stack recovers from injected faults. Separate from the injection
 /// rates so recovery behavior can be tuned (or exercised) independently.
@@ -415,6 +416,42 @@ impl FaultPlan {
             ));
         }
         Ok(plan)
+    }
+}
+
+/// Seeded process-crash chooser for crash-recovery testing.
+///
+/// The mutable store's durability contract is "replaying the WAL after a
+/// crash restores bit-identical state". Exercising that contract needs a
+/// crash *point* — how many WAL bytes actually reached stable storage
+/// before the process died, including torn tails that cut a record in
+/// half. `CrashSpec` derives that point deterministically from
+/// `(seed, event)` through the same splitmix64 mixer as the other fault
+/// channels, so a failing crash case replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Base seed; different seeds give independent crash schedules.
+    pub seed: u64,
+}
+
+impl CrashSpec {
+    /// A crash schedule from a seed.
+    pub fn new(seed: u64) -> Self {
+        CrashSpec { seed }
+    }
+
+    /// How many WAL bytes survive crash number `event` of a log currently
+    /// `wal_len` bytes long: uniform over `0..=wal_len`, so whole-record
+    /// boundaries, torn tails, and the empty log are all reachable.
+    pub fn torn_tail(&self, event: u64, wal_len: u64) -> u64 {
+        if wal_len == 0 {
+            return 0;
+        }
+        let mut h = self.seed ^ GOLDEN;
+        for x in [DOMAIN_CRASH, event, wal_len] {
+            h = mix(h.wrapping_add(GOLDEN) ^ x);
+        }
+        h % (wal_len + 1)
     }
 }
 

@@ -52,6 +52,13 @@
 //!   std-only length-prefixed TCP frame protocol with a blocking
 //!   [`net::NetClient`], typed wire encodings for every [`ServeError`]
 //!   variant, and graceful connection drain on shutdown.
+//! * **Mutable datasets** — [`Server::start_store`] serves an
+//!   [`ssam_store::Store`] instead of an immutable device:
+//!   [`ServerHandle::insert`] / [`ServerHandle::delete`] accept online
+//!   writes (WAL-first, with automatic memtable seals), queries see a
+//!   consistent memtable ∪ segments view with tombstone suppression and
+//!   dedup-by-latest-version, and a background maintenance thread runs
+//!   leveled compaction between batches, sharing the store with readers.
 //!
 //! Every served batch still flows through the device's self-checking
 //! telemetry: attach a [`ssam_core::telemetry::Telemetry`] sink to the
@@ -95,10 +102,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ssam_core::device::cluster::{ClusterTiming, SsamCluster};
-use ssam_core::device::{BatchTiming, DeviceQuery, QueryTiming, SsamDevice};
+use ssam_core::device::{BatchTiming, DeviceMetric, DeviceQuery, QueryTiming, SsamDevice};
 use ssam_core::sim::pu::SimError;
 use ssam_faults::FaultPlan;
 use ssam_knn::topk::Neighbor;
+use ssam_store::{Store, StoreError, WriteAck};
 
 use crate::batcher::{plan, Action, BatchKey, PendingMeta};
 use crate::qos::{FairState, TokenBucket};
@@ -170,6 +178,12 @@ pub struct ServeConfig {
     /// every tenant with the default [`TenantQos`] — no rate limits, one
     /// tier, equal weights — making QoS invisible to single-tenant use.
     pub qos: QosConfig,
+    /// How often the mutable-store maintenance thread polls for owed
+    /// compaction work ([`Server::start_store`] only; ignored by the
+    /// immutable backends). Each poll runs at most one
+    /// [`ssam_store::Store::compact_step`], so queries interleave with
+    /// compaction at single-merge granularity.
+    pub maintenance_interval: Duration,
     /// Thin back-compat wrapper for [`ServeFaults::panic_on_batch`]
     /// (the hook's original home). [`ServeFaults::panic_on_batch`] wins
     /// when both are set; prefer it in new code.
@@ -187,6 +201,7 @@ impl Default for ServeConfig {
             default_timeout: None,
             faults: ServeFaults::default(),
             qos: QosConfig::default(),
+            maintenance_interval: Duration::from_micros(500),
             panic_on_batch: None,
         }
     }
@@ -383,6 +398,20 @@ pub enum DeviceAccount {
     },
     /// Served by a [`SsamCluster`]: the per-query cluster account.
     Cluster(ClusterTiming),
+    /// Served by a mutable [`ssam_store::Store`]: memtable scan plus one
+    /// device query per segment.
+    Store {
+        /// Slowest segment's simulated device seconds (segments scan in
+        /// parallel, like vaults within one device).
+        seconds: f64,
+        /// Total device energy across all segment queries, millijoules.
+        energy_mj: f64,
+        /// Segments that executed a device query.
+        segments_scanned: usize,
+        /// Candidates returned by segments but suppressed as superseded
+        /// or tombstoned.
+        suppressed: usize,
+    },
 }
 
 impl DeviceAccount {
@@ -392,6 +421,7 @@ impl DeviceAccount {
         match self {
             DeviceAccount::Device { timing, .. } => timing.seconds,
             DeviceAccount::Cluster(t) => t.seconds,
+            DeviceAccount::Store { seconds, .. } => *seconds,
         }
     }
 
@@ -400,6 +430,7 @@ impl DeviceAccount {
         match self {
             DeviceAccount::Device { timing, .. } => timing.energy_mj,
             DeviceAccount::Cluster(t) => t.energy_mj,
+            DeviceAccount::Store { energy_mj, .. } => *energy_mj,
         }
     }
 }
@@ -453,6 +484,10 @@ pub struct ServerStats {
     pub retried_panic: u64,
     /// Worker panic events survived (each covers one batch).
     pub worker_panics: u64,
+    /// Inserts accepted into the mutable store (store backend only).
+    pub inserts: u64,
+    /// Deletes accepted into the mutable store (store backend only).
+    pub deletes: u64,
     /// Device batches executed successfully.
     pub batches: u64,
     /// Histogram of successful device-batch sizes: `batch_hist[s]` is
@@ -526,6 +561,10 @@ struct QueryShape {
     hw_queue: bool,
     /// The cluster backend broadcasts float Euclidean queries only.
     euclidean_only: bool,
+    /// The mutable store serves the linear float kernels only
+    /// (Euclidean / Manhattan) — cosine has no analytic memtable
+    /// equivalent and binary payloads are immutable.
+    float_linear_only: bool,
 }
 
 struct Shared {
@@ -533,6 +572,19 @@ struct Shared {
     wake: Condvar,
     config: ServeConfig,
     shape: QueryShape,
+    /// The mutable store behind [`Server::start_store`] backends; the
+    /// write path ([`ServerHandle::insert`] / [`ServerHandle::delete`])
+    /// and the maintenance thread go through it.
+    store: Option<Arc<Mutex<Store>>>,
+}
+
+/// Locks the shared store, recovering from poisoning: the store's state
+/// transitions are WAL-first and each apply step completes before the
+/// lock is released, so a panicked worker cannot leave it torn.
+fn lock_store(store: &Mutex<Store>) -> std::sync::MutexGuard<'_, Store> {
+    store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The execution backend a worker owns: a clone of the template device
@@ -549,6 +601,10 @@ enum Engine {
         template: Arc<SsamCluster>,
         live: Box<SsamCluster>,
     },
+    /// All workers share one mutable store (writes must be visible to
+    /// every reader), so execution serializes on its lock — the store is
+    /// the single-writer analogue of a storage engine behind a latch.
+    Store { store: Arc<Mutex<Store>> },
 }
 
 impl Engine {
@@ -558,6 +614,7 @@ impl Engine {
         match self {
             Engine::Device { live, .. } => live.set_fault_plan(plan),
             Engine::Cluster { live, .. } => live.set_fault_plan(plan),
+            Engine::Store { store } => lock_store(store).set_fault_plan(plan),
         }
     }
 
@@ -572,6 +629,10 @@ impl Engine {
                 live.set_fault_scope(*scope);
             }
             Engine::Cluster { template, live } => **live = (**template).clone(),
+            // The store is shared authoritative state, not a per-worker
+            // clone: every apply step completes under the lock before a
+            // query can observe it, so there is nothing to roll back.
+            Engine::Store { .. } => {}
         }
     }
 
@@ -621,6 +682,37 @@ impl Engine {
                     })
                     .collect())
             }
+            Engine::Store { store } => {
+                // One lock acquisition for the whole batch: every member
+                // sees the same consistent memtable ∪ segments view, and
+                // compaction cannot slide in between members.
+                let mut st = lock_store(store);
+                let mut out = Vec::with_capacity(batch.len());
+                for p in batch {
+                    let (q, metric) = match &p.query {
+                        OwnedQuery::Euclidean(q) => (q.as_slice(), DeviceMetric::Euclidean),
+                        OwnedQuery::Manhattan(q) => (q.as_slice(), DeviceMetric::Manhattan),
+                        _ => unreachable!("admission rejects non-linear store queries"),
+                    };
+                    let r = match st.query(q, metric, k) {
+                        Ok(r) => r,
+                        Err(StoreError::Device(e)) => return Err(e),
+                        Err(e) => unreachable!("admission-checked store query failed: {e}"),
+                    };
+                    let coverage = r.coverage();
+                    out.push((
+                        r.neighbors,
+                        DeviceAccount::Store {
+                            seconds: r.device_seconds,
+                            energy_mj: r.energy_mj,
+                            segments_scanned: r.segments_scanned,
+                            suppressed: r.suppressed,
+                        },
+                        coverage,
+                    ));
+                }
+                Ok(out)
+            }
         }
     }
 }
@@ -630,6 +722,8 @@ impl Engine {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Background compaction thread (store backend only).
+    maintenance: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -650,9 +744,10 @@ impl Server {
             binary: device.payload_is_binary().unwrap_or(false),
             hw_queue: device.config().use_hw_queue,
             euclidean_only: false,
+            float_linear_only: false,
         };
         let template = Arc::new(device);
-        Self::spawn(config, shape, move |worker| {
+        Self::spawn(config, shape, None, move |worker| {
             let mut live = (*template).clone();
             live.set_fault_scope(worker as u64);
             Engine::Device {
@@ -682,17 +777,70 @@ impl Server {
             binary: false,
             hw_queue: true,
             euclidean_only: true,
+            float_linear_only: false,
         };
         let template = Arc::new(cluster);
-        Self::spawn(config, shape, move |_worker| Engine::Cluster {
+        Self::spawn(config, shape, None, move |_worker| Engine::Cluster {
             live: Box::new((*template).clone()),
             template: Arc::clone(&template),
         })
     }
 
+    /// Spawns the worker pool over a shared mutable [`Store`] and starts
+    /// serving reads *and* writes: queries flow through the usual
+    /// batcher, [`ServerHandle::insert`] / [`ServerHandle::delete`]
+    /// mutate the store WAL-first, and a maintenance thread polls every
+    /// [`ServeConfig::maintenance_interval`] to run owed compactions
+    /// one merge at a time, interleaving with query batches on the
+    /// store lock. Attach telemetry and load any initial data into the
+    /// store *before* this call.
+    ///
+    /// The store serves float Euclidean / Manhattan queries; cosine and
+    /// binary Hamming requests are rejected at admission.
+    pub fn start_store(mut store: Store, config: ServeConfig) -> Server {
+        if let Some(plan) = &config.faults.plan {
+            store.set_fault_plan(Some(Arc::clone(plan)));
+        }
+        let shape = QueryShape {
+            len: store.config().dims,
+            binary: false,
+            hw_queue: store.config().device.use_hw_queue,
+            euclidean_only: false,
+            float_linear_only: true,
+        };
+        let store = Arc::new(Mutex::new(store));
+        let engine_store = Arc::clone(&store);
+        let mut server = Self::spawn(config, shape, Some(Arc::clone(&store)), move |_worker| {
+            Engine::Store {
+                store: Arc::clone(&engine_store),
+            }
+        });
+        let shared = Arc::clone(&server.shared);
+        let interval = shared.config.maintenance_interval;
+        server.maintenance = Some(
+            std::thread::Builder::new()
+                .name("ssam-serve-maintenance".into())
+                .spawn(move || loop {
+                    if !shared.state.lock().expect("serve queue lock").open {
+                        return;
+                    }
+                    let compacted = {
+                        let mut st = lock_store(&store);
+                        st.compact_step()
+                    };
+                    if !compacted {
+                        std::thread::sleep(interval);
+                    }
+                })
+                .expect("spawn serve maintenance"),
+        );
+        server
+    }
+
     fn spawn(
         config: ServeConfig,
         shape: QueryShape,
+        store: Option<Arc<Mutex<Store>>>,
         make_engine: impl Fn(usize) -> Engine,
     ) -> Server {
         let workers = config.workers.max(1);
@@ -708,6 +856,7 @@ impl Server {
             wake: Condvar::new(),
             config,
             shape,
+            store,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -722,7 +871,16 @@ impl Server {
         Server {
             shared,
             workers: handles,
+            maintenance: None,
         }
+    }
+
+    /// The shared mutable store behind a [`Server::start_store`]
+    /// backend (`None` for the immutable backends). Lock it to read
+    /// lifecycle stats or post telemetry accounts; writes should go
+    /// through the handle so they are counted and admission-checked.
+    pub fn store(&self) -> Option<Arc<Mutex<Store>>> {
+        self.shared.store.clone()
     }
 
     /// A cloneable submission handle.
@@ -765,6 +923,9 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(h) = self.maintenance.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -800,6 +961,16 @@ impl ServerHandle {
         if shape.euclidean_only && !matches!(req.query, OwnedQuery::Euclidean(_)) {
             return Err(ServeError::BadRequest(
                 "cluster backend serves Euclidean queries only",
+            ));
+        }
+        if shape.float_linear_only
+            && !matches!(
+                req.query,
+                OwnedQuery::Euclidean(_) | OwnedQuery::Manhattan(_)
+            )
+        {
+            return Err(ServeError::BadRequest(
+                "mutable store serves Euclidean/Manhattan queries only",
             ));
         }
         if req.query.len() != shape.len {
@@ -866,6 +1037,81 @@ impl ServerHandle {
     /// Submits and blocks for the response: `submit(req)?.wait()`.
     pub fn query(&self, req: Request) -> Result<Response, ServeError> {
         self.submit(req)?.wait()
+    }
+
+    /// Inserts (or updates) `uid` in the mutable store behind a
+    /// [`Server::start_store`] backend. The write is applied WAL-first
+    /// and synchronously: once this returns, every subsequent query
+    /// sees it. May trip an automatic memtable seal
+    /// ([`WriteAck::sealed`]).
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] without a store backend or on a
+    /// wrong-length vector, [`ServeError::ShuttingDown`] once shutdown
+    /// began.
+    pub fn insert(&self, uid: u32, vector: &[f32]) -> Result<WriteAck, ServeError> {
+        let store = self.writable_store()?;
+        if vector.len() != self.shared.shape.len {
+            return Err(ServeError::BadRequest(
+                "vector length mismatches the store dims",
+            ));
+        }
+        let ack = lock_store(&store)
+            .insert(uid, vector)
+            .map_err(store_write_error)?;
+        self.shared
+            .state
+            .lock()
+            .expect("serve queue lock")
+            .stats
+            .inserts += 1;
+        Ok(ack)
+    }
+
+    /// Deletes `uid` from the mutable store (blind deletes are
+    /// accepted — the tombstone is recorded either way). Synchronous
+    /// like [`ServerHandle::insert`].
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] without a store backend,
+    /// [`ServeError::ShuttingDown`] once shutdown began.
+    pub fn delete(&self, uid: u32) -> Result<WriteAck, ServeError> {
+        let store = self.writable_store()?;
+        let ack = lock_store(&store).delete(uid).map_err(store_write_error)?;
+        self.shared
+            .state
+            .lock()
+            .expect("serve queue lock")
+            .stats
+            .deletes += 1;
+        Ok(ack)
+    }
+
+    /// The store, if this server has one and is still accepting writes.
+    fn writable_store(&self) -> Result<Arc<Mutex<Store>>, ServeError> {
+        let Some(store) = &self.shared.store else {
+            return Err(ServeError::BadRequest(
+                "server has no mutable store backend",
+            ));
+        };
+        if !self.shared.state.lock().expect("serve queue lock").open {
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(Arc::clone(store))
+    }
+}
+
+/// Maps a store write failure onto the serving error surface.
+fn store_write_error(e: StoreError) -> ServeError {
+    match e {
+        StoreError::DimsMismatch { .. } => {
+            ServeError::BadRequest("vector length mismatches the store dims")
+        }
+        StoreError::Device(e) => ServeError::Device(e),
+        // Writes cannot produce metric/k errors.
+        StoreError::UnsupportedMetric | StoreError::ZeroK => {
+            ServeError::BadRequest("malformed store write")
+        }
     }
 }
 

@@ -10,13 +10,21 @@
 //! admission control, token buckets, weighted-fair batching, deadlines,
 //! and telemetry are identical for local and remote callers.
 //!
-//! ## Request frame
+//! ## Request frames
 //!
 //! ```text
 //! [0x51 'Q'][tenant u32][k u32][timeout_us u64; u64::MAX = none]
 //! [metric u8: 0 euclid | 1 manhattan | 2 cosine | 3 hamming]
 //! [count u32][count × f32 (float metrics) | count × u32 (hamming)]
+//!
+//! [0x49 'I'][uid u32][count u32][count × f32]     (store insert)
+//! [0x44 'D'][uid u32]                             (store delete)
 //! ```
+//!
+//! Write frames target a [`Server::start_store`] backend; against an
+//! immutable backend they answer with a typed `BadRequest`. A write
+//! reply is status `9` carrying the [`ssam_store::WriteAck`] fields
+//! (`seq u64`, `sealed u8`, `wal_len u64`), or any error status below.
 //!
 //! ## Reply frame
 //!
@@ -45,6 +53,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ssam_knn::topk::Neighbor;
+use ssam_store::WriteAck;
 
 use crate::{
     OwnedQuery, Request, Response, ServeError, Server, ServerHandle, ServerStats, TenantId,
@@ -58,6 +67,8 @@ pub const MAX_FRAME: usize = 1 << 24;
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 const MSG_QUERY: u8 = 0x51; // 'Q'
+const MSG_INSERT: u8 = 0x49; // 'I'
+const MSG_DELETE: u8 = 0x44; // 'D'
 
 const ST_OK: u8 = 0;
 const ST_OVERLOADED: u8 = 1;
@@ -68,6 +79,7 @@ const ST_BAD_REQUEST: u8 = 5;
 const ST_DEVICE: u8 = 6;
 const ST_WORKER_PANICKED: u8 = 7;
 const ST_DEGRADED: u8 = 8;
+const ST_WRITE_OK: u8 = 9;
 
 const METRIC_EUCLIDEAN: u8 = 0;
 const METRIC_MANHATTAN: u8 = 1;
@@ -360,34 +372,64 @@ pub fn encode_reply(reply: &Result<Response, ServeError>) -> Vec<u8> {
                 out.extend_from_slice(&n.dist.to_le_bytes());
             }
         }
-        Err(ServeError::Overloaded { capacity }) => {
+        Err(e) => put_error(&mut out, e),
+    }
+    out
+}
+
+/// Appends one [`ServeError`]'s status byte and fields — shared by the
+/// query and write reply encodings so both surface identical typed
+/// errors.
+fn put_error(out: &mut Vec<u8>, e: &ServeError) {
+    match e {
+        ServeError::Overloaded { capacity } => {
             out.push(ST_OVERLOADED);
             out.extend_from_slice(&(*capacity as u64).to_le_bytes());
         }
-        Err(ServeError::RateLimited { tenant }) => {
+        ServeError::RateLimited { tenant } => {
             out.push(ST_RATE_LIMITED);
             out.extend_from_slice(&tenant.0.to_le_bytes());
         }
-        Err(ServeError::DeadlineExceeded { missed_by }) => {
+        ServeError::DeadlineExceeded { missed_by } => {
             out.push(ST_DEADLINE);
             out.extend_from_slice(&(missed_by.as_micros() as u64).to_le_bytes());
         }
-        Err(ServeError::ShuttingDown) => out.push(ST_SHUTTING_DOWN),
-        Err(ServeError::BadRequest(why)) => {
+        ServeError::ShuttingDown => out.push(ST_SHUTTING_DOWN),
+        ServeError::BadRequest(why) => {
             out.push(ST_BAD_REQUEST);
-            put_string(&mut out, why);
+            put_string(out, why);
         }
-        Err(ServeError::Device(e)) => {
+        ServeError::Device(e) => {
             out.push(ST_DEVICE);
-            put_string(&mut out, &e.to_string());
+            put_string(out, &e.to_string());
         }
-        Err(ServeError::WorkerPanicked) => out.push(ST_WORKER_PANICKED),
-        Err(ServeError::Degraded { coverage }) => {
+        ServeError::WorkerPanicked => out.push(ST_WORKER_PANICKED),
+        ServeError::Degraded { coverage } => {
             out.push(ST_DEGRADED);
             out.extend_from_slice(&coverage.to_le_bytes());
         }
     }
-    out
+}
+
+/// Decodes the error whose status byte was already consumed.
+fn take_error(status: u8, c: &mut Cursor<'_>) -> Result<RemoteError, String> {
+    Ok(match status {
+        ST_OVERLOADED => RemoteError::Overloaded {
+            capacity: c.u64()? as usize,
+        },
+        ST_RATE_LIMITED => RemoteError::RateLimited {
+            tenant: TenantId(c.u32()?),
+        },
+        ST_DEADLINE => RemoteError::DeadlineExceeded {
+            missed_by: Duration::from_micros(c.u64()?),
+        },
+        ST_SHUTTING_DOWN => RemoteError::ShuttingDown,
+        ST_BAD_REQUEST => RemoteError::BadRequest(c.string()?),
+        ST_DEVICE => RemoteError::Device(c.string()?),
+        ST_WORKER_PANICKED => RemoteError::WorkerPanicked,
+        ST_DEGRADED => RemoteError::Degraded { coverage: c.f64()? },
+        other => return Err(format!("unknown reply status {other}")),
+    })
 }
 
 /// Decodes one reply frame payload into the client-side outcome.
@@ -422,21 +464,107 @@ pub fn decode_reply(payload: &[u8]) -> Result<Result<NetResponse, RemoteError>, 
                 energy_mj,
             })
         }
-        ST_OVERLOADED => Err(RemoteError::Overloaded {
-            capacity: c.u64()? as usize,
-        }),
-        ST_RATE_LIMITED => Err(RemoteError::RateLimited {
-            tenant: TenantId(c.u32()?),
-        }),
-        ST_DEADLINE => Err(RemoteError::DeadlineExceeded {
-            missed_by: Duration::from_micros(c.u64()?),
-        }),
-        ST_SHUTTING_DOWN => Err(RemoteError::ShuttingDown),
-        ST_BAD_REQUEST => Err(RemoteError::BadRequest(c.string()?)),
-        ST_DEVICE => Err(RemoteError::Device(c.string()?)),
-        ST_WORKER_PANICKED => Err(RemoteError::WorkerPanicked),
-        ST_DEGRADED => Err(RemoteError::Degraded { coverage: c.f64()? }),
-        other => return Err(format!("unknown reply status {other}")),
+        other => Err(take_error(other, &mut c)?),
+    };
+    c.done()?;
+    Ok(reply)
+}
+
+/// One decoded store-write request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteOp {
+    /// Upsert `uid` with the given vector.
+    Insert {
+        /// Caller-chosen vector id.
+        uid: u32,
+        /// The raw vector.
+        vector: Vec<f32>,
+    },
+    /// Tombstone `uid`.
+    Delete {
+        /// Caller-chosen vector id.
+        uid: u32,
+    },
+}
+
+/// Encodes one insert as a frame payload.
+pub fn encode_insert(uid: u32, vector: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + vector.len() * 4);
+    out.push(MSG_INSERT);
+    out.extend_from_slice(&uid.to_le_bytes());
+    out.extend_from_slice(&(vector.len() as u32).to_le_bytes());
+    for &x in vector {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Encodes one delete as a frame payload.
+pub fn encode_delete(uid: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.push(MSG_DELETE);
+    out.extend_from_slice(&uid.to_le_bytes());
+    out
+}
+
+/// Decodes one write frame payload (insert or delete).
+pub fn decode_write(payload: &[u8]) -> Result<WriteOp, String> {
+    let mut c = Cursor::new(payload);
+    let op = match c.u8()? {
+        MSG_INSERT => {
+            let uid = c.u32()?;
+            let count = c.u32()? as usize;
+            if count > MAX_FRAME / 4 {
+                return Err(format!("vector of {count} elements exceeds the frame cap"));
+            }
+            let mut vector = Vec::with_capacity(count);
+            for _ in 0..count {
+                vector.push(c.f32()?);
+            }
+            WriteOp::Insert { uid, vector }
+        }
+        MSG_DELETE => WriteOp::Delete { uid: c.u32()? },
+        _ => return Err("unknown message type".into()),
+    };
+    c.done()?;
+    Ok(op)
+}
+
+/// Encodes one store-write outcome as a reply frame payload.
+pub fn encode_write_reply(reply: &Result<WriteAck, ServeError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(18);
+    match reply {
+        Ok(ack) => {
+            out.push(ST_WRITE_OK);
+            out.extend_from_slice(&ack.seq.to_le_bytes());
+            out.push(u8::from(ack.sealed));
+            out.extend_from_slice(&ack.wal_len.to_le_bytes());
+        }
+        Err(e) => put_error(&mut out, e),
+    }
+    out
+}
+
+/// Decodes one store-write reply frame payload.
+pub fn decode_write_reply(payload: &[u8]) -> Result<Result<WriteAck, RemoteError>, String> {
+    let mut c = Cursor::new(payload);
+    let status = c.u8()?;
+    let reply = match status {
+        ST_WRITE_OK => {
+            let seq = c.u64()?;
+            let sealed = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("non-boolean sealed byte {other}")),
+            };
+            let wal_len = c.u64()?;
+            Ok(WriteAck {
+                seq,
+                sealed,
+                wal_len,
+            })
+        }
+        other => Err(take_error(other, &mut c)?),
     };
     c.done()?;
     Ok(reply)
@@ -640,11 +768,24 @@ fn connection_loop(mut stream: TcpStream, handle: &ServerHandle, stop: &AtomicBo
             Ok(Some(p)) => p,
             Ok(None) | Err(_) => return, // clean close, drain, or transport error
         };
-        let reply = match decode_request(&payload) {
-            Ok(req) => handle.query(req),
-            Err(_) => Err(ServeError::BadRequest("malformed request frame")),
+        let frame = match payload.first() {
+            Some(&MSG_INSERT) | Some(&MSG_DELETE) => {
+                let reply = match decode_write(&payload) {
+                    Ok(WriteOp::Insert { uid, vector }) => handle.insert(uid, &vector),
+                    Ok(WriteOp::Delete { uid }) => handle.delete(uid),
+                    Err(_) => Err(ServeError::BadRequest("malformed write frame")),
+                };
+                encode_write_reply(&reply)
+            }
+            _ => {
+                let reply = match decode_request(&payload) {
+                    Ok(req) => handle.query(req),
+                    Err(_) => Err(ServeError::BadRequest("malformed request frame")),
+                };
+                encode_reply(&reply)
+            }
         };
-        if write_frame(&mut stream, &encode_reply(&reply)).is_err() {
+        if write_frame(&mut stream, &frame).is_err() {
             return;
         }
     }
@@ -678,6 +819,29 @@ impl NetClient {
             .ok_or_else(|| ClientError::Protocol("server closed before replying".into()))?;
         match decode_reply(&payload) {
             Ok(Ok(resp)) => Ok(resp),
+            Ok(Err(remote)) => Err(ClientError::Remote(remote)),
+            Err(why) => Err(ClientError::Protocol(why)),
+        }
+    }
+
+    /// Inserts (or updates) `uid` in the server's mutable store. Against
+    /// an immutable backend this comes back as a typed
+    /// [`RemoteError::BadRequest`].
+    pub fn insert(&mut self, uid: u32, vector: &[f32]) -> Result<WriteAck, ClientError> {
+        self.write_op(&encode_insert(uid, vector))
+    }
+
+    /// Deletes `uid` from the server's mutable store.
+    pub fn delete(&mut self, uid: u32) -> Result<WriteAck, ClientError> {
+        self.write_op(&encode_delete(uid))
+    }
+
+    fn write_op(&mut self, frame: &[u8]) -> Result<WriteAck, ClientError> {
+        write_frame(&mut self.stream, frame)?;
+        let payload = read_frame(&mut self.stream, None)?
+            .ok_or_else(|| ClientError::Protocol("server closed before replying".into()))?;
+        match decode_write_reply(&payload) {
+            Ok(Ok(ack)) => Ok(ack),
             Ok(Err(remote)) => Err(ClientError::Remote(remote)),
             Err(why) => Err(ClientError::Protocol(why)),
         }
@@ -753,6 +917,44 @@ mod tests {
             let decoded = decode_reply(&frame).expect("decodes");
             assert_eq!(decoded, Err(expect), "variant {serve:?}");
         }
+    }
+
+    #[test]
+    fn write_frames_round_trip() {
+        let ins = decode_write(&encode_insert(17, &[0.5, -1.5])).expect("decodes");
+        assert_eq!(
+            ins,
+            WriteOp::Insert {
+                uid: 17,
+                vector: vec![0.5, -1.5],
+            }
+        );
+        let del = decode_write(&encode_delete(99)).expect("decodes");
+        assert_eq!(del, WriteOp::Delete { uid: 99 });
+    }
+
+    #[test]
+    fn write_replies_round_trip_ack_and_errors() {
+        let ack = WriteAck {
+            seq: 41,
+            sealed: true,
+            wal_len: 12_345,
+        };
+        assert_eq!(
+            decode_write_reply(&encode_write_reply(&Ok(ack))).expect("decodes"),
+            Ok(ack)
+        );
+        let err = ServeError::BadRequest("server has no mutable store backend");
+        assert_eq!(
+            decode_write_reply(&encode_write_reply(&Err(err))).expect("decodes"),
+            Err(RemoteError::BadRequest(
+                "server has no mutable store backend".into()
+            ))
+        );
+        // A write reply with a mangled sealed byte is a protocol error.
+        let mut frame = encode_write_reply(&Ok(ack));
+        frame[9] = 7;
+        assert!(decode_write_reply(&frame).is_err());
     }
 
     #[test]

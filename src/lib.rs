@@ -28,6 +28,11 @@
 //!   under SECDED ECC, link CRC corruption with bounded retry, vault and
 //!   module outages, stragglers) plus the closed fault-accounting record
 //!   the rest of the stack reports recovery through.
+//! * [`store`] — the mutable dataset subsystem: a WAL-first LSM-lite
+//!   vector store (memtable + vault-mapped immutable segments, leveled
+//!   background compaction, tombstone-aware deletes) with bit-identical
+//!   crash recovery, servable online through [`serve`] (see
+//!   `examples/store_ingest.rs`).
 //!
 //! ## Quickstart
 //!
@@ -54,3 +59,4 @@ pub use ssam_hmc as hmc;
 pub use ssam_knn as knn;
 pub use ssam_profiling as profiling;
 pub use ssam_serve as serve;
+pub use ssam_store as store;
