@@ -90,6 +90,8 @@ struct Args {
     min_jain: Option<f64>,
     mutate: Option<String>,
     memtable: Option<usize>,
+    shards: usize,
+    replicas: usize,
     faults: Option<String>,
     json: String,
     telemetry: Option<String>,
@@ -113,6 +115,8 @@ fn parse_args() -> Args {
         min_jain: None,
         mutate: None,
         memtable: None,
+        shards: 1,
+        replicas: 1,
         faults: None,
         json: "BENCH_serve.json".to_string(),
         telemetry: None,
@@ -162,6 +166,8 @@ fn parse_args() -> Args {
             "--memtable" => {
                 a.memtable = Some(take(&mut i, "--memtable").parse().expect("integer"));
             }
+            "--shards" => a.shards = take(&mut i, "--shards").parse().expect("integer"),
+            "--replicas" => a.replicas = take(&mut i, "--replicas").parse().expect("integer"),
             "--faults" => a.faults = Some(take(&mut i, "--faults")),
             "--json" => a.json = take(&mut i, "--json"),
             "--telemetry" => a.telemetry = Some(take(&mut i, "--telemetry")),
@@ -189,7 +195,12 @@ fn parse_args() -> Args {
                      \x20  read-only sweeps: fractions are per-arrival probabilities (the\n\
                      \x20  rest are reads), writes churn uids in [0, 2n), and the report\n\
                      \x20  gains write tails, compaction stall time, and read-during-\n\
-                     \x20  compaction tails (--memtable N overrides the seal threshold)"
+                     \x20  compaction tails (--memtable N overrides the seal threshold)\n\
+                     \x20  --shards N --replicas R (mutate mode) shard the store over\n\
+                     \x20  N*R modules with replicated WALs; mid-run the harness kills a\n\
+                     \x20  replica module and revives it (a failover drill), then replays\n\
+                     \x20  the surviving WAL images through ShardedStore::open and\n\
+                     \x20  reports the recovery + write-failover ledger in the JSON"
                 );
                 std::process::exit(0);
             }
@@ -357,6 +368,7 @@ impl TenantSpec {
             tier: self.tier,
             min_coverage: self.min_cov,
             default_timeout: None,
+            write_rate: None,
         }
     }
 }
@@ -683,7 +695,8 @@ fn device_share_seconds(resp: &ssam_serve::Response) -> f64 {
     match &resp.account {
         ssam_serve::DeviceAccount::Device { batch, .. } => batch.seconds_per_query,
         ssam_serve::DeviceAccount::Cluster(t) => t.seconds,
-        ssam_serve::DeviceAccount::Store { seconds, .. } => *seconds,
+        ssam_serve::DeviceAccount::Store { seconds, .. }
+        | ssam_serve::DeviceAccount::Sharded { seconds, .. } => *seconds,
     }
 }
 
@@ -727,6 +740,42 @@ fn lock_store(
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+fn lock_sharded(
+    store: &std::sync::Mutex<ssam_store::ShardedStore>,
+) -> std::sync::MutexGuard<'_, ssam_store::ShardedStore> {
+    store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The `--mutate` harness runs against either store backend; both expose
+/// the aggregate [`ssam_store::StoreStats`] the report is built from.
+#[derive(Clone)]
+enum MutBackend {
+    Single(Arc<std::sync::Mutex<ssam_store::Store>>),
+    Sharded(Arc<std::sync::Mutex<ssam_store::ShardedStore>>),
+}
+
+impl MutBackend {
+    fn of(server: &Server) -> MutBackend {
+        match server.sharded_store() {
+            Some(st) => MutBackend::Sharded(st),
+            None => MutBackend::Single(server.store().expect("store backend")),
+        }
+    }
+
+    fn stats(&self) -> ssam_store::StoreStats {
+        match self {
+            MutBackend::Single(s) => lock_store(s).stats(),
+            MutBackend::Sharded(s) => lock_sharded(s).stats(),
+        }
+    }
+
+    fn compactions(&self) -> u64 {
+        self.stats().compactions
+    }
+}
+
 fn percentile_of(samples: &[f64], q: f64) -> f64 {
     tail_percentile(samples, &[], q)
 }
@@ -751,7 +800,7 @@ fn percentile_json(samples: &[f64], q: f64) -> Value {
 /// (classified by the store's compaction counter moving between a read's
 /// submission and completion).
 fn run_mutate(args: &Args, spec: &MutateSpec) {
-    use ssam_store::{Store, StoreConfig};
+    use ssam_store::{ShardedStore, ShardedStoreConfig, Store, StoreConfig};
 
     let ds = PaperDataset::GloVe.scaled_spec(args.scale);
     let bench = ssam_datasets::Benchmark::from_spec(ds);
@@ -775,16 +824,11 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
     store_config.fanout = 4;
     let memtable_capacity = store_config.memtable_capacity;
 
-    let mut store = Store::create(store_config);
-    store.attach_telemetry(&sink);
-    for i in 0..n as u32 {
-        store
-            .insert(i, queries_or_train(&bench.train, i))
-            .expect("initial load");
-    }
-    // Drain load-time compaction debt so the measured window starts from
-    // a settled tree.
-    while store.compact_step() {}
+    assert!(
+        args.shards >= 1 && args.replicas >= 1,
+        "--shards and --replicas must be at least 1"
+    );
+    let sharded = args.shards > 1 || args.replicas > 1;
 
     let fault_plan = args.faults.as_deref().map(|fs| {
         Arc::new(FaultPlan::parse(fs).unwrap_or_else(|e| panic!("bad --faults spec: {e}")))
@@ -800,16 +844,42 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
         },
         ..ServeConfig::default()
     };
-    let server = Arc::new(Server::start_store(store, serve_config));
+    let server = if sharded {
+        let mut store = ShardedStore::create(ShardedStoreConfig::new(
+            args.shards,
+            args.replicas,
+            store_config,
+        ));
+        store.attach_telemetry(&sink);
+        for i in 0..n as u32 {
+            store
+                .insert(i, queries_or_train(&bench.train, i))
+                .expect("initial load");
+        }
+        while store.compact_step() {}
+        Arc::new(Server::start_sharded_store(store, serve_config))
+    } else {
+        let mut store = Store::create(store_config);
+        store.attach_telemetry(&sink);
+        for i in 0..n as u32 {
+            store
+                .insert(i, queries_or_train(&bench.train, i))
+                .expect("initial load");
+        }
+        // Drain load-time compaction debt so the measured window starts
+        // from a settled tree.
+        while store.compact_step() {}
+        Arc::new(Server::start_store(store, serve_config))
+    };
     let handle = server.handle();
-    let store = server.store().expect("store backend");
-    let base = lock_store(&store).stats();
+    let backend = MutBackend::of(&server);
+    let base = backend.stats();
 
     let rate = args.rate.unwrap_or(500.0).max(1.0);
     println!(
         "serve-load --mutate: {} initial vectors ({dims}-d), k={k}, \
          memtable {memtable_capacity}, fanout 4, {} q/s offered \
-         (insert {:.0}%, delete {:.0}%, read {:.0}%), executor={}",
+         (insert {:.0}%, delete {:.0}%, read {:.0}%), executor={}{}",
         n,
         fmt(rate),
         spec.insert * 100.0,
@@ -819,6 +889,16 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
             "analytic fast path"
         } else {
             "cycle simulator"
+        },
+        if sharded {
+            format!(
+                ", {} shards x {} replicas ({} modules)",
+                args.shards,
+                args.replicas,
+                args.shards * args.replicas
+            )
+        } else {
+            String::new()
         }
     );
 
@@ -826,7 +906,7 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
     // each read by whether the compaction counter moved while it was in
     // flight.
     let (tx, rx) = mpsc::channel::<(ssam_serve::Ticket, u64)>();
-    let store_w = Arc::clone(&store);
+    let store_w = backend.clone();
     let waiter = std::thread::spawn(move || {
         let mut read_ms = Vec::new();
         let mut during_ms = Vec::new();
@@ -838,7 +918,7 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
                 Ok(r) => {
                     let ms = (r.queue_seconds + r.service_seconds) * 1e3;
                     dev += device_share_seconds(&r);
-                    let c1 = lock_store(&store_w).stats().compactions;
+                    let c1 = store_w.compactions();
                     if c1 != c0 {
                         during_ms.push(ms);
                     }
@@ -867,6 +947,18 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
     let mut rejected = 0u64;
     let mut insert_ms = Vec::new();
     let mut delete_ms = Vec::new();
+    // Failover drill (sharded with replication only): kill one replica
+    // module at half time, revive it at three quarters. While it is down
+    // its shard's writes fail over to the surviving replicas' WALs; on
+    // revive the queued records catch it back up.
+    let drill = sharded && args.replicas > 1;
+    let kill_at = t0 + Duration::from_secs_f64(args.seconds * 0.5);
+    let revive_at = t0 + Duration::from_secs_f64(args.seconds * 0.75);
+    let drill_module = 0usize;
+    let mut killed = false;
+    let mut revived = false;
+    let mut acked_failed_over = 0u64;
+    let mut refused = 0u64;
     loop {
         let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
         next += Duration::from_secs_f64((-u.ln() / rate).min(1.0));
@@ -874,6 +966,30 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
             break;
         }
         pace_until(next);
+        if drill {
+            let now = Instant::now();
+            if !killed && now >= kill_at {
+                if let MutBackend::Sharded(st) = &backend {
+                    lock_sharded(st).kill_module(drill_module);
+                }
+                killed = true;
+                println!(
+                    "drill: killed module {drill_module} (shard 0, replica 0) \
+                     at t={:.1}s",
+                    (now - t0).as_secs_f64()
+                );
+            }
+            if killed && !revived && now >= revive_at {
+                if let MutBackend::Sharded(st) = &backend {
+                    lock_sharded(st).revive_module(drill_module);
+                }
+                revived = true;
+                println!(
+                    "drill: revived module {drill_module} at t={:.1}s",
+                    (now - t0).as_secs_f64()
+                );
+            }
+        }
         arrivals += 1;
         let op: f64 = rng.random_range(0.0..1.0);
         if op < spec.insert {
@@ -881,17 +997,29 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
             let v = queries.get(query_index(cursor, nq)).to_vec();
             cursor += 1;
             let w0 = Instant::now();
-            handle.insert(uid, &v).expect("mutate insert");
-            insert_ms.push(w0.elapsed().as_secs_f64() * 1e3);
+            match handle.insert_routed(uid, &v) {
+                Ok(ack) => {
+                    insert_ms.push(w0.elapsed().as_secs_f64() * 1e3);
+                    acked_failed_over += u64::from(ack.failed_over);
+                }
+                Err(ServeError::ShardUnavailable { .. }) => refused += 1,
+                Err(e) => panic!("mutate insert failed: {e}"),
+            }
         } else if op < spec.insert + spec.delete {
             let uid = rng.random_range(0..churn_uids);
             let w0 = Instant::now();
-            handle.delete(uid).expect("mutate delete");
-            delete_ms.push(w0.elapsed().as_secs_f64() * 1e3);
+            match handle.delete_routed(uid) {
+                Ok(ack) => {
+                    delete_ms.push(w0.elapsed().as_secs_f64() * 1e3);
+                    acked_failed_over += u64::from(ack.failed_over);
+                }
+                Err(ServeError::ShardUnavailable { .. }) => refused += 1,
+                Err(e) => panic!("mutate delete failed: {e}"),
+            }
         } else {
             let q = queries.get(query_index(cursor, nq)).to_vec();
             cursor += 1;
-            let c0 = lock_store(&store).stats().compactions;
+            let c0 = backend.compactions();
             let mut req = Request::new(OwnedQuery::Euclidean(q), k);
             if let Some(t) = args.timeout {
                 req = req.with_timeout(t);
@@ -912,12 +1040,175 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
         waiter.join().expect("waiter thread");
     let cpu_seconds = process_cpu_seconds().zip(cpu0).map(|(a, b)| a - b);
 
+    // Sharded epilogue: revive anything still down, then drain every
+    // fail-over queue with scratch writes (a write catches up all live
+    // replicas of its shard before appending), so the write ledger can
+    // close over pending_now == 0.
+    if let MutBackend::Sharded(st_arc) = &backend {
+        let mut st = lock_sharded(st_arc);
+        if killed && !revived {
+            st.revive_module(drill_module);
+        }
+        let sh = args.shards as u32;
+        let scratch0 = churn_uids.div_ceil(sh) * sh;
+        let v0 = queries.get(0).to_vec();
+        let mut rounds = 0;
+        while st.pending_total() > 0 {
+            rounds += 1;
+            assert!(
+                rounds <= 16,
+                "fail-over queues did not drain after 16 catch-up rounds"
+            );
+            for s in 0..sh {
+                // A chaos plan can refuse a scratch write; the next
+                // round retries it.
+                let _ = st.insert(scratch0 + s, &v0);
+                let _ = st.delete(scratch0 + s);
+            }
+        }
+    }
+
     // Post-run store accounting: post one verified account record, then
     // read the raw stats for the report. Violations fail the run below.
-    let (stats, account) = {
-        let st = lock_store(&store);
-        st.record_account("serve_load_mutate");
-        (st.stats(), st.account("serve_load_mutate"))
+    struct StoreSummary {
+        live: usize,
+        resident: usize,
+        dead_ratio: f64,
+        write_amp: f64,
+        compaction_debt: u64,
+    }
+    let (stats, summary, sharded_json, sharded_line) = match &backend {
+        MutBackend::Single(store) => {
+            let st = lock_store(store);
+            st.record_account("serve_load_mutate");
+            let a = st.account("serve_load_mutate");
+            let summary = StoreSummary {
+                live: a.live(),
+                resident: a.resident(),
+                dead_ratio: a.dead_ratio(),
+                write_amp: a.write_amp(),
+                compaction_debt: a.compaction_debt(),
+            };
+            (st.stats(), summary, None, None)
+        }
+        MutBackend::Sharded(store) => {
+            let st = lock_sharded(store);
+            st.record_account("serve_load_mutate");
+            let a = st.account("serve_load_mutate");
+            st.check_write_ledger()
+                .unwrap_or_else(|e| panic!("write-failover ledger does not close: {e}"));
+            let ledger = st.write_ledger().clone();
+            // Recovery drill: replay the live WAL images through a fresh
+            // open and demand the twin agrees on the live set.
+            let (twin, rec) = ShardedStore::open(st.config().clone(), &st.wal_images())
+                .expect("recovery drill: reopen from WAL images");
+            assert_eq!(
+                twin.live_len(),
+                st.live_len(),
+                "recovery drill: reopened store disagrees on the live set"
+            );
+            let resident: usize = a.modules.iter().map(|m| m.store.resident()).sum();
+            let dead: f64 = a
+                .modules
+                .iter()
+                .map(|m| m.store.dead_ratio() * m.store.resident() as f64)
+                .sum();
+            let payload: u64 = a.modules.iter().map(|m| m.store.payload_bytes).sum();
+            let durable: u64 = a
+                .modules
+                .iter()
+                .map(|m| m.store.wal_bytes + m.store.staged_bytes)
+                .sum();
+            let summary = StoreSummary {
+                live: a.live,
+                resident,
+                dead_ratio: if resident == 0 {
+                    0.0
+                } else {
+                    dead / resident as f64
+                },
+                write_amp: if payload == 0 {
+                    0.0
+                } else {
+                    durable as f64 / payload as f64
+                },
+                compaction_debt: a.modules.iter().map(|m| m.store.compaction_debt()).sum(),
+            };
+            let mut o = BTreeMap::new();
+            o.insert("shards".into(), json::number_usize(st.shards()));
+            o.insert("replicas".into(), json::number_usize(st.replicas()));
+            o.insert("drill".into(), Value::Bool(drill));
+            o.insert("drill_module".into(), json::number_usize(drill_module));
+            o.insert(
+                "write_outages".into(),
+                json::number_u64(ledger.write_outages),
+            );
+            o.insert(
+                "failed_over_writes".into(),
+                json::number_u64(ledger.failed_over_writes),
+            );
+            o.insert(
+                "refused_writes".into(),
+                json::number_u64(ledger.refused_writes),
+            );
+            o.insert(
+                "catch_up_records".into(),
+                json::number_u64(ledger.catch_up_records),
+            );
+            o.insert(
+                "pending_peak".into(),
+                json::number_usize(ledger.pending_peak),
+            );
+            o.insert(
+                "backoff_seconds".into(),
+                json::number_f64(ledger.backoff_seconds),
+            );
+            o.insert("ledger_closed".into(), Value::Bool(true));
+            o.insert(
+                "acked_failed_over".into(),
+                json::number_u64(acked_failed_over),
+            );
+            o.insert("refused_client".into(), json::number_u64(refused));
+            o.insert("behind_total".into(), json::number_usize(a.behind_total()));
+            let mut rec_o = BTreeMap::new();
+            rec_o.insert(
+                "records_replayed".into(),
+                json::number_usize(rec.total.replayed),
+            );
+            rec_o.insert(
+                "truncated_bytes".into(),
+                json::number_u64(rec.total.truncated),
+            );
+            rec_o.insert(
+                "segments_rebuilt".into(),
+                json::number_usize(rec.total.segments_rebuilt),
+            );
+            rec_o.insert(
+                "catch_up_records".into(),
+                json::number_u64(rec.catch_up_records),
+            );
+            o.insert("recovery_drill".into(), Value::Object(rec_o));
+            let line = format!(
+                "sharded: {} shards x {} replicas; {} write outages, {} writes \
+                 failed over ({} acked as such), {} refused, {} catch-up records \
+                 (peak pending {}), {:.3}s modeled backoff; recovery drill \
+                 replayed {} records / rebuilt {} segments ({} catch-up), live \
+                 set agrees",
+                st.shards(),
+                st.replicas(),
+                ledger.write_outages,
+                ledger.failed_over_writes,
+                acked_failed_over,
+                ledger.refused_writes,
+                ledger.catch_up_records,
+                ledger.pending_peak,
+                ledger.backoff_seconds,
+                rec.total.replayed,
+                rec.total.segments_rebuilt,
+                rec.catch_up_records,
+            );
+            (st.stats(), summary, Some(Value::Object(o)), Some(line))
+        }
     };
     let write_ms: Vec<f64> = insert_ms.iter().chain(&delete_ms).copied().collect();
     let stall = stats.compact_seconds - base.compact_seconds;
@@ -952,12 +1243,15 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
          (dead ratio {:.3}), write-amp {:.2}, compaction debt {}",
         stats.segments,
         stats.levels,
-        account.live(),
-        account.resident(),
-        account.dead_ratio(),
-        account.write_amp(),
-        account.compaction_debt(),
+        summary.live,
+        summary.resident,
+        summary.dead_ratio,
+        summary.write_amp,
+        summary.compaction_debt,
     );
+    if let Some(line) = &sharded_line {
+        println!("{line}");
+    }
 
     let server_stats = Arc::into_inner(server).expect("sole owner").shutdown();
 
@@ -992,6 +1286,24 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
     mutate_o.insert("deletes".into(), json::number_u64(server_stats.deletes));
     mutate_o.insert("reads_submitted".into(), json::number_u64(reads));
     mutate_o.insert("rejected_overload".into(), json::number_u64(rejected));
+    mutate_o.insert(
+        "rejected_shard_down".into(),
+        json::number_u64(server_stats.rejected_shard_down),
+    );
+    let mut recovery_o = BTreeMap::new();
+    recovery_o.insert(
+        "records_replayed".into(),
+        json::number_u64(server_stats.recovered_records),
+    );
+    recovery_o.insert(
+        "truncated_bytes".into(),
+        json::number_u64(server_stats.recovered_truncated_bytes),
+    );
+    recovery_o.insert(
+        "segments_rebuilt".into(),
+        json::number_u64(server_stats.recovered_segments),
+    );
+    mutate_o.insert("startup_recovery".into(), Value::Object(recovery_o));
     mutate_o.insert("expired".into(), json::number_u64(expired));
     mutate_o.insert("degraded".into(), json::number_u64(degraded));
     mutate_o.insert("write_p50_ms".into(), percentile_json(&write_ms, 0.50));
@@ -1022,18 +1334,21 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
     let mut store_o = BTreeMap::new();
     store_o.insert("segments".into(), json::number_usize(stats.segments));
     store_o.insert("levels".into(), json::number_usize(stats.levels));
-    store_o.insert("live".into(), json::number_usize(account.live()));
-    store_o.insert("resident".into(), json::number_usize(account.resident()));
-    store_o.insert("dead_ratio".into(), json::number_f64(account.dead_ratio()));
-    store_o.insert("write_amp".into(), json::number_f64(account.write_amp()));
+    store_o.insert("live".into(), json::number_usize(summary.live));
+    store_o.insert("resident".into(), json::number_usize(summary.resident));
+    store_o.insert("dead_ratio".into(), json::number_f64(summary.dead_ratio));
+    store_o.insert("write_amp".into(), json::number_f64(summary.write_amp));
     store_o.insert(
         "compaction_debt".into(),
-        json::number_u64(account.compaction_debt()),
+        json::number_u64(summary.compaction_debt),
     );
     store_o.insert("wal_records".into(), json::number_u64(stats.wal_records));
     store_o.insert("wal_bytes".into(), json::number_u64(stats.wal_bytes));
     store_o.insert("staged_bytes".into(), json::number_u64(stats.staged_bytes));
     mutate_o.insert("store".into(), Value::Object(store_o));
+    if let Some(sharded_v) = sharded_json {
+        mutate_o.insert("sharded".into(), sharded_v);
+    }
 
     let mut root = BTreeMap::new();
     root.insert(
@@ -1042,6 +1357,8 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
     );
     root.insert("mode".into(), Value::String("mutate".into()));
     root.insert("scale".into(), json::number_f64(args.scale));
+    root.insert("shards".into(), json::number_usize(args.shards));
+    root.insert("replicas".into(), json::number_usize(args.replicas));
     root.insert("k".into(), json::number_usize(k));
     root.insert("workers".into(), json::number_usize(args.workers));
     root.insert("max_batch".into(), json::number_usize(args.max_batch));
@@ -1052,6 +1369,26 @@ fn run_mutate(args: &Args, spec: &MutateSpec) {
         measured_object(&m, &[("offered_qps", json::number_f64(rate))]),
     );
     root.insert("mutate".into(), Value::Object(mutate_o));
+    if let Some(plan) = &fault_plan {
+        let mut f = BTreeMap::new();
+        f.insert("spec".into(), Value::String(args.faults.clone().unwrap()));
+        f.insert("seed".into(), json::number_u64(plan.seed));
+        f.insert("injected".into(), json::number_u64(fault_totals.injected()));
+        f.insert(
+            "module_outages".into(),
+            json::number_u64(fault_totals.module_outages),
+        );
+        f.insert(
+            "failed_over".into(),
+            json::number_u64(fault_totals.failed_over),
+        );
+        f.insert("coverage".into(), json::number_f64(fault_totals.coverage()));
+        f.insert(
+            "recovery_seconds".into(),
+            json::number_f64(fault_totals.recovery_seconds),
+        );
+        root.insert("faults".into(), Value::Object(f));
+    }
     let mut tele_o = BTreeMap::new();
     tele_o.insert("records".into(), json::number_usize(sink.len()));
     tele_o.insert("violations".into(), json::number_usize(0));

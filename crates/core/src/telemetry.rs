@@ -289,6 +289,12 @@ pub enum AccountingError {
         /// Human-readable description of the broken invariant.
         detail: String,
     },
+    /// A sharded-store account violated a placement or replication
+    /// invariant ([`verify_shard_account`]).
+    ShardMismatch {
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
     /// Batch totals differ from the serial-loop sum ([`verify_batch`]).
     BatchCounterMismatch {
         /// Which counter disagreed (`"cycles"` or `"bytes"`).
@@ -331,6 +337,9 @@ impl std::fmt::Display for AccountingError {
             AccountingError::BadEnergy { detail } => write!(f, "bad energy account: {detail}"),
             AccountingError::StoreMismatch { detail } => {
                 write!(f, "store accounting does not close: {detail}")
+            }
+            AccountingError::ShardMismatch { detail } => {
+                write!(f, "shard accounting does not close: {detail}")
             }
             AccountingError::FaultMismatch { detail } => {
                 write!(f, "fault accounting does not close: {detail}")
@@ -688,10 +697,182 @@ pub fn store_account_json(a: &StoreAccount) -> String {
     o
 }
 
+/// One replica module's slice of a [`ShardAccount`]: placement
+/// coordinates, failover state, and the module's full store account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleShardAccount {
+    /// Module index (`shard * replicas + replica`).
+    pub module: usize,
+    /// Shard this module replicates.
+    pub shard: usize,
+    /// Replica slot within the shard (0 = primary).
+    pub replica: usize,
+    /// Writes this module missed while unreachable and has not yet
+    /// replayed.
+    pub behind: usize,
+    /// Whether reads currently route around this module.
+    pub degraded: bool,
+    /// Whether the module is forced down by a drill.
+    pub down: bool,
+    /// The module's own lifecycle account (verified independently).
+    pub store: StoreAccount,
+}
+
+/// A sharded store's accounting snapshot: per-module store accounts plus
+/// the placement/replication bookkeeping that ties them together,
+/// cross-checked by [`verify_shard_account`] at collection time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAccount {
+    /// Sequence number, assigned by the [`Telemetry`] sink at collection.
+    pub seq: u64,
+    /// Free-form label.
+    pub label: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Acknowledged-live vectors across all shards.
+    pub live: usize,
+    /// Acknowledged-live vectors per shard (length `shards`).
+    pub shard_live: Vec<usize>,
+    /// One entry per module, module order.
+    pub modules: Vec<ModuleShardAccount>,
+}
+
+impl ShardAccount {
+    /// Total missed writes still pending catch-up across all modules.
+    pub fn behind_total(&self) -> usize {
+        self.modules.iter().map(|m| m.behind).sum()
+    }
+}
+
+/// Checks a sharded-store account. Every module's store account must
+/// close on its own ([`verify_store_account`]); on top of that, the
+/// placement bookkeeping must agree with the per-module views: module
+/// numbering is dense (`module = shard * replicas + replica`), the
+/// per-shard live counts sum to the global live count, every caught-up
+/// replica's visible set matches its shard's acknowledged live count,
+/// and every shard keeps at least one caught-up replica (the one that
+/// acked its last write).
+pub fn verify_shard_account(a: &ShardAccount) -> Result<(), AccountingError> {
+    if a.shards == 0 || a.replicas == 0 {
+        return Err(AccountingError::ShardMismatch {
+            detail: format!(
+                "degenerate topology: {} shards x {} replicas",
+                a.shards, a.replicas
+            ),
+        });
+    }
+    if a.modules.len() != a.shards * a.replicas {
+        return Err(AccountingError::ShardMismatch {
+            detail: format!(
+                "{} module accounts for {} shards x {} replicas",
+                a.modules.len(),
+                a.shards,
+                a.replicas
+            ),
+        });
+    }
+    if a.shard_live.len() != a.shards {
+        return Err(AccountingError::ShardMismatch {
+            detail: format!(
+                "{} shard_live entries for {} shards",
+                a.shard_live.len(),
+                a.shards
+            ),
+        });
+    }
+    if a.shard_live.iter().sum::<usize>() != a.live {
+        return Err(AccountingError::ShardMismatch {
+            detail: format!(
+                "per-shard live sum {} != global live {}",
+                a.shard_live.iter().sum::<usize>(),
+                a.live
+            ),
+        });
+    }
+    for (i, m) in a.modules.iter().enumerate() {
+        if m.module != i || m.shard != i / a.replicas || m.replica != i % a.replicas {
+            return Err(AccountingError::ShardMismatch {
+                detail: format!(
+                    "module {i} reports (module {}, shard {}, replica {})",
+                    m.module, m.shard, m.replica
+                ),
+            });
+        }
+        verify_store_account(&m.store)?;
+        if m.behind == 0 && m.store.live() != a.shard_live[m.shard] {
+            return Err(AccountingError::ShardMismatch {
+                detail: format!(
+                    "caught-up module {i} holds {} live vectors but shard {} acknowledges {}",
+                    m.store.live(),
+                    m.shard,
+                    a.shard_live[m.shard]
+                ),
+            });
+        }
+    }
+    for shard in 0..a.shards {
+        let caught_up = a.modules.iter().any(|m| m.shard == shard && m.behind == 0);
+        if !caught_up {
+            return Err(AccountingError::ShardMismatch {
+                detail: format!("shard {shard} has no caught-up replica"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Serializes one sharded-store account as a single-line JSON object
+/// (`"kind":"sharded_store"`; per-module store accounts are embedded).
+pub fn shard_account_json(a: &ShardAccount) -> String {
+    let mut o = String::with_capacity(256 + 128 * a.modules.len());
+    o.push('{');
+    let _ = write!(o, "\"seq\":{},\"kind\":\"sharded_store\",\"label\":", a.seq);
+    json_escape(&a.label, &mut o);
+    let _ = write!(
+        o,
+        ",\"shards\":{},\"replicas\":{},\"live\":{},\"behind_total\":{},\"shard_live\":[",
+        a.shards,
+        a.replicas,
+        a.live,
+        a.behind_total(),
+    );
+    for (i, n) in a.shard_live.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(o, "{n}");
+    }
+    o.push_str("],\"modules\":[");
+    for (i, m) in a.modules.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"module\":{},\"shard\":{},\"replica\":{},\"behind\":{},\"degraded\":{},\
+             \"down\":{},\"live\":{},\"resident\":{},\"wal_records\":{}}}",
+            m.module,
+            m.shard,
+            m.replica,
+            m.behind,
+            m.degraded,
+            m.down,
+            m.store.live(),
+            m.store.resident(),
+            m.store.wal_records,
+        );
+    }
+    o.push_str("]}");
+    o
+}
+
 #[derive(Debug, Default)]
 struct TelemetryInner {
     records: Vec<QueryRecord>,
     store_accounts: Vec<StoreAccount>,
+    shard_accounts: Vec<ShardAccount>,
     violations: Vec<String>,
     next_seq: u64,
 }
@@ -768,6 +949,35 @@ impl Telemetry {
         inner.store_accounts.push(a);
     }
 
+    /// Verifies and stores one sharded-store account, assigning its
+    /// sequence number from the same counter as query records.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the account violates a placement or
+    /// replication invariant (release builds retain the violation — see
+    /// [`Telemetry::violations`]).
+    pub fn record_shard(&self, mut a: ShardAccount) {
+        let verdict = verify_shard_account(&a);
+        let mut inner = self.inner.lock().expect("telemetry lock");
+        a.seq = inner.next_seq;
+        inner.next_seq += 1;
+        if let Err(e) = verdict {
+            let msg = format!("shard account {} ({}): {e}", a.seq, a.label);
+            debug_assert!(false, "telemetry invariant violated: {msg}");
+            inner.violations.push(msg);
+        }
+        inner.shard_accounts.push(a);
+    }
+
+    /// Snapshot of the collected sharded-store accounts.
+    pub fn shard_accounts(&self) -> Vec<ShardAccount> {
+        self.inner
+            .lock()
+            .expect("telemetry lock")
+            .shard_accounts
+            .clone()
+    }
+
     /// Snapshot of the collected store accounts.
     pub fn store_accounts(&self) -> Vec<StoreAccount> {
         self.inner
@@ -812,6 +1022,10 @@ impl Telemetry {
         }
         for a in &inner.store_accounts {
             out.push_str(&store_account_json(a));
+            out.push('\n');
+        }
+        for a in &inner.shard_accounts {
+            out.push_str(&shard_account_json(a));
             out.push('\n');
         }
         out

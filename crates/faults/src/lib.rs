@@ -453,6 +453,26 @@ impl CrashSpec {
         }
         h % (wal_len + 1)
     }
+
+    /// Per-module torn tail: like [`torn_tail`], but folds the module
+    /// (shard replica) id into the hash chain, so a single crash event
+    /// cuts every module's WAL at an *independent* point — the realistic
+    /// sharded-crash shape where each device lost a different amount of
+    /// its unsynced tail. `module` participates in the fold even when the
+    /// lengths coincide, so two modules with identical WALs still tear
+    /// differently.
+    ///
+    /// [`torn_tail`]: CrashSpec::torn_tail
+    pub fn torn_tail_for(&self, module: u64, event: u64, wal_len: u64) -> u64 {
+        if wal_len == 0 {
+            return 0;
+        }
+        let mut h = self.seed ^ GOLDEN;
+        for x in [DOMAIN_CRASH, module, event, wal_len] {
+            h = mix(h.wrapping_add(GOLDEN) ^ x);
+        }
+        h % (wal_len + 1)
+    }
 }
 
 /// Fault accounting that travels with telemetry records.
@@ -658,6 +678,30 @@ mod tests {
             (0..32).any(|v| plan.vault_fault(0, seq, v, 0) != plan.vault_fault(0, seq, v, 1))
         });
         assert!(differs, "retry attempts never changed the outcome");
+    }
+
+    #[test]
+    fn per_module_torn_tails_are_independent_and_bounded() {
+        let crash = CrashSpec::new(0xDEAD_BEEF);
+        for event in 0..8u64 {
+            for len in [0u64, 1, 17, 4096] {
+                for module in 0..6u64 {
+                    let cut = crash.torn_tail_for(module, event, len);
+                    assert!(cut <= len, "cut {cut} past wal end {len}");
+                    assert_eq!(cut, crash.torn_tail_for(module, event, len));
+                }
+            }
+            // Same event + length, different modules: the cut points must
+            // decorrelate somewhere across events.
+        }
+        let differs = (0..16u64).any(|event| {
+            crash.torn_tail_for(0, event, 4096) != crash.torn_tail_for(1, event, 4096)
+        });
+        assert!(differs, "module id never changed the torn-tail point");
+        // The per-module variant is a distinct channel from the global one.
+        let shifts = (0..16u64)
+            .any(|event| crash.torn_tail_for(0, event, 4096) != crash.torn_tail(event, 4096));
+        assert!(shifts, "torn_tail_for(0, ..) collapsed onto torn_tail");
     }
 
     #[test]

@@ -106,7 +106,7 @@ use ssam_core::device::{BatchTiming, DeviceMetric, DeviceQuery, QueryTiming, Ssa
 use ssam_core::sim::pu::SimError;
 use ssam_faults::FaultPlan;
 use ssam_knn::topk::Neighbor;
-use ssam_store::{Store, StoreError, WriteAck};
+use ssam_store::{ShardRecovery, ShardWriteAck, ShardedStore, Store, StoreError, WriteAck};
 
 use crate::batcher::{plan, Action, BatchKey, PendingMeta};
 use crate::qos::{FairState, TokenBucket};
@@ -357,6 +357,14 @@ pub enum ServeError {
         /// Fraction of the dataset covered by the rejected attempt.
         coverage: f64,
     },
+    /// A sharded-store write was refused because every replica module
+    /// of the target shard is down — nothing could make it durable.
+    /// Retry once the outage clears; reads keep serving the surviving
+    /// shards meanwhile.
+    ShardUnavailable {
+        /// The shard whose whole replica set is down.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -377,6 +385,9 @@ impl std::fmt::Display for ServeError {
             ServeError::WorkerPanicked => write!(f, "worker panicked executing the batch"),
             ServeError::Degraded { coverage } => {
                 write!(f, "result degraded below required coverage ({coverage:.3})")
+            }
+            ServeError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard}: every replica is down, write refused")
             }
         }
     }
@@ -412,6 +423,22 @@ pub enum DeviceAccount {
         /// or tombstoned.
         suppressed: usize,
     },
+    /// Served by a [`ssam_store::ShardedStore`]: per-shard scatter plus
+    /// an exact global top-k gather.
+    Sharded {
+        /// Slowest module's simulated device seconds (shards and their
+        /// segments scan in parallel).
+        seconds: f64,
+        /// Total device energy across every module queried, millijoules.
+        energy_mj: f64,
+        /// Segments that executed a device query, across all modules.
+        segments_scanned: usize,
+        /// Candidates suppressed as superseded or tombstoned.
+        suppressed: usize,
+        /// Shards in the topology (covered or not — see
+        /// [`Response::coverage`] for what was actually served).
+        shards: usize,
+    },
 }
 
 impl DeviceAccount {
@@ -421,7 +448,9 @@ impl DeviceAccount {
         match self {
             DeviceAccount::Device { timing, .. } => timing.seconds,
             DeviceAccount::Cluster(t) => t.seconds,
-            DeviceAccount::Store { seconds, .. } => *seconds,
+            DeviceAccount::Store { seconds, .. } | DeviceAccount::Sharded { seconds, .. } => {
+                *seconds
+            }
         }
     }
 
@@ -430,7 +459,9 @@ impl DeviceAccount {
         match self {
             DeviceAccount::Device { timing, .. } => timing.energy_mj,
             DeviceAccount::Cluster(t) => t.energy_mj,
-            DeviceAccount::Store { energy_mj, .. } => *energy_mj,
+            DeviceAccount::Store { energy_mj, .. } | DeviceAccount::Sharded { energy_mj, .. } => {
+                *energy_mj
+            }
         }
     }
 }
@@ -488,6 +519,18 @@ pub struct ServerStats {
     pub inserts: u64,
     /// Deletes accepted into the mutable store (store backend only).
     pub deletes: u64,
+    /// Write submissions rejected because the target shard's whole
+    /// replica set was down ([`ServeError::ShardUnavailable`]).
+    pub rejected_shard_down: u64,
+    /// WAL records replayed when the backing store was opened from an
+    /// existing WAL image (0 for stores created fresh) — the typed
+    /// recovery report surfaced from [`ssam_store::Recovery`].
+    pub recovered_records: u64,
+    /// Bytes truncated at torn WAL tails during that recovery.
+    pub recovered_truncated_bytes: u64,
+    /// Segments rebuilt (seal + compaction replays) during that
+    /// recovery.
+    pub recovered_segments: u64,
     /// Device batches executed successfully.
     pub batches: u64,
     /// Histogram of successful device-batch sizes: `batch_hist[s]` is
@@ -547,6 +590,9 @@ struct QueueState {
     batches_started: u64,
     /// Per-tenant admission token buckets, created full on first use.
     buckets: HashMap<TenantId, TokenBucket>,
+    /// Per-tenant *write* admission buckets ([`TenantQos::write_rate`]),
+    /// created full on first use; store backends only.
+    write_buckets: HashMap<TenantId, TokenBucket>,
     /// Weighted-fair virtual service, charged per flushed batch.
     fair: FairState,
     stats: ServerStats,
@@ -567,21 +613,39 @@ struct QueryShape {
     float_linear_only: bool,
 }
 
+/// The mutable backend behind a write-capable server: one store module,
+/// or a sharded/replicated topology of them.
+#[derive(Clone)]
+enum StoreBackend {
+    Single(Arc<Mutex<Store>>),
+    Sharded(Arc<Mutex<ShardedStore>>),
+}
+
 struct Shared {
     state: Mutex<QueueState>,
     wake: Condvar,
     config: ServeConfig,
     shape: QueryShape,
-    /// The mutable store behind [`Server::start_store`] backends; the
-    /// write path ([`ServerHandle::insert`] / [`ServerHandle::delete`])
-    /// and the maintenance thread go through it.
-    store: Option<Arc<Mutex<Store>>>,
+    /// The mutable store behind [`Server::start_store`] /
+    /// [`Server::start_sharded_store`] backends; the write path
+    /// ([`ServerHandle::insert`] / [`ServerHandle::delete`]) and the
+    /// maintenance thread go through it.
+    store: Option<StoreBackend>,
 }
 
 /// Locks the shared store, recovering from poisoning: the store's state
 /// transitions are WAL-first and each apply step completes before the
 /// lock is released, so a panicked worker cannot leave it torn.
 fn lock_store(store: &Mutex<Store>) -> std::sync::MutexGuard<'_, Store> {
+    store
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Locks the shared sharded store; the same poisoning argument as
+/// [`lock_store`] holds per module, and cross-module bookkeeping
+/// (placement sets, pending queues) is updated before release.
+fn lock_sharded(store: &Mutex<ShardedStore>) -> std::sync::MutexGuard<'_, ShardedStore> {
     store
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -605,6 +669,10 @@ enum Engine {
     /// every reader), so execution serializes on its lock — the store is
     /// the single-writer analogue of a storage engine behind a latch.
     Store { store: Arc<Mutex<Store>> },
+    /// Sharded topology: the same shared-authoritative-state argument as
+    /// [`Engine::Store`] applies, with failover health and pending
+    /// catch-up queues also living under the lock.
+    ShardedStore { store: Arc<Mutex<ShardedStore>> },
 }
 
 impl Engine {
@@ -615,6 +683,7 @@ impl Engine {
             Engine::Device { live, .. } => live.set_fault_plan(plan),
             Engine::Cluster { live, .. } => live.set_fault_plan(plan),
             Engine::Store { store } => lock_store(store).set_fault_plan(plan),
+            Engine::ShardedStore { store } => lock_sharded(store).set_fault_plan(plan),
         }
     }
 
@@ -632,7 +701,7 @@ impl Engine {
             // The store is shared authoritative state, not a per-worker
             // clone: every apply step completes under the lock before a
             // query can observe it, so there is nothing to roll back.
-            Engine::Store { .. } => {}
+            Engine::Store { .. } | Engine::ShardedStore { .. } => {}
         }
     }
 
@@ -707,6 +776,39 @@ impl Engine {
                             energy_mj: r.energy_mj,
                             segments_scanned: r.segments_scanned,
                             suppressed: r.suppressed,
+                        },
+                        coverage,
+                    ));
+                }
+                Ok(out)
+            }
+            Engine::ShardedStore { store } => {
+                // Same one-lock-per-batch contract as the single store:
+                // every member sees one consistent cross-shard view, and
+                // failover health transitions are batch-atomic.
+                let mut st = lock_sharded(store);
+                let shards = st.shards();
+                let mut out = Vec::with_capacity(batch.len());
+                for p in batch {
+                    let (q, metric) = match &p.query {
+                        OwnedQuery::Euclidean(q) => (q.as_slice(), DeviceMetric::Euclidean),
+                        OwnedQuery::Manhattan(q) => (q.as_slice(), DeviceMetric::Manhattan),
+                        _ => unreachable!("admission rejects non-linear store queries"),
+                    };
+                    let r = match st.query(q, metric, k) {
+                        Ok(r) => r,
+                        Err(StoreError::Device(e)) => return Err(e),
+                        Err(e) => unreachable!("admission-checked sharded query failed: {e}"),
+                    };
+                    let coverage = r.coverage();
+                    out.push((
+                        r.neighbors,
+                        DeviceAccount::Sharded {
+                            seconds: r.device_seconds,
+                            energy_mj: r.energy_mj,
+                            segments_scanned: r.segments_scanned,
+                            suppressed: r.suppressed,
+                            shards,
                         },
                         coverage,
                     ));
@@ -808,39 +910,98 @@ impl Server {
             euclidean_only: false,
             float_linear_only: true,
         };
+        let recovery = store.recovery();
         let store = Arc::new(Mutex::new(store));
         let engine_store = Arc::clone(&store);
-        let mut server = Self::spawn(config, shape, Some(Arc::clone(&store)), move |_worker| {
-            Engine::Store {
+        let mut server = Self::spawn(
+            config,
+            shape,
+            Some(StoreBackend::Single(Arc::clone(&store))),
+            move |_worker| Engine::Store {
                 store: Arc::clone(&engine_store),
-            }
-        });
-        let shared = Arc::clone(&server.shared);
+            },
+        );
+        if let Some(rec) = recovery {
+            let mut st = server.shared.state.lock().expect("serve queue lock");
+            st.stats.recovered_records = rec.replayed as u64;
+            st.stats.recovered_truncated_bytes = rec.truncated;
+            st.stats.recovered_segments = rec.segments_rebuilt as u64;
+        }
+        server.spawn_maintenance(move || lock_store(&store).compact_step());
+        server
+    }
+
+    /// Spawns the worker pool over a shared [`ShardedStore`] — the
+    /// multi-module mutable backend. Reads scatter-gather across shards
+    /// with failover; writes route by uid hash
+    /// ([`ServerHandle::insert_routed`] returns the per-shard
+    /// [`ShardWriteAck`]; the unrouted [`ServerHandle::insert`] still
+    /// works and returns its single-module projection). The maintenance
+    /// thread drains owed compactions across every module, one merge
+    /// per poll. If the sharded store was recovered via
+    /// [`ShardedStore::open`], the aggregate recovery report lands in
+    /// [`ServerStats`].
+    ///
+    /// Query shape and admission rules match [`Server::start_store`]:
+    /// float Euclidean / Manhattan only.
+    pub fn start_sharded_store(mut store: ShardedStore, config: ServeConfig) -> Server {
+        if let Some(plan) = &config.faults.plan {
+            store.set_fault_plan(Some(Arc::clone(plan)));
+        }
+        let shape = QueryShape {
+            len: store.config().store.dims,
+            binary: false,
+            hw_queue: store.config().store.device.use_hw_queue,
+            euclidean_only: false,
+            float_linear_only: true,
+        };
+        let recovery: Option<ShardRecovery> = store.recovery().cloned();
+        let store = Arc::new(Mutex::new(store));
+        let engine_store = Arc::clone(&store);
+        let mut server = Self::spawn(
+            config,
+            shape,
+            Some(StoreBackend::Sharded(Arc::clone(&store))),
+            move |_worker| Engine::ShardedStore {
+                store: Arc::clone(&engine_store),
+            },
+        );
+        if let Some(rec) = recovery {
+            let mut st = server.shared.state.lock().expect("serve queue lock");
+            st.stats.recovered_records = rec.total.replayed as u64;
+            st.stats.recovered_truncated_bytes = rec.total.truncated;
+            st.stats.recovered_segments = rec.total.segments_rebuilt as u64;
+        }
+        server.spawn_maintenance(move || lock_sharded(&store).compact_step());
+        server
+    }
+
+    /// Starts the background compaction thread shared by the mutable
+    /// backends: each poll runs at most one merge via `compact_once`,
+    /// sleeping [`ServeConfig::maintenance_interval`] when idle.
+    fn spawn_maintenance(&mut self, compact_once: impl FnMut() -> bool + Send + 'static) {
+        let shared = Arc::clone(&self.shared);
         let interval = shared.config.maintenance_interval;
-        server.maintenance = Some(
+        let mut compact_once = compact_once;
+        self.maintenance = Some(
             std::thread::Builder::new()
                 .name("ssam-serve-maintenance".into())
                 .spawn(move || loop {
                     if !shared.state.lock().expect("serve queue lock").open {
                         return;
                     }
-                    let compacted = {
-                        let mut st = lock_store(&store);
-                        st.compact_step()
-                    };
-                    if !compacted {
+                    if !compact_once() {
                         std::thread::sleep(interval);
                     }
                 })
                 .expect("spawn serve maintenance"),
         );
-        server
     }
 
     fn spawn(
         config: ServeConfig,
         shape: QueryShape,
-        store: Option<Arc<Mutex<Store>>>,
+        store: Option<StoreBackend>,
         make_engine: impl Fn(usize) -> Engine,
     ) -> Server {
         let workers = config.workers.max(1);
@@ -850,6 +1011,7 @@ impl Server {
                 open: true,
                 batches_started: 0,
                 buckets: HashMap::new(),
+                write_buckets: HashMap::new(),
                 fair: FairState::default(),
                 stats: ServerStats::default(),
             }),
@@ -876,11 +1038,25 @@ impl Server {
     }
 
     /// The shared mutable store behind a [`Server::start_store`]
-    /// backend (`None` for the immutable backends). Lock it to read
-    /// lifecycle stats or post telemetry accounts; writes should go
-    /// through the handle so they are counted and admission-checked.
+    /// backend (`None` for the immutable and sharded backends). Lock it
+    /// to read lifecycle stats or post telemetry accounts; writes
+    /// should go through the handle so they are counted and
+    /// admission-checked.
     pub fn store(&self) -> Option<Arc<Mutex<Store>>> {
-        self.shared.store.clone()
+        match &self.shared.store {
+            Some(StoreBackend::Single(s)) => Some(Arc::clone(s)),
+            _ => None,
+        }
+    }
+
+    /// The shared sharded store behind a [`Server::start_sharded_store`]
+    /// backend (`None` otherwise). Lock it for drills
+    /// ([`ShardedStore::kill_module`]), ledgers, and accounts.
+    pub fn sharded_store(&self) -> Option<Arc<Mutex<ShardedStore>>> {
+        match &self.shared.store {
+            Some(StoreBackend::Sharded(s)) => Some(Arc::clone(s)),
+            _ => None,
+        }
     }
 
     /// A cloneable submission handle.
@@ -1050,22 +1226,7 @@ impl ServerHandle {
     /// wrong-length vector, [`ServeError::ShuttingDown`] once shutdown
     /// began.
     pub fn insert(&self, uid: u32, vector: &[f32]) -> Result<WriteAck, ServeError> {
-        let store = self.writable_store()?;
-        if vector.len() != self.shared.shape.len {
-            return Err(ServeError::BadRequest(
-                "vector length mismatches the store dims",
-            ));
-        }
-        let ack = lock_store(&store)
-            .insert(uid, vector)
-            .map_err(store_write_error)?;
-        self.shared
-            .state
-            .lock()
-            .expect("serve queue lock")
-            .stats
-            .inserts += 1;
-        Ok(ack)
+        self.insert_routed(uid, vector).map(|ack| ack.ack())
     }
 
     /// Deletes `uid` from the mutable store (blind deletes are
@@ -1076,28 +1237,122 @@ impl ServerHandle {
     /// [`ServeError::BadRequest`] without a store backend,
     /// [`ServeError::ShuttingDown`] once shutdown began.
     pub fn delete(&self, uid: u32) -> Result<WriteAck, ServeError> {
-        let store = self.writable_store()?;
-        let ack = lock_store(&store).delete(uid).map_err(store_write_error)?;
-        self.shared
-            .state
-            .lock()
-            .expect("serve queue lock")
-            .stats
-            .deletes += 1;
-        Ok(ack)
+        self.delete_routed(uid).map(|ack| ack.ack())
     }
 
-    /// The store, if this server has one and is still accepting writes.
-    fn writable_store(&self) -> Result<Arc<Mutex<Store>>, ServeError> {
-        let Some(store) = &self.shared.store else {
+    /// Inserts (or updates) `uid`, reporting the full routed
+    /// [`ShardWriteAck`]: target shard, replicas that applied the write
+    /// synchronously, and whether it failed over to a standby replica's
+    /// WAL. Against a single-module store backend the ack is the
+    /// trivial routing (shard 0, one replica).
+    ///
+    /// # Errors
+    /// As [`ServerHandle::insert`], plus
+    /// [`ServeError::ShardUnavailable`] when every replica of the
+    /// target shard is down.
+    pub fn insert_routed(&self, uid: u32, vector: &[f32]) -> Result<ShardWriteAck, ServeError> {
+        let backend = self.writable_store()?;
+        if vector.len() != self.shared.shape.len {
+            return Err(ServeError::BadRequest(
+                "vector length mismatches the store dims",
+            ));
+        }
+        let result = match &backend {
+            StoreBackend::Single(s) => lock_store(s)
+                .insert(uid, vector)
+                .map(single_module_ack)
+                .map_err(store_write_error),
+            StoreBackend::Sharded(s) => lock_sharded(s)
+                .insert(uid, vector)
+                .map_err(store_write_error),
+        };
+        self.count_write(&result, true);
+        result
+    }
+
+    /// Deletes `uid`, reporting the full routed [`ShardWriteAck`] like
+    /// [`ServerHandle::insert_routed`].
+    ///
+    /// # Errors
+    /// As [`ServerHandle::delete`], plus
+    /// [`ServeError::ShardUnavailable`] when every replica of the
+    /// target shard is down.
+    pub fn delete_routed(&self, uid: u32) -> Result<ShardWriteAck, ServeError> {
+        let backend = self.writable_store()?;
+        let result = match &backend {
+            StoreBackend::Single(s) => lock_store(s)
+                .delete(uid)
+                .map(single_module_ack)
+                .map_err(store_write_error),
+            StoreBackend::Sharded(s) => lock_sharded(s).delete(uid).map_err(store_write_error),
+        };
+        self.count_write(&result, false);
+        result
+    }
+
+    /// Whether writes route across a sharded backend (the network edge
+    /// uses this to pick the richer routed write reply frame).
+    pub fn backend_is_sharded(&self) -> bool {
+        matches!(self.shared.store, Some(StoreBackend::Sharded(_)))
+    }
+
+    /// Updates the write counters for one settled write.
+    fn count_write(&self, result: &Result<ShardWriteAck, ServeError>, is_insert: bool) {
+        let mut st = self.shared.state.lock().expect("serve queue lock");
+        match result {
+            Ok(_) if is_insert => st.stats.inserts += 1,
+            Ok(_) => st.stats.deletes += 1,
+            Err(ServeError::ShardUnavailable { .. }) => st.stats.rejected_shard_down += 1,
+            Err(_) => {}
+        }
+    }
+
+    /// The store backend, if this server has one, is still accepting
+    /// writes, and the (default-tenant) write-rate bucket admits one
+    /// more ([`TenantQos::write_rate`]).
+    fn writable_store(&self) -> Result<StoreBackend, ServeError> {
+        let Some(backend) = &self.shared.store else {
             return Err(ServeError::BadRequest(
                 "server has no mutable store backend",
             ));
         };
-        if !self.shared.state.lock().expect("serve queue lock").open {
+        let tenant = TenantId::DEFAULT;
+        let qos = self.shared.config.qos.get(tenant);
+        let mut st = self.shared.state.lock().expect("serve queue lock");
+        if !st.open {
             return Err(ServeError::ShuttingDown);
         }
-        Ok(Arc::clone(store))
+        if qos.write_rate.is_some() {
+            // Writes spend from their own bucket so a write burst cannot
+            // starve the tenant's query admission (and vice versa).
+            let wqos = TenantQos {
+                rate: qos.write_rate,
+                ..qos.clone()
+            };
+            let now = Instant::now();
+            let bucket = st
+                .write_buckets
+                .entry(tenant)
+                .or_insert_with(|| TokenBucket::new(&wqos, now));
+            if !bucket.try_admit(&wqos, now) {
+                st.stats.rejected_rate_limited += 1;
+                return Err(ServeError::RateLimited { tenant });
+            }
+        }
+        Ok(backend.clone())
+    }
+}
+
+/// The routed image of a single-module write: shard 0, one replica, no
+/// failover.
+fn single_module_ack(ack: WriteAck) -> ShardWriteAck {
+    ShardWriteAck {
+        shard: 0,
+        seq: ack.seq,
+        sealed: ack.sealed,
+        wal_len: ack.wal_len,
+        replicas_acked: 1,
+        failed_over: false,
     }
 }
 
@@ -1108,6 +1363,7 @@ fn store_write_error(e: StoreError) -> ServeError {
             ServeError::BadRequest("vector length mismatches the store dims")
         }
         StoreError::Device(e) => ServeError::Device(e),
+        StoreError::ShardUnavailable { shard } => ServeError::ShardUnavailable { shard },
         // Writes cannot produce metric/k errors.
         StoreError::UnsupportedMetric | StoreError::ZeroK => {
             ServeError::BadRequest("malformed store write")

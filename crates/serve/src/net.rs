@@ -21,10 +21,16 @@
 //! [0x44 'D'][uid u32]                             (store delete)
 //! ```
 //!
-//! Write frames target a [`Server::start_store`] backend; against an
-//! immutable backend they answer with a typed `BadRequest`. A write
-//! reply is status `9` carrying the [`ssam_store::WriteAck`] fields
-//! (`seq u64`, `sealed u8`, `wal_len u64`), or any error status below.
+//! Write frames target a [`Server::start_store`] or
+//! [`Server::start_sharded_store`] backend; against an immutable
+//! backend they answer with a typed `BadRequest`. A write reply is
+//! status `9` carrying the [`ssam_store::WriteAck`] fields (`seq u64`,
+//! `sealed u8`, `wal_len u64`) from a single-module store, or status
+//! `10` carrying the routed [`ssam_store::ShardWriteAck`] (adds
+//! `shard u32`, `replicas_acked u32`, `failed_over u8`) from a sharded
+//! one — [`decode_write_reply`] accepts either, so single-module
+//! clients work against sharded servers unchanged — or any error
+//! status below.
 //!
 //! ## Reply frame
 //!
@@ -53,7 +59,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ssam_knn::topk::Neighbor;
-use ssam_store::WriteAck;
+use ssam_store::{ShardWriteAck, WriteAck};
 
 use crate::{
     OwnedQuery, Request, Response, ServeError, Server, ServerHandle, ServerStats, TenantId,
@@ -80,6 +86,8 @@ const ST_DEVICE: u8 = 6;
 const ST_WORKER_PANICKED: u8 = 7;
 const ST_DEGRADED: u8 = 8;
 const ST_WRITE_OK: u8 = 9;
+const ST_WRITE_OK_SHARDED: u8 = 10;
+const ST_SHARD_UNAVAILABLE: u8 = 11;
 
 const METRIC_EUCLIDEAN: u8 = 0;
 const METRIC_MANHATTAN: u8 = 1;
@@ -121,6 +129,11 @@ pub enum RemoteError {
         /// Coverage of the rejected attempt.
         coverage: f64,
     },
+    /// Wire image of [`ServeError::ShardUnavailable`].
+    ShardUnavailable {
+        /// The shard whose whole replica set is down.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for RemoteError {
@@ -141,6 +154,9 @@ impl std::fmt::Display for RemoteError {
             RemoteError::WorkerPanicked => write!(f, "worker panicked executing the batch"),
             RemoteError::Degraded { coverage } => {
                 write!(f, "result degraded below required coverage ({coverage:.3})")
+            }
+            RemoteError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard}: every replica is down, write refused")
             }
         }
     }
@@ -408,6 +424,10 @@ fn put_error(out: &mut Vec<u8>, e: &ServeError) {
             out.push(ST_DEGRADED);
             out.extend_from_slice(&coverage.to_le_bytes());
         }
+        ServeError::ShardUnavailable { shard } => {
+            out.push(ST_SHARD_UNAVAILABLE);
+            out.extend_from_slice(&(*shard as u32).to_le_bytes());
+        }
     }
 }
 
@@ -428,6 +448,9 @@ fn take_error(status: u8, c: &mut Cursor<'_>) -> Result<RemoteError, String> {
         ST_DEVICE => RemoteError::Device(c.string()?),
         ST_WORKER_PANICKED => RemoteError::WorkerPanicked,
         ST_DEGRADED => RemoteError::Degraded { coverage: c.f64()? },
+        ST_SHARD_UNAVAILABLE => RemoteError::ShardUnavailable {
+            shard: c.u32()? as usize,
+        },
         other => return Err(format!("unknown reply status {other}")),
     })
 }
@@ -545,23 +568,78 @@ pub fn encode_write_reply(reply: &Result<WriteAck, ServeError>) -> Vec<u8> {
     out
 }
 
-/// Decodes one store-write reply frame payload.
+/// Decodes one store-write reply frame payload. Accepts both the plain
+/// (`9`) and sharded (`10`) success statuses — a client written for the
+/// single-module protocol keeps working against a sharded server, the
+/// routing fields are simply dropped.
 pub fn decode_write_reply(payload: &[u8]) -> Result<Result<WriteAck, RemoteError>, String> {
+    decode_routed_write_reply(payload).map(|r| r.map(|ack| ack.ack()))
+}
+
+/// Encodes one sharded-store write outcome: status `10` carrying the
+/// full [`ShardWriteAck`] (`seq u64`, `sealed u8`, `wal_len u64`,
+/// `shard u32`, `replicas_acked u32`, `failed_over u8`).
+pub fn encode_sharded_write_reply(reply: &Result<ShardWriteAck, ServeError>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(27);
+    match reply {
+        Ok(ack) => {
+            out.push(ST_WRITE_OK_SHARDED);
+            out.extend_from_slice(&ack.seq.to_le_bytes());
+            out.push(u8::from(ack.sealed));
+            out.extend_from_slice(&ack.wal_len.to_le_bytes());
+            out.extend_from_slice(&(ack.shard as u32).to_le_bytes());
+            out.extend_from_slice(&(ack.replicas_acked as u32).to_le_bytes());
+            out.push(u8::from(ack.failed_over));
+        }
+        Err(e) => put_error(&mut out, e),
+    }
+    out
+}
+
+fn take_bool(c: &mut Cursor<'_>, what: &str) -> Result<bool, String> {
+    match c.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(format!("non-boolean {what} byte {other}")),
+    }
+}
+
+/// Decodes one write reply into the routed ack, whichever success
+/// status the server used (a plain `9` decodes as the trivial routing:
+/// shard 0, one replica).
+pub fn decode_routed_write_reply(
+    payload: &[u8],
+) -> Result<Result<ShardWriteAck, RemoteError>, String> {
     let mut c = Cursor::new(payload);
     let status = c.u8()?;
     let reply = match status {
         ST_WRITE_OK => {
             let seq = c.u64()?;
-            let sealed = match c.u8()? {
-                0 => false,
-                1 => true,
-                other => return Err(format!("non-boolean sealed byte {other}")),
-            };
+            let sealed = take_bool(&mut c, "sealed")?;
             let wal_len = c.u64()?;
-            Ok(WriteAck {
+            Ok(ShardWriteAck {
+                shard: 0,
                 seq,
                 sealed,
                 wal_len,
+                replicas_acked: 1,
+                failed_over: false,
+            })
+        }
+        ST_WRITE_OK_SHARDED => {
+            let seq = c.u64()?;
+            let sealed = take_bool(&mut c, "sealed")?;
+            let wal_len = c.u64()?;
+            let shard = c.u32()? as usize;
+            let replicas_acked = c.u32()? as usize;
+            let failed_over = take_bool(&mut c, "failed_over")?;
+            Ok(ShardWriteAck {
+                shard,
+                seq,
+                sealed,
+                wal_len,
+                replicas_acked,
+                failed_over,
             })
         }
         other => Err(take_error(other, &mut c)?),
@@ -769,6 +847,17 @@ fn connection_loop(mut stream: TcpStream, handle: &ServerHandle, stop: &AtomicBo
             Ok(None) | Err(_) => return, // clean close, drain, or transport error
         };
         let frame = match payload.first() {
+            // A sharded backend answers writes with the routed reply
+            // frame (status 10); the plain store keeps the original
+            // status-9 frame so its wire format is unchanged.
+            Some(&MSG_INSERT) | Some(&MSG_DELETE) if handle.backend_is_sharded() => {
+                let reply = match decode_write(&payload) {
+                    Ok(WriteOp::Insert { uid, vector }) => handle.insert_routed(uid, &vector),
+                    Ok(WriteOp::Delete { uid }) => handle.delete_routed(uid),
+                    Err(_) => Err(ServeError::BadRequest("malformed write frame")),
+                };
+                encode_sharded_write_reply(&reply)
+            }
             Some(&MSG_INSERT) | Some(&MSG_DELETE) => {
                 let reply = match decode_write(&payload) {
                     Ok(WriteOp::Insert { uid, vector }) => handle.insert(uid, &vector),
@@ -837,10 +926,30 @@ impl NetClient {
     }
 
     fn write_op(&mut self, frame: &[u8]) -> Result<WriteAck, ClientError> {
+        self.write_op_routed(frame).map(|ack| ack.ack())
+    }
+
+    /// Inserts (or updates) `uid`, returning the full routed
+    /// [`ShardWriteAck`] when the server shards its store (a plain
+    /// store backend reports the trivial routing).
+    pub fn insert_routed(
+        &mut self,
+        uid: u32,
+        vector: &[f32],
+    ) -> Result<ShardWriteAck, ClientError> {
+        self.write_op_routed(&encode_insert(uid, vector))
+    }
+
+    /// Deletes `uid`, returning the full routed [`ShardWriteAck`].
+    pub fn delete_routed(&mut self, uid: u32) -> Result<ShardWriteAck, ClientError> {
+        self.write_op_routed(&encode_delete(uid))
+    }
+
+    fn write_op_routed(&mut self, frame: &[u8]) -> Result<ShardWriteAck, ClientError> {
         write_frame(&mut self.stream, frame)?;
         let payload = read_frame(&mut self.stream, None)?
             .ok_or_else(|| ClientError::Protocol("server closed before replying".into()))?;
-        match decode_write_reply(&payload) {
+        match decode_routed_write_reply(&payload) {
             Ok(Ok(ack)) => Ok(ack),
             Ok(Err(remote)) => Err(ClientError::Remote(remote)),
             Err(why) => Err(ClientError::Protocol(why)),
@@ -911,6 +1020,10 @@ mod tests {
                 ServeError::Degraded { coverage: 0.75 },
                 RemoteError::Degraded { coverage: 0.75 },
             ),
+            (
+                ServeError::ShardUnavailable { shard: 3 },
+                RemoteError::ShardUnavailable { shard: 3 },
+            ),
         ];
         for (serve, expect) in cases {
             let frame = encode_reply(&Err(serve.clone()));
@@ -955,6 +1068,40 @@ mod tests {
         let mut frame = encode_write_reply(&Ok(ack));
         frame[9] = 7;
         assert!(decode_write_reply(&frame).is_err());
+    }
+
+    #[test]
+    fn sharded_write_replies_round_trip_and_downgrade() {
+        let ack = ShardWriteAck {
+            shard: 5,
+            seq: 77,
+            sealed: false,
+            wal_len: 4_096,
+            replicas_acked: 2,
+            failed_over: true,
+        };
+        let frame = encode_sharded_write_reply(&Ok(ack));
+        // The routed decode round-trips every field.
+        assert_eq!(decode_routed_write_reply(&frame).expect("decodes"), Ok(ack));
+        // A single-module client decodes the same frame, dropping the
+        // routing fields.
+        assert_eq!(decode_write_reply(&frame).expect("decodes"), Ok(ack.ack()));
+        // And a routed client decodes a plain status-9 frame as the
+        // trivial routing.
+        let plain = encode_write_reply(&Ok(ack.ack()));
+        let routed = decode_routed_write_reply(&plain)
+            .expect("decodes")
+            .expect("ok");
+        assert_eq!(routed.shard, 0);
+        assert_eq!(routed.replicas_acked, 1);
+        assert!(!routed.failed_over);
+        assert_eq!(routed.ack(), ack.ack());
+        // Typed refusal crosses the wire.
+        let refused = encode_sharded_write_reply(&Err(ServeError::ShardUnavailable { shard: 5 }));
+        assert_eq!(
+            decode_routed_write_reply(&refused).expect("decodes"),
+            Err(RemoteError::ShardUnavailable { shard: 5 })
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@ use std::time::Duration;
 use ssam_core::device::{DeviceMetric, SsamConfig, SsamDevice};
 use ssam_knn::VectorStore;
 use ssam_serve::net::{ClientError, NetClient, NetServer, RemoteError};
-use ssam_serve::{OwnedQuery, Request, ServeConfig, Server};
-use ssam_store::{Store, StoreConfig};
+use ssam_serve::{OwnedQuery, Request, ServeConfig, ServeError, Server};
+use ssam_store::{ShardedStore, ShardedStoreConfig, Store, StoreConfig};
 
 fn store_config(dims: usize, capacity: usize, fanout: usize) -> StoreConfig {
     let mut c = StoreConfig::new(dims);
@@ -247,6 +247,110 @@ fn manhattan_store_queries_match_euclidean_visibility() {
     assert!(e.neighbors.iter().all(|n| n.id != 11));
     assert!(m.neighbors.iter().all(|n| n.id != 11));
     server.shutdown();
+}
+
+/// A sharded backend behind the server: startup surfaces the recovery
+/// report, routed writes carry shard/replica detail, a downed primary
+/// fails writes over, a whole shard down is a typed refusal, and after
+/// revive + catch-up the write-failover ledger closes.
+#[test]
+fn sharded_server_routes_writes_and_surfaces_recovery() {
+    let cfg = ShardedStoreConfig::new(2, 2, store_config(4, 4, 2));
+    let mut seeded = ShardedStore::create(cfg.clone());
+    for i in 0..16u32 {
+        seeded.insert(i, &vector(i as usize, 4)).expect("seed");
+    }
+    let (reopened, rec) = ShardedStore::open(cfg, &seeded.wal_images()).expect("open");
+    assert!(rec.total.replayed > 0);
+
+    let server = Server::start_sharded_store(reopened, serve_config());
+    assert_eq!(server.stats().recovered_records, rec.total.replayed as u64);
+    let handle = server.handle();
+
+    let ack = handle
+        .insert_routed(20, &vector(20, 4))
+        .expect("routed insert");
+    assert_eq!(ack.shard, 0);
+    assert_eq!(ack.replicas_acked, 2);
+    assert!(!ack.failed_over);
+
+    // Kill shard 1's primary (module 2): its writes land on the
+    // standby, acked as failed over.
+    let st = server.sharded_store().expect("sharded backend");
+    st.lock().unwrap().kill_module(2);
+    let ack = handle
+        .insert_routed(21, &vector(21, 4))
+        .expect("failover insert");
+    assert_eq!(ack.shard, 1);
+    assert!(ack.failed_over);
+    assert_eq!(ack.replicas_acked, 1);
+
+    // Reads fail over too: the write is immediately visible.
+    let r = handle
+        .query(Request::new(OwnedQuery::Euclidean(vector(21, 4)), 1))
+        .expect("served");
+    assert_eq!(r.neighbors[0].id, 21);
+    assert_eq!(r.neighbors[0].dist, 0.0);
+
+    // The standby goes down as well: the whole shard refuses, typed.
+    st.lock().unwrap().kill_module(3);
+    match handle.insert_routed(23, &vector(23, 4)) {
+        Err(ServeError::ShardUnavailable { shard: 1 }) => {}
+        other => panic!("expected ShardUnavailable, got {other:?}"),
+    }
+
+    // Revive both; the next shard-1 write drains the pending queues
+    // and the ledger closes.
+    {
+        let mut guard = st.lock().unwrap();
+        guard.revive_module(2);
+        guard.revive_module(3);
+    }
+    handle
+        .insert_routed(25, &vector(25, 4))
+        .expect("catch-up insert");
+    {
+        let guard = st.lock().unwrap();
+        assert_eq!(guard.pending_total(), 0);
+        guard.check_write_ledger().expect("ledger closes");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_shard_down, 1);
+    assert_eq!(stats.inserts, 3);
+}
+
+/// Routed write frames over TCP: status-10 acks carry shard + replica
+/// detail, the legacy decode path downgrades them transparently, and a
+/// whole-shard outage comes back as the typed remote refusal.
+#[test]
+fn tcp_sharded_write_frames_round_trip() {
+    let cfg = ShardedStoreConfig::new(2, 2, store_config(4, 8, 2));
+    let server = Server::start_sharded_store(ShardedStore::create(cfg), serve_config());
+    let st = server.sharded_store().expect("sharded backend");
+    let net = NetServer::bind("127.0.0.1:0", server).expect("bind");
+    let mut client = NetClient::connect(net.local_addr()).expect("connect");
+
+    let ack = client.insert_routed(5, &vector(5, 4)).expect("routed");
+    assert_eq!(ack.shard, 1);
+    assert_eq!(ack.replicas_acked, 2);
+    assert!(!ack.failed_over);
+
+    // A legacy client decodes the sharded frame as a plain WriteAck.
+    let plain = client.insert(6, &vector(6, 4)).expect("plain decode");
+    assert!(plain.seq > ack.seq);
+
+    {
+        let mut guard = st.lock().unwrap();
+        guard.kill_module(0);
+        guard.kill_module(1);
+    }
+    match client.insert_routed(8, &vector(8, 4)) {
+        Err(ClientError::Remote(RemoteError::ShardUnavailable { shard: 0 })) => {}
+        other => panic!("expected remote ShardUnavailable, got {other:?}"),
+    }
+    let stats = net.shutdown();
+    assert_eq!(stats.inserts, 2);
+    assert_eq!(stats.rejected_shard_down, 1);
 }
 
 /// `DeviceMetric` unused-import guard (the reference rebuild uses it via

@@ -51,9 +51,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod shard;
 pub mod wal;
 
-pub use wal::{decode_stream, Wal, WalRecord};
+pub use shard::{ShardRecovery, ShardWriteAck, ShardedStore, ShardedStoreConfig, WriteFaultLedger};
+pub use wal::{decode_stream, Wal, WalRecord, WalSync};
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -78,6 +80,10 @@ pub struct StoreConfig {
     pub memtable_capacity: usize,
     /// Segments a level may hold before it owes a compaction.
     pub fanout: usize,
+    /// WAL durability policy: when appended records are flushed to
+    /// stable storage. Default [`WalSync::EveryRecord`] — acknowledged
+    /// writes survive any crash minus at most one torn record.
+    pub sync: WalSync,
 }
 
 impl StoreConfig {
@@ -89,6 +95,7 @@ impl StoreConfig {
             dims,
             memtable_capacity: 256,
             fanout: 4,
+            sync: WalSync::EveryRecord,
         }
     }
 }
@@ -110,6 +117,12 @@ pub enum StoreError {
     ZeroK,
     /// A segment device failed to execute the query.
     Device(SimError),
+    /// Every replica module of the target shard is down; the write has
+    /// no WAL to land on (sharded store only).
+    ShardUnavailable {
+        /// The shard whose replica set is exhausted.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -123,6 +136,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::ZeroK => write!(f, "k must be positive"),
             StoreError::Device(e) => write!(f, "segment device error: {e}"),
+            StoreError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard}: every replica is down, write refused")
+            }
         }
     }
 }
@@ -147,13 +163,26 @@ pub struct WriteAck {
     pub wal_len: u64,
 }
 
-/// What [`Store::open`] recovered from a WAL image.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// What [`Store::open`] recovered from a WAL image — the typed report
+/// callers (and `ServerStats` / the `serve_load` JSON) surface instead
+/// of a silent truncation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Recovery {
     /// Records replayed from the valid prefix.
     pub replayed: usize,
     /// Torn-tail bytes truncated away.
     pub truncated: u64,
+    /// Segments rebuilt while replaying logged seal/compact decisions.
+    pub segments_rebuilt: usize,
+}
+
+impl Recovery {
+    /// Folds another module's recovery into this aggregate.
+    pub fn accumulate(&mut self, other: &Recovery) {
+        self.replayed += other.replayed;
+        self.truncated += other.truncated;
+        self.segments_rebuilt += other.segments_rebuilt;
+    }
 }
 
 /// Result of one store query.
@@ -192,6 +221,9 @@ pub struct StoreStats {
     pub wal_records: u64,
     /// WAL bytes appended.
     pub wal_bytes: u64,
+    /// WAL bytes flushed to stable storage per the [`WalSync`] policy
+    /// (equals `wal_bytes` under [`WalSync::EveryRecord`]).
+    pub wal_durable_bytes: u64,
     /// Caller payload bytes accepted.
     pub payload_bytes: u64,
     /// Bytes staged into segment devices across seals + compactions.
@@ -272,6 +304,12 @@ pub struct Store {
     next_segment_id: u64,
     telemetry: Option<Telemetry>,
     faults: Option<Arc<FaultPlan>>,
+    /// Offset added to every segment's fault scope; a sharded store
+    /// gives each replica module a disjoint base so their segments draw
+    /// decorrelated fault streams from a shared plan.
+    fault_scope_base: u64,
+    /// The report from [`Store::open`], `None` for a created store.
+    recovery: Option<Recovery>,
     payload_bytes: u64,
     staged_bytes: u64,
     seals: u64,
@@ -306,6 +344,8 @@ impl Store {
             next_segment_id: 0,
             telemetry: None,
             faults: None,
+            fault_scope_base: 0,
+            recovery: None,
             payload_bytes: 0,
             staged_bytes: 0,
             seals: 0,
@@ -330,6 +370,7 @@ impl Store {
         let (wal, records) = Wal::from_bytes(wal_bytes);
         let truncated = wal_bytes.len() as u64 - wal.len();
         let replayed = records.len();
+        let mut segments_rebuilt = 0usize;
         store.wal = wal;
         for r in records {
             let seq = r.seq();
@@ -346,19 +387,31 @@ impl Store {
                 }
                 WalRecord::Delete { uid, seq } => store.apply_delete(uid, seq),
                 WalRecord::Seal { .. } => {
-                    store.apply_seal();
+                    if store.apply_seal() {
+                        segments_rebuilt += 1;
+                    }
                 }
-                WalRecord::Compact { level, .. } => store.apply_compact(level as usize),
+                WalRecord::Compact { level, .. } => {
+                    if store.apply_compact(level as usize) {
+                        segments_rebuilt += 1;
+                    }
+                }
             }
             store.next_seq = store.next_seq.max(seq + 1);
         }
-        Ok((
-            store,
-            Recovery {
-                replayed,
-                truncated,
-            },
-        ))
+        let recovery = Recovery {
+            replayed,
+            truncated,
+            segments_rebuilt,
+        };
+        store.recovery = Some(recovery);
+        Ok((store, recovery))
+    }
+
+    /// The recovery report from [`Store::open`]; `None` for a store
+    /// built by [`Store::create`].
+    pub fn recovery(&self) -> Option<Recovery> {
+        self.recovery
     }
 
     /// The store's configuration.
@@ -371,10 +424,30 @@ impl Store {
         self.vec_words
     }
 
+    /// The next sequence number this store would assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// The full WAL image — what a durable deployment would have on
     /// disk. Hand it to [`Store::open`] to recover.
     pub fn wal_bytes(&self) -> &[u8] {
         self.wal.bytes()
+    }
+
+    /// The durable prefix of the WAL: bytes flushed per the configured
+    /// [`WalSync`] policy. Under [`WalSync::EveryRecord`] this equals
+    /// [`Store::wal_bytes`]; under [`WalSync::OnSeal`] data records past
+    /// the last lifecycle flush are still in the volatile tail.
+    pub fn durable_wal_bytes(&self) -> &[u8] {
+        self.wal.durable_bytes()
+    }
+
+    /// The WAL image a crash at torn-tail point `cut` leaves behind:
+    /// the synced watermark always survives, unsynced bytes only up to
+    /// `cut`. Feed the result to [`Store::open`].
+    pub fn crash_wal_image(&self, cut: u64) -> &[u8] {
+        self.wal.crash_image(cut)
     }
 
     /// Visible (live) vectors across memtable and segments.
@@ -411,7 +484,21 @@ impl Store {
         for level in &mut self.levels {
             for seg in level {
                 seg.device.set_fault_plan(plan.clone());
-                seg.device.set_fault_scope(seg.id);
+                seg.device.set_fault_scope(self.fault_scope_base + seg.id);
+            }
+        }
+    }
+
+    /// Offsets every segment's fault scope by `base` (present segments
+    /// are re-scoped; future ones inherit it). A sharded store assigns
+    /// each replica module a disjoint base so replicas of the same data
+    /// draw independent fault streams — a fault on one replica must not
+    /// imply a fault on its twin.
+    pub fn set_fault_scope_base(&mut self, base: u64) {
+        self.fault_scope_base = base;
+        for level in &mut self.levels {
+            for seg in level {
+                seg.device.set_fault_scope(base + seg.id);
             }
         }
     }
@@ -449,6 +536,13 @@ impl Store {
     }
 
     fn apply_insert(&mut self, uid: u32, seq: u64, vector: Vec<f32>) {
+        // Latest sequence wins regardless of WAL position: a live write
+        // stream is monotonic so this never triggers, but sharded
+        // anti-entropy appends missed records *behind* newer ones — a
+        // stale version must not clobber the winner.
+        if self.index.get(&uid).is_some_and(|cur| cur.seq > seq) {
+            return;
+        }
         let words = self.quantize(&vector);
         let sv = Arc::new(StoredVec {
             floats: vector,
@@ -472,6 +566,9 @@ impl Store {
     }
 
     fn apply_delete(&mut self, uid: u32, seq: u64) {
+        if self.index.get(&uid).is_some_and(|cur| cur.seq > seq) {
+            return;
+        }
         let old = self.index.insert(
             uid,
             IndexEntry {
@@ -516,7 +613,7 @@ impl Store {
             device.attach_telemetry(sink);
         }
         device.set_fault_plan(self.faults.clone());
-        device.set_fault_scope(id);
+        device.set_fault_scope(self.fault_scope_base + id);
         for e in &entries {
             self.index.insert(
                 e.uid,
@@ -543,8 +640,9 @@ impl Store {
 
     /// Merges `level` and `level + 1` into one segment on `level + 1`,
     /// keeping only visible entries and purging tombstones that no
-    /// longer shadow any resident copy.
-    fn apply_compact(&mut self, level: usize) {
+    /// longer shadow any resident copy. Returns true when the merge
+    /// produced a segment (false when every drained entry was dead).
+    fn apply_compact(&mut self, level: usize) -> bool {
         let started = Instant::now();
         while self.levels.len() <= level + 1 {
             self.levels.push(Vec::new());
@@ -569,6 +667,7 @@ impl Store {
             }
         }
         drop(drained);
+        let built = !merged.is_empty();
         if !merged.is_empty() {
             let mut entries = Vec::with_capacity(merged.len());
             let mut floats = VectorStore::new(self.config.dims);
@@ -584,7 +683,7 @@ impl Store {
                 device.attach_telemetry(sink);
             }
             device.set_fault_plan(self.faults.clone());
-            device.set_fault_scope(id);
+            device.set_fault_scope(self.fault_scope_base + id);
             for e in &entries {
                 self.index.insert(
                     e.uid,
@@ -620,6 +719,7 @@ impl Store {
         let took = started.elapsed().as_secs_f64();
         self.compact_seconds += took;
         self.max_compact_seconds = self.max_compact_seconds.max(took);
+        built
     }
 
     /// Inserts (or updates) `uid` with `vector`. The write is WAL-first:
@@ -629,19 +729,40 @@ impl Store {
     /// # Errors
     /// [`StoreError::DimsMismatch`] when the vector length is wrong.
     pub fn insert(&mut self, uid: u32, vector: &[f32]) -> Result<WriteAck, StoreError> {
+        let seq = self.next_seq;
+        self.insert_at_seq(uid, seq, vector)
+    }
+
+    /// Inserts `uid` at a caller-assigned sequence number — the replica
+    /// write path: a sharded store hands every replica of a shard the
+    /// *same* globally-assigned seq so their WALs stay mergeable by
+    /// sequence. `next_seq` advances to `max(next_seq, seq + 1)`; a seq
+    /// older than the uid's current winner is logged (durable) but does
+    /// not regress visibility.
+    ///
+    /// # Errors
+    /// [`StoreError::DimsMismatch`] when the vector length is wrong.
+    pub fn insert_at_seq(
+        &mut self,
+        uid: u32,
+        seq: u64,
+        vector: &[f32],
+    ) -> Result<WriteAck, StoreError> {
         if vector.len() != self.config.dims {
             return Err(StoreError::DimsMismatch {
                 expected: self.config.dims,
                 got: vector.len(),
             });
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.max(seq + 1);
         self.wal.append(&WalRecord::Insert {
             uid,
             seq,
             vector: vector.to_vec(),
         });
+        if self.config.sync == WalSync::EveryRecord {
+            self.wal.sync();
+        }
         self.payload_bytes += (vector.len() * 4) as u64;
         self.apply_insert(uid, seq, vector.to_vec());
         let sealed = if self.memtable.len() >= self.config.memtable_capacity {
@@ -660,8 +781,17 @@ impl Store {
     /// never-seen uid is recorded and purged at the next compaction.
     pub fn delete(&mut self, uid: u32) -> Result<WriteAck, StoreError> {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.delete_at_seq(uid, seq)
+    }
+
+    /// Deletes `uid` at a caller-assigned sequence number (see
+    /// [`Store::insert_at_seq`]).
+    pub fn delete_at_seq(&mut self, uid: u32, seq: u64) -> Result<WriteAck, StoreError> {
+        self.next_seq = self.next_seq.max(seq + 1);
         self.wal.append(&WalRecord::Delete { uid, seq });
+        if self.config.sync == WalSync::EveryRecord {
+            self.wal.sync();
+        }
         self.apply_delete(uid, seq);
         Ok(WriteAck {
             seq,
@@ -680,6 +810,9 @@ impl Store {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.wal.append(&WalRecord::Seal { seq });
+        // A lifecycle record flushes under both sync policies: sealing
+        // is the durability barrier `WalSync::OnSeal` promises.
+        self.wal.sync();
         self.apply_seal()
     }
 
@@ -705,6 +838,7 @@ impl Store {
             level: level as u32,
             seq,
         });
+        self.wal.sync();
         self.apply_compact(level);
         true
     }
@@ -947,6 +1081,7 @@ impl Store {
         StoreStats {
             wal_records: self.wal.records(),
             wal_bytes: self.wal.len(),
+            wal_durable_bytes: self.wal.durable_len(),
             payload_bytes: self.payload_bytes,
             staged_bytes: self.staged_bytes,
             seals: self.seals,
@@ -1171,6 +1306,41 @@ mod tests {
         assert_eq!(rec.replayed, 1);
         assert_eq!(rec.truncated, 3);
         assert_eq!(recovered.live_len(), 1);
+    }
+
+    #[test]
+    fn wal_sync_knob_governs_crash_durability() {
+        // Default: every record is durable the moment its ack returns —
+        // a crash at the most hostile cut keeps everything.
+        let mut per_record = Store::create(fast_config(2, 100, 4));
+        assert_eq!(per_record.config().sync, WalSync::EveryRecord);
+        per_record.insert(1, &[0.1, 0.1]).unwrap();
+        per_record.insert(2, &[0.2, 0.2]).unwrap();
+        let s = per_record.stats();
+        assert_eq!(s.wal_durable_bytes, s.wal_bytes);
+        let (rec, r) = Store::open(fast_config(2, 100, 4), per_record.crash_wal_image(0)).unwrap();
+        assert_eq!(r.replayed, 2);
+        assert_eq!(rec.live_len(), 2);
+
+        // OnSeal: acknowledged data records ride in the volatile tail
+        // and can vanish wholesale until a seal flushes them.
+        let mut cfg = fast_config(2, 100, 4);
+        cfg.sync = WalSync::OnSeal;
+        let mut lazy = Store::create(cfg.clone());
+        lazy.insert(1, &[0.1, 0.1]).unwrap();
+        lazy.insert(2, &[0.2, 0.2]).unwrap();
+        assert_eq!(lazy.stats().wal_durable_bytes, 0);
+        let (lost, r) = Store::open(cfg.clone(), lazy.crash_wal_image(0)).unwrap();
+        assert_eq!(r.replayed, 0);
+        assert!(lost.is_empty());
+        // Sealing is the durability barrier OnSeal promises.
+        assert!(lazy.seal());
+        let s = lazy.stats();
+        assert_eq!(s.wal_durable_bytes, s.wal_bytes);
+        let (kept, r2) = Store::open(cfg, lazy.crash_wal_image(0)).unwrap();
+        assert_eq!(r2.replayed, 3);
+        assert_eq!(r2.segments_rebuilt, 1);
+        assert_eq!(kept.live_len(), 2);
     }
 
     #[test]

@@ -208,14 +208,42 @@ pub fn decode_stream(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
     (records, at)
 }
 
+/// When appended WAL records are flushed to stable storage.
+///
+/// The store's crash drills honour this: a crash can only tear bytes
+/// past the synced watermark, so `EveryRecord` exposes the whole log to
+/// torn tails (each record is durable the moment its append returns),
+/// while `OnSeal` batches durability — unsealed tail records may vanish
+/// wholesale at a crash, trading the per-record flush for ingest speed.
+///
+/// The default is [`WalSync::EveryRecord`]: acknowledged writes survive
+/// any crash minus at most the one record a tear cuts in half, which is
+/// the contract the PR 9 recovery proptests pin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WalSync {
+    /// Flush after every appended record (default; strongest durability).
+    #[default]
+    EveryRecord,
+    /// Flush only when a seal or compaction record is appended; data
+    /// records between lifecycle events ride in the unsynced tail.
+    OnSeal,
+}
+
 /// The append-only log. The backing store is an in-memory byte vector —
 /// this is a simulator, so "durable" means "survives as bytes the
 /// harness can snapshot, truncate, and hand to [`crate::Store::open`]";
 /// the byte format itself is what a file-backed deployment would fsync.
+///
+/// The log tracks a *synced watermark*: the byte length known to have
+/// reached stable storage. [`Wal::append`] leaves new bytes unsynced;
+/// the owning store calls [`Wal::sync`] per its [`WalSync`] policy, and
+/// crash harnesses use [`Wal::crash_image`] to model what a real crash
+/// could leave behind.
 #[derive(Debug, Clone, Default)]
 pub struct Wal {
     bytes: Vec<u8>,
     records: u64,
+    synced: usize,
 }
 
 impl Wal {
@@ -233,6 +261,8 @@ impl Wal {
             Wal {
                 bytes: bytes[..good].to_vec(),
                 records: records.len() as u64,
+                // The recovered image *is* stable storage.
+                synced: good,
             },
             records,
         )
@@ -264,6 +294,28 @@ impl Wal {
     /// Records appended so far.
     pub fn records(&self) -> u64 {
         self.records
+    }
+
+    /// Marks everything appended so far as flushed to stable storage.
+    pub fn sync(&mut self) {
+        self.synced = self.bytes.len();
+    }
+
+    /// Bytes known durable: a crash can only tear bytes past this point.
+    pub fn durable_len(&self) -> u64 {
+        self.synced as u64
+    }
+
+    /// The durable prefix of the log image.
+    pub fn durable_bytes(&self) -> &[u8] {
+        &self.bytes[..self.synced]
+    }
+
+    /// What a crash at torn-tail point `cut` leaves behind: the synced
+    /// prefix always survives; unsynced bytes survive only up to `cut`.
+    pub fn crash_image(&self, cut: u64) -> &[u8] {
+        let keep = (cut as usize).clamp(self.synced, self.bytes.len());
+        &self.bytes[..keep]
     }
 }
 
@@ -328,6 +380,28 @@ mod tests {
         let (recovered, replay) = Wal::from_bytes(&bytes);
         assert_eq!(replay.len(), 2);
         assert_eq!(recovered.len() as usize, third_start);
+    }
+
+    #[test]
+    fn sync_watermark_bounds_crash_images() {
+        let mut wal = Wal::new();
+        let recs = sample();
+        wal.append(&recs[0]);
+        wal.append(&recs[1]);
+        assert_eq!(wal.durable_len(), 0, "append must not imply durability");
+        wal.sync();
+        let durable = wal.len();
+        wal.append(&recs[2]);
+        assert_eq!(wal.durable_len(), durable);
+        // A crash cut below the watermark is clamped up to it; a cut in
+        // the unsynced tail tears there; past-the-end cuts are clamped.
+        assert_eq!(wal.crash_image(0).len() as u64, durable);
+        assert_eq!(wal.crash_image(durable + 3).len() as u64, durable + 3);
+        assert_eq!(wal.crash_image(u64::MAX).len() as u64, wal.len());
+        // Recovery adopts the whole surviving image as durable.
+        let (recovered, replay) = Wal::from_bytes(wal.crash_image(0));
+        assert_eq!(replay.len(), 2);
+        assert_eq!(recovered.durable_len(), recovered.len());
     }
 
     #[test]
